@@ -1,0 +1,95 @@
+// Shared plumbing for the experiment harnesses (bench/exp*.cc).
+//
+// Each harness regenerates one figure/table of the paper. Because the
+// paper's testbed ran hours-long Java jobs on 1M-5M row datasets, the
+// default sizes here are scaled down to keep the full suite runnable in
+// minutes; set AOD_BENCH_SCALE=<float> to scale row counts up (e.g. 40
+// approximates the paper's sizes) and AOD_BENCH_BUDGET=<seconds> to give
+// the quadratic iterative validator a larger time allowance (the paper
+// used a 24h cap; runs that exceed the budget are reported as ">budget",
+// mirroring the paper's "* 24h" annotations).
+#ifndef AOD_BENCH_BENCH_UTIL_H_
+#define AOD_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "data/encoder.h"
+#include "od/discovery.h"
+
+namespace aod {
+namespace bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  return end == v ? fallback : parsed;
+}
+
+/// Row-count multiplier for all experiment harnesses.
+inline double Scale() { return EnvDouble("AOD_BENCH_SCALE", 1.0); }
+
+/// Per-run wall-clock allowance for the iterative validator (seconds).
+inline double IterativeBudget() { return EnvDouble("AOD_BENCH_BUDGET", 20.0); }
+
+inline int64_t ScaledRows(int64_t base) {
+  double rows = static_cast<double>(base) * Scale();
+  return rows < 2 ? 2 : static_cast<int64_t>(rows);
+}
+
+/// One measured discovery run.
+struct RunResult {
+  double seconds = 0.0;
+  bool timed_out = false;
+  int64_t ocs = 0;
+  int64_t ofds = 0;
+  double avg_oc_level = 0.0;
+  double oc_validation_share = 0.0;
+  DiscoveryResult full;
+};
+
+inline RunResult RunDiscovery(const EncodedTable& table, ValidatorKind kind,
+                              double epsilon, double budget_seconds = 0.0) {
+  DiscoveryOptions options;
+  options.validator = kind;
+  options.epsilon = epsilon;
+  options.time_budget_seconds = budget_seconds;
+  Stopwatch sw;
+  DiscoveryResult result = DiscoverOds(table, options);
+  RunResult out;
+  out.seconds = sw.ElapsedSeconds();
+  out.timed_out = result.timed_out;
+  out.ocs = static_cast<int64_t>(result.ocs.size());
+  out.ofds = static_cast<int64_t>(result.ofds.size());
+  out.avg_oc_level = result.stats.AverageOcLevel();
+  out.oc_validation_share = result.stats.OcValidationShare();
+  out.full = std::move(result);
+  return out;
+}
+
+/// "0.123" or ">20.0*" when the run hit the budget (paper's "* 24h").
+inline std::string TimeCell(const RunResult& r) {
+  char buf[32];
+  if (r.timed_out) {
+    std::snprintf(buf, sizeof(buf), ">%.1f*", r.seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", r.seconds);
+  }
+  return buf;
+}
+
+inline void PrintHeaderLine(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+inline void PrintNote(const char* note) { std::printf("%s\n", note); }
+
+}  // namespace bench
+}  // namespace aod
+
+#endif  // AOD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,64 @@
+// Exp-3 (paper Figure 4): the effect of the approximation threshold.
+//
+// 10K tuples; thresholds 0, 5, 10, 15, 20, 25, 30 percent. Expected
+// shape (paper): AOD(optimal) is flat or *decreasing* in the threshold
+// (better pruning at larger eps), while AOD(iterative) grows almost
+// linearly with it — its inner loop removes up to eps*n tuples per
+// candidate, each removal costing O(m). The harness also reports the
+// share of runtime spent in OC validation, reproducing the paper's
+// "up to 99.6% of total runtime" observation for the iterative
+// validator versus a small share for the optimal one.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/encoder.h"
+#include "gen/flight_generator.h"
+#include "gen/ncvoter_generator.h"
+
+namespace aod {
+namespace bench {
+namespace {
+
+void RunDataset(const char* name, bool flight) {
+  const int64_t rows = ScaledRows(10000);
+  std::printf("\n--- %s (%lld tuples, 10 attributes) ---\n", name,
+              static_cast<long long>(rows));
+  std::printf("%7s  %12s %6s %8s | %12s %6s %8s\n", "eps(%)", "AODopt(s)",
+              "#AOC", "val%", "AODiter(s)", "#AOC", "val%");
+  Table t = flight ? GenerateFlightTable(rows, 10, 42)
+                   : GenerateNcVoterTable(rows, 10, 1729);
+  EncodedTable enc = EncodeTable(t);
+  for (int pct : {0, 5, 10, 15, 20, 25, 30}) {
+    double eps = pct / 100.0;
+    RunResult optimal = RunDiscovery(enc, ValidatorKind::kOptimal, eps);
+    RunResult iterative =
+        RunDiscovery(enc, ValidatorKind::kIterative, eps, IterativeBudget());
+    std::printf("%7d  %12s %6lld %7.1f%% | %12s %6lld %7.1f%%\n", pct,
+                TimeCell(optimal).c_str(),
+                static_cast<long long>(optimal.ocs),
+                100.0 * optimal.oc_validation_share,
+                TimeCell(iterative).c_str(),
+                static_cast<long long>(iterative.ocs),
+                100.0 * iterative.oc_validation_share);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aod
+
+int main() {
+  using namespace aod::bench;
+  PrintHeaderLine("Exp-3 / Figure 4: effect of the approximation threshold");
+  PrintNote("paper reference (flight, s): AOD(opt) 9.5 -> 3.9 as eps grows"
+            " 0..30%; AOD(iter) 20.9 -> 231.0 (near-linear growth)");
+  PrintNote("paper reference (ncvoter, s): AOD(opt) 10 -> 5; AOD(iter)"
+            " 41 -> 425");
+  PrintNote("paper: up to 99.6% of iterative runtime is AOC validation;"
+            " the LIS validator cuts validation time by up to 99.8%.");
+
+  RunDataset("flight", /*flight=*/true);
+  RunDataset("ncvoter", /*flight=*/false);
+  return 0;
+}

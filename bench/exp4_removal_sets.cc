@@ -1,0 +1,149 @@
+// Exp-4: removal-set quality of the iterative validator.
+//
+// Head-to-head of Alg. 1 vs Alg. 2 over every AOC candidate the lattice
+// generates (context size <= 1) on both datasets:
+//   - how much larger the greedy removal sets are on average (paper: ~1%),
+//   - how many truly-valid AOCs the greedy overestimate rejects at the
+//     threshold (paper: up to 2% missed),
+//   - the flagship example: arrDelay ~ lateAircraftDelay with a true
+//     factor ~9.5% that the iterative validator overestimates past the
+//     10% threshold (paper: 10.5%).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/encoder.h"
+#include "gen/flight_generator.h"
+#include "gen/ncvoter_generator.h"
+#include "od/aoc_iterative_validator.h"
+#include "od/aoc_lis_validator.h"
+#include "partition/partition_cache.h"
+
+namespace aod {
+namespace bench {
+namespace {
+
+struct Comparison {
+  int64_t candidates = 0;
+  int64_t overestimated = 0;       // iterative removal > minimal removal
+  double sum_overestimate_pct = 0;  // (iter - opt) / opt, opt > 0 only
+  int64_t with_violations = 0;
+  int64_t valid_at_eps = 0;         // truly valid (optimal)
+  int64_t missed_at_eps = 0;        // valid but rejected by iterative
+};
+
+void RunDataset(const char* name, bool flight, double eps) {
+  const int64_t rows = ScaledRows(8000);
+  Table t = flight ? GenerateFlightTable(rows, 10, 42)
+                   : GenerateNcVoterTable(rows, 10, 1729);
+  EncodedTable enc = EncodeTable(t);
+  PartitionCache cache(&enc);
+  const int k = enc.num_columns();
+
+  ValidatorOptions full;
+  full.early_exit = false;
+
+  Comparison cmp;
+  // All canonical OC candidates with context size 0 or 1 — the lattice
+  // levels where the approximation battle is decided (Exp-5).
+  for (int ctx_attr = -1; ctx_attr < k; ++ctx_attr) {
+    AttributeSet ctx =
+        ctx_attr < 0 ? AttributeSet() : AttributeSet::Of({ctx_attr});
+    auto partition = cache.Get(ctx);
+    for (int a = 0; a < k; ++a) {
+      for (int b = a + 1; b < k; ++b) {
+        if (a == ctx_attr || b == ctx_attr) continue;
+        ValidationOutcome optimal = ValidateAocOptimal(
+            enc, *partition, a, b, 1.0, enc.num_rows(), full);
+        ValidationOutcome iterative = ValidateAocIterative(
+            enc, *partition, a, b, 1.0, enc.num_rows(), full);
+        ++cmp.candidates;
+        if (optimal.removal_size > 0) {
+          ++cmp.with_violations;
+          if (iterative.removal_size > optimal.removal_size) {
+            ++cmp.overestimated;
+          }
+          cmp.sum_overestimate_pct +=
+              100.0 *
+              static_cast<double>(iterative.removal_size -
+                                  optimal.removal_size) /
+              static_cast<double>(optimal.removal_size);
+        }
+        int64_t max_rm = MaxRemovals(eps, enc.num_rows());
+        bool truly_valid = optimal.removal_size <= max_rm;
+        bool iter_valid = iterative.removal_size <= max_rm;
+        if (truly_valid) {
+          ++cmp.valid_at_eps;
+          if (!iter_valid) ++cmp.missed_at_eps;
+        }
+      }
+    }
+  }
+
+  std::printf("\n--- %s (%lld rows, contexts of size <= 1, eps = %.0f%%)"
+              " ---\n",
+              name, static_cast<long long>(rows), 100 * eps);
+  std::printf("candidates compared:            %lld\n",
+              static_cast<long long>(cmp.candidates));
+  std::printf("candidates with violations:     %lld\n",
+              static_cast<long long>(cmp.with_violations));
+  std::printf("greedy removal set larger on:   %lld (%.1f%% of violating)\n",
+              static_cast<long long>(cmp.overestimated),
+              cmp.with_violations == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(cmp.overestimated) /
+                        static_cast<double>(cmp.with_violations));
+  std::printf("avg removal-set overestimate:   %.2f%%  (paper: ~1%%)\n",
+              cmp.with_violations == 0
+                  ? 0.0
+                  : cmp.sum_overestimate_pct /
+                        static_cast<double>(cmp.with_violations));
+  std::printf("valid AOCs at eps:              %lld\n",
+              static_cast<long long>(cmp.valid_at_eps));
+  std::printf("missed by iterative validator:  %lld (%.1f%%, paper: up to"
+              " 2%%)\n",
+              static_cast<long long>(cmp.missed_at_eps),
+              cmp.valid_at_eps == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(cmp.missed_at_eps) /
+                        static_cast<double>(cmp.valid_at_eps));
+}
+
+void FlagshipExample() {
+  const int64_t rows = ScaledRows(20000);
+  Table t = GenerateFlightTable(rows, 10, 42);
+  EncodedTable enc = EncodeTable(t);
+  int a = enc.ColumnIndex("arrDelay");
+  int b = enc.ColumnIndex("lateAircraftDelay");
+  auto whole = StrippedPartition::WholeRelation(enc.num_rows());
+  ValidatorOptions full;
+  full.early_exit = false;
+  ValidationOutcome optimal =
+      ValidateAocOptimal(enc, whole, a, b, 1.0, enc.num_rows(), full);
+  ValidationOutcome iterative =
+      ValidateAocIterative(enc, whole, a, b, 1.0, enc.num_rows(), full);
+  std::printf("\n--- flagship AOC: arrDelay ~ lateAircraftDelay (%lld rows)"
+              " ---\n",
+              static_cast<long long>(rows));
+  std::printf("true factor (Alg. 2):      %.2f%%  (paper: 9.5%%)\n",
+              100.0 * optimal.approx_factor);
+  std::printf("greedy estimate (Alg. 1):  %.2f%%  (paper: 10.5%%)\n",
+              100.0 * iterative.approx_factor);
+  std::printf("at eps = 10%%: optimal %s, iterative %s\n",
+              optimal.approx_factor <= 0.10 ? "ACCEPTS" : "rejects",
+              iterative.approx_factor <= 0.10 ? "accepts" : "REJECTS");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aod
+
+int main() {
+  using namespace aod::bench;
+  PrintHeaderLine("Exp-4: removal sets and AOCs missed by the iterative"
+                  " validator");
+  RunDataset("flight", /*flight=*/true, 0.10);
+  RunDataset("ncvoter", /*flight=*/false, 0.10);
+  FlagshipExample();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Exp-5 (paper Figure 5): lattice level of discovered OCs vs AOCs, and
+// the runtime advantage of approximate discovery.
+//
+// AOCs validate at lower lattice levels than exact OCs (approximation
+// absorbs the exceptions that otherwise force a finer context), which
+// lets the pruning rules fire earlier. The paper reports the average
+// level dropping 5.6 -> 4.3 on ncvoter-5M-10, and total AOD discovery
+// running up to 34% (rows experiment) / 76% (attrs experiment) faster
+// than exact OD discovery. This harness prints the per-level histogram
+// (Figure 5) and the OD-vs-AOD runtime ratio.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/encoder.h"
+#include "gen/flight_generator.h"
+#include "gen/ncvoter_generator.h"
+
+namespace aod {
+namespace bench {
+namespace {
+
+void RunDataset(const char* name, bool flight, int64_t base_rows,
+                int attrs) {
+  const int64_t rows = ScaledRows(base_rows);
+  Table t = flight ? GenerateFlightTable(rows, attrs, 42)
+                   : GenerateNcVoterTable(rows, attrs, 1729);
+  EncodedTable enc = EncodeTable(t);
+  RunResult exact = RunDiscovery(enc, ValidatorKind::kExact, 0.10);
+  RunResult approx = RunDiscovery(enc, ValidatorKind::kOptimal, 0.10);
+
+  std::printf("\n--- %s (%lld rows, %d attributes, eps = 10%%) ---\n", name,
+              static_cast<long long>(rows), attrs);
+  std::printf("%7s  %8s  %8s\n", "level", "#OCs", "#AOCs");
+  const auto& exact_levels = exact.full.stats.ocs_per_level;
+  const auto& approx_levels = approx.full.stats.ocs_per_level;
+  size_t max_level = std::max(exact_levels.size(), approx_levels.size());
+  for (size_t level = 2; level < max_level; ++level) {
+    int64_t e = level < exact_levels.size() ? exact_levels[level] : 0;
+    int64_t a = level < approx_levels.size() ? approx_levels[level] : 0;
+    std::printf("%7zu  %8lld  %8lld\n", level, static_cast<long long>(e),
+                static_cast<long long>(a));
+  }
+  std::printf("average OC lattice level: exact %.2f -> approx %.2f"
+              "  (paper: 5.6 -> 4.3 on ncvoter)\n",
+              exact.avg_oc_level, approx.avg_oc_level);
+  std::printf("runtime: OD %.3fs vs AOD(optimal) %.3fs  (AOD %+.0f%%)\n",
+              exact.seconds, approx.seconds,
+              100.0 * (approx.seconds - exact.seconds) /
+                  (exact.seconds > 0 ? exact.seconds : 1.0));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aod
+
+int main() {
+  using namespace aod::bench;
+  PrintHeaderLine("Exp-5 / Figure 5: discovered OCs/AOCs per lattice level");
+  PrintNote("paper reference (ncvoter-5M-10): AOCs concentrate at levels"
+            " 2-5 while exact OCs spread to levels 6-7; avg level"
+            " 5.6 -> 4.3; AOD up to 34%/76% faster than OD.");
+  RunDataset("ncvoter", /*flight=*/false, 40000, 10);
+  RunDataset("flight", /*flight=*/true, 20000, 10);
+  // The attrs-style variant where pruning effects dominate (small rows,
+  // many attributes).
+  RunDataset("ncvoter-1K-20", /*flight=*/false, 1000, 20);
+  return 0;
+}

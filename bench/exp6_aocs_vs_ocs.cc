@@ -1,0 +1,62 @@
+// Exp-6: discovered AOCs compared to exact OCs.
+//
+// Approximate discovery finds dependencies that exact discovery cannot
+// (a single dirty value kills an exact OC), and the ones it finds sit at
+// lower, more interesting lattice levels. The harness reports the counts
+// on both datasets and prints the top-ranked AOCs by interestingness —
+// reproducing the paper's observation that the showcase dependencies
+// (arrDelay ~ lateAircraftDelay, originAirport ~ IATACode,
+// municipalityAbbrv ~ municipalityDesc, streetAddress ~ mailAddress)
+// rank at the top.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/encoder.h"
+#include "gen/flight_generator.h"
+#include "gen/ncvoter_generator.h"
+
+namespace aod {
+namespace bench {
+namespace {
+
+void RunDataset(const char* name, bool flight, double eps) {
+  const int64_t rows = ScaledRows(20000);
+  Table t = flight ? GenerateFlightTable(rows, 10, 42)
+                   : GenerateNcVoterTable(rows, 10, 1729);
+  EncodedTable enc = EncodeTable(t);
+  RunResult exact = RunDiscovery(enc, ValidatorKind::kExact, 0.0);
+  RunResult approx = RunDiscovery(enc, ValidatorKind::kOptimal, eps);
+
+  std::printf("\n--- %s (%lld rows, 10 attributes, eps = %.0f%%) ---\n",
+              name, static_cast<long long>(rows), 100 * eps);
+  std::printf("exact OCs:  %4lld   (avg level %.2f)\n",
+              static_cast<long long>(exact.ocs), exact.avg_oc_level);
+  std::printf("AOCs:       %4lld   (avg level %.2f)\n",
+              static_cast<long long>(approx.ocs), approx.avg_oc_level);
+
+  approx.full.SortByInterestingness();
+  std::printf("top AOCs by interestingness:\n");
+  size_t shown = 0;
+  for (const auto& d : approx.full.ocs) {
+    if (shown++ >= 8) break;
+    std::printf("  score=%.4f e=%5.2f%%  %s\n", d.interestingness,
+                100.0 * d.approx_factor, d.oc.ToString(enc).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aod
+
+int main() {
+  using namespace aod::bench;
+  PrintHeaderLine("Exp-6: discovered AOCs compared to exact OCs");
+  PrintNote("paper reference: AOC originAirport ~ IATACode (8%) on flight;"
+            " streetAddress ~ mailAddress (18%) and municipalityAbbrv ~"
+            " municipalityDesc (20%) on ncvoter; all ranked most"
+            " interesting.");
+  RunDataset("flight", /*flight=*/true, 0.12);
+  RunDataset("ncvoter", /*flight=*/false, 0.20);
+  return 0;
+}

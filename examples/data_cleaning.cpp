@@ -1,0 +1,95 @@
+// Scenario: error repair / outlier detection with removal sets.
+//
+// The paper's system framework (Fig. 1) feeds verified AODs into "error
+// repair / outlier detection": tuples in the minimal removal set of a
+// semantically-valid dependency are exactly the suspects a cleaning
+// pipeline should review. This example plants concatenated-zero errors
+// (the paper's "10% instead of 1%" motivating bug) into a voter table,
+// rediscovers the damaged dependency approximately, and shows that the
+// minimal removal set pinpoints the corrupted rows.
+//
+//   ./examples/data_cleaning [rows]
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "data/encoder.h"
+#include "gen/error_injector.h"
+#include "gen/ncvoter_generator.h"
+#include "od/aoc_lis_validator.h"
+#include "od/discovery.h"
+#include "od/repair.h"
+
+using namespace aod;
+
+int main(int argc, char** argv) {
+  int64_t rows = argc > 1 ? std::atoll(argv[1]) : 10000;
+  std::printf("generating ncvoter dataset: %lld rows...\n",
+              static_cast<long long>(rows));
+  Table clean = GenerateNcVoterTable(rows, 10, 1729);
+  Table dirty = GenerateNcVoterTable(rows, 10, 1729);
+
+  // Plant scale errors into registrationDate (a column that is
+  // near-ordered by regNum): the classic data-entry corruption.
+  int64_t injected =
+      InjectScaleErrors(&dirty, "registrationDate", 0.02, 10.0, 99).value();
+  std::set<int64_t> corrupted;
+  int date_col = dirty.schema().FieldIndex("registrationDate").value();
+  for (int64_t r = 0; r < rows; ++r) {
+    if (!(dirty.GetValue(r, date_col) == clean.GetValue(r, date_col))) {
+      corrupted.insert(r);
+    }
+  }
+  std::printf("injected %lld corrupted cells into registrationDate\n",
+              static_cast<long long>(injected));
+
+  // Step 1 of the Fig. 1 loop: discover AODs on the dirty data.
+  EncodedTable enc = EncodeTable(dirty);
+  DiscoveryOptions options;
+  options.epsilon = 0.10;
+  DiscoveryResult result = DiscoverOds(enc, options);
+  result.SortByInterestingness();
+  std::printf("\ndiscovered %zu AOCs; top ranked:\n", result.ocs.size());
+  for (size_t i = 0; i < result.ocs.size() && i < 5; ++i) {
+    const auto& d = result.ocs[i];
+    std::printf("  score=%.4f e=%5.2f%%  %s\n", d.interestingness,
+                100.0 * d.approx_factor, d.oc.ToString(enc).c_str());
+  }
+
+  // Step 2: a domain expert confirms regNum ~ registrationDate is
+  // intended; its minimal removal set flags the suspects.
+  int reg = enc.ColumnIndex("regNum");
+  int date = enc.ColumnIndex("registrationDate");
+  StrippedPartition whole = StrippedPartition::WholeRelation(enc.num_rows());
+  ValidatorOptions vo;
+  vo.collect_removal_set = true;
+  vo.early_exit = false;
+  ValidationOutcome out =
+      ValidateAocOptimal(enc, whole, reg, date, 1.0, enc.num_rows(), vo);
+
+  int64_t true_positives = 0;
+  for (int32_t r : out.removal_rows) {
+    if (corrupted.count(r)) ++true_positives;
+  }
+  std::printf("\nregNum ~ registrationDate: e = %.2f%%, removal set of"
+              " %lld tuples\n",
+              100.0 * out.approx_factor,
+              static_cast<long long>(out.removal_size));
+  std::printf("flagged suspects containing injected errors: %lld / %lld"
+              " (%.0f%% recall)\n",
+              static_cast<long long>(true_positives),
+              static_cast<long long>(corrupted.size()),
+              corrupted.empty()
+                  ? 0.0
+                  : 100.0 * static_cast<double>(true_positives) /
+                        static_cast<double>(corrupted.size()));
+  std::printf("(the remaining flagged tuples are the generator's own ~5%%"
+              " out-of-order registrations — also genuine anomalies)\n");
+
+  // Step 3: repair suggestions (after Qiu et al. [7]) — for every suspect
+  // cell, the interval of values that would restore the order.
+  RepairPlan plan = SuggestOcRepairs(
+      enc, whole, CanonicalOc{AttributeSet(), reg, date});
+  std::printf("\n%s", plan.ToString(enc, 8).c_str());
+  return 0;
+}

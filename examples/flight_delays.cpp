@@ -1,0 +1,71 @@
+// Scenario: mining delay-propagation rules from flight data.
+//
+// The paper's introduction motivates AODs with rules that hold "with
+// exceptions" in real operational data. This example generates the
+// synthetic flight dataset (see gen/flight_generator.h), runs exact and
+// approximate discovery side by side, and interprets the headline AOC
+// arrDelay ~ lateAircraftDelay — "delays in arrival are generally due to
+// the aircraft, not security or weather" (paper Exp-4).
+//
+//   ./examples/flight_delays [rows]
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/encoder.h"
+#include "gen/flight_generator.h"
+#include "od/aoc_lis_validator.h"
+#include "od/discovery.h"
+
+using namespace aod;
+
+int main(int argc, char** argv) {
+  int64_t rows = argc > 1 ? std::atoll(argv[1]) : 20000;
+  std::printf("generating flight dataset: %lld rows x 10 attributes...\n",
+              static_cast<long long>(rows));
+  Table table = GenerateFlightTable(rows, 10, 42);
+  EncodedTable enc = EncodeTable(table);
+
+  // Exact discovery: the dirty-but-meaningful rules are invisible.
+  DiscoveryOptions exact;
+  exact.validator = ValidatorKind::kExact;
+  DiscoveryResult exact_result = DiscoverOds(enc, exact);
+
+  // Approximate discovery at the paper's default 10% threshold.
+  DiscoveryOptions approx;
+  approx.validator = ValidatorKind::kOptimal;
+  approx.epsilon = 0.10;
+  DiscoveryResult approx_result = DiscoverOds(enc, approx);
+  approx_result.SortByInterestingness();
+
+  std::printf("exact discovery:        %4zu OCs, %4zu OFDs (%.2fs)\n",
+              exact_result.ocs.size(), exact_result.ofds.size(),
+              exact_result.stats.total_seconds);
+  std::printf("approximate discovery:  %4zu AOCs, %4zu AOFDs (%.2fs)\n",
+              approx_result.ocs.size(), approx_result.ofds.size(),
+              approx_result.stats.total_seconds);
+
+  std::printf("\ntop approximate OCs by interestingness:\n");
+  size_t shown = 0;
+  for (const auto& d : approx_result.ocs) {
+    if (shown++ >= 10) break;
+    std::printf("  score=%.4f  e=%5.2f%%  level=%d  %s\n",
+                d.interestingness, 100.0 * d.approx_factor, d.level,
+                d.oc.ToString(enc).c_str());
+  }
+
+  // Zoom in on the headline dependency.
+  int arr = enc.ColumnIndex("arrDelay");
+  int late = enc.ColumnIndex("lateAircraftDelay");
+  StrippedPartition whole = StrippedPartition::WholeRelation(enc.num_rows());
+  ValidationOutcome out =
+      ValidateAocOptimal(enc, whole, arr, late, 1.0, enc.num_rows());
+  std::printf("\narrDelay ~ lateAircraftDelay: e = %.2f%%"
+              " (paper reports 9.5%% on BTS data)\n",
+              100.0 * out.approx_factor);
+  std::printf("interpretation: arrival delays are ordered with"
+              " late-aircraft delays for %.1f%% of flights — delays are"
+              " generally inherited from the inbound aircraft, with"
+              " security/weather exceptions.\n",
+              100.0 * (1.0 - out.approx_factor));
+  return 0;
+}

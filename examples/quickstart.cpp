@@ -1,0 +1,94 @@
+// Quickstart: the paper's Table 1, end to end.
+//
+// Builds the employee-salaries table from the paper's introduction,
+// walks through its worked examples (swaps, splits, minimal removal
+// sets, the greedy overestimate), and runs full approximate OD
+// discovery — a tour of the public API in ~100 lines.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "data/encoder.h"
+#include "data/table.h"
+#include "od/aoc_iterative_validator.h"
+#include "od/aoc_lis_validator.h"
+#include "od/discovery.h"
+#include "od/oc_validator.h"
+#include "partition/stripped_partition.h"
+
+using namespace aod;
+
+int main() {
+  // --- 1. Build the paper's Table 1. -----------------------------------
+  Schema schema({{"pos", DataType::kString},
+                 {"exp", DataType::kInt64},
+                 {"sal", DataType::kInt64},
+                 {"taxGrp", DataType::kString},
+                 {"perc", DataType::kInt64},
+                 {"tax", DataType::kDouble},
+                 {"bonus", DataType::kInt64}});
+  Table table = Table::FromRows(
+      schema,
+      {
+          {"sec", int64_t{1}, int64_t{20}, "A", int64_t{10}, 2.0, int64_t{1}},
+          {"sec", int64_t{3}, int64_t{25}, "A", int64_t{10}, 2.5, int64_t{1}},
+          {"dev", int64_t{1}, int64_t{30}, "A", int64_t{1}, 0.3, int64_t{3}},
+          {"sec", int64_t{5}, int64_t{40}, "B", int64_t{30}, 12.0,
+           int64_t{2}},
+          {"dev", int64_t{3}, int64_t{50}, "B", int64_t{3}, 1.5, int64_t{4}},
+          {"dev", int64_t{5}, int64_t{55}, "B", int64_t{30}, 16.5,
+           int64_t{4}},
+          {"dev", int64_t{5}, int64_t{60}, "B", int64_t{3}, 1.8, int64_t{4}},
+          {"dev", int64_t{-1}, int64_t{90}, "C", int64_t{8}, 7.2,
+           int64_t{7}},
+          {"dir", int64_t{8}, int64_t{200}, "C", int64_t{8}, 16.0,
+           int64_t{10}},
+      });
+  std::printf("Table 1 (employee salaries):\n%s\n",
+              table.ToString().c_str());
+
+  // --- 2. Encode once; everything downstream is integer ranks. ---------
+  EncodedTable enc = EncodeTable(table);
+  int sal = enc.ColumnIndex("sal");
+  int tax = enc.ColumnIndex("tax");
+  int tax_grp = enc.ColumnIndex("taxGrp");
+
+  // --- 3. Exact validation (paper Example 2.4). ------------------------
+  StrippedPartition whole = StrippedPartition::WholeRelation(enc.num_rows());
+  std::printf("OC sal ~ taxGrp holds exactly:  %s\n",
+              ValidateOcExact(enc, whole, sal, tax_grp) ? "yes" : "no");
+  std::printf("OC sal ~ tax holds exactly:     %s   (perc data-entry"
+              " errors)\n",
+              ValidateOcExact(enc, whole, sal, tax) ? "yes" : "no");
+
+  // --- 4. Approximate validation (Examples 2.15, 3.1, 3.2). ------------
+  ValidatorOptions opts;
+  opts.collect_removal_set = true;
+  opts.early_exit = false;
+  ValidationOutcome optimal =
+      ValidateAocOptimal(enc, whole, sal, tax, 1.0, enc.num_rows(), opts);
+  ValidationOutcome iterative =
+      ValidateAocIterative(enc, whole, sal, tax, 1.0, enc.num_rows(), opts);
+  std::printf("\nAOC sal ~ tax:\n");
+  std::printf("  minimal removal set (Alg. 2): %lld tuples, e = %.2f"
+              "  -> rows:",
+              static_cast<long long>(optimal.removal_size),
+              optimal.approx_factor);
+  for (int32_t r : optimal.removal_rows) std::printf(" t%d", r + 1);
+  std::printf("   (paper: {t1, t2, t4, t6}, 4/9 = 0.44)\n");
+  std::printf("  greedy removal set (Alg. 1):  %lld tuples, e = %.2f"
+              "   (paper: 5/9 = 0.56 — overestimated!)\n",
+              static_cast<long long>(iterative.removal_size),
+              iterative.approx_factor);
+
+  // --- 5. Full discovery at a 45%% threshold. --------------------------
+  DiscoveryOptions options;
+  options.epsilon = 0.45;
+  options.validator = ValidatorKind::kOptimal;
+  DiscoveryResult result = DiscoverOds(enc, options);
+  result.SortByInterestingness();
+  std::printf("\nDiscovered approximate dependencies (eps = 0.45):\n%s",
+              result.Summary(enc, 12).c_str());
+  std::printf("\nStats:\n%s", result.stats.ToString().c_str());
+  return 0;
+}

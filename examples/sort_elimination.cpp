@@ -1,0 +1,92 @@
+// Scenario: eliminating sorts in a query optimizer with discovered ODs.
+//
+// The founding motivation for order dependencies (Szlichta et al. [12])
+// is query optimization: if the optimizer knows that X orders Y, a plan
+// whose input is already sorted on X can satisfy ORDER BY Y without a
+// sort operator. This example discovers exact ODs on synthetic flight
+// data and answers "can ORDER BY <target> reuse a clustering on
+// <available>?" from the discovered dependency set — including
+// descending targets via bidirectional OCs.
+//
+//   ./examples/sort_elimination [rows]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/encoder.h"
+#include "gen/flight_generator.h"
+#include "od/discovery.h"
+
+using namespace aod;
+
+namespace {
+
+/// True when a discovered exact OC {}: avail ~ target and OFD
+/// {avail}: [] -> target exist, i.e. the canonical decomposition of the
+/// list-based OD [avail] -> [target] holds (paper Sec. 2.2).
+bool CanEliminateSort(const DiscoveryResult& result, int available,
+                      int target, bool target_descending) {
+  bool oc = false;
+  for (const auto& d : result.ocs) {
+    if (d.oc.context.empty() && d.oc.opposite == target_descending &&
+        ((d.oc.a == available && d.oc.b == target) ||
+         (d.oc.a == target && d.oc.b == available))) {
+      oc = true;
+    }
+  }
+  if (!oc) return false;
+  for (const auto& d : result.ofds) {
+    if (d.ofd.context == AttributeSet::Of({available}) &&
+        d.ofd.a == target) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t rows = argc > 1 ? std::atoll(argv[1]) : 10000;
+  Table table = GenerateFlightTable(rows, 20, 42);
+  EncodedTable enc = EncodeTable(table);
+
+  // Exact, bidirectional discovery: sort elimination needs dependencies
+  // that hold without exception.
+  DiscoveryOptions options;
+  options.validator = ValidatorKind::kExact;
+  options.bidirectional = true;
+  DiscoveryResult result = DiscoverOds(enc, options);
+  std::printf("discovered %zu exact OCs and %zu OFDs on %lld rows\n\n",
+              result.ocs.size(), result.ofds.size(),
+              static_cast<long long>(rows));
+
+  struct Query {
+    const char* available;  // physical clustering of the input
+    const char* target;     // ORDER BY column
+    bool descending;
+  };
+  const std::vector<Query> kQueries = {
+      {"month", "quarter", false},   // quarter = monotone in month
+      {"quarter", "month", false},   // the converse FD fails
+      {"depDelay", "arrDelay", false},  // approximate only: must sort
+      {"originAirportId", "elevation", false},  // FD yes, order no
+  };
+  for (const auto& q : kQueries) {
+    int avail = enc.ColumnIndex(q.available);
+    int target = enc.ColumnIndex(q.target);
+    bool ok = CanEliminateSort(result, avail, target, q.descending);
+    std::printf("input sorted by %-16s ORDER BY %s%-18s -> %s\n",
+                q.available, q.descending ? "desc " : "", q.target,
+                ok ? "sort ELIMINATED (OD holds)"
+                   : "sort required");
+  }
+
+  std::printf(
+      "\nNote: depDelay orders arrDelay only approximately (about 8%% of\n"
+      "flights violate it), so the optimizer must keep the sort — but a\n"
+      "data-cleaning pipeline could use exactly that AOD to flag the\n"
+      "violating flights (see examples/data_cleaning).\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+#include "algo/inversions.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "algo/fenwick.h"
+
+namespace aod {
+namespace {
+
+int64_t MergeCount(std::vector<int32_t>& xs, std::vector<int32_t>& tmp,
+                   size_t lo, size_t hi) {
+  if (hi - lo <= 1) return 0;
+  size_t mid = lo + (hi - lo) / 2;
+  int64_t count = MergeCount(xs, tmp, lo, mid) + MergeCount(xs, tmp, mid, hi);
+  size_t a = lo;
+  size_t b = mid;
+  size_t out = lo;
+  while (a < mid && b < hi) {
+    if (xs[b] < xs[a]) {
+      // xs[b] jumps ahead of every remaining left element: one inversion
+      // with each.
+      count += static_cast<int64_t>(mid - a);
+      tmp[out++] = xs[b++];
+    } else {
+      tmp[out++] = xs[a++];
+    }
+  }
+  while (a < mid) tmp[out++] = xs[a++];
+  while (b < hi) tmp[out++] = xs[b++];
+  std::copy(tmp.begin() + static_cast<ptrdiff_t>(lo),
+            tmp.begin() + static_cast<ptrdiff_t>(hi),
+            xs.begin() + static_cast<ptrdiff_t>(lo));
+  return count;
+}
+
+/// Maps values to dense ranks 0..k-1 preserving order.
+std::vector<int32_t> CompressRanks(const std::vector<int32_t>& xs,
+                                   int32_t* cardinality) {
+  std::vector<int32_t> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  *cardinality = static_cast<int32_t>(sorted.size());
+  std::vector<int32_t> ranks(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    ranks[i] = static_cast<int32_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), xs[i]) -
+        sorted.begin());
+  }
+  return ranks;
+}
+
+}  // namespace
+
+int64_t CountInversions(const std::vector<int32_t>& xs) {
+  std::vector<int32_t> copy = xs;
+  std::vector<int32_t> tmp(xs.size());
+  return MergeCount(copy, tmp, 0, copy.size());
+}
+
+std::vector<int64_t> PerElementInversions(const std::vector<int32_t>& xs) {
+  const size_t n = xs.size();
+  std::vector<int64_t> out(n, 0);
+  if (n == 0) return out;
+  int32_t cardinality = 0;
+  std::vector<int32_t> ranks = CompressRanks(xs, &cardinality);
+
+  // Pass 1, left to right: count earlier elements strictly greater.
+  FenwickTree left(cardinality);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] += left.RangeSum(ranks[i] + 1, cardinality - 1);
+    left.Add(ranks[i], 1);
+  }
+  // Pass 2, right to left: count later elements strictly smaller.
+  FenwickTree right(cardinality);
+  for (size_t i = n; i-- > 0;) {
+    out[i] += right.PrefixSum(ranks[i] - 1);
+    right.Add(ranks[i], 1);
+  }
+  return out;
+}
+
+int64_t CountInversionsNaive(const std::vector<int32_t>& xs) {
+  int64_t count = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    for (size_t j = i + 1; j < xs.size(); ++j) {
+      if (xs[j] < xs[i]) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<int64_t> PerElementInversionsNaive(
+    const std::vector<int32_t>& xs) {
+  std::vector<int64_t> out(xs.size(), 0);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    for (size_t j = i + 1; j < xs.size(); ++j) {
+      if (xs[j] < xs[i]) {
+        ++out[i];
+        ++out[j];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace aod

@@ -1,0 +1,31 @@
+// Inversion counting.
+//
+// Used by the iterative validator (paper Alg. 1): after sorting a class by
+// [A ASC, B ASC], the number of swaps a tuple participates in equals the
+// number of strict inversions of the B-projection it participates in
+// (equal-A pairs cannot invert because ties are broken by B).
+#ifndef AOD_ALGO_INVERSIONS_H_
+#define AOD_ALGO_INVERSIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace aod {
+
+/// Total number of inversions: pairs i < j with xs[j] < xs[i].
+/// Merge-sort based, O(m log m) — the paper's `countInversions`.
+int64_t CountInversions(const std::vector<int32_t>& xs);
+
+/// Per-element inversion participation: out[i] = #{j < i : xs[j] > xs[i]}
+///                                              + #{j > i : xs[j] < xs[i]}.
+/// Two Fenwick-tree passes over rank-compressed values, O(m log m).
+/// (Σ out[i] == 2 * CountInversions(xs).)
+std::vector<int64_t> PerElementInversions(const std::vector<int32_t>& xs);
+
+/// O(m²) reference implementations for property tests.
+int64_t CountInversionsNaive(const std::vector<int32_t>& xs);
+std::vector<int64_t> PerElementInversionsNaive(const std::vector<int32_t>& xs);
+
+}  // namespace aod
+
+#endif  // AOD_ALGO_INVERSIONS_H_

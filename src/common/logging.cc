@@ -1,0 +1,70 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace aod {
+namespace {
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("AOD_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarning;
+  if (EqualsIgnoreCase(env, "debug")) return LogLevel::kDebug;
+  if (EqualsIgnoreCase(env, "info")) return LogLevel::kInfo;
+  if (EqualsIgnoreCase(env, "warning")) return LogLevel::kWarning;
+  if (EqualsIgnoreCase(env, "error")) return LogLevel::kError;
+  if (EqualsIgnoreCase(env, "off")) return LogLevel::kOff;
+  return LogLevel::kWarning;
+}
+
+std::atomic<int>& GlobalLevel() {
+  static std::atomic<int> level{static_cast<int>(LevelFromEnv())};
+  return level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  GlobalLevel().store(static_cast<int>(level));
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(GlobalLevel().load());
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << LevelName(level) << " " << (base ? base + 1 : file) << ":"
+          << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+}  // namespace internal
+}  // namespace aod

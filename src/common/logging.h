@@ -1,0 +1,54 @@
+// Minimal leveled logger. Discovery runs can take minutes on large inputs;
+// progress logging is opt-in via the AOD_LOG_LEVEL environment variable or
+// SetLogLevel().
+#ifndef AOD_COMMON_LOGGING_H_
+#define AOD_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace aod {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level that is emitted to stderr.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level. Initialized from AOD_LOG_LEVEL
+/// (debug|info|warning|error|off) on first use; defaults to kWarning so
+/// library consumers see nothing unless something is wrong.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style single-message emitter; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace aod
+
+#define AOD_LOG(LEVEL)                                               \
+  if (::aod::LogLevel::LEVEL >= ::aod::GetLogLevel())                \
+  ::aod::internal::LogMessage(::aod::LogLevel::LEVEL, __FILE__, __LINE__)
+
+#endif  // AOD_COMMON_LOGGING_H_

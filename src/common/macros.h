@@ -1,0 +1,47 @@
+// Core assertion and utility macros shared across libaod.
+#ifndef AOD_COMMON_MACROS_H_
+#define AOD_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message when `cond` is false. Active in all build types:
+/// the checks guard internal invariants of the discovery framework whose
+/// violation would silently corrupt results (wrong dependencies reported),
+/// which is worse than a crash for a data-profiling tool.
+#define AOD_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "AOD_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// AOD_CHECK with a printf-style explanation appended.
+#define AOD_CHECK_MSG(cond, ...)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "AOD_CHECK failed at %s:%d: %s: ", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::fprintf(stderr, __VA_ARGS__);                                    \
+      std::fprintf(stderr, "\n");                                           \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Debug-only assertion for hot paths (partition products, LNDS inner
+/// loops) where the check cost would be measurable in release benchmarks.
+#ifndef NDEBUG
+#define AOD_DCHECK(cond) AOD_CHECK(cond)
+#else
+#define AOD_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif
+
+#define AOD_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;          \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // AOD_COMMON_MACROS_H_

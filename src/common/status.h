@@ -1,0 +1,137 @@
+// Error model: Status for fallible operations, Result<T> for fallible
+// value-producing operations. Modeled after the Arrow/Abseil convention of
+// explicit, exception-free error propagation in database kernels.
+#ifndef AOD_COMMON_STATUS_H_
+#define AOD_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace aod {
+
+/// Broad error taxonomy. Kept small on purpose: callers branch on
+/// ok()/!ok() far more often than on the specific code.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIoError,
+  kParseError,
+  kNotFound,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome with an optional message.
+///
+/// Cheap to copy in the success case (empty string). Functions that can
+/// fail for data-dependent reasons (CSV parsing, schema lookup) return
+/// Status / Result; programmer errors use AOD_CHECK instead.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a checked programmer error.
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value) : repr_(std::move(value)) {}
+  /* implicit */ Result(Status status) : repr_(std::move(status)) {
+    AOD_CHECK_MSG(!std::get<Status>(repr_).ok(),
+                  "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    AOD_CHECK_MSG(ok(), "Result::value() on error: %s",
+                  std::get<Status>(repr_).ToString().c_str());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    AOD_CHECK_MSG(ok(), "Result::value() on error: %s",
+                  std::get<Status>(repr_).ToString().c_str());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    AOD_CHECK_MSG(ok(), "Result::value() on error: %s",
+                  std::get<Status>(repr_).ToString().c_str());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates an error Status out of the enclosing function.
+#define AOD_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::aod::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+/// Evaluates a Result-returning expression; on success binds the value to
+/// `lhs`, otherwise propagates the error Status.
+#define AOD_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto AOD_CONCAT_(_res_, __LINE__) = (expr);              \
+  if (!AOD_CONCAT_(_res_, __LINE__).ok())                  \
+    return AOD_CONCAT_(_res_, __LINE__).status();          \
+  lhs = std::move(AOD_CONCAT_(_res_, __LINE__)).value()
+
+#define AOD_CONCAT_INNER_(a, b) a##b
+#define AOD_CONCAT_(a, b) AOD_CONCAT_INNER_(a, b)
+
+}  // namespace aod
+
+#endif  // AOD_COMMON_STATUS_H_

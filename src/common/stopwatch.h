@@ -1,0 +1,39 @@
+// Wall-clock timing helper used by the discovery statistics and benches.
+#ifndef AOD_COMMON_STOPWATCH_H_
+#define AOD_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace aod {
+
+/// Monotonic stopwatch. Started on construction; Restart() re-arms it.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace aod
+
+#endif  // AOD_COMMON_STOPWATCH_H_

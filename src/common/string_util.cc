@@ -1,0 +1,107 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cmath>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace aod {
+
+std::vector<std::string> SplitString(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::optional<int64_t> ParseInt64(std::string_view s) {
+  s = TrimWhitespace(s);
+  if (s.empty() || s.size() > 32) return std::nullopt;
+  char buf[40];
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf, &end, 10);
+  if (errno == ERANGE || end != buf + s.size() || end == buf) {
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(v);
+}
+
+std::optional<double> ParseDouble(std::string_view s) {
+  s = TrimWhitespace(s);
+  if (s.empty() || s.size() > 64) return std::nullopt;
+  char buf[72];
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf, &end);
+  if (errno == ERANGE || end != buf + s.size() || end == buf) {
+    return std::nullopt;
+  }
+  // strtod accepts "nan" and "inf", but non-finite values have no place
+  // in a totally ordered attribute domain (NaN would even break the
+  // strict-weak-ordering contract of the sorts downstream).
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  std::string out(buf);
+  if (out.find('.') != std::string::npos) {
+    size_t last = out.find_last_not_of('0');
+    if (out[last] == '.') --last;
+    out.erase(last + 1);
+  }
+  return out;
+}
+
+}  // namespace aod

@@ -1,0 +1,39 @@
+// Small string helpers used by the CSV parser, type inference and printers.
+#ifndef AOD_COMMON_STRING_UTIL_H_
+#define AOD_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aod {
+
+/// Splits `s` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Strict full-string integer parse; rejects trailing junk and overflow.
+std::optional<int64_t> ParseInt64(std::string_view s);
+
+/// Strict full-string double parse; rejects trailing junk. Accepts the
+/// usual decimal and exponent forms ("1", "-2.5", "1e6").
+std::optional<double> ParseDouble(std::string_view s);
+
+/// True if `a` equals `b` ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Formats a double with `digits` significant decimal places, trimming
+/// trailing zeros ("1.50" -> "1.5", "2.00" -> "2").
+std::string FormatDouble(double value, int digits = 4);
+
+}  // namespace aod
+
+#endif  // AOD_COMMON_STRING_UTIL_H_

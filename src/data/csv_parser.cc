@@ -1,0 +1,205 @@
+#include "data/csv_parser.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "data/type_inference.h"
+
+namespace aod {
+namespace {
+
+/// Splits raw CSV text into records of fields, honoring quoting.
+Result<std::vector<std::vector<std::string>>> Tokenize(std::string_view text,
+                                                       char delimiter) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  bool any_field = false;
+
+  auto end_field = [&]() {
+    record.push_back(std::move(field));
+    field.clear();
+    field_was_quoted = false;
+    any_field = true;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+    any_field = false;
+  };
+
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty() && !field_was_quoted) {
+      in_quotes = true;
+      field_was_quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == delimiter) {
+      end_field();
+      ++i;
+      continue;
+    }
+    if (c == '\r') {
+      // Swallow lone or CRLF carriage returns.
+      ++i;
+      continue;
+    }
+    if (c == '\n') {
+      // Skip fully empty lines (no fields started on this line).
+      if (any_field || !field.empty() || field_was_quoted) {
+        end_record();
+      }
+      ++i;
+      continue;
+    }
+    field += c;
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted field at end of input");
+  }
+  if (any_field || !field.empty() || field_was_quoted) {
+    end_record();
+  }
+  return records;
+}
+
+}  // namespace
+
+Result<Table> ParseCsv(std::string_view text, const CsvOptions& options) {
+  AOD_ASSIGN_OR_RETURN(auto records, Tokenize(text, options.delimiter));
+  if (records.empty()) {
+    return Status::ParseError("CSV input contains no records");
+  }
+
+  std::vector<std::string> names;
+  size_t first_data = 0;
+  const size_t width = records[0].size();
+  if (options.has_header) {
+    for (auto& h : records[0]) {
+      names.emplace_back(TrimWhitespace(h));
+    }
+    first_data = 1;
+  } else {
+    for (size_t c = 0; c < width; ++c) names.push_back("c" + std::to_string(c));
+  }
+  // De-duplicate header names defensively: real exports repeat names.
+  for (size_t c = 0; c < names.size(); ++c) {
+    if (names[c].empty()) names[c] = "c" + std::to_string(c);
+    for (size_t p = 0; p < c; ++p) {
+      if (names[p] == names[c]) {
+        names[c] += "_" + std::to_string(c);
+        break;
+      }
+    }
+  }
+
+  size_t last_data = records.size();
+  if (options.max_rows >= 0) {
+    last_data = std::min(last_data,
+                         first_data + static_cast<size_t>(options.max_rows));
+  }
+
+  for (size_t r = first_data; r < last_data; ++r) {
+    if (records[r].size() != width) {
+      return Status::ParseError(
+          "row " + std::to_string(r) + " has " +
+          std::to_string(records[r].size()) + " fields, expected " +
+          std::to_string(width));
+    }
+  }
+
+  // Column-major staging for type inference.
+  std::vector<DataType> types(width, DataType::kString);
+  if (options.infer_types) {
+    std::vector<std::string> cells;
+    cells.reserve(last_data - first_data);
+    for (size_t c = 0; c < width; ++c) {
+      cells.clear();
+      for (size_t r = first_data; r < last_data; ++r) {
+        cells.push_back(records[r][c]);
+      }
+      types[c] = InferColumnType(cells);
+    }
+  }
+
+  Schema schema;
+  for (size_t c = 0; c < width; ++c) {
+    schema.AddField({names[c], types[c]});
+  }
+  Table table(std::move(schema));
+  std::vector<Value> row(width);
+  for (size_t r = first_data; r < last_data; ++r) {
+    for (size_t c = 0; c < width; ++c) {
+      row[c] = ParseCell(records[r][c], types[c]);
+    }
+    table.AppendRow(row);
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open file: " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseCsv(ss.str(), options);
+}
+
+std::string WriteCsv(const Table& table, char delimiter) {
+  auto escape = [&](const std::string& s) {
+    bool needs_quotes = s.find(delimiter) != std::string::npos ||
+                        s.find('"') != std::string::npos ||
+                        s.find('\n') != std::string::npos;
+    if (!needs_quotes) return s;
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') out += "\"\"";
+      else out += c;
+    }
+    out += "\"";
+    return out;
+  };
+  std::string out;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out += delimiter;
+    out += escape(table.schema().field(c).name);
+  }
+  out += "\n";
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += delimiter;
+      Value v = table.GetValue(r, c);
+      if (!v.is_null()) out += escape(v.ToString());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace aod

@@ -1,0 +1,146 @@
+#include "data/encoder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace aod {
+
+EncodedTable::EncodedTable(std::vector<EncodedColumn> columns,
+                           int64_t num_rows)
+    : columns_(std::move(columns)), num_rows_(num_rows) {
+  for (const auto& col : columns_) {
+    AOD_CHECK_MSG(static_cast<int64_t>(col.ranks.size()) == num_rows_,
+                  "column '%s' has %zu ranks, expected %lld",
+                  col.name.c_str(), col.ranks.size(),
+                  static_cast<long long>(num_rows_));
+  }
+}
+
+const EncodedColumn& EncodedTable::column(int i) const {
+  AOD_CHECK_MSG(i >= 0 && i < num_columns(), "column index %d out of range",
+                i);
+  return columns_[static_cast<size_t>(i)];
+}
+
+int EncodedTable::ColumnIndex(const std::string& name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (columns_[static_cast<size_t>(i)].name == name) return i;
+  }
+  return -1;
+}
+
+namespace {
+
+/// Sorts row indices by the column's value order and assigns dense ranks,
+/// giving equal values equal ranks.
+template <typename Less, typename Equal>
+EncodedColumn RankByOrder(const Column& column, Less less, Equal equal) {
+  const int64_t n = column.size();
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), less);
+
+  EncodedColumn out;
+  out.name = column.name();
+  out.ranks.assign(static_cast<size_t>(n), 0);
+  int32_t next_rank = -1;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i == 0 || !equal(order[i - 1], order[i])) {
+      ++next_rank;
+      out.dictionary.push_back(column.GetValue(order[i]));
+    }
+    out.ranks[static_cast<size_t>(order[i])] = next_rank;
+  }
+  out.cardinality = next_rank + 1;
+  return out;
+}
+
+}  // namespace
+
+EncodedColumn EncodeColumn(const Column& column) {
+  // Null handling: nulls sort first and share one rank, matching Value's
+  // documented total order.
+  auto null_aware = [&column](auto&& cmp_values) {
+    return [&column, cmp_values](int64_t a, int64_t b) {
+      bool an = column.IsNull(a);
+      bool bn = column.IsNull(b);
+      if (an || bn) return an && !bn;  // null < non-null
+      return cmp_values(a, b);
+    };
+  };
+  auto null_aware_eq = [&column](auto&& eq_values) {
+    return [&column, eq_values](int64_t a, int64_t b) {
+      bool an = column.IsNull(a);
+      bool bn = column.IsNull(b);
+      if (an || bn) return an == bn;
+      return eq_values(a, b);
+    };
+  };
+
+  switch (column.type()) {
+    case DataType::kInt64: {
+      const auto& v = column.ints();
+      return RankByOrder(
+          column,
+          null_aware([&v](int64_t a, int64_t b) {
+            return v[static_cast<size_t>(a)] < v[static_cast<size_t>(b)];
+          }),
+          null_aware_eq([&v](int64_t a, int64_t b) {
+            return v[static_cast<size_t>(a)] == v[static_cast<size_t>(b)];
+          }));
+    }
+    case DataType::kDouble: {
+      const auto& v = column.doubles();
+      return RankByOrder(
+          column,
+          null_aware([&v](int64_t a, int64_t b) {
+            return v[static_cast<size_t>(a)] < v[static_cast<size_t>(b)];
+          }),
+          null_aware_eq([&v](int64_t a, int64_t b) {
+            return v[static_cast<size_t>(a)] == v[static_cast<size_t>(b)];
+          }));
+    }
+    case DataType::kString: {
+      const auto& v = column.strings();
+      return RankByOrder(
+          column,
+          null_aware([&v](int64_t a, int64_t b) {
+            return v[static_cast<size_t>(a)] < v[static_cast<size_t>(b)];
+          }),
+          null_aware_eq([&v](int64_t a, int64_t b) {
+            return v[static_cast<size_t>(a)] == v[static_cast<size_t>(b)];
+          }));
+    }
+  }
+  AOD_CHECK_MSG(false, "unreachable: unknown column type");
+  return {};
+}
+
+EncodedTable EncodeTable(const Table& table) {
+  std::vector<EncodedColumn> cols;
+  cols.reserve(static_cast<size_t>(table.num_columns()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    cols.push_back(EncodeColumn(table.column(c)));
+  }
+  return EncodedTable(std::move(cols), table.num_rows());
+}
+
+EncodedTable EncodedTableFromInts(
+    const std::vector<std::string>& names,
+    const std::vector<std::vector<int64_t>>& columns) {
+  AOD_CHECK(names.size() == columns.size());
+  int64_t n = columns.empty() ? 0 : static_cast<int64_t>(columns[0].size());
+  std::vector<EncodedColumn> cols;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    AOD_CHECK_MSG(static_cast<int64_t>(columns[c].size()) == n,
+                  "ragged input column %zu", c);
+    Column col(names[c], DataType::kInt64);
+    for (int64_t v : columns[c]) col.AppendInt(v);
+    cols.push_back(EncodeColumn(col));
+  }
+  return EncodedTable(std::move(cols), n);
+}
+
+}  // namespace aod

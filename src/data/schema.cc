@@ -1,0 +1,44 @@
+#include "data/schema.h"
+
+#include "common/macros.h"
+
+namespace aod {
+
+Schema::Schema(std::vector<Field> fields) {
+  for (auto& f : fields) AddField(std::move(f));
+}
+
+const Field& Schema::field(int i) const {
+  AOD_CHECK_MSG(i >= 0 && i < num_fields(), "field index %d out of range", i);
+  return fields_[static_cast<size_t>(i)];
+}
+
+Result<int> Schema::FieldIndex(const std::string& name) const {
+  for (int i = 0; i < num_fields(); ++i) {
+    if (fields_[static_cast<size_t>(i)].name == name) return i;
+  }
+  return Status::NotFound("no field named '" + name + "'");
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return FieldIndex(name).ok();
+}
+
+void Schema::AddField(Field field) {
+  AOD_CHECK_MSG(!HasField(field.name), "duplicate field name '%s'",
+                field.name.c_str());
+  fields_.push_back(std::move(field));
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (int i = 0; i < num_fields(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[static_cast<size_t>(i)].name;
+    out += ":";
+    out += DataTypeToString(fields_[static_cast<size_t>(i)].type);
+  }
+  return out;
+}
+
+}  // namespace aod

@@ -1,0 +1,47 @@
+// Relational schema: an ordered list of named, typed attributes.
+#ifndef AOD_DATA_SCHEMA_H_
+#define AOD_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/value.h"
+
+namespace aod {
+
+/// One attribute of a relation.
+struct Field {
+  std::string name;
+  DataType type = DataType::kString;
+};
+
+/// Ordered attribute list; attribute indices are stable and are the ids
+/// used by partition::AttributeSet throughout the discovery framework.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const;
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the attribute named `name`, or kNotFound error.
+  Result<int> FieldIndex(const std::string& name) const;
+
+  bool HasField(const std::string& name) const;
+
+  /// Appends a field. Field names must be unique (checked).
+  void AddField(Field field);
+
+  /// "name:type, name:type, ...".
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace aod
+
+#endif  // AOD_DATA_SCHEMA_H_

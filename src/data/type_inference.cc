@@ -1,0 +1,53 @@
+#include "data/type_inference.h"
+
+#include "common/string_util.h"
+
+namespace aod {
+
+bool IsNullToken(std::string_view cell) {
+  cell = TrimWhitespace(cell);
+  if (cell.empty()) return true;
+  // "nan" is how R and numpy spell a missing numeric; non-finite values
+  // have no place in a totally ordered domain, so treat them as missing.
+  return EqualsIgnoreCase(cell, "null") || EqualsIgnoreCase(cell, "na") ||
+         EqualsIgnoreCase(cell, "n/a") || EqualsIgnoreCase(cell, "nan") ||
+         cell == "?";
+}
+
+DataType InferColumnType(const std::vector<std::string>& cells) {
+  bool all_int = true;
+  bool all_numeric = true;
+  bool any_non_null = false;
+  for (const auto& cell : cells) {
+    if (IsNullToken(cell)) continue;
+    any_non_null = true;
+    if (all_int && !ParseInt64(cell).has_value()) all_int = false;
+    if (!all_int && all_numeric && !ParseDouble(cell).has_value()) {
+      all_numeric = false;
+      break;
+    }
+  }
+  if (!any_non_null) return DataType::kString;
+  if (all_int) return DataType::kInt64;
+  if (all_numeric) return DataType::kDouble;
+  return DataType::kString;
+}
+
+Value ParseCell(std::string_view cell, DataType type) {
+  if (IsNullToken(cell)) return Value::Null();
+  switch (type) {
+    case DataType::kInt64: {
+      auto v = ParseInt64(cell);
+      return v.has_value() ? Value(*v) : Value::Null();
+    }
+    case DataType::kDouble: {
+      auto v = ParseDouble(cell);
+      return v.has_value() ? Value(*v) : Value::Null();
+    }
+    case DataType::kString:
+      return Value(std::string(TrimWhitespace(cell)));
+  }
+  return Value::Null();
+}
+
+}  // namespace aod

@@ -1,0 +1,31 @@
+// Column type inference for textual input (CSV).
+#ifndef AOD_DATA_TYPE_INFERENCE_H_
+#define AOD_DATA_TYPE_INFERENCE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/value.h"
+
+namespace aod {
+
+/// True if `cell` denotes a missing value: empty, "NULL", "null", "NA",
+/// "N/A", or "?" (the conventions in the BTS / NCSBE exports the paper
+/// profiles).
+bool IsNullToken(std::string_view cell);
+
+/// Infers the narrowest type that can represent every non-null cell:
+/// int64 if all parse as integers, else double if all parse as numbers,
+/// else string. An all-null column is typed string.
+DataType InferColumnType(const std::vector<std::string>& cells);
+
+/// Converts one textual cell to a Value of `type`. Null tokens become
+/// Value::Null(); non-null cells that fail to parse as `type` also become
+/// null (dirty data must not abort profiling — the whole point of
+/// *approximate* dependencies is tolerating such cells).
+Value ParseCell(std::string_view cell, DataType type);
+
+}  // namespace aod
+
+#endif  // AOD_DATA_TYPE_INFERENCE_H_

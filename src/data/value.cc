@@ -1,0 +1,70 @@
+#include "data/value.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace aod {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+double Value::AsNumeric() const {
+  if (is_int()) return static_cast<double>(as_int());
+  AOD_CHECK_MSG(is_double(), "AsNumeric() on non-numeric value");
+  return as_double();
+}
+
+int Value::TypeRank() const {
+  if (is_null()) return 0;
+  if (is_int() || is_double()) return 1;
+  return 2;
+}
+
+int Value::Compare(const Value& other) const {
+  int tr = TypeRank();
+  int otr = other.TypeRank();
+  if (tr != otr) return tr < otr ? -1 : 1;
+  switch (tr) {
+    case 0:
+      return 0;  // null == null
+    case 1: {
+      // Compare int64-int64 exactly; mixed numeric via double.
+      if (is_int() && other.is_int()) {
+        int64_t a = as_int();
+        int64_t b = other.as_int();
+        if (a < b) return -1;
+        if (a > b) return 1;
+        return 0;
+      }
+      double a = AsNumeric();
+      double b = other.AsNumeric();
+      if (a < b) return -1;
+      if (a > b) return 1;
+      return 0;
+    }
+    default: {
+      int c = as_string().compare(other.as_string());
+      if (c < 0) return -1;
+      if (c > 0) return 1;
+      return 0;
+    }
+  }
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) return FormatDouble(as_double(), 6);
+  return as_string();
+}
+
+}  // namespace aod

@@ -1,0 +1,81 @@
+// Typed cell values and their ordering semantics.
+//
+// Order dependencies are defined over totally ordered attribute domains
+// (paper Def. 2.1). Within libaod every column is eventually reduced to
+// dense integer ranks (see data/encoder.h); Value is the pre-encoding
+// representation used by the CSV reader, generators and tests.
+#ifndef AOD_DATA_VALUE_H_
+#define AOD_DATA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace aod {
+
+/// Physical type of a column.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* DataTypeToString(DataType type);
+
+/// A single cell: null, integer, double, or string.
+///
+/// Total order used throughout libaod (and by the rank encoder):
+///   null < any non-null;
+///   numeric values (int64/double) compare numerically across types;
+///   any numeric < any string;
+///   strings compare lexicographically (byte-wise).
+/// Placing nulls first matches SQL's `NULLS FIRST` and the convention in
+/// the OD discovery literature where missing values form the smallest
+/// equivalence class.
+class Value {
+ public:
+  /// Constructs a null value.
+  Value() : repr_(std::monostate{}) {}
+  /* implicit */ Value(int64_t v) : repr_(v) {}
+  /* implicit */ Value(double v) : repr_(v) {}
+  /* implicit */ Value(std::string v) : repr_(std::move(v)) {}
+  /* implicit */ Value(const char* v) : repr_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  int64_t as_int() const { return std::get<int64_t>(repr_); }
+  double as_double() const { return std::get<double>(repr_); }
+  const std::string& as_string() const { return std::get<std::string>(repr_); }
+
+  /// Numeric view: valid for int and double values.
+  double AsNumeric() const;
+
+  /// Three-way comparison under the documented total order.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Display form: "NULL", "42", "2.5", or the raw string.
+  std::string ToString() const;
+
+ private:
+  // Rank of the value's type class in the cross-type order.
+  int TypeRank() const;
+
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+}  // namespace aod
+
+#endif  // AOD_DATA_VALUE_H_

@@ -1,0 +1,105 @@
+#include "gen/error_injector.h"
+
+#include <cmath>
+
+#include "gen/random.h"
+
+namespace aod {
+namespace {
+
+Result<int> NumericColumnIndex(const Table& table, const std::string& name) {
+  AOD_ASSIGN_OR_RETURN(int idx, table.schema().FieldIndex(name));
+  DataType type = table.schema().field(idx).type;
+  if (type == DataType::kString) {
+    return Status::InvalidArgument("column '" + name + "' is not numeric");
+  }
+  return idx;
+}
+
+Value Scaled(const Value& v, double factor) {
+  if (v.is_null()) return v;
+  if (v.is_int()) {
+    return Value(static_cast<int64_t>(
+        std::llround(static_cast<double>(v.as_int()) * factor)));
+  }
+  return Value(v.as_double() * factor);
+}
+
+}  // namespace
+
+Result<int64_t> InjectScaleErrors(Table* table, const std::string& column,
+                                  double rate, double factor, uint64_t seed) {
+  AOD_ASSIGN_OR_RETURN(int idx, NumericColumnIndex(*table, column));
+  Rng rng(seed);
+  int64_t modified = 0;
+  for (int64_t r = 0; r < table->num_rows(); ++r) {
+    if (!rng.Bernoulli(rate)) continue;
+    Value v = table->GetValue(r, idx);
+    if (v.is_null()) continue;
+    table->SetValue(r, idx, Scaled(v, factor));
+    ++modified;
+  }
+  return modified;
+}
+
+Result<int64_t> InjectCellSwaps(Table* table, const std::string& column,
+                                double rate, uint64_t seed) {
+  AOD_ASSIGN_OR_RETURN(int idx, table->schema().FieldIndex(column));
+  Rng rng(seed);
+  int64_t modified = 0;
+  const int64_t n = table->num_rows();
+  if (n < 2) return modified;
+  for (int64_t r = 0; r < n; ++r) {
+    if (!rng.Bernoulli(rate)) continue;
+    int64_t other = rng.UniformInt(0, n - 1);
+    if (other == r) continue;
+    Value a = table->GetValue(r, idx);
+    Value b = table->GetValue(other, idx);
+    table->SetValue(r, idx, b);
+    table->SetValue(other, idx, a);
+    modified += 2;
+  }
+  return modified;
+}
+
+Result<int64_t> InjectNulls(Table* table, const std::string& column,
+                            double rate, uint64_t seed) {
+  AOD_ASSIGN_OR_RETURN(int idx, table->schema().FieldIndex(column));
+  Rng rng(seed);
+  int64_t modified = 0;
+  for (int64_t r = 0; r < table->num_rows(); ++r) {
+    if (!rng.Bernoulli(rate)) continue;
+    table->SetValue(r, idx, Value::Null());
+    ++modified;
+  }
+  return modified;
+}
+
+Result<int64_t> InjectOutliers(Table* table, const std::string& column,
+                               double rate, double magnitude, uint64_t seed) {
+  AOD_ASSIGN_OR_RETURN(int idx, NumericColumnIndex(*table, column));
+  Rng rng(seed);
+  double max_abs = 1.0;
+  for (int64_t r = 0; r < table->num_rows(); ++r) {
+    Value v = table->GetValue(r, idx);
+    if (!v.is_null()) max_abs = std::max(max_abs, std::fabs(v.AsNumeric()));
+  }
+  int64_t modified = 0;
+  for (int64_t r = 0; r < table->num_rows(); ++r) {
+    if (!rng.Bernoulli(rate)) continue;
+    double sign = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    Value v = table->GetValue(r, idx);
+    if (v.is_null()) continue;
+    if (v.is_int()) {
+      table->SetValue(
+          r, idx,
+          Value(static_cast<int64_t>(std::llround(sign * magnitude * max_abs))));
+    } else {
+      table->SetValue(r, idx, Value(sign * magnitude * max_abs));
+    }
+    ++modified;
+  }
+  return modified;
+}
+
+}  // namespace aod

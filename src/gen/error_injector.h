@@ -1,0 +1,40 @@
+// Controlled dirtiness for clean synthetic tables.
+//
+// The paper's motivating example (Table 1) is a data-entry error — "10%
+// instead of 1%", a concatenated zero — that breaks an intended OC. These
+// injectors plant exactly such errors at a configurable rate so that
+// (a) exact discovery misses the intended dependency and (b) approximate
+// discovery recovers it with a measurable approximation factor.
+#ifndef AOD_GEN_ERROR_INJECTOR_H_
+#define AOD_GEN_ERROR_INJECTOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace aod {
+
+/// Multiplies a `rate` fraction of a numeric column's cells by `factor`
+/// (the paper's concatenated-zero error is factor = 10). Returns the
+/// number of cells modified.
+Result<int64_t> InjectScaleErrors(Table* table, const std::string& column,
+                                  double rate, double factor, uint64_t seed);
+
+/// Swaps the cell values of random row pairs within one column for a
+/// `rate` fraction of rows — order-violating but value-preserving noise.
+Result<int64_t> InjectCellSwaps(Table* table, const std::string& column,
+                                double rate, uint64_t seed);
+
+/// Nulls out a `rate` fraction of a column's cells (missing data).
+Result<int64_t> InjectNulls(Table* table, const std::string& column,
+                            double rate, uint64_t seed);
+
+/// Replaces a `rate` fraction of a numeric column's cells with extreme
+/// outliers of magnitude `magnitude` times the column's max.
+Result<int64_t> InjectOutliers(Table* table, const std::string& column,
+                               double rate, double magnitude, uint64_t seed);
+
+}  // namespace aod
+
+#endif  // AOD_GEN_ERROR_INJECTOR_H_

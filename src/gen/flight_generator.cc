@@ -1,0 +1,101 @@
+#include "gen/flight_generator.h"
+
+#include "common/macros.h"
+#include "gen/dataset_generator.h"
+
+namespace aod {
+
+Table GenerateFlightTable(int64_t num_rows, int num_attributes,
+                          uint64_t seed) {
+  AOD_CHECK_MSG(num_attributes >= 1 && num_attributes <= kFlightMaxAttributes,
+                "flight schema has 1..%d attributes", kFlightMaxAttributes);
+
+  std::vector<ColumnSpec> specs;
+  auto add = [&specs](ColumnSpec spec) { specs.push_back(std::move(spec)); };
+
+  // --- the 10 profiled attributes ---
+  add({.name = "flightId", .kind = ColumnKind::kSequentialKey});
+  add({.name = "airline", .kind = ColumnKind::kZipfInt, .cardinality = 15,
+       .zipf_s = 1.0});
+  add({.name = "originAirportId", .kind = ColumnKind::kZipfInt,
+       .cardinality = 200, .zipf_s = 0.8});
+  add({.name = "depTimeSlot", .kind = ColumnKind::kUniformInt,
+       .cardinality = 96});
+  // Delay in sub-minute resolution: effectively distinct per flight,
+  // which keeps the seeded violation rates below size-invariant.
+  add({.name = "depDelay", .kind = ColumnKind::kUniformInt,
+       .cardinality = int64_t{1} << 40});
+  // arrDelay tracks depDelay except for ~8% of rows.
+  add({.name = "arrDelay", .kind = ColumnKind::kMonotoneWithErrors,
+       .base_column = 4, .violation_rate = 0.08});
+  // The Exp-4 flagship AOC: arrDelay ~ lateAircraftDelay with a true
+  // approximation factor of (4*0.09 + 0.495)/9 = 9.5% that the greedy
+  // iterative validator overestimates as (5*0.09 + 0.495)/9 = 10.5%.
+  add({.name = "lateAircraftDelay", .kind = ColumnKind::kClusteredErrors,
+       .base_column = 5, .flip_rate = 0.495, .motif_rate = 0.09});
+  add({.name = "distance", .kind = ColumnKind::kUniformInt,
+       .cardinality = 3000});
+  add({.name = "airTime", .kind = ColumnKind::kMonotoneWithErrors,
+       .base_column = 7, .violation_rate = 0.05});
+  // The Exp-6 AOC: bijective per airport (exact FD both ways) but only
+  // ~92% of the id->code mapping is order preserving.
+  add({.name = "originIataCode", .kind = ColumnKind::kMonotoneDomainErrors,
+       .base_column = 2, .violation_rate = 0.08});
+
+  // --- the attribute-sweep tail (Exp-2 uses up to 35) ---
+  add({.name = "destAirportId", .kind = ColumnKind::kZipfInt,
+       .cardinality = 200, .zipf_s = 0.8});
+  add({.name = "carrierDelay", .kind = ColumnKind::kNoisyLinear,
+       .base_column = 5, .scale = 0.5, .noise_stddev = 8.0});
+  add({.name = "weatherDelay", .kind = ColumnKind::kZipfInt,
+       .cardinality = 20, .zipf_s = 1.2});
+  add({.name = "securityDelay", .kind = ColumnKind::kZipfInt,
+       .cardinality = 5, .zipf_s = 1.5});
+  add({.name = "taxiOut", .kind = ColumnKind::kUniformInt,
+       .cardinality = 35});
+  add({.name = "taxiIn", .kind = ColumnKind::kUniformInt,
+       .cardinality = 18});
+  add({.name = "wheelsOffSlot", .kind = ColumnKind::kNoisyLinear,
+       .base_column = 3, .scale = 1.0, .noise_stddev = 1.0});
+  add({.name = "month", .kind = ColumnKind::kUniformInt, .cardinality = 12});
+  // Exact dependency: quarter is a monotone function of month.
+  add({.name = "quarter", .kind = ColumnKind::kNoisyLinear,
+       .base_column = 17, .scale = 0.25, .noise_stddev = 0.0});
+  add({.name = "dayOfWeek", .kind = ColumnKind::kUniformInt,
+       .cardinality = 7});
+  add({.name = "dayOfMonth", .kind = ColumnKind::kUniformInt,
+       .cardinality = 28});
+  add({.name = "flightNum", .kind = ColumnKind::kUniformInt,
+       .cardinality = 6000});
+  add({.name = "tailNum", .kind = ColumnKind::kUniformInt,
+       .cardinality = 3000});
+  add({.name = "cancelled", .kind = ColumnKind::kZipfInt, .cardinality = 2,
+       .zipf_s = 3.0});
+  add({.name = "diverted", .kind = ColumnKind::kZipfInt, .cardinality = 2,
+       .zipf_s = 4.0});
+  // Functionally determined by airline but order-incompatible with it.
+  add({.name = "airlineRegion", .kind = ColumnKind::kDerivedPermuted,
+       .base_column = 1});
+  // Per-airport elevation: exact FD originAirportId -> elevation.
+  add({.name = "elevation", .kind = ColumnKind::kDerivedPermuted,
+       .base_column = 2});
+  add({.name = "arrTimeSlot", .kind = ColumnKind::kNoisyLinear,
+       .base_column = 3, .scale = 1.0, .noise_stddev = 4.0});
+  add({.name = "fuelBurn", .kind = ColumnKind::kNoisyLinear,
+       .base_column = 8, .scale = 10.0, .noise_stddev = 20.0});
+  add({.name = "seats", .kind = ColumnKind::kUniformInt, .cardinality = 40});
+  add({.name = "paxCount", .kind = ColumnKind::kNoisyLinear,
+       .base_column = 29, .scale = 0.8, .noise_stddev = 4.0});
+  add({.name = "gate", .kind = ColumnKind::kUniformInt, .cardinality = 80});
+  add({.name = "runway", .kind = ColumnKind::kUniformInt, .cardinality = 7});
+  // Constant column: the exact OFD {}: [] -> year prunes its supersets.
+  add({.name = "year", .kind = ColumnKind::kUniformInt, .cardinality = 1});
+  add({.name = "bonusMiles", .kind = ColumnKind::kMonotoneWithErrors,
+       .base_column = 7, .violation_rate = 0.15});
+
+  AOD_CHECK(static_cast<int>(specs.size()) == kFlightMaxAttributes);
+  specs.resize(static_cast<size_t>(num_attributes));
+  return GenerateTable(specs, num_rows, seed);
+}
+
+}  // namespace aod

@@ -1,0 +1,164 @@
+#include "gen/ncvoter_generator.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/macros.h"
+#include "gen/random.h"
+
+namespace aod {
+namespace {
+
+constexpr int kCounties = 100;
+constexpr int kMunisPerCounty = 2;
+constexpr int kMunis = kCounties * kMunisPerCounty;
+
+std::string PaddedId(const char* prefix, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%03lld", prefix,
+                static_cast<long long>(v));
+  return buf;
+}
+
+/// A bijection over [0, n) that is the identity except for `swap_pairs`
+/// randomly chosen transpositions — the "out-of-order abbreviation" model.
+std::vector<int64_t> MostlyIdentity(int64_t n, int64_t swap_pairs, Rng* rng) {
+  std::vector<int64_t> mapping(static_cast<size_t>(n));
+  std::iota(mapping.begin(), mapping.end(), 0);
+  for (int64_t s = 0; s < swap_pairs; ++s) {
+    size_t i = static_cast<size_t>(rng->UniformInt(0, n - 1));
+    size_t j = static_cast<size_t>(rng->UniformInt(0, n - 1));
+    std::swap(mapping[i], mapping[j]);
+  }
+  return mapping;
+}
+
+}  // namespace
+
+Table GenerateNcVoterTable(int64_t num_rows, int num_attributes,
+                           uint64_t seed) {
+  AOD_CHECK_MSG(
+      num_attributes >= 1 && num_attributes <= kNcVoterMaxAttributes,
+      "ncvoter schema has 1..%d attributes", kNcVoterMaxAttributes);
+
+  const std::vector<Field> kFields = {
+      {"regNum", DataType::kInt64},
+      {"county", DataType::kInt64},
+      {"age", DataType::kInt64},
+      {"birthYear", DataType::kInt64},
+      {"zip", DataType::kInt64},
+      {"municipalityDesc", DataType::kString},
+      {"municipalityAbbrv", DataType::kString},
+      {"registrationDate", DataType::kInt64},
+      {"precinct", DataType::kInt64},
+      {"party", DataType::kInt64},
+      {"streetAddressId", DataType::kInt64},
+      {"mailAddressId", DataType::kInt64},
+      {"status", DataType::kInt64},
+      {"gender", DataType::kInt64},
+      {"race", DataType::kInt64},
+      {"phoneArea", DataType::kInt64},
+      {"voterScore", DataType::kInt64},
+      {"lastVotedYear", DataType::kInt64},
+      {"districtCode", DataType::kInt64},
+      {"committeeId", DataType::kInt64},
+      {"wardId", DataType::kInt64},
+      {"schoolDistrict", DataType::kInt64},
+      {"fireDistrict", DataType::kInt64},
+      {"medianIncome", DataType::kInt64},
+      {"householdSize", DataType::kInt64},
+      {"yearsRegistered", DataType::kInt64},
+      {"absenteeCount", DataType::kInt64},
+      {"pollingStationId", DataType::kInt64},
+      {"registrationSource", DataType::kInt64},
+      {"voterSerial", DataType::kInt64},
+  };
+  AOD_CHECK(static_cast<int>(kFields.size()) == kNcVoterMaxAttributes);
+
+  Schema schema;
+  for (int i = 0; i < num_attributes; ++i) schema.AddField(kFields[static_cast<size_t>(i)]);
+  Table table(std::move(schema));
+
+  Rng rng(seed);
+  // Fixed per-domain structures (independent of row count so that row
+  // prefixes of a bigger table look like smaller tables of the same
+  // world — mirroring the paper's prefix-sampling methodology).
+  // ~18% of municipalities get an out-of-order abbreviation.
+  std::vector<int64_t> abbrev_map =
+      MostlyIdentity(kMunis, /*swap_pairs=*/kMunis * 9 / 100, &rng);
+  std::vector<int64_t> phone_perm(kCounties);
+  std::iota(phone_perm.begin(), phone_perm.end(), 0);
+  rng.Shuffle(&phone_perm);
+  std::vector<int64_t> school_perm(static_cast<size_t>(kCounties) * 5);
+  std::iota(school_perm.begin(), school_perm.end(), 0);
+  rng.Shuffle(&school_perm);
+  std::vector<int64_t> fire_perm(static_cast<size_t>(kCounties) * 20);
+  std::iota(fire_perm.begin(), fire_perm.end(), 0);
+  rng.Shuffle(&fire_perm);
+
+  std::vector<Value> row(static_cast<size_t>(num_attributes));
+  auto set = [&row, num_attributes](int col, Value v) {
+    if (col < num_attributes) row[static_cast<size_t>(col)] = std::move(v);
+  };
+
+  for (int64_t r = 0; r < num_rows; ++r) {
+    int64_t county = rng.Zipf(kCounties, 0.7);
+    int64_t age = rng.UniformInt(18, 100);
+    int64_t zip = county * 10 + rng.UniformInt(0, 9);
+    int64_t muni = county * kMunisPerCounty +
+                   rng.UniformInt(0, kMunisPerCounty - 1);
+    int64_t precinct = county * 20 + rng.UniformInt(0, 19);
+    int64_t party = rng.Zipf(5, 0.8);
+    int64_t street = rng.UniformInt(0, 4999);
+
+    set(0, Value(r));
+    set(1, Value(county));
+    set(2, Value(age));
+    // Exact inverse order of age: exact FDs both ways, all-swap OC.
+    set(3, Value(int64_t{2026} - age));
+    set(4, Value(zip));  // zip -> county is an exact OD (zip = county*10+d)
+    set(5, Value(PaddedId("city_", muni)));
+    set(6, Value(PaddedId("ab_", abbrev_map[static_cast<size_t>(muni)])));
+    // Registration dates track registration numbers with ~5% exceptions.
+    set(7, rng.Bernoulli(0.05)
+               ? Value(rng.UniformInt(0, 2 * num_rows))
+               : Value(2 * r));
+    set(8, Value(precinct));  // precinct -> county exact
+    set(9, Value(party));
+    set(10, Value(street));
+    // ~18% of voters use a PO box as mail address.
+    set(11, rng.Bernoulli(0.18) ? Value(int64_t{100000} +
+                                        rng.UniformInt(0, 999))
+                                : Value(street));
+    set(12, Value(rng.Zipf(4, 1.0)));
+    set(13, Value(rng.UniformInt(0, 2)));
+    set(14, Value(rng.Zipf(7, 0.9)));
+    set(15, Value(phone_perm[static_cast<size_t>(county)]));
+    set(16, Value(age + static_cast<int64_t>(
+                            std::llround(rng.Normal(0.0, 10.0)))));
+    set(17, Value(rng.UniformInt(2008, 2024)));
+    set(18, Value(precinct * 3 + rng.UniformInt(0, 2)));
+    // Constant within each (county, party) class: discovered at level 3.
+    set(19, Value(county * 5 + party));
+    set(20, Value(zip * 2 + rng.UniformInt(0, 1)));
+    set(21, Value(school_perm[static_cast<size_t>(county * 5 + party)]));
+    set(22, Value(fire_perm[static_cast<size_t>(precinct)]));
+    // Mostly ordered by zip with ~10% exceptions.
+    set(23, rng.Bernoulli(0.10) ? Value(3000 - zip * 2)
+                                : Value(zip * 2));
+    set(24, Value(rng.UniformInt(1, 8)));
+    // Exact inverse of registrationDate.
+    if (num_attributes > 25) {
+      int64_t reg_date = row[7].as_int();
+      set(25, Value(4 * num_rows - reg_date));
+    }
+    set(26, Value(rng.Zipf(15, 1.3)));
+    set(27, Value(precinct * 2 + rng.UniformInt(0, 1)));
+    set(28, Value(rng.Zipf(6, 1.1)));
+    set(29, Value(2 * r + rng.UniformInt(0, 1)));
+    table.AppendRow(row);
+  }
+  return table;
+}
+
+}  // namespace aod

@@ -1,0 +1,35 @@
+// Synthetic stand-in for the paper's `ncvoter` dataset (NCSBE, 5M x 30).
+//
+// We do not have the North Carolina State Board of Elections export, so
+// we synthesize a voter-registration-shaped relation (see DESIGN.md
+// "Substitutions"):
+//   - administrative hierarchies (county -> zip -> ward, county ->
+//     precinct -> district) yielding exact ODs and, at deeper contexts,
+//     dependencies that only appear at higher lattice levels — the
+//     paper's explanation for ncvoter's higher discovery runtime;
+//   - municipality/abbreviation string pair that is order compatible for
+//     most municipalities with out-of-order abbreviations for some (the
+//     paper's "RAL" vs "CLT" Exp-4 example, ~18-20% factor);
+//   - street/mail address pair equal for most voters with PO-box
+//     exceptions (the Exp-6 streetAddress ~ mailAddress AOC, ~18%);
+//   - registration dates almost ordered by registration number (~5%).
+#ifndef AOD_GEN_NCVOTER_GENERATOR_H_
+#define AOD_GEN_NCVOTER_GENERATOR_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+
+namespace aod {
+
+/// Canonical attribute count of the simulated ncvoter schema.
+inline constexpr int kNcVoterMaxAttributes = 30;
+
+/// Generates `num_rows` rows with the first `num_attributes` columns of
+/// the ncvoter schema (<= 30). Deterministic in `seed`.
+Table GenerateNcVoterTable(int64_t num_rows, int num_attributes = 10,
+                           uint64_t seed = 1729);
+
+}  // namespace aod
+
+#endif  // AOD_GEN_NCVOTER_GENERATOR_H_

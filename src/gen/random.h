@@ -1,0 +1,64 @@
+// Deterministic pseudo-random generation for the dataset simulators.
+//
+// Every generator in libaod takes an explicit seed so experiments are
+// reproducible run-to-run and machine-to-machine (std::mt19937 +
+// std::uniform_int_distribution would not be: distribution
+// implementations differ across standard libraries).
+#ifndef AOD_GEN_RANDOM_H_
+#define AOD_GEN_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace aod {
+
+/// xoshiro256** seeded via SplitMix64. Fast, high-quality, portable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextUint64();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Zipf-distributed integer in [0, n) with exponent s (s = 0 reduces to
+  /// uniform). Sampled by inverse transform over precomputed CDF would be
+  /// heavy per-call; we use the rejection-free cutoff method acceptable
+  /// for the small n used by categorical columns.
+  int64_t Zipf(int64_t n, double s);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  // Cached second Box-Muller variate.
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+  // Zipf CDF cache for the most recent (n, s) pair.
+  int64_t zipf_n_ = -1;
+  double zipf_s_ = 0.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace aod
+
+#endif  // AOD_GEN_RANDOM_H_

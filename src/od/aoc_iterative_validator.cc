@@ -1,0 +1,105 @@
+#include "od/aoc_iterative_validator.h"
+
+#include <algorithm>
+
+#include "algo/inversions.h"
+
+namespace aod {
+namespace {
+
+/// State for one equivalence class during the greedy removal loop.
+struct ClassState {
+  std::vector<int32_t> rows;       // sorted by [A ASC, B ASC]
+  std::vector<int32_t> ra;         // A-ranks in sorted order
+  std::vector<int32_t> rb;         // B-ranks in sorted order
+  std::vector<int64_t> swap_cnt;   // swaps each live tuple participates in
+  std::vector<uint8_t> alive;
+};
+
+bool Swapped(const ClassState& s, size_t i, size_t j) {
+  // Def. 2.5: (s < t on A and t < s on B) in either orientation.
+  return (s.ra[i] < s.ra[j] && s.rb[j] < s.rb[i]) ||
+         (s.ra[j] < s.ra[i] && s.rb[i] < s.rb[j]);
+}
+
+}  // namespace
+
+ValidationOutcome ValidateAocIterative(
+    const EncodedTable& table, const StrippedPartition& context_partition,
+    int a, int b, double epsilon, int64_t table_rows,
+    const ValidatorOptions& options) {
+  const auto& ranks_a = table.ranks(a);
+  const auto& ranks_b = table.ranks(b);
+  const int64_t max_removals = MaxRemovals(epsilon, table_rows);
+  // Bidirectional polarity: reverse B's rank order (see ValidatorOptions).
+  const int32_t sign = options.opposite_polarity ? -1 : 1;
+
+  ValidationOutcome out;
+  ClassState st;
+  for (const auto& cls : context_partition.classes()) {
+    // Line 3: order the class by [A ASC, B ASC].
+    st.rows.assign(cls.begin(), cls.end());
+    std::sort(st.rows.begin(), st.rows.end(), [&](int32_t s, int32_t t) {
+      int32_t sa = ranks_a[static_cast<size_t>(s)];
+      int32_t ta = ranks_a[static_cast<size_t>(t)];
+      if (sa != ta) return sa < ta;
+      return sign * ranks_b[static_cast<size_t>(s)] <
+             sign * ranks_b[static_cast<size_t>(t)];
+    });
+    const size_t m = st.rows.size();
+    st.ra.resize(m);
+    st.rb.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      st.ra[i] = ranks_a[static_cast<size_t>(st.rows[i])];
+      st.rb[i] = sign * ranks_b[static_cast<size_t>(st.rows[i])];
+    }
+    // Line 4: per-tuple swap counts. With ties broken by B, equal-A pairs
+    // never invert, so the inversion participation of the B-projection is
+    // exactly the swap count (the paper computes the same quantity with a
+    // merge-sort variant).
+    st.swap_cnt = PerElementInversions(st.rb);
+    st.alive.assign(m, 1);
+
+    // Lines 6-15: repeatedly drop a tuple with the most swaps.
+    while (true) {
+      // Line 5/12 equivalent: select the live tuple with maximum count.
+      size_t best = m;
+      int64_t best_cnt = -1;
+      for (size_t i = 0; i < m; ++i) {
+        if (st.alive[i] && st.swap_cnt[i] > best_cnt) {
+          best = i;
+          best_cnt = st.swap_cnt[i];
+        }
+      }
+      if (best == m || best_cnt == 0) break;  // Line 8: class is swap-free.
+      st.alive[best] = 0;
+      ++out.removal_size;
+      if (options.collect_removal_set) {
+        out.removal_rows.push_back(st.rows[best]);
+      }
+      // Line 14: cross the threshold -> INVALID. The removal size reported
+      // so far is only a lower bound on what this strategy would remove.
+      if (options.early_exit && out.removal_size > max_removals) {
+        out.valid = false;
+        out.early_exit = true;
+        out.approx_factor = static_cast<double>(out.removal_size) /
+                            static_cast<double>(table_rows);
+        return out;
+      }
+      // Lines 9-11: retract the removed tuple's swaps from the survivors.
+      for (size_t i = 0; i < m; ++i) {
+        if (st.alive[i] && Swapped(st, best, i)) {
+          --st.swap_cnt[i];
+        }
+      }
+    }
+  }
+  out.valid = out.removal_size <= max_removals;
+  out.approx_factor = table_rows == 0
+                          ? 0.0
+                          : static_cast<double>(out.removal_size) /
+                                static_cast<double>(table_rows);
+  return out;
+}
+
+}  // namespace aod

@@ -1,0 +1,91 @@
+#include "od/aoc_lis_validator.h"
+
+#include <algorithm>
+
+#include "algo/lnds.h"
+
+namespace aod {
+namespace {
+
+/// Shared implementation; `descending_ties` selects the OD variant.
+ValidationOutcome ValidateLis(const EncodedTable& table,
+                              const StrippedPartition& context_partition,
+                              int a, int b, double epsilon,
+                              int64_t table_rows,
+                              const ValidatorOptions& options,
+                              bool descending_ties) {
+  const auto& ranks_a = table.ranks(a);
+  const auto& ranks_b = table.ranks(b);
+  const int64_t max_removals = MaxRemovals(epsilon, table_rows);
+  // Bidirectional polarity (see ValidatorOptions): reversing B's rank
+  // order reduces A asc ~ B desc to the unidirectional problem.
+  const int32_t sign = options.opposite_polarity ? -1 : 1;
+
+  ValidationOutcome out;
+  std::vector<int32_t> rows;
+  std::vector<int32_t> projection;
+  for (const auto& cls : context_partition.classes()) {
+    rows.assign(cls.begin(), cls.end());
+    // Line 3 of Algorithm 2: order the class by [A ASC, B ASC]
+    // (B DESC within A-ties for the OD variant).
+    std::sort(rows.begin(), rows.end(), [&](int32_t s, int32_t t) {
+      int32_t sa = ranks_a[static_cast<size_t>(s)];
+      int32_t ta = ranks_a[static_cast<size_t>(t)];
+      if (sa != ta) return sa < ta;
+      int32_t sb = sign * ranks_b[static_cast<size_t>(s)];
+      int32_t tb = sign * ranks_b[static_cast<size_t>(t)];
+      return descending_ties ? sb > tb : sb < tb;
+    });
+    projection.resize(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      projection[i] = sign * ranks_b[static_cast<size_t>(rows[i])];
+    }
+    // Line 4: longest non-decreasing subsequence of the B-projection;
+    // Line 5: the complement is the removal set for this class.
+    if (options.collect_removal_set) {
+      std::vector<int32_t> removed_positions = LndsComplement(projection);
+      out.removal_size += static_cast<int64_t>(removed_positions.size());
+      for (int32_t pos : removed_positions) {
+        out.removal_rows.push_back(rows[static_cast<size_t>(pos)]);
+      }
+    } else {
+      out.removal_size +=
+          static_cast<int64_t>(projection.size()) - LndsLength(projection);
+    }
+    if (options.early_exit && out.removal_size > max_removals) {
+      out.valid = false;
+      out.early_exit = true;
+      out.approx_factor = static_cast<double>(out.removal_size) /
+                          static_cast<double>(table_rows);
+      return out;
+    }
+  }
+  out.valid = out.removal_size <= max_removals;
+  out.approx_factor = table_rows == 0
+                          ? 0.0
+                          : static_cast<double>(out.removal_size) /
+                                static_cast<double>(table_rows);
+  return out;
+}
+
+}  // namespace
+
+ValidationOutcome ValidateAocOptimal(const EncodedTable& table,
+                                     const StrippedPartition& context_partition,
+                                     int a, int b, double epsilon,
+                                     int64_t table_rows,
+                                     const ValidatorOptions& options) {
+  return ValidateLis(table, context_partition, a, b, epsilon, table_rows,
+                     options, /*descending_ties=*/false);
+}
+
+ValidationOutcome ValidateAodOptimal(const EncodedTable& table,
+                                     const StrippedPartition& context_partition,
+                                     int a, int b, double epsilon,
+                                     int64_t table_rows,
+                                     const ValidatorOptions& options) {
+  return ValidateLis(table, context_partition, a, b, epsilon, table_rows,
+                     options, /*descending_ties=*/true);
+}
+
+}  // namespace aod

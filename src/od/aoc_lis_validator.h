@@ -1,0 +1,42 @@
+// The paper's Algorithm 2, `Approx-OC-optimal`: LIS-based AOC validation.
+//
+// Per equivalence class of the context, tuples are ordered by
+// [A ASC, B ASC]; the tuples not on a longest non-decreasing subsequence
+// (LNDS) of the B-projection form a removal set. Theorem 3.3 proves the
+// set is a *minimal* removal set; Theorem 3.4 proves the O(n log n)
+// runtime is optimal for AOC validation (via reduction from Fredman's
+// LIS-DEC lower bound).
+//
+// Sec. 3.3 extension: breaking A-ties by B *DESC*ending instead forces the
+// LNDS to also eliminate splits, which validates the canonical OD
+// X: A -> B (== OC X: A ~ B plus OFD XA: [] -> B) in one pass.
+#ifndef AOD_OD_AOC_LIS_VALIDATOR_H_
+#define AOD_OD_AOC_LIS_VALIDATOR_H_
+
+#include "data/encoder.h"
+#include "od/canonical_od.h"
+#include "partition/stripped_partition.h"
+
+namespace aod {
+
+/// Validates the AOC `context_partition`: a ~ b against `epsilon`.
+/// The removal set is minimal (Thm. 3.3); `removal_size` is exact unless
+/// `early_exit` fired. O(n log n) total.
+ValidationOutcome ValidateAocOptimal(const EncodedTable& table,
+                                     const StrippedPartition& context_partition,
+                                     int a, int b, double epsilon,
+                                     int64_t table_rows,
+                                     const ValidatorOptions& options = {});
+
+/// Validates the canonical AOD `context_partition`: a -> b (order *and*
+/// constancy of b per a-group) via the descending-tie variant. The removal
+/// set is minimal for the OD.
+ValidationOutcome ValidateAodOptimal(const EncodedTable& table,
+                                     const StrippedPartition& context_partition,
+                                     int a, int b, double epsilon,
+                                     int64_t table_rows,
+                                     const ValidatorOptions& options = {});
+
+}  // namespace aod
+
+#endif  // AOD_OD_AOC_LIS_VALIDATOR_H_

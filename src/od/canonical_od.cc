@@ -1,0 +1,47 @@
+#include "od/canonical_od.h"
+
+#include <cmath>
+
+namespace aod {
+namespace {
+
+std::string ContextString(const AttributeSet& context,
+                          const std::function<std::string(int)>& name_of) {
+  return context.ToString(name_of);
+}
+
+}  // namespace
+
+std::string CanonicalOc::ToString(const EncodedTable& table) const {
+  auto name_of = [&table](int i) { return table.name(i); };
+  std::string rhs = opposite ? "desc(" + table.name(b) + ")" : table.name(b);
+  return ContextString(context, name_of) + ": " + table.name(a) + " ~ " +
+         rhs;
+}
+
+std::string CanonicalOc::ToString() const {
+  auto name_of = [](int i) { return std::to_string(i); };
+  std::string rhs =
+      opposite ? "desc(" + std::to_string(b) + ")" : std::to_string(b);
+  return ContextString(context, name_of) + ": " + std::to_string(a) + " ~ " +
+         rhs;
+}
+
+std::string CanonicalOfd::ToString(const EncodedTable& table) const {
+  auto name_of = [&table](int i) { return table.name(i); };
+  return ContextString(context, name_of) + ": [] -> " + table.name(a);
+}
+
+std::string CanonicalOfd::ToString() const {
+  auto name_of = [](int i) { return std::to_string(i); };
+  return ContextString(context, name_of) + ": [] -> " + std::to_string(a);
+}
+
+int64_t MaxRemovals(double epsilon, int64_t num_rows) {
+  if (epsilon <= 0.0) return 0;
+  if (epsilon >= 1.0) return num_rows;
+  return static_cast<int64_t>(
+      std::floor(epsilon * static_cast<double>(num_rows) + 1e-9));
+}
+
+}  // namespace aod

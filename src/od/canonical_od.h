@@ -1,0 +1,95 @@
+// Canonical set-based order dependencies (paper Sec. 2.2).
+//
+// Following FASTOD [9], list-based ODs are represented by a logically
+// equivalent collection of two canonical forms over attribute *sets*:
+//   - canonical OC   "X: A ~ B"     — A and B are order compatible within
+//                                     each equivalence class of context X;
+//   - OFD            "X: [] -> A"   — A is constant within each class of X.
+// OD == OC + OFD: "X: A -> B" (A orders B in context X) is equivalent to
+// the OC "X: A ~ B" plus the OFD "XA: [] -> B".
+#ifndef AOD_OD_CANONICAL_OD_H_
+#define AOD_OD_CANONICAL_OD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/encoder.h"
+#include "partition/attribute_set.h"
+
+namespace aod {
+
+/// Canonical order compatibility X: A ~ B (paper Def. 2.10).
+///
+/// With `opposite` set, the OC is *bidirectional* in the sense of
+/// Szlichta et al. [10]: A ascending is order compatible with B
+/// *descending* (equivalently A desc with B asc — the flag only encodes
+/// the polarity class, which is symmetric in A and B).
+struct CanonicalOc {
+  AttributeSet context;
+  int a = -1;
+  int b = -1;
+  bool opposite = false;
+
+  bool operator==(const CanonicalOc& o) const {
+    return context == o.context && opposite == o.opposite &&
+           ((a == o.a && b == o.b) || (a == o.b && b == o.a));
+  }
+
+  /// "{pos}: sal ~ bonus", or "{pos}: sal ~ desc(bonus)" when opposite.
+  std::string ToString(const EncodedTable& table) const;
+  std::string ToString() const;
+};
+
+/// Order functional dependency X: [] -> A (paper Def. 2.11).
+struct CanonicalOfd {
+  AttributeSet context;
+  int a = -1;
+
+  bool operator==(const CanonicalOfd& o) const {
+    return context == o.context && a == o.a;
+  }
+
+  /// "{pos, sal}: [] -> bonus".
+  std::string ToString(const EncodedTable& table) const;
+  std::string ToString() const;
+};
+
+/// Outcome of validating a candidate dependency against a threshold.
+struct ValidationOutcome {
+  /// e(phi) <= epsilon, i.e. the candidate holds approximately.
+  bool valid = false;
+  /// |s| for the computed removal set s. Exact for the LIS validator and
+  /// for completed iterative runs; a lower bound when `early_exit` is set
+  /// (the validator stopped as soon as the threshold was exceeded).
+  int64_t removal_size = 0;
+  /// removal_size / |r| (the paper's approximation factor e(phi); for the
+  /// iterative validator this may overestimate the true factor).
+  double approx_factor = 0.0;
+  /// True when validation stopped early at the threshold.
+  bool early_exit = false;
+  /// Row ids of the removal set; filled only when requested via options.
+  std::vector<int32_t> removal_rows;
+};
+
+/// Shared options for the approximate validators.
+struct ValidatorOptions {
+  /// Materialize ValidationOutcome::removal_rows. Off in discovery runs;
+  /// on in the data-cleaning example and Exp-4.
+  bool collect_removal_set = false;
+  /// Stop as soon as the removal set provably exceeds the threshold.
+  /// Disable to measure true removal-set sizes of invalid candidates.
+  bool early_exit = true;
+  /// Validate the bidirectional polarity A asc ~ B desc instead of
+  /// A asc ~ B asc (Szlichta et al. [10]). Implemented by reversing B's
+  /// rank order, which maps the problem back to the unidirectional case.
+  bool opposite_polarity = false;
+};
+
+/// floor(epsilon * num_rows) with guard against FP round-off: the largest
+/// removal size that still satisfies e(phi) <= epsilon.
+int64_t MaxRemovals(double epsilon, int64_t num_rows);
+
+}  // namespace aod
+
+#endif  // AOD_OD_CANONICAL_OD_H_

@@ -1,0 +1,433 @@
+#include "od/discovery.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "od/aoc_iterative_validator.h"
+#include "od/aoc_lis_validator.h"
+#include "od/interestingness.h"
+#include "od/lattice.h"
+#include "od/oc_validator.h"
+#include "od/ofd_validator.h"
+#include "partition/partition_cache.h"
+
+namespace aod {
+namespace {
+
+/// Everything one node produces; merged serially in deterministic key
+/// order, so the discovery output is identical for any thread count.
+struct NodeOutcome {
+  LatticeNode node;
+  bool keep = true;
+  std::vector<DiscoveredOc> ocs;
+  std::vector<DiscoveredOfd> ofds;
+  // Stats deltas. With num_threads > 1 the seconds are CPU time summed
+  // across workers, not wall clock.
+  double oc_seconds = 0.0;
+  double ofd_seconds = 0.0;
+  int64_t oc_validated = 0;
+  int64_t ofd_validated = 0;
+  int64_t oc_pruned = 0;
+};
+
+/// Run state threaded through the level loop.
+struct Driver {
+  const EncodedTable& table;
+  const DiscoveryOptions& options;
+  double epsilon;
+  PartitionCache cache;
+  DiscoveryResult result;
+  Stopwatch total_clock;
+  std::atomic<bool> deadline_hit{false};
+
+  std::unique_ptr<AocSampler> sampler;
+
+  Driver(const EncodedTable& t, const DiscoveryOptions& o)
+      : table(t),
+        options(o),
+        epsilon(o.validator == ValidatorKind::kExact ? 0.0 : o.epsilon),
+        cache(&t) {
+    if (options.enable_sampling_filter &&
+        options.validator == ValidatorKind::kOptimal) {
+      sampler = std::make_unique<AocSampler>(&table, options.sampler_config);
+    }
+  }
+
+  bool OverBudget() {
+    if (options.time_budget_seconds > 0.0 &&
+        total_clock.ElapsedSeconds() > options.time_budget_seconds) {
+      deadline_hit.store(true, std::memory_order_relaxed);
+    }
+    return deadline_hit.load(std::memory_order_relaxed);
+  }
+
+  /// Read-only partition lookup. Every context a node can ask for was
+  /// eagerly materialized while processing the level below (see Run), so
+  /// worker threads never mutate the cache.
+  std::shared_ptr<const StrippedPartition> Lookup(AttributeSet set) {
+    AOD_CHECK_MSG(cache.Contains(set), "context partition %s not cached",
+                  set.ToString().c_str());
+    return cache.Get(set);
+  }
+
+  /// OFD candidate X\{A}: [] -> A. Appends to `out` when valid.
+  bool ValidateOfdCandidate(AttributeSet context, int a, int level,
+                            NodeOutcome* out) {
+    auto partition = Lookup(context);
+    ValidatorOptions vopts;
+    vopts.collect_removal_set = options.collect_removal_sets;
+
+    Stopwatch sw;
+    ValidationOutcome outcome;
+    if (options.validator == ValidatorKind::kExact) {
+      outcome.valid = ValidateOfdExact(table, *partition, a);
+    } else {
+      outcome = ValidateOfdApprox(table, *partition, a, epsilon,
+                                  table.num_rows(), vopts);
+    }
+    out->ofd_seconds += sw.ElapsedSeconds();
+    ++out->ofd_validated;
+    if (!outcome.valid) return false;
+
+    DiscoveredOfd found;
+    found.ofd = CanonicalOfd{context, a};
+    found.approx_factor = outcome.approx_factor;
+    found.removal_size = outcome.removal_size;
+    found.level = level;
+    found.interestingness =
+        InterestingnessScore(*partition, context.size(), table.num_rows());
+    found.removal_rows = std::move(outcome.removal_rows);
+    out->ofds.push_back(std::move(found));
+    return true;
+  }
+
+  /// OC candidate X\{A,B}: A ~ B (with polarity). Appends when valid.
+  bool ValidateOcCandidate(AttributeSet context, AttributePair pair,
+                           int level, NodeOutcome* out) {
+    auto partition = Lookup(context);
+    ValidatorOptions vopts;
+    vopts.collect_removal_set = options.collect_removal_sets;
+    vopts.opposite_polarity = pair.opposite;
+
+    Stopwatch sw;
+    ValidationOutcome outcome;
+    switch (options.validator) {
+      case ValidatorKind::kExact:
+        outcome.valid =
+            ValidateOcExact(table, *partition, pair.a, pair.b, pair.opposite);
+        break;
+      case ValidatorKind::kIterative:
+        outcome = ValidateAocIterative(table, *partition, pair.a, pair.b,
+                                       epsilon, table.num_rows(), vopts);
+        break;
+      case ValidatorKind::kOptimal:
+        outcome = sampler != nullptr
+                      ? sampler->Validate(*partition, pair.a, pair.b,
+                                          epsilon, vopts)
+                      : ValidateAocOptimal(table, *partition, pair.a,
+                                           pair.b, epsilon,
+                                           table.num_rows(), vopts);
+        break;
+    }
+    out->oc_seconds += sw.ElapsedSeconds();
+    ++out->oc_validated;
+    if (!outcome.valid) return false;
+
+    DiscoveredOc found;
+    found.oc = CanonicalOc{context, pair.a, pair.b, pair.opposite};
+    found.approx_factor = outcome.approx_factor;
+    found.removal_size = outcome.removal_size;
+    found.level = level;
+    found.interestingness =
+        InterestingnessScore(*partition, context.size(), table.num_rows());
+    found.removal_rows = std::move(outcome.removal_rows);
+    out->ocs.push_back(std::move(found));
+    return true;
+  }
+
+  /// Processes one node against the completed level below. Pure except
+  /// for timing counters: reads `previous` and the partition cache, never
+  /// mutates shared state — the unit of parallelism.
+  NodeOutcome ProcessNode(const LatticeNode& input,
+                          const LatticeLevel& previous) {
+    NodeOutcome out;
+    out.node = input;
+    LatticeNode* node = &out.node;
+    const AttributeSet x = node->set;
+    const int level = x.size();
+
+    // C_c+(X) = ∩_{A∈X} C_c+(X\{A}).
+    AttributeSet cc = AttributeSet::FullSet(table.num_columns());
+    x.ForEach([&](int a) {
+      const LatticeNode* sub = previous.Find(x.Without(a));
+      AOD_CHECK_MSG(sub != nullptr, "missing subset node at level %d",
+                    level - 1);
+      cc = cc.Intersect(sub->cc);
+    });
+    node->cc = cc;
+
+    // OFD candidates: A ∈ X ∩ C_c+(X), validated in context X\{A}.
+    AttributeSet ofd_candidates = x.Intersect(node->cc);
+    ofd_candidates.ForEach([&](int a) {
+      if (ValidateOfdCandidate(x.Without(a), a, level, &out)) {
+        // TANE minimality pruning: the found OFD makes X\{A} -> A minimal;
+        // any superset restatement is redundant, as is any target outside
+        // X (it would have X\{A} -> A as a sub-dependency).
+        node->cc = node->cc.Without(a).Intersect(x);
+        node->constant_here = node->constant_here.With(a);
+      }
+    });
+
+    // OC candidates, in both polarities when requested.
+    node->cs.clear();
+    if (level >= 2) {
+      std::vector<int> attrs = x.ToVector();
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        for (size_t j = i + 1; j < attrs.size(); ++j) {
+          for (int polarity = 0; polarity < (options.bidirectional ? 2 : 1);
+               ++polarity) {
+            AttributePair pair =
+                AttributePair::Of(attrs[i], attrs[j], polarity == 1);
+            // C_s+(X): the candidate must have survived in every subset
+            // lacking one other attribute.
+            bool inherited = true;
+            if (level >= 3) {
+              x.ForEach([&](int c) {
+                if (c == pair.a || c == pair.b || !inherited) return;
+                const LatticeNode* sub = previous.Find(x.Without(c));
+                AOD_CHECK(sub != nullptr);
+                if (!std::binary_search(sub->cs.begin(), sub->cs.end(),
+                                        pair)) {
+                  inherited = false;
+                }
+              });
+            }
+            if (!inherited) continue;
+
+            // FASTOD's constancy-based pruning: drop {A,B} when
+            // A ∉ C_c+(X\{B}) or B ∉ C_c+(X\{A}) — some OFD in the
+            // context makes this OC candidate trivially true or redundant
+            // with a smaller-context candidate. Constancy trivializes
+            // both polarities alike.
+            const LatticeNode* sub_b = previous.Find(x.Without(pair.b));
+            const LatticeNode* sub_a = previous.Find(x.Without(pair.a));
+            AOD_CHECK(sub_a != nullptr && sub_b != nullptr);
+            if (!sub_b->cc.Contains(pair.a) || !sub_a->cc.Contains(pair.b)) {
+              ++out.oc_pruned;
+              continue;
+            }
+
+            if (!ValidateOcCandidate(x.Without(pair.a).Without(pair.b), pair,
+                                     level, &out)) {
+              // Still open: candidates propagate upward only while
+              // invalid.
+              node->cs.push_back(pair);
+            }
+          }
+        }
+      }
+      std::sort(node->cs.begin(), node->cs.end());
+    }
+
+    // Node deletion: nothing left to find through X or any superset.
+    out.keep = !(node->cc.empty() && node->cs.empty());
+    return out;
+  }
+
+  void Run() {
+    const int k = table.num_columns();
+
+    // Virtual level 0: the empty set with C_c+(∅) = R.
+    LatticeLevel previous(0);
+    {
+      LatticeNode root;
+      root.cc = AttributeSet::FullSet(k);
+      previous.Insert(std::move(root));
+    }
+
+    LatticeLevel current = LatticeLevel::MakeFirstLevel(k);
+    while (!current.empty()) {
+      const int level = current.level();
+      result.stats.levels_processed = level;
+      result.stats.RecordNodesAtLevel(level, current.size());
+      result.stats.nodes_processed += current.size();
+      AOD_LOG(kInfo) << "level " << level << ": " << current.size()
+                     << " nodes, " << result.stats.TotalOcs() << " OCs so far";
+
+      // Deterministic node order: sort keys by bit pattern.
+      std::vector<AttributeSet> keys;
+      keys.reserve(static_cast<size_t>(current.size()));
+      for (const auto& [set, node] : current.nodes()) keys.push_back(set);
+      std::sort(keys.begin(), keys.end());
+
+      // Process nodes — serially or on worker threads. Workers only read
+      // `previous`, `current` and cached partitions; each writes its own
+      // outcome slot, so the merged result is order-deterministic.
+      std::vector<NodeOutcome> outcomes(keys.size());
+      std::vector<uint8_t> processed(keys.size(), 0);
+      int threads = std::max(1, options.num_threads);
+      threads = static_cast<int>(
+          std::min<size_t>(static_cast<size_t>(threads), keys.size()));
+      auto worker = [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          if (OverBudget()) break;
+          outcomes[i] = ProcessNode(*current.Find(keys[i]), previous);
+          processed[i] = 1;
+        }
+      };
+      if (threads <= 1) {
+        worker(0, keys.size());
+      } else {
+        std::vector<std::thread> pool;
+        size_t chunk = (keys.size() + static_cast<size_t>(threads) - 1) /
+                       static_cast<size_t>(threads);
+        for (int t = 0; t < threads; ++t) {
+          size_t begin = static_cast<size_t>(t) * chunk;
+          size_t end = std::min(keys.size(), begin + chunk);
+          if (begin >= end) break;
+          pool.emplace_back(worker, begin, end);
+        }
+        for (auto& th : pool) th.join();
+      }
+
+      // Serial merge in key order.
+      bool incomplete = false;
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (!processed[i]) {
+          incomplete = true;
+          continue;
+        }
+        NodeOutcome& out = outcomes[i];
+        result.stats.oc_validation_seconds += out.oc_seconds;
+        result.stats.ofd_validation_seconds += out.ofd_seconds;
+        result.stats.oc_candidates_validated += out.oc_validated;
+        result.stats.ofd_candidates_validated += out.ofd_validated;
+        result.stats.oc_candidates_pruned += out.oc_pruned;
+        for (auto& d : out.ocs) {
+          result.stats.RecordOcAtLevel(d.level);
+          result.ocs.push_back(std::move(d));
+        }
+        for (auto& d : out.ofds) {
+          result.stats.RecordOfdAtLevel(d.level);
+          result.ofds.push_back(std::move(d));
+        }
+        if (out.keep) {
+          *current.Find(keys[i]) = std::move(out.node);
+        } else {
+          current.Erase(keys[i]);
+        }
+      }
+      if (incomplete) {
+        result.timed_out = true;
+        break;
+      }
+
+      if (options.max_level != 0 && level >= options.max_level) break;
+      if (level >= k) break;
+
+      // Materialize the partitions of surviving nodes while their subset
+      // partitions are still cached: levels above use them as contexts,
+      // and worker threads may only *look up* partitions.
+      for (AttributeSet key : keys) {
+        if (current.Find(key) == nullptr) continue;
+        if (OverBudget()) {
+          result.timed_out = true;
+          break;
+        }
+        Stopwatch sw;
+        cache.Get(key);
+        result.stats.partition_seconds += sw.ElapsedSeconds();
+      }
+      if (result.timed_out) break;
+
+      LatticeLevel next = current.GenerateNext();
+      // Contexts needed at level l+1 have sizes l and l-1.
+      cache.EvictSmallerThan(level - 1);
+      previous = std::move(current);
+      current = std::move(next);
+    }
+
+    result.stats.partitions_computed = cache.products_computed();
+    result.stats.total_seconds = total_clock.ElapsedSeconds();
+  }
+};
+
+}  // namespace
+
+const char* ValidatorKindToString(ValidatorKind kind) {
+  switch (kind) {
+    case ValidatorKind::kExact:
+      return "OD (exact)";
+    case ValidatorKind::kIterative:
+      return "AOD (iterative)";
+    case ValidatorKind::kOptimal:
+      return "AOD (optimal)";
+  }
+  return "?";
+}
+
+void DiscoveryResult::SortByInterestingness() {
+  auto oc_key = [](const DiscoveredOc& d) {
+    return std::make_tuple(-d.interestingness, d.level, d.oc.context.bits(),
+                           d.oc.a, d.oc.b, d.oc.opposite);
+  };
+  std::sort(ocs.begin(), ocs.end(),
+            [&](const DiscoveredOc& x, const DiscoveredOc& y) {
+              return oc_key(x) < oc_key(y);
+            });
+  auto ofd_key = [](const DiscoveredOfd& d) {
+    return std::make_tuple(-d.interestingness, d.level, d.ofd.context.bits(),
+                           d.ofd.a);
+  };
+  std::sort(ofds.begin(), ofds.end(),
+            [&](const DiscoveredOfd& x, const DiscoveredOfd& y) {
+              return ofd_key(x) < ofd_key(y);
+            });
+}
+
+std::string DiscoveryResult::Summary(const EncodedTable& table,
+                                     size_t max_items) const {
+  std::string out;
+  out += "OCs (" + std::to_string(ocs.size()) + "):\n";
+  for (size_t i = 0; i < ocs.size() && i < max_items; ++i) {
+    const auto& d = ocs[i];
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "  e=%.4f score=%.4f level=%d  ",
+                  d.approx_factor, d.interestingness, d.level);
+    out += buf + d.oc.ToString(table) + "\n";
+  }
+  if (ocs.size() > max_items) {
+    out += "  ... (" + std::to_string(ocs.size() - max_items) + " more)\n";
+  }
+  out += "OFDs (" + std::to_string(ofds.size()) + "):\n";
+  for (size_t i = 0; i < ofds.size() && i < max_items; ++i) {
+    const auto& d = ofds[i];
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "  e=%.4f score=%.4f level=%d  ",
+                  d.approx_factor, d.interestingness, d.level);
+    out += buf + d.ofd.ToString(table) + "\n";
+  }
+  if (ofds.size() > max_items) {
+    out += "  ... (" + std::to_string(ofds.size() - max_items) + " more)\n";
+  }
+  return out;
+}
+
+DiscoveryResult DiscoverOds(const EncodedTable& table,
+                            const DiscoveryOptions& options) {
+  AOD_CHECK_MSG(table.num_columns() <= AttributeSet::kMaxAttributes,
+                "at most %d attributes are supported",
+                AttributeSet::kMaxAttributes);
+  AOD_CHECK_MSG(options.epsilon >= 0.0 && options.epsilon <= 1.0,
+                "epsilon must be within [0, 1]");
+  Driver driver(table, options);
+  driver.Run();
+  return std::move(driver.result);
+}
+
+}  // namespace aod

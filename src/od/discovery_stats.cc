@@ -1,0 +1,92 @@
+#include "od/discovery_stats.h"
+
+#include <numeric>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace aod {
+namespace {
+
+void EnsureSize(std::vector<int64_t>* v, int level) {
+  if (static_cast<int>(v->size()) <= level) {
+    v->resize(static_cast<size_t>(level) + 1, 0);
+  }
+}
+
+}  // namespace
+
+double DiscoveryStats::OcValidationShare() const {
+  if (total_seconds <= 0.0) return 0.0;
+  return oc_validation_seconds / total_seconds;
+}
+
+double DiscoveryStats::AverageOcLevel() const {
+  int64_t count = 0;
+  int64_t weighted = 0;
+  for (size_t level = 0; level < ocs_per_level.size(); ++level) {
+    count += ocs_per_level[level];
+    weighted += ocs_per_level[level] * static_cast<int64_t>(level);
+  }
+  if (count == 0) return 0.0;
+  return static_cast<double>(weighted) / static_cast<double>(count);
+}
+
+int64_t DiscoveryStats::TotalOcs() const {
+  return std::accumulate(ocs_per_level.begin(), ocs_per_level.end(),
+                         int64_t{0});
+}
+
+int64_t DiscoveryStats::TotalOfds() const {
+  return std::accumulate(ofds_per_level.begin(), ofds_per_level.end(),
+                         int64_t{0});
+}
+
+void DiscoveryStats::RecordOcAtLevel(int level) {
+  EnsureSize(&ocs_per_level, level);
+  ++ocs_per_level[static_cast<size_t>(level)];
+}
+
+void DiscoveryStats::RecordOfdAtLevel(int level) {
+  EnsureSize(&ofds_per_level, level);
+  ++ofds_per_level[static_cast<size_t>(level)];
+}
+
+void DiscoveryStats::RecordNodesAtLevel(int level, int64_t count) {
+  EnsureSize(&nodes_per_level, level);
+  nodes_per_level[static_cast<size_t>(level)] += count;
+}
+
+std::string DiscoveryStats::ToString() const {
+  std::ostringstream out;
+  out << "total time: " << FormatDouble(total_seconds, 3) << " s\n"
+      << "  OC validation:  " << FormatDouble(oc_validation_seconds, 3)
+      << " s (" << FormatDouble(100.0 * OcValidationShare(), 1)
+      << "% of total)\n"
+      << "  OFD validation: " << FormatDouble(ofd_validation_seconds, 3)
+      << " s\n"
+      << "  partitions:     " << FormatDouble(partition_seconds, 3) << " s ("
+      << partitions_computed << " products)\n"
+      << "candidates: " << oc_candidates_validated << " OC validated, "
+      << oc_candidates_pruned << " OC pruned, " << ofd_candidates_validated
+      << " OFD validated\n"
+      << "lattice: " << nodes_processed << " nodes over " << levels_processed
+      << " levels\n"
+      << "found: " << TotalOcs() << " OCs (avg level "
+      << FormatDouble(AverageOcLevel(), 2) << "), " << TotalOfds()
+      << " OFDs\n";
+  out << "per level (level: nodes / OCs / OFDs):\n";
+  size_t max_level = nodes_per_level.size();
+  max_level = std::max(max_level, ocs_per_level.size());
+  max_level = std::max(max_level, ofds_per_level.size());
+  for (size_t level = 1; level < max_level; ++level) {
+    auto at = [level](const std::vector<int64_t>& v) {
+      return level < v.size() ? v[level] : 0;
+    };
+    out << "  " << level << ": " << at(nodes_per_level) << " / "
+        << at(ocs_per_level) << " / " << at(ofds_per_level) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace aod

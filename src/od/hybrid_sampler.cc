@@ -1,0 +1,84 @@
+#include "od/hybrid_sampler.h"
+
+#include <algorithm>
+
+#include "algo/lnds.h"
+#include "common/macros.h"
+#include "gen/random.h"
+#include "od/aoc_lis_validator.h"
+
+namespace aod {
+
+AocSampler::AocSampler(const EncodedTable* table, SamplerConfig config)
+    : table_(table), config_(config) {
+  AOD_CHECK(table != nullptr);
+  const int64_t n = table_->num_rows();
+  in_sample_.assign(static_cast<size_t>(n), 0);
+  if (n == 0) return;
+  double rate = std::min(
+      1.0, static_cast<double>(config_.sample_size) / static_cast<double>(n));
+  Rng rng(config_.seed);
+  for (int64_t r = 0; r < n; ++r) {
+    if (rng.Bernoulli(rate)) {
+      in_sample_[static_cast<size_t>(r)] = 1;
+      ++sampled_rows_;
+    }
+  }
+}
+
+double AocSampler::EstimateFactor(const StrippedPartition& context_partition,
+                                  int a, int b, bool opposite) const {
+  if (sampled_rows_ == 0) return 0.0;
+  const auto& ranks_a = table_->ranks(a);
+  const auto& ranks_b = table_->ranks(b);
+  const int32_t sign = opposite ? -1 : 1;
+
+  int64_t removal = 0;
+  std::vector<int32_t> rows;
+  std::vector<int32_t> projection;
+  for (const auto& cls : context_partition.classes()) {
+    rows.clear();
+    for (int32_t r : cls) {
+      if (in_sample_[static_cast<size_t>(r)]) rows.push_back(r);
+    }
+    if (rows.size() < 2) continue;
+    std::sort(rows.begin(), rows.end(), [&](int32_t s, int32_t t) {
+      int32_t sa = ranks_a[static_cast<size_t>(s)];
+      int32_t ta = ranks_a[static_cast<size_t>(t)];
+      if (sa != ta) return sa < ta;
+      return sign * ranks_b[static_cast<size_t>(s)] <
+             sign * ranks_b[static_cast<size_t>(t)];
+    });
+    projection.resize(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      projection[i] = sign * ranks_b[static_cast<size_t>(rows[i])];
+    }
+    removal += static_cast<int64_t>(projection.size()) -
+               LndsLength(projection);
+  }
+  return static_cast<double>(removal) / static_cast<double>(sampled_rows_);
+}
+
+ValidationOutcome AocSampler::Validate(
+    const StrippedPartition& context_partition, int a, int b, double epsilon,
+    const ValidatorOptions& options) {
+  // The sample factor underestimates e(phi) in expectation, so exceeding
+  // the inflated threshold is strong evidence of invalidity.
+  double estimate =
+      EstimateFactor(context_partition, a, b, options.opposite_polarity);
+  if (estimate > (1.0 + config_.reject_margin) * epsilon) {
+    ++fast_rejections_;
+    ValidationOutcome out;
+    out.valid = false;
+    out.early_exit = true;
+    out.approx_factor = estimate;
+    out.removal_size = static_cast<int64_t>(
+        estimate * static_cast<double>(table_->num_rows()));
+    return out;
+  }
+  ++full_validations_;
+  return ValidateAocOptimal(*table_, context_partition, a, b, epsilon,
+                            table_->num_rows(), options);
+}
+
+}  // namespace aod

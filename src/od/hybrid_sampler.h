@@ -1,0 +1,83 @@
+// Hybrid sampling-based AOC validation.
+//
+// The paper's future-work section proposes "new approaches for
+// discovering approximate OCs, such as hybrid sampling, as done in [6]
+// (Papenbrock & Naumann, SIGMOD'16) for FDs". This module implements the
+// natural transfer of that idea to AOC validation:
+//
+//   For a uniform row sample S and any removal set s of the full table,
+//   s ∩ S is a removal set of the sample (a subset of a swap-free set is
+//   swap-free), so the *minimal* sample removal factor statistically
+//   UNDER-estimates the true approximation factor e(phi). Hence a sample
+//   factor far above the threshold is a cheap, high-confidence rejection,
+//   while anything near or below the threshold falls through to the
+//   exact LIS validator (Alg. 2).
+//
+// The fast-reject path is heuristic: with adversarial data a candidate
+// can pass the sample yet fail the full check (harmless — full
+// validation still runs) or, with probability decaying exponentially in
+// the sample size, be rejected although it truly holds. The
+// `reject_margin` knob trades that false-rejection risk against the
+// number of full validations saved; see bench/ablation_extensions.
+#ifndef AOD_OD_HYBRID_SAMPLER_H_
+#define AOD_OD_HYBRID_SAMPLER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "data/encoder.h"
+#include "od/canonical_od.h"
+#include "partition/stripped_partition.h"
+
+namespace aod {
+
+struct SamplerConfig {
+  /// Target number of sampled rows (the realized Bernoulli sample varies
+  /// by a few percent).
+  int64_t sample_size = 2000;
+  /// Fast-reject when the sample factor exceeds (1 + reject_margin) *
+  /// epsilon. Larger margins are safer but reject less.
+  double reject_margin = 0.5;
+  uint64_t seed = 7;
+};
+
+/// Validates AOC candidates with a sampling fast-path in front of the
+/// optimal validator. One sampler instance fixes one row sample, so all
+/// candidates of a discovery run see consistent estimates.
+class AocSampler {
+ public:
+  AocSampler(const EncodedTable* table, SamplerConfig config);
+
+  /// Approximation-factor estimate from the sample alone (an
+  /// underestimate in expectation). O(|S| log |S|).
+  double EstimateFactor(const StrippedPartition& context_partition, int a,
+                        int b, bool opposite = false) const;
+
+  /// Hybrid validation: fast-reject via the sample when possible,
+  /// otherwise exact LIS validation. The outcome of the slow path is
+  /// exact; fast rejections return `valid = false` with the scaled
+  /// sample estimate as `approx_factor` and `early_exit` set.
+  /// Thread-safe (counters are atomic; the sample is immutable), so one
+  /// sampler can serve all workers of a parallel discovery run.
+  ValidationOutcome Validate(const StrippedPartition& context_partition,
+                             int a, int b, double epsilon,
+                             const ValidatorOptions& options = {});
+
+  int64_t fast_rejections() const { return fast_rejections_.load(); }
+  int64_t full_validations() const { return full_validations_.load(); }
+  int64_t sampled_rows() const { return sampled_rows_; }
+
+ private:
+  const EncodedTable* table_;
+  SamplerConfig config_;
+  /// in_sample_[row] = 1 iff the row belongs to the fixed sample.
+  std::vector<uint8_t> in_sample_;
+  int64_t sampled_rows_ = 0;
+  std::atomic<int64_t> fast_rejections_{0};
+  std::atomic<int64_t> full_validations_{0};
+};
+
+}  // namespace aod
+
+#endif  // AOD_OD_HYBRID_SAMPLER_H_

@@ -1,0 +1,21 @@
+#include "od/interestingness.h"
+
+#include <cmath>
+
+namespace aod {
+
+double InterestingnessScore(const StrippedPartition& context_partition,
+                            int context_size, int64_t table_rows) {
+  if (table_rows <= 0) return 0.0;
+  // Coverage: fraction of tuples on which the dependency says anything at
+  // all (tuples in non-singleton context classes). The empty context
+  // covers every tuple by construction.
+  double coverage =
+      context_size == 0
+          ? 1.0
+          : static_cast<double>(context_partition.rows_covered()) /
+                static_cast<double>(table_rows);
+  return coverage / std::exp2(static_cast<double>(context_size));
+}
+
+}  // namespace aod

@@ -1,0 +1,31 @@
+// Interestingness scoring for discovered dependencies.
+//
+// The paper ranks discovered AOCs with the interestingness measure of
+// [10] (Szlichta et al., VLDBJ'18) but does not restate it. We implement
+// a documented surrogate that preserves the two properties the paper
+// actually relies on (Exp-5/Exp-6):
+//   1. dependencies with smaller contexts (lower lattice levels) score
+//      higher — "dependencies found in lower levels of the lattice are
+//      likely to be more interesting";
+//   2. dependencies whose context partition covers more tuples (fewer
+//      tuples hidden in singleton classes, where any OC holds vacuously)
+//      score higher.
+// Score = coverage / 2^|context|, in (0, 1]; an empty context with full
+// coverage scores 1. See DESIGN.md, "Substitutions".
+#ifndef AOD_OD_INTERESTINGNESS_H_
+#define AOD_OD_INTERESTINGNESS_H_
+
+#include <cstdint>
+
+#include "partition/stripped_partition.h"
+
+namespace aod {
+
+/// Score for a dependency validated against `context_partition` on a
+/// table of `table_rows` tuples. Higher is more interesting.
+double InterestingnessScore(const StrippedPartition& context_partition,
+                            int context_size, int64_t table_rows);
+
+}  // namespace aod
+
+#endif  // AOD_OD_INTERESTINGNESS_H_

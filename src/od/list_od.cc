@@ -1,0 +1,58 @@
+#include "od/list_od.h"
+
+namespace aod {
+namespace {
+
+std::string ListToString(const std::vector<int>& attrs,
+                         const std::function<std::string(int)>& name_of) {
+  std::string out = "[";
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += name_of(attrs[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string ListOd::ToString(const EncodedTable& table) const {
+  auto name_of = [&table](int i) { return table.name(i); };
+  return ListToString(lhs, name_of) + " -> " + ListToString(rhs, name_of);
+}
+
+std::string ListOd::ToString() const {
+  auto name_of = [](int i) { return std::to_string(i); };
+  return ListToString(lhs, name_of) + " -> " + ListToString(rhs, name_of);
+}
+
+CanonicalOdSet MapListOdToCanonical(const ListOd& od) {
+  CanonicalOdSet out;
+  AttributeSet lhs_set = AttributeSet::FromVector(od.lhs);
+
+  // R |= X -> XY  iff  for all A in Y:  X: [] -> A.
+  for (int a : od.rhs) {
+    out.ofds.push_back(CanonicalOfd{lhs_set, a});
+  }
+
+  // R |= X ~ Y  iff  for all i, j:
+  //   [X1..Xi-1][Y1..Yj-1]: Xi ~ Yj.
+  AttributeSet x_prefix;
+  for (size_t i = 0; i < od.lhs.size(); ++i) {
+    AttributeSet ctx = x_prefix;
+    for (size_t j = 0; j < od.rhs.size(); ++j) {
+      out.ocs.push_back(CanonicalOc{ctx, od.lhs[i], od.rhs[j]});
+      ctx = ctx.With(od.rhs[j]);
+    }
+    x_prefix = x_prefix.With(od.lhs[i]);
+  }
+  return out;
+}
+
+bool IsTrivial(const CanonicalOc& oc) {
+  return oc.a == oc.b || oc.context.Contains(oc.a) || oc.context.Contains(oc.b);
+}
+
+bool IsTrivial(const CanonicalOfd& ofd) { return ofd.context.Contains(ofd.a); }
+
+}  // namespace aod

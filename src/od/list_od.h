@@ -1,0 +1,56 @@
+// List-based order dependencies X -> Y (paper Sec. 2.1/2.2).
+//
+// The natural SQL-flavoured representation where attribute order matters
+// (as in ORDER BY). FASTOD's insight, reused here, is the polynomial
+// mapping of a list-based OD into an equivalent set of canonical OFDs and
+// OCs (paper Example 2.13), which libaod's discovery framework operates
+// on. This module provides the list-based type and that mapping.
+#ifndef AOD_OD_LIST_OD_H_
+#define AOD_OD_LIST_OD_H_
+
+#include <string>
+#include <vector>
+
+#include "data/encoder.h"
+#include "od/canonical_od.h"
+
+namespace aod {
+
+/// A list-based OD `lhs -> rhs` ("lhs orders rhs", Def. 2.2) or, when
+/// interpreted by the OC functions, the order compatibility `lhs ~ rhs`
+/// (Def. 2.3).
+struct ListOd {
+  std::vector<int> lhs;
+  std::vector<int> rhs;
+
+  /// "[pos, sal] -> [pos, exp]".
+  std::string ToString(const EncodedTable& table) const;
+  std::string ToString() const;
+};
+
+/// The canonical decomposition of a list-based OD.
+struct CanonicalOdSet {
+  /// "In the context of set(X), every attribute of Y is a constant":
+  /// set(lhs): [] -> A for each A in rhs.
+  std::vector<CanonicalOfd> ofds;
+  /// "In the context of every prefix pair, the trailing attributes are
+  /// order compatible": {lhs[0..i), rhs[0..j)}: lhs[i] ~ rhs[j].
+  std::vector<CanonicalOc> ocs;
+};
+
+/// Maps X -> Y into the equivalent set of canonical ODs (paper Sec. 2.2).
+/// The mapping is literal: trivially-true members (e.g. A ~ A, or an OFD
+/// whose target already appears in the context) are kept, matching the
+/// paper's Example 2.13; callers that want only the informative members
+/// can filter with IsTrivial().
+CanonicalOdSet MapListOdToCanonical(const ListOd& od);
+
+/// A ~ A, or either side already inside the context (hence constant per
+/// class and trivially order compatible).
+bool IsTrivial(const CanonicalOc& oc);
+/// Target attribute already inside the context.
+bool IsTrivial(const CanonicalOfd& ofd);
+
+}  // namespace aod
+
+#endif  // AOD_OD_LIST_OD_H_

@@ -1,0 +1,105 @@
+#include "od/list_od_validator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "algo/lnds.h"
+
+namespace aod {
+namespace {
+
+/// Lexicographic three-way comparison of rows s, t over an attribute list.
+int CompareOnList(const EncodedTable& table, const std::vector<int>& attrs,
+                  int32_t s, int32_t t) {
+  for (int a : attrs) {
+    int32_t sv = table.ranks(a)[static_cast<size_t>(s)];
+    int32_t tv = table.ranks(a)[static_cast<size_t>(t)];
+    if (sv != tv) return sv < tv ? -1 : 1;
+  }
+  return 0;
+}
+
+/// Rows 0..n-1 sorted ascending by X, ties broken by Y (ascending or
+/// descending as requested) — the ordering step shared by all validators.
+std::vector<int32_t> SortRows(const EncodedTable& table, const ListOd& od,
+                              bool y_descending) {
+  std::vector<int32_t> rows(static_cast<size_t>(table.num_rows()));
+  std::iota(rows.begin(), rows.end(), 0);
+  std::sort(rows.begin(), rows.end(), [&](int32_t s, int32_t t) {
+    int cx = CompareOnList(table, od.lhs, s, t);
+    if (cx != 0) return cx < 0;
+    int cy = CompareOnList(table, od.rhs, s, t);
+    return y_descending ? cy > 0 : cy < 0;
+  });
+  return rows;
+}
+
+ValidationOutcome ApproxImpl(const EncodedTable& table, const ListOd& od,
+                             double epsilon, const ValidatorOptions& options,
+                             bool y_descending) {
+  const int64_t n = table.num_rows();
+  std::vector<int32_t> rows = SortRows(table, od, y_descending);
+  // LNDS of the Y-projection, elements compared lexicographically.
+  std::vector<int32_t> kept =
+      LndsIndicesBy(static_cast<int32_t>(rows.size()), [&](int32_t p,
+                                                           int32_t q) {
+        return CompareOnList(table, od.rhs, rows[static_cast<size_t>(p)],
+                             rows[static_cast<size_t>(q)]) <= 0;
+      });
+  ValidationOutcome out;
+  out.removal_size = n - static_cast<int64_t>(kept.size());
+  out.approx_factor =
+      n == 0 ? 0.0 : static_cast<double>(out.removal_size) /
+                         static_cast<double>(n);
+  out.valid = out.removal_size <= MaxRemovals(epsilon, n);
+  if (options.collect_removal_set) {
+    size_t k = 0;
+    for (int32_t i = 0; i < static_cast<int32_t>(rows.size()); ++i) {
+      if (k < kept.size() && kept[k] == i) {
+        ++k;
+      } else {
+        out.removal_rows.push_back(rows[static_cast<size_t>(i)]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ValidateListOdExact(const EncodedTable& table, const ListOd& od) {
+  // r |= X -> Y iff, after sorting by X, (a) X-equal tuples are Y-equal
+  // (no splits) and (b) the Y-projection is non-decreasing (no swaps).
+  std::vector<int32_t> rows = SortRows(table, od, /*y_descending=*/false);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    int cx = CompareOnList(table, od.lhs, rows[i - 1], rows[i]);
+    int cy = CompareOnList(table, od.rhs, rows[i - 1], rows[i]);
+    if (cx == 0 && cy != 0) return false;  // split
+    if (cy > 0) return false;              // swap
+  }
+  return true;
+}
+
+bool ValidateListOcExact(const EncodedTable& table, const ListOd& od) {
+  // X ~ Y iff no swap exists: with ties broken by Y ascending, the OC
+  // holds iff the Y-projection of the X-sorted order is non-decreasing.
+  std::vector<int32_t> rows = SortRows(table, od, /*y_descending=*/false);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (CompareOnList(table, od.rhs, rows[i - 1], rows[i]) > 0) return false;
+  }
+  return true;
+}
+
+ValidationOutcome ValidateListOdApprox(const EncodedTable& table,
+                                       const ListOd& od, double epsilon,
+                                       const ValidatorOptions& options) {
+  return ApproxImpl(table, od, epsilon, options, /*y_descending=*/true);
+}
+
+ValidationOutcome ValidateListOcApprox(const EncodedTable& table,
+                                       const ListOd& od, double epsilon,
+                                       const ValidatorOptions& options) {
+  return ApproxImpl(table, od, epsilon, options, /*y_descending=*/false);
+}
+
+}  // namespace aod

@@ -1,0 +1,36 @@
+// Validation of list-based ODs and OCs, exact and approximate.
+//
+// Implements the Sec. 3.3 extension (and its footnote 1): the LIS-based
+// validator generalizes to list-based dependencies by sorting tuples in
+// ascending lexicographic order of X and breaking ties with the
+// *descending* (OD) or *ascending* (OC) lexicographic order of Y, then
+// removing the complement of a longest non-decreasing subsequence of the
+// Y-projection (tuples over Y compared lexicographically).
+#ifndef AOD_OD_LIST_OD_VALIDATOR_H_
+#define AOD_OD_LIST_OD_VALIDATOR_H_
+
+#include "data/encoder.h"
+#include "od/canonical_od.h"
+#include "od/list_od.h"
+
+namespace aod {
+
+/// True iff r |= lhs -> rhs exactly (Def. 2.2).
+bool ValidateListOdExact(const EncodedTable& table, const ListOd& od);
+
+/// True iff lhs ~ rhs exactly (Def. 2.3: XY <-> YX).
+bool ValidateListOcExact(const EncodedTable& table, const ListOd& od);
+
+/// Approximate list-based OD validation with a minimal removal set.
+ValidationOutcome ValidateListOdApprox(const EncodedTable& table,
+                                       const ListOd& od, double epsilon,
+                                       const ValidatorOptions& options = {});
+
+/// Approximate list-based OC validation with a minimal removal set.
+ValidationOutcome ValidateListOcApprox(const EncodedTable& table,
+                                       const ListOd& od, double epsilon,
+                                       const ValidatorOptions& options = {});
+
+}  // namespace aod
+
+#endif  // AOD_OD_LIST_OD_VALIDATOR_H_

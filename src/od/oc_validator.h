@@ -1,0 +1,31 @@
+// Exact validation of canonical OC candidates.
+#ifndef AOD_OD_OC_VALIDATOR_H_
+#define AOD_OD_OC_VALIDATOR_H_
+
+#include <cstdint>
+
+#include "data/encoder.h"
+#include "od/canonical_od.h"
+#include "partition/stripped_partition.h"
+
+namespace aod {
+
+/// True iff the OC `context_partition`: a ~ b holds exactly, i.e. no two
+/// tuples within any equivalence class of the context form a swap
+/// (paper Def. 2.5). Sorts each class by [A ASC, B ASC] and scans the
+/// B-projection for a descent; exits at the first swap found.
+/// With `opposite` the bidirectional polarity a asc ~ b desc is checked
+/// (Szlichta et al. [10]).
+bool ValidateOcExact(const EncodedTable& table,
+                     const StrippedPartition& context_partition, int a, int b,
+                     bool opposite = false);
+
+/// Number of swapped tuple pairs w.r.t. the OC (0 iff the OC holds).
+/// O(m log m) per class via merge-sort inversion counting — the quantity
+/// Algorithm 1 calls `countInversions`. Exposed for stats and tests.
+int64_t CountOcSwaps(const EncodedTable& table,
+                     const StrippedPartition& context_partition, int a, int b);
+
+}  // namespace aod
+
+#endif  // AOD_OD_OC_VALIDATOR_H_

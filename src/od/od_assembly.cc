@@ -1,0 +1,59 @@
+#include "od/od_assembly.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "od/aoc_lis_validator.h"
+
+namespace aod {
+
+std::string DiscoveredOd::ToString(const EncodedTable& table) const {
+  auto name_of = [&table](int i) { return table.name(i); };
+  return context.ToString(name_of) + ": " + table.name(a) + " -> " +
+         table.name(b);
+}
+
+std::vector<DiscoveredOd> AssembleOds(const EncodedTable& table,
+                                      const DiscoveryResult& result,
+                                      double epsilon, PartitionCache* cache) {
+  AOD_CHECK(cache != nullptr);
+  std::vector<DiscoveredOd> out;
+  for (const auto& oc : result.ocs) {
+    if (oc.oc.opposite) continue;
+    // Try both orientations of the OC: A -> B needs OFD (X ∪ {A}): B,
+    // B -> A needs OFD (X ∪ {B}): A.
+    const std::pair<int, int> orientations[2] = {{oc.oc.a, oc.oc.b},
+                                                 {oc.oc.b, oc.oc.a}};
+    for (const auto& [lhs, rhs] : orientations) {
+      AttributeSet ofd_context = oc.oc.context.With(lhs);
+      auto ofd_it = std::find_if(
+          result.ofds.begin(), result.ofds.end(),
+          [&](const DiscoveredOfd& f) {
+            return f.ofd.context == ofd_context && f.ofd.a == rhs;
+          });
+      if (ofd_it == result.ofds.end()) continue;
+
+      DiscoveredOd od;
+      od.context = oc.oc.context;
+      od.a = lhs;
+      od.b = rhs;
+      od.oc_factor = oc.approx_factor;
+      od.ofd_factor = ofd_it->approx_factor;
+      // The parts being valid does not bound the whole (Sec. 2.3):
+      // compute the OD's own minimal removal set.
+      auto partition = cache->Get(od.context);
+      ValidatorOptions vopts;
+      vopts.early_exit = false;
+      ValidationOutcome outcome = ValidateAodOptimal(
+          table, *partition, od.a, od.b, epsilon, table.num_rows(), vopts);
+      od.approx_factor = outcome.approx_factor;
+      od.removal_size = outcome.removal_size;
+      if (outcome.removal_size <= MaxRemovals(epsilon, table.num_rows())) {
+        out.push_back(od);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace aod

@@ -1,0 +1,54 @@
+// Assembling canonical discovery results into ODs.
+//
+// The canonical mapping (paper Sec. 2.2) states that the OD X: A -> B
+// holds iff the OC X: A ~ B and the OFD XA: [] -> B hold. The discovery
+// framework reports OCs and OFDs separately; this module composes them
+// back into OD statements.
+//
+// For *approximate* dependencies the composition is subtle (paper
+// Sec. 2.3): e1 <= eps and e2 <= eps for the parts does NOT imply
+// e <= eps for the OD. AssembleOds therefore re-validates each composed
+// candidate with the descending-tie variant of Algorithm 2 (Sec. 3.3),
+// which computes the exact minimal removal set for the OD in one
+// O(n log n) pass.
+#ifndef AOD_OD_OD_ASSEMBLY_H_
+#define AOD_OD_OD_ASSEMBLY_H_
+
+#include <string>
+#include <vector>
+
+#include "data/encoder.h"
+#include "od/canonical_od.h"
+#include "od/discovery.h"
+#include "partition/partition_cache.h"
+
+namespace aod {
+
+/// A canonical OD X: A -> B ("A orders B within each class of X").
+struct DiscoveredOd {
+  AttributeSet context;
+  int a = -1;
+  int b = -1;
+  /// Exact approximation factor of the OD (from the Sec. 3.3 validator).
+  double approx_factor = 0.0;
+  int64_t removal_size = 0;
+  /// Factors of the constituent parts, for reference.
+  double oc_factor = 0.0;
+  double ofd_factor = 0.0;
+
+  /// "{pos}: sal -> bonus".
+  std::string ToString(const EncodedTable& table) const;
+};
+
+/// Composes OD candidates from a discovery result: every discovered OC
+/// X: A ~ B is paired with discovered OFDs XA: [] -> B (and XB: [] -> A,
+/// by symmetry), each composition re-validated against `epsilon`.
+/// `cache` supplies the context partitions (reuse the discovery run's
+/// cache when available). Only straight-polarity OCs compose into ODs.
+std::vector<DiscoveredOd> AssembleOds(const EncodedTable& table,
+                                      const DiscoveryResult& result,
+                                      double epsilon, PartitionCache* cache);
+
+}  // namespace aod
+
+#endif  // AOD_OD_OD_ASSEMBLY_H_

@@ -1,0 +1,68 @@
+#include "od/ofd_validator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace aod {
+
+bool ValidateOfdExact(const EncodedTable& table,
+                      const StrippedPartition& context_partition, int a) {
+  const auto& ranks = table.ranks(a);
+  for (const auto& cls : context_partition.classes()) {
+    int32_t first = ranks[static_cast<size_t>(cls[0])];
+    for (size_t i = 1; i < cls.size(); ++i) {
+      if (ranks[static_cast<size_t>(cls[i])] != first) return false;
+    }
+  }
+  return true;
+}
+
+ValidationOutcome ValidateOfdApprox(const EncodedTable& table,
+                                    const StrippedPartition& context_partition,
+                                    int a, double epsilon, int64_t table_rows,
+                                    const ValidatorOptions& options) {
+  const auto& ranks = table.ranks(a);
+  const int64_t max_removals = MaxRemovals(epsilon, table_rows);
+
+  ValidationOutcome out;
+  std::unordered_map<int32_t, int32_t> freq;
+  for (const auto& cls : context_partition.classes()) {
+    freq.clear();
+    int32_t best = 0;
+    for (int32_t row : cls) {
+      int32_t f = ++freq[ranks[static_cast<size_t>(row)]];
+      best = std::max(best, f);
+    }
+    out.removal_size += static_cast<int64_t>(cls.size()) - best;
+    if (options.collect_removal_set) {
+      // Keep the (first) most frequent value; remove everything else.
+      int32_t keep_rank = -1;
+      for (int32_t row : cls) {
+        if (freq[ranks[static_cast<size_t>(row)]] == best) {
+          keep_rank = ranks[static_cast<size_t>(row)];
+          break;
+        }
+      }
+      for (int32_t row : cls) {
+        if (ranks[static_cast<size_t>(row)] != keep_rank) {
+          out.removal_rows.push_back(row);
+        }
+      }
+    }
+    if (options.early_exit && out.removal_size > max_removals) {
+      out.valid = false;
+      out.early_exit = true;
+      out.approx_factor = static_cast<double>(out.removal_size) /
+                          static_cast<double>(table_rows);
+      return out;
+    }
+  }
+  out.valid = out.removal_size <= max_removals;
+  out.approx_factor = table_rows == 0
+                          ? 0.0
+                          : static_cast<double>(out.removal_size) /
+                                static_cast<double>(table_rows);
+  return out;
+}
+
+}  // namespace aod

@@ -1,0 +1,31 @@
+// Validation of OFD candidates X: [] -> A, exact and approximate.
+//
+// The approximate case uses the linear-time removal-count computation for
+// approximate FDs established by Huhtala et al. (TANE [3]), which the
+// paper adopts unchanged (Sec. 2.3): within each equivalence class of the
+// context, keep the tuples carrying the most frequent A-value and remove
+// the rest; the total removed is the minimal removal set size.
+#ifndef AOD_OD_OFD_VALIDATOR_H_
+#define AOD_OD_OFD_VALIDATOR_H_
+
+#include "data/encoder.h"
+#include "od/canonical_od.h"
+#include "partition/stripped_partition.h"
+
+namespace aod {
+
+/// True iff A is constant within every class of the context partition.
+bool ValidateOfdExact(const EncodedTable& table,
+                      const StrippedPartition& context_partition, int a);
+
+/// Validates the OFD approximately against `epsilon`. The removal set is
+/// minimal. `table_rows` is |r| (the partition alone cannot supply it, as
+/// stripped partitions drop singleton classes).
+ValidationOutcome ValidateOfdApprox(const EncodedTable& table,
+                                    const StrippedPartition& context_partition,
+                                    int a, double epsilon, int64_t table_rows,
+                                    const ValidatorOptions& options = {});
+
+}  // namespace aod
+
+#endif  // AOD_OD_OFD_VALIDATOR_H_

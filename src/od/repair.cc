@@ -1,0 +1,94 @@
+#include "od/repair.h"
+
+#include <algorithm>
+
+#include "algo/lnds.h"
+#include "common/macros.h"
+
+namespace aod {
+
+std::string CellRepair::ToString(const EncodedTable& table) const {
+  std::string out = "row " + std::to_string(row) + ": " +
+                    table.name(attribute) + " = " + current.ToString() +
+                    " should lie in ";
+  out += low.is_null() ? "(-inf" : "[" + low.ToString();
+  out += ", ";
+  out += high.is_null() ? "+inf)" : high.ToString() + "]";
+  return out;
+}
+
+std::string RepairPlan::ToString(const EncodedTable& table,
+                                 size_t max_items) const {
+  std::string out =
+      "repairs for " + oc.ToString(table) + " (" +
+      std::to_string(repairs.size()) + " suspect cells):\n";
+  for (size_t i = 0; i < repairs.size() && i < max_items; ++i) {
+    out += "  " + repairs[i].ToString(table) + "\n";
+  }
+  if (repairs.size() > max_items) {
+    out += "  ... (" + std::to_string(repairs.size() - max_items) +
+           " more)\n";
+  }
+  return out;
+}
+
+RepairPlan SuggestOcRepairs(const EncodedTable& table,
+                            const StrippedPartition& context_partition,
+                            const CanonicalOc& oc) {
+  const auto& ranks_a = table.ranks(oc.a);
+  const auto& ranks_b = table.ranks(oc.b);
+  const EncodedColumn& col_b = table.column(oc.b);
+  const int32_t sign = oc.opposite ? -1 : 1;
+
+  RepairPlan plan;
+  plan.oc = oc;
+  std::vector<int32_t> rows;
+  std::vector<int32_t> projection;
+  for (const auto& cls : context_partition.classes()) {
+    rows.assign(cls.begin(), cls.end());
+    std::sort(rows.begin(), rows.end(), [&](int32_t s, int32_t t) {
+      int32_t sa = ranks_a[static_cast<size_t>(s)];
+      int32_t ta = ranks_a[static_cast<size_t>(t)];
+      if (sa != ta) return sa < ta;
+      return sign * ranks_b[static_cast<size_t>(s)] <
+             sign * ranks_b[static_cast<size_t>(t)];
+    });
+    projection.resize(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      projection[i] = sign * ranks_b[static_cast<size_t>(rows[i])];
+    }
+    std::vector<int32_t> kept = LndsIndices(projection);
+    // Walk removed positions; bracket each with the nearest kept
+    // neighbours (kept is ascending).
+    size_t k = 0;
+    for (int32_t pos = 0; pos < static_cast<int32_t>(rows.size()); ++pos) {
+      if (k < kept.size() && kept[k] == pos) {
+        ++k;
+        continue;
+      }
+      CellRepair repair;
+      repair.row = rows[static_cast<size_t>(pos)];
+      repair.attribute = oc.b;
+      repair.current =
+          col_b.Decode(ranks_b[static_cast<size_t>(repair.row)]);
+      // Nearest kept neighbour below is kept[k-1], above is kept[k].
+      int32_t low_rank = -1;
+      int32_t high_rank = -1;
+      if (k > 0) {
+        low_rank = ranks_b[static_cast<size_t>(
+            rows[static_cast<size_t>(kept[k - 1])])];
+      }
+      if (k < kept.size()) {
+        high_rank = ranks_b[static_cast<size_t>(
+            rows[static_cast<size_t>(kept[k])])];
+      }
+      if (oc.opposite) std::swap(low_rank, high_rank);
+      repair.low = low_rank < 0 ? Value::Null() : col_b.Decode(low_rank);
+      repair.high = high_rank < 0 ? Value::Null() : col_b.Decode(high_rank);
+      plan.repairs.push_back(std::move(repair));
+    }
+  }
+  return plan;
+}
+
+}  // namespace aod

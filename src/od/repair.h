@@ -1,0 +1,56 @@
+// Repair suggestions from approximate order dependencies.
+//
+// The paper's system framework (Fig. 1) routes verified AODs into "error
+// repair / outlier detection", citing Qiu et al. [7] ("Repairing data
+// violations with order dependencies", DASFAA'18). This module closes
+// that loop: given a (verified) OC, the tuples outside a longest
+// non-decreasing subsequence are the minimal set of suspects, and for
+// each suspect the B-values of its nearest *kept* neighbours bound the
+// interval any repaired value must fall into to restore the order.
+#ifndef AOD_OD_REPAIR_H_
+#define AOD_OD_REPAIR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/encoder.h"
+#include "od/canonical_od.h"
+#include "partition/stripped_partition.h"
+
+namespace aod {
+
+/// One flagged cell with its admissible repair interval.
+struct CellRepair {
+  int32_t row = -1;
+  /// The right-hand attribute whose value is out of order.
+  int attribute = -1;
+  Value current;
+  /// Closed admissible interval [low, high]; a null endpoint means the
+  /// interval is unbounded on that side.
+  Value low;
+  Value high;
+
+  /// "row 4: tax = 12 should lie in [1.5, 1.8]".
+  std::string ToString(const EncodedTable& table) const;
+};
+
+/// A batch of suggestions for one dependency.
+struct RepairPlan {
+  CanonicalOc oc;
+  std::vector<CellRepair> repairs;
+
+  std::string ToString(const EncodedTable& table,
+                       size_t max_items = 20) const;
+};
+
+/// Computes the minimal suspect set of the OC `context_partition`: a ~ b
+/// and an admissible repair interval for each suspect's B-value.
+/// O(n log n), one LNDS pass per context class.
+RepairPlan SuggestOcRepairs(const EncodedTable& table,
+                            const StrippedPartition& context_partition,
+                            const CanonicalOc& oc);
+
+}  // namespace aod
+
+#endif  // AOD_OD_REPAIR_H_

@@ -1,0 +1,156 @@
+#include "od/result_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace aod {
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ContextArray(const AttributeSet& context,
+                         const EncodedTable& table) {
+  std::string out = "[";
+  bool first = true;
+  context.ForEach([&](int a) {
+    if (!first) out += ", ";
+    out += "\"" + JsonEscape(table.name(a)) + "\"";
+    first = false;
+  });
+  out += "]";
+  return out;
+}
+
+std::string CsvEscapeField(const std::string& s) {
+  if (s.find(',') == std::string::npos &&
+      s.find('"') == std::string::npos) {
+    return s;
+  }
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string ResultToJson(const DiscoveryResult& result,
+                         const EncodedTable& table) {
+  std::ostringstream out;
+  out << "{\n  \"ocs\": [\n";
+  for (size_t i = 0; i < result.ocs.size(); ++i) {
+    const auto& d = result.ocs[i];
+    out << "    {\"context\": " << ContextArray(d.oc.context, table)
+        << ", \"lhs\": \"" << JsonEscape(table.name(d.oc.a))
+        << "\", \"rhs\": \"" << JsonEscape(table.name(d.oc.b))
+        << "\", \"polarity\": \"" << (d.oc.opposite ? "opposite" : "same")
+        << "\", \"factor\": " << FormatDouble(d.approx_factor, 6)
+        << ", \"removal\": " << d.removal_size << ", \"level\": " << d.level
+        << ", \"score\": " << FormatDouble(d.interestingness, 6) << "}"
+        << (i + 1 < result.ocs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"ofds\": [\n";
+  for (size_t i = 0; i < result.ofds.size(); ++i) {
+    const auto& d = result.ofds[i];
+    out << "    {\"context\": " << ContextArray(d.ofd.context, table)
+        << ", \"rhs\": \"" << JsonEscape(table.name(d.ofd.a))
+        << "\", \"factor\": " << FormatDouble(d.approx_factor, 6)
+        << ", \"removal\": " << d.removal_size << ", \"level\": " << d.level
+        << ", \"score\": " << FormatDouble(d.interestingness, 6) << "}"
+        << (i + 1 < result.ofds.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"stats\": {\n"
+      << "    \"total_seconds\": "
+      << FormatDouble(result.stats.total_seconds, 6) << ",\n"
+      << "    \"oc_validation_seconds\": "
+      << FormatDouble(result.stats.oc_validation_seconds, 6) << ",\n"
+      << "    \"ofd_validation_seconds\": "
+      << FormatDouble(result.stats.ofd_validation_seconds, 6) << ",\n"
+      << "    \"oc_candidates_validated\": "
+      << result.stats.oc_candidates_validated << ",\n"
+      << "    \"ofd_candidates_validated\": "
+      << result.stats.ofd_candidates_validated << ",\n"
+      << "    \"oc_candidates_pruned\": "
+      << result.stats.oc_candidates_pruned << ",\n"
+      << "    \"nodes_processed\": " << result.stats.nodes_processed
+      << ",\n"
+      << "    \"levels_processed\": " << result.stats.levels_processed
+      << ",\n"
+      << "    \"timed_out\": " << (result.timed_out ? "true" : "false")
+      << "\n  }\n}\n";
+  return out.str();
+}
+
+std::string ResultToCsv(const DiscoveryResult& result,
+                        const EncodedTable& table) {
+  std::ostringstream out;
+  out << "kind,context,lhs,rhs,polarity,factor,removal,level,score\n";
+  auto context_string = [&table](const AttributeSet& context) {
+    std::vector<std::string> names;
+    context.ForEach([&](int a) { names.push_back(table.name(a)); });
+    return JoinStrings(names, "|");
+  };
+  for (const auto& d : result.ocs) {
+    out << "oc," << CsvEscapeField(context_string(d.oc.context)) << ","
+        << CsvEscapeField(table.name(d.oc.a)) << ","
+        << CsvEscapeField(table.name(d.oc.b)) << ","
+        << (d.oc.opposite ? "opposite" : "same") << ","
+        << FormatDouble(d.approx_factor, 6) << "," << d.removal_size << ","
+        << d.level << "," << FormatDouble(d.interestingness, 6) << "\n";
+  }
+  for (const auto& d : result.ofds) {
+    out << "ofd," << CsvEscapeField(context_string(d.ofd.context)) << ",,"
+        << CsvEscapeField(table.name(d.ofd.a)) << ",,"
+        << FormatDouble(d.approx_factor, 6) << "," << d.removal_size << ","
+        << d.level << "," << FormatDouble(d.interestingness, 6) << "\n";
+  }
+  return out.str();
+}
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << content;
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace aod

@@ -1,0 +1,34 @@
+// Serialization of discovery results.
+//
+// Profiling runs feed downstream tooling (dashboards, cleaning
+// pipelines, the paper's Fig. 1 expert-verification step), so results
+// must leave the process in a machine-readable form. This module writes
+// DiscoveryResult as JSON (attribute names resolved against the table)
+// and as flat CSV rows.
+#ifndef AOD_OD_RESULT_IO_H_
+#define AOD_OD_RESULT_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/encoder.h"
+#include "od/discovery.h"
+
+namespace aod {
+
+/// JSON document with "ocs", "ofds" and "stats" sections. Attribute
+/// references are emitted as names. Stable key order, 2-space indent.
+std::string ResultToJson(const DiscoveryResult& result,
+                         const EncodedTable& table);
+
+/// Flat CSV: kind,context,lhs,rhs,polarity,factor,removal,level,score —
+/// one row per discovered dependency (OFDs leave lhs empty).
+std::string ResultToCsv(const DiscoveryResult& result,
+                        const EncodedTable& table);
+
+/// Writes `content` to `path`.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace aod
+
+#endif  // AOD_OD_RESULT_IO_H_

@@ -1,0 +1,29 @@
+#include "partition/attribute_set.h"
+
+namespace aod {
+
+std::vector<int> AttributeSet::ToVector() const {
+  std::vector<int> out;
+  out.reserve(static_cast<size_t>(size()));
+  ForEach([&out](int a) { out.push_back(a); });
+  return out;
+}
+
+std::string AttributeSet::ToString(
+    const std::function<std::string(int)>& name_of) const {
+  std::string out = "{";
+  bool first = true;
+  ForEach([&](int a) {
+    if (!first) out += ", ";
+    out += name_of(a);
+    first = false;
+  });
+  out += "}";
+  return out;
+}
+
+std::string AttributeSet::ToString() const {
+  return ToString([](int a) { return std::to_string(a); });
+}
+
+}  // namespace aod

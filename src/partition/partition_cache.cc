@@ -1,0 +1,77 @@
+#include "partition/partition_cache.h"
+
+#include <vector>
+
+#include "common/macros.h"
+
+namespace aod {
+
+PartitionCache::PartitionCache(const EncodedTable* table)
+    : table_(table), scratch_(table->num_rows()) {
+  AOD_CHECK(table != nullptr);
+  cache_.emplace(AttributeSet(),
+                 std::make_shared<StrippedPartition>(
+                     StrippedPartition::WholeRelation(table_->num_rows())));
+  for (int a = 0; a < table_->num_columns(); ++a) {
+    cache_.emplace(AttributeSet().With(a),
+                   std::make_shared<StrippedPartition>(
+                       StrippedPartition::FromColumn(table_->column(a))));
+  }
+}
+
+std::shared_ptr<const StrippedPartition> PartitionCache::Get(
+    AttributeSet set) {
+  auto it = cache_.find(set);
+  if (it != cache_.end()) return it->second;
+
+  // Find the largest cached subset obtained by removing one attribute;
+  // fall back to building up attribute-by-attribute from a singleton.
+  std::shared_ptr<const StrippedPartition> base;
+  AttributeSet base_set;
+  set.ForEach([&](int a) {
+    AttributeSet sub = set.Without(a);
+    auto sit = cache_.find(sub);
+    if (sit != cache_.end() && base == nullptr) {
+      base = sit->second;
+      base_set = sub;
+    }
+  });
+  if (base == nullptr) {
+    // Build from the first attribute's partition; recursion depth is |set|.
+    int first = set.First();
+    AOD_CHECK(first >= 0);
+    base_set = AttributeSet().With(first);
+    base = Get(base_set);
+  }
+
+  AttributeSet missing = set.Difference(base_set);
+  std::shared_ptr<const StrippedPartition> current = base;
+  AttributeSet current_set = base_set;
+  missing.ForEach([&](int a) {
+    auto single = Get(AttributeSet().With(a));
+    auto next = std::make_shared<StrippedPartition>(current->Product(
+        *single, table_->num_rows(), &scratch_));
+    ++products_computed_;
+    current = next;
+    current_set = current_set.With(a);
+    cache_[current_set] = current;
+  });
+  return current;
+}
+
+bool PartitionCache::Contains(AttributeSet set) const {
+  return cache_.find(set) != cache_.end();
+}
+
+void PartitionCache::EvictSmallerThan(int below) {
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    int sz = it->first.size();
+    if (sz > 1 && sz < below) {
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace aod

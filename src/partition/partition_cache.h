@@ -1,0 +1,54 @@
+// Memoizing provider of stripped partitions keyed by attribute set.
+//
+// The discovery framework asks for Π_X for many overlapping contexts X.
+// The cache materializes level-1 partitions once, derives larger ones via
+// stripped products of cached subsets, and supports level-based eviction
+// matching the level-wise traversal (only the two most recent completed
+// levels are ever needed as contexts).
+#ifndef AOD_PARTITION_PARTITION_CACHE_H_
+#define AOD_PARTITION_PARTITION_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "data/encoder.h"
+#include "partition/attribute_set.h"
+#include "partition/stripped_partition.h"
+
+namespace aod {
+
+class PartitionCache {
+ public:
+  explicit PartitionCache(const EncodedTable* table);
+
+  /// Returns Π_X, computing and memoizing it if absent. Derivation picks
+  /// the largest cached subset and extends it one attribute at a time, so
+  /// during level-wise discovery each request costs at most one product.
+  std::shared_ptr<const StrippedPartition> Get(AttributeSet set);
+
+  /// True if Π_X is currently materialized.
+  bool Contains(AttributeSet set) const;
+
+  /// Drops every cached partition over sets of size in (1, below); the
+  /// empty-set and single-attribute partitions are retained permanently
+  /// (they are the O(n·k) base data everything else derives from).
+  void EvictSmallerThan(int below);
+
+  /// Number of stripped products performed (for DiscoveryStats).
+  int64_t products_computed() const { return products_computed_; }
+  /// Number of partitions currently materialized.
+  int64_t cached_count() const { return static_cast<int64_t>(cache_.size()); }
+
+ private:
+  const EncodedTable* table_;
+  PartitionScratch scratch_;
+  std::unordered_map<AttributeSet, std::shared_ptr<const StrippedPartition>,
+                     AttributeSetHash>
+      cache_;
+  int64_t products_computed_ = 0;
+};
+
+}  // namespace aod
+
+#endif  // AOD_PARTITION_PARTITION_CACHE_H_

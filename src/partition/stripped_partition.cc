@@ -1,0 +1,123 @@
+#include "partition/stripped_partition.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace aod {
+
+StrippedPartition StrippedPartition::FromColumn(const EncodedColumn& column) {
+  const int64_t n = static_cast<int64_t>(column.ranks.size());
+  std::vector<int32_t> counts(static_cast<size_t>(column.cardinality), 0);
+  for (int32_t r : column.ranks) ++counts[static_cast<size_t>(r)];
+
+  StrippedPartition out;
+  // Map rank -> class slot (or -1 for singleton/empty ranks).
+  std::vector<int32_t> slot(static_cast<size_t>(column.cardinality), -1);
+  for (int32_t v = 0; v < column.cardinality; ++v) {
+    if (counts[static_cast<size_t>(v)] >= 2) {
+      slot[static_cast<size_t>(v)] =
+          static_cast<int32_t>(out.classes_.size());
+      out.classes_.emplace_back();
+      out.classes_.back().reserve(
+          static_cast<size_t>(counts[static_cast<size_t>(v)]));
+    }
+  }
+  for (int64_t t = 0; t < n; ++t) {
+    int32_t s = slot[static_cast<size_t>(column.ranks[static_cast<size_t>(t)])];
+    if (s >= 0) {
+      out.classes_[static_cast<size_t>(s)].push_back(
+          static_cast<int32_t>(t));
+    }
+  }
+  for (const auto& cls : out.classes_) {
+    out.rows_covered_ += static_cast<int64_t>(cls.size());
+  }
+  return out;
+}
+
+StrippedPartition StrippedPartition::WholeRelation(int64_t num_rows) {
+  StrippedPartition out;
+  if (num_rows >= 2) {
+    std::vector<int32_t> all(static_cast<size_t>(num_rows));
+    for (int64_t t = 0; t < num_rows; ++t) {
+      all[static_cast<size_t>(t)] = static_cast<int32_t>(t);
+    }
+    out.classes_.push_back(std::move(all));
+    out.rows_covered_ = num_rows;
+  }
+  return out;
+}
+
+StrippedPartition StrippedPartition::FromClasses(
+    std::vector<std::vector<int32_t>> classes) {
+  StrippedPartition out;
+  for (auto& cls : classes) {
+    if (cls.size() >= 2) {
+      out.rows_covered_ += static_cast<int64_t>(cls.size());
+      out.classes_.push_back(std::move(cls));
+    }
+  }
+  return out;
+}
+
+StrippedPartition StrippedPartition::Product(const StrippedPartition& other,
+                                             int64_t num_rows,
+                                             PartitionScratch* scratch) const {
+  // TANE's STRIPPED_PRODUCT: translate tuples of `this` into class ids,
+  // then slice each class of `other` by those ids.
+  PartitionScratch local_scratch(scratch == nullptr ? num_rows : 0);
+  std::vector<int32_t>& class_of =
+      scratch == nullptr ? local_scratch.class_of() : scratch->class_of();
+  AOD_CHECK_MSG(static_cast<int64_t>(class_of.size()) >= num_rows,
+                "scratch sized for %zu rows, table has %lld", class_of.size(),
+                static_cast<long long>(num_rows));
+
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    for (int32_t t : classes_[i]) {
+      class_of[static_cast<size_t>(t)] = static_cast<int32_t>(i);
+    }
+  }
+
+  StrippedPartition out;
+  std::vector<std::vector<int32_t>> buckets(classes_.size());
+  for (const auto& cls : other.classes_) {
+    for (int32_t t : cls) {
+      int32_t c = class_of[static_cast<size_t>(t)];
+      if (c >= 0) buckets[static_cast<size_t>(c)].push_back(t);
+    }
+    for (int32_t t : cls) {
+      int32_t c = class_of[static_cast<size_t>(t)];
+      if (c < 0) continue;
+      auto& bucket = buckets[static_cast<size_t>(c)];
+      if (bucket.size() >= 2) {
+        out.rows_covered_ += static_cast<int64_t>(bucket.size());
+        out.classes_.push_back(std::move(bucket));
+      }
+      bucket.clear();
+    }
+  }
+
+  // Restore scratch to all -1 for the next product.
+  for (const auto& cls : classes_) {
+    for (int32_t t : cls) class_of[static_cast<size_t>(t)] = -1;
+  }
+  return out;
+}
+
+std::string StrippedPartition::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{";
+    for (size_t j = 0; j < classes_[i].size(); ++j) {
+      if (j > 0) out += ",";
+      out += std::to_string(classes_[i][j]);
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace aod

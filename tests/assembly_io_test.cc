@@ -1,0 +1,175 @@
+// Tests for OD assembly (canonical parts -> ODs, paper Sec. 2.2/2.3) and
+// result serialization (JSON / CSV).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+
+#include "data/csv_parser.h"
+#include "gen/flight_generator.h"
+#include "od/aoc_lis_validator.h"
+#include "od/discovery.h"
+#include "od/od_assembly.h"
+#include "od/result_io.h"
+#include "partition/partition_cache.h"
+#include "test_util.h"
+
+namespace aod {
+namespace {
+
+// ------------------------------------------------------------ assembly --
+
+TEST(OdAssemblyTest, PaperSalOrdersTaxGrp) {
+  // {}: sal ~ taxGrp plus {sal}: [] -> taxGrp compose into
+  // {}: sal -> taxGrp (Example 2.4's OD).
+  EncodedTable t = testing_util::PaperEncoded();
+  DiscoveryOptions options;
+  options.validator = ValidatorKind::kExact;
+  DiscoveryResult result = DiscoverOds(t, options);
+  PartitionCache cache(&t);
+  auto ods = AssembleOds(t, result, 0.0, &cache);
+  int sal = t.ColumnIndex("sal");
+  int tax_grp = t.ColumnIndex("taxGrp");
+  bool found = std::any_of(ods.begin(), ods.end(), [&](const DiscoveredOd& d) {
+    return d.context.empty() && d.a == sal && d.b == tax_grp;
+  });
+  EXPECT_TRUE(found);
+  // The converse direction must be absent (taxGrp does not order sal).
+  bool converse = std::any_of(
+      ods.begin(), ods.end(), [&](const DiscoveredOd& d) {
+        return d.context.empty() && d.a == tax_grp && d.b == sal;
+      });
+  EXPECT_FALSE(converse);
+}
+
+TEST(OdAssemblyTest, AssembledFactorsAreExactOdFactors) {
+  Table raw = GenerateFlightTable(2000, 8, 42);
+  EncodedTable t = EncodeTable(raw);
+  DiscoveryOptions options;
+  options.epsilon = 0.12;
+  DiscoveryResult result = DiscoverOds(t, options);
+  PartitionCache cache(&t);
+  auto ods = AssembleOds(t, result, options.epsilon, &cache);
+  ValidatorOptions full;
+  full.early_exit = false;
+  for (const auto& od : ods) {
+    EXPECT_LE(od.approx_factor, options.epsilon + 1e-9);
+    // Re-validation from scratch agrees.
+    auto partition = cache.Get(od.context);
+    ValidationOutcome check = ValidateAodOptimal(
+        t, *partition, od.a, od.b, 1.0, t.num_rows(), full);
+    EXPECT_NEAR(check.approx_factor, od.approx_factor, 1e-12)
+        << od.ToString(t);
+    // The OD factor can exceed either part's factor, never undershoot
+    // the OC part (removing splits can only cost more).
+    EXPECT_GE(od.approx_factor - 1e-12, 0.0);
+    EXPECT_GE(od.approx_factor + 1e-9, od.oc_factor);
+  }
+}
+
+TEST(OdAssemblyTest, PartsValidButOdInvalidIsFiltered) {
+  // Construct: OC {}: a ~ b holds with small factor, OFD {a}: [] -> b
+  // holds with small factor, but the OD {}: a -> b needs more removals
+  // than eps allows (paper Sec. 2.3's caveat).
+  // a has classes of size 2 with b split inside (split errors), plus a
+  // couple of swap errors across classes.
+  EncodedTable t = EncodedTableFromInts(
+      {"a", "b"},
+      {{0, 0, 1, 1, 2, 2, 3, 3, 4, 4}, {0, 1, 2, 3, 4, 5, 6, 7, 9, 8}});
+  // OC factor: ties broken by b, sequence non-decreasing -> 0 swaps.
+  // OFD {a}: every class has two distinct b values -> removal 5 (e=0.5).
+  // OD: must fix every split: removal 5 (e=0.5).
+  DiscoveryOptions options;
+  options.epsilon = 0.5;
+  DiscoveryResult result = DiscoverOds(t, options);
+  PartitionCache cache(&t);
+  // At eps = 0.5 the OD passes...
+  auto ods_loose = AssembleOds(t, result, 0.5, &cache);
+  bool found = std::any_of(
+      ods_loose.begin(), ods_loose.end(),
+      [&](const DiscoveredOd& d) { return d.a == 0 && d.b == 1; });
+  EXPECT_TRUE(found);
+  // ...but at eps = 0.3 the composition must be rejected even though the
+  // OC part alone (factor 0) passes.
+  auto ods_tight = AssembleOds(t, result, 0.3, &cache);
+  for (const auto& d : ods_tight) {
+    EXPECT_FALSE(d.a == 0 && d.b == 1) << d.approx_factor;
+  }
+}
+
+TEST(OdAssemblyTest, OppositePolarityOcsDoNotCompose) {
+  EncodedTable t = EncodedTableFromInts(
+      {"a", "b"}, {{1, 2, 3, 4}, {8, 6, 4, 2}});
+  DiscoveryOptions options;
+  options.epsilon = 0.0;
+  options.bidirectional = true;
+  DiscoveryResult result = DiscoverOds(t, options);
+  PartitionCache cache(&t);
+  auto ods = AssembleOds(t, result, 0.0, &cache);
+  for (const auto& d : ods) {
+    // a ~ desc(b) holds but must not be emitted as an OD.
+    EXPECT_FALSE(d.context.empty() && ((d.a == 0 && d.b == 1) ||
+                                       (d.a == 1 && d.b == 0)));
+  }
+}
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(ResultIoTest, JsonContainsDependenciesAndStats) {
+  EncodedTable t = testing_util::PaperEncoded();
+  DiscoveryOptions options;
+  options.epsilon = 0.2;
+  DiscoveryResult result = DiscoverOds(t, options);
+  std::string json = ResultToJson(result, t);
+  EXPECT_NE(json.find("\"ocs\""), std::string::npos);
+  EXPECT_NE(json.find("\"ofds\""), std::string::npos);
+  EXPECT_NE(json.find("\"stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"sal\""), std::string::npos);
+  EXPECT_NE(json.find("\"timed_out\": false"), std::string::npos);
+  // Balanced braces/brackets as a cheap well-formedness check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ResultIoTest, JsonEscapesSpecialCharacters) {
+  // A column name with a quote must not break the document.
+  Schema schema({{"we\"ird", DataType::kInt64}, {"b", DataType::kInt64}});
+  Table raw(std::move(schema));
+  raw.AppendRow({Value(int64_t{1}), Value(int64_t{1})});
+  raw.AppendRow({Value(int64_t{2}), Value(int64_t{2})});
+  EncodedTable t = EncodeTable(raw);
+  DiscoveryResult result = DiscoverOds(t, {});
+  std::string json = ResultToJson(result, t);
+  EXPECT_NE(json.find("we\\\"ird"), std::string::npos);
+}
+
+TEST(ResultIoTest, CsvHasOneRowPerDependency) {
+  EncodedTable t = testing_util::PaperEncoded();
+  DiscoveryOptions options;
+  options.epsilon = 0.2;
+  DiscoveryResult result = DiscoverOds(t, options);
+  std::string csv = ResultToCsv(result, t);
+  int64_t lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, 1 + static_cast<int64_t>(result.ocs.size()) +
+                       static_cast<int64_t>(result.ofds.size()));
+  // Round-trips through our own CSV parser.
+  auto parsed = ParseCsv(csv).value();
+  EXPECT_EQ(parsed.num_rows(),
+            static_cast<int64_t>(result.ocs.size() + result.ofds.size()));
+  EXPECT_EQ(parsed.num_columns(), 9);
+}
+
+TEST(ResultIoTest, WriteStringToFileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/aod_result_io_test.json";
+  ASSERT_TRUE(WriteStringToFile(path, "{\"x\": 1}\n").ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "{\"x\": 1}\n");
+  EXPECT_FALSE(WriteStringToFile("/nonexistent/dir/file", "x").ok());
+}
+
+}  // namespace
+}  // namespace aod

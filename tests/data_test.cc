@@ -1,0 +1,384 @@
+// Tests for src/data: values, schema, columns, tables, CSV, type
+// inference, and the order-preserving rank encoder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/csv_parser.h"
+#include "data/encoder.h"
+#include "data/schema.h"
+#include "data/table.h"
+#include "data/type_inference.h"
+#include "data/value.h"
+#include "gen/random.h"
+#include "test_util.h"
+
+namespace aod {
+namespace {
+
+// ---------------------------------------------------------------- Value --
+
+TEST(ValueTest, NullOrdersFirst) {
+  EXPECT_LT(Value::Null(), Value(int64_t{-100}));
+  EXPECT_LT(Value::Null(), Value(-1e30));
+  EXPECT_LT(Value::Null(), Value(""));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value(int64_t{2}), Value(2.0));
+  EXPECT_LT(Value(int64_t{2}), Value(2.5));
+  EXPECT_GT(Value(3.5), Value(int64_t{3}));
+}
+
+TEST(ValueTest, NumericsBeforeStrings) {
+  EXPECT_LT(Value(int64_t{999}), Value("0"));
+  EXPECT_LT(Value(1e30), Value(""));
+}
+
+TEST(ValueTest, StringLexicographic) {
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_LT(Value("ab"), Value("abc"));
+  EXPECT_EQ(Value("x"), Value("x"));
+}
+
+TEST(ValueTest, LargeIntsCompareExactly) {
+  // Doubles cannot distinguish these; int64 comparison must.
+  int64_t base = (int64_t{1} << 53) + 0;
+  EXPECT_LT(Value(base), Value(base + 1));
+  EXPECT_NE(Value(base), Value(base + 1));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+}
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value(int64_t{1}).is_int());
+  EXPECT_TRUE(Value(1.0).is_double());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).AsNumeric(), 3.0);
+}
+
+// --------------------------------------------------------------- Schema --
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(s.num_fields(), 2);
+  EXPECT_EQ(s.FieldIndex("b").value(), 1);
+  EXPECT_FALSE(s.FieldIndex("missing").ok());
+  EXPECT_TRUE(s.HasField("a"));
+  EXPECT_EQ(s.field(0).name, "a");
+}
+
+TEST(SchemaTest, ToString) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kDouble}});
+  EXPECT_EQ(s.ToString(), "a:int64, b:double");
+}
+
+TEST(SchemaDeathTest, DuplicateFieldNameChecks) {
+  Schema s({{"a", DataType::kInt64}});
+  EXPECT_DEATH(s.AddField({"a", DataType::kString}), "duplicate field");
+}
+
+// --------------------------------------------------------------- Column --
+
+TEST(ColumnTest, AppendAndGet) {
+  Column col("c", DataType::kInt64);
+  col.AppendInt(5);
+  col.Append(Value(int64_t{7}));
+  col.AppendNull();
+  EXPECT_EQ(col.size(), 3);
+  EXPECT_EQ(col.GetValue(0), Value(int64_t{5}));
+  EXPECT_EQ(col.GetValue(1), Value(int64_t{7}));
+  EXPECT_TRUE(col.GetValue(2).is_null());
+  EXPECT_EQ(col.null_count(), 1);
+}
+
+TEST(ColumnTest, SetValueTracksNullCount) {
+  Column col("c", DataType::kDouble);
+  col.AppendDouble(1.0);
+  col.AppendNull();
+  EXPECT_EQ(col.null_count(), 1);
+  col.SetValue(0, Value::Null());
+  EXPECT_EQ(col.null_count(), 2);
+  col.SetValue(1, Value(2.5));
+  EXPECT_EQ(col.null_count(), 1);
+  EXPECT_EQ(col.GetValue(1), Value(2.5));
+}
+
+TEST(ColumnTest, DoubleColumnAcceptsIntValues) {
+  Column col("c", DataType::kDouble);
+  col.Append(Value(int64_t{3}));
+  EXPECT_EQ(col.GetValue(0), Value(3.0));
+}
+
+TEST(ColumnDeathTest, TypeMismatchChecks) {
+  Column col("c", DataType::kInt64);
+  EXPECT_DEATH(col.Append(Value("str")), "appending non-int");
+}
+
+// ---------------------------------------------------------------- Table --
+
+TEST(TableTest, FromRowsRoundTrip) {
+  Table t = testing_util::PaperTable1();
+  EXPECT_EQ(t.num_rows(), 9);
+  EXPECT_EQ(t.num_columns(), 7);
+  EXPECT_EQ(t.GetValue(0, 0), Value("sec"));
+  EXPECT_EQ(t.GetValue(8, 2), Value(int64_t{200}));
+  EXPECT_EQ(t.ColumnByName("sal").value()->GetValue(3), Value(int64_t{40}));
+  EXPECT_FALSE(t.ColumnByName("nope").ok());
+}
+
+TEST(TableTest, HeadTakesPrefix) {
+  Table t = testing_util::PaperTable1();
+  Table h = t.Head(3);
+  EXPECT_EQ(h.num_rows(), 3);
+  EXPECT_EQ(h.GetValue(2, 0), Value("dev"));
+  EXPECT_EQ(t.Head(100).num_rows(), 9);
+}
+
+TEST(TableTest, SelectColumnsReordersAndSubsets) {
+  Table t = testing_util::PaperTable1();
+  Table s = t.SelectColumns({"sal", "pos"}).value();
+  EXPECT_EQ(s.num_columns(), 2);
+  EXPECT_EQ(s.schema().field(0).name, "sal");
+  EXPECT_EQ(s.GetValue(0, 0), Value(int64_t{20}));
+  EXPECT_EQ(s.GetValue(0, 1), Value("sec"));
+  EXPECT_FALSE(t.SelectColumns({"nope"}).ok());
+}
+
+TEST(TableTest, SelectFirstColumns) {
+  Table t = testing_util::PaperTable1();
+  Table s = t.SelectFirstColumns(3);
+  EXPECT_EQ(s.num_columns(), 3);
+  EXPECT_EQ(s.schema().field(2).name, "sal");
+  EXPECT_EQ(s.num_rows(), 9);
+}
+
+TEST(TableTest, ToStringListsRowsAndTruncates) {
+  Table t = testing_util::PaperTable1();
+  std::string s = t.ToString(2);
+  EXPECT_NE(s.find("pos"), std::string::npos);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+}
+
+// ------------------------------------------------------- Type inference --
+
+TEST(TypeInferenceTest, NullTokens) {
+  EXPECT_TRUE(IsNullToken(""));
+  EXPECT_TRUE(IsNullToken("  "));
+  EXPECT_TRUE(IsNullToken("NULL"));
+  EXPECT_TRUE(IsNullToken("na"));
+  EXPECT_TRUE(IsNullToken("N/A"));
+  EXPECT_TRUE(IsNullToken("?"));
+  EXPECT_FALSE(IsNullToken("0"));
+  EXPECT_FALSE(IsNullToken("none"));
+}
+
+TEST(TypeInferenceTest, NarrowestType) {
+  EXPECT_EQ(InferColumnType({"1", "2", ""}), DataType::kInt64);
+  EXPECT_EQ(InferColumnType({"1", "2.5"}), DataType::kDouble);
+  EXPECT_EQ(InferColumnType({"1", "x"}), DataType::kString);
+  EXPECT_EQ(InferColumnType({"", "NULL"}), DataType::kString);
+  EXPECT_EQ(InferColumnType({"-3", "+e"}), DataType::kString);
+}
+
+TEST(TypeInferenceTest, ParseCellCoercesAndNulls) {
+  EXPECT_EQ(ParseCell("7", DataType::kInt64), Value(int64_t{7}));
+  EXPECT_EQ(ParseCell("2.5", DataType::kDouble), Value(2.5));
+  EXPECT_EQ(ParseCell(" x ", DataType::kString), Value("x"));
+  EXPECT_TRUE(ParseCell("", DataType::kInt64).is_null());
+  EXPECT_TRUE(ParseCell("junk", DataType::kInt64).is_null());
+}
+
+// ------------------------------------------------------------------ CSV --
+
+TEST(CsvTest, BasicWithHeaderAndInference) {
+  auto t = ParseCsv("a,b,c\n1,2.5,x\n2,3.5,y\n").value();
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.schema().field(0).type, DataType::kInt64);
+  EXPECT_EQ(t.schema().field(1).type, DataType::kDouble);
+  EXPECT_EQ(t.schema().field(2).type, DataType::kString);
+  EXPECT_EQ(t.GetValue(1, 0), Value(int64_t{2}));
+  EXPECT_EQ(t.GetValue(0, 2), Value("x"));
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimitersAndEscapes) {
+  auto t = ParseCsv("name,notes\n\"Smith, John\",\"said \"\"hi\"\"\"\n")
+               .value();
+  EXPECT_EQ(t.GetValue(0, 0), Value("Smith, John"));
+  EXPECT_EQ(t.GetValue(0, 1), Value("said \"hi\""));
+}
+
+TEST(CsvTest, QuotedNewlines) {
+  auto t = ParseCsv("a,b\n\"line1\nline2\",2\n").value();
+  EXPECT_EQ(t.num_rows(), 1);
+  EXPECT_EQ(t.GetValue(0, 0), Value("line1\nline2"));
+}
+
+TEST(CsvTest, CrlfAndBlankLines) {
+  auto t = ParseCsv("a,b\r\n1,2\r\n\r\n3,4\r\n").value();
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.GetValue(1, 1), Value(int64_t{4}));
+}
+
+TEST(CsvTest, NoHeaderNamesColumns) {
+  CsvOptions options;
+  options.has_header = false;
+  auto t = ParseCsv("5,6\n7,8\n", options).value();
+  EXPECT_EQ(t.schema().field(0).name, "c0");
+  EXPECT_EQ(t.num_rows(), 2);
+}
+
+TEST(CsvTest, MaxRowsLimits) {
+  CsvOptions options;
+  options.max_rows = 1;
+  auto t = ParseCsv("a\n1\n2\n3\n", options).value();
+  EXPECT_EQ(t.num_rows(), 1);
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = '|';
+  auto t = ParseCsv("a|b\n1|2\n", options).value();
+  EXPECT_EQ(t.GetValue(0, 1), Value(int64_t{2}));
+}
+
+TEST(CsvTest, NullTokensBecomeNulls) {
+  auto t = ParseCsv("a,b\n1,x\nNULL,\n").value();
+  EXPECT_TRUE(t.GetValue(1, 0).is_null());
+  EXPECT_TRUE(t.GetValue(1, 1).is_null());
+}
+
+TEST(CsvTest, RaggedRowRejected) {
+  auto r = ParseCsv("a,b\n1,2\n3\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, UnterminatedQuoteRejected) {
+  auto r = ParseCsv("a\n\"oops\n");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(CsvTest, EmptyInputRejected) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvTest, DuplicateHeadersDeduplicated) {
+  auto t = ParseCsv("a,a\n1,2\n").value();
+  EXPECT_EQ(t.schema().field(0).name, "a");
+  EXPECT_NE(t.schema().field(1).name, "a");
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  Table t = testing_util::PaperTable1();
+  std::string csv = WriteCsv(t);
+  auto back = ParseCsv(csv).value();
+  ASSERT_EQ(back.num_rows(), t.num_rows());
+  ASSERT_EQ(back.num_columns(), t.num_columns());
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    for (int c = 0; c < t.num_columns(); ++c) {
+      EXPECT_EQ(back.GetValue(r, c), t.GetValue(r, c))
+          << "cell (" << r << ", " << c << ")";
+    }
+  }
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto r = ReadCsvFile("/nonexistent/path.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+// -------------------------------------------------------------- Encoder --
+
+TEST(EncoderTest, RanksAreDenseAndOrderPreserving) {
+  Column col("c", DataType::kInt64);
+  for (int64_t v : {30, 10, 20, 10, 30}) col.AppendInt(v);
+  EncodedColumn enc = EncodeColumn(col);
+  EXPECT_EQ(enc.cardinality, 3);
+  EXPECT_EQ(enc.ranks, (std::vector<int32_t>{2, 0, 1, 0, 2}));
+}
+
+TEST(EncoderTest, NullsShareSmallestRank) {
+  Column col("c", DataType::kInt64);
+  col.AppendInt(5);
+  col.AppendNull();
+  col.AppendInt(-100);
+  col.AppendNull();
+  EncodedColumn enc = EncodeColumn(col);
+  EXPECT_EQ(enc.cardinality, 3);
+  EXPECT_EQ(enc.ranks, (std::vector<int32_t>{2, 0, 1, 0}));
+}
+
+TEST(EncoderTest, StringColumnLexicographic) {
+  Column col("c", DataType::kString);
+  for (const char* v : {"bb", "aa", "cc", "aa"}) col.AppendString(v);
+  EncodedColumn enc = EncodeColumn(col);
+  EXPECT_EQ(enc.ranks, (std::vector<int32_t>{1, 0, 2, 0}));
+}
+
+TEST(EncoderTest, DoubleColumn) {
+  Column col("c", DataType::kDouble);
+  for (double v : {2.5, -1.0, 2.5, 0.0}) col.AppendDouble(v);
+  EncodedColumn enc = EncodeColumn(col);
+  EXPECT_EQ(enc.ranks, (std::vector<int32_t>{2, 0, 2, 1}));
+}
+
+TEST(EncoderTest, WholeTable) {
+  EncodedTable enc = testing_util::PaperEncoded();
+  EXPECT_EQ(enc.num_rows(), 9);
+  EXPECT_EQ(enc.num_columns(), 7);
+  EXPECT_EQ(enc.ColumnIndex("sal"), 2);
+  EXPECT_EQ(enc.ColumnIndex("nope"), -1);
+  // sal is strictly increasing in Table 1, so ranks are 0..8.
+  EXPECT_EQ(enc.ranks(2),
+            (std::vector<int32_t>{0, 1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(EncoderTest, FromIntsDensifies) {
+  EncodedTable enc = EncodedTableFromInts({"x"}, {{100, -5, 100, 7}});
+  EXPECT_EQ(enc.ranks(0), (std::vector<int32_t>{2, 0, 2, 1}));
+  EXPECT_EQ(enc.column(0).cardinality, 3);
+}
+
+// Property: encoding preserves the pairwise value order of every column.
+class EncoderPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EncoderPropertyTest, RankOrderMatchesValueOrder) {
+  Rng rng(GetParam());
+  Column col("c", DataType::kInt64);
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.1)) {
+      col.AppendNull();
+    } else {
+      col.AppendInt(rng.UniformInt(-50, 50));
+    }
+  }
+  EncodedColumn enc = EncodeColumn(col);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      Value a = col.GetValue(i);
+      Value b = col.GetValue(j);
+      int value_cmp = a.Compare(b);
+      int32_t ra = enc.ranks[static_cast<size_t>(i)];
+      int32_t rb = enc.ranks[static_cast<size_t>(j)];
+      int rank_cmp = ra < rb ? -1 : (ra > rb ? 1 : 0);
+      ASSERT_EQ(value_cmp, rank_cmp)
+          << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncoderPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace aod

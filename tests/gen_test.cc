@@ -1,0 +1,435 @@
+// Tests for src/gen: RNG, generic generator, error injection, and the
+// flight/ncvoter dataset simulators (including their seeded dependency
+// structure, validated with the library's own validators).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/encoder.h"
+#include "gen/dataset_generator.h"
+#include "gen/error_injector.h"
+#include "gen/flight_generator.h"
+#include "gen/ncvoter_generator.h"
+#include "gen/random.h"
+#include "od/aoc_iterative_validator.h"
+#include "od/aoc_lis_validator.h"
+#include "od/oc_validator.h"
+#include "od/ofd_validator.h"
+#include "partition/stripped_partition.h"
+
+namespace aod {
+namespace {
+
+// ------------------------------------------------------------------ Rng --
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 5);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 5);
+  }
+  // Degenerate range.
+  EXPECT_EQ(rng.UniformInt(9, 9), 9);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 2000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 5000; ++i) hits += rng.Bernoulli(0.2) ? 1 : 0;
+  EXPECT_NEAR(hits / 5000.0, 0.2, 0.03);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallValues) {
+  Rng rng(23);
+  int small = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    int64_t v = rng.Zipf(100, 1.2);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 100);
+    if (v < 10) ++small;
+  }
+  EXPECT_GT(small, n / 2);  // heavy head
+  // s = 0 degrades to uniform.
+  small = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Zipf(100, 0.0) < 10) ++small;
+  }
+  EXPECT_NEAR(small / static_cast<double>(n), 0.10, 0.03);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(29);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+// ----------------------------------------------------- DatasetGenerator --
+
+TEST(DatasetGeneratorTest, SequentialKeyIsKey) {
+  Table t = GenerateTable({{.name = "id", .kind = ColumnKind::kSequentialKey}},
+                          100, 1);
+  EXPECT_EQ(t.GetValue(0, 0), Value(int64_t{0}));
+  EXPECT_EQ(t.GetValue(99, 0), Value(int64_t{99}));
+}
+
+TEST(DatasetGeneratorTest, UniformCardinalityRespected) {
+  Table t = GenerateTable({{.name = "u", .kind = ColumnKind::kUniformInt,
+                            .cardinality = 7}},
+                          2000, 2);
+  std::set<int64_t> seen;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    int64_t v = t.GetValue(r, 0).as_int();
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(DatasetGeneratorTest, MonotoneWithErrorsHasControlledOcFactor) {
+  Table t = GenerateTable(
+      {{.name = "base", .kind = ColumnKind::kUniformInt, .cardinality = 5000},
+       {.name = "derived", .kind = ColumnKind::kMonotoneWithErrors,
+        .base_column = 0, .violation_rate = 0.10}},
+      4000, 3);
+  EncodedTable enc = EncodeTable(t);
+  auto whole = StrippedPartition::WholeRelation(enc.num_rows());
+  ValidationOutcome out =
+      ValidateAocOptimal(enc, whole, 0, 1, 1.0, enc.num_rows());
+  // The minimal removal set should be close to the violation rate.
+  EXPECT_GT(out.approx_factor, 0.05);
+  EXPECT_LT(out.approx_factor, 0.13);
+}
+
+TEST(DatasetGeneratorTest, MonotoneWithZeroErrorsIsExact) {
+  Table t = GenerateTable(
+      {{.name = "base", .kind = ColumnKind::kUniformInt, .cardinality = 100},
+       {.name = "derived", .kind = ColumnKind::kMonotoneWithErrors,
+        .base_column = 0, .violation_rate = 0.0}},
+      500, 4);
+  EncodedTable enc = EncodeTable(t);
+  auto whole = StrippedPartition::WholeRelation(enc.num_rows());
+  EXPECT_TRUE(ValidateOcExact(enc, whole, 0, 1));
+}
+
+TEST(DatasetGeneratorTest, DerivedPermutedKeepsFd) {
+  Table t = GenerateTable(
+      {{.name = "base", .kind = ColumnKind::kUniformInt, .cardinality = 20},
+       {.name = "perm", .kind = ColumnKind::kDerivedPermuted,
+        .base_column = 0}},
+      1000, 5);
+  EncodedTable enc = EncodeTable(t);
+  auto base_partition = StrippedPartition::FromColumn(enc.column(0));
+  EXPECT_TRUE(ValidateOfdExact(enc, base_partition, 1));
+}
+
+TEST(DatasetGeneratorTest, MonotoneDomainErrorsKeepsFdBreaksOc) {
+  Table t = GenerateTable(
+      {{.name = "base", .kind = ColumnKind::kUniformInt, .cardinality = 200},
+       {.name = "code", .kind = ColumnKind::kMonotoneDomainErrors,
+        .base_column = 0, .violation_rate = 0.10}},
+      3000, 6);
+  EncodedTable enc = EncodeTable(t);
+  auto base_partition = StrippedPartition::FromColumn(enc.column(0));
+  EXPECT_TRUE(ValidateOfdExact(enc, base_partition, 1));  // FD exact
+  auto whole = StrippedPartition::WholeRelation(enc.num_rows());
+  ValidationOutcome out =
+      ValidateAocOptimal(enc, whole, 0, 1, 1.0, enc.num_rows());
+  EXPECT_GT(out.approx_factor, 0.01);  // OC only approximate
+  EXPECT_LT(out.approx_factor, 0.25);
+}
+
+TEST(DatasetGeneratorTest, NoisyLinearCorrelates) {
+  Table t = GenerateTable(
+      {{.name = "base", .kind = ColumnKind::kUniformInt,
+        .cardinality = 10000},
+       {.name = "lin", .kind = ColumnKind::kNoisyLinear, .base_column = 0,
+        .scale = 2.0, .noise_stddev = 0.0}},
+      300, 7);
+  EncodedTable enc = EncodeTable(t);
+  auto whole = StrippedPartition::WholeRelation(enc.num_rows());
+  EXPECT_TRUE(ValidateOcExact(enc, whole, 0, 1));  // noise-free => exact
+}
+
+TEST(DatasetGeneratorTest, CategoricalStringsNamed) {
+  Table t = GenerateTable({{.name = "city",
+                            .kind = ColumnKind::kCategoricalString,
+                            .cardinality = 5}},
+                          50, 8);
+  EXPECT_EQ(t.schema().field(0).type, DataType::kString);
+  EXPECT_EQ(t.GetValue(0, 0).as_string().rfind("city_", 0), 0u);
+}
+
+TEST(DatasetGeneratorTest, DeterministicInSeed) {
+  std::vector<ColumnSpec> specs = {
+      {.name = "u", .kind = ColumnKind::kUniformInt, .cardinality = 50}};
+  Table a = GenerateTable(specs, 100, 42);
+  Table b = GenerateTable(specs, 100, 42);
+  for (int64_t r = 0; r < 100; ++r) {
+    ASSERT_EQ(a.GetValue(r, 0), b.GetValue(r, 0));
+  }
+}
+
+// -------------------------------------------------------- ErrorInjector --
+
+TEST(ErrorInjectorTest, ScaleErrorsModifyApproximateRate) {
+  Table t = GenerateTable({{.name = "v", .kind = ColumnKind::kUniformInt,
+                            .cardinality = 1000}},
+                          2000, 9);
+  int64_t modified = InjectScaleErrors(&t, "v", 0.1, 10.0, 11).value();
+  EXPECT_NEAR(static_cast<double>(modified) / 2000.0, 0.1, 0.03);
+}
+
+TEST(ErrorInjectorTest, ScaleErrorRejectsStringColumn) {
+  Table t = GenerateTable({{.name = "s",
+                            .kind = ColumnKind::kCategoricalString,
+                            .cardinality = 3}},
+                          10, 10);
+  EXPECT_FALSE(InjectScaleErrors(&t, "s", 0.1, 10.0, 1).ok());
+  EXPECT_FALSE(InjectScaleErrors(&t, "missing", 0.1, 10.0, 1).ok());
+}
+
+TEST(ErrorInjectorTest, NullsInjected) {
+  Table t = GenerateTable({{.name = "v", .kind = ColumnKind::kUniformInt,
+                            .cardinality = 10}},
+                          1000, 12);
+  int64_t modified = InjectNulls(&t, "v", 0.25, 13).value();
+  EXPECT_EQ(t.column(0).null_count(), modified);
+  EXPECT_NEAR(static_cast<double>(modified) / 1000.0, 0.25, 0.05);
+}
+
+TEST(ErrorInjectorTest, CellSwapsPreserveMultiset) {
+  Table t = GenerateTable({{.name = "v", .kind = ColumnKind::kUniformInt,
+                            .cardinality = 50}},
+                          500, 14);
+  std::multiset<int64_t> before;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    before.insert(t.GetValue(r, 0).as_int());
+  }
+  InjectCellSwaps(&t, "v", 0.2, 15).value();
+  std::multiset<int64_t> after;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    after.insert(t.GetValue(r, 0).as_int());
+  }
+  EXPECT_EQ(before, after);
+}
+
+TEST(ErrorInjectorTest, OutliersAreExtreme) {
+  Table t = GenerateTable({{.name = "v", .kind = ColumnKind::kUniformInt,
+                            .cardinality = 100}},
+                          300, 16);
+  int64_t modified = InjectOutliers(&t, "v", 0.05, 100.0, 17).value();
+  EXPECT_GT(modified, 0);
+  int64_t extreme = 0;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    if (std::llabs(t.GetValue(r, 0).as_int()) > 5000) ++extreme;
+  }
+  EXPECT_EQ(extreme, modified);
+}
+
+// ---------------------------------------------------- Flight simulator --
+
+TEST(FlightGeneratorTest, SchemaShape) {
+  Table t = GenerateFlightTable(100, 10, 1);
+  EXPECT_EQ(t.num_columns(), 10);
+  EXPECT_EQ(t.num_rows(), 100);
+  EXPECT_EQ(t.schema().field(0).name, "flightId");
+  Table full = GenerateFlightTable(50, kFlightMaxAttributes, 1);
+  EXPECT_EQ(full.num_columns(), 35);
+}
+
+TEST(FlightGeneratorTest, ArrDelayLateAircraftAocNearPaperFactor) {
+  Table t = GenerateFlightTable(20000, 10, 42);
+  EncodedTable enc = EncodeTable(t);
+  int a = enc.ColumnIndex("arrDelay");
+  int b = enc.ColumnIndex("lateAircraftDelay");
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  auto whole = StrippedPartition::WholeRelation(enc.num_rows());
+  ValidatorOptions full;
+  full.early_exit = false;
+  ValidationOutcome out =
+      ValidateAocOptimal(enc, whole, a, b, 1.0, enc.num_rows(), full);
+  // Paper Exp-4: true approximation factor ~9.5%...
+  EXPECT_NEAR(out.approx_factor, 0.095, 0.01);
+  // ...which the greedy iterative validator overestimates as ~10.5%,
+  // pushing the AOC past the 10% threshold (incompleteness in action).
+  ValidationOutcome greedy =
+      ValidateAocIterative(enc, whole, a, b, 1.0, enc.num_rows(), full);
+  EXPECT_NEAR(greedy.approx_factor, 0.105, 0.01);
+  EXPECT_LE(out.approx_factor, 0.10);
+  EXPECT_GT(greedy.approx_factor, 0.10);
+}
+
+TEST(FlightGeneratorTest, IataPairIsExactFdApproxOc) {
+  Table t = GenerateFlightTable(20000, 10, 42);
+  EncodedTable enc = EncodeTable(t);
+  int id = enc.ColumnIndex("originAirportId");
+  int code = enc.ColumnIndex("originIataCode");
+  auto id_partition = StrippedPartition::FromColumn(enc.column(id));
+  EXPECT_TRUE(ValidateOfdExact(enc, id_partition, code));
+  auto whole = StrippedPartition::WholeRelation(enc.num_rows());
+  EXPECT_FALSE(ValidateOcExact(enc, whole, id, code));
+  ValidationOutcome out =
+      ValidateAocOptimal(enc, whole, id, code, 1.0, enc.num_rows());
+  // Paper Exp-6: originAirport ~ IATACode at ~8%.
+  EXPECT_GT(out.approx_factor, 0.01);
+  EXPECT_LT(out.approx_factor, 0.20);
+}
+
+TEST(FlightGeneratorTest, MonthQuarterExactOd) {
+  Table t = GenerateFlightTable(5000, 19, 42);
+  EncodedTable enc = EncodeTable(t);
+  int month = enc.ColumnIndex("month");
+  int quarter = enc.ColumnIndex("quarter");
+  ASSERT_GE(quarter, 0);
+  auto whole = StrippedPartition::WholeRelation(enc.num_rows());
+  EXPECT_TRUE(ValidateOcExact(enc, whole, month, quarter));
+  auto month_partition = StrippedPartition::FromColumn(enc.column(month));
+  EXPECT_TRUE(ValidateOfdExact(enc, month_partition, quarter));
+}
+
+TEST(FlightGeneratorTest, DeterministicAcrossCalls) {
+  Table a = GenerateFlightTable(200, 12, 7);
+  Table b = GenerateFlightTable(200, 12, 7);
+  for (int64_t r = 0; r < 200; ++r) {
+    for (int c = 0; c < 12; ++c) {
+      ASSERT_EQ(a.GetValue(r, c), b.GetValue(r, c));
+    }
+  }
+}
+
+// --------------------------------------------------- NcVoter simulator --
+
+TEST(NcVoterGeneratorTest, SchemaShape) {
+  Table t = GenerateNcVoterTable(100, 10, 1);
+  EXPECT_EQ(t.num_columns(), 10);
+  EXPECT_EQ(t.schema().field(5).type, DataType::kString);
+  Table full = GenerateNcVoterTable(50, kNcVoterMaxAttributes, 1);
+  EXPECT_EQ(full.num_columns(), 30);
+}
+
+TEST(NcVoterGeneratorTest, ZipOrdersCountyExactly) {
+  Table t = GenerateNcVoterTable(5000, 10, 3);
+  EncodedTable enc = EncodeTable(t);
+  int zip = enc.ColumnIndex("zip");
+  int county = enc.ColumnIndex("county");
+  auto whole = StrippedPartition::WholeRelation(enc.num_rows());
+  EXPECT_TRUE(ValidateOcExact(enc, whole, zip, county));
+  auto zip_partition = StrippedPartition::FromColumn(enc.column(zip));
+  EXPECT_TRUE(ValidateOfdExact(enc, zip_partition, county));
+}
+
+TEST(NcVoterGeneratorTest, MunicipalityAbbrevAocInPaperBand) {
+  Table t = GenerateNcVoterTable(20000, 10, 1729);
+  EncodedTable enc = EncodeTable(t);
+  int desc = enc.ColumnIndex("municipalityDesc");
+  int abbr = enc.ColumnIndex("municipalityAbbrv");
+  auto whole = StrippedPartition::WholeRelation(enc.num_rows());
+  EXPECT_FALSE(ValidateOcExact(enc, whole, desc, abbr));
+  ValidationOutcome out =
+      ValidateAocOptimal(enc, whole, desc, abbr, 1.0, enc.num_rows());
+  // Paper Exp-4: municipalityAbbrv ~ municipalityDesc at <= 20%.
+  EXPECT_GT(out.approx_factor, 0.02);
+  EXPECT_LT(out.approx_factor, 0.22);
+}
+
+TEST(NcVoterGeneratorTest, AgeBirthYearInverse) {
+  Table t = GenerateNcVoterTable(2000, 10, 5);
+  EncodedTable enc = EncodeTable(t);
+  int age = enc.ColumnIndex("age");
+  int birth = enc.ColumnIndex("birthYear");
+  auto age_partition = StrippedPartition::FromColumn(enc.column(age));
+  EXPECT_TRUE(ValidateOfdExact(enc, age_partition, birth));  // FD exact
+  auto whole = StrippedPartition::WholeRelation(enc.num_rows());
+  EXPECT_FALSE(ValidateOcExact(enc, whole, age, birth));  // inverse order
+}
+
+TEST(NcVoterGeneratorTest, RegistrationDateNearlyOrderedByRegNum) {
+  Table t = GenerateNcVoterTable(10000, 10, 11);
+  EncodedTable enc = EncodeTable(t);
+  int reg = enc.ColumnIndex("regNum");
+  int date = enc.ColumnIndex("registrationDate");
+  auto whole = StrippedPartition::WholeRelation(enc.num_rows());
+  ValidationOutcome out =
+      ValidateAocOptimal(enc, whole, reg, date, 1.0, enc.num_rows());
+  EXPECT_NEAR(out.approx_factor, 0.05, 0.02);
+}
+
+TEST(NcVoterGeneratorTest, CommitteeConstantPerCountyParty) {
+  Table t = GenerateNcVoterTable(3000, 20, 13);
+  EncodedTable enc = EncodeTable(t);
+  int county = enc.ColumnIndex("county");
+  int party = enc.ColumnIndex("party");
+  int committee = enc.ColumnIndex("committeeId");
+  ASSERT_GE(committee, 0);
+  auto pc = StrippedPartition::FromColumn(enc.column(county));
+  auto pp = StrippedPartition::FromColumn(enc.column(party));
+  auto both = pc.Product(pp, enc.num_rows());
+  EXPECT_TRUE(ValidateOfdExact(enc, both, committee));
+  // But county alone does not determine it.
+  EXPECT_FALSE(ValidateOfdExact(enc, pc, committee));
+}
+
+}  // namespace
+}  // namespace aod

@@ -1,0 +1,198 @@
+// Tests for list-based ODs: the canonical mapping (paper Sec. 2.2,
+// Example 2.13) and the list-based validators (Sec. 3.3 + footnote 1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/random.h"
+#include "od/list_od.h"
+#include "od/list_od_validator.h"
+#include "test_util.h"
+
+namespace aod {
+namespace {
+
+constexpr int kPos = 0;
+constexpr int kExp = 1;
+constexpr int kSal = 2;
+constexpr int kTaxGrp = 3;
+
+// ---------------------------------------------------- canonical mapping --
+
+TEST(ListOdMappingTest, PaperExample213) {
+  // [A, B] -> [C, D] with A=0, B=1, C=2, D=3.
+  ListOd od{{0, 1}, {2, 3}};
+  CanonicalOdSet set = MapListOdToCanonical(od);
+
+  ASSERT_EQ(set.ofds.size(), 2u);
+  EXPECT_EQ(set.ofds[0], (CanonicalOfd{AttributeSet::Of({0, 1}), 2}));
+  EXPECT_EQ(set.ofds[1], (CanonicalOfd{AttributeSet::Of({0, 1}), 3}));
+
+  ASSERT_EQ(set.ocs.size(), 4u);
+  EXPECT_EQ(set.ocs[0], (CanonicalOc{AttributeSet(), 0, 2}));
+  EXPECT_EQ(set.ocs[1], (CanonicalOc{AttributeSet::Of({2}), 0, 3}));
+  EXPECT_EQ(set.ocs[2], (CanonicalOc{AttributeSet::Of({0}), 1, 2}));
+  EXPECT_EQ(set.ocs[3], (CanonicalOc{AttributeSet::Of({0, 2}), 1, 3}));
+}
+
+TEST(ListOdMappingTest, SingletonLists) {
+  ListOd od{{4}, {7}};
+  CanonicalOdSet set = MapListOdToCanonical(od);
+  ASSERT_EQ(set.ofds.size(), 1u);
+  EXPECT_EQ(set.ofds[0], (CanonicalOfd{AttributeSet::Of({4}), 7}));
+  ASSERT_EQ(set.ocs.size(), 1u);
+  EXPECT_EQ(set.ocs[0], (CanonicalOc{AttributeSet(), 4, 7}));
+}
+
+TEST(ListOdMappingTest, TrivialityPredicates) {
+  EXPECT_TRUE(IsTrivial(CanonicalOc{AttributeSet(), 3, 3}));
+  EXPECT_TRUE(IsTrivial(CanonicalOc{AttributeSet::Of({3}), 3, 4}));
+  EXPECT_FALSE(IsTrivial(CanonicalOc{AttributeSet::Of({1}), 3, 4}));
+  EXPECT_TRUE(IsTrivial(CanonicalOfd{AttributeSet::Of({2}), 2}));
+  EXPECT_FALSE(IsTrivial(CanonicalOfd{AttributeSet::Of({2}), 3}));
+}
+
+TEST(ListOdTest, ToStringForms) {
+  EncodedTable t = testing_util::PaperEncoded();
+  ListOd od{{kPos, kSal}, {kPos, kExp}};
+  EXPECT_EQ(od.ToString(t), "[pos, sal] -> [pos, exp]");
+  EXPECT_EQ((CanonicalOc{AttributeSet::Of({kPos}), kSal, kTaxGrp})
+                .ToString(t),
+            "{pos}: sal ~ taxGrp");
+  EXPECT_EQ(
+      (CanonicalOfd{AttributeSet::Of({kPos, kSal}), kTaxGrp}).ToString(t),
+      "{pos, sal}: [] -> taxGrp");
+}
+
+// --------------------------------------------------- exact validation --
+
+TEST(ListOdValidatorTest, PaperTableSalOrdersTaxGrp) {
+  EncodedTable t = testing_util::PaperEncoded();
+  EXPECT_TRUE(ValidateListOdExact(t, {{kSal}, {kTaxGrp}}));
+  EXPECT_FALSE(ValidateListOdExact(t, {{kTaxGrp}, {kSal}}));  // FD fails
+  EXPECT_TRUE(ValidateListOcExact(t, {{kTaxGrp}, {kSal}}));   // OC holds
+}
+
+TEST(ListOdValidatorTest, PaperPosExpPosSal) {
+  EncodedTable t = testing_util::PaperEncoded();
+  // pos,exp ~ pos,sal has the t8 swap.
+  EXPECT_FALSE(ValidateListOcExact(t, {{kPos, kExp}, {kPos, kSal}}));
+  ValidationOutcome out = ValidateListOcApprox(
+      t, {{kPos, kExp}, {kPos, kSal}}, 1.0);
+  // Paper Sec. 1.1: minimal removal set {t8}, factor 1/9.
+  EXPECT_EQ(out.removal_size, 1);
+  EXPECT_NEAR(out.approx_factor, 1.0 / 9.0, 1e-9);
+}
+
+TEST(ListOdValidatorTest, EmptyListsAreTriviallyValid) {
+  EncodedTable t = testing_util::PaperEncoded();
+  EXPECT_TRUE(ValidateListOdExact(t, {{}, {}}));
+  EXPECT_TRUE(ValidateListOdExact(t, {{kSal}, {}}));
+  // [] -> [sal]: the empty lhs makes all tuples comparable, so sal must
+  // already be sorted in *every* order — fails unless constant.
+  EXPECT_FALSE(ValidateListOdExact(t, {{}, {kSal}}));
+}
+
+TEST(ListOdValidatorTest, ReflexiveAndPrefix) {
+  EncodedTable t = testing_util::PaperEncoded();
+  EXPECT_TRUE(ValidateListOdExact(t, {{kSal, kExp}, {kSal}}));
+  EXPECT_TRUE(ValidateListOcExact(t, {{kSal}, {kSal, kExp}}));
+}
+
+// -------------------------------------- definition-based random checks --
+
+/// Literal Def. 2.1/2.2 oracle: s <=_X t  =>  s <=_Y t for all pairs.
+bool OdHoldsByDefinition(const EncodedTable& t, const ListOd& od) {
+  auto leq = [&](const std::vector<int>& attrs, int64_t s, int64_t u) {
+    for (int a : attrs) {
+      int32_t sv = t.ranks(a)[static_cast<size_t>(s)];
+      int32_t uv = t.ranks(a)[static_cast<size_t>(u)];
+      if (sv != uv) return sv < uv;
+    }
+    return true;  // equal on all attrs => s precedes t (both directions)
+  };
+  for (int64_t s = 0; s < t.num_rows(); ++s) {
+    for (int64_t u = 0; u < t.num_rows(); ++u) {
+      if (leq(od.lhs, s, u) && !leq(od.rhs, s, u)) return false;
+    }
+  }
+  return true;
+}
+
+class ListOdPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ListOdPropertyTest, ExactValidatorMatchesDefinition) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    EncodedTable t = testing_util::RandomEncodedTable(
+        rng.UniformInt(2, 25), 4, rng.UniformInt(2, 4),
+        rng.NextUint64());
+    // Random lists over the 4 attributes (repeats allowed).
+    auto random_list = [&rng]() {
+      std::vector<int> out;
+      int len = static_cast<int>(rng.UniformInt(1, 3));
+      for (int i = 0; i < len; ++i) {
+        out.push_back(static_cast<int>(rng.UniformInt(0, 3)));
+      }
+      return out;
+    };
+    ListOd od{random_list(), random_list()};
+    ASSERT_EQ(ValidateListOdExact(t, od), OdHoldsByDefinition(t, od))
+        << od.ToString();
+    // OC symmetry.
+    ListOd rev{od.rhs, od.lhs};
+    ASSERT_EQ(ValidateListOcExact(t, od), ValidateListOcExact(t, rev));
+  }
+}
+
+TEST_P(ListOdPropertyTest, ApproxRemovalSetsAreRemovalSets) {
+  Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 20; ++trial) {
+    EncodedTable t = testing_util::RandomEncodedTable(
+        rng.UniformInt(2, 20), 3, 3, rng.NextUint64());
+    ListOd od{{static_cast<int>(rng.UniformInt(0, 2))},
+              {static_cast<int>(rng.UniformInt(0, 2))}};
+    ValidatorOptions opts;
+    opts.collect_removal_set = true;
+    ValidationOutcome out = ValidateListOdApprox(t, od, 1.0, opts);
+    // Rebuild the reduced table and re-validate exactly.
+    std::vector<std::vector<int64_t>> cols(3);
+    std::set<int32_t> removed(out.removal_rows.begin(),
+                              out.removal_rows.end());
+    ASSERT_EQ(static_cast<int64_t>(removed.size()), out.removal_size);
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      if (removed.count(static_cast<int32_t>(r))) continue;
+      for (int c = 0; c < 3; ++c) {
+        cols[static_cast<size_t>(c)].push_back(
+            t.ranks(c)[static_cast<size_t>(r)]);
+      }
+    }
+    EncodedTable reduced = EncodedTableFromInts({"a", "b", "c"}, cols);
+    ASSERT_TRUE(ValidateListOdExact(reduced, od))
+        << od.ToString() << " removal=" << out.removal_size;
+    // Exactness consistency: zero removal iff already exact.
+    ASSERT_EQ(out.removal_size == 0, ValidateListOdExact(t, od));
+  }
+}
+
+TEST_P(ListOdPropertyTest, ApproxOcMinimalityOnSingletonLists) {
+  // For singleton lists the list-based approximate OC must agree with the
+  // brute-force minimal removal set (they solve the same problem).
+  Rng rng(GetParam() + 2000);
+  for (int trial = 0; trial < 8; ++trial) {
+    EncodedTable t = testing_util::RandomEncodedTable(
+        rng.UniformInt(4, 11), 2, 3, rng.NextUint64());
+    ListOd od{{0}, {1}};
+    ValidationOutcome out = ValidateListOcApprox(t, od, 1.0);
+    int64_t truth =
+        testing_util::MinRemovalOcBruteForce(t, AttributeSet(), 0, 1);
+    ASSERT_EQ(out.removal_size, truth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ListOdPropertyTest,
+                         ::testing::Values(301, 302, 303));
+
+}  // namespace
+}  // namespace aod
