@@ -53,12 +53,10 @@ struct RunResult {
   DiscoveryResult full;
 };
 
-inline RunResult RunDiscovery(const EncodedTable& table, ValidatorKind kind,
-                              double epsilon, double budget_seconds = 0.0) {
-  DiscoveryOptions options;
-  options.validator = kind;
-  options.epsilon = epsilon;
-  options.time_budget_seconds = budget_seconds;
+/// Measures one DiscoverOds call with fully explicit options (the
+/// exp7 threads harness varies num_threads/pool).
+inline RunResult RunDiscoveryWithOptions(const EncodedTable& table,
+                                         const DiscoveryOptions& options) {
   Stopwatch sw;
   DiscoveryResult result = DiscoverOds(table, options);
   RunResult out;
@@ -70,6 +68,15 @@ inline RunResult RunDiscovery(const EncodedTable& table, ValidatorKind kind,
   out.oc_validation_share = result.stats.OcValidationShare();
   out.full = std::move(result);
   return out;
+}
+
+inline RunResult RunDiscovery(const EncodedTable& table, ValidatorKind kind,
+                              double epsilon, double budget_seconds = 0.0) {
+  DiscoveryOptions options;
+  options.validator = kind;
+  options.epsilon = epsilon;
+  options.time_budget_seconds = budget_seconds;
+  return RunDiscoveryWithOptions(table, options);
 }
 
 /// "0.123" or ">20.0*" when the run hit the budget (paper's "* 24h").

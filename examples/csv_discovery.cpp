@@ -10,7 +10,8 @@
 //     --max-rows=N          read only the first N data rows
 //     --validator=optimal   optimal | iterative | exact
 //     --bidirectional       also search A asc ~ B desc polarity
-//     --threads=N           parallel lattice workers
+//     --threads=N           parallel validation workers (0 = all cores;
+//                           results are identical for any thread count)
 //     --ods                 compose and print ODs from the OC/OFD parts
 //     --json=out.json       write the result as JSON
 //     --csv=out.csv         write the result as flat CSV

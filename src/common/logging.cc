@@ -63,7 +63,11 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
+  // One unbuffered write per message: messages from pool workers may
+  // interleave with the driver's, but never mid-line.
+  const std::string text = stream_.str();
+  std::fwrite(text.data(), 1, text.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace internal

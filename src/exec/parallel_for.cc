@@ -1,0 +1,62 @@
+#include "exec/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/macros.h"
+#include "exec/task_group.h"
+
+namespace aod {
+namespace exec {
+
+int64_t ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                    const std::function<void(int64_t)>& body,
+                    const ParallelForOptions& options) {
+  const int64_t n = end - begin;
+  if (n <= 0) return 0;
+  const int64_t grain = std::max<int64_t>(1, options.grain);
+  const int workers = pool == nullptr ? 1 : pool->num_workers();
+
+  if (workers <= 1 || n <= grain) {
+    int64_t executed = 0;
+    for (int64_t i = begin; i < end; i += grain) {
+      if (options.cancel && options.cancel()) break;
+      const int64_t stop = std::min(end, i + grain);
+      for (int64_t j = i; j < stop; ++j) body(j);
+      executed += stop - i;
+    }
+    return executed;
+  }
+
+  std::atomic<int64_t> cursor{begin};
+  std::atomic<int64_t> executed{0};
+  std::atomic<bool> cancelled{false};
+  auto run_chunks = [&] {
+    while (true) {
+      if (cancelled.load(std::memory_order_relaxed)) return;
+      if (options.cancel && options.cancel()) {
+        cancelled.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const int64_t i = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (i >= end) return;
+      const int64_t stop = std::min(end, i + grain);
+      for (int64_t j = i; j < stop; ++j) body(j);
+      executed.fetch_add(stop - i, std::memory_order_relaxed);
+    }
+  };
+
+  const int64_t max_tasks = (n + grain - 1) / grain;
+  const int tasks = static_cast<int>(
+      std::min<int64_t>(workers, max_tasks));
+  TaskGroup group(pool);
+  // The caller participates too (tasks - 1 forks + one local run): with a
+  // busy pool the loop still makes progress on the calling thread.
+  for (int t = 0; t < tasks - 1; ++t) group.Run(run_chunks);
+  run_chunks();
+  group.Wait();
+  return executed.load(std::memory_order_acquire);
+}
+
+}  // namespace exec
+}  // namespace aod

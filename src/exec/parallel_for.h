@@ -1,0 +1,43 @@
+// Data-parallel index loop with dynamic load balancing and cooperative
+// cancellation.
+//
+// Iterations are claimed from a shared atomic cursor in `grain`-sized
+// chunks, so imbalance is bounded by one chunk regardless of how skewed
+// the per-iteration cost is — the property the discovery driver needs to
+// keep a single huge lattice node from stalling a level. The `cancel`
+// hook is polled between chunks (cooperative deadline checks): once it
+// returns true no new chunk is started anywhere, but in-flight chunks
+// finish, so an iteration is always either fully executed or not at all.
+#ifndef AOD_EXEC_PARALLEL_FOR_H_
+#define AOD_EXEC_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "exec/thread_pool.h"
+
+namespace aod {
+namespace exec {
+
+struct ParallelForOptions {
+  /// Iterations claimed per cursor bump. 1 gives perfect balancing; raise
+  /// it when the per-iteration body is too cheap to amortize the claim.
+  int64_t grain = 1;
+  /// Polled before each chunk on every participating thread; returning
+  /// true stops further chunks from starting (in-flight chunks complete).
+  std::function<bool()> cancel;
+};
+
+/// Runs body(i) for i in [begin, end) on the pool (inline when `pool` is
+/// nullptr or single-worker). Returns the number of iterations executed:
+/// end - begin unless cancelled early. The body must not throw; bodies
+/// writing only to their own index's output slot need no synchronization
+/// — the internal join publishes their writes to the caller.
+int64_t ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                    const std::function<void(int64_t)>& body,
+                    const ParallelForOptions& options = {});
+
+}  // namespace exec
+}  // namespace aod
+
+#endif  // AOD_EXEC_PARALLEL_FOR_H_

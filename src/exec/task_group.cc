@@ -1,0 +1,47 @@
+#include "exec/task_group.h"
+
+#include <chrono>
+#include <utility>
+
+namespace aod {
+namespace exec {
+
+void TaskGroup::Run(std::function<void()> fn) {
+  if (pool_ == nullptr || pool_->num_workers() == 0) {
+    fn();
+    return;
+  }
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  pool_->Submit([this, fn = std::move(fn)] {
+    fn();
+    // The decrement happens under mutex_ so the joiner cannot observe 0,
+    // return, and destroy the group while this task is still about to
+    // touch mutex_/done_cv_ — Wait() re-acquires mutex_ before returning,
+    // which orders its exit after this critical section.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      done_cv_.notify_all();
+    }
+  });
+}
+
+void TaskGroup::Wait() {
+  while (outstanding_.load(std::memory_order_acquire) > 0) {
+    // Help instead of blocking. When nothing is runnable (our tasks are
+    // all mid-flight on other workers) park briefly; the timeout guards
+    // the race where the last task finishes between the load above and
+    // the wait below.
+    if (pool_ != nullptr && pool_->RunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  // The final task decremented outstanding_ inside mutex_; acquiring it
+  // here means that task has left (or not yet entered) its critical
+  // section, so the group is safe to destroy once we return.
+  std::lock_guard<std::mutex> lock(mutex_);
+}
+
+}  // namespace exec
+}  // namespace aod

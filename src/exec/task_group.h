@@ -1,0 +1,51 @@
+// Fork/join on a ThreadPool.
+//
+// A TaskGroup counts the tasks forked through it; Wait() returns once all
+// of them have finished. The joiner does not block idly: it helps by
+// running queued pool tasks, which keeps all cores busy and makes nested
+// fork/join (a pool task that itself forks and joins a group) safe on a
+// pool of any size.
+#ifndef AOD_EXEC_TASK_GROUP_H_
+#define AOD_EXEC_TASK_GROUP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+
+#include "common/macros.h"
+#include "exec/thread_pool.h"
+
+namespace aod {
+namespace exec {
+
+class TaskGroup {
+ public:
+  /// `pool` may be nullptr, in which case Run() executes inline — callers
+  /// can use one code path for serial and parallel execution.
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  /// Joins outstanding tasks; a group must not outlive its pool.
+  ~TaskGroup() { Wait(); }
+
+  AOD_DISALLOW_COPY_AND_ASSIGN(TaskGroup);
+
+  /// Forks `fn` onto the pool (or runs it inline without a pool). The
+  /// callable must not throw.
+  void Run(std::function<void()> fn);
+
+  /// Returns once every task forked through this group has finished.
+  /// Helps run pool tasks while waiting.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::atomic<int64_t> outstanding_{0};
+  std::mutex mutex_;
+  std::condition_variable done_cv_;
+};
+
+}  // namespace exec
+}  // namespace aod
+
+#endif  // AOD_EXEC_TASK_GROUP_H_

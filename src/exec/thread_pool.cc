@@ -1,0 +1,165 @@
+#include "exec/thread_pool.h"
+
+#include <utility>
+
+namespace aod {
+namespace exec {
+namespace {
+
+/// Which pool (if any) owns the current thread, and its index there.
+struct ThreadRegistration {
+  const ThreadPool* pool = nullptr;
+  int index = -1;
+};
+
+thread_local ThreadRegistration tls_registration;
+
+}  // namespace
+
+int ThreadPool::HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = HardwareConcurrency();
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(park_mutex_);
+  }
+  park_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  AOD_DCHECK(fn != nullptr);
+  int target;
+  const int self = WorkerIndex();
+  if (self >= 0) {
+    target = self;
+  } else {
+    target = static_cast<int>(
+        submit_cursor_.fetch_add(1, std::memory_order_relaxed) %
+        static_cast<uint32_t>(workers_.size()));
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[static_cast<size_t>(target)]
+                                         ->mutex);
+    workers_[static_cast<size_t>(target)]->tasks.push_back(std::move(fn));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    // Empty critical section, deliberately: a worker that saw queued_ == 0
+    // in its park predicate did so while holding park_mutex_. Acquiring it
+    // here orders this increment either before that check (the worker sees
+    // the task and never parks) or after the worker has started waiting
+    // (the notify below wakes it). Without it the notify can be lost.
+    std::lock_guard<std::mutex> lock(park_mutex_);
+  }
+  park_cv_.notify_one();
+}
+
+int ThreadPool::WorkerIndex() const {
+  return tls_registration.pool == this ? tls_registration.index : -1;
+}
+
+bool ThreadPool::PopLocal(int index, std::function<void()>* fn) {
+  Worker& worker = *workers_[static_cast<size_t>(index)];
+  std::lock_guard<std::mutex> lock(worker.mutex);
+  if (worker.tasks.empty()) return false;
+  *fn = std::move(worker.tasks.back());
+  worker.tasks.pop_back();
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ThreadPool::StealInto(int thief_index, std::function<void()>* fn) {
+  const int n = num_workers();
+  // Start scanning at the neighbour so thieves spread over victims instead
+  // of all hammering worker 0.
+  for (int offset = 1; offset <= n; ++offset) {
+    const int victim = (thief_index + offset) % n;
+    if (victim == thief_index) continue;
+    std::deque<std::function<void()>> loot;
+    {
+      Worker& w = *workers_[static_cast<size_t>(victim)];
+      std::lock_guard<std::mutex> lock(w.mutex);
+      if (w.tasks.empty()) continue;
+      const size_t take = (w.tasks.size() + 1) / 2;
+      for (size_t i = 0; i < take; ++i) {
+        loot.push_back(std::move(w.tasks.front()));
+        w.tasks.pop_front();
+      }
+    }
+    *fn = std::move(loot.front());
+    loot.pop_front();
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    if (!loot.empty()) {
+      Worker& mine = *workers_[static_cast<size_t>(thief_index)];
+      std::lock_guard<std::mutex> lock(mine.mutex);
+      while (!loot.empty()) {
+        mine.tasks.push_back(std::move(loot.front()));
+        loot.pop_front();
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::TakeAny(std::function<void()>* fn) {
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    Worker& w = *workers_[i];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (w.tasks.empty()) continue;
+    *fn = std::move(w.tasks.front());
+    w.tasks.pop_front();
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::RunOneTask() {
+  std::function<void()> fn;
+  const int self = WorkerIndex();
+  bool got = self >= 0 ? (PopLocal(self, &fn) || StealInto(self, &fn))
+                       : TakeAny(&fn);
+  if (!got) return false;
+  fn();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  tls_registration = {this, index};
+  std::function<void()> fn;
+  while (true) {
+    if (PopLocal(index, &fn) || StealInto(index, &fn)) {
+      fn();
+      fn = nullptr;
+      continue;
+    }
+    // Queues drained: exit on stop (a stopping pool finishes queued work
+    // first — see the loop order), otherwise park until new work arrives.
+    if (stop_.load(std::memory_order_acquire)) return;
+    std::unique_lock<std::mutex> lock(park_mutex_);
+    park_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+  }
+}
+
+}  // namespace exec
+}  // namespace aod

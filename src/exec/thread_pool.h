@@ -1,0 +1,94 @@
+// Persistent work-stealing thread pool — the execution layer under the
+// discovery driver (see ARCHITECTURE.md).
+//
+// Validator work is embarrassingly parallel but irregular: one lattice
+// node can carry hundreds of candidates while its neighbours carry none,
+// and class-size distributions make individual validations span orders of
+// magnitude. Static chunking (the pre-refactor driver spawned raw
+// std::threads with one contiguous chunk each) serializes every level on
+// its slowest chunk. This pool keeps workers alive across levels and
+// discovery calls, gives each worker its own deque (LIFO for locality),
+// and rebalances by stealing half of a victim's queue at a time, so a
+// straggler chunk cannot exist by construction.
+#ifndef AOD_EXEC_THREAD_POOL_H_
+#define AOD_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace aod {
+namespace exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means HardwareConcurrency().
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Drains every queued task, then joins the workers. Do not destroy a
+  /// pool while another thread may still Submit to it.
+  ~ThreadPool();
+
+  AOD_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static int HardwareConcurrency();
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. From a worker thread of this pool the task goes to
+  /// that worker's own deque (LIFO, cache-warm); from outside, deques are
+  /// fed round-robin. Never blocks.
+  void Submit(std::function<void()> fn);
+
+  /// Runs one queued task on the calling thread if any is available.
+  /// Callable from any thread; TaskGroup::Wait uses it so a joiner helps
+  /// instead of blocking (which also makes nested fork/join on the same
+  /// pool deadlock-free). Returns false when every deque is empty.
+  bool RunOneTask();
+
+  /// Index of the calling thread within this pool in [0, num_workers()),
+  /// or -1 when called from a thread this pool does not own. Stable for
+  /// the lifetime of the pool — usable as a per-worker scratch slot key.
+  int WorkerIndex() const;
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(int index);
+  /// Pops from the calling worker's own deque (back = most recently
+  /// pushed). Returns false when empty.
+  bool PopLocal(int index, std::function<void()>* fn);
+  /// Steals roughly half of some victim's deque (from the front — the
+  /// oldest, coldest tasks), runs nothing, requeues the surplus onto the
+  /// thief's deque and hands one task back. Returns false when every
+  /// victim is empty.
+  bool StealInto(int thief_index, std::function<void()>* fn);
+  /// Takes a single task from any deque (used by non-worker helpers).
+  bool TakeAny(std::function<void()>* fn);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Number of tasks currently sitting in deques; the park/wake predicate.
+  std::atomic<int64_t> queued_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint32_t> submit_cursor_{0};
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+};
+
+}  // namespace exec
+}  // namespace aod
+
+#endif  // AOD_EXEC_THREAD_POOL_H_

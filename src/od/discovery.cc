@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <thread>
 
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
 #include "od/aoc_iterative_validator.h"
 #include "od/aoc_lis_validator.h"
 #include "od/interestingness.h"
@@ -19,23 +20,58 @@
 namespace aod {
 namespace {
 
-/// Everything one node produces; merged serially in deterministic key
-/// order, so the discovery output is identical for any thread count.
-struct NodeOutcome {
-  LatticeNode node;
-  bool keep = true;
-  std::vector<DiscoveredOc> ocs;
-  std::vector<DiscoveredOfd> ofds;
-  // Stats deltas. With num_threads > 1 the seconds are CPU time summed
-  // across workers, not wall clock.
-  double oc_seconds = 0.0;
-  double ofd_seconds = 0.0;
-  int64_t oc_validated = 0;
-  int64_t ofd_validated = 0;
+/// The candidate lists of one lattice node, computed in the planning
+/// phase from the completed level below (read-only), before any
+/// validation of the current level runs.
+struct NodePlan {
+  /// C_c+(X) = ∩_{A∈X} C_c+(X\{A}), before this level's OFD results.
+  AttributeSet cc;
+  /// OFD targets A ∈ X ∩ cc, ascending.
+  std::vector<int> ofd_targets;
+  /// OC candidate pairs surviving inheritance and constancy pruning, in
+  /// deterministic generation order (lexicographic, polarity inner).
+  std::vector<AttributePair> oc_pairs;
   int64_t oc_pruned = 0;
+  /// First slot of this node's candidates in the level's flattened
+  /// candidate array; OFDs first, then OCs.
+  size_t first_slot = 0;
+  uint8_t planned = 0;
 };
 
-/// Run state threaded through the level loop.
+/// One validation unit — the grain of parallelism. A single node may
+/// contribute hundreds of these; flattening them across the level lets
+/// the work-stealing loop balance them individually, so one huge node no
+/// longer stalls a whole chunk of nodes.
+struct Candidate {
+  bool is_ofd = false;
+  AttributeSet context;
+  int ofd_target = -1;
+  AttributePair oc_pair;
+};
+
+/// Outcome slot, written exclusively by the worker that claimed the
+/// candidate and read only after the phase join.
+struct CandidateOutcome {
+  ValidationOutcome outcome;
+  double interestingness = 0.0;
+  /// CPU time of this one validation (merged into the summed-CPU stats).
+  double seconds = 0.0;
+  uint8_t done = 0;
+};
+
+/// Run state threaded through the level loop. Each level goes through
+/// four phases on the (optional) thread pool:
+///
+///   1. plan      — per node: candidate sets from the level below
+///   2. validate  — per candidate: the fine-grained parallel unit
+///   3. merge     — serial, in sorted key order: deterministic output
+///   4. materialize — per surviving node: next level's partitions
+///
+/// Workers in phases 1/2/4 read shared state (`previous`, the cache) and
+/// write only their own plan/outcome slot; the merge alone mutates the
+/// lattice and the result. Combined with the cache's fixed derivation
+/// rule this makes the dependency lists and every non-timing counter
+/// bit-identical for any thread count.
 struct Driver {
   const EncodedTable& table;
   const DiscoveryOptions& options;
@@ -46,6 +82,11 @@ struct Driver {
   std::atomic<bool> deadline_hit{false};
 
   std::unique_ptr<AocSampler> sampler;
+  /// Pool the run executes on: borrowed from options.pool, created for
+  /// the run when only num_threads is set, or null for a serial run.
+  std::unique_ptr<exec::ThreadPool> owned_pool;
+  exec::ThreadPool* pool = nullptr;
+  std::atomic<int64_t> partition_nanos{0};
 
   Driver(const EncodedTable& t, const DiscoveryOptions& o)
       : table(t),
@@ -56,6 +97,17 @@ struct Driver {
         options.validator == ValidatorKind::kOptimal) {
       sampler = std::make_unique<AocSampler>(&table, options.sampler_config);
     }
+    int threads = options.num_threads == 0
+                      ? exec::ThreadPool::HardwareConcurrency()
+                      : std::max(1, options.num_threads);
+    if (options.pool != nullptr) {
+      pool = options.pool;
+      threads = std::max(1, pool->num_workers());
+    } else if (threads > 1) {
+      owned_pool = std::make_unique<exec::ThreadPool>(threads);
+      pool = owned_pool.get();
+    }
+    result.stats.threads_used = threads;
   }
 
   bool OverBudget() {
@@ -66,99 +118,25 @@ struct Driver {
     return deadline_hit.load(std::memory_order_relaxed);
   }
 
-  /// Read-only partition lookup. Every context a node can ask for was
-  /// eagerly materialized while processing the level below (see Run), so
-  /// worker threads never mutate the cache.
+  exec::ParallelForOptions PhaseOptions(int64_t grain = 1) {
+    exec::ParallelForOptions opts;
+    opts.grain = grain;
+    opts.cancel = [this] { return OverBudget(); };
+    return opts;
+  }
+
+  /// Context partition lookup. Contexts were eagerly materialized while
+  /// processing the level below, so this is normally a pure cache hit;
+  /// Get() stays safe (and value-deterministic) either way.
   std::shared_ptr<const StrippedPartition> Lookup(AttributeSet set) {
-    AOD_CHECK_MSG(cache.Contains(set), "context partition %s not cached",
-                  set.ToString().c_str());
     return cache.Get(set);
   }
 
-  /// OFD candidate X\{A}: [] -> A. Appends to `out` when valid.
-  bool ValidateOfdCandidate(AttributeSet context, int a, int level,
-                            NodeOutcome* out) {
-    auto partition = Lookup(context);
-    ValidatorOptions vopts;
-    vopts.collect_removal_set = options.collect_removal_sets;
-
-    Stopwatch sw;
-    ValidationOutcome outcome;
-    if (options.validator == ValidatorKind::kExact) {
-      outcome.valid = ValidateOfdExact(table, *partition, a);
-    } else {
-      outcome = ValidateOfdApprox(table, *partition, a, epsilon,
-                                  table.num_rows(), vopts);
-    }
-    out->ofd_seconds += sw.ElapsedSeconds();
-    ++out->ofd_validated;
-    if (!outcome.valid) return false;
-
-    DiscoveredOfd found;
-    found.ofd = CanonicalOfd{context, a};
-    found.approx_factor = outcome.approx_factor;
-    found.removal_size = outcome.removal_size;
-    found.level = level;
-    found.interestingness =
-        InterestingnessScore(*partition, context.size(), table.num_rows());
-    found.removal_rows = std::move(outcome.removal_rows);
-    out->ofds.push_back(std::move(found));
-    return true;
-  }
-
-  /// OC candidate X\{A,B}: A ~ B (with polarity). Appends when valid.
-  bool ValidateOcCandidate(AttributeSet context, AttributePair pair,
-                           int level, NodeOutcome* out) {
-    auto partition = Lookup(context);
-    ValidatorOptions vopts;
-    vopts.collect_removal_set = options.collect_removal_sets;
-    vopts.opposite_polarity = pair.opposite;
-
-    Stopwatch sw;
-    ValidationOutcome outcome;
-    switch (options.validator) {
-      case ValidatorKind::kExact:
-        outcome.valid =
-            ValidateOcExact(table, *partition, pair.a, pair.b, pair.opposite);
-        break;
-      case ValidatorKind::kIterative:
-        outcome = ValidateAocIterative(table, *partition, pair.a, pair.b,
-                                       epsilon, table.num_rows(), vopts);
-        break;
-      case ValidatorKind::kOptimal:
-        outcome = sampler != nullptr
-                      ? sampler->Validate(*partition, pair.a, pair.b,
-                                          epsilon, vopts)
-                      : ValidateAocOptimal(table, *partition, pair.a,
-                                           pair.b, epsilon,
-                                           table.num_rows(), vopts);
-        break;
-    }
-    out->oc_seconds += sw.ElapsedSeconds();
-    ++out->oc_validated;
-    if (!outcome.valid) return false;
-
-    DiscoveredOc found;
-    found.oc = CanonicalOc{context, pair.a, pair.b, pair.opposite};
-    found.approx_factor = outcome.approx_factor;
-    found.removal_size = outcome.removal_size;
-    found.level = level;
-    found.interestingness =
-        InterestingnessScore(*partition, context.size(), table.num_rows());
-    found.removal_rows = std::move(outcome.removal_rows);
-    out->ocs.push_back(std::move(found));
-    return true;
-  }
-
-  /// Processes one node against the completed level below. Pure except
-  /// for timing counters: reads `previous` and the partition cache, never
-  /// mutates shared state — the unit of parallelism.
-  NodeOutcome ProcessNode(const LatticeNode& input,
-                          const LatticeLevel& previous) {
-    NodeOutcome out;
-    out.node = input;
-    LatticeNode* node = &out.node;
-    const AttributeSet x = node->set;
+  /// Phase 1 (parallel over nodes): candidate generation against the
+  /// completed level below. Pure function of `previous`.
+  NodePlan PlanNode(AttributeSet x, const LatticeLevel& previous) {
+    NodePlan plan;
+    plan.planned = 1;
     const int level = x.size();
 
     // C_c+(X) = ∩_{A∈X} C_c+(X\{A}).
@@ -169,22 +147,12 @@ struct Driver {
                     level - 1);
       cc = cc.Intersect(sub->cc);
     });
-    node->cc = cc;
+    plan.cc = cc;
 
     // OFD candidates: A ∈ X ∩ C_c+(X), validated in context X\{A}.
-    AttributeSet ofd_candidates = x.Intersect(node->cc);
-    ofd_candidates.ForEach([&](int a) {
-      if (ValidateOfdCandidate(x.Without(a), a, level, &out)) {
-        // TANE minimality pruning: the found OFD makes X\{A} -> A minimal;
-        // any superset restatement is redundant, as is any target outside
-        // X (it would have X\{A} -> A as a sub-dependency).
-        node->cc = node->cc.Without(a).Intersect(x);
-        node->constant_here = node->constant_here.With(a);
-      }
-    });
+    x.Intersect(cc).ForEach([&](int a) { plan.ofd_targets.push_back(a); });
 
     // OC candidates, in both polarities when requested.
-    node->cs.clear();
     if (level >= 2) {
       std::vector<int> attrs = x.ToVector();
       for (size_t i = 0; i < attrs.size(); ++i) {
@@ -218,25 +186,123 @@ struct Driver {
             const LatticeNode* sub_a = previous.Find(x.Without(pair.a));
             AOD_CHECK(sub_a != nullptr && sub_b != nullptr);
             if (!sub_b->cc.Contains(pair.a) || !sub_a->cc.Contains(pair.b)) {
-              ++out.oc_pruned;
+              ++plan.oc_pruned;
               continue;
             }
-
-            if (!ValidateOcCandidate(x.Without(pair.a).Without(pair.b), pair,
-                                     level, &out)) {
-              // Still open: candidates propagate upward only while
-              // invalid.
-              node->cs.push_back(pair);
-            }
+            plan.oc_pairs.push_back(pair);
           }
         }
       }
-      std::sort(node->cs.begin(), node->cs.end());
+    }
+    return plan;
+  }
+
+  /// Phase 2 (parallel over candidates): one validation, writing only its
+  /// own outcome slot.
+  void ValidateCandidate(const Candidate& c, CandidateOutcome* out) {
+    auto partition = Lookup(c.context);
+    ValidatorOptions vopts;
+    vopts.collect_removal_set = options.collect_removal_sets;
+
+    Stopwatch sw;
+    if (c.is_ofd) {
+      if (options.validator == ValidatorKind::kExact) {
+        out->outcome.valid = ValidateOfdExact(table, *partition, c.ofd_target);
+      } else {
+        out->outcome = ValidateOfdApprox(table, *partition, c.ofd_target,
+                                         epsilon, table.num_rows(), vopts);
+      }
+    } else {
+      const AttributePair pair = c.oc_pair;
+      vopts.opposite_polarity = pair.opposite;
+      switch (options.validator) {
+        case ValidatorKind::kExact:
+          out->outcome.valid = ValidateOcExact(table, *partition, pair.a,
+                                               pair.b, pair.opposite);
+          break;
+        case ValidatorKind::kIterative:
+          out->outcome = ValidateAocIterative(table, *partition, pair.a,
+                                              pair.b, epsilon,
+                                              table.num_rows(), vopts);
+          break;
+        case ValidatorKind::kOptimal:
+          out->outcome = sampler != nullptr
+                             ? sampler->Validate(*partition, pair.a, pair.b,
+                                                 epsilon, vopts)
+                             : ValidateAocOptimal(table, *partition, pair.a,
+                                                  pair.b, epsilon,
+                                                  table.num_rows(), vopts);
+          break;
+      }
+    }
+    out->seconds = sw.ElapsedSeconds();
+    out->interestingness =
+        InterestingnessScore(*partition, c.context.size(), table.num_rows());
+    out->done = 1;
+  }
+
+  /// Phase 3 (serial, sorted key order): folds one node's outcomes into
+  /// the lattice node and the result — the only place shared state is
+  /// mutated, so output order never depends on scheduling.
+  void MergeNode(const AttributeSet x, const NodePlan& plan,
+                 const std::vector<Candidate>& candidates,
+                 std::vector<CandidateOutcome>& outcomes,
+                 LatticeLevel* current) {
+    const int level = x.size();
+    LatticeNode* node = current->Find(x);
+    node->cc = plan.cc;
+    node->cs.clear();
+    result.stats.oc_candidates_pruned += plan.oc_pruned;
+
+    size_t slot = plan.first_slot;
+    for (size_t t = 0; t < plan.ofd_targets.size(); ++t, ++slot) {
+      const int a = plan.ofd_targets[t];
+      CandidateOutcome& out = outcomes[slot];
+      result.stats.ofd_validation_seconds += out.seconds;
+      ++result.stats.ofd_candidates_validated;
+      if (!out.outcome.valid) continue;
+
+      DiscoveredOfd found;
+      found.ofd = CanonicalOfd{candidates[slot].context, a};
+      found.approx_factor = out.outcome.approx_factor;
+      found.removal_size = out.outcome.removal_size;
+      found.level = level;
+      found.interestingness = out.interestingness;
+      found.removal_rows = std::move(out.outcome.removal_rows);
+      result.stats.RecordOfdAtLevel(level);
+      result.ofds.push_back(std::move(found));
+      // TANE minimality pruning: the found OFD makes X\{A} -> A minimal;
+      // any superset restatement is redundant, as is any target outside
+      // X (it would have X\{A} -> A as a sub-dependency).
+      node->cc = node->cc.Without(a).Intersect(x);
+      node->constant_here = node->constant_here.With(a);
     }
 
+    for (size_t t = 0; t < plan.oc_pairs.size(); ++t, ++slot) {
+      const AttributePair pair = plan.oc_pairs[t];
+      CandidateOutcome& out = outcomes[slot];
+      result.stats.oc_validation_seconds += out.seconds;
+      ++result.stats.oc_candidates_validated;
+      if (out.outcome.valid) {
+        DiscoveredOc found;
+        found.oc = CanonicalOc{candidates[slot].context, pair.a, pair.b,
+                               pair.opposite};
+        found.approx_factor = out.outcome.approx_factor;
+        found.removal_size = out.outcome.removal_size;
+        found.level = level;
+        found.interestingness = out.interestingness;
+        found.removal_rows = std::move(out.outcome.removal_rows);
+        result.stats.RecordOcAtLevel(level);
+        result.ocs.push_back(std::move(found));
+      } else {
+        // Still open: candidates propagate upward only while invalid.
+        node->cs.push_back(pair);
+      }
+    }
+    std::sort(node->cs.begin(), node->cs.end());
+
     // Node deletion: nothing left to find through X or any superset.
-    out.keep = !(node->cc.empty() && node->cs.empty());
-    return out;
+    if (node->cc.empty() && node->cs.empty()) current->Erase(x);
   }
 
   void Run() {
@@ -265,85 +331,112 @@ struct Driver {
       for (const auto& [set, node] : current.nodes()) keys.push_back(set);
       std::sort(keys.begin(), keys.end());
 
-      // Process nodes — serially or on worker threads. Workers only read
-      // `previous`, `current` and cached partitions; each writes its own
-      // outcome slot, so the merged result is order-deterministic.
-      std::vector<NodeOutcome> outcomes(keys.size());
-      std::vector<uint8_t> processed(keys.size(), 0);
-      int threads = std::max(1, options.num_threads);
-      threads = static_cast<int>(
-          std::min<size_t>(static_cast<size_t>(threads), keys.size()));
-      auto worker = [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          if (OverBudget()) break;
-          outcomes[i] = ProcessNode(*current.Find(keys[i]), previous);
-          processed[i] = 1;
-        }
-      };
-      if (threads <= 1) {
-        worker(0, keys.size());
-      } else {
-        std::vector<std::thread> pool;
-        size_t chunk = (keys.size() + static_cast<size_t>(threads) - 1) /
-                       static_cast<size_t>(threads);
-        for (int t = 0; t < threads; ++t) {
-          size_t begin = static_cast<size_t>(t) * chunk;
-          size_t end = std::min(keys.size(), begin + chunk);
-          if (begin >= end) break;
-          pool.emplace_back(worker, begin, end);
-        }
-        for (auto& th : pool) th.join();
-      }
+      // Phase 1: plan every node against the completed level below.
+      // Planning only reads `previous`, so nodes are independent; the
+      // grain amortizes task overhead over the cheap per-node work.
+      std::vector<NodePlan> plans(keys.size());
+      Stopwatch phase_clock;
+      exec::ParallelFor(
+          pool, 0, static_cast<int64_t>(keys.size()),
+          [&](int64_t i) {
+            plans[static_cast<size_t>(i)] =
+                PlanNode(keys[static_cast<size_t>(i)], previous);
+          },
+          PhaseOptions(/*grain=*/8));
 
-      // Serial merge in key order.
-      bool incomplete = false;
+      // Flatten candidates in deterministic (key, slot) order.
+      std::vector<Candidate> candidates;
+      bool planned_all = true;
       for (size_t i = 0; i < keys.size(); ++i) {
-        if (!processed[i]) {
-          incomplete = true;
-          continue;
+        NodePlan& plan = plans[i];
+        if (!plan.planned) {
+          planned_all = false;
+          break;
         }
-        NodeOutcome& out = outcomes[i];
-        result.stats.oc_validation_seconds += out.oc_seconds;
-        result.stats.ofd_validation_seconds += out.ofd_seconds;
-        result.stats.oc_candidates_validated += out.oc_validated;
-        result.stats.ofd_candidates_validated += out.ofd_validated;
-        result.stats.oc_candidates_pruned += out.oc_pruned;
-        for (auto& d : out.ocs) {
-          result.stats.RecordOcAtLevel(d.level);
-          result.ocs.push_back(std::move(d));
+        plan.first_slot = candidates.size();
+        const AttributeSet x = keys[i];
+        for (int a : plan.ofd_targets) {
+          Candidate c;
+          c.is_ofd = true;
+          c.context = x.Without(a);
+          c.ofd_target = a;
+          candidates.push_back(c);
         }
-        for (auto& d : out.ofds) {
-          result.stats.RecordOfdAtLevel(d.level);
-          result.ofds.push_back(std::move(d));
-        }
-        if (out.keep) {
-          *current.Find(keys[i]) = std::move(out.node);
-        } else {
-          current.Erase(keys[i]);
+        for (AttributePair pair : plan.oc_pairs) {
+          Candidate c;
+          c.context = x.Without(pair.a).Without(pair.b);
+          c.oc_pair = pair;
+          candidates.push_back(c);
         }
       }
-      if (incomplete) {
+      result.stats.candidate_wall_seconds += phase_clock.ElapsedSeconds();
+      if (!planned_all) {
         result.timed_out = true;
         break;
       }
 
-      if (options.max_level != 0 && level >= options.max_level) break;
-      if (level >= k) break;
+      // Phase 2: validate all candidates of the level as individually
+      // stealable tasks, checking the deadline between candidates.
+      std::vector<CandidateOutcome> outcomes(candidates.size());
+      phase_clock.Restart();
+      exec::ParallelFor(
+          pool, 0, static_cast<int64_t>(candidates.size()),
+          [&](int64_t i) {
+            ValidateCandidate(candidates[static_cast<size_t>(i)],
+                              &outcomes[static_cast<size_t>(i)]);
+          },
+          PhaseOptions());
+      result.stats.validation_wall_seconds += phase_clock.ElapsedSeconds();
 
-      // Materialize the partitions of surviving nodes while their subset
-      // partitions are still cached: levels above use them as contexts,
-      // and worker threads may only *look up* partitions.
-      for (AttributeSet key : keys) {
-        if (current.Find(key) == nullptr) continue;
-        if (OverBudget()) {
+      // Phase 3: serial merge in key order. Stop at the first node with
+      // an unfinished candidate — everything before it is a complete,
+      // deterministic prefix of the traversal.
+      for (size_t i = 0; i < keys.size(); ++i) {
+        const NodePlan& plan = plans[i];
+        const size_t total = plan.ofd_targets.size() + plan.oc_pairs.size();
+        bool complete = true;
+        for (size_t s = 0; s < total; ++s) {
+          if (!outcomes[plan.first_slot + s].done) {
+            complete = false;
+            break;
+          }
+        }
+        if (!complete) {
           result.timed_out = true;
           break;
         }
-        Stopwatch sw;
-        cache.Get(key);
-        result.stats.partition_seconds += sw.ElapsedSeconds();
+        MergeNode(keys[i], plan, candidates, outcomes, &current);
       }
       if (result.timed_out) break;
+
+      if (options.max_level != 0 && level >= options.max_level) break;
+      if (level >= k) break;
+
+      // Phase 4: materialize the partitions of surviving nodes on the
+      // pool, while their subset partitions are still cached — levels
+      // above use them as contexts. The concurrent cache memoizes each
+      // key once; the fixed derivation rule keeps the values (and the
+      // product count) independent of completion order.
+      std::vector<AttributeSet> surviving;
+      surviving.reserve(keys.size());
+      for (AttributeSet key : keys) {
+        if (current.Find(key) != nullptr) surviving.push_back(key);
+      }
+      phase_clock.Restart();
+      const int64_t materialized = exec::ParallelFor(
+          pool, 0, static_cast<int64_t>(surviving.size()),
+          [&](int64_t i) {
+            Stopwatch sw;
+            cache.Get(surviving[static_cast<size_t>(i)]);
+            partition_nanos.fetch_add(sw.ElapsedNanos(),
+                                      std::memory_order_relaxed);
+          },
+          PhaseOptions());
+      result.stats.partition_wall_seconds += phase_clock.ElapsedSeconds();
+      if (materialized < static_cast<int64_t>(surviving.size())) {
+        result.timed_out = true;
+        break;
+      }
 
       LatticeLevel next = current.GenerateNext();
       // Contexts needed at level l+1 have sizes l and l-1.
@@ -352,6 +445,9 @@ struct Driver {
       current = std::move(next);
     }
 
+    result.stats.partition_seconds =
+        static_cast<double>(partition_nanos.load(std::memory_order_relaxed)) /
+        1e9;
     result.stats.partitions_computed = cache.products_computed();
     result.stats.total_seconds = total_clock.ElapsedSeconds();
   }

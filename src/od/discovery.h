@@ -22,6 +22,10 @@
 
 namespace aod {
 
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
 /// Which validation algorithm drives the search.
 enum class ValidatorKind {
   /// Exact OD discovery: epsilon is treated as 0 and the linear
@@ -54,12 +58,19 @@ struct DiscoveryOptions {
   /// every OC candidate (Szlichta et al. [10]). Roughly doubles the OC
   /// validation work.
   bool bidirectional = false;
-  /// Validate the candidates of each lattice level on this many worker
-  /// threads (1 = serial). Node processing within a level is
-  /// embarrassingly parallel — the shared-nothing analogue of the
-  /// distributed dependency discovery of Saxena et al. [8]. Results are
-  /// identical to the serial run regardless of thread count.
+  /// Worker threads for candidate validation and partition
+  /// materialization (1 = serial, 0 = hardware concurrency). Candidate
+  /// work within a level is embarrassingly parallel — the shared-nothing
+  /// analogue of the distributed dependency discovery of Saxena et al.
+  /// [8]. The dependency lists and non-timing stats are bit-identical to
+  /// the serial run for any thread count (see ARCHITECTURE.md for the
+  /// determinism contract). Ignored when `pool` is set.
   int num_threads = 1;
+  /// Optional externally owned thread pool to run on. Passing one reuses
+  /// its (already warm) workers across DiscoverOds calls instead of
+  /// spawning threads per run; its worker count overrides num_threads.
+  /// The pool is borrowed, never owned, and must outlive the call.
+  exec::ThreadPool* pool = nullptr;
   /// Put the hybrid sampling fast-rejection (od/hybrid_sampler.h, the
   /// paper's future-work direction after [6]) in front of every AOC
   /// validation. Only meaningful with ValidatorKind::kOptimal. Accepted

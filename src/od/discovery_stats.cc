@@ -59,14 +59,19 @@ void DiscoveryStats::RecordNodesAtLevel(int level, int64_t count) {
 
 std::string DiscoveryStats::ToString() const {
   std::ostringstream out;
-  out << "total time: " << FormatDouble(total_seconds, 3) << " s\n"
+  out << "total time: " << FormatDouble(total_seconds, 3) << " s wall, "
+      << threads_used << (threads_used == 1 ? " thread" : " threads") << "\n"
       << "  OC validation:  " << FormatDouble(oc_validation_seconds, 3)
-      << " s (" << FormatDouble(100.0 * OcValidationShare(), 1)
-      << "% of total)\n"
+      << " s CPU (" << FormatDouble(100.0 * OcValidationShare(), 1)
+      << "% of total; summed across workers)\n"
       << "  OFD validation: " << FormatDouble(ofd_validation_seconds, 3)
-      << " s\n"
-      << "  partitions:     " << FormatDouble(partition_seconds, 3) << " s ("
-      << partitions_computed << " products)\n"
+      << " s CPU\n"
+      << "  partitions:     " << FormatDouble(partition_seconds, 3)
+      << " s CPU (" << partitions_computed << " products)\n"
+      << "  phase wall clock: candidates "
+      << FormatDouble(candidate_wall_seconds, 3) << " s, validation "
+      << FormatDouble(validation_wall_seconds, 3) << " s, partitions "
+      << FormatDouble(partition_wall_seconds, 3) << " s\n"
       << "candidates: " << oc_candidates_validated << " OC validated, "
       << oc_candidates_pruned << " OC pruned, " << ofd_candidates_validated
       << " OFD validated\n"

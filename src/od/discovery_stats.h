@@ -15,9 +15,20 @@ namespace aod {
 
 struct DiscoveryStats {
   double total_seconds = 0.0;
+  // CPU time summed across workers: with num_threads > 1 these can add up
+  // to far more than the elapsed time (that is the point of parallelism).
+  // The *_wall_seconds fields below are what a user actually waits.
   double oc_validation_seconds = 0.0;
   double ofd_validation_seconds = 0.0;
   double partition_seconds = 0.0;
+
+  // Wall-clock per driver phase (candidate generation, candidate
+  // validation, partition materialization), accumulated over levels.
+  double candidate_wall_seconds = 0.0;
+  double validation_wall_seconds = 0.0;
+  double partition_wall_seconds = 0.0;
+  /// Worker threads the run executed on (1 = serial).
+  int threads_used = 1;
 
   int64_t oc_candidates_validated = 0;
   int64_t ofd_candidates_validated = 0;
@@ -35,7 +46,8 @@ struct DiscoveryStats {
   std::vector<int64_t> ofds_per_level;
   std::vector<int64_t> nodes_per_level;
 
-  /// Fraction of total runtime spent validating OC candidates.
+  /// Fraction of total runtime spent validating OC candidates. Computed
+  /// from summed CPU time, so it can exceed 1 when num_threads > 1.
   double OcValidationShare() const;
   /// Mean lattice level of discovered OCs (paper Exp-5's 5.6 -> 4.3).
   double AverageOcLevel() const;

@@ -78,6 +78,12 @@ class AttributeSet {
   /// Lowest attribute index, or -1 if empty.
   int First() const { return empty() ? -1 : std::countr_zero(bits_); }
 
+  /// Highest attribute index, or -1 if empty. Anchors the partition
+  /// cache's fixed derivation rule Π_X = Π_{X\{Last}} · Π_{{Last}}, which
+  /// keeps derived partitions bit-identical no matter which thread
+  /// materializes them in which order.
+  int Last() const { return empty() ? -1 : 63 - std::countl_zero(bits_); }
+
   /// Invokes `fn(attr)` for each member in ascending order.
   template <typename Fn>
   void ForEach(Fn fn) const {

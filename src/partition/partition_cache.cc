@@ -1,77 +1,121 @@
 #include "partition/partition_cache.h"
 
-#include <vector>
+#include <chrono>
+#include <utility>
 
 #include "common/macros.h"
 
 namespace aod {
 
-PartitionCache::PartitionCache(const EncodedTable* table)
-    : table_(table), scratch_(table->num_rows()) {
+PartitionCache::PartitionCache(const EncodedTable* table) : table_(table) {
   AOD_CHECK(table != nullptr);
-  cache_.emplace(AttributeSet(),
-                 std::make_shared<StrippedPartition>(
-                     StrippedPartition::WholeRelation(table_->num_rows())));
+  PutReady(AttributeSet(),
+           std::make_shared<StrippedPartition>(
+               StrippedPartition::WholeRelation(table_->num_rows())));
   for (int a = 0; a < table_->num_columns(); ++a) {
-    cache_.emplace(AttributeSet().With(a),
-                   std::make_shared<StrippedPartition>(
-                       StrippedPartition::FromColumn(table_->column(a))));
+    PutReady(AttributeSet().With(a),
+             std::make_shared<StrippedPartition>(
+                 StrippedPartition::FromColumn(table_->column(a))));
   }
+}
+
+void PartitionCache::PutReady(AttributeSet set, PartitionPtr value) {
+  std::promise<PartitionPtr> promise;
+  promise.set_value(std::move(value));
+  Shard& shard = ShardFor(set);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.map.insert_or_assign(set, promise.get_future().share());
 }
 
 std::shared_ptr<const StrippedPartition> PartitionCache::Get(
     AttributeSet set) {
-  auto it = cache_.find(set);
-  if (it != cache_.end()) return it->second;
-
-  // Find the largest cached subset obtained by removing one attribute;
-  // fall back to building up attribute-by-attribute from a singleton.
-  std::shared_ptr<const StrippedPartition> base;
-  AttributeSet base_set;
-  set.ForEach([&](int a) {
-    AttributeSet sub = set.Without(a);
-    auto sit = cache_.find(sub);
-    if (sit != cache_.end() && base == nullptr) {
-      base = sit->second;
-      base_set = sub;
+  Shard& shard = ShardFor(set);
+  std::promise<PartitionPtr> promise;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(set);
+    if (it != shard.map.end()) {
+      PartitionFuture future = it->second;
+      // get() outside the lock: a pending future blocks until the
+      // computing thread resolves it.
+      return future.get();
     }
-  });
-  if (base == nullptr) {
-    // Build from the first attribute's partition; recursion depth is |set|.
-    int first = set.First();
-    AOD_CHECK(first >= 0);
-    base_set = AttributeSet().With(first);
-    base = Get(base_set);
+    shard.map.emplace(set, promise.get_future().share());
   }
+  PartitionPtr value = Compute(set);
+  promise.set_value(value);
+  return value;
+}
 
-  AttributeSet missing = set.Difference(base_set);
-  std::shared_ptr<const StrippedPartition> current = base;
-  AttributeSet current_set = base_set;
-  missing.ForEach([&](int a) {
-    auto single = Get(AttributeSet().With(a));
-    auto next = std::make_shared<StrippedPartition>(current->Product(
-        *single, table_->num_rows(), &scratch_));
-    ++products_computed_;
-    current = next;
-    current_set = current_set.With(a);
-    cache_[current_set] = current;
-  });
-  return current;
+PartitionCache::PartitionPtr PartitionCache::Compute(AttributeSet set) {
+  // Fixed derivation structure (never "largest cached subset", which
+  // depends on what other threads cached first): recurse on X \ {max}.
+  // The recursion is memoized per key, and during level-wise discovery
+  // X \ {max} survived the level below, so it is already cached.
+  const int last = set.Last();
+  AOD_CHECK(last >= 0 && set.size() >= 2);
+  PartitionPtr base = Get(set.Without(last));
+  PartitionPtr single = Get(AttributeSet().With(last));
+  std::unique_ptr<PartitionScratch> scratch = AcquireScratch();
+  PartitionPtr value = std::make_shared<StrippedPartition>(
+      base->Product(*single, table_->num_rows(), scratch.get()));
+  ReleaseScratch(std::move(scratch));
+  products_computed_.fetch_add(1, std::memory_order_relaxed);
+  return value;
 }
 
 bool PartitionCache::Contains(AttributeSet set) const {
-  return cache_.find(set) != cache_.end();
+  const Shard& shard = ShardFor(set);
+  PartitionFuture future;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(set);
+    if (it == shard.map.end()) return false;
+    future = it->second;
+  }
+  return future.wait_for(std::chrono::seconds(0)) ==
+         std::future_status::ready;
 }
 
 void PartitionCache::EvictSmallerThan(int below) {
-  for (auto it = cache_.begin(); it != cache_.end();) {
-    int sz = it->first.size();
-    if (sz > 1 && sz < below) {
-      it = cache_.erase(it);
-    } else {
-      ++it;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.map.begin(); it != shard.map.end();) {
+      int sz = it->first.size();
+      if (sz > 1 && sz < below) {
+        it = shard.map.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
+}
+
+int64_t PartitionCache::cached_count() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += static_cast<int64_t>(shard.map.size());
+  }
+  return total;
+}
+
+std::unique_ptr<PartitionScratch> PartitionCache::AcquireScratch() {
+  {
+    std::lock_guard<std::mutex> lock(scratch_mutex_);
+    if (!free_scratch_.empty()) {
+      std::unique_ptr<PartitionScratch> scratch =
+          std::move(free_scratch_.back());
+      free_scratch_.pop_back();
+      return scratch;
+    }
+  }
+  return std::make_unique<PartitionScratch>(table_->num_rows());
+}
+
+void PartitionCache::ReleaseScratch(std::unique_ptr<PartitionScratch> scratch) {
+  std::lock_guard<std::mutex> lock(scratch_mutex_);
+  free_scratch_.push_back(std::move(scratch));
 }
 
 }  // namespace aod

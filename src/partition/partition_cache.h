@@ -5,12 +5,28 @@
 // stripped products of cached subsets, and supports level-based eviction
 // matching the level-wise traversal (only the two most recent completed
 // levels are ever needed as contexts).
+//
+// Concurrency. Get() is safe to call from any number of threads — the
+// driver materializes a whole lattice level's partitions on the thread
+// pool. The key space is striped over independently locked shards, and
+// each key is computed exactly once: the first requester installs a
+// shared_future and computes outside the shard lock, later requesters
+// block on the future. Derivation follows a fixed structural rule,
+// Π_X = Π_{X \ {max(X)}} · Π_{{max(X)}}, so the *value* of every cached
+// partition (class order included) is independent of which thread
+// computed it first — the foundation of the driver's determinism
+// contract (see ARCHITECTURE.md). Eviction is not safe concurrently with
+// Get; the driver calls it only between phases.
 #ifndef AOD_PARTITION_PARTITION_CACHE_H_
 #define AOD_PARTITION_PARTITION_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "data/encoder.h"
 #include "partition/attribute_set.h"
@@ -22,31 +38,69 @@ class PartitionCache {
  public:
   explicit PartitionCache(const EncodedTable* table);
 
-  /// Returns Π_X, computing and memoizing it if absent. Derivation picks
-  /// the largest cached subset and extends it one attribute at a time, so
-  /// during level-wise discovery each request costs at most one product.
+  /// Returns Π_X, computing and memoizing it if absent. Thread-safe;
+  /// concurrent requests for the same key compute it once and share the
+  /// result. During level-wise discovery each request costs at most one
+  /// product because Π_{X\{max}} is always cached one level below.
   std::shared_ptr<const StrippedPartition> Get(AttributeSet set);
 
-  /// True if Π_X is currently materialized.
+  /// True if Π_X is currently materialized (a key mid-computation by
+  /// another thread does not count yet). Thread-safe.
   bool Contains(AttributeSet set) const;
 
   /// Drops every cached partition over sets of size in (1, below); the
   /// empty-set and single-attribute partitions are retained permanently
-  /// (they are the O(n·k) base data everything else derives from).
+  /// (they are the O(n·k) base data everything else derives from). Must
+  /// not run concurrently with Get.
   void EvictSmallerThan(int below);
 
-  /// Number of stripped products performed (for DiscoveryStats).
-  int64_t products_computed() const { return products_computed_; }
+  /// Number of stripped products performed (for DiscoveryStats). Exactly
+  /// one per distinct derived key thanks to once-per-key memoization, so
+  /// the counter is identical for any thread count.
+  int64_t products_computed() const {
+    return products_computed_.load(std::memory_order_relaxed);
+  }
   /// Number of partitions currently materialized.
-  int64_t cached_count() const { return static_cast<int64_t>(cache_.size()); }
+  int64_t cached_count() const;
 
  private:
+  using PartitionPtr = std::shared_ptr<const StrippedPartition>;
+  using PartitionFuture = std::shared_future<PartitionPtr>;
+
+  /// Keys are spread over independently locked shards; striping keeps
+  /// same-level materializations (distinct keys) from serializing on one
+  /// map lock while same-key requests still rendezvous.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<AttributeSet, PartitionFuture, AttributeSetHash> map;
+  };
+  static constexpr size_t kShardCount = 16;
+
+  Shard& ShardFor(AttributeSet set) {
+    return shards_[AttributeSetHash{}(set) % kShardCount];
+  }
+  const Shard& ShardFor(AttributeSet set) const {
+    return shards_[AttributeSetHash{}(set) % kShardCount];
+  }
+
+  /// Installs an already-resolved entry (constructor preloads).
+  void PutReady(AttributeSet set, PartitionPtr value);
+
+  /// Derives Π_set by the fixed rule; `set` has size >= 2.
+  PartitionPtr Compute(AttributeSet set);
+
+  /// Scratch buffers are pooled: a computing thread borrows one for the
+  /// duration of a product, so steady-state materialization allocates no
+  /// translation tables regardless of worker count.
+  std::unique_ptr<PartitionScratch> AcquireScratch();
+  void ReleaseScratch(std::unique_ptr<PartitionScratch> scratch);
+
   const EncodedTable* table_;
-  PartitionScratch scratch_;
-  std::unordered_map<AttributeSet, std::shared_ptr<const StrippedPartition>,
-                     AttributeSetHash>
-      cache_;
-  int64_t products_computed_ = 0;
+  Shard shards_[kShardCount];
+  std::atomic<int64_t> products_computed_{0};
+
+  std::mutex scratch_mutex_;
+  std::vector<std::unique_ptr<PartitionScratch>> free_scratch_;
 };
 
 }  // namespace aod

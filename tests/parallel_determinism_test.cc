@@ -1,0 +1,184 @@
+// The determinism contract of the parallel driver: DiscoverOds must
+// produce bit-identical dependency lists and identical non-timing stats
+// for ANY thread count — 1, 2 and 8 workers here — across validators,
+// polarity modes and datasets (see ARCHITECTURE.md).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "exec/thread_pool.h"
+#include "gen/flight_generator.h"
+#include "gen/ncvoter_generator.h"
+#include "od/discovery.h"
+#include "test_util.h"
+
+namespace aod {
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[48];
+  // %a is exact (hex mantissa): two doubles fingerprint equal iff their
+  // bit patterns are equal.
+  std::snprintf(buf, sizeof(buf), "%a,", v);
+  *out += buf;
+}
+
+void AppendInt(std::string* out, int64_t v) {
+  *out += std::to_string(v);
+  *out += ',';
+}
+
+/// Byte-exact serialization of everything the contract covers: both
+/// dependency lists in reported order with all payload fields (removal
+/// rows included), plus every non-timing stats counter.
+std::string Fingerprint(const DiscoveryResult& result) {
+  std::string out;
+  out += "ocs:";
+  for (const DiscoveredOc& d : result.ocs) {
+    AppendInt(&out, static_cast<int64_t>(d.oc.context.bits()));
+    AppendInt(&out, d.oc.a);
+    AppendInt(&out, d.oc.b);
+    AppendInt(&out, d.oc.opposite ? 1 : 0);
+    AppendDouble(&out, d.approx_factor);
+    AppendInt(&out, d.removal_size);
+    AppendInt(&out, d.level);
+    AppendDouble(&out, d.interestingness);
+    for (int32_t r : d.removal_rows) AppendInt(&out, r);
+    out += ';';
+  }
+  out += "ofds:";
+  for (const DiscoveredOfd& d : result.ofds) {
+    AppendInt(&out, static_cast<int64_t>(d.ofd.context.bits()));
+    AppendInt(&out, d.ofd.a);
+    AppendDouble(&out, d.approx_factor);
+    AppendInt(&out, d.removal_size);
+    AppendInt(&out, d.level);
+    AppendDouble(&out, d.interestingness);
+    for (int32_t r : d.removal_rows) AppendInt(&out, r);
+    out += ';';
+  }
+  const DiscoveryStats& s = result.stats;
+  out += "stats:";
+  AppendInt(&out, s.oc_candidates_validated);
+  AppendInt(&out, s.ofd_candidates_validated);
+  AppendInt(&out, s.oc_candidates_pruned);
+  AppendInt(&out, s.nodes_processed);
+  AppendInt(&out, s.partitions_computed);
+  AppendInt(&out, s.levels_processed);
+  for (int64_t v : s.ocs_per_level) AppendInt(&out, v);
+  out += '|';
+  for (int64_t v : s.ofds_per_level) AppendInt(&out, v);
+  out += '|';
+  for (int64_t v : s.nodes_per_level) AppendInt(&out, v);
+  AppendInt(&out, result.timed_out ? 1 : 0);
+  return out;
+}
+
+struct DeterminismParam {
+  const char* dataset;
+  ValidatorKind validator;
+  bool bidirectional;
+};
+
+class ParallelDeterminismTest
+    : public ::testing::TestWithParam<DeterminismParam> {};
+
+TEST_P(ParallelDeterminismTest, IdenticalAcrossThreadCounts) {
+  const DeterminismParam& p = GetParam();
+  Table t = std::string(p.dataset) == "flight"
+                ? GenerateFlightTable(700, 8, 5)
+                : GenerateNcVoterTable(500, 7, 11);
+  EncodedTable enc = EncodeTable(t);
+
+  DiscoveryOptions options;
+  options.validator = p.validator;
+  options.epsilon = 0.1;
+  options.bidirectional = p.bidirectional;
+  options.collect_removal_sets = true;
+
+  options.num_threads = 1;
+  DiscoveryResult serial = DiscoverOds(enc, options);
+  EXPECT_EQ(serial.stats.threads_used, 1);
+  const std::string expected = Fingerprint(serial);
+
+  options.num_threads = 2;
+  DiscoveryResult two = DiscoverOds(enc, options);
+  EXPECT_EQ(two.stats.threads_used, 2);
+  EXPECT_EQ(Fingerprint(two), expected);
+
+  // 8 workers via an externally owned, reused pool (the options.pool
+  // code path) — two calls on the same pool must both match.
+  exec::ThreadPool pool(8);
+  options.num_threads = 1;  // overridden by the pool
+  options.pool = &pool;
+  DiscoveryResult eight = DiscoverOds(enc, options);
+  EXPECT_EQ(eight.stats.threads_used, 8);
+  EXPECT_EQ(Fingerprint(eight), expected);
+  DiscoveryResult again = DiscoverOds(enc, options);
+  EXPECT_EQ(Fingerprint(again), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ParallelDeterminismTest,
+    ::testing::Values(
+        DeterminismParam{"flight", ValidatorKind::kExact, false},
+        DeterminismParam{"flight", ValidatorKind::kExact, true},
+        DeterminismParam{"flight", ValidatorKind::kIterative, false},
+        DeterminismParam{"flight", ValidatorKind::kIterative, true},
+        DeterminismParam{"flight", ValidatorKind::kOptimal, false},
+        DeterminismParam{"flight", ValidatorKind::kOptimal, true},
+        DeterminismParam{"ncvoter", ValidatorKind::kExact, false},
+        DeterminismParam{"ncvoter", ValidatorKind::kExact, true},
+        DeterminismParam{"ncvoter", ValidatorKind::kIterative, false},
+        DeterminismParam{"ncvoter", ValidatorKind::kIterative, true},
+        DeterminismParam{"ncvoter", ValidatorKind::kOptimal, false},
+        DeterminismParam{"ncvoter", ValidatorKind::kOptimal, true}));
+
+TEST(ParallelDeterminismTest, HardwareConcurrencyRequestMatchesSerial) {
+  // num_threads = 0 ("use the hardware") must still honor the contract.
+  Table t = GenerateFlightTable(400, 6, 21);
+  EncodedTable enc = EncodeTable(t);
+  DiscoveryOptions options;
+  options.epsilon = 0.15;
+  options.num_threads = 1;
+  std::string expected = Fingerprint(DiscoverOds(enc, options));
+  options.num_threads = 0;
+  DiscoveryResult hw = DiscoverOds(enc, options);
+  EXPECT_EQ(hw.stats.threads_used,
+            exec::ThreadPool::HardwareConcurrency());
+  EXPECT_EQ(Fingerprint(hw), expected);
+}
+
+TEST(ParallelDeterminismTest, SamplingFilterIsThreadCountInvariant) {
+  // The hybrid sampler fixes one row sample per run (seeded), so even the
+  // heuristic fast-reject path must not depend on scheduling.
+  Table t = GenerateFlightTable(600, 7, 31);
+  EncodedTable enc = EncodeTable(t);
+  DiscoveryOptions options;
+  options.epsilon = 0.1;
+  options.enable_sampling_filter = true;
+  options.sampler_config.sample_size = 128;
+  options.num_threads = 1;
+  std::string expected = Fingerprint(DiscoverOds(enc, options));
+  options.num_threads = 8;
+  EXPECT_EQ(Fingerprint(DiscoverOds(enc, options)), expected);
+}
+
+TEST(ParallelDeterminismTest, BudgetExpiryStillFlagsTimeoutInParallel) {
+  // Deadline checks now sit between candidate validations; a parallel
+  // run must notice an expired budget and report a (possibly empty)
+  // partial result rather than overshooting by a whole node.
+  Table t = GenerateFlightTable(4000, 10, 3);
+  EncodedTable enc = EncodeTable(t);
+  DiscoveryOptions options;
+  options.validator = ValidatorKind::kIterative;
+  options.epsilon = 0.1;
+  options.time_budget_seconds = 1e-4;
+  options.num_threads = 4;
+  DiscoveryResult result = DiscoverOds(enc, options);
+  EXPECT_TRUE(result.timed_out);
+}
+
+}  // namespace
+}  // namespace aod
