@@ -1,0 +1,269 @@
+// Microbenchmark of the partition hot paths: CSR stripped product vs the
+// legacy vector-of-vectors representation, plus validator throughput on
+// generated tables.
+//
+// The legacy algorithm (one heap-allocated bucket per class, a fresh
+// vector-of-vectors per product) is reimplemented here verbatim as the
+// baseline, so the CSR speedup is *recorded by this harness* instead of
+// asserted in a commit message. Output is human-readable on stdout and,
+// with --json <path>, a machine-readable JSON blob (CI uploads it as
+// BENCH_micro_partitions.json).
+//
+// Defaults target a 1M-row table; AOD_BENCH_SCALE scales rows like every
+// other harness (CI smoke-runs at a fraction of that).
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "data/encoder.h"
+#include "gen/dataset_generator.h"
+#include "od/aoc_lis_validator.h"
+#include "od/oc_validator.h"
+#include "od/ofd_validator.h"
+#include "od/validator_scratch.h"
+#include "partition/stripped_partition.h"
+
+namespace aod {
+namespace bench {
+namespace {
+
+/// The pre-CSR representation and product, kept verbatim as the baseline.
+struct LegacyPartition {
+  std::vector<std::vector<int32_t>> classes;
+  int64_t rows_covered = 0;
+
+  static LegacyPartition FromCsr(const StrippedPartition& p) {
+    LegacyPartition out;
+    out.rows_covered = p.rows_covered();
+    for (StrippedPartition::ClassSpan cls : p.classes()) {
+      out.classes.emplace_back(cls.begin(), cls.end());
+    }
+    return out;
+  }
+
+  LegacyPartition Product(const LegacyPartition& other,
+                          std::vector<int32_t>& class_of) const {
+    for (size_t i = 0; i < classes.size(); ++i) {
+      for (int32_t t : classes[i]) {
+        class_of[static_cast<size_t>(t)] = static_cast<int32_t>(i);
+      }
+    }
+    LegacyPartition out;
+    std::vector<std::vector<int32_t>> buckets(classes.size());
+    for (const auto& cls : other.classes) {
+      for (int32_t t : cls) {
+        int32_t c = class_of[static_cast<size_t>(t)];
+        if (c >= 0) buckets[static_cast<size_t>(c)].push_back(t);
+      }
+      for (int32_t t : cls) {
+        int32_t c = class_of[static_cast<size_t>(t)];
+        if (c < 0) continue;
+        auto& bucket = buckets[static_cast<size_t>(c)];
+        if (bucket.size() >= 2) {
+          out.rows_covered += static_cast<int64_t>(bucket.size());
+          out.classes.push_back(std::move(bucket));
+        }
+        bucket.clear();
+      }
+    }
+    for (const auto& cls : classes) {
+      for (int32_t t : cls) class_of[static_cast<size_t>(t)] = -1;
+    }
+    return out;
+  }
+};
+
+/// Runs `fn` until >= min_reps and >= min_seconds; returns seconds/rep.
+template <typename Fn>
+double TimePerRep(int min_reps, double min_seconds, Fn&& fn) {
+  Stopwatch sw;
+  int reps = 0;
+  do {
+    fn();
+    ++reps;
+  } while (reps < min_reps || sw.ElapsedSeconds() < min_seconds);
+  return sw.ElapsedSeconds() / static_cast<double>(reps);
+}
+
+struct ProductResult {
+  std::string name;
+  int64_t out_classes = 0;
+  double csr_seconds = 0.0;
+  double legacy_seconds = 0.0;
+  double speedup() const {
+    return csr_seconds > 0.0 ? legacy_seconds / csr_seconds : 0.0;
+  }
+};
+
+ProductResult BenchProduct(const char* name, const EncodedTable& t,
+                           int64_t rows) {
+  ProductResult r;
+  r.name = name;
+  auto px = StrippedPartition::FromColumn(t.column(0));
+  auto py = StrippedPartition::FromColumn(t.column(1));
+  PartitionScratch scratch(rows);
+  r.out_classes = px.Product(py, rows, &scratch).num_classes();
+
+  r.csr_seconds = TimePerRep(3, 0.3, [&] {
+    StrippedPartition prod = px.Product(py, rows, &scratch);
+    if (prod.rows_covered() < 0) std::abort();  // keep the result alive
+  });
+
+  LegacyPartition lx = LegacyPartition::FromCsr(px);
+  LegacyPartition ly = LegacyPartition::FromCsr(py);
+  std::vector<int32_t> class_of(static_cast<size_t>(rows), -1);
+  r.legacy_seconds = TimePerRep(3, 0.3, [&] {
+    LegacyPartition prod = lx.Product(ly, class_of);
+    if (prod.rows_covered < 0) std::abort();
+  });
+  return r;
+}
+
+struct ValidationResult {
+  std::string name;
+  double seconds = 0.0;  // per validation call over the whole partition
+};
+
+}  // namespace
+}  // namespace bench
+}  // namespace aod
+
+int main(int argc, char** argv) {
+  using namespace aod;
+  using namespace aod::bench;
+
+  const char* json_path = nullptr;
+  int64_t base_rows = 1000000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
+      base_rows = std::atoll(argv[++i]);
+    }
+  }
+  const int64_t rows = ScaledRows(base_rows);
+
+  PrintHeaderLine("micro_partitions: CSR product and validator throughput");
+  std::printf("rows: %lld (base %lld x AOD_BENCH_SCALE)\n",
+              static_cast<long long>(rows), static_cast<long long>(base_rows));
+
+  // -- Partition product: CSR vs legacy vector-of-vectors ----------------
+  // mid: dense classes (128x128 grid, large surviving buckets);
+  // fine: 4096x4096 (many small buckets — allocation-bound for legacy);
+  // singleton: high-cardinality product output is almost all singletons.
+  std::vector<ProductResult> products;
+  {
+    Table raw = GenerateTable(
+        {{.name = "x", .kind = ColumnKind::kUniformInt, .cardinality = 128},
+         {.name = "y", .kind = ColumnKind::kUniformInt, .cardinality = 128}},
+        rows, 6);
+    products.push_back(BenchProduct("mid_cardinality", EncodeTable(raw), rows));
+  }
+  {
+    Table raw = GenerateTable(
+        {{.name = "x", .kind = ColumnKind::kUniformInt, .cardinality = 4096},
+         {.name = "y", .kind = ColumnKind::kUniformInt, .cardinality = 4096}},
+        rows, 7);
+    products.push_back(BenchProduct("fine_cardinality", EncodeTable(raw),
+                                    rows));
+  }
+  {
+    Table raw = GenerateTable(
+        {{.name = "x", .kind = ColumnKind::kUniformInt,
+          .cardinality = rows / 2 < 2 ? 2 : rows / 2},
+         {.name = "y", .kind = ColumnKind::kUniformInt, .cardinality = 64}},
+        rows, 8);
+    products.push_back(BenchProduct("singleton_heavy", EncodeTable(raw),
+                                    rows));
+  }
+
+  std::printf("\n%-18s %12s %12s %12s %9s\n", "product", "classes",
+              "csr s/rep", "legacy s/rep", "speedup");
+  for (const ProductResult& r : products) {
+    std::printf("%-18s %12lld %12.5f %12.5f %8.2fx\n", r.name.c_str(),
+                static_cast<long long>(r.out_classes), r.csr_seconds,
+                r.legacy_seconds, r.speedup());
+  }
+
+  // -- Validator throughput on a realistic context ----------------------
+  // ctx (cardinality 256) is the context partition; a ~ b is an OC with a
+  // known violation rate, so the exact validator exercises its early exit
+  // and the LIS validator does full work.
+  Table raw = GenerateTable(
+      {{.name = "ctx", .kind = ColumnKind::kUniformInt, .cardinality = 256},
+       {.name = "a", .kind = ColumnKind::kUniformInt,
+        .cardinality = 1 << 20},
+       {.name = "b", .kind = ColumnKind::kMonotoneWithErrors,
+        .base_column = 1, .violation_rate = 0.05},
+       {.name = "c", .kind = ColumnKind::kUniformInt, .cardinality = 16}},
+      rows, 9);
+  EncodedTable vt = EncodeTable(raw);
+  auto ctx = StrippedPartition::FromColumn(vt.column(0));
+  ValidatorScratch vscratch;
+
+  std::vector<ValidationResult> validations;
+  validations.push_back(
+      {"oc_exact", TimePerRep(3, 0.3, [&] {
+         bool ok = ValidateOcExact(vt, ctx, 1, 2, false, &vscratch);
+         if (ok && vt.num_rows() < 0) std::abort();
+       })});
+  validations.push_back(
+      {"aoc_optimal_e10", TimePerRep(3, 0.3, [&] {
+         ValidationOutcome out = ValidateAocOptimal(vt, ctx, 1, 2, 0.10,
+                                                    vt.num_rows(), {},
+                                                    &vscratch);
+         if (out.removal_size < 0) std::abort();
+       })});
+  validations.push_back(
+      {"ofd_approx_e10", TimePerRep(3, 0.3, [&] {
+         ValidationOutcome out = ValidateOfdApprox(vt, ctx, 3, 0.10,
+                                                   vt.num_rows(), {},
+                                                   &vscratch);
+         if (out.removal_size < 0) std::abort();
+       })});
+
+  std::printf("\n%-18s %12s %14s\n", "validator", "s/call", "Mrows/s");
+  for (const ValidationResult& v : validations) {
+    double mrows = v.seconds > 0.0
+                       ? static_cast<double>(ctx.rows_covered()) /
+                             v.seconds / 1e6
+                       : 0.0;
+    std::printf("%-18s %12.5f %14.2f\n", v.name.c_str(), v.seconds, mrows);
+  }
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"micro_partitions\",\n");
+    std::fprintf(f, "  \"rows\": %lld,\n", static_cast<long long>(rows));
+    std::fprintf(f, "  \"products\": [\n");
+    for (size_t i = 0; i < products.size(); ++i) {
+      const ProductResult& r = products[i];
+      std::fprintf(f,
+                   "    {\"case\": \"%s\", \"out_classes\": %lld, "
+                   "\"csr_seconds\": %.6f, \"legacy_seconds\": %.6f, "
+                   "\"speedup\": %.3f}%s\n",
+                   r.name.c_str(), static_cast<long long>(r.out_classes),
+                   r.csr_seconds, r.legacy_seconds, r.speedup(),
+                   i + 1 < products.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"validations\": [\n");
+    for (size_t i = 0; i < validations.size(); ++i) {
+      const ValidationResult& v = validations[i];
+      std::fprintf(f, "    {\"case\": \"%s\", \"seconds\": %.6f}%s\n",
+                   v.name.c_str(), v.seconds,
+                   i + 1 < validations.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nJSON written to %s\n", json_path);
+  }
+  return 0;
+}

@@ -64,20 +64,35 @@ std::vector<int64_t> PerElementInversions(const std::vector<int32_t>& xs) {
   if (n == 0) return out;
   int32_t cardinality = 0;
   std::vector<int32_t> ranks = CompressRanks(xs, &cardinality);
+  InversionScratch scratch;
+  PerElementInversionsDense(ranks, cardinality, &scratch, out.data());
+  return out;
+}
+
+void PerElementInversionsDense(std::span<const int32_t> xs,
+                               int64_t cardinality, InversionScratch* scratch,
+                               int64_t* out) {
+  const size_t n = xs.size();
+  if (n == 0) return;
+  FenwickTree& left = scratch->left(cardinality);
+  FenwickTree& right = scratch->right(cardinality);
 
   // Pass 1, left to right: count earlier elements strictly greater.
-  FenwickTree left(cardinality);
   for (size_t i = 0; i < n; ++i) {
-    out[i] += left.RangeSum(ranks[i] + 1, cardinality - 1);
-    left.Add(ranks[i], 1);
+    out[i] = left.RangeSum(xs[i] + 1, cardinality - 1);
+    left.Add(xs[i], 1);
   }
   // Pass 2, right to left: count later elements strictly smaller.
-  FenwickTree right(cardinality);
   for (size_t i = n; i-- > 0;) {
-    out[i] += right.PrefixSum(ranks[i] - 1);
-    right.Add(ranks[i], 1);
+    out[i] += right.PrefixSum(xs[i] - 1);
+    right.Add(xs[i], 1);
   }
-  return out;
+  // Retract the additions so the pooled trees come back zeroed — O(m log c)
+  // instead of an O(cardinality) clear.
+  for (size_t i = 0; i < n; ++i) {
+    left.Add(xs[i], -1);
+    right.Add(xs[i], -1);
+  }
 }
 
 int64_t CountInversionsNaive(const std::vector<int32_t>& xs) {

@@ -8,7 +8,10 @@
 #define AOD_ALGO_INVERSIONS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
+
+#include "algo/fenwick.h"
 
 namespace aod {
 
@@ -16,11 +19,41 @@ namespace aod {
 /// Merge-sort based, O(m log m) — the paper's `countInversions`.
 int64_t CountInversions(const std::vector<int32_t>& xs);
 
+/// Reusable Fenwick trees for PerElementInversionsDense. Trees grow
+/// monotonically to the largest cardinality seen and are zero between
+/// calls (the counting passes undo their own additions), so a pooled
+/// instance makes repeated counting allocation-free.
+class InversionScratch {
+ public:
+  /// Both trees, grown to cover values [0, cardinality).
+  FenwickTree& left(int64_t cardinality) {
+    if (left_.size() < cardinality) left_ = FenwickTree(cardinality);
+    return left_;
+  }
+  FenwickTree& right(int64_t cardinality) {
+    if (right_.size() < cardinality) right_ = FenwickTree(cardinality);
+    return right_;
+  }
+
+ private:
+  FenwickTree left_{0};
+  FenwickTree right_{0};
+};
+
 /// Per-element inversion participation: out[i] = #{j < i : xs[j] > xs[i]}
 ///                                              + #{j > i : xs[j] < xs[i]}.
 /// Two Fenwick-tree passes over rank-compressed values, O(m log m).
 /// (Σ out[i] == 2 * CountInversions(xs).)
 std::vector<int64_t> PerElementInversions(const std::vector<int32_t>& xs);
+
+/// Allocation-free variant for callers that already hold dense values:
+/// every xs[i] must lie in [0, cardinality). Writes xs.size() counts to
+/// `out` and leaves `scratch`'s trees zeroed (additions are retracted in
+/// a final pass). O(m log cardinality), no heap allocation beyond tree
+/// growth inside `scratch`.
+void PerElementInversionsDense(std::span<const int32_t> xs,
+                               int64_t cardinality, InversionScratch* scratch,
+                               int64_t* out);
 
 /// O(m²) reference implementations for property tests.
 int64_t CountInversionsNaive(const std::vector<int32_t>& xs);

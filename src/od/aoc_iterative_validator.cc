@@ -7,19 +7,20 @@
 namespace aod {
 namespace {
 
-/// State for one equivalence class during the greedy removal loop.
+/// View over one equivalence class during the greedy removal loop; all
+/// arrays are scratch-owned and re-sliced per class.
 struct ClassState {
-  std::vector<int32_t> rows;       // sorted by [A ASC, B ASC]
-  std::vector<int32_t> ra;         // A-ranks in sorted order
-  std::vector<int32_t> rb;         // B-ranks in sorted order
-  std::vector<int64_t> swap_cnt;   // swaps each live tuple participates in
-  std::vector<uint8_t> alive;
+  std::vector<int32_t>* rows;       // sorted by [A ASC, B ASC]
+  std::vector<int32_t>* ra;         // A-ranks in sorted order
+  std::vector<int32_t>* rb;         // B-ranks in sorted order (dense)
+  std::vector<int64_t>* swap_cnt;   // swaps each live tuple participates in
+  std::vector<uint8_t>* alive;
 };
 
 bool Swapped(const ClassState& s, size_t i, size_t j) {
   // Def. 2.5: (s < t on A and t < s on B) in either orientation.
-  return (s.ra[i] < s.ra[j] && s.rb[j] < s.rb[i]) ||
-         (s.ra[j] < s.ra[i] && s.rb[i] < s.rb[j]);
+  return ((*s.ra)[i] < (*s.ra)[j] && (*s.rb)[j] < (*s.rb)[i]) ||
+         ((*s.ra)[j] < (*s.ra)[i] && (*s.rb)[i] < (*s.rb)[j]);
 }
 
 }  // namespace
@@ -27,38 +28,50 @@ bool Swapped(const ClassState& s, size_t i, size_t j) {
 ValidationOutcome ValidateAocIterative(
     const EncodedTable& table, const StrippedPartition& context_partition,
     int a, int b, double epsilon, int64_t table_rows,
-    const ValidatorOptions& options) {
+    const ValidatorOptions& options, ValidatorScratch* scratch) {
   const auto& ranks_a = table.ranks(a);
   const auto& ranks_b = table.ranks(b);
+  const int64_t card_b = table.column(b).cardinality;
   const int64_t max_removals = MaxRemovals(epsilon, table_rows);
   // Bidirectional polarity: reverse B's rank order (see ValidatorOptions).
+  // Dense flip (card-1 - r) instead of negation keeps the values valid
+  // Fenwick indices for the allocation-free swap counter.
   const int32_t sign = options.opposite_polarity ? -1 : 1;
+  auto rb_of = [&](int32_t row) {
+    int32_t r = ranks_b[static_cast<size_t>(row)];
+    return sign > 0 ? r : static_cast<int32_t>(card_b - 1) - r;
+  };
 
   ValidationOutcome out;
-  ClassState st;
-  for (const auto& cls : context_partition.classes()) {
+  ValidatorScratch local;
+  ValidatorScratch& sc = scratch == nullptr ? local : *scratch;
+  ClassState st{&sc.rows(), &sc.ranks_a(), &sc.ranks_b(), &sc.swap_counts(),
+                &sc.alive()};
+  for (StrippedPartition::ClassSpan cls : context_partition.classes()) {
     // Line 3: order the class by [A ASC, B ASC].
-    st.rows.assign(cls.begin(), cls.end());
-    std::sort(st.rows.begin(), st.rows.end(), [&](int32_t s, int32_t t) {
+    st.rows->assign(cls.begin(), cls.end());
+    std::sort(st.rows->begin(), st.rows->end(), [&](int32_t s, int32_t t) {
       int32_t sa = ranks_a[static_cast<size_t>(s)];
       int32_t ta = ranks_a[static_cast<size_t>(t)];
       if (sa != ta) return sa < ta;
-      return sign * ranks_b[static_cast<size_t>(s)] <
-             sign * ranks_b[static_cast<size_t>(t)];
+      return rb_of(s) < rb_of(t);
     });
-    const size_t m = st.rows.size();
-    st.ra.resize(m);
-    st.rb.resize(m);
+    const size_t m = st.rows->size();
+    st.ra->resize(m);
+    st.rb->resize(m);
+    st.swap_cnt->resize(m);
     for (size_t i = 0; i < m; ++i) {
-      st.ra[i] = ranks_a[static_cast<size_t>(st.rows[i])];
-      st.rb[i] = sign * ranks_b[static_cast<size_t>(st.rows[i])];
+      (*st.ra)[i] = ranks_a[static_cast<size_t>((*st.rows)[i])];
+      (*st.rb)[i] = rb_of((*st.rows)[i]);
     }
     // Line 4: per-tuple swap counts. With ties broken by B, equal-A pairs
     // never invert, so the inversion participation of the B-projection is
     // exactly the swap count (the paper computes the same quantity with a
-    // merge-sort variant).
-    st.swap_cnt = PerElementInversions(st.rb);
-    st.alive.assign(m, 1);
+    // merge-sort variant). The B-ranks are already dense in [0, card_b),
+    // so no sort-compression pass is needed.
+    PerElementInversionsDense(*st.rb, card_b, &sc.inversions(),
+                              st.swap_cnt->data());
+    st.alive->assign(m, 1);
 
     // Lines 6-15: repeatedly drop a tuple with the most swaps.
     while (true) {
@@ -66,16 +79,16 @@ ValidationOutcome ValidateAocIterative(
       size_t best = m;
       int64_t best_cnt = -1;
       for (size_t i = 0; i < m; ++i) {
-        if (st.alive[i] && st.swap_cnt[i] > best_cnt) {
+        if ((*st.alive)[i] && (*st.swap_cnt)[i] > best_cnt) {
           best = i;
-          best_cnt = st.swap_cnt[i];
+          best_cnt = (*st.swap_cnt)[i];
         }
       }
       if (best == m || best_cnt == 0) break;  // Line 8: class is swap-free.
-      st.alive[best] = 0;
+      (*st.alive)[best] = 0;
       ++out.removal_size;
       if (options.collect_removal_set) {
-        out.removal_rows.push_back(st.rows[best]);
+        out.removal_rows.push_back((*st.rows)[best]);
       }
       // Line 14: cross the threshold -> INVALID. The removal size reported
       // so far is only a lower bound on what this strategy would remove.
@@ -88,8 +101,8 @@ ValidationOutcome ValidateAocIterative(
       }
       // Lines 9-11: retract the removed tuple's swaps from the survivors.
       for (size_t i = 0; i < m; ++i) {
-        if (st.alive[i] && Swapped(st, best, i)) {
-          --st.swap_cnt[i];
+        if ((*st.alive)[i] && Swapped(st, best, i)) {
+          --(*st.swap_cnt)[i];
         }
       }
     }

@@ -14,6 +14,7 @@
 
 #include "data/encoder.h"
 #include "od/canonical_od.h"
+#include "od/validator_scratch.h"
 #include "partition/stripped_partition.h"
 
 namespace aod {
@@ -22,11 +23,13 @@ namespace aod {
 /// greedy iterative strategy. With options.early_exit (the paper's Line
 /// 14) the run aborts with "INVALID" as soon as more than eps*|r| tuples
 /// have been removed; disable it to measure the full (possibly
-/// overestimated) removal set, as in Exp-4.
+/// overestimated) removal set, as in Exp-4. `scratch` (optional) removes
+/// all per-class allocations, including the Fenwick trees of the swap
+/// counter.
 ValidationOutcome ValidateAocIterative(
     const EncodedTable& table, const StrippedPartition& context_partition,
     int a, int b, double epsilon, int64_t table_rows,
-    const ValidatorOptions& options = {});
+    const ValidatorOptions& options = {}, ValidatorScratch* scratch = nullptr);
 
 }  // namespace aod
 

@@ -13,7 +13,8 @@ ValidationOutcome ValidateLis(const EncodedTable& table,
                               int a, int b, double epsilon,
                               int64_t table_rows,
                               const ValidatorOptions& options,
-                              bool descending_ties) {
+                              bool descending_ties,
+                              ValidatorScratch* scratch) {
   const auto& ranks_a = table.ranks(a);
   const auto& ranks_b = table.ranks(b);
   const int64_t max_removals = MaxRemovals(epsilon, table_rows);
@@ -22,9 +23,11 @@ ValidationOutcome ValidateLis(const EncodedTable& table,
   const int32_t sign = options.opposite_polarity ? -1 : 1;
 
   ValidationOutcome out;
-  std::vector<int32_t> rows;
-  std::vector<int32_t> projection;
-  for (const auto& cls : context_partition.classes()) {
+  ValidatorScratch local;
+  ValidatorScratch& s = scratch == nullptr ? local : *scratch;
+  std::vector<int32_t>& rows = s.rows();
+  std::vector<int32_t>& projection = s.projection();
+  for (StrippedPartition::ClassSpan cls : context_partition.classes()) {
     rows.assign(cls.begin(), cls.end());
     // Line 3 of Algorithm 2: order the class by [A ASC, B ASC]
     // (B DESC within A-ties for the OD variant).
@@ -74,18 +77,20 @@ ValidationOutcome ValidateAocOptimal(const EncodedTable& table,
                                      const StrippedPartition& context_partition,
                                      int a, int b, double epsilon,
                                      int64_t table_rows,
-                                     const ValidatorOptions& options) {
+                                     const ValidatorOptions& options,
+                                     ValidatorScratch* scratch) {
   return ValidateLis(table, context_partition, a, b, epsilon, table_rows,
-                     options, /*descending_ties=*/false);
+                     options, /*descending_ties=*/false, scratch);
 }
 
 ValidationOutcome ValidateAodOptimal(const EncodedTable& table,
                                      const StrippedPartition& context_partition,
                                      int a, int b, double epsilon,
                                      int64_t table_rows,
-                                     const ValidatorOptions& options) {
+                                     const ValidatorOptions& options,
+                                     ValidatorScratch* scratch) {
   return ValidateLis(table, context_partition, a, b, epsilon, table_rows,
-                     options, /*descending_ties=*/true);
+                     options, /*descending_ties=*/true, scratch);
 }
 
 }  // namespace aod

@@ -15,18 +15,21 @@
 
 #include "data/encoder.h"
 #include "od/canonical_od.h"
+#include "od/validator_scratch.h"
 #include "partition/stripped_partition.h"
 
 namespace aod {
 
 /// Validates the AOC `context_partition`: a ~ b against `epsilon`.
 /// The removal set is minimal (Thm. 3.3); `removal_size` is exact unless
-/// `early_exit` fired. O(n log n) total.
+/// `early_exit` fired. O(n log n) total. `scratch` (optional) removes the
+/// per-call sort/projection allocations.
 ValidationOutcome ValidateAocOptimal(const EncodedTable& table,
                                      const StrippedPartition& context_partition,
                                      int a, int b, double epsilon,
                                      int64_t table_rows,
-                                     const ValidatorOptions& options = {});
+                                     const ValidatorOptions& options = {},
+                                     ValidatorScratch* scratch = nullptr);
 
 /// Validates the canonical AOD `context_partition`: a -> b (order *and*
 /// constancy of b per a-group) via the descending-tie variant. The removal
@@ -35,7 +38,8 @@ ValidationOutcome ValidateAodOptimal(const EncodedTable& table,
                                      const StrippedPartition& context_partition,
                                      int a, int b, double epsilon,
                                      int64_t table_rows,
-                                     const ValidatorOptions& options = {});
+                                     const ValidatorOptions& options = {},
+                                     ValidatorScratch* scratch = nullptr);
 
 }  // namespace aod
 

@@ -15,6 +15,7 @@
 #include "od/lattice.h"
 #include "od/oc_validator.h"
 #include "od/ofd_validator.h"
+#include "od/validator_scratch.h"
 #include "partition/partition_cache.h"
 
 namespace aod {
@@ -88,6 +89,12 @@ struct Driver {
   exec::ThreadPool* pool = nullptr;
   std::atomic<int64_t> partition_nanos{0};
 
+  /// Validator scratch is pooled like PartitionScratch: a worker borrows
+  /// one instance per validation task, so steady-state validation does no
+  /// heap allocation regardless of class count or candidate count.
+  std::mutex vscratch_mutex;
+  std::vector<std::unique_ptr<ValidatorScratch>> free_vscratch;
+
   Driver(const EncodedTable& t, const DiscoveryOptions& o)
       : table(t),
         options(o),
@@ -130,6 +137,24 @@ struct Driver {
   /// Get() stays safe (and value-deterministic) either way.
   std::shared_ptr<const StrippedPartition> Lookup(AttributeSet set) {
     return cache.Get(set);
+  }
+
+  std::unique_ptr<ValidatorScratch> AcquireValidatorScratch() {
+    {
+      std::lock_guard<std::mutex> lock(vscratch_mutex);
+      if (!free_vscratch.empty()) {
+        std::unique_ptr<ValidatorScratch> scratch =
+            std::move(free_vscratch.back());
+        free_vscratch.pop_back();
+        return scratch;
+      }
+    }
+    return std::make_unique<ValidatorScratch>();
+  }
+
+  void ReleaseValidatorScratch(std::unique_ptr<ValidatorScratch> scratch) {
+    std::lock_guard<std::mutex> lock(vscratch_mutex);
+    free_vscratch.push_back(std::move(scratch));
   }
 
   /// Phase 1 (parallel over nodes): candidate generation against the
@@ -203,39 +228,44 @@ struct Driver {
     auto partition = Lookup(c.context);
     ValidatorOptions vopts;
     vopts.collect_removal_set = options.collect_removal_sets;
+    std::unique_ptr<ValidatorScratch> scratch = AcquireValidatorScratch();
 
     Stopwatch sw;
     if (c.is_ofd) {
       if (options.validator == ValidatorKind::kExact) {
         out->outcome.valid = ValidateOfdExact(table, *partition, c.ofd_target);
       } else {
-        out->outcome = ValidateOfdApprox(table, *partition, c.ofd_target,
-                                         epsilon, table.num_rows(), vopts);
+        out->outcome =
+            ValidateOfdApprox(table, *partition, c.ofd_target, epsilon,
+                              table.num_rows(), vopts, scratch.get());
       }
     } else {
       const AttributePair pair = c.oc_pair;
       vopts.opposite_polarity = pair.opposite;
       switch (options.validator) {
         case ValidatorKind::kExact:
-          out->outcome.valid = ValidateOcExact(table, *partition, pair.a,
-                                               pair.b, pair.opposite);
+          out->outcome.valid =
+              ValidateOcExact(table, *partition, pair.a, pair.b,
+                              pair.opposite, scratch.get());
           break;
         case ValidatorKind::kIterative:
-          out->outcome = ValidateAocIterative(table, *partition, pair.a,
-                                              pair.b, epsilon,
-                                              table.num_rows(), vopts);
+          out->outcome =
+              ValidateAocIterative(table, *partition, pair.a, pair.b, epsilon,
+                                   table.num_rows(), vopts, scratch.get());
           break;
         case ValidatorKind::kOptimal:
-          out->outcome = sampler != nullptr
-                             ? sampler->Validate(*partition, pair.a, pair.b,
-                                                 epsilon, vopts)
-                             : ValidateAocOptimal(table, *partition, pair.a,
-                                                  pair.b, epsilon,
-                                                  table.num_rows(), vopts);
+          out->outcome =
+              sampler != nullptr
+                  ? sampler->Validate(*partition, pair.a, pair.b, epsilon,
+                                      vopts, scratch.get())
+                  : ValidateAocOptimal(table, *partition, pair.a, pair.b,
+                                       epsilon, table.num_rows(), vopts,
+                                       scratch.get());
           break;
       }
     }
     out->seconds = sw.ElapsedSeconds();
+    ReleaseValidatorScratch(std::move(scratch));
     out->interestingness =
         InterestingnessScore(*partition, c.context.size(), table.num_rows());
     out->done = 1;
@@ -437,10 +467,13 @@ struct Driver {
         result.timed_out = true;
         break;
       }
+      result.stats.partition_bytes_peak = std::max(
+          result.stats.partition_bytes_peak, cache.bytes_resident());
 
       LatticeLevel next = current.GenerateNext();
       // Contexts needed at level l+1 have sizes l and l-1.
-      cache.EvictSmallerThan(level - 1);
+      result.stats.partition_bytes_evicted +=
+          cache.EvictSmallerThan(level - 1);
       previous = std::move(current);
       current = std::move(next);
     }
@@ -449,6 +482,9 @@ struct Driver {
         static_cast<double>(partition_nanos.load(std::memory_order_relaxed)) /
         1e9;
     result.stats.partitions_computed = cache.products_computed();
+    result.stats.partition_bytes_peak =
+        std::max(result.stats.partition_bytes_peak, cache.bytes_resident());
+    result.stats.partition_bytes_final = cache.bytes_resident();
     result.stats.total_seconds = total_clock.ElapsedSeconds();
   }
 };

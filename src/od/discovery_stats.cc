@@ -68,6 +68,15 @@ std::string DiscoveryStats::ToString() const {
       << " s CPU\n"
       << "  partitions:     " << FormatDouble(partition_seconds, 3)
       << " s CPU (" << partitions_computed << " products)\n"
+      << "  partition memory: "
+      << FormatDouble(static_cast<double>(partition_bytes_peak) / (1 << 20), 2)
+      << " MiB peak, "
+      << FormatDouble(static_cast<double>(partition_bytes_evicted) / (1 << 20),
+                      2)
+      << " MiB evicted, "
+      << FormatDouble(static_cast<double>(partition_bytes_final) / (1 << 20),
+                      2)
+      << " MiB final\n"
       << "  phase wall clock: candidates "
       << FormatDouble(candidate_wall_seconds, 3) << " s, validation "
       << FormatDouble(validation_wall_seconds, 3) << " s, partitions "

@@ -30,6 +30,15 @@ struct DiscoveryStats {
   /// Worker threads the run executed on (1 = serial).
   int threads_used = 1;
 
+  // Exact partition-cache memory accounting (StrippedPartition::bytes(),
+  // i.e. CSR payload + object headers). Peak is sampled at level
+  // boundaries — the high-water mark eviction policy must fit under;
+  // evicted is the total reclaimed by level-based eviction; final is what
+  // remained resident when the run ended.
+  int64_t partition_bytes_peak = 0;
+  int64_t partition_bytes_evicted = 0;
+  int64_t partition_bytes_final = 0;
+
   int64_t oc_candidates_validated = 0;
   int64_t ofd_candidates_validated = 0;
   /// OC pairs discarded by the candidate-set rule (A not in Cc+(X\{B}) or

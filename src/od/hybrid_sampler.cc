@@ -27,16 +27,19 @@ AocSampler::AocSampler(const EncodedTable* table, SamplerConfig config)
 }
 
 double AocSampler::EstimateFactor(const StrippedPartition& context_partition,
-                                  int a, int b, bool opposite) const {
+                                  int a, int b, bool opposite,
+                                  ValidatorScratch* scratch) const {
   if (sampled_rows_ == 0) return 0.0;
   const auto& ranks_a = table_->ranks(a);
   const auto& ranks_b = table_->ranks(b);
   const int32_t sign = opposite ? -1 : 1;
 
   int64_t removal = 0;
-  std::vector<int32_t> rows;
-  std::vector<int32_t> projection;
-  for (const auto& cls : context_partition.classes()) {
+  ValidatorScratch local;
+  ValidatorScratch& s = scratch == nullptr ? local : *scratch;
+  std::vector<int32_t>& rows = s.rows();
+  std::vector<int32_t>& projection = s.projection();
+  for (StrippedPartition::ClassSpan cls : context_partition.classes()) {
     rows.clear();
     for (int32_t r : cls) {
       if (in_sample_[static_cast<size_t>(r)]) rows.push_back(r);
@@ -61,11 +64,11 @@ double AocSampler::EstimateFactor(const StrippedPartition& context_partition,
 
 ValidationOutcome AocSampler::Validate(
     const StrippedPartition& context_partition, int a, int b, double epsilon,
-    const ValidatorOptions& options) {
+    const ValidatorOptions& options, ValidatorScratch* scratch) {
   // The sample factor underestimates e(phi) in expectation, so exceeding
   // the inflated threshold is strong evidence of invalidity.
-  double estimate =
-      EstimateFactor(context_partition, a, b, options.opposite_polarity);
+  double estimate = EstimateFactor(context_partition, a, b,
+                                   options.opposite_polarity, scratch);
   if (estimate > (1.0 + config_.reject_margin) * epsilon) {
     ++fast_rejections_;
     ValidationOutcome out;
@@ -78,7 +81,7 @@ ValidationOutcome AocSampler::Validate(
   }
   ++full_validations_;
   return ValidateAocOptimal(*table_, context_partition, a, b, epsilon,
-                            table_->num_rows(), options);
+                            table_->num_rows(), options, scratch);
 }
 
 }  // namespace aod

@@ -28,6 +28,7 @@
 
 #include "data/encoder.h"
 #include "od/canonical_od.h"
+#include "od/validator_scratch.h"
 #include "partition/stripped_partition.h"
 
 namespace aod {
@@ -50,19 +51,23 @@ class AocSampler {
   AocSampler(const EncodedTable* table, SamplerConfig config);
 
   /// Approximation-factor estimate from the sample alone (an
-  /// underestimate in expectation). O(|S| log |S|).
+  /// underestimate in expectation). O(|S| log |S|). `scratch` (optional)
+  /// makes the call allocation-free; it is borrowed, not retained.
   double EstimateFactor(const StrippedPartition& context_partition, int a,
-                        int b, bool opposite = false) const;
+                        int b, bool opposite = false,
+                        ValidatorScratch* scratch = nullptr) const;
 
   /// Hybrid validation: fast-reject via the sample when possible,
   /// otherwise exact LIS validation. The outcome of the slow path is
   /// exact; fast rejections return `valid = false` with the scaled
   /// sample estimate as `approx_factor` and `early_exit` set.
-  /// Thread-safe (counters are atomic; the sample is immutable), so one
-  /// sampler can serve all workers of a parallel discovery run.
+  /// Thread-safe (counters are atomic; the sample is immutable; `scratch`
+  /// is caller-owned), so one sampler can serve all workers of a parallel
+  /// discovery run.
   ValidationOutcome Validate(const StrippedPartition& context_partition,
                              int a, int b, double epsilon,
-                             const ValidatorOptions& options = {});
+                             const ValidatorOptions& options = {},
+                             ValidatorScratch* scratch = nullptr);
 
   int64_t fast_rejections() const { return fast_rejections_.load(); }
   int64_t full_validations() const { return full_validations_.load(); }

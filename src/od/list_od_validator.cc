@@ -21,9 +21,10 @@ int CompareOnList(const EncodedTable& table, const std::vector<int>& attrs,
 
 /// Rows 0..n-1 sorted ascending by X, ties broken by Y (ascending or
 /// descending as requested) — the ordering step shared by all validators.
-std::vector<int32_t> SortRows(const EncodedTable& table, const ListOd& od,
-                              bool y_descending) {
-  std::vector<int32_t> rows(static_cast<size_t>(table.num_rows()));
+/// Fills the caller's (typically scratch-pooled) `rows` buffer.
+void SortRows(const EncodedTable& table, const ListOd& od, bool y_descending,
+              std::vector<int32_t>& rows) {
+  rows.resize(static_cast<size_t>(table.num_rows()));
   std::iota(rows.begin(), rows.end(), 0);
   std::sort(rows.begin(), rows.end(), [&](int32_t s, int32_t t) {
     int cx = CompareOnList(table, od.lhs, s, t);
@@ -31,14 +32,16 @@ std::vector<int32_t> SortRows(const EncodedTable& table, const ListOd& od,
     int cy = CompareOnList(table, od.rhs, s, t);
     return y_descending ? cy > 0 : cy < 0;
   });
-  return rows;
 }
 
 ValidationOutcome ApproxImpl(const EncodedTable& table, const ListOd& od,
                              double epsilon, const ValidatorOptions& options,
-                             bool y_descending) {
+                             bool y_descending, ValidatorScratch* scratch) {
   const int64_t n = table.num_rows();
-  std::vector<int32_t> rows = SortRows(table, od, y_descending);
+  ValidatorScratch local;
+  ValidatorScratch& s = scratch == nullptr ? local : *scratch;
+  std::vector<int32_t>& rows = s.rows();
+  SortRows(table, od, y_descending, rows);
   // LNDS of the Y-projection, elements compared lexicographically.
   std::vector<int32_t> kept =
       LndsIndicesBy(static_cast<int32_t>(rows.size()), [&](int32_t p,
@@ -67,10 +70,14 @@ ValidationOutcome ApproxImpl(const EncodedTable& table, const ListOd& od,
 
 }  // namespace
 
-bool ValidateListOdExact(const EncodedTable& table, const ListOd& od) {
+bool ValidateListOdExact(const EncodedTable& table, const ListOd& od,
+                         ValidatorScratch* scratch) {
   // r |= X -> Y iff, after sorting by X, (a) X-equal tuples are Y-equal
   // (no splits) and (b) the Y-projection is non-decreasing (no swaps).
-  std::vector<int32_t> rows = SortRows(table, od, /*y_descending=*/false);
+  ValidatorScratch local;
+  ValidatorScratch& s = scratch == nullptr ? local : *scratch;
+  std::vector<int32_t>& rows = s.rows();
+  SortRows(table, od, /*y_descending=*/false, rows);
   for (size_t i = 1; i < rows.size(); ++i) {
     int cx = CompareOnList(table, od.lhs, rows[i - 1], rows[i]);
     int cy = CompareOnList(table, od.rhs, rows[i - 1], rows[i]);
@@ -80,10 +87,14 @@ bool ValidateListOdExact(const EncodedTable& table, const ListOd& od) {
   return true;
 }
 
-bool ValidateListOcExact(const EncodedTable& table, const ListOd& od) {
+bool ValidateListOcExact(const EncodedTable& table, const ListOd& od,
+                         ValidatorScratch* scratch) {
   // X ~ Y iff no swap exists: with ties broken by Y ascending, the OC
   // holds iff the Y-projection of the X-sorted order is non-decreasing.
-  std::vector<int32_t> rows = SortRows(table, od, /*y_descending=*/false);
+  ValidatorScratch local;
+  ValidatorScratch& s = scratch == nullptr ? local : *scratch;
+  std::vector<int32_t>& rows = s.rows();
+  SortRows(table, od, /*y_descending=*/false, rows);
   for (size_t i = 1; i < rows.size(); ++i) {
     if (CompareOnList(table, od.rhs, rows[i - 1], rows[i]) > 0) return false;
   }
@@ -92,14 +103,18 @@ bool ValidateListOcExact(const EncodedTable& table, const ListOd& od) {
 
 ValidationOutcome ValidateListOdApprox(const EncodedTable& table,
                                        const ListOd& od, double epsilon,
-                                       const ValidatorOptions& options) {
-  return ApproxImpl(table, od, epsilon, options, /*y_descending=*/true);
+                                       const ValidatorOptions& options,
+                                       ValidatorScratch* scratch) {
+  return ApproxImpl(table, od, epsilon, options, /*y_descending=*/true,
+                    scratch);
 }
 
 ValidationOutcome ValidateListOcApprox(const EncodedTable& table,
                                        const ListOd& od, double epsilon,
-                                       const ValidatorOptions& options) {
-  return ApproxImpl(table, od, epsilon, options, /*y_descending=*/false);
+                                       const ValidatorOptions& options,
+                                       ValidatorScratch* scratch) {
+  return ApproxImpl(table, od, epsilon, options, /*y_descending=*/false,
+                    scratch);
 }
 
 }  // namespace aod

@@ -12,24 +12,30 @@
 #include "data/encoder.h"
 #include "od/canonical_od.h"
 #include "od/list_od.h"
+#include "od/validator_scratch.h"
 
 namespace aod {
 
-/// True iff r |= lhs -> rhs exactly (Def. 2.2).
-bool ValidateListOdExact(const EncodedTable& table, const ListOd& od);
+/// True iff r |= lhs -> rhs exactly (Def. 2.2). `scratch` (optional)
+/// pools the whole-table row sort buffer across calls.
+bool ValidateListOdExact(const EncodedTable& table, const ListOd& od,
+                         ValidatorScratch* scratch = nullptr);
 
 /// True iff lhs ~ rhs exactly (Def. 2.3: XY <-> YX).
-bool ValidateListOcExact(const EncodedTable& table, const ListOd& od);
+bool ValidateListOcExact(const EncodedTable& table, const ListOd& od,
+                         ValidatorScratch* scratch = nullptr);
 
 /// Approximate list-based OD validation with a minimal removal set.
 ValidationOutcome ValidateListOdApprox(const EncodedTable& table,
                                        const ListOd& od, double epsilon,
-                                       const ValidatorOptions& options = {});
+                                       const ValidatorOptions& options = {},
+                                       ValidatorScratch* scratch = nullptr);
 
 /// Approximate list-based OC validation with a minimal removal set.
 ValidationOutcome ValidateListOcApprox(const EncodedTable& table,
                                        const ListOd& od, double epsilon,
-                                       const ValidatorOptions& options = {});
+                                       const ValidatorOptions& options = {},
+                                       ValidatorScratch* scratch = nullptr);
 
 }  // namespace aod
 

@@ -7,14 +7,16 @@
 namespace aod {
 namespace {
 
-/// Sorts the rows of `cls` by (rank_a ASC, sign*rank_b ASC) and returns
-/// the sign-adjusted B-projection of the sorted order. sign = -1 checks
-/// the bidirectional polarity a asc ~ b desc.
-std::vector<int32_t> SortedBProjection(const std::vector<int32_t>& ranks_a,
-                                       const std::vector<int32_t>& ranks_b,
-                                       const std::vector<int32_t>& cls,
-                                       int32_t sign) {
-  std::vector<int32_t> rows = cls;
+/// Sorts the rows of `cls` by (rank_a ASC, sign*rank_b ASC) into `rows`
+/// and writes the sign-adjusted B-projection of the sorted order into
+/// `projection`. sign = -1 checks the bidirectional polarity
+/// a asc ~ b desc.
+void SortedBProjection(const std::vector<int32_t>& ranks_a,
+                       const std::vector<int32_t>& ranks_b,
+                       StrippedPartition::ClassSpan cls, int32_t sign,
+                       std::vector<int32_t>& rows,
+                       std::vector<int32_t>& projection) {
+  rows.assign(cls.begin(), cls.end());
   std::sort(rows.begin(), rows.end(), [&](int32_t s, int32_t t) {
     int32_t sa = ranks_a[static_cast<size_t>(s)];
     int32_t ta = ranks_a[static_cast<size_t>(t)];
@@ -22,24 +24,62 @@ std::vector<int32_t> SortedBProjection(const std::vector<int32_t>& ranks_a,
     return sign * ranks_b[static_cast<size_t>(s)] <
            sign * ranks_b[static_cast<size_t>(t)];
   });
-  std::vector<int32_t> projection(rows.size());
+  projection.resize(rows.size());
   for (size_t i = 0; i < rows.size(); ++i) {
     projection[i] = sign * ranks_b[static_cast<size_t>(rows[i])];
   }
-  return projection;
 }
 
 }  // namespace
 
 bool ValidateOcExact(const EncodedTable& table,
                      const StrippedPartition& context_partition, int a,
-                     int b, bool opposite) {
+                     int b, bool opposite, ValidatorScratch* scratch) {
   const auto& ranks_a = table.ranks(a);
   const auto& ranks_b = table.ranks(b);
   const int32_t sign = opposite ? -1 : 1;
-  for (const auto& cls : context_partition.classes()) {
-    std::vector<int32_t> projection =
-        SortedBProjection(ranks_a, ranks_b, cls, sign);
+  ValidatorScratch local;
+  ValidatorScratch& s = scratch == nullptr ? local : *scratch;
+
+  // Largest class first (ties by index, so the order is deterministic):
+  // the class most likely to contain a swap is checked before the tail of
+  // small ones. Counting sort keyed by class size — O(nc + max_size),
+  // which is dominated by the per-class sorting below (max_size <=
+  // rows_covered), where a comparison sort of the indices would dominate
+  // on singleton-heavy partitions.
+  const int64_t nc = context_partition.num_classes();
+  std::vector<int32_t>& order = s.order();
+  order.resize(static_cast<size_t>(nc));
+  int32_t max_size = 0;
+  for (int64_t i = 0; i < nc; ++i) {
+    max_size = std::max(max_size,
+                        static_cast<int32_t>(context_partition.cls(i).size()));
+  }
+  std::vector<int32_t>& size_count = s.value_counts(max_size + 1);
+  for (int64_t i = 0; i < nc; ++i) {
+    ++size_count[context_partition.cls(i).size()];
+  }
+  int32_t cursor = 0;
+  for (int32_t sz = max_size; sz >= 2; --sz) {
+    int32_t c = size_count[static_cast<size_t>(sz)];
+    size_count[static_cast<size_t>(sz)] = cursor;
+    cursor += c;
+  }
+  for (int64_t i = 0; i < nc; ++i) {
+    // Ascending i with cursor placement keeps equal-size classes in index
+    // order (the deterministic tie-break).
+    order[static_cast<size_t>(
+        size_count[context_partition.cls(i).size()]++)] =
+        static_cast<int32_t>(i);
+  }
+  for (int32_t sz = 2; sz <= max_size; ++sz) {
+    size_count[static_cast<size_t>(sz)] = 0;
+  }
+
+  for (int32_t ci : order) {
+    SortedBProjection(ranks_a, ranks_b, context_partition.cls(ci), sign,
+                      s.rows(), s.projection());
+    const std::vector<int32_t>& projection = s.projection();
     // With ties broken by B, the OC holds on this class iff the
     // B-projection is non-decreasing (any descent certifies a swap).
     for (size_t i = 1; i < projection.size(); ++i) {
@@ -55,8 +95,11 @@ int64_t CountOcSwaps(const EncodedTable& table,
   const auto& ranks_a = table.ranks(a);
   const auto& ranks_b = table.ranks(b);
   int64_t swaps = 0;
-  for (const auto& cls : context_partition.classes()) {
-    swaps += CountInversions(SortedBProjection(ranks_a, ranks_b, cls, 1));
+  std::vector<int32_t> rows;
+  std::vector<int32_t> projection;
+  for (StrippedPartition::ClassSpan cls : context_partition.classes()) {
+    SortedBProjection(ranks_a, ranks_b, cls, 1, rows, projection);
+    swaps += CountInversions(projection);
   }
   return swaps;
 }

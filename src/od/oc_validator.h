@@ -6,6 +6,7 @@
 
 #include "data/encoder.h"
 #include "od/canonical_od.h"
+#include "od/validator_scratch.h"
 #include "partition/stripped_partition.h"
 
 namespace aod {
@@ -13,12 +14,17 @@ namespace aod {
 /// True iff the OC `context_partition`: a ~ b holds exactly, i.e. no two
 /// tuples within any equivalence class of the context form a swap
 /// (paper Def. 2.5). Sorts each class by [A ASC, B ASC] and scans the
-/// B-projection for a descent; exits at the first swap found.
+/// B-projection for a descent; exits at the first swap found. Classes are
+/// visited largest-first: a swap needs two tuples, so the biggest class is
+/// the likeliest witness and the early exit fires sooner on invalid
+/// candidates (the boolean is an AND over classes, so order cannot change
+/// the result).
 /// With `opposite` the bidirectional polarity a asc ~ b desc is checked
-/// (Szlichta et al. [10]).
+/// (Szlichta et al. [10]). `scratch` (optional) makes the call
+/// allocation-free.
 bool ValidateOcExact(const EncodedTable& table,
                      const StrippedPartition& context_partition, int a, int b,
-                     bool opposite = false);
+                     bool opposite = false, ValidatorScratch* scratch = nullptr);
 
 /// Number of swapped tuple pairs w.r.t. the OC (0 iff the OC holds).
 /// O(m log m) per class via merge-sort inversion counting — the quantity

@@ -1,14 +1,13 @@
 #include "od/ofd_validator.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 namespace aod {
 
 bool ValidateOfdExact(const EncodedTable& table,
                       const StrippedPartition& context_partition, int a) {
   const auto& ranks = table.ranks(a);
-  for (const auto& cls : context_partition.classes()) {
+  for (StrippedPartition::ClassSpan cls : context_partition.classes()) {
     int32_t first = ranks[static_cast<size_t>(cls[0])];
     for (size_t i = 1; i < cls.size(); ++i) {
       if (ranks[static_cast<size_t>(cls[i])] != first) return false;
@@ -20,17 +19,22 @@ bool ValidateOfdExact(const EncodedTable& table,
 ValidationOutcome ValidateOfdApprox(const EncodedTable& table,
                                     const StrippedPartition& context_partition,
                                     int a, double epsilon, int64_t table_rows,
-                                    const ValidatorOptions& options) {
+                                    const ValidatorOptions& options,
+                                    ValidatorScratch* scratch) {
   const auto& ranks = table.ranks(a);
   const int64_t max_removals = MaxRemovals(epsilon, table_rows);
 
   ValidationOutcome out;
-  std::unordered_map<int32_t, int32_t> freq;
-  for (const auto& cls : context_partition.classes()) {
-    freq.clear();
+  ValidatorScratch local;
+  ValidatorScratch& s = scratch == nullptr ? local : *scratch;
+  // Dense per-rank counters: ranks are already dense in [0, cardinality),
+  // so frequency counting is an array index, not a hash probe. Touched
+  // slots are re-zeroed per class, keeping the reset O(class size).
+  std::vector<int32_t>& freq = s.value_counts(table.column(a).cardinality);
+  for (StrippedPartition::ClassSpan cls : context_partition.classes()) {
     int32_t best = 0;
     for (int32_t row : cls) {
-      int32_t f = ++freq[ranks[static_cast<size_t>(row)]];
+      int32_t f = ++freq[static_cast<size_t>(ranks[static_cast<size_t>(row)])];
       best = std::max(best, f);
     }
     out.removal_size += static_cast<int64_t>(cls.size()) - best;
@@ -38,7 +42,8 @@ ValidationOutcome ValidateOfdApprox(const EncodedTable& table,
       // Keep the (first) most frequent value; remove everything else.
       int32_t keep_rank = -1;
       for (int32_t row : cls) {
-        if (freq[ranks[static_cast<size_t>(row)]] == best) {
+        if (freq[static_cast<size_t>(ranks[static_cast<size_t>(row)])] ==
+            best) {
           keep_rank = ranks[static_cast<size_t>(row)];
           break;
         }
@@ -48,6 +53,9 @@ ValidationOutcome ValidateOfdApprox(const EncodedTable& table,
           out.removal_rows.push_back(row);
         }
       }
+    }
+    for (int32_t row : cls) {
+      freq[static_cast<size_t>(ranks[static_cast<size_t>(row)])] = 0;
     }
     if (options.early_exit && out.removal_size > max_removals) {
       out.valid = false;

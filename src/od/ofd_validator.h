@@ -10,6 +10,7 @@
 
 #include "data/encoder.h"
 #include "od/canonical_od.h"
+#include "od/validator_scratch.h"
 #include "partition/stripped_partition.h"
 
 namespace aod {
@@ -20,11 +21,13 @@ bool ValidateOfdExact(const EncodedTable& table,
 
 /// Validates the OFD approximately against `epsilon`. The removal set is
 /// minimal. `table_rows` is |r| (the partition alone cannot supply it, as
-/// stripped partitions drop singleton classes).
+/// stripped partitions drop singleton classes). `scratch` (optional)
+/// replaces the per-class hash map with pooled dense counters.
 ValidationOutcome ValidateOfdApprox(const EncodedTable& table,
                                     const StrippedPartition& context_partition,
                                     int a, double epsilon, int64_t table_rows,
-                                    const ValidatorOptions& options = {});
+                                    const ValidatorOptions& options = {},
+                                    ValidatorScratch* scratch = nullptr);
 
 }  // namespace aod
 

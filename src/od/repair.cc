@@ -44,7 +44,7 @@ RepairPlan SuggestOcRepairs(const EncodedTable& table,
   plan.oc = oc;
   std::vector<int32_t> rows;
   std::vector<int32_t> projection;
-  for (const auto& cls : context_partition.classes()) {
+  for (StrippedPartition::ClassSpan cls : context_partition.classes()) {
     rows.assign(cls.begin(), cls.end());
     std::sort(rows.begin(), rows.end(), [&](int32_t s, int32_t t) {
       int32_t sa = ranks_a[static_cast<size_t>(s)];

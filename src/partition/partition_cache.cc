@@ -20,10 +20,18 @@ PartitionCache::PartitionCache(const EncodedTable* table) : table_(table) {
 }
 
 void PartitionCache::PutReady(AttributeSet set, PartitionPtr value) {
+  bytes_resident_.fetch_add(value->bytes(), std::memory_order_relaxed);
   std::promise<PartitionPtr> promise;
   promise.set_value(std::move(value));
   Shard& shard = ShardFor(set);
   std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(set);
+  if (it != shard.map.end()) {
+    // Replacing an entry: un-count the displaced value (always resolved —
+    // PutReady only ever installs resolved futures).
+    bytes_resident_.fetch_sub(it->second.get()->bytes(),
+                              std::memory_order_relaxed);
+  }
   shard.map.insert_or_assign(set, promise.get_future().share());
 }
 
@@ -61,6 +69,7 @@ PartitionCache::PartitionPtr PartitionCache::Compute(AttributeSet set) {
       base->Product(*single, table_->num_rows(), scratch.get()));
   ReleaseScratch(std::move(scratch));
   products_computed_.fetch_add(1, std::memory_order_relaxed);
+  bytes_resident_.fetch_add(value->bytes(), std::memory_order_relaxed);
   return value;
 }
 
@@ -77,18 +86,24 @@ bool PartitionCache::Contains(AttributeSet set) const {
          std::future_status::ready;
 }
 
-void PartitionCache::EvictSmallerThan(int below) {
+int64_t PartitionCache::EvictSmallerThan(int below) {
+  int64_t freed = 0;
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (auto it = shard.map.begin(); it != shard.map.end();) {
       int sz = it->first.size();
       if (sz > 1 && sz < below) {
+        // Futures are resolved here (eviction runs between phases), so
+        // the value — and its exact size — is available.
+        freed += it->second.get()->bytes();
         it = shard.map.erase(it);
       } else {
         ++it;
       }
     }
   }
+  bytes_resident_.fetch_sub(freed, std::memory_order_relaxed);
+  return freed;
 }
 
 int64_t PartitionCache::cached_count() const {

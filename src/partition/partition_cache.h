@@ -51,8 +51,17 @@ class PartitionCache {
   /// Drops every cached partition over sets of size in (1, below); the
   /// empty-set and single-attribute partitions are retained permanently
   /// (they are the O(n·k) base data everything else derives from). Must
-  /// not run concurrently with Get.
-  void EvictSmallerThan(int below);
+  /// not run concurrently with Get. Returns the exact number of bytes
+  /// released (per StrippedPartition::bytes()).
+  int64_t EvictSmallerThan(int below);
+
+  /// Exact bytes held by all materialized partitions (CSR payload +
+  /// object headers, per StrippedPartition::bytes()). Entries still being
+  /// computed by another thread are counted once they resolve. Feeds the
+  /// driver's memory stats and eviction decisions.
+  int64_t bytes_resident() const {
+    return bytes_resident_.load(std::memory_order_relaxed);
+  }
 
   /// Number of stripped products performed (for DiscoveryStats). Exactly
   /// one per distinct derived key thanks to once-per-key memoization, so
@@ -98,6 +107,10 @@ class PartitionCache {
   const EncodedTable* table_;
   Shard shards_[kShardCount];
   std::atomic<int64_t> products_computed_{0};
+  /// Sum of bytes() over resolved entries; incremented when a value is
+  /// installed, decremented on eviction (eviction runs between phases,
+  /// when every future is resolved).
+  std::atomic<int64_t> bytes_resident_{0};
 
   std::mutex scratch_mutex_;
   std::vector<std::unique_ptr<PartitionScratch>> free_scratch_;

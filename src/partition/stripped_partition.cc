@@ -11,27 +11,35 @@ StrippedPartition StrippedPartition::FromColumn(const EncodedColumn& column) {
   std::vector<int32_t> counts(static_cast<size_t>(column.cardinality), 0);
   for (int32_t r : column.ranks) ++counts[static_cast<size_t>(r)];
 
+  // Counting sort: ranks with >= 2 rows become classes in rank order;
+  // `start` carries the write cursor of each surviving rank.
   StrippedPartition out;
-  // Map rank -> class slot (or -1 for singleton/empty ranks).
-  std::vector<int32_t> slot(static_cast<size_t>(column.cardinality), -1);
+  std::vector<int32_t> start(static_cast<size_t>(column.cardinality), -1);
+  int32_t cursor = 0;
+  int64_t num_classes = 0;
   for (int32_t v = 0; v < column.cardinality; ++v) {
     if (counts[static_cast<size_t>(v)] >= 2) {
-      slot[static_cast<size_t>(v)] =
-          static_cast<int32_t>(out.classes_.size());
-      out.classes_.emplace_back();
-      out.classes_.back().reserve(
-          static_cast<size_t>(counts[static_cast<size_t>(v)]));
+      start[static_cast<size_t>(v)] = cursor;
+      cursor += counts[static_cast<size_t>(v)];
+      ++num_classes;
+    }
+  }
+  if (num_classes == 0) return out;
+
+  out.rows_covered_ = cursor;
+  out.row_ids_.resize(static_cast<size_t>(cursor));
+  out.class_offsets_.reserve(static_cast<size_t>(num_classes) + 1);
+  out.class_offsets_.push_back(0);
+  for (int32_t v = 0; v < column.cardinality; ++v) {
+    if (start[static_cast<size_t>(v)] >= 0) {
+      out.class_offsets_.push_back(start[static_cast<size_t>(v)] +
+                                   counts[static_cast<size_t>(v)]);
     }
   }
   for (int64_t t = 0; t < n; ++t) {
-    int32_t s = slot[static_cast<size_t>(column.ranks[static_cast<size_t>(t)])];
-    if (s >= 0) {
-      out.classes_[static_cast<size_t>(s)].push_back(
-          static_cast<int32_t>(t));
-    }
-  }
-  for (const auto& cls : out.classes_) {
-    out.rows_covered_ += static_cast<int64_t>(cls.size());
+    int32_t& s = start[static_cast<size_t>(
+        column.ranks[static_cast<size_t>(t)])];
+    if (s >= 0) out.row_ids_[static_cast<size_t>(s++)] = static_cast<int32_t>(t);
   }
   return out;
 }
@@ -39,11 +47,11 @@ StrippedPartition StrippedPartition::FromColumn(const EncodedColumn& column) {
 StrippedPartition StrippedPartition::WholeRelation(int64_t num_rows) {
   StrippedPartition out;
   if (num_rows >= 2) {
-    std::vector<int32_t> all(static_cast<size_t>(num_rows));
+    out.row_ids_.resize(static_cast<size_t>(num_rows));
     for (int64_t t = 0; t < num_rows; ++t) {
-      all[static_cast<size_t>(t)] = static_cast<int32_t>(t);
+      out.row_ids_[static_cast<size_t>(t)] = static_cast<int32_t>(t);
     }
-    out.classes_.push_back(std::move(all));
+    out.class_offsets_ = {0, static_cast<int32_t>(num_rows)};
     out.rows_covered_ = num_rows;
   }
   return out;
@@ -52,67 +60,132 @@ StrippedPartition StrippedPartition::WholeRelation(int64_t num_rows) {
 StrippedPartition StrippedPartition::FromClasses(
     std::vector<std::vector<int32_t>> classes) {
   StrippedPartition out;
-  for (auto& cls : classes) {
+  int64_t total = 0;
+  int64_t kept = 0;
+  for (const auto& cls : classes) {
     if (cls.size() >= 2) {
-      out.rows_covered_ += static_cast<int64_t>(cls.size());
-      out.classes_.push_back(std::move(cls));
+      total += static_cast<int64_t>(cls.size());
+      ++kept;
     }
   }
+  if (kept == 0) return out;
+  out.row_ids_.reserve(static_cast<size_t>(total));
+  out.class_offsets_.reserve(static_cast<size_t>(kept) + 1);
+  out.class_offsets_.push_back(0);
+  for (const auto& cls : classes) {
+    if (cls.size() < 2) continue;
+    out.row_ids_.insert(out.row_ids_.end(), cls.begin(), cls.end());
+    out.class_offsets_.push_back(static_cast<int32_t>(out.row_ids_.size()));
+  }
+  out.rows_covered_ = total;
   return out;
 }
 
 StrippedPartition StrippedPartition::Product(const StrippedPartition& other,
                                              int64_t num_rows,
                                              PartitionScratch* scratch) const {
-  // TANE's STRIPPED_PRODUCT: translate tuples of `this` into class ids,
-  // then slice each class of `other` by those ids.
+  // TANE's STRIPPED_PRODUCT as a two-pass counting sort. Pass 1 sizes the
+  // CSR output exactly; pass 2 computes each surviving bucket's start
+  // offset and scatters row ids directly into place. Output class order is
+  // (other-class index, first occurrence of the self-class within that
+  // other class) and rows keep the other class's order — bit-identical to
+  // the classic per-class bucket algorithm.
   PartitionScratch local_scratch(scratch == nullptr ? num_rows : 0);
-  std::vector<int32_t>& class_of =
-      scratch == nullptr ? local_scratch.class_of() : scratch->class_of();
+  PartitionScratch& s = scratch == nullptr ? local_scratch : *scratch;
+  std::vector<int32_t>& class_of = s.class_of();
   AOD_CHECK_MSG(static_cast<int64_t>(class_of.size()) >= num_rows,
                 "scratch sized for %zu rows, table has %lld", class_of.size(),
                 static_cast<long long>(num_rows));
+  s.EnsureClassCapacity(num_classes());
+  const int64_t other_classes = other.num_classes();
+  // One fresh epoch per `other` class: stamping a bucket's count/start
+  // with the current epoch implicitly empties every bucket of previous
+  // classes (and previous products) with zero reset work.
+  const int64_t epoch0 = s.ReserveEpochs(other_classes + 1);
+  std::vector<int64_t>& bucket_count = s.bucket_counts();
+  std::vector<int64_t>& bucket_start = s.bucket_starts();
+  std::vector<int32_t>& touched = s.touched();
+  std::vector<int32_t>& offsets = s.offsets_tmp();
 
-  for (size_t i = 0; i < classes_.size(); ++i) {
-    for (int32_t t : classes_[i]) {
-      class_of[static_cast<size_t>(t)] = static_cast<int32_t>(i);
+  const int64_t self_classes = num_classes();
+  for (int64_t c = 0; c < self_classes; ++c) {
+    for (int32_t t : cls(c)) {
+      class_of[static_cast<size_t>(t)] = static_cast<int32_t>(c);
+    }
+  }
+
+  // Count-then-scatter, fused per `other` class. The counting scan logs
+  // each bucket (the subset of the class falling into one `this` class)
+  // in first-touch order; surviving (>= 2 row) buckets get their output
+  // slots assigned in that order — exactly the emission order of the
+  // classic per-class bucket algorithm — and a second scan of the same
+  // (still cache-hot) rows writes them directly into place in the
+  // staging arena. Classes producing no surviving bucket skip the second
+  // scan entirely, which is the common case at deep lattice levels.
+  std::vector<int32_t>& staging = s.rows_tmp(other.rows_covered());
+  offsets.clear();
+  offsets.push_back(0);
+  int64_t out_rows = 0;
+  for (int64_t k = 0; k < other_classes; ++k) {
+    const int64_t epoch = epoch0 + k;
+    const int64_t stamp = epoch << 32;
+    touched.clear();
+    for (int32_t t : other.cls(k)) {
+      int32_t c = class_of[static_cast<size_t>(t)];
+      if (c < 0) continue;
+      int64_t v = bucket_count[static_cast<size_t>(c)];
+      if ((v >> 32) != epoch) {
+        v = stamp;
+        touched.push_back(c);
+      }
+      bucket_count[static_cast<size_t>(c)] = v + 1;
+    }
+    bool any_survivor = false;
+    for (int32_t c : touched) {
+      int64_t n = bucket_count[static_cast<size_t>(c)] & 0xffffffff;
+      if (n >= 2) {
+        bucket_start[static_cast<size_t>(c)] = stamp | out_rows;
+        out_rows += n;
+        offsets.push_back(static_cast<int32_t>(out_rows));
+        any_survivor = true;
+      }
+    }
+    if (!any_survivor) continue;
+    for (int32_t t : other.cls(k)) {
+      int32_t c = class_of[static_cast<size_t>(t)];
+      if (c < 0) continue;
+      int64_t v = bucket_start[static_cast<size_t>(c)];
+      if ((v >> 32) == epoch) {
+        staging[static_cast<size_t>(v & 0xffffffff)] = t;
+        bucket_start[static_cast<size_t>(c)] = v + 1;
+      }
     }
   }
 
   StrippedPartition out;
-  std::vector<std::vector<int32_t>> buckets(classes_.size());
-  for (const auto& cls : other.classes_) {
-    for (int32_t t : cls) {
-      int32_t c = class_of[static_cast<size_t>(t)];
-      if (c >= 0) buckets[static_cast<size_t>(c)].push_back(t);
-    }
-    for (int32_t t : cls) {
-      int32_t c = class_of[static_cast<size_t>(t)];
-      if (c < 0) continue;
-      auto& bucket = buckets[static_cast<size_t>(c)];
-      if (bucket.size() >= 2) {
-        out.rows_covered_ += static_cast<int64_t>(bucket.size());
-        out.classes_.push_back(std::move(bucket));
-      }
-      bucket.clear();
-    }
+  out.rows_covered_ = out_rows;
+  if (out_rows > 0) {
+    out.class_offsets_.reserve(offsets.size());
+    out.class_offsets_.assign(offsets.begin(), offsets.end());
+    out.row_ids_.reserve(static_cast<size_t>(out_rows));
+    out.row_ids_.assign(staging.begin(),
+                        staging.begin() + static_cast<ptrdiff_t>(out_rows));
   }
 
-  // Restore scratch to all -1 for the next product.
-  for (const auto& cls : classes_) {
-    for (int32_t t : cls) class_of[static_cast<size_t>(t)] = -1;
-  }
+  // Restore the translation table to all -1 for the next product.
+  for (int32_t t : row_ids_) class_of[static_cast<size_t>(t)] = -1;
   return out;
 }
 
 std::string StrippedPartition::ToString() const {
   std::string out = "{";
-  for (size_t i = 0; i < classes_.size(); ++i) {
+  for (int64_t i = 0; i < num_classes(); ++i) {
     if (i > 0) out += ",";
     out += "{";
-    for (size_t j = 0; j < classes_[i].size(); ++j) {
+    ClassSpan c = cls(i);
+    for (size_t j = 0; j < c.size(); ++j) {
       if (j > 0) out += ",";
-      out += std::to_string(classes_[i][j]);
+      out += std::to_string(c[j]);
     }
     out += "}";
   }

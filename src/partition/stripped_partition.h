@@ -6,10 +6,23 @@
 // (Def. 2.6), so every validator in this library is correct on the
 // stripped form while the representation shrinks dramatically as contexts
 // grow (at deep lattice levels almost all classes are singletons).
+//
+// Memory layout: CSR (compressed sparse row). All row ids live in one
+// contiguous `row_ids` array; `class_offsets` (length num_classes + 1)
+// delimits the classes. Two arrays per partition — not one heap block per
+// class — so a partition costs exactly
+//   4 * rows_covered + 4 * (num_classes + 1) bytes
+// of payload, products write their output with zero per-class
+// allocations, and a partition is a trivially serializable unit for the
+// planned cross-shard shipping (ROADMAP). Classes are exposed as
+// `std::span<const int32_t>` views into `row_ids`.
 #ifndef AOD_PARTITION_STRIPPED_PARTITION_H_
 #define AOD_PARTITION_STRIPPED_PARTITION_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,9 +30,11 @@
 
 namespace aod {
 
-/// Scratch buffers reused across partition products; one per discovery run.
-/// Reusing the tuple->class translation table avoids an O(n) allocation
-/// per lattice node.
+/// Scratch buffers reused across partition products; one per discovery
+/// run (or per concurrent product — see PartitionCache's pool). Holds the
+/// tuple->class translation table plus the counting-sort work arrays, so
+/// a steady-state product performs no heap allocation beyond its own
+/// exactly-sized output.
 class PartitionScratch {
  public:
   explicit PartitionScratch(int64_t num_rows)
@@ -27,13 +42,64 @@ class PartitionScratch {
 
   std::vector<int32_t>& class_of() { return class_of_; }
 
+  /// Grows the per-class bucket arrays to cover `num_classes` classes.
+  void EnsureClassCapacity(int64_t num_classes) {
+    if (static_cast<int64_t>(bucket_counts_.size()) < num_classes) {
+      bucket_counts_.resize(static_cast<size_t>(num_classes), 0);
+      bucket_starts_.resize(static_cast<size_t>(num_classes), 0);
+    }
+  }
+
+  /// Epoch-stamped bucket state, (epoch << 32) | value. Stamping one
+  /// right-hand class's buckets with a fresh epoch makes every stale
+  /// entry (any older epoch) read as "empty", so the arrays are never
+  /// cleared between classes or between products.
+  std::vector<int64_t>& bucket_counts() { return bucket_counts_; }
+  std::vector<int64_t>& bucket_starts() { return bucket_starts_; }
+  /// First-touch log of the counting pass: the classes hit by the current
+  /// right-hand class, in first-occurrence order (= output class order).
+  std::vector<int32_t>& touched() { return touched_; }
+  /// Staging buffers for the product's output (copied exactly-sized into
+  /// the result once the total is known).
+  std::vector<int32_t>& offsets_tmp() { return offsets_tmp_; }
+  std::vector<int32_t>& rows_tmp(int64_t capacity) {
+    if (static_cast<int64_t>(rows_tmp_.size()) < capacity) {
+      rows_tmp_.resize(static_cast<size_t>(capacity));
+    }
+    return rows_tmp_;
+  }
+
+  /// Reserves `count` fresh epochs and returns the first. Epochs fit the
+  /// high 32 bits of the stamped arrays; on (cumulative) overflow the
+  /// arrays are re-zeroed and the clock restarts.
+  int64_t ReserveEpochs(int64_t count) {
+    if (next_epoch_ + count > std::numeric_limits<int32_t>::max()) {
+      std::fill(bucket_counts_.begin(), bucket_counts_.end(), 0);
+      std::fill(bucket_starts_.begin(), bucket_starts_.end(), 0);
+      next_epoch_ = 1;
+    }
+    int64_t first = next_epoch_;
+    next_epoch_ += count;
+    return first;
+  }
+
  private:
   std::vector<int32_t> class_of_;
+  std::vector<int64_t> bucket_counts_;
+  std::vector<int64_t> bucket_starts_;
+  std::vector<int32_t> touched_;
+  std::vector<int32_t> offsets_tmp_;
+  std::vector<int32_t> rows_tmp_;
+  int64_t next_epoch_ = 1;
 };
 
-/// A stripped partition: equivalence classes of row ids, each of size >= 2.
+/// A stripped partition: equivalence classes of row ids, each of size >= 2,
+/// stored in CSR form.
 class StrippedPartition {
  public:
+  /// Lightweight view of one equivalence class — points into `row_ids`.
+  using ClassSpan = std::span<const int32_t>;
+
   StrippedPartition() = default;
 
   /// Partition by a single attribute, O(n).
@@ -48,14 +114,70 @@ class StrippedPartition {
   static StrippedPartition FromClasses(std::vector<std::vector<int32_t>> classes);
 
   /// Stripped product Π_self · Π_other = Π over the union of the two
-  /// attribute sets. O(||self|| + ||other||) with the probe-table
-  /// algorithm of TANE. `num_rows` is the table size; `scratch` may be
-  /// nullptr (a temporary table is allocated).
+  /// attribute sets. O(||self|| + ||other||): a two-pass counting sort
+  /// per `other` class — count buckets and assign their exact output
+  /// slots, then write row ids directly into place — with no per-class
+  /// buckets and zero allocations beyond the exactly-sized result
+  /// (work arrays, including epoch-stamped bucket state that never needs
+  /// clearing, live in `scratch`). Class order and within-class row
+  /// order match the classic TANE probe-table algorithm bit for bit (the
+  /// determinism contract depends on this). `num_rows` is the table
+  /// size; `scratch` may be nullptr (a temporary table is allocated).
   StrippedPartition Product(const StrippedPartition& other, int64_t num_rows,
                             PartitionScratch* scratch = nullptr) const;
 
-  int64_t num_classes() const { return static_cast<int64_t>(classes_.size()); }
-  const std::vector<std::vector<int32_t>>& classes() const { return classes_; }
+  int64_t num_classes() const {
+    return class_offsets_.empty()
+               ? 0
+               : static_cast<int64_t>(class_offsets_.size()) - 1;
+  }
+
+  /// The i-th equivalence class as a span over the row-id arena.
+  ClassSpan cls(int64_t i) const {
+    const size_t lo = static_cast<size_t>(class_offsets_[static_cast<size_t>(i)]);
+    const size_t hi =
+        static_cast<size_t>(class_offsets_[static_cast<size_t>(i) + 1]);
+    return ClassSpan(row_ids_.data() + lo, hi - lo);
+  }
+
+  /// Iterable view yielding every class as a ClassSpan (range-for).
+  class ClassIterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = ClassSpan;
+    using difference_type = std::ptrdiff_t;
+
+    ClassIterator(const StrippedPartition* p, int64_t i) : p_(p), i_(i) {}
+    ClassSpan operator*() const { return p_->cls(i_); }
+    ClassIterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const ClassIterator& o) const { return i_ == o.i_; }
+    bool operator!=(const ClassIterator& o) const { return i_ != o.i_; }
+
+   private:
+    const StrippedPartition* p_;
+    int64_t i_;
+  };
+
+  class ClassRange {
+   public:
+    explicit ClassRange(const StrippedPartition* p) : p_(p) {}
+    ClassIterator begin() const { return ClassIterator(p_, 0); }
+    ClassIterator end() const { return ClassIterator(p_, p_->num_classes()); }
+    bool empty() const { return p_->num_classes() == 0; }
+
+   private:
+    const StrippedPartition* p_;
+  };
+
+  ClassRange classes() const { return ClassRange(this); }
+
+  /// The flat row-id arena (all classes back to back) and its offsets —
+  /// the wire format for shipping a partition across shards.
+  const std::vector<int32_t>& row_ids() const { return row_ids_; }
+  const std::vector<int32_t>& class_offsets() const { return class_offsets_; }
 
   /// Sum of class sizes (rows covered by non-singleton classes).
   int64_t rows_covered() const { return rows_covered_; }
@@ -65,11 +187,25 @@ class StrippedPartition {
   /// and X∪{A} (same error) certify the exact FD/OFD X: [] -> A.
   int64_t error() const { return rows_covered_ - num_classes(); }
 
+  /// Exact heap + object footprint in bytes (feeds the cache's
+  /// bytes_resident() accounting).
+  int64_t bytes() const {
+    return static_cast<int64_t>(sizeof(StrippedPartition)) +
+           static_cast<int64_t>(row_ids_.capacity() * sizeof(int32_t)) +
+           static_cast<int64_t>(class_offsets_.capacity() * sizeof(int32_t));
+  }
+
   /// "{{0,3},{1,2,4}}" for debugging and tests.
   std::string ToString() const;
 
  private:
-  std::vector<std::vector<int32_t>> classes_;
+  /// Row ids of all classes, concatenated in class order.
+  std::vector<int32_t> row_ids_;
+  /// class i occupies row_ids_[class_offsets_[i] .. class_offsets_[i+1]).
+  /// Empty (not {0}) when the partition has no classes. int32 suffices:
+  /// offsets are bounded by rows_covered <= num_rows < 2^31 (row ids are
+  /// int32 themselves).
+  std::vector<int32_t> class_offsets_;
   int64_t rows_covered_ = 0;
 };
 

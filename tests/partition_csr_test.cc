@@ -1,0 +1,180 @@
+// Equivalence of the CSR partition product with the classic
+// vector-of-vectors TANE STRIPPED_PRODUCT.
+//
+// The determinism contract (ARCHITECTURE.md) requires the CSR
+// representation to reproduce the legacy algorithm *bit for bit*: same
+// class order, same row order within each class, same rows_covered and
+// error. These tests pin that equivalence with a reference implementation
+// of the old per-class bucket algorithm across random tables, skewed
+// cardinalities, and singleton-heavy inputs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/encoder.h"
+#include "partition/attribute_set.h"
+#include "partition/stripped_partition.h"
+#include "test_util.h"
+
+namespace aod {
+namespace {
+
+std::vector<std::vector<int32_t>> ToClasses(const StrippedPartition& p) {
+  std::vector<std::vector<int32_t>> out;
+  for (StrippedPartition::ClassSpan cls : p.classes()) {
+    out.emplace_back(cls.begin(), cls.end());
+  }
+  return out;
+}
+
+/// The pre-CSR product, verbatim: translate tuples of `left` into class
+/// ids, slice each class of `right` into per-class buckets, emit a bucket
+/// (in first-touch order) when its class completes with >= 2 rows.
+StrippedPartition ReferenceProduct(const StrippedPartition& left,
+                                   const StrippedPartition& right,
+                                   int64_t num_rows) {
+  std::vector<std::vector<int32_t>> left_classes = ToClasses(left);
+  std::vector<std::vector<int32_t>> right_classes = ToClasses(right);
+
+  std::vector<int32_t> class_of(static_cast<size_t>(num_rows), -1);
+  for (size_t i = 0; i < left_classes.size(); ++i) {
+    for (int32_t t : left_classes[i]) {
+      class_of[static_cast<size_t>(t)] = static_cast<int32_t>(i);
+    }
+  }
+  std::vector<std::vector<int32_t>> out_classes;
+  std::vector<std::vector<int32_t>> buckets(left_classes.size());
+  for (const auto& cls : right_classes) {
+    for (int32_t t : cls) {
+      int32_t c = class_of[static_cast<size_t>(t)];
+      if (c >= 0) buckets[static_cast<size_t>(c)].push_back(t);
+    }
+    for (int32_t t : cls) {
+      int32_t c = class_of[static_cast<size_t>(t)];
+      if (c < 0) continue;
+      auto& bucket = buckets[static_cast<size_t>(c)];
+      if (bucket.size() >= 2) out_classes.push_back(std::move(bucket));
+      bucket.clear();
+    }
+  }
+  return StrippedPartition::FromClasses(std::move(out_classes));
+}
+
+void ExpectIdentical(const StrippedPartition& got,
+                     const StrippedPartition& want) {
+  EXPECT_EQ(got.num_classes(), want.num_classes());
+  EXPECT_EQ(got.rows_covered(), want.rows_covered());
+  EXPECT_EQ(got.error(), want.error());
+  // ToString captures class order AND within-class row order.
+  EXPECT_EQ(got.ToString(), want.ToString());
+}
+
+TEST(PartitionCsrTest, LayoutInvariants) {
+  EncodedTable t = testing_util::RandomEncodedTable(300, 2, 7, 11);
+  auto p = StrippedPartition::FromColumn(t.column(0));
+  ASSERT_GT(p.num_classes(), 0);
+  EXPECT_EQ(static_cast<int64_t>(p.class_offsets().size()),
+            p.num_classes() + 1);
+  EXPECT_EQ(p.class_offsets().front(), 0);
+  EXPECT_EQ(static_cast<int64_t>(p.class_offsets().back()),
+            p.rows_covered());
+  EXPECT_EQ(static_cast<int64_t>(p.row_ids().size()), p.rows_covered());
+  int64_t total = 0;
+  for (StrippedPartition::ClassSpan cls : p.classes()) {
+    EXPECT_GE(cls.size(), 2u);
+    total += static_cast<int64_t>(cls.size());
+  }
+  EXPECT_EQ(total, p.rows_covered());
+  // Empty partitions report zero without a materialized offsets array.
+  StrippedPartition empty;
+  EXPECT_EQ(empty.num_classes(), 0);
+  EXPECT_EQ(empty.rows_covered(), 0);
+  EXPECT_TRUE(empty.classes().empty());
+  EXPECT_EQ(empty.ToString(), "{}");
+}
+
+TEST(PartitionCsrTest, BytesAccountsForBothArrays) {
+  auto p = StrippedPartition::FromClasses({{0, 1}, {2, 3, 4}});
+  int64_t payload = p.bytes() - static_cast<int64_t>(sizeof(StrippedPartition));
+  // 5 row ids + 3 offsets, 4 bytes each; exactly sized on construction.
+  EXPECT_EQ(payload, (5 + 3) * static_cast<int64_t>(sizeof(int32_t)));
+}
+
+class CsrProductPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int64_t, int>> {};
+
+TEST_P(CsrProductPropertyTest, MatchesReferenceBitForBit) {
+  auto [seed, rows, cardinality] = GetParam();
+  EncodedTable t = testing_util::RandomEncodedTable(rows, 3, cardinality,
+                                                    seed);
+  PartitionScratch scratch(rows);
+  auto p0 = StrippedPartition::FromColumn(t.column(0));
+  auto p1 = StrippedPartition::FromColumn(t.column(1));
+  auto p2 = StrippedPartition::FromColumn(t.column(2));
+
+  StrippedPartition p01 = p0.Product(p1, rows, &scratch);
+  ExpectIdentical(p01, ReferenceProduct(p0, p1, rows));
+  StrippedPartition p10 = p1.Product(p0, rows, &scratch);
+  ExpectIdentical(p10, ReferenceProduct(p1, p0, rows));
+
+  // Chained product (level-3 context), reusing the same scratch.
+  StrippedPartition p012 = p01.Product(p2, rows, &scratch);
+  ExpectIdentical(p012, ReferenceProduct(p01, p2, rows));
+
+  // And without scratch (temporary translation table path).
+  ExpectIdentical(p0.Product(p1, rows), p01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CsrProductPropertyTest,
+    ::testing::Combine(
+        ::testing::Values<uint64_t>(1, 97, 2024),
+        ::testing::Values<int64_t>(2, 10, 100, 700),
+        // cardinality 1: one whole-relation class. Large cardinalities
+        // make almost every class a singleton (the stripped regime).
+        ::testing::Values(1, 2, 5, 25, 400)));
+
+TEST(PartitionCsrTest, SingletonHeavyProductIsEmpty) {
+  // Distinct keys on both sides: every bucket is a singleton.
+  EncodedColumn a;
+  a.name = "a";
+  a.ranks = {0, 1, 2, 3, 4, 5};
+  a.cardinality = 6;
+  auto pa = StrippedPartition::FromColumn(a);
+  EXPECT_EQ(pa.num_classes(), 0);
+  auto whole = StrippedPartition::WholeRelation(6);
+  StrippedPartition prod = whole.Product(pa, 6);
+  ExpectIdentical(prod, ReferenceProduct(whole, pa, 6));
+  EXPECT_EQ(prod.num_classes(), 0);
+}
+
+TEST(PartitionCsrTest, FromClassesKeepsGivenOrder) {
+  // FromClasses must preserve both class order and row order (tests and
+  // the reference product depend on it).
+  auto p = StrippedPartition::FromClasses({{5, 3, 9}, {7}, {2, 0}});
+  EXPECT_EQ(p.ToString(), "{{5,3,9},{2,0}}");
+}
+
+TEST(PartitionCsrTest, ScratchSurvivesShapeChanges) {
+  // Alternating products with very different class counts through one
+  // scratch must not leak state (counts are restored to zero, class_of
+  // to -1).
+  EncodedTable wide = testing_util::RandomEncodedTable(400, 2, 180, 31);
+  EncodedTable narrow = testing_util::RandomEncodedTable(400, 2, 2, 32);
+  PartitionScratch scratch(400);
+  auto w0 = StrippedPartition::FromColumn(wide.column(0));
+  auto w1 = StrippedPartition::FromColumn(wide.column(1));
+  auto n0 = StrippedPartition::FromColumn(narrow.column(0));
+  auto n1 = StrippedPartition::FromColumn(narrow.column(1));
+  for (int round = 0; round < 3; ++round) {
+    ExpectIdentical(w0.Product(w1, 400, &scratch),
+                    ReferenceProduct(w0, w1, 400));
+    ExpectIdentical(n0.Product(n1, 400, &scratch),
+                    ReferenceProduct(n0, n1, 400));
+    ExpectIdentical(n0.Product(w1, 400, &scratch),
+                    ReferenceProduct(n0, w1, 400));
+  }
+}
+
+}  // namespace
+}  // namespace aod

@@ -85,7 +85,7 @@ TEST(StrippedPartitionTest, FromColumnStripsSingletons) {
 TEST(StrippedPartitionTest, WholeRelation) {
   StrippedPartition p = StrippedPartition::WholeRelation(5);
   EXPECT_EQ(p.num_classes(), 1);
-  EXPECT_EQ(p.classes()[0].size(), 5u);
+  EXPECT_EQ(p.cls(0).size(), 5u);
   EXPECT_TRUE(StrippedPartition::WholeRelation(1).classes().empty());
   EXPECT_TRUE(StrippedPartition::WholeRelation(0).classes().empty());
 }
@@ -231,6 +231,25 @@ TEST(PartitionCacheTest, GetMatchesNaive) {
               normalize(testing_util::NaivePartition(t, set)))
         << set.ToString();
   }
+}
+
+TEST(PartitionCacheTest, BytesResidentTracksExactSizes) {
+  EncodedTable t = testing_util::RandomEncodedTable(100, 3, 3, 9);
+  PartitionCache cache(&t);
+  // Preloaded: the empty-set partition plus one per column.
+  int64_t base = cache.bytes_resident();
+  int64_t expect = StrippedPartition::WholeRelation(100).bytes();
+  for (int a = 0; a < 3; ++a) {
+    expect += StrippedPartition::FromColumn(t.column(a)).bytes();
+  }
+  EXPECT_EQ(base, expect);
+
+  auto p = cache.Get(AttributeSet::Of({0, 1}));
+  EXPECT_EQ(cache.bytes_resident(), base + p->bytes());
+  // Eviction returns exactly what it releases.
+  int64_t freed = cache.EvictSmallerThan(3);
+  EXPECT_EQ(freed, p->bytes());
+  EXPECT_EQ(cache.bytes_resident(), base);
 }
 
 TEST(PartitionCacheTest, EvictionKeepsBaseLevels) {
