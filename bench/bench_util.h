@@ -96,6 +96,16 @@ inline void PrintHeaderLine(const char* title) {
 
 inline void PrintNote(const char* note) { std::printf("%s\n", note); }
 
+/// Returns the path following a `--json` flag, or nullptr. Shared by the
+/// harnesses that emit machine-readable results (CI uploads them as the
+/// BENCH_*.json perf-trajectory series).
+inline const char* JsonPathArg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return nullptr;
+}
+
 }  // namespace bench
 }  // namespace aod
 

@@ -9,7 +9,12 @@
 // AOD(iterative) grows quadratically and exceeds any reasonable budget
 // beyond small sizes. The count annotations mirror the numbers printed
 // inside the paper's plots (#OCs for OD, #AOCs for the AOD series).
+//
+// With --json <path> the full series is also written as machine-readable
+// JSON (CI uploads it as BENCH_exp1.json), so the end-to-end perf
+// trajectory is recorded per commit, not just the micro numbers.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -21,36 +26,94 @@ namespace aod {
 namespace bench {
 namespace {
 
-void RunDataset(const char* name, bool flight,
-                const std::vector<int64_t>& base_rows) {
+struct Row {
+  int64_t rows = 0;
+  RunResult exact;
+  RunResult optimal;
+  RunResult iterative;
+};
+
+struct DatasetSeries {
+  std::string name;
+  std::vector<Row> rows;
+};
+
+DatasetSeries RunDataset(const char* name, bool flight,
+                         const std::vector<int64_t>& base_rows) {
+  DatasetSeries series;
+  series.name = name;
   std::printf("\n--- %s (10 attributes, eps = 10%%) ---\n", name);
   std::printf("%10s  %12s %6s | %12s %6s | %12s %6s\n", "rows", "OD(s)",
               "#OC", "AODopt(s)", "#AOC", "AODiter(s)", "#AOC");
   for (int64_t base : base_rows) {
-    int64_t rows = ScaledRows(base);
-    Table t = flight ? GenerateFlightTable(rows, 10, 42)
-                     : GenerateNcVoterTable(rows, 10, 1729);
+    Row row;
+    row.rows = ScaledRows(base);
+    Table t = flight ? GenerateFlightTable(row.rows, 10, 42)
+                     : GenerateNcVoterTable(row.rows, 10, 1729);
     EncodedTable enc = EncodeTable(t);
-    RunResult exact = RunDiscovery(enc, ValidatorKind::kExact, 0.10);
-    RunResult optimal = RunDiscovery(enc, ValidatorKind::kOptimal, 0.10);
-    RunResult iterative = RunDiscovery(enc, ValidatorKind::kIterative, 0.10,
-                                       IterativeBudget());
+    row.exact = RunDiscovery(enc, ValidatorKind::kExact, 0.10);
+    row.optimal = RunDiscovery(enc, ValidatorKind::kOptimal, 0.10);
+    row.iterative = RunDiscovery(enc, ValidatorKind::kIterative, 0.10,
+                                 IterativeBudget());
     std::printf("%10lld  %12s %6lld | %12s %6lld | %12s %6lld\n",
-                static_cast<long long>(rows), TimeCell(exact).c_str(),
-                static_cast<long long>(exact.ocs),
-                TimeCell(optimal).c_str(),
-                static_cast<long long>(optimal.ocs),
-                TimeCell(iterative).c_str(),
-                static_cast<long long>(iterative.ocs));
+                static_cast<long long>(row.rows),
+                TimeCell(row.exact).c_str(),
+                static_cast<long long>(row.exact.ocs),
+                TimeCell(row.optimal).c_str(),
+                static_cast<long long>(row.optimal.ocs),
+                TimeCell(row.iterative).c_str(),
+                static_cast<long long>(row.iterative.ocs));
+    series.rows.push_back(std::move(row));
   }
+  return series;
+}
+
+void WriteRunJson(FILE* f, const char* key, const RunResult& r,
+                  const char* trailer) {
+  std::fprintf(f,
+               "        \"%s\": {\"seconds\": %.6f, \"timed_out\": %s, "
+               "\"ocs\": %lld, \"ofds\": %lld}%s\n",
+               key, r.seconds, r.timed_out ? "true" : "false",
+               static_cast<long long>(r.ocs),
+               static_cast<long long>(r.ofds), trailer);
+}
+
+int WriteJson(const char* path, const std::vector<DatasetSeries>& all) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"exp1_scalability_tuples\",\n");
+  std::fprintf(f, "  \"scale\": %.4f,\n  \"datasets\": [\n", Scale());
+  for (size_t d = 0; d < all.size(); ++d) {
+    const DatasetSeries& series = all[d];
+    std::fprintf(f, "    {\"name\": \"%s\", \"points\": [\n",
+                 series.name.c_str());
+    for (size_t i = 0; i < series.rows.size(); ++i) {
+      const Row& row = series.rows[i];
+      std::fprintf(f, "      {\"rows\": %lld,\n",
+                   static_cast<long long>(row.rows));
+      WriteRunJson(f, "od_exact", row.exact, ",");
+      WriteRunJson(f, "aod_optimal", row.optimal, ",");
+      WriteRunJson(f, "aod_iterative", row.iterative, "");
+      std::fprintf(f, "      }%s\n", i + 1 < series.rows.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", d + 1 < all.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nJSON written to %s\n", path);
+  return 0;
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace aod
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aod::bench;
+  const char* json_path = JsonPathArg(argc, argv);
   PrintHeaderLine("Exp-1 / Figure 2: scalability in the number of tuples");
   std::printf("scale=%.2f (paper sizes ~ scale 40), iterative budget=%.0fs"
               " (paper cap: 24h)\n",
@@ -60,11 +123,14 @@ int main() {
   PrintNote("paper reference (ncvoter, seconds): OD 141..29249, AOD(opt)"
             " 123..19020, AOD(iter) >24h beyond 100K");
 
-  RunDataset("flight", /*flight=*/true, {5000, 10000, 15000, 20000, 25000});
-  RunDataset("ncvoter", /*flight=*/false,
-             {2500, 10000, 20000, 30000, 40000, 50000});
+  std::vector<DatasetSeries> all;
+  all.push_back(RunDataset("flight", /*flight=*/true,
+                           {5000, 10000, 15000, 20000, 25000}));
+  all.push_back(RunDataset("ncvoter", /*flight=*/false,
+                           {2500, 10000, 20000, 30000, 40000, 50000}));
 
   PrintNote("\n'*' marks runs that exceeded the time budget (reported time"
             " is the elapsed time at abort; results partial).");
+  if (json_path != nullptr) return WriteJson(json_path, all);
   return 0;
 }

@@ -7,9 +7,13 @@
 // level dropping 5.6 -> 4.3 on ncvoter-5M-10, and total AOD discovery
 // running up to 34% (rows experiment) / 76% (attrs experiment) faster
 // than exact OD discovery. This harness prints the per-level histogram
-// (Figure 5) and the OD-vs-AOD runtime ratio.
+// (Figure 5) and the OD-vs-AOD runtime ratio; with --json <path> it also
+// writes the series as machine-readable JSON (CI uploads it as
+// BENCH_exp5.json for the per-commit perf trajectory).
 #include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "data/encoder.h"
@@ -20,20 +24,31 @@ namespace aod {
 namespace bench {
 namespace {
 
-void RunDataset(const char* name, bool flight, int64_t base_rows,
-                int attrs) {
-  const int64_t rows = ScaledRows(base_rows);
-  Table t = flight ? GenerateFlightTable(rows, attrs, 42)
-                   : GenerateNcVoterTable(rows, attrs, 1729);
+struct DatasetResult {
+  std::string name;
+  int64_t rows = 0;
+  int attrs = 0;
+  RunResult exact;
+  RunResult approx;
+};
+
+DatasetResult RunDataset(const char* name, bool flight, int64_t base_rows,
+                         int attrs) {
+  DatasetResult r;
+  r.name = name;
+  r.rows = ScaledRows(base_rows);
+  r.attrs = attrs;
+  Table t = flight ? GenerateFlightTable(r.rows, attrs, 42)
+                   : GenerateNcVoterTable(r.rows, attrs, 1729);
   EncodedTable enc = EncodeTable(t);
-  RunResult exact = RunDiscovery(enc, ValidatorKind::kExact, 0.10);
-  RunResult approx = RunDiscovery(enc, ValidatorKind::kOptimal, 0.10);
+  r.exact = RunDiscovery(enc, ValidatorKind::kExact, 0.10);
+  r.approx = RunDiscovery(enc, ValidatorKind::kOptimal, 0.10);
 
   std::printf("\n--- %s (%lld rows, %d attributes, eps = 10%%) ---\n", name,
-              static_cast<long long>(rows), attrs);
+              static_cast<long long>(r.rows), attrs);
   std::printf("%7s  %8s  %8s\n", "level", "#OCs", "#AOCs");
-  const auto& exact_levels = exact.full.stats.ocs_per_level;
-  const auto& approx_levels = approx.full.stats.ocs_per_level;
+  const auto& exact_levels = r.exact.full.stats.ocs_per_level;
+  const auto& approx_levels = r.approx.full.stats.ocs_per_level;
   size_t max_level = std::max(exact_levels.size(), approx_levels.size());
   for (size_t level = 2; level < max_level; ++level) {
     int64_t e = level < exact_levels.size() ? exact_levels[level] : 0;
@@ -43,27 +58,70 @@ void RunDataset(const char* name, bool flight, int64_t base_rows,
   }
   std::printf("average OC lattice level: exact %.2f -> approx %.2f"
               "  (paper: 5.6 -> 4.3 on ncvoter)\n",
-              exact.avg_oc_level, approx.avg_oc_level);
+              r.exact.avg_oc_level, r.approx.avg_oc_level);
   std::printf("runtime: OD %.3fs vs AOD(optimal) %.3fs  (AOD %+.0f%%)\n",
-              exact.seconds, approx.seconds,
-              100.0 * (approx.seconds - exact.seconds) /
-                  (exact.seconds > 0 ? exact.seconds : 1.0));
+              r.exact.seconds, r.approx.seconds,
+              100.0 * (r.approx.seconds - r.exact.seconds) /
+                  (r.exact.seconds > 0 ? r.exact.seconds : 1.0));
+  return r;
+}
+
+void WriteLevels(FILE* f, const char* key, const std::vector<int64_t>& levels,
+                 const char* trailer) {
+  std::fprintf(f, "      \"%s\": [", key);
+  for (size_t i = 0; i < levels.size(); ++i) {
+    std::fprintf(f, "%lld%s", static_cast<long long>(levels[i]),
+                 i + 1 < levels.size() ? ", " : "");
+  }
+  std::fprintf(f, "]%s\n", trailer);
+}
+
+int WriteJson(const char* path, const std::vector<DatasetResult>& all) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"exp5_lattice_levels\",\n");
+  std::fprintf(f, "  \"scale\": %.4f,\n  \"datasets\": [\n", Scale());
+  for (size_t d = 0; d < all.size(); ++d) {
+    const DatasetResult& r = all[d];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"rows\": %lld, \"attrs\": %d,\n",
+                 r.name.c_str(), static_cast<long long>(r.rows), r.attrs);
+    std::fprintf(f,
+                 "      \"od_seconds\": %.6f, \"aod_seconds\": %.6f,\n"
+                 "      \"avg_oc_level_exact\": %.4f, "
+                 "\"avg_oc_level_approx\": %.4f,\n",
+                 r.exact.seconds, r.approx.seconds, r.exact.avg_oc_level,
+                 r.approx.avg_oc_level);
+    WriteLevels(f, "ocs_per_level", r.exact.full.stats.ocs_per_level, ",");
+    WriteLevels(f, "aocs_per_level", r.approx.full.stats.ocs_per_level, "");
+    std::fprintf(f, "    }%s\n", d + 1 < all.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nJSON written to %s\n", path);
+  return 0;
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace aod
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aod::bench;
+  const char* json_path = JsonPathArg(argc, argv);
   PrintHeaderLine("Exp-5 / Figure 5: discovered OCs/AOCs per lattice level");
   PrintNote("paper reference (ncvoter-5M-10): AOCs concentrate at levels"
             " 2-5 while exact OCs spread to levels 6-7; avg level"
             " 5.6 -> 4.3; AOD up to 34%/76% faster than OD.");
-  RunDataset("ncvoter", /*flight=*/false, 40000, 10);
-  RunDataset("flight", /*flight=*/true, 20000, 10);
+  std::vector<DatasetResult> all;
+  all.push_back(RunDataset("ncvoter", /*flight=*/false, 40000, 10));
+  all.push_back(RunDataset("flight", /*flight=*/true, 20000, 10));
   // The attrs-style variant where pruning effects dominate (small rows,
   // many attributes).
-  RunDataset("ncvoter-1K-20", /*flight=*/false, 1000, 20);
+  all.push_back(RunDataset("ncvoter-1K-20", /*flight=*/false, 1000, 20));
+  if (json_path != nullptr) return WriteJson(json_path, all);
   return 0;
 }

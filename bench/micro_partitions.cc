@@ -25,6 +25,8 @@
 #include "od/oc_validator.h"
 #include "od/ofd_validator.h"
 #include "od/validator_scratch.h"
+#include "partition/attribute_set.h"
+#include "partition/partition_cache.h"
 #include "partition/stripped_partition.h"
 
 namespace aod {
@@ -128,6 +130,56 @@ struct ValidationResult {
   double seconds = 0.0;  // per validation call over the whole partition
 };
 
+struct DerivationResult {
+  std::string name;
+  AttributeSet planner_base;
+  double fixed_seconds = 0.0;
+  double planner_seconds = 0.0;
+  double speedup() const {
+    return planner_seconds > 0.0 ? fixed_seconds / planner_seconds : 0.0;
+  }
+};
+
+/// Planner vs fixed rule on a skewed-cardinality workload: two
+/// near-distinct attributes (cheap, almost all singleton classes) and one
+/// low-cardinality attribute at the highest index (expensive, covers
+/// every row). Mid-discovery cache state: all pairs published. The fixed
+/// rule must derive Π_{s1,s2,k} as Π_{s1,s2} · Π_k — scanning the
+/// expensive single — while the planner starts from a published pair
+/// that already contains k and extends it with a near-singleton single.
+DerivationResult BenchDerivation(const EncodedTable& t, int64_t rows) {
+  DerivationResult r;
+  r.name = "skewed_cardinality";
+  const AttributeSet target = AttributeSet::Of({0, 1, 2});
+
+  PartitionCache cache(&t);
+  for (uint64_t bits : {0b011u, 0b101u, 0b110u}) {
+    cache.PublishCost(AttributeSet(bits));
+  }
+  DerivationPlan plan = cache.PlanDerivation(target);
+  r.planner_base = plan.base;
+
+  auto base_fixed = cache.Get(AttributeSet::Of({0, 1}));
+  auto base_planned = cache.Get(plan.base);
+  std::vector<std::shared_ptr<const StrippedPartition>> singles;
+  for (int a = 0; a < 3; ++a) singles.push_back(cache.Get(AttributeSet().With(a)));
+  PartitionScratch scratch(rows);
+
+  r.fixed_seconds = TimePerRep(3, 0.3, [&] {
+    StrippedPartition prod = base_fixed->Product(*singles[2], rows, &scratch);
+    if (prod.rows_covered() < 0) std::abort();
+  });
+  r.planner_seconds = TimePerRep(3, 0.3, [&] {
+    std::shared_ptr<const StrippedPartition> cur = base_planned;
+    for (int a : plan.singles) {
+      cur = std::make_shared<StrippedPartition>(
+          cur->Product(*singles[static_cast<size_t>(a)], rows, &scratch));
+    }
+    if (cur->rows_covered() < 0) std::abort();
+  });
+  return r;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace aod
@@ -136,14 +188,10 @@ int main(int argc, char** argv) {
   using namespace aod;
   using namespace aod::bench;
 
-  const char* json_path = nullptr;
+  const char* json_path = JsonPathArg(argc, argv);
   int64_t base_rows = 1000000;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
-      base_rows = std::atoll(argv[++i]);
-    }
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--rows") == 0) base_rows = std::atoll(argv[i + 1]);
   }
   const int64_t rows = ScaledRows(base_rows);
 
@@ -188,6 +236,26 @@ int main(int argc, char** argv) {
                 static_cast<long long>(r.out_classes), r.csr_seconds,
                 r.legacy_seconds, r.speedup());
   }
+
+  // -- Derivation planner vs fixed rule ---------------------------------
+  // s1/s2 near-distinct (cheap), k low-cardinality at the highest index
+  // (the fixed rule's mandatory single).
+  DerivationResult derivation = [&] {
+    Table raw = GenerateTable(
+        {{.name = "s1", .kind = ColumnKind::kUniformInt,
+          .cardinality = 32 * rows},
+         {.name = "s2", .kind = ColumnKind::kUniformInt,
+          .cardinality = 32 * rows},
+         {.name = "k", .kind = ColumnKind::kUniformInt, .cardinality = 4}},
+        rows, 10);
+    return BenchDerivation(EncodeTable(raw), rows);
+  }();
+  std::printf("\n%-18s %16s %14s %14s %9s\n", "derivation", "planner base",
+              "fixed s/rep", "planner s/rep", "speedup");
+  std::printf("%-18s %16s %14.5f %14.5f %8.2fx\n", derivation.name.c_str(),
+              derivation.planner_base.ToString().c_str(),
+              derivation.fixed_seconds, derivation.planner_seconds,
+              derivation.speedup());
 
   // -- Validator throughput on a realistic context ----------------------
   // ctx (cardinality 256) is the context partition; a ~ b is an OC with a
@@ -254,7 +322,15 @@ int main(int argc, char** argv) {
                    r.csr_seconds, r.legacy_seconds, r.speedup(),
                    i + 1 < products.size() ? "," : "");
     }
-    std::fprintf(f, "  ],\n  \"validations\": [\n");
+    std::fprintf(f,
+                 "  ],\n  \"derivation\": {\"case\": \"%s\", "
+                 "\"planner_base\": \"%s\", \"fixed_seconds\": %.6f, "
+                 "\"planner_seconds\": %.6f, \"speedup\": %.3f},\n",
+                 derivation.name.c_str(),
+                 derivation.planner_base.ToString().c_str(),
+                 derivation.fixed_seconds, derivation.planner_seconds,
+                 derivation.speedup());
+    std::fprintf(f, "  \"validations\": [\n");
     for (size_t i = 0; i < validations.size(); ++i) {
       const ValidationResult& v = validations[i];
       std::fprintf(f, "    {\"case\": \"%s\", \"seconds\": %.6f}%s\n",

@@ -12,6 +12,11 @@
 //     --bidirectional       also search A asc ~ B desc polarity
 //     --threads=N           parallel validation workers (0 = all cores;
 //                           results are identical for any thread count)
+//     --no-planner          derive partitions by the fixed rule instead
+//                           of the cost-based planner (identical output)
+//     --memory-budget-mb=N  partition cache byte budget; coldest derived
+//                           partitions are evicted and re-derived on
+//                           demand (identical output)
 //     --ods                 compose and print ODs from the OC/OFD parts
 //     --json=out.json       write the result as JSON
 //     --csv=out.csv         write the result as flat CSV
@@ -50,6 +55,8 @@ struct Args {
   ValidatorKind validator = ValidatorKind::kOptimal;
   bool bidirectional = false;
   int threads = 1;
+  bool planner = true;
+  int64_t memory_budget_mb = 0;
   bool assemble_ods = false;
   std::string json_path;
   std::string csv_path;
@@ -78,6 +85,10 @@ Args ParseArgs(int argc, char** argv) {
       args.bidirectional = true;
     } else if (const char* v = value_of("--threads=")) {
       args.threads = std::atoi(v);
+    } else if (arg == "--no-planner") {
+      args.planner = false;
+    } else if (const char* v = value_of("--memory-budget-mb=")) {
+      args.memory_budget_mb = std::atoll(v);
     } else if (arg == "--ods") {
       args.assemble_ods = true;
     } else if (const char* v = value_of("--json=")) {
@@ -123,6 +134,8 @@ int main(int argc, char** argv) {
   options.validator = args.validator;
   options.bidirectional = args.bidirectional;
   options.num_threads = args.threads;
+  options.enable_derivation_planner = args.planner;
+  options.partition_memory_budget_bytes = args.memory_budget_mb << 20;
   DiscoveryResult result = DiscoverOds(enc, options);
   result.SortByInterestingness();
 

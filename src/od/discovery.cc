@@ -8,6 +8,7 @@
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "exec/parallel_for.h"
+#include "exec/task_group.h"
 #include "exec/thread_pool.h"
 #include "od/aoc_iterative_validator.h"
 #include "od/aoc_lis_validator.h"
@@ -61,18 +62,26 @@ struct CandidateOutcome {
 };
 
 /// Run state threaded through the level loop. Each level goes through
-/// four phases on the (optional) thread pool:
+/// three phases on the (optional) thread pool:
 ///
 ///   1. plan      — per node: candidate sets from the level below
 ///   2. validate  — per candidate: the fine-grained parallel unit
 ///   3. merge     — serial, in sorted key order: deterministic output
-///   4. materialize — per surviving node: next level's partitions
 ///
-/// Workers in phases 1/2/4 read shared state (`previous`, the cache) and
-/// write only their own plan/outcome slot; the merge alone mutates the
-/// lattice and the result. Combined with the cache's fixed derivation
-/// rule this makes the dependency lists and every non-timing counter
-/// bit-identical for any thread count.
+/// Next-level context partitions are *prefetched*, not phase-built: as a
+/// node survives the merge, its partition starts deriving on the pool
+/// (fire-and-forget TaskGroup task), so partition work overlaps the rest
+/// of the merge and the next level's planning instead of sitting behind
+/// a materialize barrier. Validators that reach a partition before its
+/// prefetch finishes block on the cache's once-per-key future.
+///
+/// Workers in phases 1/2 and the prefetch tasks read shared state
+/// (`previous`, the cache) and write only their own plan/outcome slot;
+/// the merge alone mutates the lattice and the result. Combined with the
+/// cache's canonical partition values and deterministic derivation plans
+/// (published catalog, see partition_cache.h) this makes the dependency
+/// lists and every non-timing counter bit-identical for any thread
+/// count.
 struct Driver {
   const EncodedTable& table;
   const DiscoveryOptions& options;
@@ -88,6 +97,15 @@ struct Driver {
   std::unique_ptr<exec::ThreadPool> owned_pool;
   exec::ThreadPool* pool = nullptr;
   std::atomic<int64_t> partition_nanos{0};
+  /// Fire-and-forget prefetch of next-level context partitions, forked
+  /// during the merge. Declared after the pool members so it joins before
+  /// the pool dies; the driver also waits explicitly before budget
+  /// eviction (which needs a quiescent cache) and before final stats.
+  std::unique_ptr<exec::TaskGroup> prefetch_group;
+  /// Survivors of the previous level, in merge (= sorted key) order;
+  /// their realized costs are published to the planner catalog at the
+  /// next level's merge start.
+  std::vector<AttributeSet> pending_costs;
 
   /// Validator scratch is pooled like PartitionScratch: a worker borrows
   /// one instance per validation task, so steady-state validation does no
@@ -114,6 +132,8 @@ struct Driver {
       owned_pool = std::make_unique<exec::ThreadPool>(threads);
       pool = owned_pool.get();
     }
+    prefetch_group = std::make_unique<exec::TaskGroup>(pool);
+    cache.set_planner_enabled(options.enable_derivation_planner);
     result.stats.threads_used = threads;
   }
 
@@ -418,9 +438,32 @@ struct Driver {
           PhaseOptions());
       result.stats.validation_wall_seconds += phase_clock.ElapsedSeconds();
 
+      // Publish the completed level's partition costs to the planner
+      // catalog before any derivation of this level's survivors is
+      // planned. PublishCost resolves each partition (blocking on the
+      // rare prefetch straggler), so the catalog — and every plan made
+      // from it below — is a deterministic function of the traversal,
+      // not of scheduling. Skipped once the deadline is hit: the catalog
+      // no longer matters and publishing could trigger derivations.
+      phase_clock.Restart();
+      if (options.enable_derivation_planner && !OverBudget()) {
+        for (AttributeSet key : pending_costs) cache.PublishCost(key);
+      }
+      pending_costs.clear();
+      result.stats.partition_wall_seconds += phase_clock.ElapsedSeconds();
+
+      const bool expect_next_level =
+          (options.max_level == 0 || level < options.max_level) && level < k;
+
       // Phase 3: serial merge in key order. Stop at the first node with
       // an unfinished candidate — everything before it is a complete,
-      // deterministic prefix of the traversal.
+      // deterministic prefix of the traversal. As each node survives,
+      // its partition — a context for the next level's validation —
+      // starts deriving on the pool immediately (the old materialize
+      // barrier is now a prefetch pipeline overlapping the rest of the
+      // merge and the next level's planning). Plans are computed here,
+      // serially against the just-published catalog, and handed to the
+      // tasks, so in-flight tasks never read planner state.
       for (size_t i = 0; i < keys.size(); ++i) {
         const NodePlan& plan = plans[i];
         const size_t total = plan.ofd_targets.size() + plan.oc_pairs.size();
@@ -436,52 +479,63 @@ struct Driver {
           break;
         }
         MergeNode(keys[i], plan, candidates, outcomes, &current);
+        // Level-1 partitions are preloaded; prefetch only derived levels.
+        if (expect_next_level && level >= 2 &&
+            current.Find(keys[i]) != nullptr) {
+          const AttributeSet key = keys[i];
+          pending_costs.push_back(key);
+          DerivationPlan derivation;
+          const bool planned = options.enable_derivation_planner;
+          if (planned) derivation = cache.PlanDerivation(key);
+          prefetch_group->Run(
+              [this, key, derivation = std::move(derivation), planned] {
+                if (OverBudget()) return;
+                Stopwatch sw;
+                cache.Get(key, planned ? &derivation : nullptr);
+                partition_nanos.fetch_add(sw.ElapsedNanos(),
+                                          std::memory_order_relaxed);
+              });
+        }
       }
       if (result.timed_out) break;
+      if (!expect_next_level) break;
 
-      if (options.max_level != 0 && level >= options.max_level) break;
-      if (level >= k) break;
-
-      // Phase 4: materialize the partitions of surviving nodes on the
-      // pool, while their subset partitions are still cached — levels
-      // above use them as contexts. The concurrent cache memoizes each
-      // key once; the fixed derivation rule keeps the values (and the
-      // product count) independent of completion order.
-      std::vector<AttributeSet> surviving;
-      surviving.reserve(keys.size());
-      for (AttributeSet key : keys) {
-        if (current.Find(key) != nullptr) surviving.push_back(key);
+      // Budget enforcement needs a quiescent cache (every future
+      // resolved), so it pays one synchronization with the prefetch
+      // pipeline; without a budget the pipeline runs uninterrupted into
+      // the next level and the peak sample is merely a racy lower bound
+      // (the end-of-run sample is exact).
+      if (options.partition_memory_budget_bytes > 0) {
+        phase_clock.Restart();
+        prefetch_group->Wait();
+        result.stats.partition_wall_seconds += phase_clock.ElapsedSeconds();
+        result.stats.partition_bytes_peak = std::max(
+            result.stats.partition_bytes_peak, cache.bytes_resident());
+        result.stats.partition_bytes_evicted +=
+            cache.EnforceBudget(options.partition_memory_budget_bytes);
+      } else {
+        result.stats.partition_bytes_peak = std::max(
+            result.stats.partition_bytes_peak, cache.bytes_resident());
       }
-      phase_clock.Restart();
-      const int64_t materialized = exec::ParallelFor(
-          pool, 0, static_cast<int64_t>(surviving.size()),
-          [&](int64_t i) {
-            Stopwatch sw;
-            cache.Get(surviving[static_cast<size_t>(i)]);
-            partition_nanos.fetch_add(sw.ElapsedNanos(),
-                                      std::memory_order_relaxed);
-          },
-          PhaseOptions());
-      result.stats.partition_wall_seconds += phase_clock.ElapsedSeconds();
-      if (materialized < static_cast<int64_t>(surviving.size())) {
-        result.timed_out = true;
-        break;
-      }
-      result.stats.partition_bytes_peak = std::max(
-          result.stats.partition_bytes_peak, cache.bytes_resident());
 
       LatticeLevel next = current.GenerateNext();
-      // Contexts needed at level l+1 have sizes l and l-1.
-      result.stats.partition_bytes_evicted +=
-          cache.EvictSmallerThan(level - 1);
       previous = std::move(current);
       current = std::move(next);
     }
 
+    {
+      Stopwatch wait_clock;
+      prefetch_group->Wait();
+      result.stats.partition_wall_seconds += wait_clock.ElapsedSeconds();
+    }
     result.stats.partition_seconds =
         static_cast<double>(partition_nanos.load(std::memory_order_relaxed)) /
         1e9;
     result.stats.partitions_computed = cache.products_computed();
+    result.stats.planner_derivations = cache.planner_derivations();
+    result.stats.planner_cost_estimated = cache.planner_cost_estimated();
+    result.stats.planner_cost_realized = cache.planner_cost_realized();
+    result.stats.partitions_evicted = cache.partitions_evicted();
     result.stats.partition_bytes_peak =
         std::max(result.stats.partition_bytes_peak, cache.bytes_resident());
     result.stats.partition_bytes_final = cache.bytes_resident();

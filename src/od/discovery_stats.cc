@@ -68,6 +68,9 @@ std::string DiscoveryStats::ToString() const {
       << " s CPU\n"
       << "  partitions:     " << FormatDouble(partition_seconds, 3)
       << " s CPU (" << partitions_computed << " products)\n"
+      << "  planner:        " << planner_derivations << " planned derivations"
+      << ", cost est " << planner_cost_estimated << " / realized "
+      << planner_cost_realized << " rows\n"
       << "  partition memory: "
       << FormatDouble(static_cast<double>(partition_bytes_peak) / (1 << 20), 2)
       << " MiB peak, "
@@ -76,7 +79,7 @@ std::string DiscoveryStats::ToString() const {
       << " MiB evicted, "
       << FormatDouble(static_cast<double>(partition_bytes_final) / (1 << 20),
                       2)
-      << " MiB final\n"
+      << " MiB final (" << partitions_evicted << " evicted)\n"
       << "  phase wall clock: candidates "
       << FormatDouble(candidate_wall_seconds, 3) << " s, validation "
       << FormatDouble(validation_wall_seconds, 3) << " s, partitions "

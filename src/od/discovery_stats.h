@@ -22,8 +22,13 @@ struct DiscoveryStats {
   double ofd_validation_seconds = 0.0;
   double partition_seconds = 0.0;
 
-  // Wall-clock per driver phase (candidate generation, candidate
-  // validation, partition materialization), accumulated over levels.
+  // Wall-clock per driver phase, accumulated over levels: candidate
+  // generation, candidate validation, and the partition pipeline.
+  // Partitions are prefetched on the pool while the merge runs, so
+  // partition_wall_seconds counts only the residual synchronization —
+  // catalog publication blocking on stragglers plus the explicit waits
+  // before budget enforcement and at the end of the run — not a
+  // dedicated materialization barrier.
   double candidate_wall_seconds = 0.0;
   double validation_wall_seconds = 0.0;
   double partition_wall_seconds = 0.0;
@@ -38,6 +43,16 @@ struct DiscoveryStats {
   int64_t partition_bytes_peak = 0;
   int64_t partition_bytes_evicted = 0;
   int64_t partition_bytes_final = 0;
+
+  // Derivation-planner observability: keys derived by executing a
+  // cost-based plan, the summed estimated plan cost, and the realized
+  // cost (both in scanned rows — realized/estimated close to 1 means the
+  // rows_covered proxy is predicting well).
+  int64_t planner_derivations = 0;
+  int64_t planner_cost_estimated = 0;
+  int64_t planner_cost_realized = 0;
+  /// Partitions dropped by budgeted eviction (re-derived on demand).
+  int64_t partitions_evicted = 0;
 
   int64_t oc_candidates_validated = 0;
   int64_t ofd_candidates_validated = 0;

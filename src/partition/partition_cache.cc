@@ -1,6 +1,8 @@
 #include "partition/partition_cache.h"
 
+#include <algorithm>
 #include <chrono>
+#include <tuple>
 #include <utility>
 
 #include "common/macros.h"
@@ -12,10 +14,13 @@ PartitionCache::PartitionCache(const EncodedTable* table) : table_(table) {
   PutReady(AttributeSet(),
            std::make_shared<StrippedPartition>(
                StrippedPartition::WholeRelation(table_->num_rows())));
+  single_cost_.resize(static_cast<size_t>(table_->num_columns()), 0);
   for (int a = 0; a < table_->num_columns(); ++a) {
-    PutReady(AttributeSet().With(a),
-             std::make_shared<StrippedPartition>(
-                 StrippedPartition::FromColumn(table_->column(a))));
+    auto partition = std::make_shared<StrippedPartition>(
+        StrippedPartition::FromColumn(table_->column(a)));
+    single_cost_[static_cast<size_t>(a)] = partition->rows_covered();
+    catalog_.emplace(AttributeSet().With(a), partition->rows_covered());
+    PutReady(AttributeSet().With(a), std::move(partition));
   }
 }
 
@@ -37,6 +42,11 @@ void PartitionCache::PutReady(AttributeSet set, PartitionPtr value) {
 
 std::shared_ptr<const StrippedPartition> PartitionCache::Get(
     AttributeSet set) {
+  return Get(set, nullptr);
+}
+
+std::shared_ptr<const StrippedPartition> PartitionCache::Get(
+    AttributeSet set, const DerivationPlan* plan) {
   Shard& shard = ShardFor(set);
   std::promise<PartitionPtr> promise;
   {
@@ -50,27 +60,136 @@ std::shared_ptr<const StrippedPartition> PartitionCache::Get(
     }
     shard.map.emplace(set, promise.get_future().share());
   }
-  PartitionPtr value = Compute(set);
+  // Level-0/1 partitions are preloaded and never evicted, so a miss is
+  // always a derivable set.
+  AOD_CHECK(set.size() >= 2);
+  PartitionPtr value;
+  if (plan != nullptr) {
+    value = ExecutePlan(set, *plan);
+  } else if (planner_enabled_) {
+    value = ExecutePlan(set, PlanDerivation(set));
+  } else {
+    value = ComputeFixed(set);
+  }
   promise.set_value(value);
   return value;
 }
 
-PartitionCache::PartitionPtr PartitionCache::Compute(AttributeSet set) {
-  // Fixed derivation structure (never "largest cached subset", which
-  // depends on what other threads cached first): recurse on X \ {max}.
-  // The recursion is memoized per key, and during level-wise discovery
-  // X \ {max} survived the level below, so it is already cached.
-  const int last = set.Last();
-  AOD_CHECK(last >= 0 && set.size() >= 2);
-  PartitionPtr base = Get(set.Without(last));
-  PartitionPtr single = Get(AttributeSet().With(last));
+DerivationPlan PartitionCache::PlanDerivation(AttributeSet set) const {
+  AOD_CHECK(set.size() >= 2);
+  DerivationPlan best;
+  // (estimated cost, products needed, base bit pattern): strict-min over
+  // every catalog entry, so the choice is independent of map iteration
+  // order and of anything but (set, catalog).
+  std::tuple<int64_t, int, uint64_t> best_key{0, 0, 0};
+  bool have_best = false;
+  std::lock_guard<std::mutex> lock(catalog_mutex_);
+  for (const auto& [base, base_cost] : catalog_) {
+    if (base.empty() || base == set || !set.ContainsAll(base)) continue;
+    const AttributeSet remaining = set.Difference(base);
+    const int steps = remaining.size();
+    int64_t est = static_cast<int64_t>(steps) * base_cost;
+    remaining.ForEach(
+        [&](int a) { est += 2 * single_cost_[static_cast<size_t>(a)]; });
+    std::tuple<int64_t, int, uint64_t> key{est, steps, base.bits()};
+    if (!have_best || key < best_key) {
+      have_best = true;
+      best_key = key;
+      best.base = base;
+      best.estimated_cost = est;
+    }
+  }
+  // Singletons are permanently catalogued, so a base always exists.
+  AOD_CHECK(have_best);
+  best.singles.clear();
+  set.Difference(best.base).ForEach([&](int a) { best.singles.push_back(a); });
+  return best;
+}
+
+void PartitionCache::PublishCost(AttributeSet set) {
+  PartitionPtr partition = Get(set);
+  std::lock_guard<std::mutex> lock(catalog_mutex_);
+  catalog_[set] = partition->rows_covered();
+}
+
+PartitionCache::PartitionPtr PartitionCache::ExecutePlan(
+    AttributeSet set, const DerivationPlan& plan) {
+  AOD_CHECK(!plan.base.empty() && set.ContainsAll(plan.base) &&
+            !plan.singles.empty());
+  PartitionPtr current = Get(plan.base);
   std::unique_ptr<PartitionScratch> scratch = AcquireScratch();
-  PartitionPtr value = std::make_shared<StrippedPartition>(
-      base->Product(*single, table_->num_rows(), scratch.get()));
+  int64_t realized = 0;
+  for (int a : plan.singles) {
+    PartitionPtr single = Get(AttributeSet().With(a));
+    realized += current->rows_covered() + 2 * single->rows_covered();
+    current = std::make_shared<StrippedPartition>(
+        current->Product(*single, table_->num_rows(), scratch.get()));
+    products_computed_.fetch_add(1, std::memory_order_relaxed);
+  }
   ReleaseScratch(std::move(scratch));
-  products_computed_.fetch_add(1, std::memory_order_relaxed);
-  bytes_resident_.fetch_add(value->bytes(), std::memory_order_relaxed);
-  return value;
+  planner_derivations_.fetch_add(1, std::memory_order_relaxed);
+  planner_cost_estimated_.fetch_add(plan.estimated_cost,
+                                    std::memory_order_relaxed);
+  planner_cost_realized_.fetch_add(realized, std::memory_order_relaxed);
+  bytes_resident_.fetch_add(current->bytes(), std::memory_order_relaxed);
+  return current;
+}
+
+PartitionCache::PartitionPtr PartitionCache::ComputeFixed(AttributeSet set) {
+  // The caller has already claimed `set`'s map entry; walk down the fixed
+  // chain X\{max} ⊃ X\{max, max'} ⊃ ..., claiming each missing
+  // intermediate, until a cached subset is found. Claims then resolve
+  // bottom-up, one product each — the iterative form of the old
+  // recursion, so |X| no longer grows the stack.
+  struct Claim {
+    AttributeSet set;
+    std::promise<PartitionPtr> promise;
+  };
+  std::vector<Claim> claims;
+  PartitionPtr base;
+  AttributeSet cur = set.Without(set.Last());
+  while (true) {
+    Shard& shard = ShardFor(cur);
+    PartitionFuture future;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      auto it = shard.map.find(cur);
+      if (it != shard.map.end()) {
+        future = it->second;
+        found = true;
+      } else {
+        claims.emplace_back();
+        claims.back().set = cur;
+        shard.map.emplace(cur, claims.back().promise.get_future().share());
+      }
+    }
+    if (found) {
+      base = future.get();
+      break;
+    }
+    // Singletons are preloaded, so the walk terminates before size 1.
+    AOD_CHECK(cur.size() >= 2);
+    cur = cur.Without(cur.Last());
+  }
+
+  std::unique_ptr<PartitionScratch> scratch = AcquireScratch();
+  auto derive_step = [&](AttributeSet key) {
+    PartitionPtr single = Get(AttributeSet().With(key.Last()));
+    PartitionPtr value = std::make_shared<StrippedPartition>(
+        base->Product(*single, table_->num_rows(), scratch.get()));
+    products_computed_.fetch_add(1, std::memory_order_relaxed);
+    bytes_resident_.fetch_add(value->bytes(), std::memory_order_relaxed);
+    return value;
+  };
+  for (auto it = claims.rbegin(); it != claims.rend(); ++it) {
+    PartitionPtr value = derive_step(it->set);
+    it->promise.set_value(value);
+    base = std::move(value);
+  }
+  PartitionPtr result = derive_step(set);
+  ReleaseScratch(std::move(scratch));
+  return result;
 }
 
 bool PartitionCache::Contains(AttributeSet set) const {
@@ -86,6 +205,58 @@ bool PartitionCache::Contains(AttributeSet set) const {
          std::future_status::ready;
 }
 
+int64_t PartitionCache::EnforceBudget(int64_t budget_bytes) {
+  if (budget_bytes <= 0 || bytes_resident() <= budget_bytes) return 0;
+  // Futures are resolved here (the driver quiesces prefetch first), so
+  // every entry's exact size and level are available.
+  struct Victim {
+    int level;
+    int64_t bytes;
+    AttributeSet set;
+  };
+  std::vector<Victim> victims;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, future] : shard.map) {
+      if (key.size() <= 1) continue;
+      victims.push_back({key.size(), future.get()->bytes(), key});
+    }
+  }
+  // Coldest first: lowest level — levels below the two most recent are
+  // never needed as contexts again, so during the level-wise traversal
+  // ascending level order reaches the live levels only under extreme
+  // budgets (where on-demand re-derivation covers them). Largest bytes
+  // within a level so the budget is met with the fewest evictions; bit
+  // pattern as the total tie-break.
+  std::sort(victims.begin(), victims.end(),
+            [](const Victim& a, const Victim& b) {
+              if (a.level != b.level) return a.level < b.level;
+              if (a.bytes != b.bytes) return a.bytes > b.bytes;
+              return a.set.bits() < b.set.bits();
+            });
+  int64_t freed = 0;
+  size_t evicted = 0;
+  while (evicted < victims.size() &&
+         bytes_resident() - freed > budget_bytes) {
+    const Victim& v = victims[evicted];
+    Shard& shard = ShardFor(v.set);
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.map.erase(v.set);
+    }
+    freed += v.bytes;
+    ++evicted;
+  }
+  if (evicted > 0) {
+    std::lock_guard<std::mutex> lock(catalog_mutex_);
+    for (size_t i = 0; i < evicted; ++i) catalog_.erase(victims[i].set);
+  }
+  partitions_evicted_.fetch_add(static_cast<int64_t>(evicted),
+                                std::memory_order_relaxed);
+  bytes_resident_.fetch_sub(freed, std::memory_order_relaxed);
+  return freed;
+}
+
 int64_t PartitionCache::EvictSmallerThan(int below) {
   int64_t freed = 0;
   for (Shard& shard : shards_) {
@@ -96,6 +267,11 @@ int64_t PartitionCache::EvictSmallerThan(int below) {
         // Futures are resolved here (eviction runs between phases), so
         // the value — and its exact size — is available.
         freed += it->second.get()->bytes();
+        {
+          std::lock_guard<std::mutex> catalog_lock(catalog_mutex_);
+          catalog_.erase(it->first);
+        }
+        partitions_evicted_.fetch_add(1, std::memory_order_relaxed);
         it = shard.map.erase(it);
       } else {
         ++it;

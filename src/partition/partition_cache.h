@@ -2,21 +2,32 @@
 //
 // The discovery framework asks for Π_X for many overlapping contexts X.
 // The cache materializes level-1 partitions once, derives larger ones via
-// stripped products of cached subsets, and supports level-based eviction
-// matching the level-wise traversal (only the two most recent completed
-// levels are ever needed as contexts).
+// stripped products of cached subsets, and evicts derived partitions
+// against a byte budget, re-deriving on demand.
+//
+// Derivation is *planned*, not fixed. Because every partition value is in
+// canonical normal form (see StrippedPartition), Π_X has the same bytes
+// no matter which subset chain produced it, so the cache is free to pick
+// the cheapest one: PlanDerivation chooses, among the subsets published
+// to its cost catalog, the base partition minimizing the estimated
+// product cost (rows_covered as the proxy — one product scans the left
+// operand once and the right operand twice), then extends it with the
+// remaining single-attribute partitions in ascending order. The catalog
+// is updated only at deterministic points (the driver publishes each
+// completed level's survivors between phases), so plans — and therefore
+// the product counter — are identical for any thread count. With the
+// planner disabled, the legacy fixed rule Π_X = Π_{X\{max(X)}} ·
+// Π_{{max(X)}} applies, executed by an explicit worklist (no recursion,
+// so deep attribute sets cannot grow the stack).
 //
 // Concurrency. Get() is safe to call from any number of threads — the
-// driver materializes a whole lattice level's partitions on the thread
-// pool. The key space is striped over independently locked shards, and
-// each key is computed exactly once: the first requester installs a
-// shared_future and computes outside the shard lock, later requesters
-// block on the future. Derivation follows a fixed structural rule,
-// Π_X = Π_{X \ {max(X)}} · Π_{{max(X)}}, so the *value* of every cached
-// partition (class order included) is independent of which thread
-// computed it first — the foundation of the driver's determinism
-// contract (see ARCHITECTURE.md). Eviction is not safe concurrently with
-// Get; the driver calls it only between phases.
+// driver materializes partitions on the thread pool. The key space is
+// striped over independently locked shards, and each key is computed
+// exactly once: the first requester installs a shared_future and computes
+// outside the shard lock, later requesters block on the future. Catalog
+// mutation (PublishCost, eviction) must not run concurrently with
+// planner-consulting Gets; the driver calls both only between phases.
+// Eviction additionally requires all futures resolved.
 #ifndef AOD_PARTITION_PARTITION_CACHE_H_
 #define AOD_PARTITION_PARTITION_CACHE_H_
 
@@ -34,25 +45,80 @@
 
 namespace aod {
 
+/// A derivation recipe for one requested partition: start from the cached
+/// Π_base and product with the single-attribute partitions of `singles`
+/// in ascending order. Produced by PartitionCache::PlanDerivation; the
+/// driver precomputes plans on its own thread (against a stable catalog)
+/// and hands them to prefetch tasks.
+struct DerivationPlan {
+  AttributeSet base;
+  std::vector<int> singles;
+  /// Estimated cost in scanned rows: |singles| * cost(base) +
+  /// 2 * sum(cost(single)). Recorded against realized cost in stats.
+  int64_t estimated_cost = 0;
+};
+
 class PartitionCache {
  public:
   explicit PartitionCache(const EncodedTable* table);
 
   /// Returns Π_X, computing and memoizing it if absent. Thread-safe;
   /// concurrent requests for the same key compute it once and share the
-  /// result. During level-wise discovery each request costs at most one
-  /// product because Π_{X\{max}} is always cached one level below.
+  /// result. A miss derives via the cost-based planner (or the fixed rule
+  /// when the planner is disabled).
   std::shared_ptr<const StrippedPartition> Get(AttributeSet set);
+
+  /// Get with a precomputed derivation plan, used by the driver's
+  /// prefetch tasks: on a miss `plan` is executed as-is instead of
+  /// consulting the catalog, so in-flight tasks never read planner state
+  /// the driver may be about to update. A null plan falls back to Get().
+  std::shared_ptr<const StrippedPartition> Get(AttributeSet set,
+                                               const DerivationPlan* plan);
 
   /// True if Π_X is currently materialized (a key mid-computation by
   /// another thread does not count yet). Thread-safe.
   bool Contains(AttributeSet set) const;
 
+  /// Chooses the cheapest derivation of Π_X from the cost catalog:
+  /// minimize estimated cost, tie-broken by larger base (fewer products)
+  /// then smaller bit pattern — a pure function of (X, catalog), so plans
+  /// are deterministic. Single-attribute costs are always available; the
+  /// returned base is resident by the catalog invariant.
+  DerivationPlan PlanDerivation(AttributeSet set) const;
+
+  /// Publishes Π_X's realized cost (rows_covered) to the planner catalog,
+  /// materializing Π_X first if needed. The driver calls this for each
+  /// completed level's survivors between phases — the only point catalog
+  /// contents change outside eviction, which keeps plans deterministic.
+  void PublishCost(AttributeSet set);
+
+  /// Whether Get() misses derive via PlanDerivation (default) or the
+  /// fixed structural rule Π_X = Π_{X\{max}} · Π_{{max}}.
+  void set_planner_enabled(bool enabled) { planner_enabled_ = enabled; }
+  bool planner_enabled() const { return planner_enabled_; }
+
+  /// Evicts derived partitions (set size >= 2) until bytes_resident()
+  /// fits `budget_bytes`, coldest first in deterministic (level
+  /// ascending, bytes descending, bit pattern ascending) order — during
+  /// the level-wise traversal, partitions below the two most recent
+  /// levels are never needed as contexts again, so ascending level order
+  /// reaches still-live levels only under budgets tight enough that
+  /// re-deriving them on demand is the intended trade. Level-0/1 partitions are never evicted
+  /// (they are the O(n·k) base data everything else derives from), so the
+  /// floor is the base footprint. Evicted keys leave the catalog; a later
+  /// Get re-derives through the planner. budget_bytes <= 0 means
+  /// unlimited (no-op). Must not run concurrently with Get. Returns the
+  /// exact number of bytes released.
+  int64_t EnforceBudget(int64_t budget_bytes);
+
   /// Drops every cached partition over sets of size in (1, below); the
-  /// empty-set and single-attribute partitions are retained permanently
-  /// (they are the O(n·k) base data everything else derives from). Must
-  /// not run concurrently with Get. Returns the exact number of bytes
-  /// released (per StrippedPartition::bytes()).
+  /// empty-set and single-attribute partitions are retained permanently.
+  /// Must not run concurrently with Get. Returns the exact number of
+  /// bytes released (per StrippedPartition::bytes()). The driver now
+  /// manages memory through EnforceBudget; this level-based form remains
+  /// for embedders running their own level-wise traversals (and the
+  /// tests that pin its semantics) — both paths maintain the same
+  /// catalog/byte/eviction bookkeeping.
   int64_t EvictSmallerThan(int below);
 
   /// Exact bytes held by all materialized partitions (CSR payload +
@@ -63,11 +129,29 @@ class PartitionCache {
     return bytes_resident_.load(std::memory_order_relaxed);
   }
 
-  /// Number of stripped products performed (for DiscoveryStats). Exactly
-  /// one per distinct derived key thanks to once-per-key memoization, so
-  /// the counter is identical for any thread count.
+  /// Number of stripped products performed (for DiscoveryStats). Plans
+  /// and the per-key memoization are deterministic, so the counter is
+  /// identical for any thread count — but a planned derivation may take
+  /// several products for one key (base + each remaining single).
   int64_t products_computed() const {
     return products_computed_.load(std::memory_order_relaxed);
+  }
+  /// Keys derived by executing a cost-based plan (vs the fixed rule).
+  int64_t planner_derivations() const {
+    return planner_derivations_.load(std::memory_order_relaxed);
+  }
+  /// Summed estimated cost of executed plans, in scanned rows.
+  int64_t planner_cost_estimated() const {
+    return planner_cost_estimated_.load(std::memory_order_relaxed);
+  }
+  /// Summed realized cost of executed plans (actual rows scanned by their
+  /// products), comparable against planner_cost_estimated().
+  int64_t planner_cost_realized() const {
+    return planner_cost_realized_.load(std::memory_order_relaxed);
+  }
+  /// Partitions dropped by EnforceBudget/EvictSmallerThan.
+  int64_t partitions_evicted() const {
+    return partitions_evicted_.load(std::memory_order_relaxed);
   }
   /// Number of partitions currently materialized.
   int64_t cached_count() const;
@@ -95,22 +179,43 @@ class PartitionCache {
   /// Installs an already-resolved entry (constructor preloads).
   void PutReady(AttributeSet set, PartitionPtr value);
 
-  /// Derives Π_set by the fixed rule; `set` has size >= 2.
-  PartitionPtr Compute(AttributeSet set);
+  /// Executes `plan` for `set`: product the base with each remaining
+  /// single, counting estimated vs realized cost.
+  PartitionPtr ExecutePlan(AttributeSet set, const DerivationPlan& plan);
+
+  /// Fixed-rule derivation via an explicit worklist: walks X ⊃ X\{max} ⊃
+  /// ... down to the first cached subset, claiming each missing
+  /// intermediate's future, then derives back up — one product per
+  /// claimed key, constant stack depth regardless of |X|.
+  PartitionPtr ComputeFixed(AttributeSet set);
 
   /// Scratch buffers are pooled: a computing thread borrows one for the
-  /// duration of a product, so steady-state materialization allocates no
-  /// translation tables regardless of worker count.
+  /// duration of a derivation, so steady-state materialization allocates
+  /// no translation tables regardless of worker count.
   std::unique_ptr<PartitionScratch> AcquireScratch();
   void ReleaseScratch(std::unique_ptr<PartitionScratch> scratch);
 
   const EncodedTable* table_;
   Shard shards_[kShardCount];
+  bool planner_enabled_ = true;
   std::atomic<int64_t> products_computed_{0};
+  std::atomic<int64_t> planner_derivations_{0};
+  std::atomic<int64_t> planner_cost_estimated_{0};
+  std::atomic<int64_t> planner_cost_realized_{0};
+  std::atomic<int64_t> partitions_evicted_{0};
   /// Sum of bytes() over resolved entries; incremented when a value is
   /// installed, decremented on eviction (eviction runs between phases,
   /// when every future is resolved).
   std::atomic<int64_t> bytes_resident_{0};
+
+  /// Planner cost catalog: resident keys the planner may pick as a
+  /// derivation base, with their rows_covered cost. Seeded with the
+  /// single-attribute partitions; grown only through PublishCost and
+  /// shrunk only by eviction, both driver-called between phases.
+  mutable std::mutex catalog_mutex_;
+  std::unordered_map<AttributeSet, int64_t, AttributeSetHash> catalog_;
+  /// Single-attribute costs, indexed by attribute (always available).
+  std::vector<int64_t> single_cost_;
 
   std::mutex scratch_mutex_;
   std::vector<std::unique_ptr<PartitionScratch>> free_scratch_;

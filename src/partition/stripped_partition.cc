@@ -11,35 +11,37 @@ StrippedPartition StrippedPartition::FromColumn(const EncodedColumn& column) {
   std::vector<int32_t> counts(static_cast<size_t>(column.cardinality), 0);
   for (int32_t r : column.ranks) ++counts[static_cast<size_t>(r)];
 
-  // Counting sort: ranks with >= 2 rows become classes in rank order;
-  // `start` carries the write cursor of each surviving rank.
   StrippedPartition out;
-  std::vector<int32_t> start(static_cast<size_t>(column.cardinality), -1);
-  int32_t cursor = 0;
+  int64_t total = 0;
   int64_t num_classes = 0;
   for (int32_t v = 0; v < column.cardinality; ++v) {
     if (counts[static_cast<size_t>(v)] >= 2) {
-      start[static_cast<size_t>(v)] = cursor;
-      cursor += counts[static_cast<size_t>(v)];
+      total += counts[static_cast<size_t>(v)];
       ++num_classes;
     }
   }
   if (num_classes == 0) return out;
 
-  out.rows_covered_ = cursor;
-  out.row_ids_.resize(static_cast<size_t>(cursor));
+  // Counting sort in canonical class order: a surviving rank gets its
+  // slot range when its first (= smallest) row is scanned, so classes end
+  // up ordered by smallest row id with rows ascending inside — not in
+  // rank order, which would depend on the encoding rather than the value.
+  out.rows_covered_ = total;
+  out.row_ids_.resize(static_cast<size_t>(total));
   out.class_offsets_.reserve(static_cast<size_t>(num_classes) + 1);
   out.class_offsets_.push_back(0);
-  for (int32_t v = 0; v < column.cardinality; ++v) {
-    if (start[static_cast<size_t>(v)] >= 0) {
-      out.class_offsets_.push_back(start[static_cast<size_t>(v)] +
-                                   counts[static_cast<size_t>(v)]);
-    }
-  }
+  std::vector<int32_t> start(static_cast<size_t>(column.cardinality), -1);
+  int32_t cursor = 0;
   for (int64_t t = 0; t < n; ++t) {
-    int32_t& s = start[static_cast<size_t>(
-        column.ranks[static_cast<size_t>(t)])];
-    if (s >= 0) out.row_ids_[static_cast<size_t>(s++)] = static_cast<int32_t>(t);
+    const int32_t r = column.ranks[static_cast<size_t>(t)];
+    if (counts[static_cast<size_t>(r)] < 2) continue;
+    int32_t& s = start[static_cast<size_t>(r)];
+    if (s < 0) {
+      s = cursor;
+      cursor += counts[static_cast<size_t>(r)];
+      out.class_offsets_.push_back(cursor);
+    }
+    out.row_ids_[static_cast<size_t>(s++)] = static_cast<int32_t>(t);
   }
   return out;
 }
@@ -165,16 +167,95 @@ StrippedPartition StrippedPartition::Product(const StrippedPartition& other,
   StrippedPartition out;
   out.rows_covered_ = out_rows;
   if (out_rows > 0) {
-    out.class_offsets_.reserve(offsets.size());
-    out.class_offsets_.assign(offsets.begin(), offsets.end());
-    out.row_ids_.reserve(static_cast<size_t>(out_rows));
-    out.row_ids_.assign(staging.begin(),
-                        staging.begin() + static_cast<ptrdiff_t>(out_rows));
+    // Canonical normal form: emit classes ordered by smallest contained
+    // row id. With canonical inputs each staged class's rows are already
+    // ascending (they are a subsequence of one ascending `other` class),
+    // so its first row is its minimum and only the class order needs
+    // fixing — a sort of class indices, not of rows.
+    const int64_t emitted = static_cast<int64_t>(offsets.size()) - 1;
+    bool in_order = true;
+    for (int64_t c = 1; c < emitted; ++c) {
+      if (staging[static_cast<size_t>(offsets[static_cast<size_t>(c - 1)])] >
+          staging[static_cast<size_t>(offsets[static_cast<size_t>(c)])]) {
+        in_order = false;
+        break;
+      }
+    }
+    if (in_order) {
+      out.class_offsets_.reserve(offsets.size());
+      out.class_offsets_.assign(offsets.begin(), offsets.end());
+      out.row_ids_.reserve(static_cast<size_t>(out_rows));
+      out.row_ids_.assign(staging.begin(),
+                          staging.begin() + static_cast<ptrdiff_t>(out_rows));
+    } else {
+      std::vector<int32_t>& order = s.class_order_tmp();
+      order.resize(static_cast<size_t>(emitted));
+      for (int64_t c = 0; c < emitted; ++c) {
+        order[static_cast<size_t>(c)] = static_cast<int32_t>(c);
+      }
+      std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+        return staging[static_cast<size_t>(offsets[static_cast<size_t>(a)])] <
+               staging[static_cast<size_t>(offsets[static_cast<size_t>(b)])];
+      });
+      out.class_offsets_.reserve(offsets.size());
+      out.class_offsets_.push_back(0);
+      out.row_ids_.reserve(static_cast<size_t>(out_rows));
+      for (int32_t c : order) {
+        out.row_ids_.insert(
+            out.row_ids_.end(),
+            staging.begin() + offsets[static_cast<size_t>(c)],
+            staging.begin() + offsets[static_cast<size_t>(c) + 1]);
+        out.class_offsets_.push_back(
+            static_cast<int32_t>(out.row_ids_.size()));
+      }
+    }
   }
 
   // Restore the translation table to all -1 for the next product.
   for (int32_t t : row_ids_) class_of[static_cast<size_t>(t)] = -1;
   return out;
+}
+
+void StrippedPartition::Normalize() {
+  const int64_t n = num_classes();
+  if (n == 0) return;
+  for (int64_t c = 0; c < n; ++c) {
+    std::sort(row_ids_.begin() + class_offsets_[static_cast<size_t>(c)],
+              row_ids_.begin() + class_offsets_[static_cast<size_t>(c) + 1]);
+  }
+  std::vector<int32_t> order(static_cast<size_t>(n));
+  for (int64_t c = 0; c < n; ++c) order[static_cast<size_t>(c)] =
+      static_cast<int32_t>(c);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return row_ids_[static_cast<size_t>(class_offsets_[static_cast<size_t>(a)])] <
+           row_ids_[static_cast<size_t>(class_offsets_[static_cast<size_t>(b)])];
+  });
+  std::vector<int32_t> rows;
+  rows.reserve(row_ids_.size());
+  std::vector<int32_t> offsets;
+  offsets.reserve(static_cast<size_t>(n) + 1);
+  offsets.push_back(0);
+  for (int32_t c : order) {
+    rows.insert(rows.end(),
+                row_ids_.begin() + class_offsets_[static_cast<size_t>(c)],
+                row_ids_.begin() + class_offsets_[static_cast<size_t>(c) + 1]);
+    offsets.push_back(static_cast<int32_t>(rows.size()));
+  }
+  row_ids_ = std::move(rows);
+  class_offsets_ = std::move(offsets);
+}
+
+bool StrippedPartition::IsCanonical() const {
+  int32_t prev_first = -1;
+  for (int64_t c = 0; c < num_classes(); ++c) {
+    ClassSpan rows = cls(c);
+    for (size_t i = 1; i < rows.size(); ++i) {
+      if (rows[i - 1] >= rows[i]) return false;
+    }
+    if (rows[0] <= prev_first) return false;
+    prev_first = rows[0];
+  }
+  return true;
 }
 
 std::string StrippedPartition::ToString() const {

@@ -16,6 +16,16 @@
 // allocations, and a partition is a trivially serializable unit for the
 // planned cross-shard shipping (ROADMAP). Classes are exposed as
 // `std::span<const int32_t>` views into `row_ids`.
+//
+// Canonical normal form. Every partition this library materializes is
+// *canonical*: rows ascend within each class and classes are ordered by
+// their smallest contained row id. FromColumn and WholeRelation build
+// canonical output directly; Product restores the form with a cheap
+// class-reorder pass. Canonical partitions make the partition *value*
+// (CSR bytes included) a pure function of the attribute set, independent
+// of the derivation path — Π_{AB}·Π_C and Π_{BC}·Π_A yield identical
+// arrays — which is what lets the cache plan derivations by cost instead
+// of a fixed structural rule, and what a cross-shard reducer can hash.
 #ifndef AOD_PARTITION_STRIPPED_PARTITION_H_
 #define AOD_PARTITION_STRIPPED_PARTITION_H_
 
@@ -68,6 +78,8 @@ class PartitionScratch {
     }
     return rows_tmp_;
   }
+  /// Class permutation for the canonical-form reorder pass.
+  std::vector<int32_t>& class_order_tmp() { return class_order_tmp_; }
 
   /// Reserves `count` fresh epochs and returns the first. Epochs fit the
   /// high 32 bits of the stamped arrays; on (cumulative) overflow the
@@ -90,6 +102,7 @@ class PartitionScratch {
   std::vector<int32_t> touched_;
   std::vector<int32_t> offsets_tmp_;
   std::vector<int32_t> rows_tmp_;
+  std::vector<int32_t> class_order_tmp_;
   int64_t next_epoch_ = 1;
 };
 
@@ -102,7 +115,8 @@ class StrippedPartition {
 
   StrippedPartition() = default;
 
-  /// Partition by a single attribute, O(n).
+  /// Partition by a single attribute, O(n). Output is canonical: classes
+  /// in first-occurrence (= smallest row id) order, rows ascending.
   static StrippedPartition FromColumn(const EncodedColumn& column);
 
   /// Π over the empty attribute set: one class holding every tuple
@@ -110,21 +124,35 @@ class StrippedPartition {
   static StrippedPartition WholeRelation(int64_t num_rows);
 
   /// Builds directly from explicit classes (tests). Classes of size < 2
-  /// are stripped; row ids within a class are kept in the given order.
+  /// are stripped; row ids within a class are kept in the given order —
+  /// i.e. NOT normalized; call Normalize() for the canonical form.
   static StrippedPartition FromClasses(std::vector<std::vector<int32_t>> classes);
 
   /// Stripped product Π_self · Π_other = Π over the union of the two
-  /// attribute sets. O(||self|| + ||other||): a two-pass counting sort
-  /// per `other` class — count buckets and assign their exact output
-  /// slots, then write row ids directly into place — with no per-class
-  /// buckets and zero allocations beyond the exactly-sized result
-  /// (work arrays, including epoch-stamped bucket state that never needs
-  /// clearing, live in `scratch`). Class order and within-class row
-  /// order match the classic TANE probe-table algorithm bit for bit (the
-  /// determinism contract depends on this). `num_rows` is the table
-  /// size; `scratch` may be nullptr (a temporary table is allocated).
+  /// attribute sets. O(||self|| + ||other|| + C log C) where C is the
+  /// output class count: a two-pass counting sort per `other` class —
+  /// count buckets and assign their exact output slots, then write row
+  /// ids directly into place — with no per-class buckets and zero
+  /// allocations beyond the exactly-sized result (work arrays, including
+  /// epoch-stamped bucket state that never needs clearing, live in
+  /// `scratch`). When both inputs are canonical the output is canonical
+  /// too: a final pass reorders classes by smallest row id, making the
+  /// result independent of which operand order or derivation path
+  /// produced it (the cache's cost-based planner depends on this).
+  /// `num_rows` is the table size; `scratch` may be nullptr (a temporary
+  /// table is allocated).
   StrippedPartition Product(const StrippedPartition& other, int64_t num_rows,
                             PartitionScratch* scratch = nullptr) const;
+
+  /// Rewrites this partition into canonical normal form: rows ascending
+  /// within each class, classes ordered by smallest contained row id.
+  /// O(||Π|| log ||Π||); needed only for partitions built from explicit
+  /// classes — FromColumn/WholeRelation/Product output is already
+  /// canonical.
+  void Normalize();
+
+  /// True iff the partition is in canonical normal form.
+  bool IsCanonical() const;
 
   int64_t num_classes() const {
     return class_offsets_.empty()
@@ -179,7 +207,11 @@ class StrippedPartition {
   const std::vector<int32_t>& row_ids() const { return row_ids_; }
   const std::vector<int32_t>& class_offsets() const { return class_offsets_; }
 
-  /// Sum of class sizes (rows covered by non-singleton classes).
+  /// Sum of class sizes (rows covered by non-singleton classes). Also the
+  /// planner's derivation-cost proxy: one Product pass scans exactly the
+  /// covered rows of each operand (the left side once, the right side
+  /// twice), so rows_covered predicts what extending this partition by
+  /// one more attribute costs.
   int64_t rows_covered() const { return rows_covered_; }
 
   /// TANE's e(Π) = ||Π|| - |Π|: the number of tuples that must change for

@@ -165,6 +165,90 @@ TEST(ParallelDeterminismTest, SamplingFilterIsThreadCountInvariant) {
   EXPECT_EQ(Fingerprint(DiscoverOds(enc, options)), expected);
 }
 
+/// Output-only fingerprint (both dependency lists, all payload fields):
+/// what must hold even across options that legitimately change product
+/// counters, i.e. planner on/off and memory budgets.
+std::string OutputFingerprint(const DiscoveryResult& result) {
+  std::string full = Fingerprint(result);
+  return full.substr(0, full.find("stats:"));
+}
+
+TEST(ParallelDeterminismTest, PlannerThreadsAndBudgetInvariance) {
+  // The planner tentpole's contract: discovery output is bit-identical
+  // across planner on/off, any thread count, and any partition memory
+  // budget (including one tiny enough to force re-derivation every
+  // level). Full stats determinism additionally holds across thread
+  // counts within each configuration.
+  Table t = GenerateNcVoterTable(600, 8, 17);
+  EncodedTable enc = EncodeTable(t);
+
+  DiscoveryOptions options;
+  options.epsilon = 0.1;
+  options.collect_removal_sets = true;
+  options.num_threads = 1;
+  DiscoveryResult planned = DiscoverOds(enc, options);
+  const std::string expected_full = Fingerprint(planned);
+  const std::string expected_output = OutputFingerprint(planned);
+  EXPECT_GT(planned.stats.planner_derivations, 0);
+
+  options.num_threads = 4;
+  EXPECT_EQ(Fingerprint(DiscoverOds(enc, options)), expected_full);
+  options.num_threads = 0;  // hardware concurrency
+  EXPECT_EQ(Fingerprint(DiscoverOds(enc, options)), expected_full);
+
+  // Fixed rule: identical output; product schedule may differ.
+  options.num_threads = 1;
+  options.enable_derivation_planner = false;
+  DiscoveryResult fixed = DiscoverOds(enc, options);
+  EXPECT_EQ(OutputFingerprint(fixed), expected_output);
+  EXPECT_EQ(fixed.stats.planner_derivations, 0);
+  const std::string fixed_full = Fingerprint(fixed);
+  options.num_threads = 4;
+  EXPECT_EQ(Fingerprint(DiscoverOds(enc, options)), fixed_full);
+
+  // A budget below the base footprint forces eviction (and on-demand
+  // re-derivation) at every level boundary; output must not move, and
+  // the full fingerprint must still be thread-count invariant.
+  options.enable_derivation_planner = true;
+  options.partition_memory_budget_bytes = 1;
+  options.num_threads = 1;
+  DiscoveryResult budgeted = DiscoverOds(enc, options);
+  EXPECT_EQ(OutputFingerprint(budgeted), expected_output);
+  EXPECT_GT(budgeted.stats.partitions_evicted, 0);
+  EXPECT_GT(budgeted.stats.partition_bytes_evicted, 0);
+  const std::string budgeted_full = Fingerprint(budgeted);
+  options.num_threads = 4;
+  EXPECT_EQ(Fingerprint(DiscoverOds(enc, options)), budgeted_full);
+}
+
+TEST(ParallelDeterminismTest, BudgetedRunMemoryStatsAreConsistent) {
+  Table t = GenerateFlightTable(500, 8, 9);
+  EncodedTable enc = EncodeTable(t);
+  DiscoveryOptions options;
+  options.epsilon = 0.1;
+  options.num_threads = 2;
+
+  DiscoveryResult unlimited = DiscoverOds(enc, options);
+  EXPECT_EQ(unlimited.stats.partitions_evicted, 0);
+  EXPECT_EQ(unlimited.stats.partition_bytes_evicted, 0);
+  EXPECT_GE(unlimited.stats.partition_bytes_peak,
+            unlimited.stats.partition_bytes_final);
+
+  // Budget halfway between floor and unlimited peak: some eviction must
+  // happen, the peak must cover the final residency, and the evicted
+  // bytes must account for the peak-vs-final gap together with eviction.
+  options.partition_memory_budget_bytes =
+      unlimited.stats.partition_bytes_peak / 2;
+  DiscoveryResult budgeted = DiscoverOds(enc, options);
+  EXPECT_EQ(OutputFingerprint(budgeted), OutputFingerprint(unlimited));
+  EXPECT_GT(budgeted.stats.partitions_evicted, 0);
+  EXPECT_GT(budgeted.stats.partition_bytes_evicted, 0);
+  EXPECT_GE(budgeted.stats.partition_bytes_peak,
+            budgeted.stats.partition_bytes_final);
+  EXPECT_LE(budgeted.stats.partition_bytes_final,
+            unlimited.stats.partition_bytes_final);
+}
+
 TEST(ParallelDeterminismTest, BudgetExpiryStillFlagsTimeoutInParallel) {
   // Deadline checks now sit between candidate validations; a parallel
   // run must notice an expired budget and report a (possibly empty)

@@ -1,12 +1,15 @@
 // Equivalence of the CSR partition product with the classic
-// vector-of-vectors TANE STRIPPED_PRODUCT.
+// vector-of-vectors TANE STRIPPED_PRODUCT, modulo the canonical normal
+// form.
 //
-// The determinism contract (ARCHITECTURE.md) requires the CSR
-// representation to reproduce the legacy algorithm *bit for bit*: same
-// class order, same row order within each class, same rows_covered and
-// error. These tests pin that equivalence with a reference implementation
-// of the old per-class bucket algorithm across random tables, skewed
-// cardinalities, and singleton-heavy inputs.
+// The determinism contract (ARCHITECTURE.md) requires every materialized
+// partition to be *canonical* — classes ordered by smallest contained row
+// id, rows ascending within a class — so that the partition value is
+// independent of the derivation path (the cache's cost-based planner
+// depends on this). These tests pin Product against a reference
+// implementation of the old per-class bucket algorithm followed by
+// normalization, assert the canonical invariants directly, and check
+// path independence across operand orders and derivation chains.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -27,9 +30,10 @@ std::vector<std::vector<int32_t>> ToClasses(const StrippedPartition& p) {
   return out;
 }
 
-/// The pre-CSR product, verbatim: translate tuples of `left` into class
+/// The pre-CSR product, verbatim — translate tuples of `left` into class
 /// ids, slice each class of `right` into per-class buckets, emit a bucket
-/// (in first-touch order) when its class completes with >= 2 rows.
+/// (in first-touch order) when its class completes with >= 2 rows —
+/// followed by normalization into the canonical form Product guarantees.
 StrippedPartition ReferenceProduct(const StrippedPartition& left,
                                    const StrippedPartition& right,
                                    int64_t num_rows) {
@@ -57,7 +61,9 @@ StrippedPartition ReferenceProduct(const StrippedPartition& left,
       bucket.clear();
     }
   }
-  return StrippedPartition::FromClasses(std::move(out_classes));
+  StrippedPartition out = StrippedPartition::FromClasses(std::move(out_classes));
+  out.Normalize();
+  return out;
 }
 
 void ExpectIdentical(const StrippedPartition& got,
@@ -67,6 +73,7 @@ void ExpectIdentical(const StrippedPartition& got,
   EXPECT_EQ(got.error(), want.error());
   // ToString captures class order AND within-class row order.
   EXPECT_EQ(got.ToString(), want.ToString());
+  EXPECT_TRUE(got.IsCanonical()) << got.ToString();
 }
 
 TEST(PartitionCsrTest, LayoutInvariants) {
@@ -150,9 +157,53 @@ TEST(PartitionCsrTest, SingletonHeavyProductIsEmpty) {
 
 TEST(PartitionCsrTest, FromClassesKeepsGivenOrder) {
   // FromClasses must preserve both class order and row order (tests and
-  // the reference product depend on it).
+  // the reference product depend on it); Normalize() restores the
+  // canonical form explicitly.
   auto p = StrippedPartition::FromClasses({{5, 3, 9}, {7}, {2, 0}});
   EXPECT_EQ(p.ToString(), "{{5,3,9},{2,0}}");
+  EXPECT_FALSE(p.IsCanonical());
+  p.Normalize();
+  EXPECT_EQ(p.ToString(), "{{0,2},{3,5,9}}");
+  EXPECT_TRUE(p.IsCanonical());
+}
+
+TEST(PartitionCsrTest, FromColumnIsCanonical) {
+  // Classes must come in smallest-row order even when rank order says
+  // otherwise: rank 2 appears first in the data here.
+  EncodedColumn col;
+  col.name = "c";
+  col.ranks = {2, 0, 2, 1, 0, 1};
+  col.cardinality = 3;
+  StrippedPartition p = StrippedPartition::FromColumn(col);
+  EXPECT_EQ(p.ToString(), "{{0,2},{1,4},{3,5}}");
+  EXPECT_TRUE(p.IsCanonical());
+}
+
+TEST(PartitionCsrTest, ProductValueIsDerivationPathIndependent) {
+  // The planner's freedom rests on this: Π_{XY} has identical CSR bytes
+  // no matter the operand order or the chain that produced it.
+  EncodedTable t = testing_util::RandomEncodedTable(500, 3, 6, 77);
+  PartitionScratch scratch(500);
+  auto p0 = StrippedPartition::FromColumn(t.column(0));
+  auto p1 = StrippedPartition::FromColumn(t.column(1));
+  auto p2 = StrippedPartition::FromColumn(t.column(2));
+
+  StrippedPartition ab = p0.Product(p1, 500, &scratch);
+  StrippedPartition ba = p1.Product(p0, 500, &scratch);
+  EXPECT_EQ(ab.row_ids(), ba.row_ids());
+  EXPECT_EQ(ab.class_offsets(), ba.class_offsets());
+
+  // All chains to Π_{012} land on the same arrays.
+  StrippedPartition via_ab = ab.Product(p2, 500, &scratch);
+  StrippedPartition via_bc = p1.Product(p2, 500, &scratch)
+                                 .Product(p0, 500, &scratch);
+  StrippedPartition via_ac = p0.Product(p2, 500, &scratch)
+                                 .Product(p1, 500, &scratch);
+  EXPECT_EQ(via_ab.row_ids(), via_bc.row_ids());
+  EXPECT_EQ(via_ab.class_offsets(), via_bc.class_offsets());
+  EXPECT_EQ(via_ab.row_ids(), via_ac.row_ids());
+  EXPECT_EQ(via_ab.class_offsets(), via_ac.class_offsets());
+  EXPECT_TRUE(via_ab.IsCanonical());
 }
 
 TEST(PartitionCsrTest, ScratchSurvivesShapeChanges) {

@@ -122,23 +122,17 @@ TEST(StrippedPartitionTest, ProductToSingletonsIsEmpty) {
   EXPECT_EQ(prod.rows_covered(), 0);
 }
 
-TEST(StrippedPartitionTest, ProductIsCommutativeInContent) {
+TEST(StrippedPartitionTest, ProductIsCommutativeBitForBit) {
+  // Canonical normal form makes commutativity exact, not just up to
+  // class reordering: both operand orders emit identical CSR arrays.
   EncodedTable t = testing_util::RandomEncodedTable(100, 2, 5, 17);
   auto pa = StrippedPartition::FromColumn(t.column(0));
   auto pb = StrippedPartition::FromColumn(t.column(1));
   StrippedPartition ab = pa.Product(pb, 100);
   StrippedPartition ba = pb.Product(pa, 100);
-  EXPECT_EQ(ab.num_classes(), ba.num_classes());
-  EXPECT_EQ(ab.rows_covered(), ba.rows_covered());
-  // Same set of classes regardless of order.
-  auto normalize = [](const StrippedPartition& p) {
-    std::set<std::set<int32_t>> out;
-    for (const auto& cls : p.classes()) {
-      out.insert(std::set<int32_t>(cls.begin(), cls.end()));
-    }
-    return out;
-  };
-  EXPECT_EQ(normalize(ab), normalize(ba));
+  EXPECT_EQ(ab.ToString(), ba.ToString());
+  EXPECT_EQ(ab.row_ids(), ba.row_ids());
+  EXPECT_EQ(ab.class_offsets(), ba.class_offsets());
 }
 
 TEST(StrippedPartitionTest, ScratchReuseIsClean) {
@@ -265,6 +259,110 @@ TEST(PartitionCacheTest, EvictionKeepsBaseLevels) {
   // Re-deriving after eviction still works.
   auto p = cache.Get(AttributeSet::Of({0, 1}));
   EXPECT_GT(p->num_classes() + 1, 0);
+}
+
+TEST(PartitionCacheTest, BudgetEvictionRestoresExactBaseFootprint) {
+  EncodedTable t = testing_util::RandomEncodedTable(150, 4, 3, 12);
+  PartitionCache cache(&t);
+  const int64_t base = cache.bytes_resident();
+
+  cache.Get(AttributeSet::Of({0, 1}));
+  cache.Get(AttributeSet::Of({1, 2}));
+  cache.Get(AttributeSet::Of({0, 1, 2}));
+  cache.Get(AttributeSet::Of({0, 1, 2, 3}));
+  const int64_t resident = cache.bytes_resident();
+  EXPECT_GT(resident, base);
+
+  // A budget below the base floor evicts every derived partition — and
+  // the byte accounting returns to the exact level-0/1 footprint.
+  int64_t freed = cache.EnforceBudget(1);
+  EXPECT_EQ(freed, resident - base);
+  EXPECT_EQ(cache.bytes_resident(), base);
+  EXPECT_EQ(cache.partitions_evicted(), 4);
+  EXPECT_FALSE(cache.Contains(AttributeSet::Of({0, 1})));
+  EXPECT_TRUE(cache.Contains(AttributeSet::Of({0})));
+  EXPECT_TRUE(cache.Contains(AttributeSet()));
+
+  // Unlimited budget (<= 0) is a no-op.
+  cache.Get(AttributeSet::Of({0, 1}));
+  EXPECT_EQ(cache.EnforceBudget(0), 0);
+
+  // Re-derivation after eviction yields the same canonical value.
+  auto rederived = cache.Get(AttributeSet::Of({0, 1, 2}));
+  PartitionScratch scratch(150);
+  auto expected = StrippedPartition::FromColumn(t.column(0))
+                      .Product(StrippedPartition::FromColumn(t.column(1)),
+                               150, &scratch)
+                      .Product(StrippedPartition::FromColumn(t.column(2)),
+                               150, &scratch);
+  EXPECT_EQ(rederived->row_ids(), expected.row_ids());
+  EXPECT_EQ(rederived->class_offsets(), expected.class_offsets());
+}
+
+TEST(PartitionCacheTest, BudgetEvictionIsColdestFirst) {
+  EncodedTable t = testing_util::RandomEncodedTable(200, 4, 2, 13);
+  PartitionCache cache(&t);
+  const int64_t base = cache.bytes_resident();
+  auto level2 = cache.Get(AttributeSet::Of({0, 1}));
+  auto level3 = cache.Get(AttributeSet::Of({0, 1, 2}));
+  // A budget with room for exactly one derived partition evicts the
+  // lower level first: once the traversal has passed it, it is never a
+  // context again.
+  cache.EnforceBudget(base + level2->bytes() + level3->bytes() - 1);
+  EXPECT_FALSE(cache.Contains(AttributeSet::Of({0, 1})));
+  EXPECT_TRUE(cache.Contains(AttributeSet::Of({0, 1, 2})));
+}
+
+TEST(PartitionCacheTest, PlannerPicksCheapBaseAndMatchesFixedRule) {
+  // Column 2 is low-cardinality (expensive, rows_covered ~ n); columns
+  // 0/1 are near-distinct (cheap). The planner derives Π_{012} from a
+  // published pair containing the expensive attribute, never re-scanning
+  // it, while the fixed rule products Π_{01} with the expensive single.
+  // Both must land on identical canonical bytes.
+  const int64_t rows = 400;
+  std::vector<int64_t> s1, s2, k;
+  for (int64_t i = 0; i < rows; ++i) {
+    s1.push_back((i * 37) % 200);
+    s2.push_back((i * 53) % 200);
+    k.push_back(i % 3);
+  }
+  EncodedTable enc = EncodedTableFromInts({"s1", "s2", "k"}, {s1, s2, k});
+
+  PartitionCache planned(&enc);
+  planned.set_planner_enabled(true);
+  planned.Get(AttributeSet::Of({0, 2}));
+  planned.Get(AttributeSet::Of({1, 2}));
+  planned.PublishCost(AttributeSet::Of({0, 2}));
+  planned.PublishCost(AttributeSet::Of({1, 2}));
+  DerivationPlan plan = planned.PlanDerivation(AttributeSet::Of({0, 1, 2}));
+  EXPECT_TRUE(plan.base == AttributeSet::Of({0, 2}) ||
+              plan.base == AttributeSet::Of({1, 2}))
+      << plan.base.ToString();
+  const int64_t before = planned.planner_derivations();
+  auto via_plan = planned.Get(AttributeSet::Of({0, 1, 2}));
+  EXPECT_EQ(planned.planner_derivations(), before + 1);
+
+  PartitionCache fixed(&enc);
+  fixed.set_planner_enabled(false);
+  auto via_fixed = fixed.Get(AttributeSet::Of({0, 1, 2}));
+
+  EXPECT_EQ(via_plan->row_ids(), via_fixed->row_ids());
+  EXPECT_EQ(via_plan->class_offsets(), via_fixed->class_offsets());
+}
+
+TEST(PartitionCacheTest, FixedRuleWorklistHandlesDeepMisses) {
+  // With nothing cached between the singletons and a deep set, the
+  // worklist must derive (and memoize) every intermediate without
+  // recursing — one product per missing prefix.
+  EncodedTable t = testing_util::RandomEncodedTable(80, 8, 2, 14);
+  PartitionCache cache(&t);
+  cache.set_planner_enabled(false);
+  AttributeSet deep = AttributeSet::FullSet(8);
+  cache.Get(deep);
+  EXPECT_EQ(cache.products_computed(), 7);  // sizes 2..8
+  EXPECT_TRUE(cache.Contains(AttributeSet::Of({0, 1, 2})));  // memoized
+  cache.Get(AttributeSet::Of({0, 1, 2, 3}));
+  EXPECT_EQ(cache.products_computed(), 7);  // intermediate was cached
 }
 
 }  // namespace
