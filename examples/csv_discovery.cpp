@@ -17,6 +17,10 @@
 //     --memory-budget-mb=N  partition cache byte budget; coldest derived
 //                           partitions are evicted and re-derived on
 //                           demand (identical output)
+//     --shards=N            distribute validation over N logical shard
+//                           runners; partitions and results cross the
+//                           shard seam in the checksummed CSR wire
+//                           format (identical output; 0 = unsharded)
 //     --ods                 compose and print ODs from the OC/OFD parts
 //     --json=out.json       write the result as JSON
 //     --csv=out.csv         write the result as flat CSV
@@ -57,6 +61,7 @@ struct Args {
   int threads = 1;
   bool planner = true;
   int64_t memory_budget_mb = 0;
+  int shards = 0;
   bool assemble_ods = false;
   std::string json_path;
   std::string csv_path;
@@ -89,6 +94,8 @@ Args ParseArgs(int argc, char** argv) {
       args.planner = false;
     } else if (const char* v = value_of("--memory-budget-mb=")) {
       args.memory_budget_mb = std::atoll(v);
+    } else if (const char* v = value_of("--shards=")) {
+      args.shards = std::atoi(v);
     } else if (arg == "--ods") {
       args.assemble_ods = true;
     } else if (const char* v = value_of("--json=")) {
@@ -136,6 +143,7 @@ int main(int argc, char** argv) {
   options.num_threads = args.threads;
   options.enable_derivation_planner = args.planner;
   options.partition_memory_budget_bytes = args.memory_budget_mb << 20;
+  options.num_shards = args.shards;
   DiscoveryResult result = DiscoverOds(enc, options);
   result.SortByInterestingness();
 

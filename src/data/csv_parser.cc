@@ -63,7 +63,17 @@ Result<std::vector<std::vector<std::string>>> Tokenize(std::string_view text,
       continue;
     }
     if (c == '\r') {
-      // Swallow lone or CRLF carriage returns.
+      // CRLF: drop the '\r' and let the '\n' terminate the record. A
+      // *lone* '\r' (classic Mac line ending) terminates the record
+      // itself — the old behavior of swallowing it silently glued two
+      // records into one, a misparse no error ever surfaced.
+      if (i + 1 < n && text[i + 1] == '\n') {
+        ++i;
+        continue;
+      }
+      if (any_field || !field.empty() || field_was_quoted) {
+        end_record();
+      }
       ++i;
       continue;
     }
@@ -74,6 +84,14 @@ Result<std::vector<std::vector<std::string>>> Tokenize(std::string_view text,
       }
       ++i;
       continue;
+    }
+    if (field_was_quoted) {
+      // After a closing quote only a delimiter or a record end may
+      // follow ('"a"b' is not "ab" in any CSV dialect); accepting the
+      // byte would silently corrupt the field.
+      return Status::ParseError(
+          "unexpected character after closing quote at byte " +
+          std::to_string(i));
     }
     field += c;
     ++i;
@@ -175,7 +193,8 @@ std::string WriteCsv(const Table& table, char delimiter) {
   auto escape = [&](const std::string& s) {
     bool needs_quotes = s.find(delimiter) != std::string::npos ||
                         s.find('"') != std::string::npos ||
-                        s.find('\n') != std::string::npos;
+                        s.find('\n') != std::string::npos ||
+                        s.find('\r') != std::string::npos;
     if (!needs_quotes) return s;
     std::string out = "\"";
     for (char c : s) {

@@ -26,8 +26,13 @@ struct CsvOptions {
 };
 
 /// Parses CSV text into a Table. Handles quoted fields with embedded
-/// delimiters/newlines and doubled-quote escapes; tolerates CRLF endings;
-/// rejects rows whose field count differs from the header.
+/// delimiters/newlines/CRLF (preserved verbatim) and doubled-quote
+/// escapes; tolerates CRLF and classic-Mac lone-'\r' record endings and
+/// a final record without a trailing newline. Malformed input fails with
+/// a ParseError rather than misparsing: rows whose field count differs
+/// from the header (too few or too many), unterminated quotes, and bytes
+/// between a closing quote and the next delimiter/record end are all
+/// rejected.
 Result<Table> ParseCsv(std::string_view text, const CsvOptions& options = {});
 
 /// Reads and parses a CSV file.

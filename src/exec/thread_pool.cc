@@ -151,7 +151,11 @@ void ThreadPool::WorkerLoop(int index) {
       continue;
     }
     // Queues drained: exit on stop (a stopping pool finishes queued work
-    // first — see the loop order), otherwise park until new work arrives.
+    // first — see the loop order; a task that resubmits during shutdown
+    // lands in a deque this scan re-reads before the stop check, so it
+    // cannot be stranded), otherwise park until new work arrives. The
+    // wait predicate runs under park_mutex_ — the handshake that makes
+    // the relaxed queued_ decrements safe (see thread_pool.h).
     if (stop_.load(std::memory_order_acquire)) return;
     std::unique_lock<std::mutex> lock(park_mutex_);
     park_cv_.wait(lock, [this] {

@@ -80,7 +80,32 @@ class ThreadPool {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  // Number of tasks currently sitting in deques; the park/wake predicate.
+  // Number of tasks currently sitting in deques (plus any steal-in-flight
+  // surplus, counted until requeued); the park/wake predicate.
+  //
+  // Ordering audit (the shutdown/wakeup protocol): the predicate loads in
+  // WorkerLoop pair with the park_mutex_ handshake, NOT with these
+  // counter updates, so the consumer-side fetch_subs may be relaxed. Two
+  // facts make a lost wakeup impossible:
+  //  1. A worker evaluates its park predicate while *holding* park_mutex_
+  //     (both before sleeping and on every wake). Submit increments
+  //     queued_ (and ~ThreadPool sets stop_) strictly before taking and
+  //     releasing park_mutex_ and notifying, so either the worker's
+  //     predicate run ordered *after* that critical section — and then it
+  //     observes the store through the mutex — or it ordered before, the
+  //     worker is already committed to waiting, and the notify wakes it.
+  //  2. Relaxed decrements can only make a reader observe queued_ too
+  //     HIGH, never too low (an RMW always reads the latest value in the
+  //     counter's modification order, and every increment is ordered by
+  //     the handshake above). A stale-high read merely costs one spurious
+  //     wake/rescan; a strand would require a stale-low read, which no
+  //     interleaving produces.
+  // The same reasoning covers stop() racing a concurrent submit from a
+  // pool task: the submitting worker enqueues to its own deque and the
+  // WorkerLoop re-scans all deques before it re-checks stop_, so a
+  // stopping pool drains resubmissions before any worker can exit.
+  // tests/exec_test.cc (StartSubmitStopLoopNeverStrandsATask) hammers
+  // exactly this window.
   std::atomic<int64_t> queued_{0};
   std::atomic<bool> stop_{false};
   std::atomic<uint32_t> submit_cursor_{0};

@@ -18,6 +18,7 @@
 #include "od/ofd_validator.h"
 #include "od/validator_scratch.h"
 #include "partition/partition_cache.h"
+#include "shard/coordinator.h"
 
 namespace aod {
 namespace {
@@ -106,6 +107,11 @@ struct Driver {
   /// their realized costs are published to the planner catalog at the
   /// next level's merge start.
   std::vector<AttributeSet> pending_costs;
+  /// Sharded validation (options.num_shards >= 1): candidate batches go
+  /// out and results come back over the CSR wire format; the driver's
+  /// own cache, sampler and prefetch pipeline sit idle — partitions live
+  /// shard-side. Null in unsharded runs.
+  std::unique_ptr<shard::ShardCoordinator> coordinator;
 
   /// Validator scratch is pooled like PartitionScratch: a worker borrows
   /// one instance per validation task, so steady-state validation does no
@@ -117,9 +123,22 @@ struct Driver {
       : table(t),
         options(o),
         epsilon(o.validator == ValidatorKind::kExact ? 0.0 : o.epsilon),
-        cache(&t) {
+        cache(&t, PartitionCache::DeferBasePartitions{}) {
+    // Base partitions are built exactly once per run: into this cache
+    // for unsharded validation, or by the coordinator (which ships them
+    // to the shard caches) when sharding is on — the driver cache then
+    // stays empty rather than holding a dead copy of the base footprint.
+    if (options.num_shards < 1) {
+      for (int a = 0; a < table.num_columns(); ++a) {
+        cache.Preload(AttributeSet().With(a),
+                      StrippedPartition::FromColumn(table.column(a)));
+      }
+    }
     if (options.enable_sampling_filter &&
-        options.validator == ValidatorKind::kOptimal) {
+        options.validator == ValidatorKind::kOptimal &&
+        options.num_shards < 1) {
+      // With sharding each runner owns an identically seeded sampler; a
+      // coordinator-side instance would never be consulted.
       sampler = std::make_unique<AocSampler>(&table, options.sampler_config);
     }
     int threads = options.num_threads == 0
@@ -135,8 +154,28 @@ struct Driver {
     prefetch_group = std::make_unique<exec::TaskGroup>(pool);
     cache.set_planner_enabled(options.enable_derivation_planner);
     result.stats.threads_used = threads;
+    if (options.num_shards >= 1) {
+      shard::ShardRunnerOptions ropts;
+      ropts.validator = options.validator;
+      ropts.epsilon = options.epsilon;
+      ropts.collect_removal_sets = options.collect_removal_sets;
+      ropts.enable_sampling_filter = options.enable_sampling_filter;
+      ropts.sampler_config = options.sampler_config;
+      ropts.partition_memory_budget_bytes =
+          options.partition_memory_budget_bytes;
+      coordinator = std::make_unique<shard::ShardCoordinator>(
+          &table, options.num_shards, ropts, pool);
+      result.stats.shards_used = options.num_shards;
+    }
   }
 
+  /// Deadline flag ordering audit: relaxed suffices on both sides. The
+  /// flag is monotonic (set once, never cleared) and guards no data — a
+  /// reader that sees a stale `false` merely starts one more candidate,
+  /// and a reader seeing `true` only *skips* work. The outcomes the merge
+  /// does consume are published by ParallelFor's / the shard TaskGroup's
+  /// internal join, not by this flag, so no acquire/release pairing is
+  /// needed here.
   bool OverBudget() {
     if (options.time_budget_seconds > 0.0 &&
         total_clock.ElapsedSeconds() > options.time_budget_seconds) {
@@ -369,9 +408,10 @@ struct Driver {
     LatticeLevel current = LatticeLevel::MakeFirstLevel(k);
     while (!current.empty()) {
       const int level = current.level();
-      result.stats.levels_processed = level;
-      result.stats.RecordNodesAtLevel(level, current.size());
-      result.stats.nodes_processed += current.size();
+      // Node/level totals are recorded after the merge, per *merged*
+      // node: a deadline can interrupt a level anywhere, and stats
+      // counted at level entry would then claim nodes (and a level) the
+      // reported result set never saw.
       AOD_LOG(kInfo) << "level " << level << ": " << current.size()
                      << " nodes, " << result.stats.TotalOcs() << " OCs so far";
 
@@ -425,17 +465,56 @@ struct Driver {
         break;
       }
 
-      // Phase 2: validate all candidates of the level as individually
-      // stealable tasks, checking the deadline between candidates.
+      // Phase 2: validate all candidates of the level — as individually
+      // stealable tasks in-process, or shipped out as per-shard batches
+      // over the wire when sharding is on. Either way the deadline is
+      // checked between candidates and each outcome slot is written by
+      // exactly one producer.
       std::vector<CandidateOutcome> outcomes(candidates.size());
       phase_clock.Restart();
-      exec::ParallelFor(
-          pool, 0, static_cast<int64_t>(candidates.size()),
-          [&](int64_t i) {
-            ValidateCandidate(candidates[static_cast<size_t>(i)],
-                              &outcomes[static_cast<size_t>(i)]);
-          },
-          PhaseOptions());
+      if (coordinator != nullptr) {
+        std::vector<shard::WireCandidate> wire;
+        wire.reserve(candidates.size());
+        for (size_t s = 0; s < candidates.size(); ++s) {
+          const Candidate& c = candidates[s];
+          shard::WireCandidate w;
+          w.slot = s;
+          w.context_bits = c.context.bits();
+          w.is_ofd = c.is_ofd;
+          w.ofd_target = c.ofd_target;
+          w.pair_a = c.oc_pair.a;
+          w.pair_b = c.oc_pair.b;
+          w.opposite = c.oc_pair.opposite;
+          wire.push_back(w);
+        }
+        std::vector<shard::WireOutcome> completed;
+        Status st = coordinator->ValidateBatch(
+            wire, [this] { return OverBudget(); }, &completed);
+        // In-process channels cannot fail mid-run; a transport error here
+        // means a framing bug, not a data condition.
+        AOD_CHECK_MSG(st.ok(), "sharded validation failed: %s",
+                      st.ToString().c_str());
+        for (shard::WireOutcome& o : completed) {
+          AOD_CHECK(o.slot < outcomes.size());
+          CandidateOutcome& out = outcomes[static_cast<size_t>(o.slot)];
+          out.outcome.valid = o.valid;
+          out.outcome.early_exit = o.early_exit;
+          out.outcome.removal_size = o.removal_size;
+          out.outcome.approx_factor = o.approx_factor;
+          out.outcome.removal_rows = std::move(o.removal_rows);
+          out.interestingness = o.interestingness;
+          out.seconds = o.seconds;
+          out.done = 1;
+        }
+      } else {
+        exec::ParallelFor(
+            pool, 0, static_cast<int64_t>(candidates.size()),
+            [&](int64_t i) {
+              ValidateCandidate(candidates[static_cast<size_t>(i)],
+                                &outcomes[static_cast<size_t>(i)]);
+            },
+            PhaseOptions());
+      }
       result.stats.validation_wall_seconds += phase_clock.ElapsedSeconds();
 
       // Publish the completed level's partition costs to the planner
@@ -446,7 +525,8 @@ struct Driver {
       // not of scheduling. Skipped once the deadline is hit: the catalog
       // no longer matters and publishing could trigger derivations.
       phase_clock.Restart();
-      if (options.enable_derivation_planner && !OverBudget()) {
+      if (options.enable_derivation_planner && coordinator == nullptr &&
+          !OverBudget()) {
         for (AttributeSet key : pending_costs) cache.PublishCost(key);
       }
       pending_costs.clear();
@@ -464,6 +544,8 @@ struct Driver {
       // merge and the next level's planning). Plans are computed here,
       // serially against the just-published catalog, and handed to the
       // tasks, so in-flight tasks never read planner state.
+      phase_clock.Restart();
+      int64_t merged_nodes = 0;
       for (size_t i = 0; i < keys.size(); ++i) {
         const NodePlan& plan = plans[i];
         const size_t total = plan.ofd_targets.size() + plan.oc_pairs.size();
@@ -479,8 +561,12 @@ struct Driver {
           break;
         }
         MergeNode(keys[i], plan, candidates, outcomes, &current);
+        ++merged_nodes;
         // Level-1 partitions are preloaded; prefetch only derived levels.
-        if (expect_next_level && level >= 2 &&
+        // With sharding the coordinator-side cache is idle — contexts are
+        // derived by the shard that validates them — so there is nothing
+        // to prefetch or to cost-publish.
+        if (coordinator == nullptr && expect_next_level && level >= 2 &&
             current.Find(keys[i]) != nullptr) {
           const AttributeSet key = keys[i];
           pending_costs.push_back(key);
@@ -497,6 +583,16 @@ struct Driver {
               });
         }
       }
+      result.stats.merge_wall_seconds += phase_clock.ElapsedSeconds();
+      // Deadline-coherent totals: only merged nodes — the ones whose
+      // candidates and dependencies the result actually reports — are
+      // counted, and a level (or a whole run) that merged nothing leaves
+      // the totals at the last completed state.
+      if (merged_nodes > 0) {
+        result.stats.levels_processed = level;
+        result.stats.RecordNodesAtLevel(level, merged_nodes);
+        result.stats.nodes_processed += merged_nodes;
+      }
       if (result.timed_out) break;
       if (!expect_next_level) break;
 
@@ -505,7 +601,13 @@ struct Driver {
       // pipeline; without a budget the pipeline runs uninterrupted into
       // the next level and the peak sample is merely a racy lower bound
       // (the end-of-run sample is exact).
-      if (options.partition_memory_budget_bytes > 0) {
+      if (coordinator != nullptr) {
+        // Shard caches enforce their own budgets batch by batch; the
+        // boundary sample here is their summed residency.
+        result.stats.partition_bytes_peak =
+            std::max(result.stats.partition_bytes_peak,
+                     coordinator->bytes_resident());
+      } else if (options.partition_memory_budget_bytes > 0) {
         phase_clock.Restart();
         prefetch_group->Wait();
         result.stats.partition_wall_seconds += phase_clock.ElapsedSeconds();
@@ -531,14 +633,35 @@ struct Driver {
     result.stats.partition_seconds =
         static_cast<double>(partition_nanos.load(std::memory_order_relaxed)) /
         1e9;
-    result.stats.partitions_computed = cache.products_computed();
-    result.stats.planner_derivations = cache.planner_derivations();
-    result.stats.planner_cost_estimated = cache.planner_cost_estimated();
-    result.stats.planner_cost_realized = cache.planner_cost_realized();
-    result.stats.partitions_evicted = cache.partitions_evicted();
-    result.stats.partition_bytes_peak =
-        std::max(result.stats.partition_bytes_peak, cache.bytes_resident());
-    result.stats.partition_bytes_final = cache.bytes_resident();
+    if (coordinator != nullptr) {
+      // Partition work happened inside the shard runners; the planner
+      // counters stay 0 (shards derive by the fixed rule).
+      result.stats.partition_seconds = coordinator->partition_seconds();
+      result.stats.partitions_computed = coordinator->products_computed();
+      result.stats.partitions_evicted = coordinator->partitions_evicted();
+      result.stats.partition_bytes_evicted =
+          coordinator->partition_bytes_evicted();
+      result.stats.partition_bytes_peak =
+          std::max(result.stats.partition_bytes_peak,
+                   coordinator->bytes_resident());
+      result.stats.partition_bytes_final = coordinator->bytes_resident();
+      result.stats.shard_bytes_shipped = coordinator->bytes_shipped_total();
+      result.stats.shard_bytes_per_shard.resize(
+          static_cast<size_t>(coordinator->num_shards()));
+      for (int s = 0; s < coordinator->num_shards(); ++s) {
+        result.stats.shard_bytes_per_shard[static_cast<size_t>(s)] =
+            coordinator->bytes_shipped(s);
+      }
+    } else {
+      result.stats.partitions_computed = cache.products_computed();
+      result.stats.planner_derivations = cache.planner_derivations();
+      result.stats.planner_cost_estimated = cache.planner_cost_estimated();
+      result.stats.planner_cost_realized = cache.planner_cost_realized();
+      result.stats.partitions_evicted = cache.partitions_evicted();
+      result.stats.partition_bytes_peak =
+          std::max(result.stats.partition_bytes_peak, cache.bytes_resident());
+      result.stats.partition_bytes_final = cache.bytes_resident();
+    }
     result.stats.total_seconds = total_clock.ElapsedSeconds();
   }
 };
@@ -611,6 +734,8 @@ DiscoveryResult DiscoverOds(const EncodedTable& table,
                 AttributeSet::kMaxAttributes);
   AOD_CHECK_MSG(options.epsilon >= 0.0 && options.epsilon <= 1.0,
                 "epsilon must be within [0, 1]");
+  AOD_CHECK_MSG(options.num_shards >= 0 && options.num_shards <= 1024,
+                "num_shards must be within [0, 1024]");
   Driver driver(table, options);
   driver.Run();
   return std::move(driver.result);

@@ -89,8 +89,21 @@ struct DiscoveryOptions {
   /// cache exceeds it at a level boundary, the coldest derived partitions
   /// are evicted in deterministic order and re-derived on demand through
   /// the planner. The level-0/1 base partitions are never evicted, so the
-  /// effective floor is their footprint.
+  /// effective floor is their footprint. With num_shards >= 1 the budget
+  /// applies to each shard runner's cache, enforced after every batch.
   int64_t partition_memory_budget_bytes = 0;
+  /// Number of logical shards candidate validation is distributed over
+  /// (0 = unsharded in-process validation, the default). With N >= 1 the
+  /// candidate space of every lattice level is split by a pure hash of
+  /// the candidate's context set across N shard runners; partitions and
+  /// results cross the shard seam in the checksummed CSR wire format
+  /// (src/shard/), and the deterministic key-ordered merge reduces the
+  /// shard outputs. Dependency lists and all merge-side counters are
+  /// bit-identical to the unsharded run for any shard count and any
+  /// thread count; partition-side counters (products, resident bytes)
+  /// reflect shard-local derivation and legitimately differ from the
+  /// unsharded schedule (see ARCHITECTURE.md, "Sharded discovery").
+  int num_shards = 0;
 };
 
 /// A discovered (approximately) valid canonical OC.

@@ -83,7 +83,16 @@ std::string DiscoveryStats::ToString() const {
       << "  phase wall clock: candidates "
       << FormatDouble(candidate_wall_seconds, 3) << " s, validation "
       << FormatDouble(validation_wall_seconds, 3) << " s, partitions "
-      << FormatDouble(partition_wall_seconds, 3) << " s\n"
+      << FormatDouble(partition_wall_seconds, 3) << " s, merge "
+      << FormatDouble(merge_wall_seconds, 3) << " s\n"
+      << (shards_used > 0
+              ? "  shards:         " + std::to_string(shards_used) +
+                    " shard runners, " +
+                    FormatDouble(
+                        static_cast<double>(shard_bytes_shipped) / (1 << 20),
+                        2) +
+                    " MiB shipped over the wire\n"
+              : "")
       << "candidates: " << oc_candidates_validated << " OC validated, "
       << oc_candidates_pruned << " OC pruned, " << ofd_candidates_validated
       << " OFD validated\n"

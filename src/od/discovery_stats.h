@@ -32,8 +32,18 @@ struct DiscoveryStats {
   double candidate_wall_seconds = 0.0;
   double validation_wall_seconds = 0.0;
   double partition_wall_seconds = 0.0;
+  /// Wall clock of the serial key-ordered merge phase (the cross-shard
+  /// reducer when sharding is on), accumulated over levels.
+  double merge_wall_seconds = 0.0;
   /// Worker threads the run executed on (1 = serial).
   int threads_used = 1;
+
+  /// Logical shards validation was distributed over (0 = unsharded).
+  int shards_used = 0;
+  /// Frame bytes crossing the shard seam, total and per shard (both
+  /// directions: shipped base partitions, candidate batches, results).
+  int64_t shard_bytes_shipped = 0;
+  std::vector<int64_t> shard_bytes_per_shard;
 
   // Exact partition-cache memory accounting (StrippedPartition::bytes(),
   // i.e. CSR payload + object headers). Peak is sampled at level

@@ -9,12 +9,17 @@
 
 namespace aod {
 
-PartitionCache::PartitionCache(const EncodedTable* table) : table_(table) {
+PartitionCache::PartitionCache(const EncodedTable* table,
+                               DeferBasePartitions) : table_(table) {
   AOD_CHECK(table != nullptr);
   PutReady(AttributeSet(),
            std::make_shared<StrippedPartition>(
                StrippedPartition::WholeRelation(table_->num_rows())));
   single_cost_.resize(static_cast<size_t>(table_->num_columns()), 0);
+}
+
+PartitionCache::PartitionCache(const EncodedTable* table)
+    : PartitionCache(table, DeferBasePartitions{}) {
   for (int a = 0; a < table_->num_columns(); ++a) {
     auto partition = std::make_shared<StrippedPartition>(
         StrippedPartition::FromColumn(table_->column(a)));
@@ -22,6 +27,16 @@ PartitionCache::PartitionCache(const EncodedTable* table) : table_(table) {
     catalog_.emplace(AttributeSet().With(a), partition->rows_covered());
     PutReady(AttributeSet().With(a), std::move(partition));
   }
+}
+
+void PartitionCache::Preload(AttributeSet set, StrippedPartition partition) {
+  auto value = std::make_shared<StrippedPartition>(std::move(partition));
+  if (set.size() == 1) {
+    single_cost_[static_cast<size_t>(set.First())] = value->rows_covered();
+    std::lock_guard<std::mutex> lock(catalog_mutex_);
+    catalog_[set] = value->rows_covered();
+  }
+  PutReady(set, std::move(value));
 }
 
 void PartitionCache::PutReady(AttributeSet set, PartitionPtr value) {

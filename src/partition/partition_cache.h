@@ -60,7 +60,25 @@ struct DerivationPlan {
 
 class PartitionCache {
  public:
+  /// Tag selecting wire-seeded construction: see the deferring ctor.
+  struct DeferBasePartitions {};
+
   explicit PartitionCache(const EncodedTable* table);
+
+  /// Constructs a cache whose single-attribute partitions are NOT built
+  /// from the table: only Π_∅ is preloaded, and every Π_{a} must arrive
+  /// via Preload (e.g. decoded off the shard wire) before the first Get
+  /// that needs it. This is what makes shipped base partitions
+  /// load-bearing for a shard runner instead of redundant recomputation.
+  PartitionCache(const EncodedTable* table, DeferBasePartitions);
+
+  /// Installs an externally produced partition (wire-decoded, typically)
+  /// as the resident value for `set`, replacing any existing entry. The
+  /// value must be in canonical normal form — every consumer relies on
+  /// the canonical-value contract (the wire decoder enforces this).
+  /// Single-attribute installs also seed the planner's single-cost table
+  /// and catalog. Must not run concurrently with Get.
+  void Preload(AttributeSet set, StrippedPartition partition);
 
   /// Returns Π_X, computing and memoizing it if absent. Thread-safe;
   /// concurrent requests for the same key compute it once and share the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/endian.h"
 #include "common/macros.h"
 
 namespace aod {
@@ -256,6 +257,86 @@ bool StrippedPartition::IsCanonical() const {
     prev_first = rows[0];
   }
   return true;
+}
+
+void StrippedPartition::SerializeTo(std::vector<uint8_t>* out) const {
+  using endian::AppendI32;
+  using endian::AppendU64;
+  AppendU64(out, static_cast<uint64_t>(num_classes()));
+  AppendU64(out, static_cast<uint64_t>(row_ids_.size()));
+  for (int32_t v : class_offsets_) AppendI32(out, v);
+  for (int32_t v : row_ids_) AppendI32(out, v);
+}
+
+Result<StrippedPartition> StrippedPartition::Deserialize(const uint8_t* data,
+                                                         size_t size,
+                                                         int64_t num_rows,
+                                                         size_t* consumed) {
+  using endian::ReadI32;
+  using endian::ReadU64;
+  size_t pos = 0;
+  uint64_t classes = 0;
+  uint64_t rows = 0;
+  if (!ReadU64(data, size, &pos, &classes) ||
+      !ReadU64(data, size, &pos, &rows)) {
+    return Status::ParseError("partition header truncated");
+  }
+  // Size sanity before any allocation: covered rows are bounded by the
+  // table and stripped classes hold >= 2 rows each.
+  if (num_rows < 0 || rows > static_cast<uint64_t>(num_rows)) {
+    return Status::ParseError("partition claims more covered rows than the "
+                              "table holds");
+  }
+  if (classes > rows / 2) {
+    return Status::ParseError("partition claims more classes than 2-row "
+                              "classes fit in its rows");
+  }
+  if ((classes == 0) != (rows == 0)) {
+    return Status::ParseError("partition class/row counts inconsistent");
+  }
+
+  StrippedPartition out;
+  if (classes > 0) {
+    out.class_offsets_.reserve(static_cast<size_t>(classes) + 1);
+    int32_t prev = 0;
+    for (uint64_t c = 0; c <= classes; ++c) {
+      int32_t offset = 0;
+      if (!ReadI32(data, size, &pos, &offset)) {
+        return Status::ParseError("partition offsets truncated");
+      }
+      if (c == 0 ? offset != 0 : offset < prev + 2) {
+        // Offsets start at 0 and ascend by the class size (>= 2).
+        return Status::ParseError("partition offsets not ascending by >= 2");
+      }
+      out.class_offsets_.push_back(offset);
+      prev = offset;
+    }
+    if (static_cast<uint64_t>(prev) != rows) {
+      return Status::ParseError("partition offsets do not cover its rows");
+    }
+  }
+  out.row_ids_.reserve(static_cast<size_t>(rows));
+  std::vector<uint8_t> seen(static_cast<size_t>(num_rows), 0);
+  for (uint64_t r = 0; r < rows; ++r) {
+    int32_t row = 0;
+    if (!ReadI32(data, size, &pos, &row)) {
+      return Status::ParseError("partition row ids truncated");
+    }
+    if (row < 0 || static_cast<int64_t>(row) >= num_rows) {
+      return Status::ParseError("partition row id out of range");
+    }
+    if (seen[static_cast<size_t>(row)]) {
+      return Status::ParseError("partition row id appears in two classes");
+    }
+    seen[static_cast<size_t>(row)] = 1;
+    out.row_ids_.push_back(row);
+  }
+  out.rows_covered_ = static_cast<int64_t>(rows);
+  if (!out.IsCanonical()) {
+    return Status::ParseError("partition not in canonical normal form");
+  }
+  if (consumed != nullptr) *consumed = pos;
+  return out;
 }
 
 std::string StrippedPartition::ToString() const {

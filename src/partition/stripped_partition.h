@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "data/encoder.h"
 
 namespace aod {
@@ -206,6 +207,32 @@ class StrippedPartition {
   /// the wire format for shipping a partition across shards.
   const std::vector<int32_t>& row_ids() const { return row_ids_; }
   const std::vector<int32_t>& class_offsets() const { return class_offsets_; }
+
+  /// Appends the CSR wire encoding (little-endian, fixed width) to `out`:
+  /// u64 class count, u64 covered-row count, the class_offsets array,
+  /// then the row_ids arena. Because every materialized partition is
+  /// canonical, the encoding — like the partition value itself — is a
+  /// pure function of the attribute set, so shards can compare or hash
+  /// shipped partitions byte-wise.
+  void SerializeTo(std::vector<uint8_t>* out) const;
+  std::vector<uint8_t> Serialize() const {
+    std::vector<uint8_t> out;
+    SerializeTo(&out);
+    return out;
+  }
+
+  /// Parses one partition from the front of [data, data + size) as
+  /// written by SerializeTo. Rejects (ParseError) truncated buffers and
+  /// any structurally invalid payload: offsets that do not start at 0 or
+  /// do not ascend by at least 2 (stripped classes have >= 2 rows), row
+  /// ids outside [0, num_rows), rows appearing in more than one class,
+  /// and partitions not in canonical normal form — a decoded partition
+  /// must uphold exactly the invariants a locally materialized one does,
+  /// or the cross-shard determinism contract dies silently.
+  /// On success `*consumed` (optional) receives the bytes read.
+  static Result<StrippedPartition> Deserialize(const uint8_t* data,
+                                               size_t size, int64_t num_rows,
+                                               size_t* consumed = nullptr);
 
   /// Sum of class sizes (rows covered by non-singleton classes). Also the
   /// planner's derivation-cost proxy: one Product pass scans exactly the

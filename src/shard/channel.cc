@@ -1,0 +1,44 @@
+#include "shard/channel.h"
+
+#include <utility>
+
+namespace aod {
+namespace shard {
+
+Status InProcessChannel::Send(std::vector<uint8_t> frame) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return Status::IoError("send on closed shard channel");
+    bytes_sent_ += static_cast<int64_t>(frame.size());
+    frames_.push_back(std::move(frame));
+  }
+  cv_.notify_one();
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> InProcessChannel::Receive() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !frames_.empty() || closed_; });
+  if (frames_.empty()) {
+    return Status::IoError("receive on closed shard channel");
+  }
+  std::vector<uint8_t> frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+void InProcessChannel::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+int64_t InProcessChannel::bytes_sent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_sent_;
+}
+
+}  // namespace shard
+}  // namespace aod

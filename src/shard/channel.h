@@ -1,0 +1,69 @@
+// Byte-level transport between the shard coordinator and one shard
+// runner.
+//
+// A ShardChannel moves opaque, already-framed byte vectors (see wire.h)
+// in one direction; a coordinator/runner pair uses two — an inbox and an
+// outbox. The interface is deliberately minimal (send, blocking receive,
+// close) so that the in-process queue used today can be swapped for a
+// socket or file transport without touching the coordinator, the runner,
+// or any encoder: everything protocol-level lives in the frames
+// themselves (versioning, typing, checksums).
+#ifndef AOD_SHARD_CHANNEL_H_
+#define AOD_SHARD_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace aod {
+namespace shard {
+
+class ShardChannel {
+ public:
+  virtual ~ShardChannel() = default;
+
+  /// Enqueues one frame. Fails (IoError) once the channel is closed.
+  virtual Status Send(std::vector<uint8_t> frame) = 0;
+
+  /// Blocks until a frame is available and returns it. Once the channel
+  /// is closed and drained, returns IoError — the receiver's shutdown
+  /// signal.
+  virtual Result<std::vector<uint8_t>> Receive() = 0;
+
+  /// Stops further sends; queued frames remain receivable.
+  virtual void Close() = 0;
+
+  /// Total payload+header bytes accepted by Send — the shipping-volume
+  /// stat surfaced per shard in DiscoveryStats.
+  virtual int64_t bytes_sent() const = 0;
+};
+
+/// The in-process transport: a mutex + condition-variable frame queue.
+/// Any number of senders and receivers; frames arrive in send order.
+class InProcessChannel final : public ShardChannel {
+ public:
+  InProcessChannel() = default;
+  AOD_DISALLOW_COPY_AND_ASSIGN(InProcessChannel);
+
+  Status Send(std::vector<uint8_t> frame) override;
+  Result<std::vector<uint8_t>> Receive() override;
+  void Close() override;
+  int64_t bytes_sent() const override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::vector<uint8_t>> frames_;
+  int64_t bytes_sent_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace shard
+}  // namespace aod
+
+#endif  // AOD_SHARD_CHANNEL_H_

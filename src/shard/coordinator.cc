@@ -1,0 +1,161 @@
+#include "shard/coordinator.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "exec/task_group.h"
+#include "partition/attribute_set.h"
+#include "partition/stripped_partition.h"
+
+namespace aod {
+namespace shard {
+
+ShardCoordinator::ShardCoordinator(const EncodedTable* table, int num_shards,
+                                   const ShardRunnerOptions& runner_options,
+                                   exec::ThreadPool* pool)
+    : table_(table), pool_(pool) {
+  AOD_CHECK(table != nullptr);
+  AOD_CHECK_MSG(num_shards >= 1, "num_shards must be >= 1, got %d",
+                num_shards);
+  links_.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    auto link = std::make_unique<ShardLink>();
+    link->runner = std::make_unique<ShardRunner>(
+        s, table_, runner_options, &link->to_shard, &link->from_shard, pool_);
+    links_.push_back(std::move(link));
+  }
+
+  // Seed every shard's cache over the wire: one kPartitionBlock per
+  // base (level-1) partition, serialized once and sent to all shards.
+  // Runners drain their inboxes in parallel; construction returns with
+  // every shard ready to derive any context from the shipped bases.
+  const int k = table_->num_columns();
+  for (int a = 0; a < k; ++a) {
+    const std::vector<uint8_t> frame = EncodePartitionBlock(
+        AttributeSet().With(a),
+        StrippedPartition::FromColumn(table_->column(a)));
+    for (auto& link : links_) {
+      Status st = link->to_shard.Send(frame);
+      AOD_CHECK_MSG(st.ok(), "base partition send failed: %s",
+                    st.ToString().c_str());
+    }
+  }
+  exec::TaskGroup group(pool_);
+  for (auto& link : links_) {
+    group.Run([&link, k] {
+      for (int i = 0; i < k; ++i) {
+        Status st = link->runner->ServeOne();
+        AOD_CHECK_MSG(st.ok(), "base partition install failed: %s",
+                      st.ToString().c_str());
+      }
+    });
+  }
+  group.Wait();
+}
+
+ShardCoordinator::~ShardCoordinator() {
+  for (auto& link : links_) {
+    link->to_shard.Close();
+    link->from_shard.Close();
+  }
+}
+
+int ShardCoordinator::ShardOf(uint64_t context_bits, int num_shards) {
+  return static_cast<int>(AttributeSetHash{}(AttributeSet(context_bits)) %
+                          static_cast<size_t>(num_shards));
+}
+
+Status ShardCoordinator::ValidateBatch(
+    const std::vector<WireCandidate>& candidates,
+    const std::function<bool()>& cancel,
+    std::vector<WireOutcome>* completed) {
+  const int n = num_shards();
+  std::vector<std::vector<WireCandidate>> batches(static_cast<size_t>(n));
+  for (const WireCandidate& c : candidates) {
+    batches[static_cast<size_t>(ShardOf(c.context_bits, n))].push_back(c);
+  }
+  // Ship every batch (empty ones included — each runner serves exactly
+  // one frame per level, so the request/reply cadence stays lockstep).
+  for (int s = 0; s < n; ++s) {
+    AOD_RETURN_NOT_OK(links_[static_cast<size_t>(s)]->to_shard.Send(
+        EncodeCandidateBatch(batches[static_cast<size_t>(s)])));
+  }
+
+  std::vector<Status> statuses(static_cast<size_t>(n));
+  {
+    exec::TaskGroup group(pool_);
+    for (int s = 0; s < n; ++s) {
+      ShardLink* link = links_[static_cast<size_t>(s)].get();
+      Status* status = &statuses[static_cast<size_t>(s)];
+      group.Run([link, status, &cancel] {
+        *status = link->runner->ServeOne(cancel);
+      });
+    }
+    group.Wait();
+  }
+  for (const Status& st : statuses) AOD_RETURN_NOT_OK(st);
+
+  // Collect replies in shard order — deterministic given deterministic
+  // batches, since each runner replies in ascending slot order.
+  for (int s = 0; s < n; ++s) {
+    AOD_ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
+                         links_[static_cast<size_t>(s)]->from_shard.Receive());
+    AOD_ASSIGN_OR_RETURN(DecodedFrame frame, DecodeFrame(raw));
+    AOD_ASSIGN_OR_RETURN(std::vector<WireOutcome> outcomes,
+                         DecodeResultBatch(frame));
+    for (WireOutcome& o : outcomes) completed->push_back(std::move(o));
+  }
+  return Status::OK();
+}
+
+int64_t ShardCoordinator::bytes_shipped(int s) const {
+  const ShardLink& link = *links_[static_cast<size_t>(s)];
+  return link.to_shard.bytes_sent() + link.from_shard.bytes_sent();
+}
+
+int64_t ShardCoordinator::bytes_shipped_total() const {
+  int64_t total = 0;
+  for (int s = 0; s < num_shards(); ++s) total += bytes_shipped(s);
+  return total;
+}
+
+int64_t ShardCoordinator::products_computed() const {
+  int64_t total = 0;
+  for (const auto& link : links_) {
+    total += link->runner->cache().products_computed();
+  }
+  return total;
+}
+
+int64_t ShardCoordinator::bytes_resident() const {
+  int64_t total = 0;
+  for (const auto& link : links_) {
+    total += link->runner->cache().bytes_resident();
+  }
+  return total;
+}
+
+int64_t ShardCoordinator::partitions_evicted() const {
+  int64_t total = 0;
+  for (const auto& link : links_) {
+    total += link->runner->cache().partitions_evicted();
+  }
+  return total;
+}
+
+int64_t ShardCoordinator::partition_bytes_evicted() const {
+  int64_t total = 0;
+  for (const auto& link : links_) total += link->runner->bytes_evicted();
+  return total;
+}
+
+double ShardCoordinator::partition_seconds() const {
+  double total = 0.0;
+  for (const auto& link : links_) {
+    total += link->runner->partition_seconds();
+  }
+  return total;
+}
+
+}  // namespace shard
+}  // namespace aod

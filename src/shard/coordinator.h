@@ -1,0 +1,106 @@
+// Coordinator of sharded candidate validation (ROADMAP: distributed
+// discovery in the spirit of Saxena et al. [8]).
+//
+// The coordinator owns N in-process shard runners, a channel pair each,
+// and the shard-assignment rule. The discovery driver keeps its lattice,
+// planning phase and serial key-ordered merge; only candidate validation
+// crosses the seam:
+//
+//   construction    every base (level-1) partition is serialized once and
+//                   shipped to every shard as a kPartitionBlock frame —
+//                   shard caches are wire-seeded, never table-derived;
+//   per level       candidates are split by ShardOf(context) — all
+//                   candidates sharing a context land on one shard, so a
+//                   context partition is derived (at most) once per run,
+//                   by exactly one shard — batched, shipped, validated
+//                   shard-locally, and the kResultBatch replies are
+//                   folded back into the driver's outcome slots.
+//
+// Determinism: the assignment rule is a pure hash of the context set, a
+// runner's outcomes are pure functions of its batch (canonical partition
+// values, deterministic fixed-rule derivation, seeded sampler), and the
+// driver's merge consumes outcome slots in sorted key order — so sharded
+// discovery output is bit-identical to the unsharded run for any shard
+// count and any thread count (gated by tests/parallel_determinism_test).
+#ifndef AOD_SHARD_COORDINATOR_H_
+#define AOD_SHARD_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "data/encoder.h"
+#include "shard/channel.h"
+#include "shard/shard_runner.h"
+#include "shard/wire.h"
+
+namespace aod {
+
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
+namespace shard {
+
+class ShardCoordinator {
+ public:
+  /// Creates `num_shards` runners and ships the base partitions. `pool`
+  /// (nullable) runs the shard work; both `table` and `pool` are
+  /// borrowed and must outlive the coordinator.
+  ShardCoordinator(const EncodedTable* table, int num_shards,
+                   const ShardRunnerOptions& runner_options,
+                   exec::ThreadPool* pool);
+  ~ShardCoordinator();
+
+  /// The shard assignment rule: a pure hash (SplitMix64 finalizer, the
+  /// same AttributeSetHash the cache stripes by) of the candidate's
+  /// context set, mod the shard count. Keying by context — not by slot —
+  /// colocates every candidate of a context with the one shard that
+  /// derives its partition.
+  static int ShardOf(uint64_t context_bits, int num_shards);
+
+  /// Validates one level's candidates across the shards: splits
+  /// `candidates` by ShardOf, ships one batch frame per shard, runs every
+  /// runner on the pool (`cancel` is polled between validations), and
+  /// appends each shard's completed outcomes to `completed` in shard
+  /// order. Candidates a shard did not finish before cancellation are
+  /// simply absent — the driver's merge treats their slots as undone.
+  Status ValidateBatch(const std::vector<WireCandidate>& candidates,
+                       const std::function<bool()>& cancel,
+                       std::vector<WireOutcome>* completed);
+
+  int num_shards() const { return static_cast<int>(links_.size()); }
+
+  /// Frame bytes shipped to and from shard `s` so far.
+  int64_t bytes_shipped(int s) const;
+  int64_t bytes_shipped_total() const;
+
+  // Aggregates over the shard-local caches (DiscoveryStats feeds).
+  int64_t products_computed() const;
+  int64_t bytes_resident() const;
+  int64_t partitions_evicted() const;
+  int64_t partition_bytes_evicted() const;
+  /// Summed shard-side derivation wall time (see
+  /// ShardRunner::partition_seconds).
+  double partition_seconds() const;
+
+ private:
+  /// One runner plus its channel pair. Heap-allocated so links never
+  /// move (runners hold channel pointers).
+  struct ShardLink {
+    InProcessChannel to_shard;
+    InProcessChannel from_shard;
+    std::unique_ptr<ShardRunner> runner;
+  };
+
+  const EncodedTable* table_;
+  exec::ThreadPool* pool_;
+  std::vector<std::unique_ptr<ShardLink>> links_;
+};
+
+}  // namespace shard
+}  // namespace aod
+
+#endif  // AOD_SHARD_COORDINATOR_H_

@@ -1,0 +1,196 @@
+#include "shard/shard_runner.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "exec/parallel_for.h"
+#include "od/aoc_iterative_validator.h"
+#include "od/aoc_lis_validator.h"
+#include "od/interestingness.h"
+#include "od/oc_validator.h"
+#include "od/ofd_validator.h"
+
+namespace aod {
+namespace shard {
+
+ShardRunner::ShardRunner(int shard_id, const EncodedTable* table,
+                         const ShardRunnerOptions& options,
+                         ShardChannel* inbox, ShardChannel* outbox,
+                         exec::ThreadPool* pool)
+    : shard_id_(shard_id),
+      table_(table),
+      options_(options),
+      epsilon_(options.validator == ValidatorKind::kExact ? 0.0
+                                                          : options.epsilon),
+      inbox_(inbox),
+      outbox_(outbox),
+      pool_(pool),
+      cache_(table, PartitionCache::DeferBasePartitions{}) {
+  AOD_CHECK(table != nullptr && inbox != nullptr && outbox != nullptr);
+  // Shard-local derivation uses the fixed rule: with no coordinator-side
+  // catalog to consult, the worklist derivation is the deterministic
+  // choice, and its per-key memoization makes the product counter a pure
+  // function of the batch contents (ARCHITECTURE.md).
+  cache_.set_planner_enabled(false);
+  if (options_.enable_sampling_filter &&
+      options_.validator == ValidatorKind::kOptimal) {
+    // Same seeded sample as any other site given the same config, so
+    // fast-reject decisions match the unsharded run bit for bit.
+    sampler_ = std::make_unique<AocSampler>(table_, options_.sampler_config);
+  }
+}
+
+Status ShardRunner::ServeOne(const std::function<bool()>& cancel) {
+  AOD_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, inbox_->Receive());
+  AOD_ASSIGN_OR_RETURN(DecodedFrame frame, DecodeFrame(raw));
+  switch (frame.type) {
+    case FrameType::kPartitionBlock:
+      return HandlePartitionBlock(frame);
+    case FrameType::kCandidateBatch:
+      return HandleCandidateBatch(frame, cancel);
+    case FrameType::kResultBatch:
+      break;
+  }
+  return Status::InvalidArgument("unexpected frame type on shard inbox");
+}
+
+Status ShardRunner::HandlePartitionBlock(const DecodedFrame& frame) {
+  AOD_ASSIGN_OR_RETURN(auto block,
+                       DecodePartitionBlock(frame, table_->num_rows()));
+  cache_.Preload(block.first, std::move(block.second));
+  return Status::OK();
+}
+
+Status ShardRunner::HandleCandidateBatch(const DecodedFrame& frame,
+                                         const std::function<bool()>& cancel) {
+  AOD_ASSIGN_OR_RETURN(std::vector<WireCandidate> batch,
+                       DecodeCandidateBatch(frame));
+
+  // Parallel over the batch on the shared pool (nested fork/join is safe;
+  // the coordinator runs each shard as one pool task). Every outcome slot
+  // is written by exactly one iteration; `done` marks the candidates that
+  // finished before a deadline cancellation.
+  std::vector<WireOutcome> outcomes(batch.size());
+  std::vector<uint8_t> done(batch.size(), 0);
+  exec::ParallelForOptions popts;
+  popts.cancel = cancel;
+  exec::ParallelFor(pool_, 0, static_cast<int64_t>(batch.size()),
+                    [&](int64_t i) {
+                      ValidateOne(batch[static_cast<size_t>(i)],
+                                  &outcomes[static_cast<size_t>(i)]);
+                      done[static_cast<size_t>(i)] = 1;
+                    },
+                    popts);
+
+  // Reply in batch (= ascending slot) order with whatever completed, so
+  // the frame bytes are deterministic whenever the batch ran to the end.
+  std::vector<WireOutcome> completed;
+  completed.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (done[i]) completed.push_back(std::move(outcomes[i]));
+  }
+  AOD_RETURN_NOT_OK(outbox_->Send(EncodeResultBatch(completed)));
+
+  // The batch's ParallelFor has joined, so every cache future is
+  // resolved — the precondition budget enforcement needs.
+  if (options_.partition_memory_budget_bytes > 0) {
+    bytes_evicted_ += cache_.EnforceBudget(
+        options_.partition_memory_budget_bytes);
+  }
+  return Status::OK();
+}
+
+double ShardRunner::partition_seconds() const {
+  return static_cast<double>(
+             partition_nanos_.load(std::memory_order_relaxed)) /
+         1e9;
+}
+
+void ShardRunner::ValidateOne(const WireCandidate& candidate,
+                              WireOutcome* out) {
+  const AttributeSet context(candidate.context_bits);
+  std::shared_ptr<const StrippedPartition> partition;
+  if (cache_.Contains(context)) {
+    partition = cache_.Get(context);
+  } else {
+    Stopwatch derive_sw;
+    partition = cache_.Get(context);
+    partition_nanos_.fetch_add(derive_sw.ElapsedNanos(),
+                               std::memory_order_relaxed);
+  }
+  ValidatorOptions vopts;
+  vopts.collect_removal_set = options_.collect_removal_sets;
+  std::unique_ptr<ValidatorScratch> scratch = AcquireScratch();
+
+  ValidationOutcome outcome;
+  Stopwatch sw;
+  if (candidate.is_ofd) {
+    if (options_.validator == ValidatorKind::kExact) {
+      outcome.valid =
+          ValidateOfdExact(*table_, *partition, candidate.ofd_target);
+    } else {
+      outcome = ValidateOfdApprox(*table_, *partition, candidate.ofd_target,
+                                  epsilon_, table_->num_rows(), vopts,
+                                  scratch.get());
+    }
+  } else {
+    vopts.opposite_polarity = candidate.opposite;
+    switch (options_.validator) {
+      case ValidatorKind::kExact:
+        outcome.valid =
+            ValidateOcExact(*table_, *partition, candidate.pair_a,
+                            candidate.pair_b, candidate.opposite,
+                            scratch.get());
+        break;
+      case ValidatorKind::kIterative:
+        outcome = ValidateAocIterative(*table_, *partition, candidate.pair_a,
+                                       candidate.pair_b, epsilon_,
+                                       table_->num_rows(), vopts,
+                                       scratch.get());
+        break;
+      case ValidatorKind::kOptimal:
+        outcome = sampler_ != nullptr
+                      ? sampler_->Validate(*partition, candidate.pair_a,
+                                           candidate.pair_b, epsilon_, vopts,
+                                           scratch.get())
+                      : ValidateAocOptimal(*table_, *partition,
+                                           candidate.pair_a, candidate.pair_b,
+                                           epsilon_, table_->num_rows(), vopts,
+                                           scratch.get());
+        break;
+    }
+  }
+  out->seconds = sw.ElapsedSeconds();
+  ReleaseScratch(std::move(scratch));
+
+  out->slot = candidate.slot;
+  out->valid = outcome.valid;
+  out->early_exit = outcome.early_exit;
+  out->removal_size = outcome.removal_size;
+  out->approx_factor = outcome.approx_factor;
+  out->removal_rows = std::move(outcome.removal_rows);
+  out->interestingness =
+      InterestingnessScore(*partition, context.size(), table_->num_rows());
+}
+
+std::unique_ptr<ValidatorScratch> ShardRunner::AcquireScratch() {
+  {
+    std::lock_guard<std::mutex> lock(scratch_mutex_);
+    if (!free_scratch_.empty()) {
+      std::unique_ptr<ValidatorScratch> scratch =
+          std::move(free_scratch_.back());
+      free_scratch_.pop_back();
+      return scratch;
+    }
+  }
+  return std::make_unique<ValidatorScratch>();
+}
+
+void ShardRunner::ReleaseScratch(std::unique_ptr<ValidatorScratch> scratch) {
+  std::lock_guard<std::mutex> lock(scratch_mutex_);
+  free_scratch_.push_back(std::move(scratch));
+}
+
+}  // namespace shard
+}  // namespace aod

@@ -1,0 +1,124 @@
+// One logical shard of the sharded discovery subsystem.
+//
+// A ShardRunner owns a *wire-seeded* partition cache: its base (level-1)
+// partitions arrive as kPartitionBlock frames from the coordinator, not
+// from the table, and larger context partitions are derived shard-locally
+// through the deterministic fixed rule. Each kCandidateBatch frame it
+// receives is validated (in parallel on the shared pool, cooperatively
+// cancellable) and answered with one kResultBatch frame carrying exact
+// bit patterns of every outcome field.
+//
+// In-process runners share the EncodedTable by pointer — rank columns are
+// immutable — while everything candidate- or partition-shaped crosses the
+// channel as bytes. That keeps the seam honest: promoting a runner to its
+// own process requires shipping the encoded columns once at startup and
+// swapping the channel implementation, nothing else.
+//
+// Determinism: a runner's outcomes are pure functions of (table, batch,
+// shipped base partitions) — canonical partition values make the derived
+// contexts byte-identical to any other derivation site, validators are
+// pure, and the per-run sampler is seeded — so the coordinator's merged
+// output is bit-identical to an unsharded run (see ARCHITECTURE.md).
+#ifndef AOD_SHARD_SHARD_RUNNER_H_
+#define AOD_SHARD_SHARD_RUNNER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "data/encoder.h"
+#include "od/discovery.h"
+#include "od/validator_scratch.h"
+#include "partition/partition_cache.h"
+#include "shard/channel.h"
+#include "shard/wire.h"
+
+namespace aod {
+
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
+namespace shard {
+
+/// The validation configuration a runner needs — the shard-relevant
+/// subset of DiscoveryOptions, fixed for the lifetime of the run.
+struct ShardRunnerOptions {
+  ValidatorKind validator = ValidatorKind::kOptimal;
+  /// Raw threshold; the runner zeroes it for the exact validator, same
+  /// as the discovery driver.
+  double epsilon = 0.1;
+  bool collect_removal_sets = false;
+  bool enable_sampling_filter = false;
+  SamplerConfig sampler_config;
+  /// Partition byte budget *per shard*, enforced on the runner's cache
+  /// after every batch (0 = unlimited).
+  int64_t partition_memory_budget_bytes = 0;
+};
+
+class ShardRunner {
+ public:
+  /// `inbox`/`outbox` are borrowed and must outlive the runner; `pool`
+  /// may be nullptr for serial execution.
+  ShardRunner(int shard_id, const EncodedTable* table,
+              const ShardRunnerOptions& options, ShardChannel* inbox,
+              ShardChannel* outbox, exec::ThreadPool* pool);
+
+  /// Receives one frame from the inbox and handles it:
+  ///   kPartitionBlock  — decode (canonical-validated) and install into
+  ///                      the local cache;
+  ///   kCandidateBatch  — validate every candidate (parallel over the
+  ///                      batch, `cancel` polled between candidates) and
+  ///                      send back a kResultBatch of the completed
+  ///                      outcomes, then enforce the per-shard budget.
+  /// Any decode or channel failure surfaces as a non-OK Status.
+  Status ServeOne(const std::function<bool()>& cancel = {});
+
+  int shard_id() const { return shard_id_; }
+  /// Shard-local cache observability, aggregated by the coordinator into
+  /// DiscoveryStats.
+  const PartitionCache& cache() const { return cache_; }
+  /// Bytes released by per-shard budget enforcement so far.
+  int64_t bytes_evicted() const { return bytes_evicted_; }
+  /// Wall time this runner spent deriving context partitions (the
+  /// shard-side analogue of the driver's partition_seconds). Counted
+  /// only when the requesting candidate found its context unresolved, so
+  /// cache hits cost nothing; a waiter racing the computing thread may
+  /// double-count the tail of a derivation — like every timing stat,
+  /// this is outside the determinism contract.
+  double partition_seconds() const;
+
+ private:
+  Status HandlePartitionBlock(const DecodedFrame& frame);
+  Status HandleCandidateBatch(const DecodedFrame& frame,
+                              const std::function<bool()>& cancel);
+  /// One validation — mirrors the discovery driver's candidate dispatch
+  /// exactly so sharded and unsharded outcomes are bit-identical.
+  void ValidateOne(const WireCandidate& candidate, WireOutcome* out);
+
+  std::unique_ptr<ValidatorScratch> AcquireScratch();
+  void ReleaseScratch(std::unique_ptr<ValidatorScratch> scratch);
+
+  const int shard_id_;
+  const EncodedTable* table_;
+  const ShardRunnerOptions options_;
+  const double epsilon_;
+  ShardChannel* inbox_;
+  ShardChannel* outbox_;
+  exec::ThreadPool* pool_;
+  PartitionCache cache_;
+  std::unique_ptr<AocSampler> sampler_;
+  int64_t bytes_evicted_ = 0;
+  std::atomic<int64_t> partition_nanos_{0};
+
+  std::mutex scratch_mutex_;
+  std::vector<std::unique_ptr<ValidatorScratch>> free_scratch_;
+};
+
+}  // namespace shard
+}  // namespace aod
+
+#endif  // AOD_SHARD_SHARD_RUNNER_H_

@@ -1,0 +1,294 @@
+#include "shard/wire.h"
+
+#include <cstring>
+
+#include "common/endian.h"
+
+namespace aod {
+namespace shard {
+
+using endian::LoadU16;
+using endian::LoadU32;
+using endian::LoadU64;
+using endian::StoreU16;
+using endian::StoreU32;
+using endian::StoreU64;
+
+uint64_t WireChecksum(const uint8_t* data, size_t size) {
+  uint64_t h = 14695981039346656037ULL;  // FNV offset basis
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+void WireWriter::PutU16(uint16_t v) { endian::AppendU16(&payload_, v); }
+
+void WireWriter::PutU32(uint32_t v) { endian::AppendU32(&payload_, v); }
+
+void WireWriter::PutU64(uint64_t v) { endian::AppendU64(&payload_, v); }
+
+void WireWriter::PutDouble(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutI32Array(const std::vector<int32_t>& values) {
+  PutU64(values.size());
+  for (int32_t v : values) PutI32(v);
+}
+
+void WireWriter::PutBytes(const uint8_t* data, size_t size) {
+  payload_.insert(payload_.end(), data, data + size);
+}
+
+std::vector<uint8_t> WireWriter::SealFrame(FrameType type) {
+  std::vector<uint8_t> frame(kFrameHeaderBytes + payload_.size());
+  StoreU32(frame.data(), kWireMagic);
+  StoreU16(frame.data() + 4, kWireVersion);
+  StoreU16(frame.data() + 6, static_cast<uint16_t>(type));
+  StoreU64(frame.data() + 8, payload_.size());
+  StoreU64(frame.data() + 16, WireChecksum(payload_.data(), payload_.size()));
+  std::memcpy(frame.data() + kFrameHeaderBytes, payload_.data(),
+              payload_.size());
+  payload_.clear();
+  return frame;
+}
+
+Status WireReader::GetU8(uint8_t* v) {
+  if (remaining() < 1) return Status::ParseError("wire payload truncated");
+  *v = data_[pos_++];
+  return Status::OK();
+}
+
+Status WireReader::GetU16(uint16_t* v) {
+  if (remaining() < 2) return Status::ParseError("wire payload truncated");
+  *v = LoadU16(data_ + pos_);
+  pos_ += 2;
+  return Status::OK();
+}
+
+Status WireReader::GetU32(uint32_t* v) {
+  if (remaining() < 4) return Status::ParseError("wire payload truncated");
+  *v = LoadU32(data_ + pos_);
+  pos_ += 4;
+  return Status::OK();
+}
+
+Status WireReader::GetU64(uint64_t* v) {
+  if (remaining() < 8) return Status::ParseError("wire payload truncated");
+  *v = LoadU64(data_ + pos_);
+  pos_ += 8;
+  return Status::OK();
+}
+
+Status WireReader::GetI32(int32_t* v) {
+  uint32_t u = 0;
+  AOD_RETURN_NOT_OK(GetU32(&u));
+  *v = static_cast<int32_t>(u);
+  return Status::OK();
+}
+
+Status WireReader::GetI64(int64_t* v) {
+  uint64_t u = 0;
+  AOD_RETURN_NOT_OK(GetU64(&u));
+  *v = static_cast<int64_t>(u);
+  return Status::OK();
+}
+
+Status WireReader::GetDouble(double* v) {
+  uint64_t bits = 0;
+  AOD_RETURN_NOT_OK(GetU64(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status WireReader::GetI32Array(std::vector<int32_t>* values) {
+  uint64_t count = 0;
+  AOD_RETURN_NOT_OK(GetU64(&count));
+  if (count > remaining() / 4) {
+    return Status::ParseError("wire array longer than its payload");
+  }
+  values->clear();
+  values->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    int32_t v = 0;
+    AOD_RETURN_NOT_OK(GetI32(&v));
+    values->push_back(v);
+  }
+  return Status::OK();
+}
+
+Status WireReader::ExpectEnd() const {
+  if (!AtEnd()) {
+    return Status::ParseError("wire payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
+Result<DecodedFrame> DecodeFrame(const std::vector<uint8_t>& frame) {
+  if (frame.size() < kFrameHeaderBytes) {
+    return Status::ParseError("wire frame shorter than its header");
+  }
+  if (LoadU32(frame.data()) != kWireMagic) {
+    return Status::ParseError("wire frame magic mismatch");
+  }
+  const uint16_t version = LoadU16(frame.data() + 4);
+  if (version != kWireVersion) {
+    return Status::ParseError("unsupported wire version " +
+                              std::to_string(version));
+  }
+  const uint16_t raw_type = LoadU16(frame.data() + 6);
+  if (raw_type < static_cast<uint16_t>(FrameType::kPartitionBlock) ||
+      raw_type > static_cast<uint16_t>(FrameType::kResultBatch)) {
+    return Status::ParseError("unknown wire frame type " +
+                              std::to_string(raw_type));
+  }
+  const uint64_t declared = LoadU64(frame.data() + 8);
+  if (declared != frame.size() - kFrameHeaderBytes) {
+    return Status::ParseError("wire frame size mismatch");
+  }
+  const uint64_t checksum = LoadU64(frame.data() + 16);
+  const uint8_t* payload = frame.data() + kFrameHeaderBytes;
+  if (checksum != WireChecksum(payload, static_cast<size_t>(declared))) {
+    return Status::ParseError("wire frame checksum mismatch");
+  }
+  DecodedFrame out;
+  out.type = static_cast<FrameType>(raw_type);
+  out.payload = payload;
+  out.size = static_cast<size_t>(declared);
+  return out;
+}
+
+std::vector<uint8_t> EncodePartitionBlock(AttributeSet set,
+                                          const StrippedPartition& partition) {
+  WireWriter writer;
+  writer.PutU64(set.bits());
+  std::vector<uint8_t> csr = partition.Serialize();
+  writer.PutBytes(csr.data(), csr.size());
+  return writer.SealFrame(FrameType::kPartitionBlock);
+}
+
+Result<std::pair<AttributeSet, StrippedPartition>> DecodePartitionBlock(
+    const DecodedFrame& frame, int64_t num_rows) {
+  if (frame.type != FrameType::kPartitionBlock) {
+    return Status::ParseError("frame is not a partition block");
+  }
+  WireReader reader(frame.payload, frame.size);
+  uint64_t bits = 0;
+  AOD_RETURN_NOT_OK(reader.GetU64(&bits));
+  size_t consumed = 0;
+  AOD_ASSIGN_OR_RETURN(
+      StrippedPartition partition,
+      StrippedPartition::Deserialize(reader.cursor(), reader.remaining(),
+                                     num_rows, &consumed));
+  reader.Skip(consumed);
+  AOD_RETURN_NOT_OK(reader.ExpectEnd());
+  return std::make_pair(AttributeSet(bits), std::move(partition));
+}
+
+std::vector<uint8_t> EncodeCandidateBatch(
+    const std::vector<WireCandidate>& candidates) {
+  WireWriter writer;
+  writer.PutU64(candidates.size());
+  for (const WireCandidate& c : candidates) {
+    writer.PutU64(c.slot);
+    writer.PutU64(c.context_bits);
+    writer.PutU8(c.is_ofd ? 1 : 0);
+    writer.PutI32(c.ofd_target);
+    writer.PutI32(c.pair_a);
+    writer.PutI32(c.pair_b);
+    writer.PutU8(c.opposite ? 1 : 0);
+  }
+  return writer.SealFrame(FrameType::kCandidateBatch);
+}
+
+Result<std::vector<WireCandidate>> DecodeCandidateBatch(
+    const DecodedFrame& frame) {
+  if (frame.type != FrameType::kCandidateBatch) {
+    return Status::ParseError("frame is not a candidate batch");
+  }
+  WireReader reader(frame.payload, frame.size);
+  uint64_t count = 0;
+  AOD_RETURN_NOT_OK(reader.GetU64(&count));
+  // Per-candidate encoding is 30 bytes (2 u64 + 3 i32 + 2 u8); reject
+  // counts the payload cannot hold before reserving.
+  if (count > reader.remaining() / 30) {
+    return Status::ParseError("candidate batch longer than its payload");
+  }
+  std::vector<WireCandidate> out;
+  out.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    WireCandidate c;
+    uint8_t is_ofd = 0;
+    uint8_t opposite = 0;
+    AOD_RETURN_NOT_OK(reader.GetU64(&c.slot));
+    AOD_RETURN_NOT_OK(reader.GetU64(&c.context_bits));
+    AOD_RETURN_NOT_OK(reader.GetU8(&is_ofd));
+    AOD_RETURN_NOT_OK(reader.GetI32(&c.ofd_target));
+    AOD_RETURN_NOT_OK(reader.GetI32(&c.pair_a));
+    AOD_RETURN_NOT_OK(reader.GetI32(&c.pair_b));
+    AOD_RETURN_NOT_OK(reader.GetU8(&opposite));
+    c.is_ofd = is_ofd != 0;
+    c.opposite = opposite != 0;
+    out.push_back(c);
+  }
+  AOD_RETURN_NOT_OK(reader.ExpectEnd());
+  return out;
+}
+
+std::vector<uint8_t> EncodeResultBatch(
+    const std::vector<WireOutcome>& outcomes) {
+  WireWriter writer;
+  writer.PutU64(outcomes.size());
+  for (const WireOutcome& o : outcomes) {
+    writer.PutU64(o.slot);
+    writer.PutU8(o.valid ? 1 : 0);
+    writer.PutU8(o.early_exit ? 1 : 0);
+    writer.PutI64(o.removal_size);
+    writer.PutDouble(o.approx_factor);
+    writer.PutDouble(o.interestingness);
+    writer.PutDouble(o.seconds);
+    writer.PutI32Array(o.removal_rows);
+  }
+  return writer.SealFrame(FrameType::kResultBatch);
+}
+
+Result<std::vector<WireOutcome>> DecodeResultBatch(const DecodedFrame& frame) {
+  if (frame.type != FrameType::kResultBatch) {
+    return Status::ParseError("frame is not a result batch");
+  }
+  WireReader reader(frame.payload, frame.size);
+  uint64_t count = 0;
+  AOD_RETURN_NOT_OK(reader.GetU64(&count));
+  // 50 bytes per outcome before its (possibly empty) removal-row array.
+  if (count > reader.remaining() / 50) {
+    return Status::ParseError("result batch longer than its payload");
+  }
+  std::vector<WireOutcome> out;
+  out.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    WireOutcome o;
+    uint8_t valid = 0;
+    uint8_t early_exit = 0;
+    AOD_RETURN_NOT_OK(reader.GetU64(&o.slot));
+    AOD_RETURN_NOT_OK(reader.GetU8(&valid));
+    AOD_RETURN_NOT_OK(reader.GetU8(&early_exit));
+    AOD_RETURN_NOT_OK(reader.GetI64(&o.removal_size));
+    AOD_RETURN_NOT_OK(reader.GetDouble(&o.approx_factor));
+    AOD_RETURN_NOT_OK(reader.GetDouble(&o.interestingness));
+    AOD_RETURN_NOT_OK(reader.GetDouble(&o.seconds));
+    AOD_RETURN_NOT_OK(reader.GetI32Array(&o.removal_rows));
+    o.valid = valid != 0;
+    o.early_exit = early_exit != 0;
+    out.push_back(std::move(o));
+  }
+  AOD_RETURN_NOT_OK(reader.ExpectEnd());
+  return out;
+}
+
+}  // namespace shard
+}  // namespace aod

@@ -1,0 +1,173 @@
+// The versioned, checksummed wire format of the sharding subsystem.
+//
+// Everything that crosses the shard seam — partitions, candidate batches,
+// validation results — travels as a self-delimiting *frame*:
+//
+//   offset  field      width
+//   0       magic      u32   "AODW" (0x414F4457)
+//   4       version    u16   kWireVersion; decoders reject anything else
+//   6       type       u16   FrameType
+//   8       size       u64   payload byte count
+//   16      checksum   u64   FNV-1a over the payload bytes
+//   24      payload    size bytes
+//
+// All integers are little-endian and fixed width; doubles ship as their
+// IEEE-754 bit pattern, so a value survives the round trip bit-exactly —
+// the determinism contract (ARCHITECTURE.md) extends across the wire
+// only because nothing is ever re-derived through text or rounding.
+// Decoders validate magic, version, declared size and checksum before
+// touching the payload, and every payload read is bounds-checked, so a
+// truncated or corrupted buffer yields a clean ParseError, never a
+// misparse. The frame layer is transport-agnostic: ShardChannel moves
+// opaque frames, and a socket or file transport can replace the
+// in-process queue without touching any encoder or decoder.
+#ifndef AOD_SHARD_WIRE_H_
+#define AOD_SHARD_WIRE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "partition/attribute_set.h"
+#include "partition/stripped_partition.h"
+
+namespace aod {
+namespace shard {
+
+inline constexpr uint32_t kWireMagic = 0x414F4457;  // "AODW"
+inline constexpr uint16_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 24;
+
+enum class FrameType : uint16_t {
+  /// One attribute set + its stripped partition in CSR encoding; seeds a
+  /// shard's partition cache.
+  kPartitionBlock = 1,
+  /// The candidates assigned to one shard for one lattice level.
+  kCandidateBatch = 2,
+  /// The outcomes a shard completed for one candidate batch.
+  kResultBatch = 3,
+};
+
+/// FNV-1a 64 over `size` bytes — the frame checksum.
+uint64_t WireChecksum(const uint8_t* data, size_t size);
+
+/// Appends little-endian primitives to a growing payload, then seals the
+/// payload into a framed message.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { payload_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  /// IEEE-754 bit pattern; exact round trip.
+  void PutDouble(double v);
+  /// u64 count followed by the values.
+  void PutI32Array(const std::vector<int32_t>& values);
+  void PutBytes(const uint8_t* data, size_t size);
+
+  const std::vector<uint8_t>& payload() const { return payload_; }
+
+  /// Wraps the accumulated payload in a header (magic, version, `type`,
+  /// size, checksum) and returns the complete frame, leaving the writer
+  /// empty for reuse.
+  std::vector<uint8_t> SealFrame(FrameType type);
+
+ private:
+  std::vector<uint8_t> payload_;
+};
+
+/// Bounds-checked reader over a decoded frame's payload. Every getter
+/// returns ParseError instead of reading past the end.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Status GetU8(uint8_t* v);
+  Status GetU16(uint16_t* v);
+  Status GetU32(uint32_t* v);
+  Status GetU64(uint64_t* v);
+  Status GetI32(int32_t* v);
+  Status GetI64(int64_t* v);
+  Status GetDouble(double* v);
+  Status GetI32Array(std::vector<int32_t>* values);
+
+  const uint8_t* cursor() const { return data_ + pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  void Skip(size_t bytes) { pos_ += bytes; }
+  bool AtEnd() const { return pos_ == size_; }
+  /// Trailing bytes after the last expected field are a framing error.
+  Status ExpectEnd() const;
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// A validated frame: type plus a payload view into the input buffer.
+struct DecodedFrame {
+  FrameType type = FrameType::kPartitionBlock;
+  const uint8_t* payload = nullptr;
+  size_t size = 0;
+};
+
+/// Validates magic, version, declared payload size and checksum.
+/// The returned view aliases `frame`, which must outlive it.
+Result<DecodedFrame> DecodeFrame(const std::vector<uint8_t>& frame);
+
+// ---------------------------------------------------------------------------
+// Message vocabulary. One encode/decode pair per FrameType; decoders
+// reject type mismatches and any structural violation.
+
+/// One candidate assigned to a shard. `slot` is the candidate's index in
+/// the coordinator's flattened per-level array — results are keyed by it,
+/// so shards can reply in any order and with any subset (deadline).
+struct WireCandidate {
+  uint64_t slot = 0;
+  uint64_t context_bits = 0;
+  bool is_ofd = false;
+  int32_t ofd_target = -1;
+  int32_t pair_a = -1;
+  int32_t pair_b = -1;
+  bool opposite = false;
+};
+
+/// One completed validation, shipped back to the coordinator. Doubles
+/// carry exact bit patterns; `removal_rows` is empty unless the run
+/// collects removal sets.
+struct WireOutcome {
+  uint64_t slot = 0;
+  bool valid = false;
+  bool early_exit = false;
+  int64_t removal_size = 0;
+  double approx_factor = 0.0;
+  double interestingness = 0.0;
+  /// Validation CPU seconds (merged into summed-CPU stats; exempt from
+  /// the determinism contract like every timing field).
+  double seconds = 0.0;
+  std::vector<int32_t> removal_rows;
+};
+
+std::vector<uint8_t> EncodePartitionBlock(AttributeSet set,
+                                          const StrippedPartition& partition);
+/// `num_rows` bounds the decoded row ids; the partition is additionally
+/// validated for canonical form (see StrippedPartition::Deserialize).
+Result<std::pair<AttributeSet, StrippedPartition>> DecodePartitionBlock(
+    const DecodedFrame& frame, int64_t num_rows);
+
+std::vector<uint8_t> EncodeCandidateBatch(
+    const std::vector<WireCandidate>& candidates);
+Result<std::vector<WireCandidate>> DecodeCandidateBatch(
+    const DecodedFrame& frame);
+
+std::vector<uint8_t> EncodeResultBatch(
+    const std::vector<WireOutcome>& outcomes);
+Result<std::vector<WireOutcome>> DecodeResultBatch(const DecodedFrame& frame);
+
+}  // namespace shard
+}  // namespace aod
+
+#endif  // AOD_SHARD_WIRE_H_

@@ -261,6 +261,53 @@ TEST(CsvTest, RaggedRowRejected) {
   EXPECT_EQ(r.status().code(), StatusCode::kParseError);
 }
 
+TEST(CsvTest, TooManyColumnsRejected) {
+  auto r = ParseCsv("a,b\n1,2,3\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  // The complaint names the offending width, not a truncated parse.
+  EXPECT_NE(r.status().message().find("3 fields"), std::string::npos);
+}
+
+TEST(CsvTest, QuotedCrlfPreservedVerbatim) {
+  // A quoted field may span a CRLF line break; the field keeps both
+  // bytes (RFC 4180) and the record structure is unaffected.
+  auto t = ParseCsv("a,b\r\n\"x\r\ny\",2\r\n").value();
+  ASSERT_EQ(t.num_rows(), 1);
+  EXPECT_EQ(t.GetValue(0, 0), Value("x\r\ny"));
+  EXPECT_EQ(t.GetValue(0, 1), Value(int64_t{2}));
+}
+
+TEST(CsvTest, FinalRowWithoutTrailingNewline) {
+  auto t = ParseCsv("a,b\n1,2\n3,4").value();
+  ASSERT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.GetValue(1, 1), Value(int64_t{4}));
+  // Also with the final field quoted.
+  auto q = ParseCsv("a\n\"z\"").value();
+  ASSERT_EQ(q.num_rows(), 1);
+  EXPECT_EQ(q.GetValue(0, 0), Value("z"));
+}
+
+TEST(CsvTest, LoneCarriageReturnTerminatesRecord) {
+  // Classic-Mac line endings: 'a,b\r1,2' is two records, never the
+  // silently glued "a,b1,2" the old tokenizer produced.
+  auto t = ParseCsv("a,b\r1,2\r3,4");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 2);
+  EXPECT_EQ(t->GetValue(0, 0), Value(int64_t{1}));
+  EXPECT_EQ(t->GetValue(1, 1), Value(int64_t{4}));
+}
+
+TEST(CsvTest, JunkAfterClosingQuoteRejected) {
+  auto r = ParseCsv("a,b\n\"x\"y,2\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("closing quote"), std::string::npos);
+  // A closing quote followed by delimiter or record end stays fine.
+  EXPECT_TRUE(ParseCsv("a,b\n\"x\",2\n").ok());
+  EXPECT_TRUE(ParseCsv("a,b\n2,\"x\"\r\n").ok());
+}
+
 TEST(CsvTest, UnterminatedQuoteRejected) {
   auto r = ParseCsv("a\n\"oops\n");
   ASSERT_FALSE(r.ok());

@@ -84,6 +84,29 @@ TEST(ThreadPoolTest, NestedForkJoinDoesNotDeadlock) {
   EXPECT_EQ(leaves.load(), 64);
 }
 
+TEST(ThreadPoolTest, StartSubmitStopLoopNeverStrandsATask) {
+  // Tight create/submit/destroy cycles aimed at the shutdown protocol:
+  // the destructor's stop races tasks that are still *resubmitting* new
+  // work from inside the pool. Every task — including the resubmitted
+  // generation — must run before join returns; a stranded worker (lost
+  // wakeup) hangs the loop, a dropped task fails the count.
+  for (int iter = 0; iter < 200; ++iter) {
+    std::atomic<int> runs{0};
+    {
+      exec::ThreadPool pool(3);
+      for (int i = 0; i < 16; ++i) {
+        pool.Submit([&runs, &pool] {
+          runs.fetch_add(1);
+          pool.Submit([&runs] { runs.fetch_add(1); });
+        });
+      }
+      // Destructor entered immediately: stop_ is set while first-
+      // generation tasks are mid-flight and still submitting.
+    }
+    ASSERT_EQ(runs.load(), 32) << "iteration " << iter;
+  }
+}
+
 TEST(TaskGroupTest, NullPoolRunsInline) {
   exec::TaskGroup group(nullptr);
   int runs = 0;

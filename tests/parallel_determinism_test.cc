@@ -249,6 +249,107 @@ TEST(ParallelDeterminismTest, BudgetedRunMemoryStatsAreConsistent) {
             unlimited.stats.partition_bytes_final);
 }
 
+TEST(ParallelDeterminismTest, ShardedDiscoveryMatchesUnshardedBitExactly) {
+  // The sharding tentpole's acceptance gate: num_shards ∈ {1,2,4,8} ×
+  // thread counts {1,4,hw} — dependency output bit-identical to the
+  // unsharded run, merge-side counters untouched by the wire crossing,
+  // and the full fingerprint thread-count invariant within each shard
+  // count (partition-side counters legitimately differ *between* shard
+  // counts: derivation happens shard-locally).
+  Table t = GenerateNcVoterTable(500, 7, 11);
+  EncodedTable enc = EncodeTable(t);
+  DiscoveryOptions options;
+  options.epsilon = 0.1;
+  options.collect_removal_sets = true;
+  options.num_threads = 1;
+  DiscoveryResult unsharded = DiscoverOds(enc, options);
+  const std::string expected_output = OutputFingerprint(unsharded);
+
+  for (int shards : {1, 2, 4, 8}) {
+    SCOPED_TRACE("num_shards=" + std::to_string(shards));
+    options.num_shards = shards;
+    options.num_threads = 1;
+    DiscoveryResult base = DiscoverOds(enc, options);
+    EXPECT_EQ(base.stats.shards_used, shards);
+    EXPECT_EQ(OutputFingerprint(base), expected_output);
+    EXPECT_EQ(base.stats.oc_candidates_validated,
+              unsharded.stats.oc_candidates_validated);
+    EXPECT_EQ(base.stats.ofd_candidates_validated,
+              unsharded.stats.ofd_candidates_validated);
+    EXPECT_EQ(base.stats.oc_candidates_pruned,
+              unsharded.stats.oc_candidates_pruned);
+    EXPECT_EQ(base.stats.nodes_processed, unsharded.stats.nodes_processed);
+    EXPECT_EQ(base.stats.levels_processed, unsharded.stats.levels_processed);
+    EXPECT_GT(base.stats.shard_bytes_shipped, 0);
+    ASSERT_EQ(base.stats.shard_bytes_per_shard.size(),
+              static_cast<size_t>(shards));
+
+    const std::string full = Fingerprint(base);
+    const int64_t bytes_shipped = base.stats.shard_bytes_shipped;
+    options.num_threads = 4;
+    DiscoveryResult four = DiscoverOds(enc, options);
+    EXPECT_EQ(Fingerprint(four), full);
+    EXPECT_EQ(four.stats.shard_bytes_shipped, bytes_shipped);
+    options.num_threads = 0;  // hardware concurrency
+    DiscoveryResult hw = DiscoverOds(enc, options);
+    EXPECT_EQ(Fingerprint(hw), full);
+    EXPECT_EQ(hw.stats.shard_bytes_shipped, bytes_shipped);
+  }
+}
+
+TEST(ParallelDeterminismTest, ShardedMatchesAcrossValidatorsAndPolarity) {
+  Table t = GenerateFlightTable(400, 6, 5);
+  EncodedTable enc = EncodeTable(t);
+  for (ValidatorKind validator : {ValidatorKind::kExact,
+                                  ValidatorKind::kIterative,
+                                  ValidatorKind::kOptimal}) {
+    DiscoveryOptions options;
+    options.validator = validator;
+    options.epsilon = 0.1;
+    options.bidirectional = true;
+    options.collect_removal_sets = true;
+    options.num_threads = 2;
+    const std::string expected =
+        OutputFingerprint(DiscoverOds(enc, options));
+    options.num_shards = 4;
+    EXPECT_EQ(OutputFingerprint(DiscoverOds(enc, options)), expected)
+        << ValidatorKindToString(validator);
+  }
+}
+
+TEST(ParallelDeterminismTest, ShardedSamplingFilterMatchesUnsharded) {
+  // Each shard runner instantiates its own sampler from the same seeded
+  // config, so even heuristic fast-rejections are shard-count invariant.
+  Table t = GenerateFlightTable(600, 7, 31);
+  EncodedTable enc = EncodeTable(t);
+  DiscoveryOptions options;
+  options.epsilon = 0.1;
+  options.enable_sampling_filter = true;
+  options.sampler_config.sample_size = 128;
+  options.num_threads = 1;
+  const std::string expected = OutputFingerprint(DiscoverOds(enc, options));
+  options.num_shards = 4;
+  options.num_threads = 4;
+  EXPECT_EQ(OutputFingerprint(DiscoverOds(enc, options)), expected);
+}
+
+TEST(ParallelDeterminismTest, ShardedBudgetForcesEvictionWithoutOutputDrift) {
+  // A tiny per-shard budget forces re-derivation after every batch; the
+  // output must not move and the eviction stats must show it happened.
+  Table t = GenerateNcVoterTable(400, 7, 23);
+  EncodedTable enc = EncodeTable(t);
+  DiscoveryOptions options;
+  options.epsilon = 0.1;
+  options.num_threads = 2;
+  const std::string expected = OutputFingerprint(DiscoverOds(enc, options));
+  options.num_shards = 2;
+  options.partition_memory_budget_bytes = 1;
+  DiscoveryResult budgeted = DiscoverOds(enc, options);
+  EXPECT_EQ(OutputFingerprint(budgeted), expected);
+  EXPECT_GT(budgeted.stats.partitions_evicted, 0);
+  EXPECT_GT(budgeted.stats.partition_bytes_evicted, 0);
+}
+
 TEST(ParallelDeterminismTest, BudgetExpiryStillFlagsTimeoutInParallel) {
   // Deadline checks now sit between candidate validations; a parallel
   // run must notice an expired budget and report a (possibly empty)
@@ -262,6 +363,67 @@ TEST(ParallelDeterminismTest, BudgetExpiryStillFlagsTimeoutInParallel) {
   options.num_threads = 4;
   DiscoveryResult result = DiscoverOds(enc, options);
   EXPECT_TRUE(result.timed_out);
+}
+
+/// Invariants tying post-deadline stats to the reported (partial) result
+/// set — what "coherent" means for a timed-out run.
+void ExpectDeadlineCoherentStats(const DiscoveryResult& result) {
+  const DiscoveryStats& s = result.stats;
+  int64_t nodes = 0;
+  for (int64_t v : s.nodes_per_level) nodes += v;
+  EXPECT_EQ(s.nodes_processed, nodes);
+  EXPECT_EQ(s.TotalOcs(), static_cast<int64_t>(result.ocs.size()));
+  EXPECT_EQ(s.TotalOfds(), static_cast<int64_t>(result.ofds.size()));
+  EXPECT_LE(static_cast<int>(s.nodes_per_level.size()),
+            s.levels_processed + 1);
+  for (const DiscoveredOc& d : result.ocs) {
+    EXPECT_LE(d.level, s.levels_processed);
+  }
+  for (const DiscoveredOfd& d : result.ofds) {
+    EXPECT_LE(d.level, s.levels_processed);
+  }
+  // Counted candidates all belong to merged nodes, so the dependency
+  // lists can never outnumber them.
+  EXPECT_GE(s.oc_candidates_validated,
+            static_cast<int64_t>(result.ocs.size()));
+  EXPECT_GE(s.ofd_candidates_validated,
+            static_cast<int64_t>(result.ofds.size()));
+}
+
+TEST(ParallelDeterminismTest, DeadlineStatsStayCoherentWithPartialResults) {
+  // Regression for the deadline_hit path: stats used to count a level's
+  // nodes at level *entry*, so a deadline inside the level reported
+  // nodes (and a level) the result set never contained.
+  Table t = GenerateFlightTable(4000, 10, 3);
+  EncodedTable enc = EncodeTable(t);
+  DiscoveryOptions options;
+  options.validator = ValidatorKind::kIterative;
+  options.epsilon = 0.1;
+
+  // A budget smaller than any clock resolution expires before the first
+  // planning chunk: the run must report *zero* of everything, not the
+  // first level's node count.
+  options.time_budget_seconds = 1e-9;
+  for (int threads : {1, 4}) {
+    options.num_threads = threads;
+    DiscoveryResult result = DiscoverOds(enc, options);
+    EXPECT_TRUE(result.timed_out);
+    EXPECT_EQ(result.stats.nodes_processed, 0);
+    EXPECT_EQ(result.stats.levels_processed, 0);
+    EXPECT_EQ(result.stats.oc_candidates_validated, 0);
+    EXPECT_EQ(result.stats.ofd_candidates_validated, 0);
+    EXPECT_TRUE(result.ocs.empty());
+    EXPECT_TRUE(result.ofds.empty());
+    ExpectDeadlineCoherentStats(result);
+  }
+
+  // A budget that lands mid-traversal: wherever the deadline hits, the
+  // totals must describe exactly the merged prefix.
+  options.time_budget_seconds = 0.02;
+  for (int threads : {1, 4}) {
+    options.num_threads = threads;
+    ExpectDeadlineCoherentStats(DiscoverOds(enc, options));
+  }
 }
 
 }  // namespace
