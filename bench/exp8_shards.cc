@@ -11,10 +11,13 @@
 // and cross-checks the determinism contract (identical dependency counts
 // at every shard count).
 //
-// The in-process transport makes the wire overhead — serialization,
-// checksumming, per-batch framing — directly observable without network
-// noise: the gap between the unsharded and 1-shard lines is exactly the
-// price of the seam. With --json <path> the series is written as
+// Each shard count runs over two transports: the in-process queue makes
+// the wire overhead — serialization, checksumming, per-batch framing —
+// directly observable without network noise (the gap between the
+// unsharded and 1-shard inproc lines is exactly the price of the seam),
+// and the localhost TCP socket adds the kernel byte-stream on top (the
+// inproc-vs-socket gap is the price of going off-box before any real
+// network latency). With --json <path> the series is written as
 // machine-readable JSON (CI uploads it as BENCH_exp8.json).
 #include <cstdio>
 #include <string>
@@ -31,9 +34,12 @@ namespace bench {
 namespace {
 
 constexpr int kShardCounts[] = {0, 1, 2, 4, 8};  // 0 = unsharded baseline
+constexpr ShardTransport kTransports[] = {ShardTransport::kInProcess,
+                                          ShardTransport::kSocket};
 
 struct ShardPoint {
   int shards = 0;
+  ShardTransport transport = ShardTransport::kInProcess;
   RunResult run;
   int64_t bytes_shipped = 0;
 };
@@ -56,43 +62,53 @@ DatasetSeries RunDataset(const char* name, bool flight, int64_t base_rows,
                    : GenerateNcVoterTable(series.rows, 10, 1729);
   EncodedTable enc = EncodeTable(t);
 
-  std::printf("%10s %12s %9s %8s %8s %14s %12s\n", "shards", "wall(s)",
-              "vs base", "#AOC", "#AOFD", "wire(MiB)", "merge.wall");
+  std::printf("%16s %12s %9s %8s %8s %14s %12s\n", "shards/transport",
+              "wall(s)", "vs base", "#AOC", "#AOFD", "wire(MiB)",
+              "merge.wall");
   double baseline = 0.0;
   int64_t baseline_ocs = -1;
   int64_t baseline_ofds = -1;
   for (int shards : kShardCounts) {
-    DiscoveryOptions options;
-    options.validator = ValidatorKind::kOptimal;
-    options.epsilon = 0.10;
-    options.pool = pool;
-    options.num_shards = shards;
-    ShardPoint point;
-    point.shards = shards;
-    point.run = RunDiscoveryWithOptions(enc, options);
-    point.bytes_shipped = point.run.full.stats.shard_bytes_shipped;
-    if (shards == 0) {
-      baseline = point.run.seconds;
-      baseline_ocs = point.run.ocs;
-      baseline_ofds = point.run.ofds;
+    for (ShardTransport transport : kTransports) {
+      if (shards == 0 && transport != ShardTransport::kInProcess) {
+        continue;  // the unsharded baseline has no transport dimension
+      }
+      DiscoveryOptions options;
+      options.validator = ValidatorKind::kOptimal;
+      options.epsilon = 0.10;
+      options.pool = pool;
+      options.num_shards = shards;
+      options.shard_transport = transport;
+      ShardPoint point;
+      point.shards = shards;
+      point.transport = transport;
+      point.run = RunDiscoveryWithOptions(enc, options);
+      point.bytes_shipped = point.run.full.stats.shard_bytes_shipped;
+      if (shards == 0) {
+        baseline = point.run.seconds;
+        baseline_ocs = point.run.ocs;
+        baseline_ofds = point.run.ofds;
+      }
+      const bool deterministic = point.run.ocs == baseline_ocs &&
+                                 point.run.ofds == baseline_ofds &&
+                                 point.run.full.shard_status.ok();
+      char label[24];
+      if (shards == 0) {
+        std::snprintf(label, sizeof(label), "unsharded");
+      } else {
+        std::snprintf(label, sizeof(label), "%d/%s", shards,
+                      ShardTransportToString(transport));
+      }
+      std::printf("%16s %12.3f %8.2fx %8lld %8lld %14.2f %12.3f%s\n", label,
+                  point.run.seconds,
+                  point.run.seconds > 0 ? baseline / point.run.seconds : 0.0,
+                  static_cast<long long>(point.run.ocs),
+                  static_cast<long long>(point.run.ofds),
+                  static_cast<double>(point.bytes_shipped) / (1 << 20),
+                  point.run.full.stats.merge_wall_seconds,
+                  deterministic ? "" : "  <-- DETERMINISM VIOLATION");
+      series.points.push_back(std::move(point));
     }
-    const bool deterministic = point.run.ocs == baseline_ocs &&
-                               point.run.ofds == baseline_ofds;
-    char label[24];
-    if (shards == 0) {
-      std::snprintf(label, sizeof(label), "unsharded");
-    } else {
-      std::snprintf(label, sizeof(label), "%d", shards);
-    }
-    std::printf("%10s %12.3f %8.2fx %8lld %8lld %14.2f %12.3f%s\n", label,
-                point.run.seconds,
-                point.run.seconds > 0 ? baseline / point.run.seconds : 0.0,
-                static_cast<long long>(point.run.ocs),
-                static_cast<long long>(point.run.ofds),
-                static_cast<double>(point.bytes_shipped) / (1 << 20),
-                point.run.full.stats.merge_wall_seconds,
-                deterministic ? "" : "  <-- DETERMINISM VIOLATION");
-    series.points.push_back(std::move(point));
   }
   return series;
 }
@@ -116,10 +132,12 @@ int WriteJson(const char* path, const std::vector<DatasetSeries>& all,
       const ShardPoint& p = series.points[i];
       std::fprintf(
           f,
-          "      {\"shards\": %d, \"seconds\": %.6f, \"ocs\": %lld, "
+          "      {\"shards\": %d, \"transport\": \"%s\", "
+          "\"seconds\": %.6f, \"ocs\": %lld, "
           "\"ofds\": %lld, \"bytes_shipped\": %lld, "
           "\"merge_wall_seconds\": %.6f}%s\n",
-          p.shards, p.run.seconds, static_cast<long long>(p.run.ocs),
+          p.shards, ShardTransportToString(p.transport), p.run.seconds,
+          static_cast<long long>(p.run.ocs),
           static_cast<long long>(p.run.ofds),
           static_cast<long long>(p.bytes_shipped),
           p.run.full.stats.merge_wall_seconds,
@@ -145,8 +163,10 @@ int main(int argc, char** argv) {
   std::printf("scale=%.2f (default: 100K rows), hw=%d hardware threads\n",
               Scale(), threads);
   PrintNote("all shard counts run on one shared pool; counts must match the"
-            " unsharded baseline at every shard count (determinism"
-            " contract). wire(MiB) is total frame bytes both directions.");
+            " unsharded baseline at every shard count and transport"
+            " (determinism contract). wire(MiB) is total frame bytes both"
+            " directions; the inproc-vs-socket gap is the byte-stream cost"
+            " of going off-box.");
 
   aod::exec::ThreadPool pool(threads);
   std::vector<DatasetSeries> all;

@@ -21,6 +21,11 @@
 //                           runners; partitions and results cross the
 //                           shard seam in the checksummed CSR wire
 //                           format (identical output; 0 = unsharded)
+//     --shard-transport=T   inproc | socket | process: how the shard
+//                           seam moves bytes (identical output; process
+//                           spawns shard_runner_main per shard)
+//     --shard-runner=PATH   shard_runner_main binary for the process
+//                           transport (default: $AOD_SHARD_RUNNER)
 //     --ods                 compose and print ODs from the OC/OFD parts
 //     --json=out.json       write the result as JSON
 //     --csv=out.csv         write the result as flat CSV
@@ -62,6 +67,8 @@ struct Args {
   bool planner = true;
   int64_t memory_budget_mb = 0;
   int shards = 0;
+  ShardTransport shard_transport = ShardTransport::kInProcess;
+  std::string shard_runner;
   bool assemble_ods = false;
   std::string json_path;
   std::string csv_path;
@@ -96,6 +103,17 @@ Args ParseArgs(int argc, char** argv) {
       args.memory_budget_mb = std::atoll(v);
     } else if (const char* v = value_of("--shards=")) {
       args.shards = std::atoi(v);
+    } else if (const char* v = value_of("--shard-transport=")) {
+      std::string kind = v;
+      if (kind == "inproc") args.shard_transport = ShardTransport::kInProcess;
+      else if (kind == "socket") args.shard_transport = ShardTransport::kSocket;
+      else if (kind == "process") {
+        args.shard_transport = ShardTransport::kProcess;
+      } else {
+        args.ok = false;
+      }
+    } else if (const char* v = value_of("--shard-runner=")) {
+      args.shard_runner = v;
     } else if (arg == "--ods") {
       args.assemble_ods = true;
     } else if (const char* v = value_of("--json=")) {
@@ -144,7 +162,14 @@ int main(int argc, char** argv) {
   options.enable_derivation_planner = args.planner;
   options.partition_memory_budget_bytes = args.memory_budget_mb << 20;
   options.num_shards = args.shards;
+  options.shard_transport = args.shard_transport;
+  options.shard_runner_path = args.shard_runner;
   DiscoveryResult result = DiscoverOds(enc, options);
+  if (!result.shard_status.ok()) {
+    std::fprintf(stderr, "shard transport error: %s\n",
+                 result.shard_status.ToString().c_str());
+    return 1;
+  }
   result.SortByInterestingness();
 
   std::printf("approximate order dependencies (%s, eps = %.0f%%):\n%s",

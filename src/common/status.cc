@@ -18,6 +18,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kClosed:
+      return "Closed";
   }
   return "Unknown";
 }

@@ -22,6 +22,10 @@ enum class StatusCode {
   kNotFound,
   kOutOfRange,
   kInternal,
+  /// A channel/stream was closed cleanly by its peer: the orderly end of
+  /// a conversation, distinct from kIoError (the transport broke).
+  /// Receivers blocked on a ShardChannel wake with this code on Close.
+  kClosed,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -56,6 +60,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Closed(std::string msg) {
+    return Status(StatusCode::kClosed, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

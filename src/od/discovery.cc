@@ -108,10 +108,12 @@ struct Driver {
   /// next level's merge start.
   std::vector<AttributeSet> pending_costs;
   /// Sharded validation (options.num_shards >= 1): candidate batches go
-  /// out and results come back over the CSR wire format; the driver's
-  /// own cache, sampler and prefetch pipeline sit idle — partitions live
-  /// shard-side. Null in unsharded runs.
+  /// out and results come back over the CSR wire format via the selected
+  /// transport; the driver's own cache, sampler and prefetch pipeline
+  /// sit idle — partitions live shard-side. Null in unsharded runs and
+  /// when coordinator setup failed (coordinator_status says why).
   std::unique_ptr<shard::ShardCoordinator> coordinator;
+  Status coordinator_status;
 
   /// Validator scratch is pooled like PartitionScratch: a worker borrows
   /// one instance per validation task, so steady-state validation does no
@@ -163,8 +165,19 @@ struct Driver {
       ropts.sampler_config = options.sampler_config;
       ropts.partition_memory_budget_bytes =
           options.partition_memory_budget_bytes;
-      coordinator = std::make_unique<shard::ShardCoordinator>(
-          &table, options.num_shards, ropts, pool);
+      shard::ShardTransportOptions topts;
+      topts.transport = options.shard_transport;
+      topts.runner_path = options.shard_runner_path;
+      topts.io_timeout_seconds = options.shard_io_timeout_seconds;
+      topts.channel_decorator = options.shard_channel_decorator;
+      Result<std::unique_ptr<shard::ShardCoordinator>> created =
+          shard::ShardCoordinator::Create(&table, options.num_shards, ropts,
+                                          topts, pool);
+      if (created.ok()) {
+        coordinator = std::move(created).value();
+      } else {
+        coordinator_status = created.status();
+      }
       result.stats.shards_used = options.num_shards;
     }
   }
@@ -395,6 +408,14 @@ struct Driver {
   }
 
   void Run() {
+    if (options.num_shards >= 1 && coordinator == nullptr) {
+      // Coordinator setup failed (bad runner path, spawn or connect
+      // error): a typed result, not a crash — nothing ran, so the empty
+      // result is the complete merge of zero levels.
+      result.shard_status = coordinator_status;
+      result.stats.total_seconds = total_clock.ElapsedSeconds();
+      return;
+    }
     const int k = table.num_columns();
 
     // Virtual level 0: the empty set with C_c+(∅) = R.
@@ -490,12 +511,35 @@ struct Driver {
         std::vector<shard::WireOutcome> completed;
         Status st = coordinator->ValidateBatch(
             wire, [this] { return OverBudget(); }, &completed);
-        // In-process channels cannot fail mid-run; a transport error here
-        // means a framing bug, not a data condition.
-        AOD_CHECK_MSG(st.ok(), "sharded validation failed: %s",
-                      st.ToString().c_str());
+        if (!st.ok()) {
+          // A transport fault (runner died, corrupted frame, timeout)
+          // aborts the run with a typed status. The failed level is not
+          // merged at all — ValidateBatch delivered no outcomes — so the
+          // reported lists are the complete merge of the finished
+          // prefix, never a partially merged level.
+          result.shard_status = std::move(st);
+          result.stats.validation_wall_seconds += phase_clock.ElapsedSeconds();
+          break;
+        }
+        // Slots come from (possibly separate-process) runners, so they
+        // cross a trust boundary: a skewed or misbehaving runner must
+        // yield a typed abort, not a CHECK crash.
+        bool slots_ok = true;
+        for (const shard::WireOutcome& o : completed) {
+          if (o.slot >= outcomes.size()) {
+            result.shard_status = Status::InvalidArgument(
+                "shard result slot " + std::to_string(o.slot) +
+                " outside the level's " + std::to_string(outcomes.size()) +
+                " candidates");
+            slots_ok = false;
+            break;
+          }
+        }
+        if (!slots_ok) {
+          result.stats.validation_wall_seconds += phase_clock.ElapsedSeconds();
+          break;
+        }
         for (shard::WireOutcome& o : completed) {
-          AOD_CHECK(o.slot < outcomes.size());
           CandidateOutcome& out = outcomes[static_cast<size_t>(o.slot)];
           out.outcome.valid = o.valid;
           out.outcome.early_exit = o.early_exit;
@@ -602,11 +646,10 @@ struct Driver {
       // the next level and the peak sample is merely a racy lower bound
       // (the end-of-run sample is exact).
       if (coordinator != nullptr) {
-        // Shard caches enforce their own budgets batch by batch; the
-        // boundary sample here is their summed residency.
-        result.stats.partition_bytes_peak =
-            std::max(result.stats.partition_bytes_peak,
-                     coordinator->bytes_resident());
+        // Shard caches enforce their own budgets batch by batch and
+        // sample their own residency peaks; both fold in from the stats
+        // footers at Finish — the coordinator has no object access to a
+        // remote cache, so there is nothing to sample here.
       } else if (options.partition_memory_budget_bytes > 0) {
         phase_clock.Restart();
         prefetch_group->Wait();
@@ -634,8 +677,14 @@ struct Driver {
         static_cast<double>(partition_nanos.load(std::memory_order_relaxed)) /
         1e9;
     if (coordinator != nullptr) {
-      // Partition work happened inside the shard runners; the planner
+      // The shutdown handshake: every shard answers with its stats
+      // footer, the single mechanism partition-side counters cross the
+      // seam by — in-process and remote runners alike. The planner
       // counters stay 0 (shards derive by the fixed rule).
+      Status finish = coordinator->Finish();
+      if (result.shard_status.ok() && !finish.ok()) {
+        result.shard_status = std::move(finish);
+      }
       result.stats.partition_seconds = coordinator->partition_seconds();
       result.stats.partitions_computed = coordinator->products_computed();
       result.stats.partitions_evicted = coordinator->partitions_evicted();
@@ -643,8 +692,8 @@ struct Driver {
           coordinator->partition_bytes_evicted();
       result.stats.partition_bytes_peak =
           std::max(result.stats.partition_bytes_peak,
-                   coordinator->bytes_resident());
-      result.stats.partition_bytes_final = coordinator->bytes_resident();
+                   coordinator->partition_bytes_peak());
+      result.stats.partition_bytes_final = coordinator->partition_bytes_final();
       result.stats.shard_bytes_shipped = coordinator->bytes_shipped_total();
       result.stats.shard_bytes_per_shard.resize(
           static_cast<size_t>(coordinator->num_shards()));
@@ -676,6 +725,18 @@ const char* ValidatorKindToString(ValidatorKind kind) {
       return "AOD (iterative)";
     case ValidatorKind::kOptimal:
       return "AOD (optimal)";
+  }
+  return "?";
+}
+
+const char* ShardTransportToString(ShardTransport transport) {
+  switch (transport) {
+    case ShardTransport::kInProcess:
+      return "inproc";
+    case ShardTransport::kSocket:
+      return "socket";
+    case ShardTransport::kProcess:
+      return "process";
   }
   return "?";
 }

@@ -12,9 +12,12 @@
 #define AOD_OD_DISCOVERY_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "data/encoder.h"
 #include "od/canonical_od.h"
 #include "od/discovery_stats.h"
@@ -25,6 +28,10 @@ namespace aod {
 namespace exec {
 class ThreadPool;
 }  // namespace exec
+
+namespace shard {
+class ShardChannel;
+}  // namespace shard
 
 /// Which validation algorithm drives the search.
 enum class ValidatorKind {
@@ -40,6 +47,24 @@ enum class ValidatorKind {
 };
 
 const char* ValidatorKindToString(ValidatorKind kind);
+
+/// How candidate batches reach the shard runners when num_shards >= 1
+/// (src/shard/, "Shard transports" in ARCHITECTURE.md). Discovery output
+/// is bit-identical across all three — the transport moves bytes, the
+/// frames carry exact bit patterns, and the merge is key-ordered.
+enum class ShardTransport {
+  /// Mutex/cv frame queues; runners on the shared pool (the default).
+  kInProcess = 0,
+  /// Localhost TCP between the coordinator and in-process runners: the
+  /// full byte-transport path (length framing, partial reads) without
+  /// process-spawn overhead.
+  kSocket = 1,
+  /// One spawned shard_runner_main process per shard over localhost TCP;
+  /// the config, rank-encoded table and base partitions ship at startup.
+  kProcess = 2,
+};
+
+const char* ShardTransportToString(ShardTransport transport);
 
 struct DiscoveryOptions {
   /// Approximation threshold in [0, 1] (the paper's default is 0.10).
@@ -104,6 +129,24 @@ struct DiscoveryOptions {
   /// reflect shard-local derivation and legitimately differ from the
   /// unsharded schedule (see ARCHITECTURE.md, "Sharded discovery").
   int num_shards = 0;
+  /// Transport the shard seam runs over (only consulted when
+  /// num_shards >= 1). Output is bit-identical across transports; with
+  /// kProcess the time budget is only enforced between levels (remote
+  /// runners validate their batch to completion) and a transport
+  /// failure aborts the run with DiscoveryResult::shard_status set
+  /// instead of crashing.
+  ShardTransport shard_transport = ShardTransport::kInProcess;
+  /// shard_runner_main binary for ShardTransport::kProcess; empty falls
+  /// back to the AOD_SHARD_RUNNER environment variable.
+  std::string shard_runner_path;
+  /// Bound on every shard-seam connect/accept/receive, so a dead runner
+  /// surfaces as a typed error instead of a hang.
+  double shard_io_timeout_seconds = 300.0;
+  /// Test seam: wraps every coordinator-side shard channel (e.g. in the
+  /// fault-injecting FlakyChannel decorator). Identity when empty.
+  std::function<std::unique_ptr<shard::ShardChannel>(
+      std::unique_ptr<shard::ShardChannel>)>
+      shard_channel_decorator;
 };
 
 /// A discovered (approximately) valid canonical OC.
@@ -136,6 +179,11 @@ struct DiscoveryResult {
   /// True when the time budget expired; results are a valid prefix of the
   /// traversal but incomplete.
   bool timed_out = false;
+  /// OK unless a shard-transport failure (runner died, frame corrupted,
+  /// receive timed out, spawn failed) aborted the run. On failure the
+  /// dependency lists are the complete merge of every level finished
+  /// before the fault — never a partially merged level.
+  Status shard_status;
 
   /// Sorts both dependency lists by descending interestingness
   /// (ties: lower level first, then set order) — the ranking step of the

@@ -3,18 +3,40 @@
 //
 // A ShardChannel moves opaque, already-framed byte vectors (see wire.h)
 // in one direction; a coordinator/runner pair uses two — an inbox and an
-// outbox. The interface is deliberately minimal (send, blocking receive,
-// close) so that the in-process queue used today can be swapped for a
-// socket or file transport without touching the coordinator, the runner,
-// or any encoder: everything protocol-level lives in the frames
-// themselves (versioning, typing, checksums).
+// outbox — or one full-duplex stream endpoint serving as both. The
+// interface is deliberately minimal (send, blocking receive, close) so
+// that the in-process queue, the localhost TCP socket and the spool-
+// directory file transport are interchangeable without touching the
+// coordinator, the runner, or any encoder: everything protocol-level
+// lives in the frames themselves (versioning, typing, checksums).
+//
+// Shutdown contract (all implementations):
+//   - Close() stops further sends; frames already accepted remain
+//     receivable ("drain" semantics).
+//   - Receive() on a closed-and-drained channel returns StatusCode::
+//     kClosed — the receiver's orderly end-of-conversation signal,
+//     distinct from kIoError (transport broke) and kParseError (byte
+//     stream violated the frame format).
+//   - A receiver *blocked* in Receive() when Close() happens wakes up
+//     and returns kClosed; Close never strands a blocked receiver
+//     (tests/shard_channel_conformance_test pins this for every
+//     implementation).
+//   - Send() after Close() returns kClosed.
+//
+// Every implementation enforces ChannelOptions::max_frame_bytes, so a
+// corrupted or hostile length header is rejected with a typed error
+// before any allocation, and honors receive_timeout_seconds, so a
+// receiver never hangs on a peer that died silently.
 #ifndef AOD_SHARD_CHANNEL_H_
 #define AOD_SHARD_CHANNEL_H_
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/macros.h"
@@ -23,43 +45,202 @@
 namespace aod {
 namespace shard {
 
+/// Receiver-side protection limits, shared by every transport.
+struct ChannelOptions {
+  /// Frames whose total size (header + payload) exceeds this are
+  /// rejected with kParseError before the payload is read or allocated
+  /// (on the in-process queue, oversized frames are rejected at Send —
+  /// the frame already exists as a vector there, so the send side is
+  /// the earliest point of refusal).
+  int64_t max_frame_bytes = 1LL << 30;
+  /// Receive() fails with kIoError once this much time passes without a
+  /// complete frame arriving. 0 = wait forever (the in-process default;
+  /// byte transports should always set a bound).
+  double receive_timeout_seconds = 0.0;
+};
+
 class ShardChannel {
  public:
   virtual ~ShardChannel() = default;
 
-  /// Enqueues one frame. Fails (IoError) once the channel is closed.
+  /// Enqueues one frame. Fails with kClosed once the channel is closed.
   virtual Status Send(std::vector<uint8_t> frame) = 0;
 
   /// Blocks until a frame is available and returns it. Once the channel
-  /// is closed and drained, returns IoError — the receiver's shutdown
-  /// signal.
+  /// is closed and drained, returns kClosed — the receiver's shutdown
+  /// signal (see the contract above).
   virtual Result<std::vector<uint8_t>> Receive() = 0;
 
-  /// Stops further sends; queued frames remain receivable.
+  /// Stops further sends; queued frames remain receivable. Wakes any
+  /// receiver blocked in Receive().
   virtual void Close() = 0;
 
   /// Total payload+header bytes accepted by Send — the shipping-volume
   /// stat surfaced per shard in DiscoveryStats.
   virtual int64_t bytes_sent() const = 0;
+
+  /// Total frame bytes returned by Receive. On a full-duplex endpoint
+  /// bytes_sent + bytes_received is the link's total traffic as seen
+  /// from this side.
+  virtual int64_t bytes_received() const = 0;
 };
 
 /// The in-process transport: a mutex + condition-variable frame queue.
 /// Any number of senders and receivers; frames arrive in send order.
 class InProcessChannel final : public ShardChannel {
  public:
-  InProcessChannel() = default;
+  explicit InProcessChannel(ChannelOptions options = {})
+      : options_(options) {}
   AOD_DISALLOW_COPY_AND_ASSIGN(InProcessChannel);
 
   Status Send(std::vector<uint8_t> frame) override;
   Result<std::vector<uint8_t>> Receive() override;
   void Close() override;
   int64_t bytes_sent() const override;
+  int64_t bytes_received() const override;
 
  private:
+  const ChannelOptions options_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::vector<uint8_t>> frames_;
   int64_t bytes_sent_ = 0;
+  int64_t bytes_received_ = 0;
+  bool closed_ = false;
+};
+
+/// Full-duplex stream transport over a pair of file descriptors —
+/// a connected localhost TCP socket (the off-box seam) or a pipe pair
+/// (the stdio mode of shard_runner_main). Frames are length-delimited
+/// by their own wire header: Receive reads the 24-byte header, sanity-
+/// checks magic/version/declared size against max_frame_bytes, then
+/// reads exactly the payload, handling partial reads and EINTR; a byte
+/// stream that ends mid-frame yields kIoError ("EOF mid-frame"), a
+/// clean EOF at a frame boundary yields kClosed.
+///
+/// Send never blocks on the peer: frames are handed to a dedicated
+/// writer thread with an unbounded queue, so a coordinator and an
+/// in-process runner sharing one thread can exchange arbitrarily large
+/// frames without deadlocking on kernel socket buffers. A write error
+/// is latched and surfaced by the next Send.
+class SocketShardChannel final : public ShardChannel {
+ public:
+  /// Connects to host:port (blocking, bounded by timeout_seconds).
+  static Result<std::unique_ptr<SocketShardChannel>> Connect(
+      const std::string& host, uint16_t port, double timeout_seconds,
+      ChannelOptions options = {});
+
+  /// Wraps an already-connected socket; takes ownership of `fd`.
+  static std::unique_ptr<SocketShardChannel> Adopt(int fd,
+                                                   ChannelOptions options = {});
+
+  /// Wraps a read fd and a write fd (e.g. stdin/stdout of a runner
+  /// process, or the ends of two pipes); takes ownership of both.
+  static std::unique_ptr<SocketShardChannel> AdoptPair(
+      int read_fd, int write_fd, ChannelOptions options = {});
+
+  ~SocketShardChannel() override;
+  AOD_DISALLOW_COPY_AND_ASSIGN(SocketShardChannel);
+
+  Status Send(std::vector<uint8_t> frame) override;
+  Result<std::vector<uint8_t>> Receive() override;
+  void Close() override;
+  int64_t bytes_sent() const override;
+  int64_t bytes_received() const override;
+
+ private:
+  SocketShardChannel(int read_fd, int write_fd, bool is_socket,
+                     ChannelOptions options);
+
+  void WriterLoop();
+  /// Reads exactly `size` bytes with poll-bounded waits. `*got` is the
+  /// byte count actually read when the stream ended early. Returns
+  /// kClosed when Close() is called on *this* endpoint mid-wait (the
+  /// wake pipe) — the local half of the never-strand-a-receiver rule.
+  Status ReadFully(uint8_t* out, size_t size, size_t* got);
+
+  const ChannelOptions options_;
+  const int read_fd_;
+  const int write_fd_;
+  /// Same fd on both sides and shutdown(SHUT_WR) applies (TCP); pipes
+  /// close the write fd instead.
+  const bool is_socket_;
+  /// Self-pipe: Close() writes a byte so a Receive blocked in poll on
+  /// this endpoint wakes immediately with kClosed.
+  int wake_fds_[2] = {-1, -1};
+
+  mutable std::mutex mutex_;
+  std::condition_variable writer_cv_;
+  std::deque<std::vector<uint8_t>> outgoing_;
+  Status write_status_;
+  bool closed_ = false;
+  /// Set by WriterLoop when the pipe-mode orderly drain closed
+  /// write_fd_ itself (pipes have no half-close); tells the destructor
+  /// not to close the fd number a second time.
+  bool write_fd_closed_ = false;
+  int64_t bytes_sent_ = 0;
+  int64_t bytes_received_ = 0;
+  std::thread writer_;
+};
+
+/// Accepts coordinator-side connections for socket/process transports.
+/// Binds 127.0.0.1 on an ephemeral port; never listens off-loopback.
+class SocketListener {
+ public:
+  static Result<std::unique_ptr<SocketListener>> Bind();
+  ~SocketListener();
+  AOD_DISALLOW_COPY_AND_ASSIGN(SocketListener);
+
+  uint16_t port() const { return port_; }
+
+  /// Accepts one connection (poll-bounded); the returned fd is owned by
+  /// the caller (hand it to SocketShardChannel::Adopt).
+  Result<int> AcceptFd(double timeout_seconds);
+
+ private:
+  SocketListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+  const int fd_;
+  const uint16_t port_;
+};
+
+/// Spool-directory transport for batch/offline topologies: each frame
+/// is one file, written atomically (temp file + rename) under an
+/// ascending sequence name, consumed (and deleted) in sequence order by
+/// the receiver. Close publishes a `closed` marker carrying the final
+/// frame count, so a receiver that drained the spool returns kClosed
+/// instead of polling forever. One directory carries one direction; a
+/// coordinator/runner pair uses two directories.
+///
+/// A frame file shorter than its own header, or whose length disagrees
+/// with the header's declared payload size, is rejected as a torn spool
+/// frame (kParseError) — the atomic rename makes this unreachable
+/// through this API, so seeing one means the spool was tampered with.
+class FileShardChannel final : public ShardChannel {
+ public:
+  enum class Role { kSender, kReceiver };
+
+  /// `directory` must exist. The sender creates its files inside it.
+  FileShardChannel(std::string directory, Role role,
+                   ChannelOptions options = {});
+  AOD_DISALLOW_COPY_AND_ASSIGN(FileShardChannel);
+
+  Status Send(std::vector<uint8_t> frame) override;
+  Result<std::vector<uint8_t>> Receive() override;
+  void Close() override;
+  int64_t bytes_sent() const override;
+  int64_t bytes_received() const override;
+
+ private:
+  std::string FramePath(int64_t seq) const;
+
+  const std::string directory_;
+  const Role role_;
+  const ChannelOptions options_;
+  mutable std::mutex mutex_;
+  int64_t send_seq_ = 0;
+  int64_t recv_seq_ = 0;
+  int64_t bytes_sent_ = 0;
+  int64_t bytes_received_ = 0;
   bool closed_ = false;
 };
 

@@ -1,68 +1,238 @@
 #include "shard/coordinator.h"
 
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/macros.h"
 #include "exec/task_group.h"
+#include "exec/thread_pool.h"
 #include "partition/attribute_set.h"
 #include "partition/stripped_partition.h"
+
+extern char** environ;
 
 namespace aod {
 namespace shard {
 
-ShardCoordinator::ShardCoordinator(const EncodedTable* table, int num_shards,
-                                   const ShardRunnerOptions& runner_options,
-                                   exec::ThreadPool* pool)
-    : table_(table), pool_(pool) {
+ShardCoordinator::ShardCoordinator(
+    const EncodedTable* table, const ShardTransportOptions& transport_options,
+    exec::ThreadPool* pool)
+    : table_(table), transport_(transport_options), pool_(pool) {}
+
+Result<std::unique_ptr<ShardCoordinator>> ShardCoordinator::Create(
+    const EncodedTable* table, int num_shards,
+    const ShardRunnerOptions& runner_options,
+    const ShardTransportOptions& transport_options, exec::ThreadPool* pool) {
   AOD_CHECK(table != nullptr);
   AOD_CHECK_MSG(num_shards >= 1, "num_shards must be >= 1, got %d",
                 num_shards);
+  std::unique_ptr<ShardCoordinator> coordinator(
+      new ShardCoordinator(table, transport_options, pool));
+  AOD_RETURN_NOT_OK(coordinator->Init(num_shards, runner_options));
+  return coordinator;
+}
+
+std::unique_ptr<ShardChannel> ShardCoordinator::Decorate(
+    std::unique_ptr<ShardChannel> ch) {
+  if (transport_.channel_decorator) {
+    return transport_.channel_decorator(std::move(ch));
+  }
+  return ch;
+}
+
+Status ShardCoordinator::InitLink(ShardLink* link, int shard_id,
+                                  int num_shards,
+                                  const ShardRunnerOptions& runner_options,
+                                  const std::vector<uint8_t>& table_frame) {
+  ChannelOptions copts;
+  copts.max_frame_bytes = transport_.max_frame_bytes;
+  copts.receive_timeout_seconds = transport_.io_timeout_seconds;
+
+  switch (transport_.transport) {
+    case ShardTransport::kInProcess: {
+      link->to = Decorate(std::make_unique<InProcessChannel>(copts));
+      link->from = Decorate(std::make_unique<InProcessChannel>(copts));
+      link->to_shard = link->to.get();
+      link->from_shard = link->from.get();
+      link->runner = std::make_unique<ShardRunner>(
+          shard_id, table_, runner_options, link->to_shard, link->from_shard,
+          pool_);
+      return Status::OK();
+    }
+    case ShardTransport::kSocket: {
+      // A real localhost TCP pair: the loopback connect completes out of
+      // the listen backlog, so connect-then-accept on one thread is safe.
+      AOD_ASSIGN_OR_RETURN(
+          std::unique_ptr<SocketShardChannel> client,
+          SocketShardChannel::Connect("127.0.0.1", listener_->port(),
+                                      transport_.io_timeout_seconds, copts));
+      AOD_ASSIGN_OR_RETURN(int accepted_fd,
+                           listener_->AcceptFd(transport_.io_timeout_seconds));
+      link->to = Decorate(std::move(client));
+      link->to_shard = link->to.get();
+      link->from_shard = link->to.get();
+      link->runner_side = SocketShardChannel::Adopt(accepted_fd, copts);
+      link->runner = std::make_unique<ShardRunner>(
+          shard_id, table_, runner_options, link->runner_side.get(),
+          link->runner_side.get(), pool_);
+      return Status::OK();
+    }
+    case ShardTransport::kProcess: {
+      std::string path = transport_.runner_path;
+      if (path.empty()) {
+        const char* env = std::getenv("AOD_SHARD_RUNNER");
+        if (env != nullptr) path = env;
+      }
+      if (path.empty()) {
+        return Status::InvalidArgument(
+            "process transport needs ShardTransportOptions::runner_path or "
+            "$AOD_SHARD_RUNNER");
+      }
+      const std::string endpoint =
+          "--connect=127.0.0.1:" + std::to_string(listener_->port());
+      const std::string timeout =
+          "--timeout=" + std::to_string(transport_.io_timeout_seconds);
+      char* argv[] = {const_cast<char*>(path.c_str()),
+                      const_cast<char*>(endpoint.c_str()),
+                      const_cast<char*>(timeout.c_str()), nullptr};
+      pid_t pid = -1;
+      const int rc =
+          ::posix_spawn(&pid, path.c_str(), nullptr, nullptr, argv, environ);
+      if (rc != 0) {
+        return Status::IoError("cannot spawn shard runner '" + path +
+                               "': " + std::strerror(rc));
+      }
+      link->pid = pid;
+      AOD_ASSIGN_OR_RETURN(int accepted_fd,
+                           listener_->AcceptFd(transport_.io_timeout_seconds));
+      link->to = Decorate(SocketShardChannel::Adopt(accepted_fd, copts));
+      link->to_shard = link->to.get();
+      link->from_shard = link->to.get();
+
+      // Bootstrap frames the runner process consumes before its serve
+      // loop: the validation config, then the rank-encoded table.
+      WireRunnerConfig config;
+      config.shard_id = static_cast<uint32_t>(shard_id);
+      config.validator = static_cast<uint8_t>(runner_options.validator);
+      config.epsilon = runner_options.epsilon;
+      config.collect_removal_sets = runner_options.collect_removal_sets;
+      config.enable_sampling_filter = runner_options.enable_sampling_filter;
+      config.sampler_sample_size = runner_options.sampler_config.sample_size;
+      config.sampler_reject_margin =
+          runner_options.sampler_config.reject_margin;
+      config.sampler_seed = runner_options.sampler_config.seed;
+      config.partition_memory_budget_bytes =
+          runner_options.partition_memory_budget_bytes;
+      // The in-process transports share one pool across all shards;
+      // give each child process its slice of it, not a full copy — N
+      // children each as wide as the coordinator would oversubscribe
+      // the machine N-fold.
+      const int workers = pool_ != nullptr ? pool_->num_workers() : 1;
+      config.num_threads =
+          static_cast<uint32_t>(std::max(1, workers / num_shards));
+      AOD_RETURN_NOT_OK(link->to_shard->Send(EncodeConfigBlock(config)));
+      return link->to_shard->Send(table_frame);
+    }
+  }
+  return Status::Internal("unknown shard transport");
+}
+
+Status ShardCoordinator::Init(int num_shards,
+                              const ShardRunnerOptions& runner_options) {
+  if (transport_.transport != ShardTransport::kInProcess) {
+    AOD_ASSIGN_OR_RETURN(listener_, SocketListener::Bind());
+  }
+  // The table frame is shard-independent (only the config block varies
+  // per shard): encode — and checksum — it once, not once per shard.
+  std::vector<uint8_t> table_frame;
+  if (transport_.transport == ShardTransport::kProcess) {
+    table_frame = EncodeTableBlock(*table_);
+  }
   links_.reserve(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
-    auto link = std::make_unique<ShardLink>();
-    link->runner = std::make_unique<ShardRunner>(
-        s, table_, runner_options, &link->to_shard, &link->from_shard, pool_);
-    links_.push_back(std::move(link));
+    // Pushed before InitLink so a half-initialized link (e.g. spawned
+    // child, failed accept) is still cleaned up — and its process
+    // reaped — by Finish.
+    links_.push_back(std::make_unique<ShardLink>());
+    AOD_RETURN_NOT_OK(InitLink(links_.back().get(), s, num_shards,
+                               runner_options, table_frame));
   }
 
   // Seed every shard's cache over the wire: one kPartitionBlock per
   // base (level-1) partition, serialized once and sent to all shards.
-  // Runners drain their inboxes in parallel; construction returns with
-  // every shard ready to derive any context from the shipped bases.
+  // Socket sends are buffered by the channel's writer thread, so even a
+  // serial coordinator cannot deadlock against an unserved peer.
   const int k = table_->num_columns();
   for (int a = 0; a < k; ++a) {
     const std::vector<uint8_t> frame = EncodePartitionBlock(
         AttributeSet().With(a),
         StrippedPartition::FromColumn(table_->column(a)));
     for (auto& link : links_) {
-      Status st = link->to_shard.Send(frame);
-      AOD_CHECK_MSG(st.ok(), "base partition send failed: %s",
-                    st.ToString().c_str());
+      AOD_RETURN_NOT_OK(SendServed(link.get(), frame));
     }
   }
-  exec::TaskGroup group(pool_);
-  for (auto& link : links_) {
-    group.Run([&link, k] {
-      for (int i = 0; i < k; ++i) {
-        Status st = link->runner->ServeOne();
-        AOD_CHECK_MSG(st.ok(), "base partition install failed: %s",
-                      st.ToString().c_str());
-      }
-    });
+  // In-process runners drain their inboxes in parallel; Init returns
+  // with every shard ready to derive any context from the shipped bases.
+  // Process runners install asynchronously — frame order guarantees the
+  // bases precede any batch.
+  if (transport_.transport != ShardTransport::kProcess) {
+    std::vector<Status> statuses(links_.size());
+    exec::TaskGroup group(pool_);
+    for (size_t s = 0; s < links_.size(); ++s) {
+      ShardLink* link = links_[s].get();
+      Status* status = &statuses[s];
+      group.Run([link, status, k] {
+        for (int i = 0; i < k; ++i) {
+          *status = link->runner->ServeOne();
+          if (!status->ok()) return;
+        }
+      });
+    }
+    group.Wait();
+    for (const Status& st : statuses) AOD_RETURN_NOT_OK(st);
   }
-  group.Wait();
+  return Status::OK();
 }
 
 ShardCoordinator::~ShardCoordinator() {
-  for (auto& link : links_) {
-    link->to_shard.Close();
-    link->from_shard.Close();
-  }
+  Finish();  // best-effort when the owner did not; idempotent
 }
 
 int ShardCoordinator::ShardOf(uint64_t context_bits, int num_shards) {
   return static_cast<int>(AttributeSetHash{}(AttributeSet(context_bits)) %
                           static_cast<size_t>(num_shards));
+}
+
+Status ShardCoordinator::SendServed(ShardLink* link,
+                                    std::vector<uint8_t> frame) {
+  AOD_RETURN_NOT_OK(link->to_shard->Send(std::move(frame)));
+  ++link->frames_sent;
+  return Status::OK();
+}
+
+Status ShardCoordinator::PumpRunners(const std::function<bool()>& cancel) {
+  std::vector<Status> statuses(links_.size());
+  exec::TaskGroup group(pool_);
+  for (size_t s = 0; s < links_.size(); ++s) {
+    ShardLink* link = links_[s].get();
+    if (link->runner == nullptr) continue;  // process runner or half-init
+    Status* status = &statuses[s];
+    group.Run([link, status, &cancel] {
+      *status = link->runner->ServeOne(cancel);
+    });
+  }
+  group.Wait();
+  for (const Status& st : statuses) AOD_RETURN_NOT_OK(st);
+  return Status::OK();
 }
 
 Status ShardCoordinator::ValidateBatch(
@@ -77,40 +247,142 @@ Status ShardCoordinator::ValidateBatch(
   // Ship every batch (empty ones included — each runner serves exactly
   // one frame per level, so the request/reply cadence stays lockstep).
   for (int s = 0; s < n; ++s) {
-    AOD_RETURN_NOT_OK(links_[static_cast<size_t>(s)]->to_shard.Send(
-        EncodeCandidateBatch(batches[static_cast<size_t>(s)])));
+    AOD_RETURN_NOT_OK(
+        SendServed(links_[static_cast<size_t>(s)].get(),
+                   EncodeCandidateBatch(batches[static_cast<size_t>(s)])));
   }
-
-  std::vector<Status> statuses(static_cast<size_t>(n));
-  {
-    exec::TaskGroup group(pool_);
-    for (int s = 0; s < n; ++s) {
-      ShardLink* link = links_[static_cast<size_t>(s)].get();
-      Status* status = &statuses[static_cast<size_t>(s)];
-      group.Run([link, status, &cancel] {
-        *status = link->runner->ServeOne(cancel);
-      });
-    }
-    group.Wait();
-  }
-  for (const Status& st : statuses) AOD_RETURN_NOT_OK(st);
+  // In-process runners are pumped here; a runner failure returns before
+  // any receive, so a reply that will never come cannot hang us.
+  AOD_RETURN_NOT_OK(PumpRunners(cancel));
 
   // Collect replies in shard order — deterministic given deterministic
-  // batches, since each runner replies in ascending slot order.
+  // batches, since each runner replies in ascending slot order. Staged
+  // locally so a decode failure never leaves a partial batch in
+  // `completed`.
+  std::vector<WireOutcome> collected;
   for (int s = 0; s < n; ++s) {
     AOD_ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
-                         links_[static_cast<size_t>(s)]->from_shard.Receive());
+                         links_[static_cast<size_t>(s)]->from_shard->Receive());
     AOD_ASSIGN_OR_RETURN(DecodedFrame frame, DecodeFrame(raw));
     AOD_ASSIGN_OR_RETURN(std::vector<WireOutcome> outcomes,
                          DecodeResultBatch(frame));
-    for (WireOutcome& o : outcomes) completed->push_back(std::move(o));
+    for (WireOutcome& o : outcomes) collected.push_back(std::move(o));
   }
+  for (WireOutcome& o : collected) completed->push_back(std::move(o));
   return Status::OK();
+}
+
+Status ShardCoordinator::Finish() {
+  if (finished_) return finish_status_;
+  finished_ = true;
+
+  Status result;
+  const auto record = [&result](Status st) {
+    if (result.ok() && !st.ok()) result = std::move(st);
+  };
+
+  // Shutdown handshake, pushed to every shard even if one fails — each
+  // link must reach its terminal state before the channels close.
+  // Half-initialized links (failed Create) have no channels and skip
+  // straight to process reaping.
+  for (auto& link : links_) {
+    if (link->to_shard == nullptr) continue;
+    record(SendServed(link.get(), EncodeShutdown()));
+  }
+  record(PumpRunners({}));
+  for (auto& link : links_) {
+    if (link->from_shard == nullptr) continue;
+    // A mid-level abort can leave a sibling shard's result frame queued
+    // ahead of its footer; drain non-footer frames (bounded — at most
+    // one stale reply per link plus slack) instead of misdecoding the
+    // first frame seen as the footer and losing the shard's stats.
+    Result<ShardStatsFooter> footer =
+        Status::Internal("stats footer never arrived");
+    for (int drained = 0; drained < 4; ++drained) {
+      Result<std::vector<uint8_t>> raw = link->from_shard->Receive();
+      if (!raw.ok()) {
+        footer = raw.status();
+        break;
+      }
+      Result<DecodedFrame> frame = DecodeFrame(*raw);
+      if (!frame.ok()) {
+        footer = frame.status();
+        break;
+      }
+      if (frame->type != FrameType::kStatsFooter) continue;  // stale reply
+      footer = DecodeStatsFooter(*frame);
+      break;
+    }
+    if (!footer.ok()) {
+      record(footer.status());
+      continue;
+    }
+    if (footer->frames_served != link->frames_sent) {
+      record(Status::Internal(
+          "stats footer frame count mismatch: shard served " +
+          std::to_string(footer->frames_served) + " of " +
+          std::to_string(link->frames_sent) + " sent"));
+      continue;
+    }
+    link->footer = *footer;
+    link->footer_valid = true;
+  }
+  for (auto& link : links_) {
+    if (link->to_shard == nullptr) continue;
+    link->to_shard->Close();
+    if (link->from_shard != link->to_shard) link->from_shard->Close();
+  }
+  // A spawned child whose channel never opened (or whose coordinator
+  // gave up) exits on its own bootstrap timeout or connection reset;
+  // drop the listener first so a connect parked in the backlog resets.
+  listener_.reset();
+  // Reap runner processes. A healthy child exits after answering the
+  // shutdown (or on EOF once its socket closed); a wedged one — stuck
+  // without reading, so it never sees EOF — is killed after the I/O
+  // timeout rather than hanging Finish on a blocking waitpid (the
+  // failure contract is typed errors, never a hang).
+  for (auto& link : links_) {
+    if (link->pid < 0) continue;
+    int wstatus = 0;
+    pid_t reaped = 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(transport_.io_timeout_seconds));
+    for (;;) {
+      reaped = ::waitpid(link->pid, &wstatus, WNOHANG);
+      if (reaped != 0) break;  // exited (pid) or waitpid error (-1)
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ::kill(link->pid, SIGKILL);
+        record(Status::Internal(
+            "shard runner unresponsive at shutdown; killed"));
+        reaped = ::waitpid(link->pid, &wstatus, 0);  // converges: SIGKILL
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    const bool killed_here =
+        reaped == link->pid && WIFSIGNALED(wstatus) &&
+        WTERMSIG(wstatus) == SIGKILL;
+    link->pid = -1;
+    if (reaped < 0) {
+      record(Status::IoError("waitpid failed for shard runner"));
+    } else if (!killed_here &&
+               (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0)) {
+      record(Status::Internal(
+          "shard runner exited abnormally (status " +
+          std::to_string(WIFEXITED(wstatus) ? WEXITSTATUS(wstatus)
+                                            : -WTERMSIG(wstatus)) +
+          ")"));
+    }
+  }
+  finish_status_ = result;
+  return finish_status_;
 }
 
 int64_t ShardCoordinator::bytes_shipped(int s) const {
   const ShardLink& link = *links_[static_cast<size_t>(s)];
-  return link.to_shard.bytes_sent() + link.from_shard.bytes_sent();
+  return link.to_shard->bytes_sent() + link.from_shard->bytes_received();
 }
 
 int64_t ShardCoordinator::bytes_shipped_total() const {
@@ -122,15 +394,7 @@ int64_t ShardCoordinator::bytes_shipped_total() const {
 int64_t ShardCoordinator::products_computed() const {
   int64_t total = 0;
   for (const auto& link : links_) {
-    total += link->runner->cache().products_computed();
-  }
-  return total;
-}
-
-int64_t ShardCoordinator::bytes_resident() const {
-  int64_t total = 0;
-  for (const auto& link : links_) {
-    total += link->runner->cache().bytes_resident();
+    if (link->footer_valid) total += link->footer.products_computed;
   }
   return total;
 }
@@ -138,21 +402,39 @@ int64_t ShardCoordinator::bytes_resident() const {
 int64_t ShardCoordinator::partitions_evicted() const {
   int64_t total = 0;
   for (const auto& link : links_) {
-    total += link->runner->cache().partitions_evicted();
+    if (link->footer_valid) total += link->footer.partitions_evicted;
   }
   return total;
 }
 
 int64_t ShardCoordinator::partition_bytes_evicted() const {
   int64_t total = 0;
-  for (const auto& link : links_) total += link->runner->bytes_evicted();
+  for (const auto& link : links_) {
+    if (link->footer_valid) total += link->footer.partition_bytes_evicted;
+  }
+  return total;
+}
+
+int64_t ShardCoordinator::partition_bytes_final() const {
+  int64_t total = 0;
+  for (const auto& link : links_) {
+    if (link->footer_valid) total += link->footer.partition_bytes_final;
+  }
+  return total;
+}
+
+int64_t ShardCoordinator::partition_bytes_peak() const {
+  int64_t total = 0;
+  for (const auto& link : links_) {
+    if (link->footer_valid) total += link->footer.partition_bytes_peak;
+  }
   return total;
 }
 
 double ShardCoordinator::partition_seconds() const {
   double total = 0.0;
   for (const auto& link : links_) {
-    total += link->runner->partition_seconds();
+    if (link->footer_valid) total += link->footer.partition_seconds;
   }
   return total;
 }

@@ -1,33 +1,57 @@
 // Coordinator of sharded candidate validation (ROADMAP: distributed
 // discovery in the spirit of Saxena et al. [8]).
 //
-// The coordinator owns N in-process shard runners, a channel pair each,
-// and the shard-assignment rule. The discovery driver keeps its lattice,
-// planning phase and serial key-ordered merge; only candidate validation
-// crosses the seam:
+// The coordinator owns N shard runners — in this process or in child
+// processes — a channel link each, and the shard-assignment rule. The
+// discovery driver keeps its lattice, planning phase and serial
+// key-ordered merge; only candidate validation crosses the seam:
 //
 //   construction    every base (level-1) partition is serialized once and
 //                   shipped to every shard as a kPartitionBlock frame —
-//                   shard caches are wire-seeded, never table-derived;
+//                   shard caches are wire-seeded, never table-derived.
+//                   Process runners additionally receive a kConfigBlock
+//                   and a kTableBlock first (they share nothing);
 //   per level       candidates are split by ShardOf(context) — all
 //                   candidates sharing a context land on one shard, so a
 //                   context partition is derived (at most) once per run,
 //                   by exactly one shard — batched, shipped, validated
 //                   shard-locally, and the kResultBatch replies are
-//                   folded back into the driver's outcome slots.
+//                   folded back into the driver's outcome slots;
+//   Finish()        the shutdown handshake: a kShutdown frame per shard,
+//                   answered by the kStatsFooter terminal frame carrying
+//                   the shard's counters — the one stats mechanism for
+//                   every transport, so remote runners aggregate without
+//                   object access.
+//
+// Transports (ShardTransportOptions::transport):
+//   kInProcess  mutex/cv frame queues; runners on the shared pool.
+//   kSocket     localhost TCP between coordinator and in-process
+//               runners — the full byte-transport path (length framing,
+//               partial reads, writer threads) without process overhead.
+//   kProcess    one spawned shard_runner_main per shard, connected over
+//               localhost TCP; validation parallelism across processes.
+//
+// Failure contract: any transport, decode or process failure surfaces as
+// a typed non-OK Status from Create/ValidateBatch/Finish — never a hang
+// (receives are timeout-bounded) and never a partially-applied batch
+// (ValidateBatch appends outcomes only after every shard's reply decoded
+// cleanly).
 //
 // Determinism: the assignment rule is a pure hash of the context set, a
 // runner's outcomes are pure functions of its batch (canonical partition
 // values, deterministic fixed-rule derivation, seeded sampler), and the
 // driver's merge consumes outcome slots in sorted key order — so sharded
 // discovery output is bit-identical to the unsharded run for any shard
-// count and any thread count (gated by tests/parallel_determinism_test).
+// count, any thread count and any transport (gated by
+// tests/parallel_determinism_test and tests/shard_process_e2e_test).
 #ifndef AOD_SHARD_COORDINATOR_H_
 #define AOD_SHARD_COORDINATOR_H_
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <sys/types.h>
 #include <vector>
 
 #include "common/status.h"
@@ -44,15 +68,40 @@ class ThreadPool;
 
 namespace shard {
 
+// ShardTransport (the {inproc, socket, process} selector) lives in
+// od/discovery.h next to the other DiscoveryOptions vocabulary — this
+// header reaches it through shard_runner.h.
+
+struct ShardTransportOptions {
+  ShardTransport transport = ShardTransport::kInProcess;
+  /// Path to the shard_runner_main binary (process transport). Empty
+  /// falls back to the AOD_SHARD_RUNNER environment variable.
+  std::string runner_path;
+  /// Bound on connects, accepts and every frame receive. A shard that
+  /// dies silently surfaces as a typed timeout, never a hang.
+  double io_timeout_seconds = 300.0;
+  /// Receiver-side frame size cap (see ChannelOptions).
+  int64_t max_frame_bytes = 1LL << 30;
+  /// Test seam: wraps every coordinator-side channel endpoint (e.g. in a
+  /// fault-injecting decorator). Identity when empty.
+  std::function<std::unique_ptr<ShardChannel>(std::unique_ptr<ShardChannel>)>
+      channel_decorator;
+};
+
 class ShardCoordinator {
  public:
-  /// Creates `num_shards` runners and ships the base partitions. `pool`
-  /// (nullable) runs the shard work; both `table` and `pool` are
-  /// borrowed and must outlive the coordinator.
-  ShardCoordinator(const EncodedTable* table, int num_shards,
-                   const ShardRunnerOptions& runner_options,
-                   exec::ThreadPool* pool);
+  /// Creates `num_shards` runners over the selected transport and ships
+  /// the base partitions (plus config + table for process runners).
+  /// `pool` (nullable) runs in-process shard work; both `table` and
+  /// `pool` are borrowed and must outlive the coordinator. Fails with a
+  /// typed Status on any transport or spawn error.
+  static Result<std::unique_ptr<ShardCoordinator>> Create(
+      const EncodedTable* table, int num_shards,
+      const ShardRunnerOptions& runner_options,
+      const ShardTransportOptions& transport_options, exec::ThreadPool* pool);
+
   ~ShardCoordinator();
+  AOD_DISALLOW_COPY_AND_ASSIGN(ShardCoordinator);
 
   /// The shard assignment rule: a pure hash (SplitMix64 finalizer, the
   /// same AttributeSetHash the cache stripes by) of the candidate's
@@ -62,42 +111,91 @@ class ShardCoordinator {
   static int ShardOf(uint64_t context_bits, int num_shards);
 
   /// Validates one level's candidates across the shards: splits
-  /// `candidates` by ShardOf, ships one batch frame per shard, runs every
-  /// runner on the pool (`cancel` is polled between validations), and
-  /// appends each shard's completed outcomes to `completed` in shard
-  /// order. Candidates a shard did not finish before cancellation are
-  /// simply absent — the driver's merge treats their slots as undone.
+  /// `candidates` by ShardOf, ships one batch frame per shard, pumps
+  /// in-process runners on the pool (`cancel` is polled between
+  /// validations; process runners validate to completion), and appends
+  /// each shard's completed outcomes to `completed` in shard order —
+  /// only once every reply decoded cleanly, so a failure never leaves a
+  /// partial batch behind. Candidates a shard did not finish before
+  /// cancellation are simply absent — the driver's merge treats their
+  /// slots as undone.
   Status ValidateBatch(const std::vector<WireCandidate>& candidates,
                        const std::function<bool()>& cancel,
                        std::vector<WireOutcome>* completed);
 
+  /// The shutdown handshake: ships kShutdown to every shard, collects
+  /// the kStatsFooter terminal frames (validating each shard's served
+  /// frame count against what was sent), closes the links and reaps
+  /// runner processes. Idempotent; the footer-backed accessors below are
+  /// meaningful once this returned. Called by the destructor if the
+  /// owner did not (best-effort, status swallowed).
+  Status Finish();
+
   int num_shards() const { return static_cast<int>(links_.size()); }
 
-  /// Frame bytes shipped to and from shard `s` so far.
+  /// Frame bytes shipped to and from shard `s` so far (both directions,
+  /// as observed from the coordinator side of the link).
   int64_t bytes_shipped(int s) const;
   int64_t bytes_shipped_total() const;
 
-  // Aggregates over the shard-local caches (DiscoveryStats feeds).
+  // Aggregates over the collected stats footers (DiscoveryStats feeds);
+  // shards whose footer never arrived (transport failure) contribute 0.
   int64_t products_computed() const;
-  int64_t bytes_resident() const;
   int64_t partitions_evicted() const;
   int64_t partition_bytes_evicted() const;
+  int64_t partition_bytes_final() const;
+  int64_t partition_bytes_peak() const;
   /// Summed shard-side derivation wall time (see
   /// ShardRunner::partition_seconds).
   double partition_seconds() const;
 
  private:
-  /// One runner plus its channel pair. Heap-allocated so links never
-  /// move (runners hold channel pointers).
+  /// One runner plus its link. Channel storage precedes the runner so
+  /// the runner (which borrows channel pointers) dies first.
   struct ShardLink {
-    InProcessChannel to_shard;
-    InProcessChannel from_shard;
-    std::unique_ptr<ShardRunner> runner;
+    /// Coordinator-side endpoints (owned; `to` and `from` may alias one
+    /// full-duplex stream object, in which case `from` is empty).
+    std::unique_ptr<ShardChannel> to;
+    std::unique_ptr<ShardChannel> from;
+    /// Shard-side endpoint for in-process runners over sockets.
+    std::unique_ptr<ShardChannel> runner_side;
+    ShardChannel* to_shard = nullptr;
+    ShardChannel* from_shard = nullptr;
+    std::unique_ptr<ShardRunner> runner;  // null for process transport
+    pid_t pid = -1;                       // process transport
+    /// Frames this coordinator sent that the runner itself serves
+    /// (bases + batches + shutdown; config/table are consumed by
+    /// shard_runner_main before the runner exists).
+    int64_t frames_sent = 0;
+    ShardStatsFooter footer;
+    bool footer_valid = false;
   };
 
+  ShardCoordinator(const EncodedTable* table,
+                   const ShardTransportOptions& transport_options,
+                   exec::ThreadPool* pool);
+
+  Status Init(int num_shards, const ShardRunnerOptions& runner_options);
+  /// `table_frame` is the pre-encoded kTableBlock (process transport;
+  /// empty otherwise) — encoded once in Init, shipped to every shard.
+  Status InitLink(ShardLink* link, int shard_id, int num_shards,
+                  const ShardRunnerOptions& runner_options,
+                  const std::vector<uint8_t>& table_frame);
+  std::unique_ptr<ShardChannel> Decorate(std::unique_ptr<ShardChannel> ch);
+  /// Sends one frame the runner will serve, bumping the cross-check
+  /// counter.
+  Status SendServed(ShardLink* link, std::vector<uint8_t> frame);
+  /// Runs one ServeOne on every in-process runner (no-op for process
+  /// transport) and returns the first failure.
+  Status PumpRunners(const std::function<bool()>& cancel);
+
   const EncodedTable* table_;
+  const ShardTransportOptions transport_;
   exec::ThreadPool* pool_;
+  std::unique_ptr<SocketListener> listener_;
   std::vector<std::unique_ptr<ShardLink>> links_;
+  bool finished_ = false;
+  Status finish_status_;
 };
 
 }  // namespace shard

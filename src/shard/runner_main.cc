@@ -1,0 +1,139 @@
+#include "shard/runner_main.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "exec/thread_pool.h"
+#include "od/discovery.h"
+#include "shard/channel.h"
+#include "shard/shard_runner.h"
+#include "shard/wire.h"
+
+namespace aod {
+namespace shard {
+namespace {
+
+int Fail(int code, const char* what, const Status& status) {
+  std::fprintf(stderr, "shard_runner_main: %s: %s\n", what,
+               status.ToString().c_str());
+  return code;
+}
+
+/// A received frame plus the bytes its payload view aliases. The bytes
+/// member owns the heap buffer, so moving the struct keeps `frame`
+/// valid (vector moves preserve the allocation).
+struct BootstrapFrame {
+  std::vector<uint8_t> bytes;
+  DecodedFrame frame;
+};
+
+/// Receives and fully validates one frame of the expected type —
+/// exactly once; callers decode the payload straight from `frame`.
+Result<BootstrapFrame> ReceiveExpected(ShardChannel* channel,
+                                       FrameType expected) {
+  BootstrapFrame out;
+  AOD_ASSIGN_OR_RETURN(out.bytes, channel->Receive());
+  AOD_ASSIGN_OR_RETURN(out.frame, DecodeFrame(out.bytes));
+  if (out.frame.type != expected) {
+    return Status::ParseError("unexpected bootstrap frame type");
+  }
+  return out;
+}
+
+}  // namespace
+
+int ShardRunnerMain(int argc, char** argv) {
+  std::string host;
+  uint16_t port = 0;
+  bool stdio = false;
+  double timeout_seconds = 300.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--connect=", 0) == 0) {
+      const std::string endpoint = arg.substr(10);
+      const size_t colon = endpoint.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "shard_runner_main: --connect needs HOST:PORT\n");
+        return 1;
+      }
+      host = endpoint.substr(0, colon);
+      port = static_cast<uint16_t>(
+          std::strtoul(endpoint.c_str() + colon + 1, nullptr, 10));
+    } else if (arg == "--stdio") {
+      stdio = true;
+    } else if (arg.rfind("--timeout=", 0) == 0) {
+      timeout_seconds = std::strtod(arg.c_str() + 10, nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: shard_runner_main --connect=HOST:PORT | --stdio "
+                   "[--timeout=SECONDS]\n");
+      return 1;
+    }
+  }
+  if (stdio == (port != 0)) {
+    std::fprintf(stderr,
+                 "shard_runner_main: exactly one of --connect/--stdio\n");
+    return 1;
+  }
+  // Pipes cannot carry MSG_NOSIGNAL: a coordinator that died must surface
+  // as a write error on our side, not as SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  ChannelOptions copts;
+  copts.receive_timeout_seconds = timeout_seconds;
+  std::unique_ptr<ShardChannel> channel;
+  if (stdio) {
+    channel = SocketShardChannel::AdoptPair(/*read_fd=*/0, /*write_fd=*/1,
+                                            copts);
+  } else {
+    Result<std::unique_ptr<SocketShardChannel>> connected =
+        SocketShardChannel::Connect(host, port, timeout_seconds, copts);
+    if (!connected.ok()) return Fail(2, "connect", connected.status());
+    channel = std::move(connected).value();
+  }
+
+  // Bootstrap: config, then the rank-encoded table. Everything after
+  // these two frames is ShardRunner's vocabulary.
+  Result<BootstrapFrame> config_raw =
+      ReceiveExpected(channel.get(), FrameType::kConfigBlock);
+  if (!config_raw.ok()) return Fail(2, "config frame", config_raw.status());
+  Result<WireRunnerConfig> config = DecodeConfigBlock(config_raw->frame);
+  if (!config.ok()) return Fail(2, "config decode", config.status());
+
+  Result<BootstrapFrame> table_raw =
+      ReceiveExpected(channel.get(), FrameType::kTableBlock);
+  if (!table_raw.ok()) return Fail(2, "table frame", table_raw.status());
+  Result<EncodedTable> table = DecodeTableBlock(table_raw->frame);
+  if (!table.ok()) return Fail(2, "table decode", table.status());
+
+  ShardRunnerOptions options;
+  options.validator = static_cast<ValidatorKind>(config->validator);
+  options.epsilon = config->epsilon;
+  options.collect_removal_sets = config->collect_removal_sets;
+  options.enable_sampling_filter = config->enable_sampling_filter;
+  options.sampler_config.sample_size = config->sampler_sample_size;
+  options.sampler_config.reject_margin = config->sampler_reject_margin;
+  options.sampler_config.seed = config->sampler_seed;
+  options.partition_memory_budget_bytes =
+      config->partition_memory_budget_bytes;
+
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (config->num_threads > 1) {
+    pool = std::make_unique<exec::ThreadPool>(
+        static_cast<int>(config->num_threads));
+  }
+
+  ShardRunner runner(static_cast<int>(config->shard_id), &*table, options,
+                     channel.get(), channel.get(), pool.get());
+  Status served = runner.Serve();
+  if (!served.ok()) return Fail(3, "serve loop", served);
+  channel->Close();  // flush the footer before the fds die
+  return 0;
+}
+
+}  // namespace shard
+}  // namespace aod

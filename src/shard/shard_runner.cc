@@ -1,5 +1,6 @@
 #include "shard/shard_runner.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/macros.h"
@@ -41,25 +42,64 @@ ShardRunner::ShardRunner(int shard_id, const EncodedTable* table,
   }
 }
 
-Status ShardRunner::ServeOne(const std::function<bool()>& cancel) {
+Status ShardRunner::ServeOne(const std::function<bool()>& cancel,
+                             bool* shutdown) {
+  if (shutdown != nullptr) *shutdown = false;
   AOD_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, inbox_->Receive());
   AOD_ASSIGN_OR_RETURN(DecodedFrame frame, DecodeFrame(raw));
+  ++frames_served_;
   switch (frame.type) {
     case FrameType::kPartitionBlock:
       return HandlePartitionBlock(frame);
     case FrameType::kCandidateBatch:
       return HandleCandidateBatch(frame, cancel);
+    case FrameType::kShutdown:
+      if (shutdown != nullptr) *shutdown = true;
+      return HandleShutdown();
     case FrameType::kResultBatch:
+    case FrameType::kTableBlock:
+    case FrameType::kConfigBlock:
+    case FrameType::kStatsFooter:
       break;
   }
   return Status::InvalidArgument("unexpected frame type on shard inbox");
+}
+
+Status ShardRunner::Serve(const std::function<bool()>& cancel) {
+  for (;;) {
+    bool shutdown = false;
+    AOD_RETURN_NOT_OK(ServeOne(cancel, &shutdown));
+    if (shutdown) return Status::OK();
+  }
 }
 
 Status ShardRunner::HandlePartitionBlock(const DecodedFrame& frame) {
   AOD_ASSIGN_OR_RETURN(auto block,
                        DecodePartitionBlock(frame, table_->num_rows()));
   cache_.Preload(block.first, std::move(block.second));
+  SampleResidency();
   return Status::OK();
+}
+
+Status ShardRunner::HandleShutdown() {
+  return outbox_->Send(EncodeStatsFooter(FooterStats()));
+}
+
+void ShardRunner::SampleResidency() {
+  bytes_peak_ = std::max(bytes_peak_, cache_.bytes_resident());
+}
+
+ShardStatsFooter ShardRunner::FooterStats() const {
+  ShardStatsFooter footer;
+  footer.shard_id = static_cast<uint32_t>(shard_id_);
+  footer.frames_served = frames_served_;
+  footer.products_computed = cache_.products_computed();
+  footer.partitions_evicted = cache_.partitions_evicted();
+  footer.partition_bytes_evicted = bytes_evicted_;
+  footer.partition_bytes_final = cache_.bytes_resident();
+  footer.partition_bytes_peak = bytes_peak_;
+  footer.partition_seconds = partition_seconds();
+  return footer;
 }
 
 Status ShardRunner::HandleCandidateBatch(const DecodedFrame& frame,
@@ -93,7 +133,9 @@ Status ShardRunner::HandleCandidateBatch(const DecodedFrame& frame,
   AOD_RETURN_NOT_OK(outbox_->Send(EncodeResultBatch(completed)));
 
   // The batch's ParallelFor has joined, so every cache future is
-  // resolved — the precondition budget enforcement needs.
+  // resolved — the precondition budget enforcement (and an exact
+  // residency sample) needs.
+  SampleResidency();
   if (options_.partition_memory_budget_bytes > 0) {
     bytes_evicted_ += cache_.EnforceBudget(
         options_.partition_memory_budget_bytes);

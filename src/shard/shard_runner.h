@@ -73,9 +73,18 @@ class ShardRunner {
   ///   kCandidateBatch  — validate every candidate (parallel over the
   ///                      batch, `cancel` polled between candidates) and
   ///                      send back a kResultBatch of the completed
-  ///                      outcomes, then enforce the per-shard budget.
+  ///                      outcomes, then enforce the per-shard budget;
+  ///   kShutdown        — reply with the kStatsFooter terminal frame and
+  ///                      set `*shutdown` (when given): the conversation
+  ///                      is over and no further frame should be served.
   /// Any decode or channel failure surfaces as a non-OK Status.
-  Status ServeOne(const std::function<bool()>& cancel = {});
+  Status ServeOne(const std::function<bool()>& cancel = {},
+                  bool* shutdown = nullptr);
+
+  /// Serves frames until the shutdown handshake or a failure. The serve
+  /// loop of shard_runner_main; in-process coordinators call ServeOne to
+  /// keep the one-frame-per-level cadence instead.
+  Status Serve(const std::function<bool()>& cancel = {});
 
   int shard_id() const { return shard_id_; }
   /// Shard-local cache observability, aggregated by the coordinator into
@@ -91,10 +100,17 @@ class ShardRunner {
   /// this is outside the determinism contract.
   double partition_seconds() const;
 
+  /// The counters this shard reports in its terminal kStatsFooter frame
+  /// (see wire.h); pure functions of the served batches except for the
+  /// timing field.
+  ShardStatsFooter FooterStats() const;
+
  private:
   Status HandlePartitionBlock(const DecodedFrame& frame);
   Status HandleCandidateBatch(const DecodedFrame& frame,
                               const std::function<bool()>& cancel);
+  Status HandleShutdown();
+  void SampleResidency();
   /// One validation — mirrors the discovery driver's candidate dispatch
   /// exactly so sharded and unsharded outcomes are bit-identical.
   void ValidateOne(const WireCandidate& candidate, WireOutcome* out);
@@ -112,6 +128,10 @@ class ShardRunner {
   PartitionCache cache_;
   std::unique_ptr<AocSampler> sampler_;
   int64_t bytes_evicted_ = 0;
+  /// Residency high-water mark, sampled after every installed base and
+  /// every served batch (quiescent points, so the sample is exact).
+  int64_t bytes_peak_ = 0;
+  int64_t frames_served_ = 0;
   std::atomic<int64_t> partition_nanos_{0};
 
   std::mutex scratch_mutex_;

@@ -41,6 +41,11 @@ void WireWriter::PutI32Array(const std::vector<int32_t>& values) {
   for (int32_t v : values) PutI32(v);
 }
 
+void WireWriter::PutString(const std::string& s) {
+  PutU64(s.size());
+  PutBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
 void WireWriter::PutBytes(const uint8_t* data, size_t size) {
   payload_.insert(payload_.end(), data, data + size);
 }
@@ -52,8 +57,12 @@ std::vector<uint8_t> WireWriter::SealFrame(FrameType type) {
   StoreU16(frame.data() + 6, static_cast<uint16_t>(type));
   StoreU64(frame.data() + 8, payload_.size());
   StoreU64(frame.data() + 16, WireChecksum(payload_.data(), payload_.size()));
-  std::memcpy(frame.data() + kFrameHeaderBytes, payload_.data(),
-              payload_.size());
+  if (!payload_.empty()) {
+    // memcpy's pointer arguments must be non-null even for size 0, and
+    // an empty vector's data() may be null (the kShutdown frame).
+    std::memcpy(frame.data() + kFrameHeaderBytes, payload_.data(),
+                payload_.size());
+  }
   payload_.clear();
   return frame;
 }
@@ -122,6 +131,18 @@ Status WireReader::GetI32Array(std::vector<int32_t>* values) {
   return Status::OK();
 }
 
+Status WireReader::GetString(std::string* s) {
+  uint64_t len = 0;
+  AOD_RETURN_NOT_OK(GetU64(&len));
+  if (len > remaining()) {
+    return Status::ParseError("wire string longer than its payload");
+  }
+  s->assign(reinterpret_cast<const char*>(data_ + pos_),
+            static_cast<size_t>(len));
+  pos_ += static_cast<size_t>(len);
+  return Status::OK();
+}
+
 Status WireReader::ExpectEnd() const {
   if (!AtEnd()) {
     return Status::ParseError("wire payload has trailing bytes");
@@ -143,7 +164,7 @@ Result<DecodedFrame> DecodeFrame(const std::vector<uint8_t>& frame) {
   }
   const uint16_t raw_type = LoadU16(frame.data() + 6);
   if (raw_type < static_cast<uint16_t>(FrameType::kPartitionBlock) ||
-      raw_type > static_cast<uint16_t>(FrameType::kResultBatch)) {
+      raw_type > static_cast<uint16_t>(FrameType::kStatsFooter)) {
     return Status::ParseError("unknown wire frame type " +
                               std::to_string(raw_type));
   }
@@ -288,6 +309,144 @@ Result<std::vector<WireOutcome>> DecodeResultBatch(const DecodedFrame& frame) {
   }
   AOD_RETURN_NOT_OK(reader.ExpectEnd());
   return out;
+}
+
+std::vector<uint8_t> EncodeConfigBlock(const WireRunnerConfig& config) {
+  WireWriter writer;
+  writer.PutU32(config.shard_id);
+  writer.PutU8(config.validator);
+  writer.PutDouble(config.epsilon);
+  writer.PutU8(config.collect_removal_sets ? 1 : 0);
+  writer.PutU8(config.enable_sampling_filter ? 1 : 0);
+  writer.PutI64(config.sampler_sample_size);
+  writer.PutDouble(config.sampler_reject_margin);
+  writer.PutU64(config.sampler_seed);
+  writer.PutI64(config.partition_memory_budget_bytes);
+  writer.PutU32(config.num_threads);
+  return writer.SealFrame(FrameType::kConfigBlock);
+}
+
+Result<WireRunnerConfig> DecodeConfigBlock(const DecodedFrame& frame) {
+  if (frame.type != FrameType::kConfigBlock) {
+    return Status::ParseError("frame is not a config block");
+  }
+  WireReader reader(frame.payload, frame.size);
+  WireRunnerConfig config;
+  uint8_t removal = 0;
+  uint8_t sampling = 0;
+  AOD_RETURN_NOT_OK(reader.GetU32(&config.shard_id));
+  AOD_RETURN_NOT_OK(reader.GetU8(&config.validator));
+  AOD_RETURN_NOT_OK(reader.GetDouble(&config.epsilon));
+  AOD_RETURN_NOT_OK(reader.GetU8(&removal));
+  AOD_RETURN_NOT_OK(reader.GetU8(&sampling));
+  AOD_RETURN_NOT_OK(reader.GetI64(&config.sampler_sample_size));
+  AOD_RETURN_NOT_OK(reader.GetDouble(&config.sampler_reject_margin));
+  AOD_RETURN_NOT_OK(reader.GetU64(&config.sampler_seed));
+  AOD_RETURN_NOT_OK(reader.GetI64(&config.partition_memory_budget_bytes));
+  AOD_RETURN_NOT_OK(reader.GetU32(&config.num_threads));
+  AOD_RETURN_NOT_OK(reader.ExpectEnd());
+  config.collect_removal_sets = removal != 0;
+  config.enable_sampling_filter = sampling != 0;
+  if (config.validator > 2) {
+    return Status::ParseError("unknown validator kind " +
+                              std::to_string(config.validator));
+  }
+  if (!(config.epsilon >= 0.0 && config.epsilon <= 1.0)) {
+    return Status::ParseError("config epsilon outside [0, 1]");
+  }
+  return config;
+}
+
+std::vector<uint8_t> EncodeTableBlock(const EncodedTable& table) {
+  WireWriter writer;
+  writer.PutI64(table.num_rows());
+  writer.PutU32(static_cast<uint32_t>(table.num_columns()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const EncodedColumn& col = table.column(c);
+    writer.PutString(col.name);
+    writer.PutI32(col.cardinality);
+    writer.PutI32Array(col.ranks);
+  }
+  return writer.SealFrame(FrameType::kTableBlock);
+}
+
+Result<EncodedTable> DecodeTableBlock(const DecodedFrame& frame) {
+  if (frame.type != FrameType::kTableBlock) {
+    return Status::ParseError("frame is not a table block");
+  }
+  WireReader reader(frame.payload, frame.size);
+  int64_t num_rows = 0;
+  uint32_t num_columns = 0;
+  AOD_RETURN_NOT_OK(reader.GetI64(&num_rows));
+  AOD_RETURN_NOT_OK(reader.GetU32(&num_columns));
+  if (num_rows < 0) return Status::ParseError("negative table row count");
+  if (num_columns > static_cast<uint32_t>(AttributeSet::kMaxAttributes)) {
+    return Status::ParseError("table block exceeds the attribute limit");
+  }
+  std::vector<EncodedColumn> columns;
+  columns.reserve(num_columns);
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    EncodedColumn col;
+    AOD_RETURN_NOT_OK(reader.GetString(&col.name));
+    AOD_RETURN_NOT_OK(reader.GetI32(&col.cardinality));
+    AOD_RETURN_NOT_OK(reader.GetI32Array(&col.ranks));
+    if (static_cast<int64_t>(col.ranks.size()) != num_rows) {
+      return Status::ParseError("column length disagrees with row count");
+    }
+    if (col.cardinality < 0 ||
+        static_cast<int64_t>(col.cardinality) > num_rows) {
+      return Status::ParseError("column cardinality out of range");
+    }
+    for (int32_t rank : col.ranks) {
+      if (rank < 0 || rank >= col.cardinality) {
+        return Status::ParseError("rank outside its declared cardinality");
+      }
+    }
+    columns.push_back(std::move(col));
+  }
+  AOD_RETURN_NOT_OK(reader.ExpectEnd());
+  return EncodedTable(std::move(columns), num_rows);
+}
+
+std::vector<uint8_t> EncodeShutdown() {
+  WireWriter writer;
+  return writer.SealFrame(FrameType::kShutdown);
+}
+
+std::vector<uint8_t> EncodeStatsFooter(const ShardStatsFooter& footer) {
+  WireWriter writer;
+  writer.PutU32(footer.shard_id);
+  writer.PutI64(footer.frames_served);
+  writer.PutI64(footer.products_computed);
+  writer.PutI64(footer.partitions_evicted);
+  writer.PutI64(footer.partition_bytes_evicted);
+  writer.PutI64(footer.partition_bytes_final);
+  writer.PutI64(footer.partition_bytes_peak);
+  writer.PutDouble(footer.partition_seconds);
+  return writer.SealFrame(FrameType::kStatsFooter);
+}
+
+Result<ShardStatsFooter> DecodeStatsFooter(const DecodedFrame& frame) {
+  if (frame.type != FrameType::kStatsFooter) {
+    return Status::ParseError("frame is not a stats footer");
+  }
+  WireReader reader(frame.payload, frame.size);
+  ShardStatsFooter footer;
+  AOD_RETURN_NOT_OK(reader.GetU32(&footer.shard_id));
+  AOD_RETURN_NOT_OK(reader.GetI64(&footer.frames_served));
+  AOD_RETURN_NOT_OK(reader.GetI64(&footer.products_computed));
+  AOD_RETURN_NOT_OK(reader.GetI64(&footer.partitions_evicted));
+  AOD_RETURN_NOT_OK(reader.GetI64(&footer.partition_bytes_evicted));
+  AOD_RETURN_NOT_OK(reader.GetI64(&footer.partition_bytes_final));
+  AOD_RETURN_NOT_OK(reader.GetI64(&footer.partition_bytes_peak));
+  AOD_RETURN_NOT_OK(reader.GetDouble(&footer.partition_seconds));
+  AOD_RETURN_NOT_OK(reader.ExpectEnd());
+  if (footer.frames_served < 0 || footer.products_computed < 0 ||
+      footer.partitions_evicted < 0 || footer.partition_bytes_evicted < 0 ||
+      footer.partition_bytes_final < 0 || footer.partition_bytes_peak < 0) {
+    return Status::ParseError("negative counter in stats footer");
+  }
+  return footer;
 }
 
 }  // namespace shard

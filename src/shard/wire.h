@@ -25,10 +25,12 @@
 #define AOD_SHARD_WIRE_H_
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "data/encoder.h"
 #include "partition/attribute_set.h"
 #include "partition/stripped_partition.h"
 
@@ -47,6 +49,19 @@ enum class FrameType : uint16_t {
   kCandidateBatch = 2,
   /// The outcomes a shard completed for one candidate batch.
   kResultBatch = 3,
+  /// The rank-encoded table columns, shipped once at startup to a
+  /// runner in its own process (in-process runners share the table by
+  /// pointer and never see this frame).
+  kTableBlock = 4,
+  /// The runner's validation configuration, shipped before the table.
+  kConfigBlock = 5,
+  /// Coordinator -> runner: the run is over; reply with a stats footer
+  /// and exit the serve loop. Empty payload.
+  kShutdown = 6,
+  /// Runner -> coordinator: the terminal frame of a shard conversation,
+  /// carrying the shard's DiscoveryStats counters so remote runners
+  /// aggregate without object access.
+  kStatsFooter = 7,
 };
 
 /// FNV-1a 64 over `size` bytes — the frame checksum.
@@ -66,6 +81,8 @@ class WireWriter {
   void PutDouble(double v);
   /// u64 count followed by the values.
   void PutI32Array(const std::vector<int32_t>& values);
+  /// u64 byte length followed by the bytes.
+  void PutString(const std::string& s);
   void PutBytes(const uint8_t* data, size_t size);
 
   const std::vector<uint8_t>& payload() const { return payload_; }
@@ -93,6 +110,7 @@ class WireReader {
   Status GetI64(int64_t* v);
   Status GetDouble(double* v);
   Status GetI32Array(std::vector<int32_t>* values);
+  Status GetString(std::string* s);
 
   const uint8_t* cursor() const { return data_ + pos_; }
   size_t remaining() const { return size_ - pos_; }
@@ -166,6 +184,59 @@ Result<std::vector<WireCandidate>> DecodeCandidateBatch(
 std::vector<uint8_t> EncodeResultBatch(
     const std::vector<WireOutcome>& outcomes);
 Result<std::vector<WireOutcome>> DecodeResultBatch(const DecodedFrame& frame);
+
+/// The shard-relevant validation configuration, flattened to wire-level
+/// scalars so this module stays independent of od/. The coordinator
+/// fills it from ShardRunnerOptions; shard_runner_main converts it back.
+struct WireRunnerConfig {
+  uint32_t shard_id = 0;
+  /// ValidatorKind's underlying value; decoders reject anything > 2.
+  uint8_t validator = 2;
+  double epsilon = 0.1;
+  bool collect_removal_sets = false;
+  bool enable_sampling_filter = false;
+  int64_t sampler_sample_size = 2000;
+  double sampler_reject_margin = 0.5;
+  uint64_t sampler_seed = 7;
+  int64_t partition_memory_budget_bytes = 0;
+  /// Worker threads for the runner's own pool (process transport only;
+  /// determinism does not depend on it).
+  uint32_t num_threads = 1;
+};
+
+std::vector<uint8_t> EncodeConfigBlock(const WireRunnerConfig& config);
+Result<WireRunnerConfig> DecodeConfigBlock(const DecodedFrame& frame);
+
+/// Rank-encoded columns only — names, cardinalities and the int32 rank
+/// arrays. Dictionaries (raw values) never cross the shard seam:
+/// validators are pure integer work, so the decoded table carries empty
+/// dictionaries. Decoding validates every rank against its declared
+/// cardinality and every column length against num_rows.
+std::vector<uint8_t> EncodeTableBlock(const EncodedTable& table);
+Result<EncodedTable> DecodeTableBlock(const DecodedFrame& frame);
+
+/// An empty-payload kShutdown frame.
+std::vector<uint8_t> EncodeShutdown();
+
+/// The per-shard DiscoveryStats counters a runner reports in its
+/// terminal frame. Doubles are timing (exempt from the determinism
+/// contract); the integer counters are pure functions of the batches
+/// the shard served.
+struct ShardStatsFooter {
+  uint32_t shard_id = 0;
+  /// Frames the runner served (bases + batches + shutdown) — a cheap
+  /// conversation-length cross-check for the coordinator.
+  int64_t frames_served = 0;
+  int64_t products_computed = 0;
+  int64_t partitions_evicted = 0;
+  int64_t partition_bytes_evicted = 0;
+  int64_t partition_bytes_final = 0;
+  int64_t partition_bytes_peak = 0;
+  double partition_seconds = 0.0;
+};
+
+std::vector<uint8_t> EncodeStatsFooter(const ShardStatsFooter& footer);
+Result<ShardStatsFooter> DecodeStatsFooter(const DecodedFrame& frame);
 
 }  // namespace shard
 }  // namespace aod

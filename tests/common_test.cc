@@ -129,7 +129,7 @@ TEST(StopwatchTest, MeasuresNonNegativeMonotoneTime) {
   Stopwatch sw;
   int64_t first = sw.ElapsedNanos();
   EXPECT_GE(first, 0);
-  volatile int sink = 0;
+  volatile int64_t sink = 0;  // int would overflow (UB) before 100k sums
   for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(sw.ElapsedNanos(), first);
   sw.Restart();

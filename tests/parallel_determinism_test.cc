@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "exec/thread_pool.h"
+#include "flaky_channel.h"
 #include "gen/flight_generator.h"
 #include "gen/ncvoter_generator.h"
 #include "od/discovery.h"
@@ -331,6 +334,73 @@ TEST(ParallelDeterminismTest, ShardedSamplingFilterMatchesUnsharded) {
   options.num_shards = 4;
   options.num_threads = 4;
   EXPECT_EQ(OutputFingerprint(DiscoverOds(enc, options)), expected);
+}
+
+TEST(ParallelDeterminismTest, SocketTransportMatchesInProcessBitExactly) {
+  // The off-box seam's determinism gate (transport dimension): the
+  // localhost TCP transport — real length framing, partial reads,
+  // writer threads — must reproduce the in-process transport's full
+  // fingerprint (stats included) and the unsharded output, for every
+  // shard count. Byte volume must match too: the same frames cross
+  // either seam. The process transport variant lives in
+  // shard_process_e2e_test (it needs the runner binary).
+  Table t = GenerateNcVoterTable(400, 6, 11);
+  EncodedTable enc = EncodeTable(t);
+  DiscoveryOptions options;
+  options.epsilon = 0.1;
+  options.collect_removal_sets = true;
+  options.num_threads = 2;
+  const std::string expected_output = OutputFingerprint(DiscoverOds(enc, options));
+
+  for (int shards : {1, 2, 4}) {
+    SCOPED_TRACE("num_shards=" + std::to_string(shards));
+    options.num_shards = shards;
+    options.shard_transport = ShardTransport::kInProcess;
+    DiscoveryResult inproc = DiscoverOds(enc, options);
+    ASSERT_TRUE(inproc.shard_status.ok());
+    options.shard_transport = ShardTransport::kSocket;
+    DiscoveryResult socket = DiscoverOds(enc, options);
+    ASSERT_TRUE(socket.shard_status.ok()) << socket.shard_status.ToString();
+    EXPECT_EQ(Fingerprint(socket), Fingerprint(inproc));
+    EXPECT_EQ(OutputFingerprint(socket), expected_output);
+    EXPECT_EQ(socket.stats.shard_bytes_shipped,
+              inproc.stats.shard_bytes_shipped);
+    // Footer-fed partition counters arrived over either transport.
+    EXPECT_EQ(socket.stats.partitions_computed,
+              inproc.stats.partitions_computed);
+    EXPECT_GT(socket.stats.partition_bytes_peak, 0);
+  }
+}
+
+TEST(ParallelDeterminismTest, PassThroughFlakyDecoratorKeepsContract) {
+  // The fault-injection decorator in pass-through mode is perfectly
+  // transparent: the sharded determinism contract must hold unchanged
+  // with every coordinator endpoint wrapped — the guarantee that the
+  // fault-injection suite exercises the real pipeline, not a fork.
+  Table t = GenerateNcVoterTable(300, 6, 17);
+  EncodedTable enc = EncodeTable(t);
+  DiscoveryOptions options;
+  options.epsilon = 0.1;
+  options.collect_removal_sets = true;
+  options.num_threads = 2;
+  const std::string expected = OutputFingerprint(DiscoverOds(enc, options));
+
+  options.num_shards = 2;
+  options.shard_channel_decorator =
+      [](std::unique_ptr<shard::ShardChannel> inner)
+      -> std::unique_ptr<shard::ShardChannel> {
+    return std::make_unique<testing_util::FlakyChannel>(
+        std::move(inner), testing_util::FlakyChannel::Plan{});
+  };
+  for (ShardTransport transport :
+       {ShardTransport::kInProcess, ShardTransport::kSocket}) {
+    SCOPED_TRACE(ShardTransportToString(transport));
+    options.shard_transport = transport;
+    DiscoveryResult wrapped = DiscoverOds(enc, options);
+    ASSERT_TRUE(wrapped.shard_status.ok())
+        << wrapped.shard_status.ToString();
+    EXPECT_EQ(OutputFingerprint(wrapped), expected);
+  }
 }
 
 TEST(ParallelDeterminismTest, ShardedBudgetForcesEvictionWithoutOutputDrift) {

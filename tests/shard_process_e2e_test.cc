@@ -1,0 +1,174 @@
+// End-to-end off-box sharding: spawn real shard_runner_main processes,
+// run discovery over the socket and process transports, and diff the
+// output byte-for-byte against the unsharded run. This is the
+// acceptance gate of the off-box seam: shard_transport ∈ {inproc,
+// socket, process} × num_shards ∈ {1, 2, 4} must be bit-identical, the
+// stats footers must deliver the shard-side counters, and a runner that
+// cannot start must surface as a typed error, not a hang or a crash.
+//
+// The runner binary is found next to this test binary (both live in the
+// build root); AOD_SHARD_RUNNER overrides.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "gen/ncvoter_generator.h"
+#include "od/discovery.h"
+#include "test_util.h"
+
+namespace aod {
+namespace {
+
+std::string RunnerBinaryPath() {
+  if (const char* env = std::getenv("AOD_SHARD_RUNNER")) return env;
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  const std::string sibling =
+      (std::filesystem::path(buf).parent_path() / "shard_runner_main")
+          .string();
+  return std::filesystem::exists(sibling) ? sibling : "";
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a,", v);  // exact hex fingerprint
+  *out += buf;
+}
+
+/// Byte-exact serialization of both dependency lists with every payload
+/// field — what "diff output byte-for-byte against the unsharded run"
+/// means (see parallel_determinism_test for the full-stats variant).
+std::string OutputFingerprint(const DiscoveryResult& result) {
+  std::string out;
+  for (const DiscoveredOc& d : result.ocs) {
+    out += std::to_string(d.oc.context.bits()) + "," +
+           std::to_string(d.oc.a) + "," + std::to_string(d.oc.b) + "," +
+           (d.oc.opposite ? "1," : "0,");
+    AppendDouble(&out, d.approx_factor);
+    out += std::to_string(d.removal_size) + "," + std::to_string(d.level) +
+           ",";
+    AppendDouble(&out, d.interestingness);
+    for (int32_t r : d.removal_rows) out += std::to_string(r) + ",";
+    out += ';';
+  }
+  out += '|';
+  for (const DiscoveredOfd& d : result.ofds) {
+    out += std::to_string(d.ofd.context.bits()) + "," +
+           std::to_string(d.ofd.a) + ",";
+    AppendDouble(&out, d.approx_factor);
+    out += std::to_string(d.removal_size) + "," + std::to_string(d.level) +
+           ",";
+    AppendDouble(&out, d.interestingness);
+    for (int32_t r : d.removal_rows) out += std::to_string(r) + ",";
+    out += ';';
+  }
+  return out;
+}
+
+TEST(ShardProcessE2eTest, AllTransportsMatchUnshardedBitExactly) {
+  const std::string runner = RunnerBinaryPath();
+  if (runner.empty()) {
+    GTEST_SKIP() << "shard_runner_main not found next to the test binary";
+  }
+  Table t = GenerateNcVoterTable(300, 6, 11);
+  EncodedTable enc = EncodeTable(t);
+
+  DiscoveryOptions options;
+  options.epsilon = 0.1;
+  options.collect_removal_sets = true;
+  options.num_threads = 2;
+  DiscoveryResult unsharded = DiscoverOds(enc, options);
+  ASSERT_TRUE(unsharded.shard_status.ok());
+  const std::string expected = OutputFingerprint(unsharded);
+
+  options.shard_runner_path = runner;
+  for (ShardTransport transport :
+       {ShardTransport::kInProcess, ShardTransport::kSocket,
+        ShardTransport::kProcess}) {
+    options.shard_transport = transport;
+    for (int shards : {1, 2, 4}) {
+      SCOPED_TRACE(std::string(ShardTransportToString(transport)) +
+                   " x shards=" + std::to_string(shards));
+      options.num_shards = shards;
+      DiscoveryResult sharded = DiscoverOds(enc, options);
+      ASSERT_TRUE(sharded.shard_status.ok())
+          << sharded.shard_status.ToString();
+      EXPECT_EQ(OutputFingerprint(sharded), expected);
+      EXPECT_EQ(sharded.stats.shards_used, shards);
+      EXPECT_GT(sharded.stats.shard_bytes_shipped, 0);
+      // Stats footers delivered the shard-side partition counters.
+      EXPECT_GT(sharded.stats.partitions_computed, 0);
+      EXPECT_GT(sharded.stats.partition_bytes_peak, 0);
+    }
+  }
+}
+
+TEST(ShardProcessE2eTest, ProcessTransportShipsTheTable) {
+  const std::string runner = RunnerBinaryPath();
+  if (runner.empty()) {
+    GTEST_SKIP() << "shard_runner_main not found next to the test binary";
+  }
+  Table t = GenerateNcVoterTable(250, 5, 3);
+  EncodedTable enc = EncodeTable(t);
+  DiscoveryOptions options;
+  options.epsilon = 0.1;
+  options.num_shards = 2;
+  options.num_threads = 1;
+
+  options.shard_transport = ShardTransport::kInProcess;
+  DiscoveryResult inproc = DiscoverOds(enc, options);
+  ASSERT_TRUE(inproc.shard_status.ok());
+
+  options.shard_transport = ShardTransport::kProcess;
+  options.shard_runner_path = runner;
+  DiscoveryResult process = DiscoverOds(enc, options);
+  ASSERT_TRUE(process.shard_status.ok()) << process.shard_status.ToString();
+
+  // Identical output, heavier wire: the process runners additionally
+  // received a config block and the full rank-encoded table.
+  EXPECT_EQ(OutputFingerprint(process), OutputFingerprint(inproc));
+  EXPECT_GT(process.stats.shard_bytes_shipped,
+            inproc.stats.shard_bytes_shipped);
+  // Shard-local derivation schedules are transport-independent.
+  EXPECT_EQ(process.stats.partitions_computed,
+            inproc.stats.partitions_computed);
+}
+
+TEST(ShardProcessE2eTest, MissingRunnerBinaryIsTypedNotACrash) {
+  Table t = GenerateNcVoterTable(60, 3, 5);
+  EncodedTable enc = EncodeTable(t);
+  DiscoveryOptions options;
+  options.num_shards = 2;
+  options.shard_transport = ShardTransport::kProcess;
+  options.shard_runner_path = "/nonexistent/aod_shard_runner";
+  options.shard_io_timeout_seconds = 1.0;
+  DiscoveryResult result = DiscoverOds(enc, options);
+  ASSERT_FALSE(result.shard_status.ok());
+  EXPECT_TRUE(result.ocs.empty());
+  EXPECT_TRUE(result.ofds.empty());
+}
+
+TEST(ShardProcessE2eTest, RunnerThatNeverConnectsTimesOutTyped) {
+  Table t = GenerateNcVoterTable(60, 3, 5);
+  EncodedTable enc = EncodeTable(t);
+  DiscoveryOptions options;
+  options.num_shards = 1;
+  options.shard_transport = ShardTransport::kProcess;
+  // Spawns fine, exits immediately, never speaks the protocol: the
+  // accept must time out with a typed error, not hang.
+  options.shard_runner_path = "/bin/true";
+  options.shard_io_timeout_seconds = 0.5;
+  DiscoveryResult result = DiscoverOds(enc, options);
+  ASSERT_FALSE(result.shard_status.ok());
+  EXPECT_EQ(result.shard_status.code(), StatusCode::kIoError)
+      << result.shard_status.ToString();
+}
+
+}  // namespace
+}  // namespace aod

@@ -22,6 +22,19 @@ namespace {
 
 using shard::DecodedFrame;
 using shard::DecodeFrame;
+
+/// DecodeFrame returns a view that aliases its input buffer, so the
+/// bytes must outlive the view — this holder pins that rule for tests
+/// that decode a just-encoded temporary (ASan caught the dangling
+/// variant of this pattern).
+struct HeldFrame {
+  std::vector<uint8_t> bytes;
+  Result<DecodedFrame> decoded;
+  explicit HeldFrame(std::vector<uint8_t> b)
+      : bytes(std::move(b)), decoded(DecodeFrame(bytes)) {}
+  bool ok() const { return decoded.ok(); }
+  const DecodedFrame& operator*() const { return *decoded; }
+};
 using shard::FrameType;
 using shard::InProcessChannel;
 using shard::WireCandidate;
@@ -241,8 +254,7 @@ TEST(ShardWireTest, CandidateBatchRoundTrip) {
   oc.opposite = true;
   batch.push_back(oc);
 
-  Result<DecodedFrame> frame =
-      DecodeFrame(shard::EncodeCandidateBatch(batch));
+  HeldFrame frame(shard::EncodeCandidateBatch(batch));
   ASSERT_TRUE(frame.ok());
   Result<std::vector<WireCandidate>> back =
       shard::DecodeCandidateBatch(*frame);
@@ -274,7 +286,7 @@ TEST(ShardWireTest, ResultBatchRoundTripIsBitExact) {
   outcomes.push_back(o);
   outcomes.push_back(WireOutcome{});
 
-  Result<DecodedFrame> frame = DecodeFrame(shard::EncodeResultBatch(outcomes));
+  HeldFrame frame(shard::EncodeResultBatch(outcomes));
   ASSERT_TRUE(frame.ok());
   Result<std::vector<WireOutcome>> back = shard::DecodeResultBatch(*frame);
   ASSERT_TRUE(back.ok());
@@ -289,6 +301,115 @@ TEST(ShardWireTest, ResultBatchRoundTripIsBitExact) {
   EXPECT_EQ(b.seconds, o.seconds);
   EXPECT_EQ(b.removal_rows, o.removal_rows);
   EXPECT_FALSE((*back)[1].valid);
+}
+
+TEST(ShardWireTest, ConfigBlockRoundTripAndRejection) {
+  shard::WireRunnerConfig config;
+  config.shard_id = 3;
+  config.validator = 1;
+  config.epsilon = 0.1 + 1e-17;  // bit-exact or bust
+  config.collect_removal_sets = true;
+  config.enable_sampling_filter = true;
+  config.sampler_sample_size = 512;
+  config.sampler_reject_margin = 0.25;
+  config.sampler_seed = 99;
+  config.partition_memory_budget_bytes = 1 << 20;
+  config.num_threads = 4;
+
+  HeldFrame frame(shard::EncodeConfigBlock(config));
+  ASSERT_TRUE(frame.ok());
+  Result<shard::WireRunnerConfig> back = shard::DecodeConfigBlock(*frame);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->shard_id, 3u);
+  EXPECT_EQ(back->validator, 1);
+  EXPECT_EQ(back->epsilon, config.epsilon);
+  EXPECT_TRUE(back->collect_removal_sets);
+  EXPECT_TRUE(back->enable_sampling_filter);
+  EXPECT_EQ(back->sampler_sample_size, 512);
+  EXPECT_EQ(back->sampler_reject_margin, 0.25);
+  EXPECT_EQ(back->sampler_seed, 99u);
+  EXPECT_EQ(back->partition_memory_budget_bytes, 1 << 20);
+  EXPECT_EQ(back->num_threads, 4u);
+
+  // Structural rejection: a validator kind that does not exist and an
+  // epsilon outside [0, 1] decode as ParseError, not as garbage config.
+  config.validator = 9;
+  HeldFrame bad_validator(shard::EncodeConfigBlock(config));
+  ASSERT_TRUE(bad_validator.ok());
+  EXPECT_FALSE(shard::DecodeConfigBlock(*bad_validator).ok());
+  config.validator = 1;
+  config.epsilon = 1.5;
+  HeldFrame bad_epsilon(shard::EncodeConfigBlock(config));
+  EXPECT_FALSE(shard::DecodeConfigBlock(*bad_epsilon).ok());
+}
+
+TEST(ShardWireTest, TableBlockRoundTripsRanksExactly) {
+  EncodedTable t = testing_util::RandomEncodedTable(120, 4, 7, 21);
+  HeldFrame frame(shard::EncodeTableBlock(t));
+  ASSERT_TRUE(frame.ok());
+  Result<EncodedTable> back = shard::DecodeTableBlock(*frame);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_columns(), t.num_columns());
+  ASSERT_EQ(back->num_rows(), t.num_rows());
+  for (int c = 0; c < t.num_columns(); ++c) {
+    EXPECT_EQ(back->name(c), t.name(c));
+    EXPECT_EQ(back->ranks(c), t.ranks(c));
+    EXPECT_EQ(back->column(c).cardinality, t.column(c).cardinality);
+    // Dictionaries never cross the seam (validators are rank-only).
+    EXPECT_TRUE(back->column(c).dictionary.empty());
+  }
+}
+
+TEST(ShardWireTest, TableBlockCorruptionDetectedAtEveryByte) {
+  EncodedTable t = testing_util::RandomEncodedTable(20, 2, 3, 5);
+  const std::vector<uint8_t> frame = shard::EncodeTableBlock(t);
+  for (size_t i = 0; i < frame.size(); ++i) {
+    std::vector<uint8_t> bad = frame;
+    bad[i] ^= 0x5a;
+    Result<DecodedFrame> decoded = DecodeFrame(bad);
+    if (!decoded.ok()) continue;
+    EXPECT_FALSE(shard::DecodeTableBlock(*decoded).ok())
+        << "corrupted byte " << i << " accepted";
+  }
+}
+
+TEST(ShardWireTest, StatsFooterRoundTripAndShutdownFrame) {
+  shard::ShardStatsFooter footer;
+  footer.shard_id = 7;
+  footer.frames_served = 12;
+  footer.products_computed = 34;
+  footer.partitions_evicted = 2;
+  footer.partition_bytes_evicted = 4096;
+  footer.partition_bytes_final = 123;
+  footer.partition_bytes_peak = 456;
+  footer.partition_seconds = 1.0 / 3.0;
+
+  HeldFrame frame(shard::EncodeStatsFooter(footer));
+  ASSERT_TRUE(frame.ok());
+  Result<shard::ShardStatsFooter> back = shard::DecodeStatsFooter(*frame);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->shard_id, 7u);
+  EXPECT_EQ(back->frames_served, 12);
+  EXPECT_EQ(back->products_computed, 34);
+  EXPECT_EQ(back->partitions_evicted, 2);
+  EXPECT_EQ(back->partition_bytes_evicted, 4096);
+  EXPECT_EQ(back->partition_bytes_final, 123);
+  EXPECT_EQ(back->partition_bytes_peak, 456);
+  EXPECT_EQ(back->partition_seconds, footer.partition_seconds);
+
+  // Negative counters are structurally impossible outputs; reject them.
+  footer.products_computed = -1;
+  HeldFrame bad(shard::EncodeStatsFooter(footer));
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(shard::DecodeStatsFooter(*bad).ok());
+
+  // The shutdown frame is a bare, checksummed header.
+  HeldFrame shutdown(shard::EncodeShutdown());
+  ASSERT_TRUE(shutdown.ok());
+  EXPECT_EQ((*shutdown).type, FrameType::kShutdown);
+  EXPECT_EQ((*shutdown).size, 0u);
+  // And like every frame, a footer decoder refuses it.
+  EXPECT_FALSE(shard::DecodeStatsFooter(*shutdown).ok());
 }
 
 // ---------------------------------------------------------- channel --
@@ -319,7 +440,7 @@ TEST(ShardWireTest, WireSeededCacheDerivesIdenticalPartitions) {
   seeded.set_planner_enabled(false);
   for (int a = 0; a < t.num_columns(); ++a) {
     // Through the full frame path, as a shard runner receives them.
-    Result<DecodedFrame> frame = DecodeFrame(shard::EncodePartitionBlock(
+    HeldFrame frame(shard::EncodePartitionBlock(
         AttributeSet::Of({a}),
         StrippedPartition::FromColumn(t.column(a))));
     ASSERT_TRUE(frame.ok());
