@@ -1,0 +1,333 @@
+// Micro-benchmark of the shard wire codecs (src/shard/wire.{h,cc}).
+//
+// For each codec-bearing frame type — partition CSR blocks, candidate
+// batches, result batches, and the rank-encoded table block — this
+// harness measures encode and decode throughput (MiB/s of *raw* payload
+// processed, so raw and compressed rows are directly comparable) and
+// the compression ratio (raw frame bytes / wire frame bytes). Shapes
+// mirror what actually crosses the seam in exp8: low-cardinality base
+// partitions with long ascending runs (the canonical normal form the
+// delta/varint codec exploits), derived partitions with more classes,
+// per-level candidate batches with near-sequential slots, and result
+// chunks with and without removal rows.
+//
+// With --json <path> the series is written as machine-readable JSON (CI
+// uploads it as BENCH_micro_wire.json).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "data/encoder.h"
+#include "gen/random.h"
+#include "partition/attribute_set.h"
+#include "partition/stripped_partition.h"
+#include "shard/wire.h"
+
+namespace aod {
+namespace bench {
+namespace {
+
+using shard::CodecByteCounts;
+using shard::DecodedFrame;
+using shard::WireCandidate;
+using shard::WireOutcome;
+
+struct CodecRow {
+  std::string frame_type;   // "partition", "candidate", ...
+  std::string shape;        // which workload variant
+  bool compression = true;
+  int64_t raw_bytes = 0;    // one frame, all-raw baseline (header incl.)
+  int64_t wire_bytes = 0;   // one frame as shipped
+  double encode_mib_s = 0.0;
+  double decode_mib_s = 0.0;
+};
+
+double Ratio(const CodecRow& r) {
+  return r.wire_bytes > 0
+             ? static_cast<double>(r.raw_bytes) /
+                   static_cast<double>(r.wire_bytes)
+             : 0.0;
+}
+
+/// Repeats `fn` until ~80ms of wall clock accumulates and returns the
+/// per-iteration seconds — enough samples to flatten scheduler noise
+/// without making the full suite slow.
+template <typename Fn>
+double TimePerIteration(const Fn& fn) {
+  int iters = 0;
+  Stopwatch sw;
+  do {
+    fn();
+    ++iters;
+  } while (sw.ElapsedSeconds() < 0.08);
+  return sw.ElapsedSeconds() / iters;
+}
+
+/// Throughput in MiB/s of raw payload moved per second.
+double MibPerSecond(int64_t raw_bytes, double seconds_per_iter) {
+  if (seconds_per_iter <= 0.0) return 0.0;
+  return static_cast<double>(raw_bytes) / (1 << 20) / seconds_per_iter;
+}
+
+CodecRow MeasurePartition(const std::string& shape,
+                          const StrippedPartition& p, int64_t rows,
+                          bool compression) {
+  CodecRow row;
+  row.frame_type = "partition";
+  row.shape = shape;
+  row.compression = compression;
+  const AttributeSet set = AttributeSet::Of({0});
+  CodecByteCounts counts;
+  std::vector<uint8_t> frame =
+      shard::EncodePartitionBlock(set, p, compression, &counts);
+  row.raw_bytes = counts.raw;
+  row.wire_bytes = counts.wire;
+  row.encode_mib_s = MibPerSecond(
+      counts.raw, TimePerIteration([&] {
+        volatile size_t sink =
+            shard::EncodePartitionBlock(set, p, compression).size();
+        (void)sink;
+      }));
+  Result<DecodedFrame> decoded = shard::DecodeFrame(frame);
+  AOD_CHECK(decoded.ok());
+  row.decode_mib_s = MibPerSecond(
+      counts.raw, TimePerIteration([&] {
+        auto back = shard::DecodePartitionBlock(*decoded, rows);
+        AOD_CHECK(back.ok());
+      }));
+  return row;
+}
+
+CodecRow MeasureCandidates(const std::string& shape,
+                           const std::vector<WireCandidate>& batch,
+                           bool compression) {
+  CodecRow row;
+  row.frame_type = "candidate";
+  row.shape = shape;
+  row.compression = compression;
+  CodecByteCounts counts;
+  std::vector<uint8_t> frame =
+      shard::EncodeCandidateBatch(batch, compression, &counts);
+  row.raw_bytes = counts.raw;
+  row.wire_bytes = counts.wire;
+  row.encode_mib_s = MibPerSecond(
+      counts.raw, TimePerIteration([&] {
+        volatile size_t sink =
+            shard::EncodeCandidateBatch(batch, compression).size();
+        (void)sink;
+      }));
+  Result<DecodedFrame> decoded = shard::DecodeFrame(frame);
+  AOD_CHECK(decoded.ok());
+  row.decode_mib_s = MibPerSecond(
+      counts.raw, TimePerIteration([&] {
+        auto back = shard::DecodeCandidateBatch(*decoded);
+        AOD_CHECK(back.ok());
+      }));
+  return row;
+}
+
+CodecRow MeasureResults(const std::string& shape,
+                        const std::vector<WireOutcome>& outcomes,
+                        bool compression) {
+  CodecRow row;
+  row.frame_type = "result";
+  row.shape = shape;
+  row.compression = compression;
+  CodecByteCounts counts;
+  std::vector<uint8_t> frame =
+      shard::EncodeResultBatch(outcomes, true, compression, &counts);
+  row.raw_bytes = counts.raw;
+  row.wire_bytes = counts.wire;
+  row.encode_mib_s = MibPerSecond(
+      counts.raw, TimePerIteration([&] {
+        volatile size_t sink =
+            shard::EncodeResultBatch(outcomes, true, compression).size();
+        (void)sink;
+      }));
+  Result<DecodedFrame> decoded = shard::DecodeFrame(frame);
+  AOD_CHECK(decoded.ok());
+  row.decode_mib_s = MibPerSecond(
+      counts.raw, TimePerIteration([&] {
+        auto back = shard::DecodeResultBatch(*decoded);
+        AOD_CHECK(back.ok());
+      }));
+  return row;
+}
+
+CodecRow MeasureTable(const std::string& shape, const EncodedTable& table,
+                      bool compression) {
+  CodecRow row;
+  row.frame_type = "table";
+  row.shape = shape;
+  row.compression = compression;
+  CodecByteCounts counts;
+  std::vector<uint8_t> frame =
+      shard::EncodeTableBlock(table, compression, &counts);
+  row.raw_bytes = counts.raw;
+  row.wire_bytes = counts.wire;
+  row.encode_mib_s = MibPerSecond(
+      counts.raw, TimePerIteration([&] {
+        volatile size_t sink =
+            shard::EncodeTableBlock(table, compression).size();
+        (void)sink;
+      }));
+  Result<DecodedFrame> decoded = shard::DecodeFrame(frame);
+  AOD_CHECK(decoded.ok());
+  row.decode_mib_s = MibPerSecond(
+      counts.raw, TimePerIteration([&] {
+        auto back = shard::DecodeTableBlock(*decoded);
+        AOD_CHECK(back.ok());
+      }));
+  return row;
+}
+
+EncodedTable RandomEncodedTable(int64_t rows, int cols, int64_t cardinality,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int64_t>> columns(static_cast<size_t>(cols));
+  std::vector<std::string> names;
+  for (int c = 0; c < cols; ++c) {
+    names.push_back("c" + std::to_string(c));
+    for (int64_t r = 0; r < rows; ++r) {
+      columns[static_cast<size_t>(c)].push_back(
+          rng.UniformInt(0, cardinality - 1));
+    }
+  }
+  return EncodedTableFromInts(names, columns);
+}
+
+std::vector<WireCandidate> MakeCandidates(int64_t n) {
+  Rng rng(7);
+  std::vector<WireCandidate> out;
+  for (int64_t i = 0; i < n; ++i) {
+    WireCandidate c;
+    c.slot = static_cast<uint64_t>(i);
+    c.context_bits = static_cast<uint64_t>(rng.UniformInt(0, 1 << 10));
+    c.is_ofd = (i % 3) == 0;
+    if (c.is_ofd) {
+      c.ofd_target = static_cast<int32_t>(i % 10);
+    } else {
+      c.pair_a = static_cast<int32_t>(i % 9);
+      c.pair_b = static_cast<int32_t>(i % 9 + 1);
+      c.opposite = (i % 2) == 0;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<WireOutcome> MakeOutcomes(int64_t n, bool removal_rows) {
+  Rng rng(11);
+  std::vector<WireOutcome> out;
+  for (int64_t i = 0; i < n; ++i) {
+    WireOutcome o;
+    o.slot = static_cast<uint64_t>(i);
+    o.valid = (i % 2) == 0;
+    o.early_exit = (i % 5) == 0;
+    o.removal_size = rng.UniformInt(0, 200);
+    o.approx_factor = 0.01 * static_cast<double>(rng.UniformInt(0, 10));
+    o.interestingness = 1.0 / (1.0 + static_cast<double>(i));
+    o.seconds = 1e-6;
+    if (removal_rows) {
+      int32_t row = 0;
+      for (int r = 0; r < 12; ++r) {
+        row += static_cast<int32_t>(rng.UniformInt(1, 30));
+        o.removal_rows.push_back(row);
+      }
+    }
+    out.push_back(o);
+  }
+  return out;
+}
+
+int WriteJson(const char* path, const std::vector<CodecRow>& rows) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_wire\",\n");
+  std::fprintf(f, "  \"scale\": %.4f,\n  \"rows\": [\n", Scale());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const CodecRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"frame_type\": \"%s\", \"shape\": \"%s\", "
+                 "\"compression\": %s, \"raw_bytes\": %lld, "
+                 "\"wire_bytes\": %lld, \"ratio\": %.4f, "
+                 "\"encode_mib_s\": %.2f, \"decode_mib_s\": %.2f}%s\n",
+                 r.frame_type.c_str(), r.shape.c_str(),
+                 r.compression ? "true" : "false",
+                 static_cast<long long>(r.raw_bytes),
+                 static_cast<long long>(r.wire_bytes), Ratio(r),
+                 r.encode_mib_s, r.decode_mib_s,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nJSON written to %s\n", path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aod
+
+int main(int argc, char** argv) {
+  using namespace aod::bench;
+  using aod::EncodedTable;
+  using aod::PartitionScratch;
+  using aod::StrippedPartition;
+
+  const char* json_path = JsonPathArg(argc, argv);
+  PrintHeaderLine("micro_wire: shard codec throughput + compression ratio");
+  const int64_t rows = ScaledRows(100000);
+  std::printf("scale=%.2f (%lld-row shapes)\n", Scale(),
+              static_cast<long long>(rows));
+
+  // Workload shapes. Base: one low-cardinality column partition (what
+  // Init ships to every shard). Derived: a two-column product (more,
+  // smaller classes — what budgeted re-derivation re-ships). Level
+  // batch: ~2000 near-sequential candidates; result chunks at the
+  // runner's 512-outcome grain.
+  EncodedTable base_table = RandomEncodedTable(rows, 2, 16, 42);
+  StrippedPartition base =
+      StrippedPartition::FromColumn(base_table.column(0));
+  PartitionScratch scratch(rows);
+  StrippedPartition derived =
+      base.Product(StrippedPartition::FromColumn(base_table.column(1)), rows,
+                   &scratch);
+  EncodedTable wide_table = RandomEncodedTable(rows / 10 + 1, 10, 300, 99);
+
+  std::vector<CodecRow> all;
+  for (bool compression : {true, false}) {
+    all.push_back(MeasurePartition("base_card16", base, rows, compression));
+    all.push_back(
+        MeasurePartition("derived_product", derived, rows, compression));
+    all.push_back(
+        MeasureCandidates("level_batch_2k", MakeCandidates(2000),
+                          compression));
+    all.push_back(MeasureResults("chunk_512", MakeOutcomes(512, false),
+                                 compression));
+    all.push_back(MeasureResults("chunk_512_removal",
+                                 MakeOutcomes(512, true), compression));
+    all.push_back(MeasureTable("table_10col_card300", wide_table,
+                               compression));
+  }
+
+  std::printf("%10s %20s %6s %12s %12s %7s %12s %12s\n", "frame", "shape",
+              "codec", "raw(KiB)", "wire(KiB)", "ratio", "enc MiB/s",
+              "dec MiB/s");
+  for (const CodecRow& r : all) {
+    std::printf("%10s %20s %6s %12.1f %12.1f %6.2fx %12.1f %12.1f\n",
+                r.frame_type.c_str(), r.shape.c_str(),
+                r.compression ? "delta" : "raw",
+                static_cast<double>(r.raw_bytes) / 1024,
+                static_cast<double>(r.wire_bytes) / 1024, Ratio(r),
+                r.encode_mib_s, r.decode_mib_s);
+  }
+
+  if (json_path != nullptr) return WriteJson(json_path, all);
+  return 0;
+}

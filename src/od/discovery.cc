@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/macros.h"
@@ -165,6 +166,7 @@ struct Driver {
       ropts.sampler_config = options.sampler_config;
       ropts.partition_memory_budget_bytes =
           options.partition_memory_budget_bytes;
+      ropts.wire_compression = options.shard_wire_compression;
       shard::ShardTransportOptions topts;
       topts.transport = options.shard_transport;
       topts.runner_path = options.shard_runner_path;
@@ -246,11 +248,20 @@ struct Driver {
     });
     plan.cc = cc;
 
+    // max_lhs_arity bounds the *context* size of emitted candidates: an
+    // OFD at this level has |context| = level-1, an OC has level-2.
+    // Everything below the cutoff is generated (and pruned, and merged)
+    // exactly as in the unbounded run, which is what makes the bounded
+    // result a prefix-consistent subset.
+    const int arity_bound = options.max_lhs_arity;
+
     // OFD candidates: A ∈ X ∩ C_c+(X), validated in context X\{A}.
-    x.Intersect(cc).ForEach([&](int a) { plan.ofd_targets.push_back(a); });
+    if (arity_bound == 0 || level - 1 <= arity_bound) {
+      x.Intersect(cc).ForEach([&](int a) { plan.ofd_targets.push_back(a); });
+    }
 
     // OC candidates, in both polarities when requested.
-    if (level >= 2) {
+    if (level >= 2 && (arity_bound == 0 || level - 2 <= arity_bound)) {
       std::vector<int> attrs = x.ToVector();
       for (size_t i = 0; i < attrs.size(); ++i) {
         for (size_t j = i + 1; j < attrs.size(); ++j) {
@@ -508,47 +519,47 @@ struct Driver {
           w.opposite = c.oc_pair.opposite;
           wire.push_back(w);
         }
-        std::vector<shard::WireOutcome> completed;
+        // Receive-overlapped folding: outcomes land in their slots as
+        // each result chunk decodes, while later shards' bytes are still
+        // in flight — the slot keys are deterministic, so fold order
+        // never affects the merge below. Slots come from (possibly
+        // separate-process) runners, so they cross a trust boundary: a
+        // skewed or misbehaving runner must yield a typed abort, not a
+        // CHECK crash.
+        Status fold_status;
         Status st = coordinator->ValidateBatch(
-            wire, [this] { return OverBudget(); }, &completed);
+            wire, [this] { return OverBudget(); },
+            [&](shard::WireOutcome o) {
+              if (o.slot >= outcomes.size()) {
+                if (fold_status.ok()) {
+                  fold_status = Status::InvalidArgument(
+                      "shard result slot " + std::to_string(o.slot) +
+                      " outside the level's " +
+                      std::to_string(outcomes.size()) + " candidates");
+                }
+                return;
+              }
+              CandidateOutcome& out = outcomes[static_cast<size_t>(o.slot)];
+              out.outcome.valid = o.valid;
+              out.outcome.early_exit = o.early_exit;
+              out.outcome.removal_size = o.removal_size;
+              out.outcome.approx_factor = o.approx_factor;
+              out.outcome.removal_rows = std::move(o.removal_rows);
+              out.interestingness = o.interestingness;
+              out.seconds = o.seconds;
+              out.done = 1;
+            });
+        if (st.ok() && !fold_status.ok()) st = fold_status;
         if (!st.ok()) {
           // A transport fault (runner died, corrupted frame, timeout)
-          // aborts the run with a typed status. The failed level is not
-          // merged at all — ValidateBatch delivered no outcomes — so the
-          // reported lists are the complete merge of the finished
-          // prefix, never a partially merged level.
+          // aborts the run with a typed status. The failed level is
+          // never merged — the break below skips MergeNode, discarding
+          // whatever slots folded before the fault — so the reported
+          // lists are the complete merge of the finished prefix, never
+          // a partially merged level.
           result.shard_status = std::move(st);
           result.stats.validation_wall_seconds += phase_clock.ElapsedSeconds();
           break;
-        }
-        // Slots come from (possibly separate-process) runners, so they
-        // cross a trust boundary: a skewed or misbehaving runner must
-        // yield a typed abort, not a CHECK crash.
-        bool slots_ok = true;
-        for (const shard::WireOutcome& o : completed) {
-          if (o.slot >= outcomes.size()) {
-            result.shard_status = Status::InvalidArgument(
-                "shard result slot " + std::to_string(o.slot) +
-                " outside the level's " + std::to_string(outcomes.size()) +
-                " candidates");
-            slots_ok = false;
-            break;
-          }
-        }
-        if (!slots_ok) {
-          result.stats.validation_wall_seconds += phase_clock.ElapsedSeconds();
-          break;
-        }
-        for (shard::WireOutcome& o : completed) {
-          CandidateOutcome& out = outcomes[static_cast<size_t>(o.slot)];
-          out.outcome.valid = o.valid;
-          out.outcome.early_exit = o.early_exit;
-          out.outcome.removal_size = o.removal_size;
-          out.outcome.approx_factor = o.approx_factor;
-          out.outcome.removal_rows = std::move(o.removal_rows);
-          out.interestingness = o.interestingness;
-          out.seconds = o.seconds;
-          out.done = 1;
         }
       } else {
         exec::ParallelFor(
@@ -576,8 +587,12 @@ struct Driver {
       pending_costs.clear();
       result.stats.partition_wall_seconds += phase_clock.ElapsedSeconds();
 
+      // With a bounded LHS arity m the last candidates are the OC pairs
+      // of level m+2 (context size m); levels past that emit nothing.
       const bool expect_next_level =
-          (options.max_level == 0 || level < options.max_level) && level < k;
+          (options.max_level == 0 || level < options.max_level) &&
+          (options.max_lhs_arity == 0 || level < options.max_lhs_arity + 2) &&
+          level < k;
 
       // Phase 3: serial merge in key order. Stop at the first node with
       // an unfinished candidate — everything before it is a complete,
@@ -701,6 +716,25 @@ struct Driver {
         result.stats.shard_bytes_per_shard[static_cast<size_t>(s)] =
             coordinator->bytes_shipped(s);
       }
+      // Codec accounting: what crossed the wire vs. what the same run
+      // would have shipped all-raw (footer-folded decode counts plus the
+      // coordinator's own encode/decode sites). bytes_raw_total() needs
+      // the footers, so this must come after Finish().
+      result.stats.shard_bytes_wire = coordinator->bytes_shipped_total();
+      result.stats.shard_bytes_raw = coordinator->bytes_raw_total();
+      const std::pair<shard::FrameType, const char*> kTypeNames[] = {
+          {shard::FrameType::kPartitionBlock, "partition"},
+          {shard::FrameType::kCandidateBatch, "candidate"},
+          {shard::FrameType::kResultBatch, "result"},
+          {shard::FrameType::kTableBlock, "table"},
+      };
+      for (const auto& [type, name] : kTypeNames) {
+        const shard::CodecByteCounts counts =
+            coordinator->type_byte_counts(type);
+        if (counts.raw == 0 && counts.wire == 0) continue;
+        result.stats.shard_frame_bytes.push_back(
+            {name, counts.raw, counts.wire});
+      }
     } else {
       result.stats.partitions_computed = cache.products_computed();
       result.stats.planner_derivations = cache.planner_derivations();
@@ -797,6 +831,8 @@ DiscoveryResult DiscoverOds(const EncodedTable& table,
                 "epsilon must be within [0, 1]");
   AOD_CHECK_MSG(options.num_shards >= 0 && options.num_shards <= 1024,
                 "num_shards must be within [0, 1024]");
+  AOD_CHECK_MSG(options.max_lhs_arity >= 0,
+                "max_lhs_arity must be >= 0 (0 = unbounded)");
   Driver driver(table, options);
   driver.Run();
   return std::move(driver.result);

@@ -72,6 +72,15 @@ struct DiscoveryOptions {
   ValidatorKind validator = ValidatorKind::kOptimal;
   /// Stop after this lattice level (0 = traverse to the top).
   int max_level = 0;
+  /// Bound on the left-hand-side (context) arity of emitted candidates
+  /// (0 = unbounded). An OFD at level L has |context| = L-1 and an OC
+  /// has |context| = L-2, so with a bound m the traversal stops
+  /// emitting OFD targets past level m+1 and OC pairs past level m+2 —
+  /// a prefix-consistent subset of the unbounded run (pinned in
+  /// discovery_test): every dependency with LHS arity <= m is found,
+  /// with identical fields, and nothing else is. Shrinks the candidate
+  /// space, the result volume and the shard wire volume in one option.
+  int max_lhs_arity = 0;
   /// Abort (with partial results and timed_out set) once the run exceeds
   /// this many seconds (0 = unlimited). Mirrors the paper's 24h cap on
   /// the iterative runs.
@@ -142,6 +151,12 @@ struct DiscoveryOptions {
   /// Bound on every shard-seam connect/accept/receive, so a dead runner
   /// surfaces as a typed error instead of a hang.
   double shard_io_timeout_seconds = 300.0;
+  /// Encode shard frames with the delta/varint codecs (wire.h). Output
+  /// is bit-identical with compression on or off — the codecs are
+  /// lossless and decode-side validation is shared — so this is purely
+  /// a bytes-vs-CPU knob; DiscoveryStats reports both shard_bytes_raw
+  /// and shard_bytes_wire so the ratio is observable per run.
+  bool shard_wire_compression = true;
   /// Test seam: wraps every coordinator-side shard channel (e.g. in the
   /// fault-injecting FlakyChannel decorator). Identity when empty.
   std::function<std::unique_ptr<shard::ShardChannel>(

@@ -91,7 +91,21 @@ std::string DiscoveryStats::ToString() const {
                     FormatDouble(
                         static_cast<double>(shard_bytes_shipped) / (1 << 20),
                         2) +
-                    " MiB shipped over the wire\n"
+                    " MiB shipped over the wire\n" +
+                    "  shard codecs:   " +
+                    FormatDouble(
+                        static_cast<double>(shard_bytes_wire) / (1 << 20), 2) +
+                    " MiB wire / " +
+                    FormatDouble(
+                        static_cast<double>(shard_bytes_raw) / (1 << 20), 2) +
+                    " MiB raw (ratio " +
+                    FormatDouble(shard_bytes_wire > 0
+                                     ? static_cast<double>(shard_bytes_raw) /
+                                           static_cast<double>(
+                                               shard_bytes_wire)
+                                     : 0.0,
+                                 2) +
+                    "x)\n"
               : "")
       << "candidates: " << oc_candidates_validated << " OC validated, "
       << oc_candidates_pruned << " OC pruned, " << ofd_candidates_validated

@@ -44,6 +44,21 @@ struct DiscoveryStats {
   /// directions: shipped base partitions, candidate batches, results).
   int64_t shard_bytes_shipped = 0;
   std::vector<int64_t> shard_bytes_per_shard;
+  /// The same traffic split by codec outcome: what actually crossed the
+  /// wire (post-compression; equals shard_bytes_shipped) vs. what the
+  /// identical run would have shipped with every codec forced raw —
+  /// raw/wire is the run's observable compression ratio. Folded from
+  /// the shard stats footers plus the coordinator's own result decodes.
+  int64_t shard_bytes_raw = 0;
+  int64_t shard_bytes_wire = 0;
+  /// Frame-level raw/wire bytes by frame type, counted at the
+  /// coordinator's encode/decode sites (exp8's per-type breakdown).
+  struct FrameTypeBytes {
+    std::string frame_type;
+    int64_t bytes_raw = 0;
+    int64_t bytes_wire = 0;
+  };
+  std::vector<FrameTypeBytes> shard_frame_bytes;
 
   // Exact partition-cache memory accounting (StrippedPartition::bytes(),
   // i.e. CSR payload + object headers). Peak is sampled at level

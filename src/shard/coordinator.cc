@@ -132,6 +132,7 @@ Status ShardCoordinator::InitLink(ShardLink* link, int shard_id,
       config.sampler_seed = runner_options.sampler_config.seed;
       config.partition_memory_budget_bytes =
           runner_options.partition_memory_budget_bytes;
+      config.wire_compression = runner_options.wire_compression;
       // The in-process transports share one pool across all shards;
       // give each child process its slice of it, not a full copy — N
       // children each as wide as the coordinator would oversubscribe
@@ -148,14 +149,16 @@ Status ShardCoordinator::InitLink(ShardLink* link, int shard_id,
 
 Status ShardCoordinator::Init(int num_shards,
                               const ShardRunnerOptions& runner_options) {
+  compress_ = runner_options.wire_compression;
   if (transport_.transport != ShardTransport::kInProcess) {
     AOD_ASSIGN_OR_RETURN(listener_, SocketListener::Bind());
   }
   // The table frame is shard-independent (only the config block varies
   // per shard): encode — and checksum — it once, not once per shard.
   std::vector<uint8_t> table_frame;
+  CodecByteCounts table_counts;
   if (transport_.transport == ShardTransport::kProcess) {
-    table_frame = EncodeTableBlock(*table_);
+    table_frame = EncodeTableBlock(*table_, compress_, &table_counts);
   }
   links_.reserve(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
@@ -165,19 +168,39 @@ Status ShardCoordinator::Init(int num_shards,
     links_.push_back(std::make_unique<ShardLink>());
     AOD_RETURN_NOT_OK(InitLink(links_.back().get(), s, num_shards,
                                runner_options, table_frame));
+    links_.back()->receiver =
+        std::make_unique<LogicalFrameReceiver>(links_.back()->from_shard);
+    if (transport_.transport == ShardTransport::kProcess) {
+      by_type_[static_cast<size_t>(FrameType::kTableBlock)].Add(table_counts);
+    }
   }
 
   // Seed every shard's cache over the wire: one kPartitionBlock per
-  // base (level-1) partition, serialized once and sent to all shards.
-  // Socket sends are buffered by the channel's writer thread, so even a
-  // serial coordinator cannot deadlock against an unserved peer.
+  // base (level-1) partition, serialized once, then shipped to every
+  // shard as a single kBatch envelope — one syscall per shard instead
+  // of one per base. Socket sends are buffered by the channel's writer
+  // thread, so even a serial coordinator cannot deadlock against an
+  // unserved peer.
   const int k = table_->num_columns();
+  std::vector<std::vector<uint8_t>> base_frames;
+  base_frames.reserve(static_cast<size_t>(k));
+  CodecByteCounts base_counts;
   for (int a = 0; a < k; ++a) {
-    const std::vector<uint8_t> frame = EncodePartitionBlock(
+    base_frames.push_back(EncodePartitionBlock(
         AttributeSet().With(a),
-        StrippedPartition::FromColumn(table_->column(a)));
+        StrippedPartition::FromColumn(table_->column(a)), compress_,
+        &base_counts));
+  }
+  if (k > 0) {
+    const std::vector<uint8_t> shipment =
+        k == 1 ? base_frames[0] : EncodeBatchEnvelope(base_frames);
     for (auto& link : links_) {
-      AOD_RETURN_NOT_OK(SendServed(link.get(), frame));
+      AOD_RETURN_NOT_OK(link->to_shard->Send(shipment));
+      // The envelope counts as its k inner frames — the unit the footer
+      // cross-check compares against frames_served.
+      link->frames_sent += k;
+      by_type_[static_cast<size_t>(FrameType::kPartitionBlock)].Add(
+          base_counts);
     }
   }
   // In-process runners drain their inboxes in parallel; Init returns
@@ -239,6 +262,20 @@ Status ShardCoordinator::ValidateBatch(
     const std::vector<WireCandidate>& candidates,
     const std::function<bool()>& cancel,
     std::vector<WireOutcome>* completed) {
+  // Staged locally so a decode failure never leaves a partial batch in
+  // `completed` — the no-partial-batch contract of this overload.
+  std::vector<WireOutcome> collected;
+  AOD_RETURN_NOT_OK(ValidateBatch(
+      candidates, cancel,
+      [&collected](WireOutcome o) { collected.push_back(std::move(o)); }));
+  for (WireOutcome& o : collected) completed->push_back(std::move(o));
+  return Status::OK();
+}
+
+Status ShardCoordinator::ValidateBatch(
+    const std::vector<WireCandidate>& candidates,
+    const std::function<bool()>& cancel,
+    const std::function<void(WireOutcome)>& fold) {
   const int n = num_shards();
   std::vector<std::vector<WireCandidate>> batches(static_cast<size_t>(n));
   for (const WireCandidate& c : candidates) {
@@ -247,28 +284,42 @@ Status ShardCoordinator::ValidateBatch(
   // Ship every batch (empty ones included — each runner serves exactly
   // one frame per level, so the request/reply cadence stays lockstep).
   for (int s = 0; s < n; ++s) {
-    AOD_RETURN_NOT_OK(
-        SendServed(links_[static_cast<size_t>(s)].get(),
-                   EncodeCandidateBatch(batches[static_cast<size_t>(s)])));
+    AOD_RETURN_NOT_OK(SendServed(
+        links_[static_cast<size_t>(s)].get(),
+        EncodeCandidateBatch(
+            batches[static_cast<size_t>(s)], compress_,
+            &by_type_[static_cast<size_t>(FrameType::kCandidateBatch)])));
   }
   // In-process runners are pumped here; a runner failure returns before
   // any receive, so a reply that will never come cannot hang us.
   AOD_RETURN_NOT_OK(PumpRunners(cancel));
 
-  // Collect replies in shard order — deterministic given deterministic
-  // batches, since each runner replies in ascending slot order. Staged
-  // locally so a decode failure never leaves a partial batch in
-  // `completed`.
-  std::vector<WireOutcome> collected;
+  // Fold replies as their chunks arrive, shard order outside, ascending
+  // slot order within — deterministic given deterministic batches.
+  // While shard s's chunks are being decoded and folded here, shards
+  // s+1..n-1 are still pushing bytes through their writer threads and
+  // kernel buffers: merge CPU hides transport latency. A runner cannot
+  // keep us here forever: chunks carry at least one outcome each except
+  // the final one, so a well-formed reply is at most |batch|+1 chunks —
+  // anything longer is a typed protocol error.
   for (int s = 0; s < n; ++s) {
-    AOD_ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
-                         links_[static_cast<size_t>(s)]->from_shard->Receive());
-    AOD_ASSIGN_OR_RETURN(DecodedFrame frame, DecodeFrame(raw));
-    AOD_ASSIGN_OR_RETURN(std::vector<WireOutcome> outcomes,
-                         DecodeResultBatch(frame));
-    for (WireOutcome& o : outcomes) collected.push_back(std::move(o));
+    ShardLink* link = links_[static_cast<size_t>(s)].get();
+    const size_t max_chunks = batches[static_cast<size_t>(s)].size() + 1;
+    size_t chunks = 0;
+    for (;;) {
+      if (++chunks > max_chunks) {
+        return Status::ParseError("shard result stream never finalized");
+      }
+      AOD_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, link->receiver->Receive());
+      AOD_ASSIGN_OR_RETURN(DecodedFrame frame, DecodeFrame(raw));
+      AOD_ASSIGN_OR_RETURN(
+          WireResultChunk chunk,
+          DecodeResultBatch(
+              frame, &by_type_[static_cast<size_t>(FrameType::kResultBatch)]));
+      for (WireOutcome& o : chunk.outcomes) fold(std::move(o));
+      if (chunk.final_chunk) break;
+    }
   }
-  for (WireOutcome& o : collected) completed->push_back(std::move(o));
   return Status::OK();
 }
 
@@ -292,14 +343,21 @@ Status ShardCoordinator::Finish() {
   record(PumpRunners({}));
   for (auto& link : links_) {
     if (link->from_shard == nullptr) continue;
-    // A mid-level abort can leave a sibling shard's result frame queued
-    // ahead of its footer; drain non-footer frames (bounded — at most
-    // one stale reply per link plus slack) instead of misdecoding the
-    // first frame seen as the footer and losing the shard's stats.
+    // A half-initialized link (InitLink failed mid-bootstrap) has its
+    // channels but never got a receiver; give it one so the drain below
+    // still unwraps envelopes.
+    if (link->receiver == nullptr) {
+      link->receiver = std::make_unique<LogicalFrameReceiver>(link->from_shard);
+    }
+    // A mid-level abort can leave a sibling shard's result frames queued
+    // ahead of its footer — with chunked streaming that can be a whole
+    // level's worth of reply chunks, not just one frame; drain non-
+    // footer logical frames (bounded) instead of misdecoding the first
+    // frame seen as the footer and losing the shard's stats.
     Result<ShardStatsFooter> footer =
         Status::Internal("stats footer never arrived");
-    for (int drained = 0; drained < 4; ++drained) {
-      Result<std::vector<uint8_t>> raw = link->from_shard->Receive();
+    for (int drained = 0; drained < 4096; ++drained) {
+      Result<std::vector<uint8_t>> raw = link->receiver->Receive();
       if (!raw.ok()) {
         footer = raw.status();
         break;
@@ -389,6 +447,28 @@ int64_t ShardCoordinator::bytes_shipped_total() const {
   int64_t total = 0;
   for (int s = 0; s < num_shards(); ++s) total += bytes_shipped(s);
   return total;
+}
+
+int64_t ShardCoordinator::bytes_raw_total() const {
+  // Start from the observed wire volume and add back what each decode
+  // site reported saving: shard footers cover the coordinator→shard
+  // frames (partitions, candidates, table), the coordinator's own
+  // result-chunk decodes cover the reply direction.
+  int64_t total = bytes_shipped_total();
+  for (const auto& link : links_) {
+    if (link->footer_valid) {
+      total +=
+          link->footer.bytes_decoded_raw - link->footer.bytes_decoded_wire;
+    }
+  }
+  const CodecByteCounts& results =
+      by_type_[static_cast<size_t>(FrameType::kResultBatch)];
+  total += results.raw - results.wire;
+  return total;
+}
+
+CodecByteCounts ShardCoordinator::type_byte_counts(FrameType type) const {
+  return by_type_[static_cast<size_t>(type)];
 }
 
 int64_t ShardCoordinator::products_computed() const {

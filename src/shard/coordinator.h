@@ -123,6 +123,18 @@ class ShardCoordinator {
                        const std::function<bool()>& cancel,
                        std::vector<WireOutcome>* completed);
 
+  /// The receive-overlapped form: runners stream each level's reply as
+  /// bounded kResultBatch chunks (final-flagged last), and `fold` is
+  /// invoked per outcome as each chunk decodes — so merge work proceeds
+  /// while later shards' bytes are still in flight. Delivery order is
+  /// deterministic (shard order, ascending slots within a shard). On a
+  /// non-OK return some outcomes may already have been folded; the
+  /// caller owns discarding partial state (the driver aborts the level
+  /// before its merge, so a partial merge is unreachable).
+  Status ValidateBatch(const std::vector<WireCandidate>& candidates,
+                       const std::function<bool()>& cancel,
+                       const std::function<void(WireOutcome)>& fold);
+
   /// The shutdown handshake: ships kShutdown to every shard, collects
   /// the kStatsFooter terminal frames (validating each shard's served
   /// frame count against what was sent), closes the links and reaps
@@ -134,9 +146,23 @@ class ShardCoordinator {
   int num_shards() const { return static_cast<int>(links_.size()); }
 
   /// Frame bytes shipped to and from shard `s` so far (both directions,
-  /// as observed from the coordinator side of the link).
+  /// as observed from the coordinator side of the link). This is the
+  /// post-compression ("wire") volume.
   int64_t bytes_shipped(int s) const;
   int64_t bytes_shipped_total() const;
+
+  /// What bytes_shipped_total would have been with every codec forced
+  /// raw: the wire total plus the raw-minus-wire savings each decode
+  /// site reported (shard footers for coordinator→shard frames, the
+  /// coordinator's own result-chunk decodes for the reply direction).
+  /// Meaningful once Finish collected the footers.
+  int64_t bytes_raw_total() const;
+
+  /// Frame-level raw/wire byte counts per frame type (indexed by the
+  /// FrameType raw value), counted at the coordinator's encode/decode
+  /// sites — the per-frame-type breakdown exp8 reports. Envelope and
+  /// bootstrap framing overhead is not attributed here.
+  CodecByteCounts type_byte_counts(FrameType type) const;
 
   // Aggregates over the collected stats footers (DiscoveryStats feeds);
   // shards whose footer never arrived (transport failure) contribute 0.
@@ -161,6 +187,9 @@ class ShardCoordinator {
     std::unique_ptr<ShardChannel> runner_side;
     ShardChannel* to_shard = nullptr;
     ShardChannel* from_shard = nullptr;
+    /// Unwraps kBatch envelopes on the reply path (runners coalesce
+    /// small result chunks).
+    std::unique_ptr<LogicalFrameReceiver> receiver;
     std::unique_ptr<ShardRunner> runner;  // null for process transport
     pid_t pid = -1;                       // process transport
     /// Frames this coordinator sent that the runner itself serves
@@ -192,8 +221,13 @@ class ShardCoordinator {
   const EncodedTable* table_;
   const ShardTransportOptions transport_;
   exec::ThreadPool* pool_;
+  /// Mirrors ShardRunnerOptions::wire_compression for the frames the
+  /// coordinator itself encodes (partitions, candidates, table).
+  bool compress_ = true;
   std::unique_ptr<SocketListener> listener_;
   std::vector<std::unique_ptr<ShardLink>> links_;
+  /// Raw/wire byte counts per FrameType raw value (0..kBatch).
+  CodecByteCounts by_type_[static_cast<size_t>(FrameType::kBatch) + 1];
   bool finished_ = false;
   Status finish_status_;
 };

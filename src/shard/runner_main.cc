@@ -107,7 +107,9 @@ int ShardRunnerMain(int argc, char** argv) {
   Result<BootstrapFrame> table_raw =
       ReceiveExpected(channel.get(), FrameType::kTableBlock);
   if (!table_raw.ok()) return Fail(2, "table frame", table_raw.status());
-  Result<EncodedTable> table = DecodeTableBlock(table_raw->frame);
+  CodecByteCounts table_counts;
+  Result<EncodedTable> table = DecodeTableBlock(table_raw->frame,
+                                                &table_counts);
   if (!table.ok()) return Fail(2, "table decode", table.status());
 
   ShardRunnerOptions options;
@@ -120,6 +122,7 @@ int ShardRunnerMain(int argc, char** argv) {
   options.sampler_config.seed = config->sampler_seed;
   options.partition_memory_budget_bytes =
       config->partition_memory_budget_bytes;
+  options.wire_compression = config->wire_compression;
 
   std::unique_ptr<exec::ThreadPool> pool;
   if (config->num_threads > 1) {
@@ -129,6 +132,10 @@ int ShardRunnerMain(int argc, char** argv) {
 
   ShardRunner runner(static_cast<int>(config->shard_id), &*table, options,
                      channel.get(), channel.get(), pool.get());
+  // The table was decoded before the runner existed; fold its raw/wire
+  // bytes into the footer so the coordinator's ratio accounting sees
+  // the biggest bootstrap frame too.
+  runner.CreditDecodedBytes(table_counts);
   Status served = runner.Serve();
   if (!served.ok()) return Fail(3, "serve loop", served);
   channel->Close();  // flush the footer before the fds die

@@ -26,6 +26,7 @@ ShardRunner::ShardRunner(int shard_id, const EncodedTable* table,
                                                           : options.epsilon),
       inbox_(inbox),
       outbox_(outbox),
+      receiver_(inbox),
       pool_(pool),
       cache_(table, PartitionCache::DeferBasePartitions{}) {
   AOD_CHECK(table != nullptr && inbox != nullptr && outbox != nullptr);
@@ -45,7 +46,7 @@ ShardRunner::ShardRunner(int shard_id, const EncodedTable* table,
 Status ShardRunner::ServeOne(const std::function<bool()>& cancel,
                              bool* shutdown) {
   if (shutdown != nullptr) *shutdown = false;
-  AOD_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, inbox_->Receive());
+  AOD_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, receiver_.Receive());
   AOD_ASSIGN_OR_RETURN(DecodedFrame frame, DecodeFrame(raw));
   ++frames_served_;
   switch (frame.type) {
@@ -60,6 +61,7 @@ Status ShardRunner::ServeOne(const std::function<bool()>& cancel,
     case FrameType::kTableBlock:
     case FrameType::kConfigBlock:
     case FrameType::kStatsFooter:
+    case FrameType::kBatch:  // the receiver already unwrapped envelopes
       break;
   }
   return Status::InvalidArgument("unexpected frame type on shard inbox");
@@ -74,8 +76,9 @@ Status ShardRunner::Serve(const std::function<bool()>& cancel) {
 }
 
 Status ShardRunner::HandlePartitionBlock(const DecodedFrame& frame) {
-  AOD_ASSIGN_OR_RETURN(auto block,
-                       DecodePartitionBlock(frame, table_->num_rows()));
+  AOD_ASSIGN_OR_RETURN(
+      auto block,
+      DecodePartitionBlock(frame, table_->num_rows(), &decoded_counts_));
   cache_.Preload(block.first, std::move(block.second));
   SampleResidency();
   return Status::OK();
@@ -98,6 +101,8 @@ ShardStatsFooter ShardRunner::FooterStats() const {
   footer.partition_bytes_evicted = bytes_evicted_;
   footer.partition_bytes_final = cache_.bytes_resident();
   footer.partition_bytes_peak = bytes_peak_;
+  footer.bytes_decoded_raw = decoded_counts_.raw;
+  footer.bytes_decoded_wire = decoded_counts_.wire;
   footer.partition_seconds = partition_seconds();
   return footer;
 }
@@ -105,7 +110,7 @@ ShardStatsFooter ShardRunner::FooterStats() const {
 Status ShardRunner::HandleCandidateBatch(const DecodedFrame& frame,
                                          const std::function<bool()>& cancel) {
   AOD_ASSIGN_OR_RETURN(std::vector<WireCandidate> batch,
-                       DecodeCandidateBatch(frame));
+                       DecodeCandidateBatch(frame, &decoded_counts_));
 
   // Parallel over the batch on the shared pool (nested fork/join is safe;
   // the coordinator runs each shard as one pool task). Every outcome slot
@@ -130,7 +135,25 @@ Status ShardRunner::HandleCandidateBatch(const DecodedFrame& frame,
   for (size_t i = 0; i < batch.size(); ++i) {
     if (done[i]) completed.push_back(std::move(outcomes[i]));
   }
-  AOD_RETURN_NOT_OK(outbox_->Send(EncodeResultBatch(completed)));
+
+  // Stream the reply as bounded chunks (last one final-flagged) through
+  // the coalescing sender: the coordinator starts folding early chunks
+  // while later candidates' bytes are still in flight, and several tiny
+  // chunks ride one envelope instead of paying per-frame overhead.
+  constexpr size_t kChunkOutcomes = 512;
+  BatchingFrameSender sender(outbox_);
+  size_t begin = 0;
+  do {
+    const size_t end = std::min(begin + kChunkOutcomes, completed.size());
+    std::vector<WireOutcome> chunk(
+        std::make_move_iterator(completed.begin() + begin),
+        std::make_move_iterator(completed.begin() + end));
+    const bool final_chunk = end == completed.size();
+    AOD_RETURN_NOT_OK(sender.Add(EncodeResultBatch(
+        chunk, final_chunk, options_.wire_compression)));
+    begin = end;
+  } while (begin < completed.size());
+  AOD_RETURN_NOT_OK(sender.Flush());
 
   // The batch's ParallelFor has joined, so every cache future is
   // resolved — the precondition budget enforcement (and an exact

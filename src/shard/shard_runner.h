@@ -57,6 +57,10 @@ struct ShardRunnerOptions {
   /// Partition byte budget *per shard*, enforced on the runner's cache
   /// after every batch (0 = unlimited).
   int64_t partition_memory_budget_bytes = 0;
+  /// Encode result frames with the compressed codecs (wire.h). Decoders
+  /// always accept both codecs — this only controls what this runner
+  /// emits, mirroring DiscoveryOptions::shard_wire_compression.
+  bool wire_compression = true;
 };
 
 class ShardRunner {
@@ -67,13 +71,17 @@ class ShardRunner {
               const ShardRunnerOptions& options, ShardChannel* inbox,
               ShardChannel* outbox, exec::ThreadPool* pool);
 
-  /// Receives one frame from the inbox and handles it:
+  /// Receives one *logical* frame from the inbox (kBatch envelopes are
+  /// unwrapped transparently; each inner frame is one ServeOne) and
+  /// handles it:
   ///   kPartitionBlock  — decode (canonical-validated) and install into
   ///                      the local cache;
   ///   kCandidateBatch  — validate every candidate (parallel over the
   ///                      batch, `cancel` polled between candidates) and
-  ///                      send back a kResultBatch of the completed
-  ///                      outcomes, then enforce the per-shard budget;
+  ///                      stream back the completed outcomes as one or
+  ///                      more kResultBatch chunks — the last one
+  ///                      carrying the final-chunk flag — then enforce
+  ///                      the per-shard budget;
   ///   kShutdown        — reply with the kStatsFooter terminal frame and
   ///                      set `*shutdown` (when given): the conversation
   ///                      is over and no further frame should be served.
@@ -105,6 +113,14 @@ class ShardRunner {
   /// timing field.
   ShardStatsFooter FooterStats() const;
 
+  /// Folds decode-side byte counts produced outside the serve loop into
+  /// the footer's raw/wire totals — runner_main decodes the kTableBlock
+  /// before the runner exists and credits it here, so the coordinator's
+  /// compression-ratio accounting sees the table bytes too.
+  void CreditDecodedBytes(const CodecByteCounts& counts) {
+    decoded_counts_.Add(counts);
+  }
+
  private:
   Status HandlePartitionBlock(const DecodedFrame& frame);
   Status HandleCandidateBatch(const DecodedFrame& frame,
@@ -124,9 +140,13 @@ class ShardRunner {
   const double epsilon_;
   ShardChannel* inbox_;
   ShardChannel* outbox_;
+  /// Unwraps kBatch envelopes from the inbox so frames_served_ counts
+  /// logical frames — the unit the coordinator's cross-check uses.
+  LogicalFrameReceiver receiver_;
   exec::ThreadPool* pool_;
   PartitionCache cache_;
   std::unique_ptr<AocSampler> sampler_;
+  CodecByteCounts decoded_counts_;
   int64_t bytes_evicted_ = 0;
   /// Residency high-water mark, sampled after every installed base and
   /// every served batch (quiescent points, so the sample is exact).

@@ -1,6 +1,8 @@
 #include "shard/wire.h"
 
+#include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "common/endian.h"
 
@@ -34,6 +36,19 @@ void WireWriter::PutDouble(double v) {
   static_assert(sizeof(bits) == sizeof(v));
   std::memcpy(&bits, &v, sizeof(bits));
   PutU64(bits);
+}
+
+void WireWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    payload_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  payload_.push_back(static_cast<uint8_t>(v));
+}
+
+void WireWriter::PutVarintI64(int64_t v) {
+  PutVarint((static_cast<uint64_t>(v) << 1) ^
+            static_cast<uint64_t>(v >> 63));
 }
 
 void WireWriter::PutI32Array(const std::vector<int32_t>& values) {
@@ -115,6 +130,31 @@ Status WireReader::GetDouble(double* v) {
   return Status::OK();
 }
 
+Status WireReader::GetVarint(uint64_t* v) {
+  uint64_t out = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (remaining() < 1) return Status::ParseError("wire varint truncated");
+    const uint8_t b = data_[pos_++];
+    // The 10th byte holds bits 63..69 of which only bit 63 exists.
+    if (i == 9 && b > 1) {
+      return Status::ParseError("wire varint overflows 64 bits");
+    }
+    out |= static_cast<uint64_t>(b & 0x7f) << (7 * i);
+    if ((b & 0x80) == 0) {
+      *v = out;
+      return Status::OK();
+    }
+  }
+  return Status::ParseError("wire varint longer than 10 bytes");
+}
+
+Status WireReader::GetVarintI64(int64_t* v) {
+  uint64_t u = 0;
+  AOD_RETURN_NOT_OK(GetVarint(&u));
+  *v = static_cast<int64_t>(u >> 1) ^ -static_cast<int64_t>(u & 1);
+  return Status::OK();
+}
+
 Status WireReader::GetI32Array(std::vector<int32_t>* values) {
   uint64_t count = 0;
   AOD_RETURN_NOT_OK(GetU64(&count));
@@ -150,30 +190,30 @@ Status WireReader::ExpectEnd() const {
   return Status::OK();
 }
 
-Result<DecodedFrame> DecodeFrame(const std::vector<uint8_t>& frame) {
-  if (frame.size() < kFrameHeaderBytes) {
+Result<DecodedFrame> DecodeFrame(const uint8_t* data, size_t size) {
+  if (size < kFrameHeaderBytes) {
     return Status::ParseError("wire frame shorter than its header");
   }
-  if (LoadU32(frame.data()) != kWireMagic) {
+  if (LoadU32(data) != kWireMagic) {
     return Status::ParseError("wire frame magic mismatch");
   }
-  const uint16_t version = LoadU16(frame.data() + 4);
+  const uint16_t version = LoadU16(data + 4);
   if (version != kWireVersion) {
     return Status::ParseError("unsupported wire version " +
                               std::to_string(version));
   }
-  const uint16_t raw_type = LoadU16(frame.data() + 6);
+  const uint16_t raw_type = LoadU16(data + 6);
   if (raw_type < static_cast<uint16_t>(FrameType::kPartitionBlock) ||
-      raw_type > static_cast<uint16_t>(FrameType::kStatsFooter)) {
+      raw_type > static_cast<uint16_t>(FrameType::kBatch)) {
     return Status::ParseError("unknown wire frame type " +
                               std::to_string(raw_type));
   }
-  const uint64_t declared = LoadU64(frame.data() + 8);
-  if (declared != frame.size() - kFrameHeaderBytes) {
+  const uint64_t declared = LoadU64(data + 8);
+  if (declared != size - kFrameHeaderBytes) {
     return Status::ParseError("wire frame size mismatch");
   }
-  const uint64_t checksum = LoadU64(frame.data() + 16);
-  const uint8_t* payload = frame.data() + kFrameHeaderBytes;
+  const uint64_t checksum = LoadU64(data + 16);
+  const uint8_t* payload = data + kFrameHeaderBytes;
   if (checksum != WireChecksum(payload, static_cast<size_t>(declared))) {
     return Status::ParseError("wire frame checksum mismatch");
   }
@@ -184,131 +224,704 @@ Result<DecodedFrame> DecodeFrame(const std::vector<uint8_t>& frame) {
   return out;
 }
 
+Result<DecodedFrame> DecodeFrame(const std::vector<uint8_t>& frame) {
+  return DecodeFrame(frame.data(), frame.size());
+}
+
+namespace {
+
+/// Appends the delta-varint body of a canonical partition: class sizes
+/// (offset deltas, each >= 2), then per class the first row id (class 0
+/// absolute, later classes as the delta from the previous class's first
+/// row — canonical order makes those strictly positive) followed by the
+/// in-class ascending deltas. Returns false — the cost threshold — as
+/// soon as the body reaches `budget` (the raw CSR size): incompressible
+/// payloads fall back to raw without ever finishing the attempt.
+bool TryCompressPartitionBody(const StrippedPartition& p, size_t budget,
+                              WireWriter* body) {
+  const std::vector<int32_t>& offsets = p.class_offsets();
+  const std::vector<int32_t>& rows = p.row_ids();
+  const int64_t num_classes = p.num_classes();
+  body->PutVarint(static_cast<uint64_t>(num_classes));
+  body->PutVarint(rows.size());
+  for (int64_t c = 0; c < num_classes; ++c) {
+    body->PutVarint(static_cast<uint64_t>(
+        offsets[static_cast<size_t>(c) + 1] - offsets[static_cast<size_t>(c)]));
+    if (body->payload().size() >= budget) return false;
+  }
+  int32_t prev_first = 0;
+  for (int64_t c = 0; c < num_classes; ++c) {
+    const size_t lo = static_cast<size_t>(offsets[static_cast<size_t>(c)]);
+    const size_t hi = static_cast<size_t>(offsets[static_cast<size_t>(c) + 1]);
+    body->PutVarint(static_cast<uint64_t>(
+        rows[lo] - (c == 0 ? 0 : prev_first)));
+    for (size_t i = lo + 1; i < hi; ++i) {
+      body->PutVarint(static_cast<uint64_t>(rows[i] - rows[i - 1]));
+    }
+    prev_first = rows[lo];
+    if (body->payload().size() >= budget) return false;
+  }
+  return true;
+}
+
+/// Expands a delta-varint partition body back into the exact raw CSR
+/// bytes SerializeTo would emit, bounds- and overflow-checked, so the
+/// caller can delegate all structural validation to
+/// StrippedPartition::Deserialize — compressed and raw frames pass
+/// through one gate.
+Status ExpandCompressedCsr(WireReader* reader, int64_t num_rows,
+                           std::vector<uint8_t>* csr) {
+  uint64_t classes = 0;
+  uint64_t rows = 0;
+  AOD_RETURN_NOT_OK(reader->GetVarint(&classes));
+  AOD_RETURN_NOT_OK(reader->GetVarint(&rows));
+  // The same pre-allocation sanity Deserialize applies, so a hostile
+  // header cannot make this function allocate unbounded memory.
+  if (num_rows < 0 || rows > static_cast<uint64_t>(num_rows)) {
+    return Status::ParseError("partition claims more covered rows than the "
+                              "table holds");
+  }
+  if (classes > rows / 2) {
+    return Status::ParseError("partition claims more classes than 2-row "
+                              "classes fit in its rows");
+  }
+  csr->clear();
+  csr->reserve(16 + (classes > 0 ? (static_cast<size_t>(classes) + 1) * 4 : 0) +
+               static_cast<size_t>(rows) * 4);
+  endian::AppendU64(csr, classes);
+  endian::AppendU64(csr, rows);
+  std::vector<int64_t> sizes;
+  sizes.reserve(static_cast<size_t>(classes));
+  if (classes > 0) {
+    endian::AppendI32(csr, 0);
+    int64_t offset = 0;
+    for (uint64_t c = 0; c < classes; ++c) {
+      uint64_t size = 0;
+      AOD_RETURN_NOT_OK(reader->GetVarint(&size));
+      offset += static_cast<int64_t>(size);
+      if (size > rows || offset > static_cast<int64_t>(rows)) {
+        return Status::ParseError("partition offsets do not cover its rows");
+      }
+      sizes.push_back(static_cast<int64_t>(size));
+      endian::AppendI32(csr, static_cast<int32_t>(offset));
+    }
+  }
+  int64_t prev_first = 0;
+  for (uint64_t c = 0; c < classes; ++c) {
+    int64_t row = 0;
+    for (int64_t i = 0; i < sizes[static_cast<size_t>(c)]; ++i) {
+      uint64_t delta = 0;
+      AOD_RETURN_NOT_OK(reader->GetVarint(&delta));
+      if (delta > static_cast<uint64_t>(std::numeric_limits<int32_t>::max())) {
+        return Status::ParseError("partition row delta out of range");
+      }
+      row = (i == 0 ? (c == 0 ? 0 : prev_first) : row) +
+            static_cast<int64_t>(delta);
+      if (row > std::numeric_limits<int32_t>::max()) {
+        return Status::ParseError("partition row id out of range");
+      }
+      endian::AppendI32(csr, static_cast<int32_t>(row));
+      if (i == 0) prev_first = row;
+    }
+  }
+  return Status::OK();
+}
+
+/// How many bits a class label needs: 0 when every label is 0 (a single
+/// class), else the width of the largest label.
+int LabelBits(int64_t num_classes) {
+  int bits = 0;
+  uint64_t max_label = num_classes > 0
+                           ? static_cast<uint64_t>(num_classes) - 1
+                           : 0;
+  while (max_label != 0) {
+    ++bits;
+    max_label >>= 1;
+  }
+  return bits;
+}
+
+/// Appends the class-label body: varint num_classes / covered rows /
+/// bitmap bits, the coverage bitmap over [0, max_row], then per covered
+/// row (ascending) its class index at LabelBits() bits, LSB first.
+/// Canonical order (classes sorted by first row, ascending in-class
+/// rows) makes the inverse exact. Bails out at `budget` like the delta
+/// encoder.
+bool TryCompressPartitionLabels(const StrippedPartition& p, size_t budget,
+                                WireWriter* body) {
+  const std::vector<int32_t>& offsets = p.class_offsets();
+  const std::vector<int32_t>& rows = p.row_ids();
+  const int64_t num_classes = p.num_classes();
+  body->PutVarint(static_cast<uint64_t>(num_classes));
+  body->PutVarint(rows.size());
+  if (rows.empty()) {
+    body->PutVarint(0);
+    return body->payload().size() < budget;
+  }
+  // Canonical in-class rows ascend, so the global max row is the max of
+  // the per-class last elements.
+  int32_t max_row = 0;
+  for (int64_t c = 0; c < num_classes; ++c) {
+    max_row = std::max(
+        max_row, rows[static_cast<size_t>(offsets[static_cast<size_t>(c) + 1]) - 1]);
+  }
+  const uint64_t bitmap_bits = static_cast<uint64_t>(max_row) + 1;
+  body->PutVarint(bitmap_bits);
+  const int label_bits = LabelBits(num_classes);
+  const size_t bitmap_bytes = static_cast<size_t>((bitmap_bits + 7) / 8);
+  const size_t label_bytes =
+      (rows.size() * static_cast<size_t>(label_bits) + 7) / 8;
+  if (body->payload().size() + bitmap_bytes + label_bytes >= budget) {
+    return false;  // cost threshold: never ship a body >= the raw CSR
+  }
+  // Row -> class label, then one ascending sweep fills both bit streams.
+  std::vector<int32_t> label_of_row(static_cast<size_t>(bitmap_bits), -1);
+  for (int64_t c = 0; c < num_classes; ++c) {
+    for (int32_t i = offsets[static_cast<size_t>(c)];
+         i < offsets[static_cast<size_t>(c) + 1]; ++i) {
+      label_of_row[static_cast<size_t>(rows[static_cast<size_t>(i)])] =
+          static_cast<int32_t>(c);
+    }
+  }
+  std::vector<uint8_t> bitmap(bitmap_bytes, 0);
+  std::vector<uint8_t> labels(label_bytes, 0);
+  size_t label_pos = 0;  // bit cursor into `labels`
+  for (uint64_t r = 0; r < bitmap_bits; ++r) {
+    const int32_t label = label_of_row[static_cast<size_t>(r)];
+    if (label < 0) continue;
+    bitmap[static_cast<size_t>(r / 8)] |=
+        static_cast<uint8_t>(1u << (r % 8));
+    for (int b = 0; b < label_bits; ++b, ++label_pos) {
+      if ((static_cast<uint32_t>(label) >> b) & 1u) {
+        labels[label_pos / 8] |= static_cast<uint8_t>(1u << (label_pos % 8));
+      }
+    }
+  }
+  body->PutBytes(bitmap.data(), bitmap.size());
+  body->PutBytes(labels.data(), labels.size());
+  return body->payload().size() < budget;
+}
+
+/// Expands a class-label body back into the exact raw CSR bytes, with
+/// the same single validation gate as the delta codec: sizes come from
+/// a counting pass over the labels, the placing pass groups rows by
+/// class, and StrippedPartition::Deserialize then enforces canonical
+/// form on the result.
+Status ExpandLabelCsr(WireReader* reader, int64_t num_rows,
+                      std::vector<uint8_t>* csr) {
+  uint64_t classes = 0;
+  uint64_t rows = 0;
+  uint64_t bitmap_bits = 0;
+  AOD_RETURN_NOT_OK(reader->GetVarint(&classes));
+  AOD_RETURN_NOT_OK(reader->GetVarint(&rows));
+  AOD_RETURN_NOT_OK(reader->GetVarint(&bitmap_bits));
+  if (num_rows < 0 || rows > static_cast<uint64_t>(num_rows) ||
+      bitmap_bits > static_cast<uint64_t>(num_rows)) {
+    return Status::ParseError("partition claims more covered rows than the "
+                              "table holds");
+  }
+  if (classes > rows / 2) {
+    return Status::ParseError("partition claims more classes than 2-row "
+                              "classes fit in its rows");
+  }
+  if (rows > 0 && bitmap_bits == 0) {
+    return Status::ParseError("partition covers rows but declares an empty "
+                              "bitmap");
+  }
+  const size_t bitmap_bytes = static_cast<size_t>((bitmap_bits + 7) / 8);
+  const int label_bits = LabelBits(static_cast<int64_t>(classes));
+  const size_t label_bytes =
+      (static_cast<size_t>(rows) * static_cast<size_t>(label_bits) + 7) / 8;
+  if (reader->remaining() != bitmap_bytes + label_bytes) {
+    return Status::ParseError("partition label body size mismatch");
+  }
+  const uint8_t* bitmap = reader->cursor();
+  const uint8_t* labels = bitmap + bitmap_bytes;
+  // Padding bits past bitmap_bits (and past the last label) must be
+  // zero: one partition, one byte string.
+  if (bitmap_bits % 8 != 0 && bitmap_bytes > 0 &&
+      (bitmap[bitmap_bytes - 1] >> (bitmap_bits % 8)) != 0) {
+    return Status::ParseError("partition bitmap has nonzero padding");
+  }
+  const size_t label_total_bits =
+      static_cast<size_t>(rows) * static_cast<size_t>(label_bits);
+  if (label_total_bits % 8 != 0 && label_bytes > 0 &&
+      (labels[label_bytes - 1] >> (label_total_bits % 8)) != 0) {
+    return Status::ParseError("partition labels have nonzero padding");
+  }
+  uint64_t covered = 0;
+  for (size_t i = 0; i < bitmap_bytes; ++i) {
+    covered += static_cast<uint64_t>(__builtin_popcount(bitmap[i]));
+  }
+  if (covered != rows) {
+    return Status::ParseError("partition bitmap popcount does not match its "
+                              "covered rows");
+  }
+  auto label_at = [labels, label_bits](uint64_t index) {
+    uint64_t label = 0;
+    uint64_t bit = index * static_cast<uint64_t>(label_bits);
+    for (int b = 0; b < label_bits; ++b, ++bit) {
+      label |= static_cast<uint64_t>((labels[bit / 8] >> (bit % 8)) & 1u)
+               << b;
+    }
+    return label;
+  };
+  // Counting pass -> offsets; any label >= classes is typed here.
+  std::vector<int64_t> sizes(static_cast<size_t>(classes), 0);
+  for (uint64_t i = 0; i < rows; ++i) {
+    const uint64_t label = label_at(i);
+    if (label >= classes) {
+      return Status::ParseError("partition label outside its class count");
+    }
+    ++sizes[static_cast<size_t>(label)];
+  }
+  csr->clear();
+  csr->reserve(16 + (classes > 0 ? (static_cast<size_t>(classes) + 1) * 4 : 0) +
+               static_cast<size_t>(rows) * 4);
+  endian::AppendU64(csr, classes);
+  endian::AppendU64(csr, rows);
+  std::vector<int64_t> cursor(static_cast<size_t>(classes), 0);
+  if (classes > 0) {
+    endian::AppendI32(csr, 0);
+    int64_t offset = 0;
+    for (uint64_t c = 0; c < classes; ++c) {
+      cursor[static_cast<size_t>(c)] = offset;
+      offset += sizes[static_cast<size_t>(c)];
+      endian::AppendI32(csr, static_cast<int32_t>(offset));
+    }
+  }
+  // Placing pass: ascending bitmap sweep keeps in-class rows ascending.
+  std::vector<int32_t> row_ids(static_cast<size_t>(rows), 0);
+  uint64_t index = 0;
+  for (uint64_t r = 0; r < bitmap_bits; ++r) {
+    if (((bitmap[static_cast<size_t>(r / 8)] >> (r % 8)) & 1u) == 0) {
+      continue;
+    }
+    const uint64_t label = label_at(index++);
+    row_ids[static_cast<size_t>(cursor[static_cast<size_t>(label)]++)] =
+        static_cast<int32_t>(r);
+  }
+  for (uint64_t i = 0; i < rows; ++i) {
+    endian::AppendI32(csr, row_ids[static_cast<size_t>(i)]);
+  }
+  reader->Skip(bitmap_bytes + label_bytes);
+  return Status::OK();
+}
+
+}  // namespace
+
 std::vector<uint8_t> EncodePartitionBlock(AttributeSet set,
-                                          const StrippedPartition& partition) {
+                                          const StrippedPartition& partition,
+                                          bool compress,
+                                          CodecByteCounts* counts) {
+  const std::vector<uint8_t> csr = partition.Serialize();
   WireWriter writer;
   writer.PutU64(set.bits());
-  std::vector<uint8_t> csr = partition.Serialize();
-  writer.PutBytes(csr.data(), csr.size());
-  return writer.SealFrame(FrameType::kPartitionBlock);
+  WireWriter delta_body;
+  WireWriter label_body;
+  const bool delta_ok =
+      compress && TryCompressPartitionBody(partition, csr.size(), &delta_body);
+  // The label attempt is additionally bounded by the delta body: it only
+  // matters if it beats both raw and delta.
+  const bool label_ok =
+      compress &&
+      TryCompressPartitionLabels(
+          partition,
+          delta_ok ? std::min(csr.size(), delta_body.payload().size())
+                   : csr.size(),
+          &label_body);
+  if (label_ok) {
+    writer.PutU8(kCodecClassLabel);
+    writer.PutBytes(label_body.payload().data(), label_body.payload().size());
+  } else if (delta_ok) {
+    writer.PutU8(kCodecDeltaVarint);
+    writer.PutBytes(delta_body.payload().data(), delta_body.payload().size());
+  } else {
+    writer.PutU8(kCodecRaw);
+    writer.PutBytes(csr.data(), csr.size());
+  }
+  std::vector<uint8_t> frame = writer.SealFrame(FrameType::kPartitionBlock);
+  if (counts != nullptr) {
+    counts->raw +=
+        static_cast<int64_t>(kFrameHeaderBytes + 8 + 1 + csr.size());
+    counts->wire += static_cast<int64_t>(frame.size());
+  }
+  return frame;
 }
 
 Result<std::pair<AttributeSet, StrippedPartition>> DecodePartitionBlock(
-    const DecodedFrame& frame, int64_t num_rows) {
+    const DecodedFrame& frame, int64_t num_rows, CodecByteCounts* counts) {
   if (frame.type != FrameType::kPartitionBlock) {
     return Status::ParseError("frame is not a partition block");
   }
   WireReader reader(frame.payload, frame.size);
   uint64_t bits = 0;
   AOD_RETURN_NOT_OK(reader.GetU64(&bits));
-  size_t consumed = 0;
-  AOD_ASSIGN_OR_RETURN(
-      StrippedPartition partition,
-      StrippedPartition::Deserialize(reader.cursor(), reader.remaining(),
-                                     num_rows, &consumed));
-  reader.Skip(consumed);
+  uint8_t codec = 0;
+  AOD_RETURN_NOT_OK(reader.GetU8(&codec));
+  StrippedPartition partition;
+  size_t raw_csr_bytes = 0;
+  if (codec == kCodecRaw) {
+    size_t consumed = 0;
+    AOD_ASSIGN_OR_RETURN(
+        partition,
+        StrippedPartition::Deserialize(reader.cursor(), reader.remaining(),
+                                       num_rows, &consumed));
+    reader.Skip(consumed);
+    raw_csr_bytes = consumed;
+  } else if (codec == kCodecDeltaVarint || codec == kCodecClassLabel) {
+    std::vector<uint8_t> csr;
+    if (codec == kCodecDeltaVarint) {
+      AOD_RETURN_NOT_OK(ExpandCompressedCsr(&reader, num_rows, &csr));
+    } else {
+      AOD_RETURN_NOT_OK(ExpandLabelCsr(&reader, num_rows, &csr));
+    }
+    size_t consumed = 0;
+    AOD_ASSIGN_OR_RETURN(
+        partition,
+        StrippedPartition::Deserialize(csr.data(), csr.size(), num_rows,
+                                       &consumed));
+    if (consumed != csr.size()) {
+      return Status::ParseError("partition body has trailing bytes");
+    }
+    raw_csr_bytes = csr.size();
+  } else {
+    return Status::ParseError("unknown partition codec " +
+                              std::to_string(codec));
+  }
   AOD_RETURN_NOT_OK(reader.ExpectEnd());
+  if (counts != nullptr) {
+    counts->raw +=
+        static_cast<int64_t>(kFrameHeaderBytes + 8 + 1 + raw_csr_bytes);
+    counts->wire += static_cast<int64_t>(kFrameHeaderBytes + frame.size);
+  }
   return std::make_pair(AttributeSet(bits), std::move(partition));
 }
 
-std::vector<uint8_t> EncodeCandidateBatch(
-    const std::vector<WireCandidate>& candidates) {
-  WireWriter writer;
-  writer.PutU64(candidates.size());
+namespace {
+
+/// Fixed-width (version-1) candidate body: u64 count + 30 bytes each.
+void AppendRawCandidates(const std::vector<WireCandidate>& candidates,
+                         WireWriter* writer) {
+  writer->PutU64(candidates.size());
   for (const WireCandidate& c : candidates) {
-    writer.PutU64(c.slot);
-    writer.PutU64(c.context_bits);
-    writer.PutU8(c.is_ofd ? 1 : 0);
-    writer.PutI32(c.ofd_target);
-    writer.PutI32(c.pair_a);
-    writer.PutI32(c.pair_b);
-    writer.PutU8(c.opposite ? 1 : 0);
+    writer->PutU64(c.slot);
+    writer->PutU64(c.context_bits);
+    writer->PutU8(c.is_ofd ? 1 : 0);
+    writer->PutI32(c.ofd_target);
+    writer->PutI32(c.pair_a);
+    writer->PutI32(c.pair_b);
+    writer->PutU8(c.opposite ? 1 : 0);
   }
-  return writer.SealFrame(FrameType::kCandidateBatch);
+}
+
+bool TryCompressCandidates(const std::vector<WireCandidate>& candidates,
+                           size_t budget, WireWriter* body) {
+  body->PutVarint(candidates.size());
+  int64_t prev_slot = 0;
+  for (const WireCandidate& c : candidates) {
+    body->PutVarintI64(static_cast<int64_t>(c.slot) - prev_slot);
+    prev_slot = static_cast<int64_t>(c.slot);
+    body->PutVarint(c.context_bits);
+    body->PutU8(static_cast<uint8_t>((c.is_ofd ? 1 : 0) |
+                                     (c.opposite ? 2 : 0)));
+    body->PutVarintI64(c.ofd_target);
+    body->PutVarintI64(c.pair_a);
+    body->PutVarintI64(c.pair_b);
+    if (body->payload().size() >= budget) return false;
+  }
+  return true;
+}
+
+Status CheckedI32(int64_t v, int32_t* out) {
+  if (v < std::numeric_limits<int32_t>::min() ||
+      v > std::numeric_limits<int32_t>::max()) {
+    return Status::ParseError("wire value outside int32 range");
+  }
+  *out = static_cast<int32_t>(v);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeCandidateBatch(
+    const std::vector<WireCandidate>& candidates, bool compress,
+    CodecByteCounts* counts) {
+  const size_t raw_body = 8 + 30 * candidates.size();
+  WireWriter body;
+  const bool compressed =
+      compress && !candidates.empty() &&
+      TryCompressCandidates(candidates, raw_body, &body);
+  WireWriter writer;
+  if (compressed) {
+    writer.PutU8(kCandidateFlagCompressed);
+    writer.PutBytes(body.payload().data(), body.payload().size());
+  } else {
+    writer.PutU8(0);
+    AppendRawCandidates(candidates, &writer);
+  }
+  std::vector<uint8_t> frame = writer.SealFrame(FrameType::kCandidateBatch);
+  if (counts != nullptr) {
+    counts->raw += static_cast<int64_t>(kFrameHeaderBytes + 1 + raw_body);
+    counts->wire += static_cast<int64_t>(frame.size());
+  }
+  return frame;
 }
 
 Result<std::vector<WireCandidate>> DecodeCandidateBatch(
-    const DecodedFrame& frame) {
+    const DecodedFrame& frame, CodecByteCounts* counts) {
   if (frame.type != FrameType::kCandidateBatch) {
     return Status::ParseError("frame is not a candidate batch");
   }
   WireReader reader(frame.payload, frame.size);
-  uint64_t count = 0;
-  AOD_RETURN_NOT_OK(reader.GetU64(&count));
-  // Per-candidate encoding is 30 bytes (2 u64 + 3 i32 + 2 u8); reject
-  // counts the payload cannot hold before reserving.
-  if (count > reader.remaining() / 30) {
-    return Status::ParseError("candidate batch longer than its payload");
+  uint8_t flags = 0;
+  AOD_RETURN_NOT_OK(reader.GetU8(&flags));
+  if ((flags & ~kCandidateFlagCompressed) != 0) {
+    return Status::ParseError("unknown candidate batch flags");
   }
   std::vector<WireCandidate> out;
-  out.reserve(static_cast<size_t>(count));
-  for (uint64_t i = 0; i < count; ++i) {
-    WireCandidate c;
-    uint8_t is_ofd = 0;
-    uint8_t opposite = 0;
-    AOD_RETURN_NOT_OK(reader.GetU64(&c.slot));
-    AOD_RETURN_NOT_OK(reader.GetU64(&c.context_bits));
-    AOD_RETURN_NOT_OK(reader.GetU8(&is_ofd));
-    AOD_RETURN_NOT_OK(reader.GetI32(&c.ofd_target));
-    AOD_RETURN_NOT_OK(reader.GetI32(&c.pair_a));
-    AOD_RETURN_NOT_OK(reader.GetI32(&c.pair_b));
-    AOD_RETURN_NOT_OK(reader.GetU8(&opposite));
-    c.is_ofd = is_ofd != 0;
-    c.opposite = opposite != 0;
-    out.push_back(c);
+  if ((flags & kCandidateFlagCompressed) != 0) {
+    uint64_t count = 0;
+    AOD_RETURN_NOT_OK(reader.GetVarint(&count));
+    // Minimum compressed candidate is 6 bytes; reject counts the payload
+    // cannot hold before reserving.
+    if (count > reader.remaining() / 6) {
+      return Status::ParseError("candidate batch longer than its payload");
+    }
+    out.reserve(static_cast<size_t>(count));
+    int64_t prev_slot = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      WireCandidate c;
+      int64_t slot_delta = 0;
+      AOD_RETURN_NOT_OK(reader.GetVarintI64(&slot_delta));
+      const int64_t slot = prev_slot + slot_delta;
+      if (slot < 0) {
+        return Status::ParseError("candidate slot out of range");
+      }
+      prev_slot = slot;
+      c.slot = static_cast<uint64_t>(slot);
+      AOD_RETURN_NOT_OK(reader.GetVarint(&c.context_bits));
+      uint8_t packed = 0;
+      AOD_RETURN_NOT_OK(reader.GetU8(&packed));
+      if ((packed & ~3u) != 0) {
+        return Status::ParseError("unknown candidate flag bits");
+      }
+      c.is_ofd = (packed & 1) != 0;
+      c.opposite = (packed & 2) != 0;
+      int64_t v = 0;
+      AOD_RETURN_NOT_OK(reader.GetVarintI64(&v));
+      AOD_RETURN_NOT_OK(CheckedI32(v, &c.ofd_target));
+      AOD_RETURN_NOT_OK(reader.GetVarintI64(&v));
+      AOD_RETURN_NOT_OK(CheckedI32(v, &c.pair_a));
+      AOD_RETURN_NOT_OK(reader.GetVarintI64(&v));
+      AOD_RETURN_NOT_OK(CheckedI32(v, &c.pair_b));
+      out.push_back(c);
+    }
+  } else {
+    uint64_t count = 0;
+    AOD_RETURN_NOT_OK(reader.GetU64(&count));
+    // Per-candidate raw encoding is 30 bytes (2 u64 + 3 i32 + 2 u8).
+    if (count > reader.remaining() / 30) {
+      return Status::ParseError("candidate batch longer than its payload");
+    }
+    out.reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      WireCandidate c;
+      uint8_t is_ofd = 0;
+      uint8_t opposite = 0;
+      AOD_RETURN_NOT_OK(reader.GetU64(&c.slot));
+      AOD_RETURN_NOT_OK(reader.GetU64(&c.context_bits));
+      AOD_RETURN_NOT_OK(reader.GetU8(&is_ofd));
+      AOD_RETURN_NOT_OK(reader.GetI32(&c.ofd_target));
+      AOD_RETURN_NOT_OK(reader.GetI32(&c.pair_a));
+      AOD_RETURN_NOT_OK(reader.GetI32(&c.pair_b));
+      AOD_RETURN_NOT_OK(reader.GetU8(&opposite));
+      c.is_ofd = is_ofd != 0;
+      c.opposite = opposite != 0;
+      out.push_back(c);
+    }
   }
   AOD_RETURN_NOT_OK(reader.ExpectEnd());
+  if (counts != nullptr) {
+    counts->raw +=
+        static_cast<int64_t>(kFrameHeaderBytes + 1 + 8 + 30 * out.size());
+    counts->wire += static_cast<int64_t>(kFrameHeaderBytes + frame.size);
+  }
   return out;
 }
 
-std::vector<uint8_t> EncodeResultBatch(
-    const std::vector<WireOutcome>& outcomes) {
-  WireWriter writer;
-  writer.PutU64(outcomes.size());
+namespace {
+
+void AppendRawOutcomes(const std::vector<WireOutcome>& outcomes,
+                       WireWriter* writer) {
+  writer->PutU64(outcomes.size());
   for (const WireOutcome& o : outcomes) {
-    writer.PutU64(o.slot);
-    writer.PutU8(o.valid ? 1 : 0);
-    writer.PutU8(o.early_exit ? 1 : 0);
-    writer.PutI64(o.removal_size);
-    writer.PutDouble(o.approx_factor);
-    writer.PutDouble(o.interestingness);
-    writer.PutDouble(o.seconds);
-    writer.PutI32Array(o.removal_rows);
+    writer->PutU64(o.slot);
+    writer->PutU8(o.valid ? 1 : 0);
+    writer->PutU8(o.early_exit ? 1 : 0);
+    writer->PutI64(o.removal_size);
+    writer->PutDouble(o.approx_factor);
+    writer->PutDouble(o.interestingness);
+    writer->PutDouble(o.seconds);
+    writer->PutI32Array(o.removal_rows);
   }
-  return writer.SealFrame(FrameType::kResultBatch);
 }
 
-Result<std::vector<WireOutcome>> DecodeResultBatch(const DecodedFrame& frame) {
+bool TryCompressOutcomes(const std::vector<WireOutcome>& outcomes,
+                         size_t budget, WireWriter* body) {
+  body->PutVarint(outcomes.size());
+  int64_t prev_slot = 0;
+  for (const WireOutcome& o : outcomes) {
+    body->PutVarintI64(static_cast<int64_t>(o.slot) - prev_slot);
+    prev_slot = static_cast<int64_t>(o.slot);
+    body->PutU8(static_cast<uint8_t>((o.valid ? 1 : 0) |
+                                     (o.early_exit ? 2 : 0)));
+    body->PutVarintI64(o.removal_size);
+    // Doubles stay as raw bit patterns: mantissa bits are incompressible
+    // and the determinism contract requires the exact value.
+    body->PutDouble(o.approx_factor);
+    body->PutDouble(o.interestingness);
+    body->PutDouble(o.seconds);
+    body->PutVarint(o.removal_rows.size());
+    int32_t prev_row = 0;
+    for (int32_t r : o.removal_rows) {
+      body->PutVarintI64(static_cast<int64_t>(r) - prev_row);
+      prev_row = r;
+    }
+    if (body->payload().size() >= budget) return false;
+  }
+  return true;
+}
+
+int64_t RawResultBodyBytes(const std::vector<WireOutcome>& outcomes) {
+  int64_t raw = 8;
+  for (const WireOutcome& o : outcomes) {
+    raw += 50 + 4 * static_cast<int64_t>(o.removal_rows.size());
+  }
+  return raw;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeResultBatch(const std::vector<WireOutcome>& outcomes,
+                                       bool final_chunk, bool compress,
+                                       CodecByteCounts* counts) {
+  const int64_t raw_body = RawResultBodyBytes(outcomes);
+  WireWriter body;
+  const bool compressed =
+      compress && !outcomes.empty() &&
+      TryCompressOutcomes(outcomes, static_cast<size_t>(raw_body), &body);
+  WireWriter writer;
+  uint8_t flags = final_chunk ? kResultFlagFinalChunk : 0;
+  if (compressed) flags |= kResultFlagCompressed;
+  writer.PutU8(flags);
+  if (compressed) {
+    writer.PutBytes(body.payload().data(), body.payload().size());
+  } else {
+    AppendRawOutcomes(outcomes, &writer);
+  }
+  std::vector<uint8_t> frame = writer.SealFrame(FrameType::kResultBatch);
+  if (counts != nullptr) {
+    counts->raw += static_cast<int64_t>(kFrameHeaderBytes) + 1 + raw_body;
+    counts->wire += static_cast<int64_t>(frame.size());
+  }
+  return frame;
+}
+
+Result<WireResultChunk> DecodeResultBatch(const DecodedFrame& frame,
+                                          CodecByteCounts* counts) {
   if (frame.type != FrameType::kResultBatch) {
     return Status::ParseError("frame is not a result batch");
   }
   WireReader reader(frame.payload, frame.size);
-  uint64_t count = 0;
-  AOD_RETURN_NOT_OK(reader.GetU64(&count));
-  // 50 bytes per outcome before its (possibly empty) removal-row array.
-  if (count > reader.remaining() / 50) {
-    return Status::ParseError("result batch longer than its payload");
+  uint8_t flags = 0;
+  AOD_RETURN_NOT_OK(reader.GetU8(&flags));
+  if ((flags & ~(kResultFlagFinalChunk | kResultFlagCompressed)) != 0) {
+    return Status::ParseError("unknown result batch flags");
   }
-  std::vector<WireOutcome> out;
-  out.reserve(static_cast<size_t>(count));
-  for (uint64_t i = 0; i < count; ++i) {
-    WireOutcome o;
-    uint8_t valid = 0;
-    uint8_t early_exit = 0;
-    AOD_RETURN_NOT_OK(reader.GetU64(&o.slot));
-    AOD_RETURN_NOT_OK(reader.GetU8(&valid));
-    AOD_RETURN_NOT_OK(reader.GetU8(&early_exit));
-    AOD_RETURN_NOT_OK(reader.GetI64(&o.removal_size));
-    AOD_RETURN_NOT_OK(reader.GetDouble(&o.approx_factor));
-    AOD_RETURN_NOT_OK(reader.GetDouble(&o.interestingness));
-    AOD_RETURN_NOT_OK(reader.GetDouble(&o.seconds));
-    AOD_RETURN_NOT_OK(reader.GetI32Array(&o.removal_rows));
-    o.valid = valid != 0;
-    o.early_exit = early_exit != 0;
-    out.push_back(std::move(o));
+  WireResultChunk chunk;
+  chunk.final_chunk = (flags & kResultFlagFinalChunk) != 0;
+  std::vector<WireOutcome>& out = chunk.outcomes;
+  if ((flags & kResultFlagCompressed) != 0) {
+    uint64_t count = 0;
+    AOD_RETURN_NOT_OK(reader.GetVarint(&count));
+    // Minimum compressed outcome is 28 bytes (three raw doubles).
+    if (count > reader.remaining() / 28) {
+      return Status::ParseError("result batch longer than its payload");
+    }
+    out.reserve(static_cast<size_t>(count));
+    int64_t prev_slot = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      WireOutcome o;
+      int64_t slot_delta = 0;
+      AOD_RETURN_NOT_OK(reader.GetVarintI64(&slot_delta));
+      const int64_t slot = prev_slot + slot_delta;
+      if (slot < 0) {
+        return Status::ParseError("result slot out of range");
+      }
+      prev_slot = slot;
+      o.slot = static_cast<uint64_t>(slot);
+      uint8_t packed = 0;
+      AOD_RETURN_NOT_OK(reader.GetU8(&packed));
+      if ((packed & ~3u) != 0) {
+        return Status::ParseError("unknown outcome flag bits");
+      }
+      o.valid = (packed & 1) != 0;
+      o.early_exit = (packed & 2) != 0;
+      AOD_RETURN_NOT_OK(reader.GetVarintI64(&o.removal_size));
+      AOD_RETURN_NOT_OK(reader.GetDouble(&o.approx_factor));
+      AOD_RETURN_NOT_OK(reader.GetDouble(&o.interestingness));
+      AOD_RETURN_NOT_OK(reader.GetDouble(&o.seconds));
+      uint64_t rows = 0;
+      AOD_RETURN_NOT_OK(reader.GetVarint(&rows));
+      if (rows > reader.remaining()) {
+        return Status::ParseError("removal rows longer than their payload");
+      }
+      o.removal_rows.reserve(static_cast<size_t>(rows));
+      int64_t prev_row = 0;
+      for (uint64_t r = 0; r < rows; ++r) {
+        int64_t delta = 0;
+        AOD_RETURN_NOT_OK(reader.GetVarintI64(&delta));
+        int32_t row = 0;
+        AOD_RETURN_NOT_OK(CheckedI32(prev_row + delta, &row));
+        o.removal_rows.push_back(row);
+        prev_row = row;
+      }
+      out.push_back(std::move(o));
+    }
+  } else {
+    uint64_t count = 0;
+    AOD_RETURN_NOT_OK(reader.GetU64(&count));
+    // 50 bytes per raw outcome before its (possibly empty) removal-row
+    // array.
+    if (count > reader.remaining() / 50) {
+      return Status::ParseError("result batch longer than its payload");
+    }
+    out.reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      WireOutcome o;
+      uint8_t valid = 0;
+      uint8_t early_exit = 0;
+      AOD_RETURN_NOT_OK(reader.GetU64(&o.slot));
+      AOD_RETURN_NOT_OK(reader.GetU8(&valid));
+      AOD_RETURN_NOT_OK(reader.GetU8(&early_exit));
+      AOD_RETURN_NOT_OK(reader.GetI64(&o.removal_size));
+      AOD_RETURN_NOT_OK(reader.GetDouble(&o.approx_factor));
+      AOD_RETURN_NOT_OK(reader.GetDouble(&o.interestingness));
+      AOD_RETURN_NOT_OK(reader.GetDouble(&o.seconds));
+      AOD_RETURN_NOT_OK(reader.GetI32Array(&o.removal_rows));
+      o.valid = valid != 0;
+      o.early_exit = early_exit != 0;
+      out.push_back(std::move(o));
+    }
   }
   AOD_RETURN_NOT_OK(reader.ExpectEnd());
-  return out;
+  if (counts != nullptr) {
+    counts->raw += static_cast<int64_t>(kFrameHeaderBytes) + 1 +
+                   RawResultBodyBytes(out);
+    counts->wire += static_cast<int64_t>(kFrameHeaderBytes + frame.size);
+  }
+  return chunk;
 }
 
 std::vector<uint8_t> EncodeConfigBlock(const WireRunnerConfig& config) {
@@ -323,6 +936,7 @@ std::vector<uint8_t> EncodeConfigBlock(const WireRunnerConfig& config) {
   writer.PutU64(config.sampler_seed);
   writer.PutI64(config.partition_memory_budget_bytes);
   writer.PutU32(config.num_threads);
+  writer.PutU8(config.wire_compression ? 1 : 0);
   return writer.SealFrame(FrameType::kConfigBlock);
 }
 
@@ -334,6 +948,7 @@ Result<WireRunnerConfig> DecodeConfigBlock(const DecodedFrame& frame) {
   WireRunnerConfig config;
   uint8_t removal = 0;
   uint8_t sampling = 0;
+  uint8_t compression = 0;
   AOD_RETURN_NOT_OK(reader.GetU32(&config.shard_id));
   AOD_RETURN_NOT_OK(reader.GetU8(&config.validator));
   AOD_RETURN_NOT_OK(reader.GetDouble(&config.epsilon));
@@ -344,9 +959,11 @@ Result<WireRunnerConfig> DecodeConfigBlock(const DecodedFrame& frame) {
   AOD_RETURN_NOT_OK(reader.GetU64(&config.sampler_seed));
   AOD_RETURN_NOT_OK(reader.GetI64(&config.partition_memory_budget_bytes));
   AOD_RETURN_NOT_OK(reader.GetU32(&config.num_threads));
+  AOD_RETURN_NOT_OK(reader.GetU8(&compression));
   AOD_RETURN_NOT_OK(reader.ExpectEnd());
   config.collect_removal_sets = removal != 0;
   config.enable_sampling_filter = sampling != 0;
+  config.wire_compression = compression != 0;
   if (config.validator > 2) {
     return Status::ParseError("unknown validator kind " +
                               std::to_string(config.validator));
@@ -357,20 +974,66 @@ Result<WireRunnerConfig> DecodeConfigBlock(const DecodedFrame& frame) {
   return config;
 }
 
-std::vector<uint8_t> EncodeTableBlock(const EncodedTable& table) {
+namespace {
+
+/// Rank codec selection: a pure function of the column's cardinality
+/// (and the compress switch), so both sides of the seam can predict it.
+/// Ranks are dense dictionary codes in [0, cardinality): domains that
+/// fit one or two bytes pack at fixed narrow width; mid-size domains
+/// (<= 2^21, i.e. at most 3 varint bytes) use varints; anything larger
+/// stays raw — a varint of a large rank can exceed 4 bytes.
+uint8_t SelectRankCodec(int32_t cardinality, bool compress) {
+  if (!compress) return kRankCodecRaw;
+  if (cardinality <= (1 << 8)) return kRankCodecByte;
+  if (cardinality <= (1 << 16)) return kRankCodecShort;
+  if (cardinality <= (1 << 21)) return kRankCodecVarint;
+  return kRankCodecRaw;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeTableBlock(const EncodedTable& table, bool compress,
+                                      CodecByteCounts* counts) {
   WireWriter writer;
   writer.PutI64(table.num_rows());
   writer.PutU32(static_cast<uint32_t>(table.num_columns()));
+  int64_t raw_bytes = static_cast<int64_t>(kFrameHeaderBytes) + 8 + 4;
   for (int c = 0; c < table.num_columns(); ++c) {
     const EncodedColumn& col = table.column(c);
     writer.PutString(col.name);
     writer.PutI32(col.cardinality);
-    writer.PutI32Array(col.ranks);
+    const uint8_t codec = SelectRankCodec(col.cardinality, compress);
+    writer.PutU8(codec);
+    switch (codec) {
+      case kRankCodecByte:
+        writer.PutU64(col.ranks.size());
+        for (int32_t r : col.ranks) writer.PutU8(static_cast<uint8_t>(r));
+        break;
+      case kRankCodecShort:
+        writer.PutU64(col.ranks.size());
+        for (int32_t r : col.ranks) writer.PutU16(static_cast<uint16_t>(r));
+        break;
+      case kRankCodecVarint:
+        writer.PutU64(col.ranks.size());
+        for (int32_t r : col.ranks) writer.PutVarint(static_cast<uint64_t>(r));
+        break;
+      default:
+        writer.PutI32Array(col.ranks);
+        break;
+    }
+    raw_bytes += 8 + static_cast<int64_t>(col.name.size()) + 4 + 1 + 8 +
+                 4 * static_cast<int64_t>(col.ranks.size());
   }
-  return writer.SealFrame(FrameType::kTableBlock);
+  std::vector<uint8_t> frame = writer.SealFrame(FrameType::kTableBlock);
+  if (counts != nullptr) {
+    counts->raw += raw_bytes;
+    counts->wire += static_cast<int64_t>(frame.size());
+  }
+  return frame;
 }
 
-Result<EncodedTable> DecodeTableBlock(const DecodedFrame& frame) {
+Result<EncodedTable> DecodeTableBlock(const DecodedFrame& frame,
+                                      CodecByteCounts* counts) {
   if (frame.type != FrameType::kTableBlock) {
     return Status::ParseError("frame is not a table block");
   }
@@ -383,13 +1046,67 @@ Result<EncodedTable> DecodeTableBlock(const DecodedFrame& frame) {
   if (num_columns > static_cast<uint32_t>(AttributeSet::kMaxAttributes)) {
     return Status::ParseError("table block exceeds the attribute limit");
   }
+  int64_t raw_bytes = static_cast<int64_t>(kFrameHeaderBytes) + 8 + 4;
   std::vector<EncodedColumn> columns;
   columns.reserve(num_columns);
   for (uint32_t c = 0; c < num_columns; ++c) {
     EncodedColumn col;
     AOD_RETURN_NOT_OK(reader.GetString(&col.name));
     AOD_RETURN_NOT_OK(reader.GetI32(&col.cardinality));
-    AOD_RETURN_NOT_OK(reader.GetI32Array(&col.ranks));
+    uint8_t codec = 0;
+    AOD_RETURN_NOT_OK(reader.GetU8(&codec));
+    switch (codec) {
+      case kRankCodecRaw:
+        AOD_RETURN_NOT_OK(reader.GetI32Array(&col.ranks));
+        break;
+      case kRankCodecByte: {
+        uint64_t count = 0;
+        AOD_RETURN_NOT_OK(reader.GetU64(&count));
+        if (count > reader.remaining()) {
+          return Status::ParseError("rank column longer than its payload");
+        }
+        col.ranks.reserve(static_cast<size_t>(count));
+        for (uint64_t i = 0; i < count; ++i) {
+          uint8_t v = 0;
+          AOD_RETURN_NOT_OK(reader.GetU8(&v));
+          col.ranks.push_back(v);
+        }
+        break;
+      }
+      case kRankCodecShort: {
+        uint64_t count = 0;
+        AOD_RETURN_NOT_OK(reader.GetU64(&count));
+        if (count > reader.remaining() / 2) {
+          return Status::ParseError("rank column longer than its payload");
+        }
+        col.ranks.reserve(static_cast<size_t>(count));
+        for (uint64_t i = 0; i < count; ++i) {
+          uint16_t v = 0;
+          AOD_RETURN_NOT_OK(reader.GetU16(&v));
+          col.ranks.push_back(v);
+        }
+        break;
+      }
+      case kRankCodecVarint: {
+        uint64_t count = 0;
+        AOD_RETURN_NOT_OK(reader.GetU64(&count));
+        if (count > reader.remaining()) {
+          return Status::ParseError("rank column longer than its payload");
+        }
+        col.ranks.reserve(static_cast<size_t>(count));
+        for (uint64_t i = 0; i < count; ++i) {
+          uint64_t v = 0;
+          AOD_RETURN_NOT_OK(reader.GetVarint(&v));
+          int32_t rank = 0;
+          AOD_RETURN_NOT_OK(CheckedI32(static_cast<int64_t>(v), &rank));
+          col.ranks.push_back(rank);
+        }
+        break;
+      }
+      default:
+        return Status::ParseError("unknown rank codec " +
+                                  std::to_string(codec));
+    }
     if (static_cast<int64_t>(col.ranks.size()) != num_rows) {
       return Status::ParseError("column length disagrees with row count");
     }
@@ -402,15 +1119,70 @@ Result<EncodedTable> DecodeTableBlock(const DecodedFrame& frame) {
         return Status::ParseError("rank outside its declared cardinality");
       }
     }
+    raw_bytes += 8 + static_cast<int64_t>(col.name.size()) + 4 + 1 + 8 +
+                 4 * static_cast<int64_t>(col.ranks.size());
     columns.push_back(std::move(col));
   }
   AOD_RETURN_NOT_OK(reader.ExpectEnd());
+  if (counts != nullptr) {
+    counts->raw += raw_bytes;
+    counts->wire += static_cast<int64_t>(kFrameHeaderBytes + frame.size);
+  }
   return EncodedTable(std::move(columns), num_rows);
 }
 
 std::vector<uint8_t> EncodeShutdown() {
   WireWriter writer;
   return writer.SealFrame(FrameType::kShutdown);
+}
+
+std::vector<uint8_t> EncodeBatchEnvelope(
+    const std::vector<std::vector<uint8_t>>& frames) {
+  WireWriter writer;
+  writer.PutU32(static_cast<uint32_t>(frames.size()));
+  for (const std::vector<uint8_t>& f : frames) {
+    writer.PutU64(f.size());
+    writer.PutBytes(f.data(), f.size());
+  }
+  return writer.SealFrame(FrameType::kBatch);
+}
+
+Result<std::vector<std::vector<uint8_t>>> UnpackBatchEnvelope(
+    const DecodedFrame& frame) {
+  if (frame.type != FrameType::kBatch) {
+    return Status::ParseError("frame is not a batch envelope");
+  }
+  WireReader reader(frame.payload, frame.size);
+  uint32_t count = 0;
+  AOD_RETURN_NOT_OK(reader.GetU32(&count));
+  if (count == 0) {
+    return Status::ParseError("empty batch envelope");
+  }
+  // Each inner frame costs at least a length prefix plus a header.
+  if (count > reader.remaining() / (8 + kFrameHeaderBytes)) {
+    return Status::ParseError("batch envelope longer than its payload");
+  }
+  std::vector<std::vector<uint8_t>> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t len = 0;
+    AOD_RETURN_NOT_OK(reader.GetU64(&len));
+    if (len > reader.remaining()) {
+      return Status::ParseError("batch envelope segment truncated");
+    }
+    if (len < kFrameHeaderBytes) {
+      return Status::ParseError("batch envelope segment shorter than a "
+                                "frame header");
+    }
+    const uint8_t* p = reader.cursor();
+    if (LoadU16(p + 6) == static_cast<uint16_t>(FrameType::kBatch)) {
+      return Status::ParseError("nested batch envelope");
+    }
+    out.emplace_back(p, p + len);
+    reader.Skip(static_cast<size_t>(len));
+  }
+  AOD_RETURN_NOT_OK(reader.ExpectEnd());
+  return out;
 }
 
 std::vector<uint8_t> EncodeStatsFooter(const ShardStatsFooter& footer) {
@@ -422,6 +1194,8 @@ std::vector<uint8_t> EncodeStatsFooter(const ShardStatsFooter& footer) {
   writer.PutI64(footer.partition_bytes_evicted);
   writer.PutI64(footer.partition_bytes_final);
   writer.PutI64(footer.partition_bytes_peak);
+  writer.PutI64(footer.bytes_decoded_raw);
+  writer.PutI64(footer.bytes_decoded_wire);
   writer.PutDouble(footer.partition_seconds);
   return writer.SealFrame(FrameType::kStatsFooter);
 }
@@ -439,11 +1213,14 @@ Result<ShardStatsFooter> DecodeStatsFooter(const DecodedFrame& frame) {
   AOD_RETURN_NOT_OK(reader.GetI64(&footer.partition_bytes_evicted));
   AOD_RETURN_NOT_OK(reader.GetI64(&footer.partition_bytes_final));
   AOD_RETURN_NOT_OK(reader.GetI64(&footer.partition_bytes_peak));
+  AOD_RETURN_NOT_OK(reader.GetI64(&footer.bytes_decoded_raw));
+  AOD_RETURN_NOT_OK(reader.GetI64(&footer.bytes_decoded_wire));
   AOD_RETURN_NOT_OK(reader.GetDouble(&footer.partition_seconds));
   AOD_RETURN_NOT_OK(reader.ExpectEnd());
   if (footer.frames_served < 0 || footer.products_computed < 0 ||
       footer.partitions_evicted < 0 || footer.partition_bytes_evicted < 0 ||
-      footer.partition_bytes_final < 0 || footer.partition_bytes_peak < 0) {
+      footer.partition_bytes_final < 0 || footer.partition_bytes_peak < 0 ||
+      footer.bytes_decoded_raw < 0 || footer.bytes_decoded_wire < 0) {
     return Status::ParseError("negative counter in stats footer");
   }
   return footer;

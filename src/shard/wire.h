@@ -11,16 +11,33 @@
 //   16      checksum   u64   FNV-1a over the payload bytes
 //   24      payload    size bytes
 //
-// All integers are little-endian and fixed width; doubles ship as their
-// IEEE-754 bit pattern, so a value survives the round trip bit-exactly —
-// the determinism contract (ARCHITECTURE.md) extends across the wire
-// only because nothing is ever re-derived through text or rounding.
-// Decoders validate magic, version, declared size and checksum before
-// touching the payload, and every payload read is bounds-checked, so a
-// truncated or corrupted buffer yields a clean ParseError, never a
-// misparse. The frame layer is transport-agnostic: ShardChannel moves
-// opaque frames, and a socket or file transport can replace the
-// in-process queue without touching any encoder or decoder.
+// All integers are little-endian; doubles ship as their IEEE-754 bit
+// pattern, so a value survives the round trip bit-exactly — the
+// determinism contract (ARCHITECTURE.md) extends across the wire only
+// because nothing is ever re-derived through text or rounding. Decoders
+// validate magic, version, declared size and checksum before touching
+// the payload, and every payload read is bounds-checked, so a truncated
+// or corrupted buffer yields a clean ParseError, never a misparse.
+//
+// Version 2 adds a compressed-payload layer under the frame header. The
+// bulky payloads (partition CSR arrays, table rank columns, candidate
+// and result batches) carry a *flags byte* that says how the body is
+// encoded: raw fixed-width (exactly the version-1 layout after the
+// flags byte) or a delta/varint form that exploits the canonical CSR
+// normal form — row ids ascend within each class and class offsets are
+// monotone, so deltas are small and LEB128 varints shrink them 3–6×.
+// The encoder picks the smaller of the two (a compressed attempt aborts
+// the moment it outgrows the raw body — the cheap cost threshold that
+// keeps incompressible payloads raw), and the flags byte makes every
+// frame self-describing: a decoder never needs to know what the encoder
+// chose. The checksum always covers the on-wire (possibly compressed)
+// payload bytes. Version 2 also adds kBatch: an envelope frame whose
+// payload is a sequence of complete inner frames, so many small frames
+// cross a socket as one write (see channel.h's BatchingFrameSender).
+//
+// The frame layer is transport-agnostic: ShardChannel moves opaque
+// frames, and a socket or file transport can replace the in-process
+// queue without touching any encoder or decoder.
 #ifndef AOD_SHARD_WIRE_H_
 #define AOD_SHARD_WIRE_H_
 
@@ -38,7 +55,9 @@ namespace aod {
 namespace shard {
 
 inline constexpr uint32_t kWireMagic = 0x414F4457;  // "AODW"
-inline constexpr uint16_t kWireVersion = 1;
+/// Version 2: compressed payload codecs (flags byte) + kBatch envelopes
+/// + split raw/wire byte accounting in the stats footer.
+inline constexpr uint16_t kWireVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 24;
 
 enum class FrameType : uint16_t {
@@ -47,7 +66,10 @@ enum class FrameType : uint16_t {
   kPartitionBlock = 1,
   /// The candidates assigned to one shard for one lattice level.
   kCandidateBatch = 2,
-  /// The outcomes a shard completed for one candidate batch.
+  /// One chunk of the outcomes a shard completed for one candidate
+  /// batch. A level's reply is a sequence of chunks; the flags byte of
+  /// the last one carries kResultFlagFinalChunk, so the coordinator can
+  /// fold chunks as they arrive instead of barriering on the level.
   kResultBatch = 3,
   /// The rank-encoded table columns, shipped once at startup to a
   /// runner in its own process (in-process runners share the table by
@@ -62,10 +84,59 @@ enum class FrameType : uint16_t {
   /// carrying the shard's DiscoveryStats counters so remote runners
   /// aggregate without object access.
   kStatsFooter = 7,
+  /// An envelope holding a sequence of complete inner frames (payload:
+  /// u32 count, then per inner frame u64 length + the frame bytes,
+  /// header included). Inner frames are ordinary checksummed frames and
+  /// must not themselves be kBatch. One envelope counts as its inner
+  /// frames for the frames_served conversation cross-check.
+  kBatch = 8,
 };
+
+// Payload codec identifiers — the per-frame flags byte. "Raw" is always
+// exactly the version-1 fixed-width layout after the flags byte, so the
+// codec choice never changes what a decoded message contains.
+/// kPartitionBlock body codecs. The encoder builds both compressed
+/// bodies (bounded by the raw size) and ships the smallest:
+/// delta-varint wins when in-class row gaps are small (low-cardinality
+/// columns, long runs); class-label wins for mid-cardinality columns,
+/// where a bit-packed label costs log2(classes) bits per row while a
+/// gap delta already needs two varint bytes.
+inline constexpr uint8_t kCodecRaw = 0;
+inline constexpr uint8_t kCodecDeltaVarint = 1;
+/// Coverage bitmap over [0, max_row], then for each covered row (in
+/// ascending row order) its class index, bit-packed at
+/// ceil(log2(num_classes)) bits, LSB first.
+inline constexpr uint8_t kCodecClassLabel = 2;
+/// Per-column rank codecs inside kTableBlock. Ranks are already dense
+/// dictionary codes in [0, cardinality), so small domains pack into
+/// fixed narrow widths (the dictionary path) and mid-size domains into
+/// varints; the selection is a pure function of the cardinality.
+inline constexpr uint8_t kRankCodecRaw = 0;
+inline constexpr uint8_t kRankCodecByte = 1;    // cardinality <= 2^8
+inline constexpr uint8_t kRankCodecShort = 2;   // cardinality <= 2^16
+inline constexpr uint8_t kRankCodecVarint = 3;  // cardinality <= 2^21
+/// kResultBatch flag bits.
+inline constexpr uint8_t kResultFlagFinalChunk = 0x01;
+inline constexpr uint8_t kResultFlagCompressed = 0x02;
+/// kCandidateBatch flag bits.
+inline constexpr uint8_t kCandidateFlagCompressed = 0x01;
 
 /// FNV-1a 64 over `size` bytes — the frame checksum.
 uint64_t WireChecksum(const uint8_t* data, size_t size);
+
+/// Raw vs. on-wire byte accounting for one or more codec-bearing frames:
+/// `raw` is what the frame(s) would occupy with every codec forced to
+/// raw (header included), `wire` is what actually crossed the channel.
+/// Encoders and decoders compute identical values from the same message,
+/// so either side of the seam can account without trusting the other.
+struct CodecByteCounts {
+  int64_t raw = 0;
+  int64_t wire = 0;
+  void Add(const CodecByteCounts& o) {
+    raw += o.raw;
+    wire += o.wire;
+  }
+};
 
 /// Appends little-endian primitives to a growing payload, then seals the
 /// payload into a framed message.
@@ -79,6 +150,10 @@ class WireWriter {
   void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
   /// IEEE-754 bit pattern; exact round trip.
   void PutDouble(double v);
+  /// LEB128: 7 value bits per byte, high bit = continuation.
+  void PutVarint(uint64_t v);
+  /// Zigzag-mapped varint for small signed values.
+  void PutVarintI64(int64_t v);
   /// u64 count followed by the values.
   void PutI32Array(const std::vector<int32_t>& values);
   /// u64 byte length followed by the bytes.
@@ -109,6 +184,9 @@ class WireReader {
   Status GetI32(int32_t* v);
   Status GetI64(int64_t* v);
   Status GetDouble(double* v);
+  /// Rejects truncation and any encoding past 10 bytes / 64 value bits.
+  Status GetVarint(uint64_t* v);
+  Status GetVarintI64(int64_t* v);
   Status GetI32Array(std::vector<int32_t>* values);
   Status GetString(std::string* s);
 
@@ -133,12 +211,18 @@ struct DecodedFrame {
 };
 
 /// Validates magic, version, declared payload size and checksum.
-/// The returned view aliases `frame`, which must outlive it.
+/// The returned view aliases the input bytes, which must outlive it.
+Result<DecodedFrame> DecodeFrame(const uint8_t* data, size_t size);
 Result<DecodedFrame> DecodeFrame(const std::vector<uint8_t>& frame);
 
 // ---------------------------------------------------------------------------
 // Message vocabulary. One encode/decode pair per FrameType; decoders
-// reject type mismatches and any structural violation.
+// reject type mismatches and any structural violation. Every encoder of
+// a codec-bearing frame takes `compress` (false forces the raw codec —
+// the determinism matrix runs both ways) and an optional `counts`
+// accumulator for the raw/wire byte split; decoders accept either codec
+// regardless (frames are self-describing) and can report the same
+// counts from their side of the seam.
 
 /// One candidate assigned to a shard. `slot` is the candidate's index in
 /// the coordinator's flattened per-level array — results are keyed by it,
@@ -169,21 +253,37 @@ struct WireOutcome {
   std::vector<int32_t> removal_rows;
 };
 
+/// One decoded kResultBatch frame: a chunk of a level's outcomes plus
+/// whether it terminates the shard's reply for the level.
+struct WireResultChunk {
+  std::vector<WireOutcome> outcomes;
+  bool final_chunk = true;
+};
+
 std::vector<uint8_t> EncodePartitionBlock(AttributeSet set,
-                                          const StrippedPartition& partition);
+                                          const StrippedPartition& partition,
+                                          bool compress = true,
+                                          CodecByteCounts* counts = nullptr);
 /// `num_rows` bounds the decoded row ids; the partition is additionally
-/// validated for canonical form (see StrippedPartition::Deserialize).
+/// validated for canonical form (see StrippedPartition::Deserialize) —
+/// a compressed body is expanded back to the raw CSR bytes first, so
+/// both codecs pass through exactly the same structural validation.
 Result<std::pair<AttributeSet, StrippedPartition>> DecodePartitionBlock(
-    const DecodedFrame& frame, int64_t num_rows);
+    const DecodedFrame& frame, int64_t num_rows,
+    CodecByteCounts* counts = nullptr);
 
 std::vector<uint8_t> EncodeCandidateBatch(
-    const std::vector<WireCandidate>& candidates);
+    const std::vector<WireCandidate>& candidates, bool compress = true,
+    CodecByteCounts* counts = nullptr);
 Result<std::vector<WireCandidate>> DecodeCandidateBatch(
-    const DecodedFrame& frame);
+    const DecodedFrame& frame, CodecByteCounts* counts = nullptr);
 
-std::vector<uint8_t> EncodeResultBatch(
-    const std::vector<WireOutcome>& outcomes);
-Result<std::vector<WireOutcome>> DecodeResultBatch(const DecodedFrame& frame);
+std::vector<uint8_t> EncodeResultBatch(const std::vector<WireOutcome>& outcomes,
+                                       bool final_chunk = true,
+                                       bool compress = true,
+                                       CodecByteCounts* counts = nullptr);
+Result<WireResultChunk> DecodeResultBatch(const DecodedFrame& frame,
+                                          CodecByteCounts* counts = nullptr);
 
 /// The shard-relevant validation configuration, flattened to wire-level
 /// scalars so this module stays independent of od/. The coordinator
@@ -202,6 +302,8 @@ struct WireRunnerConfig {
   /// Worker threads for the runner's own pool (process transport only;
   /// determinism does not depend on it).
   uint32_t num_threads = 1;
+  /// Whether the runner's own encoders (result chunks) may compress.
+  bool wire_compression = true;
 };
 
 std::vector<uint8_t> EncodeConfigBlock(const WireRunnerConfig& config);
@@ -211,12 +313,28 @@ Result<WireRunnerConfig> DecodeConfigBlock(const DecodedFrame& frame);
 /// arrays. Dictionaries (raw values) never cross the shard seam:
 /// validators are pure integer work, so the decoded table carries empty
 /// dictionaries. Decoding validates every rank against its declared
-/// cardinality and every column length against num_rows.
-std::vector<uint8_t> EncodeTableBlock(const EncodedTable& table);
-Result<EncodedTable> DecodeTableBlock(const DecodedFrame& frame);
+/// cardinality and every column length against num_rows. Each column
+/// carries its own rank codec byte (see kRankCodec*).
+std::vector<uint8_t> EncodeTableBlock(const EncodedTable& table,
+                                      bool compress = true,
+                                      CodecByteCounts* counts = nullptr);
+Result<EncodedTable> DecodeTableBlock(const DecodedFrame& frame,
+                                      CodecByteCounts* counts = nullptr);
 
 /// An empty-payload kShutdown frame.
 std::vector<uint8_t> EncodeShutdown();
+
+/// Seals `frames` (complete sealed frames, none of them kBatch) into one
+/// kBatch envelope.
+std::vector<uint8_t> EncodeBatchEnvelope(
+    const std::vector<std::vector<uint8_t>>& frames);
+/// Splits a validated kBatch frame back into its inner frames (copies,
+/// so the envelope buffer can die). Rejects empty envelopes, truncated
+/// segments and nested kBatch; each inner frame still carries its own
+/// header + checksum and is fully validated by the consumer's
+/// DecodeFrame.
+Result<std::vector<std::vector<uint8_t>>> UnpackBatchEnvelope(
+    const DecodedFrame& frame);
 
 /// The per-shard DiscoveryStats counters a runner reports in its
 /// terminal frame. Doubles are timing (exempt from the determinism
@@ -224,14 +342,21 @@ std::vector<uint8_t> EncodeShutdown();
 /// the shard served.
 struct ShardStatsFooter {
   uint32_t shard_id = 0;
-  /// Frames the runner served (bases + batches + shutdown) — a cheap
-  /// conversation-length cross-check for the coordinator.
+  /// Logical frames the runner served (bases + batches + shutdown; an
+  /// envelope counts as its inner frames) — a cheap conversation-length
+  /// cross-check for the coordinator.
   int64_t frames_served = 0;
   int64_t products_computed = 0;
   int64_t partitions_evicted = 0;
   int64_t partition_bytes_evicted = 0;
   int64_t partition_bytes_final = 0;
   int64_t partition_bytes_peak = 0;
+  /// Raw vs. on-wire bytes of every codec-bearing frame this shard
+  /// decoded (partitions, candidate batches, and — for process runners
+  /// — the table block). The coordinator folds these into the run's
+  /// shard_bytes_raw so the compression ratio is observable per run.
+  int64_t bytes_decoded_raw = 0;
+  int64_t bytes_decoded_wire = 0;
   double partition_seconds = 0.0;
 };
 

@@ -194,6 +194,89 @@ TEST_F(PaperDiscoveryTest, MaxLevelCapsTraversal) {
   for (const auto& d : result.ofds) EXPECT_LE(d.level, 2);
 }
 
+TEST(DiscoveryTest, MaxLhsArityIsPrefixConsistent) {
+  // The arity bound prunes whole lattice tails, but below the cutoff
+  // nothing may change: a bounded run must report exactly the unbounded
+  // dependencies whose context (LHS) has <= m attributes, with every
+  // payload field bit-identical — the definition of a prefix-consistent
+  // subset. Anything else would mean the bound leaked into candidate
+  // generation or pruning below the cutoff.
+  Table t = GenerateFlightTable(300, 6, 77);
+  EncodedTable enc = EncodeTable(t);
+  DiscoveryOptions options;
+  options.epsilon = 0.1;
+  options.collect_removal_sets = true;
+  DiscoveryResult unbounded = DiscoverOds(enc, options);
+
+  auto oc_key = [](const DiscoveredOc& d) {
+    return std::to_string(d.oc.context.bits()) + ":" +
+           std::to_string(d.oc.a) + ":" + std::to_string(d.oc.b) + ":" +
+           (d.oc.opposite ? "1" : "0");
+  };
+  auto ofd_key = [](const DiscoveredOfd& d) {
+    return std::to_string(d.ofd.context.bits()) + ":" +
+           std::to_string(d.ofd.a);
+  };
+  auto arity = [](uint64_t context_bits) {
+    return __builtin_popcountll(context_bits);
+  };
+
+  for (int m : {1, 2, 3}) {
+    SCOPED_TRACE("max_lhs_arity=" + std::to_string(m));
+    options.max_lhs_arity = m;
+    DiscoveryResult bounded = DiscoverOds(enc, options);
+
+    std::set<std::string> bounded_ocs;
+    for (const DiscoveredOc& d : bounded.ocs) {
+      EXPECT_LE(arity(d.oc.context.bits()), m) << oc_key(d);
+      bounded_ocs.insert(oc_key(d));
+    }
+    std::set<std::string> bounded_ofds;
+    for (const DiscoveredOfd& d : bounded.ofds) {
+      EXPECT_LE(arity(d.ofd.context.bits()), m) << ofd_key(d);
+      bounded_ofds.insert(ofd_key(d));
+    }
+
+    size_t expected_ocs = 0;
+    for (const DiscoveredOc& d : unbounded.ocs) {
+      if (arity(d.oc.context.bits()) > m) continue;
+      ++expected_ocs;
+      EXPECT_TRUE(bounded_ocs.count(oc_key(d)))
+          << "missing below the cutoff: " << oc_key(d);
+    }
+    size_t expected_ofds = 0;
+    for (const DiscoveredOfd& d : unbounded.ofds) {
+      if (arity(d.ofd.context.bits()) > m) continue;
+      ++expected_ofds;
+      EXPECT_TRUE(bounded_ofds.count(ofd_key(d)))
+          << "missing below the cutoff: " << ofd_key(d);
+    }
+    EXPECT_EQ(bounded.ocs.size(), expected_ocs);
+    EXPECT_EQ(bounded.ofds.size(), expected_ofds);
+
+    // Field-exact match for the surviving prefix, removal rows included.
+    for (const DiscoveredOc& b : bounded.ocs) {
+      for (const DiscoveredOc& u : unbounded.ocs) {
+        if (oc_key(u) != oc_key(b)) continue;
+        EXPECT_EQ(b.approx_factor, u.approx_factor);
+        EXPECT_EQ(b.removal_size, u.removal_size);
+        EXPECT_EQ(b.level, u.level);
+        EXPECT_EQ(b.interestingness, u.interestingness);
+        EXPECT_EQ(b.removal_rows, u.removal_rows);
+      }
+    }
+  }
+
+  // The bound composes with sharding: same prefix over the wire.
+  options.max_lhs_arity = 2;
+  DiscoveryResult bounded = DiscoverOds(enc, options);
+  options.num_shards = 2;
+  DiscoveryResult sharded = DiscoverOds(enc, options);
+  ASSERT_TRUE(sharded.shard_status.ok());
+  EXPECT_EQ(sharded.ocs.size(), bounded.ocs.size());
+  EXPECT_EQ(sharded.ofds.size(), bounded.ofds.size());
+}
+
 TEST_F(PaperDiscoveryTest, CollectRemovalSets) {
   DiscoveryOptions options;
   options.epsilon = 0.2;

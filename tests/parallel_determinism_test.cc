@@ -372,6 +372,56 @@ TEST(ParallelDeterminismTest, SocketTransportMatchesInProcessBitExactly) {
   }
 }
 
+TEST(ParallelDeterminismTest, WireCompressionIsOutputInvariant) {
+  // The codec dimension of the determinism matrix: the delta/varint
+  // codecs are lossless and decode through the same validation gate as
+  // raw frames, so the *full* fingerprint (stats included) must be
+  // identical with compression on and off, for every transport and
+  // shard count — compression is purely a bytes-vs-CPU knob. The byte
+  // accounting must show it working: wire < raw when on (the shipped
+  // partitions and batches compress on these shapes), wire == raw when
+  // every codec is forced raw.
+  Table t = GenerateNcVoterTable(400, 6, 11);
+  EncodedTable enc = EncodeTable(t);
+  DiscoveryOptions options;
+  options.epsilon = 0.1;
+  options.collect_removal_sets = true;
+  options.num_threads = 2;
+  const std::string expected_output =
+      OutputFingerprint(DiscoverOds(enc, options));
+
+  for (ShardTransport transport :
+       {ShardTransport::kInProcess, ShardTransport::kSocket}) {
+    for (int shards : {1, 4}) {
+      SCOPED_TRACE(std::string(ShardTransportToString(transport)) +
+                   " num_shards=" + std::to_string(shards));
+      options.shard_transport = transport;
+      options.num_shards = shards;
+
+      options.shard_wire_compression = true;
+      DiscoveryResult compressed = DiscoverOds(enc, options);
+      ASSERT_TRUE(compressed.shard_status.ok())
+          << compressed.shard_status.ToString();
+      EXPECT_EQ(OutputFingerprint(compressed), expected_output);
+      EXPECT_LT(compressed.stats.shard_bytes_wire,
+                compressed.stats.shard_bytes_raw);
+      EXPECT_EQ(compressed.stats.shard_bytes_wire,
+                compressed.stats.shard_bytes_shipped);
+      EXPECT_FALSE(compressed.stats.shard_frame_bytes.empty());
+
+      options.shard_wire_compression = false;
+      DiscoveryResult raw = DiscoverOds(enc, options);
+      ASSERT_TRUE(raw.shard_status.ok()) << raw.shard_status.ToString();
+      EXPECT_EQ(Fingerprint(raw), Fingerprint(compressed));
+      EXPECT_EQ(raw.stats.shard_bytes_wire, raw.stats.shard_bytes_raw);
+      // Raw volume is codec-independent: both runs ship the same frames,
+      // so the all-raw baseline they report must agree.
+      EXPECT_EQ(raw.stats.shard_bytes_raw, compressed.stats.shard_bytes_raw);
+      options.shard_wire_compression = true;
+    }
+  }
+}
+
 TEST(ParallelDeterminismTest, PassThroughFlakyDecoratorKeepsContract) {
   // The fault-injection decorator in pass-through mode is perfectly
   // transparent: the sharded determinism contract must hold unchanged

@@ -397,8 +397,32 @@ TEST(FileChannelFaultTest, TornSpoolFrameIsRejected) {
   Result<std::vector<uint8_t>> got = receiver.Receive();
   ASSERT_FALSE(got.ok());
   EXPECT_EQ(got.status().code(), StatusCode::kParseError);
+  // The error path keeps the spool for post-mortem inspection — only a
+  // clean drain removes it.
+  EXPECT_TRUE(fs::exists(dir));
   std::error_code ec;
   fs::remove_all(dir, ec);
+}
+
+TEST(FileChannelFaultTest, CleanCloseRemovesSpoolDirectory) {
+  const std::string dir = FreshSpoolDir();
+  ChannelOptions options;
+  options.receive_timeout_seconds = 5.0;
+  {
+    FileShardChannel sender(dir, FileShardChannel::Role::kSender, options);
+    ASSERT_TRUE(sender.Send(TestFrame(50)).ok());
+    ASSERT_TRUE(sender.Send(TestFrame(60)).ok());
+    sender.Close();
+  }
+  FileShardChannel receiver(dir, FileShardChannel::Role::kReceiver, options);
+  ASSERT_TRUE(receiver.Receive().ok());
+  ASSERT_TRUE(receiver.Receive().ok());
+  // Draining past the closed count returns kClosed *and* removes the
+  // spool directory — a finished exchange leaves nothing on disk.
+  Result<std::vector<uint8_t>> after = receiver.Receive();
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kClosed);
+  EXPECT_FALSE(fs::exists(dir));
 }
 
 TEST(FileChannelFaultTest, MissingFrameBelowClosedCountIsRejected) {
@@ -457,25 +481,26 @@ TEST_P(CoordinatorFaultInjectionTest, EveryFaultYieldsTypedErrorNoHang) {
   ASSERT_TRUE(clean.shard_status.ok());
 
   // Triggers place each fault mid-run, after at least one level merged
-  // cleanly. Send-side faults count the coordinator's sends — 5 base
-  // frames plus the level-1 batch — so the fault lands on the level-2
+  // cleanly. Send-side faults count the coordinator's physical sends —
+  // the 5 base partitions ship as ONE kBatch envelope, then the level-1
+  // candidate batch — so with trigger 2 the fault lands on the level-2
   // batch under either transport. Receive-side faults depend on the
   // decoration topology: with inproc channels the *runner's* inbox is a
-  // decorated endpoint too (5 base receives + 2 batches pass, the
-  // level-3 batch is mangled), while the socket decorates only the
-  // coordinator endpoint (2 replies pass, the level-3 reply is
-  // mangled).
+  // decorated endpoint too (the base envelope + 2 batches pass as 3
+  // physical receives, the level-3 batch is mangled), while the socket
+  // decorates only the coordinator endpoint (2 reply chunks pass, the
+  // level-3 reply is mangled).
   const int receive_trigger =
-      GetParam() == ShardTransport::kInProcess ? 7 : 2;
+      GetParam() == ShardTransport::kInProcess ? 3 : 2;
   struct FaultCase {
     FlakyChannel::Fault fault;
     int trigger_after;
   };
   const FaultCase faults[] = {
-      {FlakyChannel::Fault::kTornWrite, 6},
+      {FlakyChannel::Fault::kTornWrite, 2},
       {FlakyChannel::Fault::kShortRead, receive_trigger},
       {FlakyChannel::Fault::kCorruptByte, receive_trigger},
-      {FlakyChannel::Fault::kDropFrame, 6}};
+      {FlakyChannel::Fault::kDropFrame, 2}};
   for (const FaultCase& c : faults) {
     SCOPED_TRACE(static_cast<int>(c.fault));
     FlakyChannel::Plan plan;
@@ -511,7 +536,7 @@ TEST_P(CoordinatorFaultInjectionTest, FaultDuringBaseShippingIsTyped) {
   EncodedTable enc = EncodeTable(t);
   FlakyChannel::Plan plan;
   plan.fault = FlakyChannel::Fault::kTornWrite;
-  plan.trigger_after = 1;  // second base-partition frame is torn
+  plan.trigger_after = 0;  // the base-partition envelope itself is torn
   DiscoveryResult faulted = RunWithFault(enc, GetParam(), plan);
   ASSERT_FALSE(faulted.shard_status.ok());
   EXPECT_TRUE(faulted.ocs.empty());

@@ -93,18 +93,22 @@ TEST(ShardProcessE2eTest, AllTransportsMatchUnshardedBitExactly) {
         ShardTransport::kProcess}) {
     options.shard_transport = transport;
     for (int shards : {1, 2, 4}) {
-      SCOPED_TRACE(std::string(ShardTransportToString(transport)) +
-                   " x shards=" + std::to_string(shards));
-      options.num_shards = shards;
-      DiscoveryResult sharded = DiscoverOds(enc, options);
-      ASSERT_TRUE(sharded.shard_status.ok())
-          << sharded.shard_status.ToString();
-      EXPECT_EQ(OutputFingerprint(sharded), expected);
-      EXPECT_EQ(sharded.stats.shards_used, shards);
-      EXPECT_GT(sharded.stats.shard_bytes_shipped, 0);
-      // Stats footers delivered the shard-side partition counters.
-      EXPECT_GT(sharded.stats.partitions_computed, 0);
-      EXPECT_GT(sharded.stats.partition_bytes_peak, 0);
+      for (bool compression : {true, false}) {
+        SCOPED_TRACE(std::string(ShardTransportToString(transport)) +
+                     " x shards=" + std::to_string(shards) +
+                     (compression ? "" : " x raw wire"));
+        options.num_shards = shards;
+        options.shard_wire_compression = compression;
+        DiscoveryResult sharded = DiscoverOds(enc, options);
+        ASSERT_TRUE(sharded.shard_status.ok())
+            << sharded.shard_status.ToString();
+        EXPECT_EQ(OutputFingerprint(sharded), expected);
+        EXPECT_EQ(sharded.stats.shards_used, shards);
+        EXPECT_GT(sharded.stats.shard_bytes_shipped, 0);
+        // Stats footers delivered the shard-side partition counters.
+        EXPECT_GT(sharded.stats.partitions_computed, 0);
+        EXPECT_GT(sharded.stats.partition_bytes_peak, 0);
+      }
     }
   }
 }

@@ -286,12 +286,13 @@ TEST(ShardWireTest, ResultBatchRoundTripIsBitExact) {
   outcomes.push_back(o);
   outcomes.push_back(WireOutcome{});
 
-  HeldFrame frame(shard::EncodeResultBatch(outcomes));
+  HeldFrame frame(shard::EncodeResultBatch(outcomes, /*final_chunk=*/true));
   ASSERT_TRUE(frame.ok());
-  Result<std::vector<WireOutcome>> back = shard::DecodeResultBatch(*frame);
+  Result<shard::WireResultChunk> back = shard::DecodeResultBatch(*frame);
   ASSERT_TRUE(back.ok());
-  ASSERT_EQ(back->size(), 2u);
-  const WireOutcome& b = (*back)[0];
+  EXPECT_TRUE(back->final_chunk);
+  ASSERT_EQ(back->outcomes.size(), 2u);
+  const WireOutcome& b = back->outcomes[0];
   EXPECT_EQ(b.slot, 12u);
   EXPECT_TRUE(b.valid);
   EXPECT_TRUE(b.early_exit);
@@ -300,7 +301,18 @@ TEST(ShardWireTest, ResultBatchRoundTripIsBitExact) {
   EXPECT_EQ(b.interestingness, o.interestingness);
   EXPECT_EQ(b.seconds, o.seconds);
   EXPECT_EQ(b.removal_rows, o.removal_rows);
-  EXPECT_FALSE((*back)[1].valid);
+  EXPECT_FALSE(back->outcomes[1].valid);
+
+  // A non-final chunk keeps its flag through the round trip too — the
+  // coordinator's stream reassembly depends on it.
+  HeldFrame open_chunk(
+      shard::EncodeResultBatch(outcomes, /*final_chunk=*/false));
+  ASSERT_TRUE(open_chunk.ok());
+  Result<shard::WireResultChunk> open = shard::DecodeResultBatch(*open_chunk);
+  ASSERT_TRUE(open.ok());
+  EXPECT_FALSE(open->final_chunk);
+  ASSERT_EQ(open->outcomes.size(), 2u);
+  EXPECT_EQ(open->outcomes[0].approx_factor, o.approx_factor);
 }
 
 TEST(ShardWireTest, ConfigBlockRoundTripAndRejection) {
@@ -382,6 +394,8 @@ TEST(ShardWireTest, StatsFooterRoundTripAndShutdownFrame) {
   footer.partition_bytes_evicted = 4096;
   footer.partition_bytes_final = 123;
   footer.partition_bytes_peak = 456;
+  footer.bytes_decoded_raw = 9999;
+  footer.bytes_decoded_wire = 1111;
   footer.partition_seconds = 1.0 / 3.0;
 
   HeldFrame frame(shard::EncodeStatsFooter(footer));
@@ -395,6 +409,8 @@ TEST(ShardWireTest, StatsFooterRoundTripAndShutdownFrame) {
   EXPECT_EQ(back->partition_bytes_evicted, 4096);
   EXPECT_EQ(back->partition_bytes_final, 123);
   EXPECT_EQ(back->partition_bytes_peak, 456);
+  EXPECT_EQ(back->bytes_decoded_raw, 9999);
+  EXPECT_EQ(back->bytes_decoded_wire, 1111);
   EXPECT_EQ(back->partition_seconds, footer.partition_seconds);
 
   // Negative counters are structurally impossible outputs; reject them.
@@ -402,6 +418,11 @@ TEST(ShardWireTest, StatsFooterRoundTripAndShutdownFrame) {
   HeldFrame bad(shard::EncodeStatsFooter(footer));
   ASSERT_TRUE(bad.ok());
   EXPECT_FALSE(shard::DecodeStatsFooter(*bad).ok());
+  footer.products_computed = 34;
+  footer.bytes_decoded_raw = -5;
+  HeldFrame bad_decoded(shard::EncodeStatsFooter(footer));
+  ASSERT_TRUE(bad_decoded.ok());
+  EXPECT_FALSE(shard::DecodeStatsFooter(*bad_decoded).ok());
 
   // The shutdown frame is a bare, checksummed header.
   HeldFrame shutdown(shard::EncodeShutdown());
