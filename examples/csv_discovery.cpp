@@ -166,7 +166,16 @@ int main(int argc, char** argv) {
   options.shard_runner_path = args.shard_runner;
   DiscoveryResult result = DiscoverOds(enc, options);
   if (!result.shard_status.ok()) {
-    std::fprintf(stderr, "shard transport error: %s\n",
+    // Reaching here means the fault survived the whole supervision
+    // ladder (retries, backoff, in-process fallback) — or supervision
+    // was disabled. One human-readable line, nonzero exit.
+    std::fprintf(stderr,
+                 "error: shard validation failed unrecoverably after "
+                 "%lld retries (transport %s): %s\n",
+                 static_cast<long long>(result.stats.shard_retries),
+                 args.shard_transport == ShardTransport::kProcess ? "process"
+                 : args.shard_transport == ShardTransport::kSocket ? "socket"
+                                                                   : "inproc",
                  result.shard_status.ToString().c_str());
     return 1;
   }
@@ -198,6 +207,19 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n%s", result.stats.ToString().c_str());
+  if (args.shards > 0) {
+    // Next to the codec summary above: what the supervisor absorbed —
+    // all zeros on a healthy run.
+    std::printf(
+        "shard supervision: %lld retries, %lld respawns, speculation "
+        "%lld won / %lld lost, %lld fallback shards, %lld footers lost\n",
+        static_cast<long long>(result.stats.shard_retries),
+        static_cast<long long>(result.stats.shard_respawns),
+        static_cast<long long>(result.stats.shard_speculative_wins),
+        static_cast<long long>(result.stats.shard_speculative_losses),
+        static_cast<long long>(result.stats.shard_fallback_shards),
+        static_cast<long long>(result.stats.shard_footers_missing));
+  }
   if (result.timed_out) {
     std::printf("NOTE: discovery hit the time budget; results partial.\n");
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <utility>
 
@@ -172,6 +173,20 @@ struct Driver {
       topts.runner_path = options.shard_runner_path;
       topts.io_timeout_seconds = options.shard_io_timeout_seconds;
       topts.channel_decorator = options.shard_channel_decorator;
+      topts.supervision.max_retries = options.shard_max_retries;
+      topts.supervision.retry_backoff_ms = options.shard_retry_backoff_ms;
+      topts.supervision.speculation_factor =
+          options.shard_speculation_factor;
+      topts.supervision.fallback_inproc = options.shard_fallback_inproc;
+      if (options.time_budget_seconds > 0) {
+        // Clamp every shard-seam wait (and backoff park) to the run
+        // budget: a dead runner costs at most the remaining budget, not
+        // the full I/O timeout.
+        topts.supervision.run_deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(options.time_budget_seconds));
+      }
       Result<std::unique_ptr<shard::ShardCoordinator>> created =
           shard::ShardCoordinator::Create(&table, options.num_shards, ropts,
                                           topts, pool);
@@ -735,6 +750,14 @@ struct Driver {
         result.stats.shard_frame_bytes.push_back(
             {name, counts.raw, counts.wire});
       }
+      // Supervision observability: every recovery the run survived.
+      result.stats.shard_retries = coordinator->shard_retries();
+      result.stats.shard_respawns = coordinator->shard_respawns();
+      result.stats.shard_speculative_wins = coordinator->speculative_wins();
+      result.stats.shard_speculative_losses =
+          coordinator->speculative_losses();
+      result.stats.shard_fallback_shards = coordinator->fallback_shards();
+      result.stats.shard_footers_missing = coordinator->footers_missing();
     } else {
       result.stats.partitions_computed = cache.products_computed();
       result.stats.planner_derivations = cache.planner_derivations();

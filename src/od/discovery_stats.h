@@ -59,6 +59,25 @@ struct DiscoveryStats {
     int64_t bytes_wire = 0;
   };
   std::vector<FrameTypeBytes> shard_frame_bytes;
+  /// Supervision counters (src/shard/supervisor.h): the recoveries the
+  /// run survived. All zero on a fault-free run or with supervision off
+  /// (shard_max_retries == 0).
+  /// Level re-attempts across all shards (each respawn-and-re-execute
+  /// after a fault counts once).
+  int64_t shard_retries = 0;
+  /// Fresh transport attempts built after the first per shard —
+  /// respawned processes / reconnected sockets, including speculative
+  /// backups.
+  int64_t shard_respawns = 0;
+  /// Speculative backup attempts that beat (lost to) their primary.
+  int64_t shard_speculative_wins = 0;
+  int64_t shard_speculative_losses = 0;
+  /// Shards that degraded to in-process execution after retry
+  /// exhaustion and stayed there for the rest of the run.
+  int64_t shard_fallback_shards = 0;
+  /// Shards whose stats footer was lost to a tolerated shutdown fault
+  /// (their partition-side counters above contribute 0).
+  int64_t shard_footers_missing = 0;
 
   // Exact partition-cache memory accounting (StrippedPartition::bytes(),
   // i.e. CSR payload + object headers). Peak is sampled at level

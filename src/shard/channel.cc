@@ -421,6 +421,23 @@ Result<int> SocketListener::AcceptFd(double timeout_seconds) {
   return fd;
 }
 
+Result<LoopbackChannelPair> ConnectLoopbackPair(double timeout_seconds,
+                                                ChannelOptions options) {
+  // The loopback connect completes out of the listen backlog, so
+  // connect-then-accept on one thread is safe; the listener lives only
+  // for this handshake.
+  AOD_ASSIGN_OR_RETURN(std::unique_ptr<SocketListener> listener,
+                       SocketListener::Bind());
+  LoopbackChannelPair pair;
+  AOD_ASSIGN_OR_RETURN(pair.near,
+                       SocketShardChannel::Connect("127.0.0.1",
+                                                   listener->port(),
+                                                   timeout_seconds, options));
+  AOD_ASSIGN_OR_RETURN(int accepted_fd, listener->AcceptFd(timeout_seconds));
+  pair.far = SocketShardChannel::Adopt(accepted_fd, options);
+  return pair;
+}
+
 // ------------------------------------------------------------------- file --
 
 namespace fs = std::filesystem;

@@ -243,6 +243,22 @@ class SocketShardChannel final : public ShardChannel {
   std::thread writer_;
 };
 
+/// A freshly connected localhost TCP endpoint pair. This is the
+/// reconnectable-endpoint seam of the shard supervisor: every
+/// (re)establishment of a socket-transport attempt builds its own pair
+/// — own ephemeral listener, connect, accept, listener dropped — so
+/// concurrent respawns and speculative backup attempts never contend on
+/// a shared accept queue or adopt each other's connections.
+struct LoopbackChannelPair {
+  /// The connecting side (the coordinator keeps this one).
+  std::unique_ptr<SocketShardChannel> near;
+  /// The accepted side (handed to the in-process runner).
+  std::unique_ptr<SocketShardChannel> far;
+};
+
+Result<LoopbackChannelPair> ConnectLoopbackPair(double timeout_seconds,
+                                                ChannelOptions options = {});
+
 /// Accepts coordinator-side connections for socket/process transports.
 /// Binds 127.0.0.1 on an ephemeral port; never listens off-loopback.
 class SocketListener {

@@ -1,27 +1,31 @@
 #include "shard/coordinator.h"
 
-#include <spawn.h>
 #include <sys/wait.h>
-#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <csignal>
-#include <cstdlib>
-#include <cstring>
+#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "common/macros.h"
+#include "common/stopwatch.h"
 #include "exec/task_group.h"
 #include "exec/thread_pool.h"
 #include "partition/attribute_set.h"
 #include "partition/stripped_partition.h"
 
-extern char** environ;
-
 namespace aod {
 namespace shard {
+namespace {
+
+/// Floor on the straggler threshold: hedging a level whose median shard
+/// finished in microseconds would respawn constantly for nothing.
+constexpr double kMinHedgeSeconds = 0.05;
+
+}  // namespace
 
 ShardCoordinator::ShardCoordinator(
     const EncodedTable* table, const ShardTransportOptions& transport_options,
@@ -41,187 +45,51 @@ Result<std::unique_ptr<ShardCoordinator>> ShardCoordinator::Create(
   return coordinator;
 }
 
-std::unique_ptr<ShardChannel> ShardCoordinator::Decorate(
-    std::unique_ptr<ShardChannel> ch) {
-  if (transport_.channel_decorator) {
-    return transport_.channel_decorator(std::move(ch));
-  }
-  return ch;
-}
-
-Status ShardCoordinator::InitLink(ShardLink* link, int shard_id,
-                                  int num_shards,
-                                  const ShardRunnerOptions& runner_options,
-                                  const std::vector<uint8_t>& table_frame) {
-  ChannelOptions copts;
-  copts.max_frame_bytes = transport_.max_frame_bytes;
-  copts.receive_timeout_seconds = transport_.io_timeout_seconds;
-
-  switch (transport_.transport) {
-    case ShardTransport::kInProcess: {
-      link->to = Decorate(std::make_unique<InProcessChannel>(copts));
-      link->from = Decorate(std::make_unique<InProcessChannel>(copts));
-      link->to_shard = link->to.get();
-      link->from_shard = link->from.get();
-      link->runner = std::make_unique<ShardRunner>(
-          shard_id, table_, runner_options, link->to_shard, link->from_shard,
-          pool_);
-      return Status::OK();
-    }
-    case ShardTransport::kSocket: {
-      // A real localhost TCP pair: the loopback connect completes out of
-      // the listen backlog, so connect-then-accept on one thread is safe.
-      AOD_ASSIGN_OR_RETURN(
-          std::unique_ptr<SocketShardChannel> client,
-          SocketShardChannel::Connect("127.0.0.1", listener_->port(),
-                                      transport_.io_timeout_seconds, copts));
-      AOD_ASSIGN_OR_RETURN(int accepted_fd,
-                           listener_->AcceptFd(transport_.io_timeout_seconds));
-      link->to = Decorate(std::move(client));
-      link->to_shard = link->to.get();
-      link->from_shard = link->to.get();
-      link->runner_side = SocketShardChannel::Adopt(accepted_fd, copts);
-      link->runner = std::make_unique<ShardRunner>(
-          shard_id, table_, runner_options, link->runner_side.get(),
-          link->runner_side.get(), pool_);
-      return Status::OK();
-    }
-    case ShardTransport::kProcess: {
-      std::string path = transport_.runner_path;
-      if (path.empty()) {
-        const char* env = std::getenv("AOD_SHARD_RUNNER");
-        if (env != nullptr) path = env;
-      }
-      if (path.empty()) {
-        return Status::InvalidArgument(
-            "process transport needs ShardTransportOptions::runner_path or "
-            "$AOD_SHARD_RUNNER");
-      }
-      const std::string endpoint =
-          "--connect=127.0.0.1:" + std::to_string(listener_->port());
-      const std::string timeout =
-          "--timeout=" + std::to_string(transport_.io_timeout_seconds);
-      char* argv[] = {const_cast<char*>(path.c_str()),
-                      const_cast<char*>(endpoint.c_str()),
-                      const_cast<char*>(timeout.c_str()), nullptr};
-      pid_t pid = -1;
-      const int rc =
-          ::posix_spawn(&pid, path.c_str(), nullptr, nullptr, argv, environ);
-      if (rc != 0) {
-        return Status::IoError("cannot spawn shard runner '" + path +
-                               "': " + std::strerror(rc));
-      }
-      link->pid = pid;
-      AOD_ASSIGN_OR_RETURN(int accepted_fd,
-                           listener_->AcceptFd(transport_.io_timeout_seconds));
-      link->to = Decorate(SocketShardChannel::Adopt(accepted_fd, copts));
-      link->to_shard = link->to.get();
-      link->from_shard = link->to.get();
-
-      // Bootstrap frames the runner process consumes before its serve
-      // loop: the validation config, then the rank-encoded table.
-      WireRunnerConfig config;
-      config.shard_id = static_cast<uint32_t>(shard_id);
-      config.validator = static_cast<uint8_t>(runner_options.validator);
-      config.epsilon = runner_options.epsilon;
-      config.collect_removal_sets = runner_options.collect_removal_sets;
-      config.enable_sampling_filter = runner_options.enable_sampling_filter;
-      config.sampler_sample_size = runner_options.sampler_config.sample_size;
-      config.sampler_reject_margin =
-          runner_options.sampler_config.reject_margin;
-      config.sampler_seed = runner_options.sampler_config.seed;
-      config.partition_memory_budget_bytes =
-          runner_options.partition_memory_budget_bytes;
-      config.wire_compression = runner_options.wire_compression;
-      // The in-process transports share one pool across all shards;
-      // give each child process its slice of it, not a full copy — N
-      // children each as wide as the coordinator would oversubscribe
-      // the machine N-fold.
-      const int workers = pool_ != nullptr ? pool_->num_workers() : 1;
-      config.num_threads =
-          static_cast<uint32_t>(std::max(1, workers / num_shards));
-      AOD_RETURN_NOT_OK(link->to_shard->Send(EncodeConfigBlock(config)));
-      return link->to_shard->Send(table_frame);
-    }
-  }
-  return Status::Internal("unknown shard transport");
-}
-
 Status ShardCoordinator::Init(int num_shards,
                               const ShardRunnerOptions& runner_options) {
-  compress_ = runner_options.wire_compression;
-  if (transport_.transport != ShardTransport::kInProcess) {
-    AOD_ASSIGN_OR_RETURN(listener_, SocketListener::Bind());
-  }
-  // The table frame is shard-independent (only the config block varies
-  // per shard): encode — and checksum — it once, not once per shard.
-  std::vector<uint8_t> table_frame;
-  CodecByteCounts table_counts;
+  const bool compress = runner_options.wire_compression;
+  // Everything a fresh attempt needs, encoded — and checksummed — once:
+  // the same bytes bootstrap the first attempt, every respawn and every
+  // speculative backup, so re-seeding costs sends, not re-encodes.
+  bootstrap_.table = table_;
+  bootstrap_.runner_options = runner_options;
+  bootstrap_.num_shards = num_shards;
+  bootstrap_.pool_workers = pool_ != nullptr ? pool_->num_workers() : 1;
   if (transport_.transport == ShardTransport::kProcess) {
-    table_frame = EncodeTableBlock(*table_, compress_, &table_counts);
+    bootstrap_.table_frame =
+        EncodeTableBlock(*table_, compress, &bootstrap_.table_counts);
   }
-  links_.reserve(static_cast<size_t>(num_shards));
-  for (int s = 0; s < num_shards; ++s) {
-    // Pushed before InitLink so a half-initialized link (e.g. spawned
-    // child, failed accept) is still cleaned up — and its process
-    // reaped — by Finish.
-    links_.push_back(std::make_unique<ShardLink>());
-    AOD_RETURN_NOT_OK(InitLink(links_.back().get(), s, num_shards,
-                               runner_options, table_frame));
-    links_.back()->receiver =
-        std::make_unique<LogicalFrameReceiver>(links_.back()->from_shard);
-    if (transport_.transport == ShardTransport::kProcess) {
-      by_type_[static_cast<size_t>(FrameType::kTableBlock)].Add(table_counts);
-    }
-  }
-
-  // Seed every shard's cache over the wire: one kPartitionBlock per
-  // base (level-1) partition, serialized once, then shipped to every
-  // shard as a single kBatch envelope — one syscall per shard instead
+  // One kPartitionBlock per base (level-1) partition, shipped to every
+  // shard as a single kBatch envelope — one syscall per seeding instead
   // of one per base. Socket sends are buffered by the channel's writer
   // thread, so even a serial coordinator cannot deadlock against an
   // unserved peer.
   const int k = table_->num_columns();
   std::vector<std::vector<uint8_t>> base_frames;
   base_frames.reserve(static_cast<size_t>(k));
-  CodecByteCounts base_counts;
   for (int a = 0; a < k; ++a) {
     base_frames.push_back(EncodePartitionBlock(
         AttributeSet().With(a),
-        StrippedPartition::FromColumn(table_->column(a)), compress_,
-        &base_counts));
+        StrippedPartition::FromColumn(table_->column(a)), compress,
+        &bootstrap_.base_counts));
   }
-  if (k > 0) {
-    const std::vector<uint8_t> shipment =
-        k == 1 ? base_frames[0] : EncodeBatchEnvelope(base_frames);
-    for (auto& link : links_) {
-      AOD_RETURN_NOT_OK(link->to_shard->Send(shipment));
-      // The envelope counts as its k inner frames — the unit the footer
-      // cross-check compares against frames_served.
-      link->frames_sent += k;
-      by_type_[static_cast<size_t>(FrameType::kPartitionBlock)].Add(
-          base_counts);
-    }
+  bootstrap_.base_frames = k;
+  if (k == 1) {
+    bootstrap_.base_shipment = std::move(base_frames[0]);
+  } else if (k > 1) {
+    bootstrap_.base_shipment = EncodeBatchEnvelope(base_frames);
   }
-  // In-process runners drain their inboxes in parallel; Init returns
-  // with every shard ready to derive any context from the shipped bases.
-  // Process runners install asynchronously — frame order guarantees the
-  // bases precede any batch.
-  if (transport_.transport != ShardTransport::kProcess) {
-    std::vector<Status> statuses(links_.size());
-    exec::TaskGroup group(pool_);
-    for (size_t s = 0; s < links_.size(); ++s) {
-      ShardLink* link = links_[s].get();
-      Status* status = &statuses[s];
-      group.Run([link, status, k] {
-        for (int i = 0; i < k; ++i) {
-          *status = link->runner->ServeOne();
-          if (!status->ok()) return;
-        }
-      });
-    }
-    group.Wait();
-    for (const Status& st : statuses) AOD_RETURN_NOT_OK(st);
+
+  supervisors_.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    supervisors_.push_back(std::make_unique<ShardSupervisor>(
+        s, &bootstrap_, &transport_, transport_.supervision, pool_));
+  }
+  // Started serially in shard order: attempt (and decorated-channel)
+  // creation order stays deterministic, which the fault-injection tests
+  // key their schedules on.
+  for (auto& sup : supervisors_) {
+    AOD_RETURN_NOT_OK(sup->Start());
   }
   return Status::OK();
 }
@@ -235,34 +103,11 @@ int ShardCoordinator::ShardOf(uint64_t context_bits, int num_shards) {
                           static_cast<size_t>(num_shards));
 }
 
-Status ShardCoordinator::SendServed(ShardLink* link,
-                                    std::vector<uint8_t> frame) {
-  AOD_RETURN_NOT_OK(link->to_shard->Send(std::move(frame)));
-  ++link->frames_sent;
-  return Status::OK();
-}
-
-Status ShardCoordinator::PumpRunners(const std::function<bool()>& cancel) {
-  std::vector<Status> statuses(links_.size());
-  exec::TaskGroup group(pool_);
-  for (size_t s = 0; s < links_.size(); ++s) {
-    ShardLink* link = links_[s].get();
-    if (link->runner == nullptr) continue;  // process runner or half-init
-    Status* status = &statuses[s];
-    group.Run([link, status, &cancel] {
-      *status = link->runner->ServeOne(cancel);
-    });
-  }
-  group.Wait();
-  for (const Status& st : statuses) AOD_RETURN_NOT_OK(st);
-  return Status::OK();
-}
-
 Status ShardCoordinator::ValidateBatch(
     const std::vector<WireCandidate>& candidates,
     const std::function<bool()>& cancel,
     std::vector<WireOutcome>* completed) {
-  // Staged locally so a decode failure never leaves a partial batch in
+  // Staged locally so a failure never leaves a partial batch in
   // `completed` — the no-partial-batch contract of this overload.
   std::vector<WireOutcome> collected;
   AOD_RETURN_NOT_OK(ValidateBatch(
@@ -281,46 +126,208 @@ Status ShardCoordinator::ValidateBatch(
   for (const WireCandidate& c : candidates) {
     batches[static_cast<size_t>(ShardOf(c.context_bits, n))].push_back(c);
   }
-  // Ship every batch (empty ones included — each runner serves exactly
-  // one frame per level, so the request/reply cadence stays lockstep).
-  for (int s = 0; s < n; ++s) {
-    AOD_RETURN_NOT_OK(SendServed(
-        links_[static_cast<size_t>(s)].get(),
-        EncodeCandidateBatch(
-            batches[static_cast<size_t>(s)], compress_,
-            &by_type_[static_cast<size_t>(FrameType::kCandidateBatch)])));
-  }
-  // In-process runners are pumped here; a runner failure returns before
-  // any receive, so a reply that will never come cannot hang us.
-  AOD_RETURN_NOT_OK(PumpRunners(cancel));
 
-  // Fold replies as their chunks arrive, shard order outside, ascending
-  // slot order within — deterministic given deterministic batches.
-  // While shard s's chunks are being decoded and folded here, shards
-  // s+1..n-1 are still pushing bytes through their writer threads and
-  // kernel buffers: merge CPU hides transport latency. A runner cannot
-  // keep us here forever: chunks carry at least one outcome each except
-  // the final one, so a well-formed reply is at most |batch|+1 chunks —
-  // anything longer is a typed protocol error.
+  // One result cell per shard for the level. A cell is claimed exactly
+  // once — by the primary attempt or its speculative backup, whichever
+  // finishes first — under the level mutex; the loser's reply is never
+  // folded. That single-claim rule is the speculation dedupe: outcomes
+  // are pure functions of the batch, so the winner's buffered reply is
+  // byte-identical to what the loser would have produced.
+  struct LevelCell {
+    bool done = false;
+    bool backup_launched = false;
+    bool backup_won = false;
+    Status status;
+    std::vector<WireOutcome> outcomes;
+    double completed_seconds = 0.0;
+  };
+  std::vector<LevelCell> cells(static_cast<size_t>(n));
+  std::mutex mutex;
+  std::condition_variable cv;
+  int completed = 0;
+  Stopwatch level_sw;
+
+  const bool speculate = !strict() && pool_ != nullptr &&
+                         transport_.supervision.speculation_factor > 0.0;
+
+  // Each shard's ship/validate/receive round is one task: chunk decode
+  // and (supervised) retry ladders overlap across shards, while the
+  // serial shard-order fold below keeps delivery deterministic.
+  exec::TaskGroup group(pool_);
   for (int s = 0; s < n; ++s) {
-    ShardLink* link = links_[static_cast<size_t>(s)].get();
-    const size_t max_chunks = batches[static_cast<size_t>(s)].size() + 1;
-    size_t chunks = 0;
-    for (;;) {
-      if (++chunks > max_chunks) {
-        return Status::ParseError("shard result stream never finalized");
+    ShardSupervisor* sup = supervisors_[static_cast<size_t>(s)].get();
+    LevelCell* cell = &cells[static_cast<size_t>(s)];
+    const std::vector<WireCandidate>* batch =
+        &batches[static_cast<size_t>(s)];
+    group.Run([sup, cell, batch, &cancel, &mutex, &cv, &completed,
+               &level_sw] {
+      const auto abandoned = [cell, &mutex] {
+        std::lock_guard<std::mutex> lock(mutex);
+        return cell->done;
+      };
+      std::vector<WireOutcome> buffered;
+      Status st = sup->ExecuteLevel(*batch, cancel, abandoned, &buffered);
+      bool won = false;
+      bool raced_backup = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!cell->done) {
+          cell->done = true;
+          cell->status = std::move(st);
+          cell->outcomes = std::move(buffered);
+          cell->completed_seconds = level_sw.ElapsedSeconds();
+          ++completed;
+          won = true;
+          raced_backup = cell->backup_launched;
+        }
       }
-      AOD_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, link->receiver->Receive());
-      AOD_ASSIGN_OR_RETURN(DecodedFrame frame, DecodeFrame(raw));
-      AOD_ASSIGN_OR_RETURN(
-          WireResultChunk chunk,
-          DecodeResultBatch(
-              frame, &by_type_[static_cast<size_t>(FrameType::kResultBatch)]));
-      for (WireOutcome& o : chunk.outcomes) fold(std::move(o));
-      if (chunk.final_chunk) break;
+      cv.notify_all();
+      if (won && raced_backup) sup->AbortOther(/*winner_is_backup=*/false);
+    });
+  }
+
+  if (speculate) {
+    // The straggler monitor: once at least half the shards finished the
+    // level, any shard still running past factor x the median latency
+    // gets one backup attempt. Runs on the calling thread; the tasks
+    // above run on the pool meanwhile.
+    std::unique_lock<std::mutex> lock(mutex);
+    while (completed < n) {
+      cv.wait_for(lock, std::chrono::milliseconds(20));
+      if (completed >= n || (cancel && cancel())) break;
+      std::vector<double> done_seconds;
+      for (const LevelCell& cell : cells) {
+        if (cell.done) done_seconds.push_back(cell.completed_seconds);
+      }
+      if (done_seconds.size() * 2 < static_cast<size_t>(n)) continue;
+      std::sort(done_seconds.begin(), done_seconds.end());
+      const double median = done_seconds[done_seconds.size() / 2];
+      const double threshold =
+          std::max(transport_.supervision.speculation_factor * median,
+                   kMinHedgeSeconds);
+      if (level_sw.ElapsedSeconds() < threshold) continue;
+      std::vector<int> launch;
+      for (int s = 0; s < n; ++s) {
+        LevelCell& cell = cells[static_cast<size_t>(s)];
+        if (!cell.done && !cell.backup_launched) {
+          cell.backup_launched = true;
+          launch.push_back(s);
+        }
+      }
+      if (launch.empty()) continue;
+      lock.unlock();
+      for (int s : launch) {
+        ShardSupervisor* sup = supervisors_[static_cast<size_t>(s)].get();
+        LevelCell* cell = &cells[static_cast<size_t>(s)];
+        const std::vector<WireCandidate>* batch =
+            &batches[static_cast<size_t>(s)];
+        group.Run([sup, cell, batch, &cancel, &mutex, &cv, &completed,
+                   &level_sw] {
+          const auto abandoned = [cell, &mutex] {
+            std::lock_guard<std::mutex> lock(mutex);
+            return cell->done;
+          };
+          std::vector<WireOutcome> buffered;
+          const Status st =
+              sup->ExecuteLevelBackup(*batch, cancel, abandoned, &buffered);
+          // A backup claims the cell only on success — a backup that
+          // fails (or was aborted by the primary's win) is just a loss,
+          // never the level's verdict.
+          bool won = false;
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (st.ok() && !cell->done) {
+              cell->done = true;
+              cell->backup_won = true;
+              cell->status = Status::OK();
+              cell->outcomes = std::move(buffered);
+              cell->completed_seconds = level_sw.ElapsedSeconds();
+              ++completed;
+              won = true;
+            }
+          }
+          cv.notify_all();
+          if (won) sup->AbortOther(/*winner_is_backup=*/true);
+        });
+      }
+      lock.lock();
     }
   }
+  group.Wait();
+
+  // Post-join, single-threaded: adopt winning backups / discard losing
+  // ones, then fold exactly one claimed reply per shard in shard order
+  // (ascending slots within a shard) — deterministic regardless of
+  // which attempt won or in what order shards finished.
+  for (int s = 0; s < n; ++s) {
+    const LevelCell& cell = cells[static_cast<size_t>(s)];
+    supervisors_[static_cast<size_t>(s)]->ResolveLevel(cell.backup_launched,
+                                                       cell.backup_won);
+  }
+  for (const LevelCell& cell : cells) {
+    AOD_RETURN_NOT_OK(cell.status);
+  }
+  for (LevelCell& cell : cells) {
+    for (WireOutcome& o : cell.outcomes) fold(std::move(o));
+  }
   return Status::OK();
+}
+
+void ShardCoordinator::ReapAll(std::vector<ShardReapJob> jobs,
+                               const std::function<void(Status)>& record) {
+  if (jobs.empty()) return;
+  // ONE deadline for the whole fleet: a healthy child exits after
+  // answering the shutdown (or on EOF once its socket closed); the
+  // wedged ones — stuck without reading, so they never see EOF — are
+  // all killed in a single escalation pass once the shared deadline
+  // lapses, so shutdown costs at most one I/O timeout total, not one
+  // per child.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(transport_.io_timeout_seconds));
+  std::vector<char> done(jobs.size(), 0);
+  size_t remaining = jobs.size();
+  bool escalated = false;
+  while (remaining > 0) {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (done[i]) continue;
+      int wstatus = 0;
+      // After the SIGKILL pass the waits block — SIGKILL converges, so
+      // they cannot hang.
+      const pid_t reaped =
+          ::waitpid(jobs[i].pid, &wstatus, escalated ? 0 : WNOHANG);
+      if (reaped == 0) continue;
+      done[i] = 1;
+      --remaining;
+      if (reaped < 0) {
+        record(Status::IoError("waitpid failed for shard runner"));
+        continue;
+      }
+      const bool killed_here = escalated && WIFSIGNALED(wstatus) &&
+                               WTERMSIG(wstatus) == SIGKILL;
+      if (!killed_here &&
+          (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0)) {
+        record(Status::Internal(
+            "shard runner exited abnormally (status " +
+            std::to_string(WIFEXITED(wstatus) ? WEXITSTATUS(wstatus)
+                                              : -WTERMSIG(wstatus)) +
+            ")"));
+      }
+    }
+    if (remaining == 0 || escalated) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        if (done[i]) continue;
+        ::kill(jobs[i].pid, SIGKILL);
+        record(Status::Internal(
+            "shard runner unresponsive at shutdown; killed"));
+      }
+      escalated = true;
+      continue;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
 }
 
 Status ShardCoordinator::Finish() {
@@ -331,116 +338,50 @@ Status ShardCoordinator::Finish() {
   const auto record = [&result](Status st) {
     if (result.ok() && !st.ok()) result = std::move(st);
   };
+  // Supervised mode tolerates shutdown-path faults: the merged results
+  // are already correct, and every tolerated loss is counted
+  // (footers_missing). The supervisor methods themselves return OK for
+  // tolerated faults, so `record` only ever sees strict-mode errors and
+  // genuine supervised-mode breakage.
+  const auto swallow = [](Status) {};
 
   // Shutdown handshake, pushed to every shard even if one fails — each
   // link must reach its terminal state before the channels close.
-  // Half-initialized links (failed Create) have no channels and skip
-  // straight to process reaping.
-  for (auto& link : links_) {
-    if (link->to_shard == nullptr) continue;
-    record(SendServed(link.get(), EncodeShutdown()));
+  for (auto& sup : supervisors_) {
+    record(sup->SendShutdown());
   }
-  record(PumpRunners({}));
-  for (auto& link : links_) {
-    if (link->from_shard == nullptr) continue;
-    // A half-initialized link (InitLink failed mid-bootstrap) has its
-    // channels but never got a receiver; give it one so the drain below
-    // still unwraps envelopes.
-    if (link->receiver == nullptr) {
-      link->receiver = std::make_unique<LogicalFrameReceiver>(link->from_shard);
+  {
+    std::vector<Status> statuses(supervisors_.size());
+    exec::TaskGroup group(pool_);
+    for (size_t s = 0; s < supervisors_.size(); ++s) {
+      ShardSupervisor* sup = supervisors_[s].get();
+      Status* status = &statuses[s];
+      group.Run([sup, status] { *status = sup->PumpShutdownServe(); });
     }
-    // A mid-level abort can leave a sibling shard's result frames queued
-    // ahead of its footer — with chunked streaming that can be a whole
-    // level's worth of reply chunks, not just one frame; drain non-
-    // footer logical frames (bounded) instead of misdecoding the first
-    // frame seen as the footer and losing the shard's stats.
-    Result<ShardStatsFooter> footer =
-        Status::Internal("stats footer never arrived");
-    for (int drained = 0; drained < 4096; ++drained) {
-      Result<std::vector<uint8_t>> raw = link->receiver->Receive();
-      if (!raw.ok()) {
-        footer = raw.status();
-        break;
-      }
-      Result<DecodedFrame> frame = DecodeFrame(*raw);
-      if (!frame.ok()) {
-        footer = frame.status();
-        break;
-      }
-      if (frame->type != FrameType::kStatsFooter) continue;  // stale reply
-      footer = DecodeStatsFooter(*frame);
-      break;
-    }
-    if (!footer.ok()) {
-      record(footer.status());
-      continue;
-    }
-    if (footer->frames_served != link->frames_sent) {
-      record(Status::Internal(
-          "stats footer frame count mismatch: shard served " +
-          std::to_string(footer->frames_served) + " of " +
-          std::to_string(link->frames_sent) + " sent"));
-      continue;
-    }
-    link->footer = *footer;
-    link->footer_valid = true;
+    group.Wait();
+    for (Status& st : statuses) record(std::move(st));
   }
-  for (auto& link : links_) {
-    if (link->to_shard == nullptr) continue;
-    link->to_shard->Close();
-    if (link->from_shard != link->to_shard) link->from_shard->Close();
+  for (auto& sup : supervisors_) {
+    record(sup->CollectFooter());
   }
-  // A spawned child whose channel never opened (or whose coordinator
-  // gave up) exits on its own bootstrap timeout or connection reset;
-  // drop the listener first so a connect parked in the backlog resets.
-  listener_.reset();
-  // Reap runner processes. A healthy child exits after answering the
-  // shutdown (or on EOF once its socket closed); a wedged one — stuck
-  // without reading, so it never sees EOF — is killed after the I/O
-  // timeout rather than hanging Finish on a blocking waitpid (the
-  // failure contract is typed errors, never a hang).
-  for (auto& link : links_) {
-    if (link->pid < 0) continue;
-    int wstatus = 0;
-    pid_t reaped = 0;
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double>(transport_.io_timeout_seconds));
-    for (;;) {
-      reaped = ::waitpid(link->pid, &wstatus, WNOHANG);
-      if (reaped != 0) break;  // exited (pid) or waitpid error (-1)
-      if (std::chrono::steady_clock::now() >= deadline) {
-        ::kill(link->pid, SIGKILL);
-        record(Status::Internal(
-            "shard runner unresponsive at shutdown; killed"));
-        reaped = ::waitpid(link->pid, &wstatus, 0);  // converges: SIGKILL
-        break;
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    }
-    const bool killed_here =
-        reaped == link->pid && WIFSIGNALED(wstatus) &&
-        WTERMSIG(wstatus) == SIGKILL;
-    link->pid = -1;
-    if (reaped < 0) {
-      record(Status::IoError("waitpid failed for shard runner"));
-    } else if (!killed_here &&
-               (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0)) {
-      record(Status::Internal(
-          "shard runner exited abnormally (status " +
-          std::to_string(WIFEXITED(wstatus) ? WEXITSTATUS(wstatus)
-                                            : -WTERMSIG(wstatus)) +
-          ")"));
-    }
+  for (auto& sup : supervisors_) {
+    sup->CloseChannels();
+  }
+  std::vector<ShardReapJob> jobs;
+  for (auto& sup : supervisors_) {
+    sup->ReleaseProcesses(&jobs);
+  }
+  if (strict()) {
+    ReapAll(std::move(jobs), record);
+  } else {
+    ReapAll(std::move(jobs), swallow);
   }
   finish_status_ = result;
   return finish_status_;
 }
 
 int64_t ShardCoordinator::bytes_shipped(int s) const {
-  const ShardLink& link = *links_[static_cast<size_t>(s)];
-  return link.to_shard->bytes_sent() + link.from_shard->bytes_received();
+  return supervisors_[static_cast<size_t>(s)]->bytes_shipped();
 }
 
 int64_t ShardCoordinator::bytes_shipped_total() const {
@@ -455,67 +396,107 @@ int64_t ShardCoordinator::bytes_raw_total() const {
   // frames (partitions, candidates, table), the coordinator's own
   // result-chunk decodes cover the reply direction.
   int64_t total = bytes_shipped_total();
-  for (const auto& link : links_) {
-    if (link->footer_valid) {
-      total +=
-          link->footer.bytes_decoded_raw - link->footer.bytes_decoded_wire;
+  for (const auto& sup : supervisors_) {
+    if (sup->footer_valid()) {
+      total += sup->footer().bytes_decoded_raw -
+               sup->footer().bytes_decoded_wire;
     }
   }
-  const CodecByteCounts& results =
-      by_type_[static_cast<size_t>(FrameType::kResultBatch)];
+  const CodecByteCounts results =
+      type_byte_counts(FrameType::kResultBatch);
   total += results.raw - results.wire;
   return total;
 }
 
 CodecByteCounts ShardCoordinator::type_byte_counts(FrameType type) const {
-  return by_type_[static_cast<size_t>(type)];
+  CodecByteCounts total;
+  for (const auto& sup : supervisors_) {
+    total.Add(sup->type_byte_counts(type));
+  }
+  return total;
 }
 
 int64_t ShardCoordinator::products_computed() const {
   int64_t total = 0;
-  for (const auto& link : links_) {
-    if (link->footer_valid) total += link->footer.products_computed;
+  for (const auto& sup : supervisors_) {
+    if (sup->footer_valid()) total += sup->footer().products_computed;
   }
   return total;
 }
 
 int64_t ShardCoordinator::partitions_evicted() const {
   int64_t total = 0;
-  for (const auto& link : links_) {
-    if (link->footer_valid) total += link->footer.partitions_evicted;
+  for (const auto& sup : supervisors_) {
+    if (sup->footer_valid()) total += sup->footer().partitions_evicted;
   }
   return total;
 }
 
 int64_t ShardCoordinator::partition_bytes_evicted() const {
   int64_t total = 0;
-  for (const auto& link : links_) {
-    if (link->footer_valid) total += link->footer.partition_bytes_evicted;
+  for (const auto& sup : supervisors_) {
+    if (sup->footer_valid()) total += sup->footer().partition_bytes_evicted;
   }
   return total;
 }
 
 int64_t ShardCoordinator::partition_bytes_final() const {
   int64_t total = 0;
-  for (const auto& link : links_) {
-    if (link->footer_valid) total += link->footer.partition_bytes_final;
+  for (const auto& sup : supervisors_) {
+    if (sup->footer_valid()) total += sup->footer().partition_bytes_final;
   }
   return total;
 }
 
 int64_t ShardCoordinator::partition_bytes_peak() const {
   int64_t total = 0;
-  for (const auto& link : links_) {
-    if (link->footer_valid) total += link->footer.partition_bytes_peak;
+  for (const auto& sup : supervisors_) {
+    if (sup->footer_valid()) total += sup->footer().partition_bytes_peak;
   }
   return total;
 }
 
 double ShardCoordinator::partition_seconds() const {
   double total = 0.0;
-  for (const auto& link : links_) {
-    if (link->footer_valid) total += link->footer.partition_seconds;
+  for (const auto& sup : supervisors_) {
+    if (sup->footer_valid()) total += sup->footer().partition_seconds;
   }
+  return total;
+}
+
+int64_t ShardCoordinator::shard_retries() const {
+  int64_t total = 0;
+  for (const auto& sup : supervisors_) total += sup->retries();
+  return total;
+}
+
+int64_t ShardCoordinator::shard_respawns() const {
+  int64_t total = 0;
+  for (const auto& sup : supervisors_) total += sup->respawns();
+  return total;
+}
+
+int64_t ShardCoordinator::speculative_wins() const {
+  int64_t total = 0;
+  for (const auto& sup : supervisors_) total += sup->speculative_wins();
+  return total;
+}
+
+int64_t ShardCoordinator::speculative_losses() const {
+  int64_t total = 0;
+  for (const auto& sup : supervisors_) total += sup->speculative_losses();
+  return total;
+}
+
+int64_t ShardCoordinator::fallback_shards() const {
+  int64_t total = 0;
+  for (const auto& sup : supervisors_) total += sup->fell_back() ? 1 : 0;
+  return total;
+}
+
+int64_t ShardCoordinator::footers_missing() const {
+  int64_t total = 0;
+  for (const auto& sup : supervisors_) total += sup->footer_missing() ? 1 : 0;
   return total;
 }
 

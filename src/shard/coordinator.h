@@ -1,27 +1,36 @@
 // Coordinator of sharded candidate validation (ROADMAP: distributed
 // discovery in the spirit of Saxena et al. [8]).
 //
-// The coordinator owns N shard runners — in this process or in child
-// processes — a channel link each, and the shard-assignment rule. The
-// discovery driver keeps its lattice, planning phase and serial
-// key-ordered merge; only candidate validation crosses the seam:
+// The coordinator owns N shard *supervisors* — each managing a live
+// runner attempt in this process or in a child process — and the
+// shard-assignment rule. The discovery driver keeps its lattice,
+// planning phase and serial key-ordered merge; only candidate
+// validation crosses the seam:
 //
-//   construction    every base (level-1) partition is serialized once and
-//                   shipped to every shard as a kPartitionBlock frame —
-//                   shard caches are wire-seeded, never table-derived.
-//                   Process runners additionally receive a kConfigBlock
-//                   and a kTableBlock first (they share nothing);
+//   construction    every base (level-1) partition is serialized once
+//                   into the shared ShardBootstrap and shipped to every
+//                   shard as kPartitionBlock frames — shard caches are
+//                   wire-seeded, never table-derived. Process runners
+//                   additionally receive a kConfigBlock and a
+//                   kTableBlock first (they share nothing). The same
+//                   encoded frames re-seed every respawned attempt;
 //   per level       candidates are split by ShardOf(context) — all
-//                   candidates sharing a context land on one shard, so a
-//                   context partition is derived (at most) once per run,
-//                   by exactly one shard — batched, shipped, validated
-//                   shard-locally, and the kResultBatch replies are
-//                   folded back into the driver's outcome slots;
-//   Finish()        the shutdown handshake: a kShutdown frame per shard,
-//                   answered by the kStatsFooter terminal frame carrying
-//                   the shard's counters — the one stats mechanism for
-//                   every transport, so remote runners aggregate without
-//                   object access.
+//                   candidates sharing a context land on one shard, so
+//                   a context partition is derived (at most) once per
+//                   run, by exactly one shard — batched, shipped,
+//                   validated shard-locally, and the kResultBatch
+//                   replies are folded back into the driver's outcome
+//                   slots in shard order;
+//   supervision     each shard's level execution runs under its
+//                   ShardSupervisor (src/shard/supervisor.h): failures
+//                   are retried with backoff and a fresh attempt,
+//                   stragglers can be speculatively re-executed, and a
+//                   shard whose transport stays broken degrades to
+//                   in-process execution instead of aborting the run;
+//   Finish()        the shutdown handshake: a kShutdown frame per
+//                   shard, answered by the kStatsFooter terminal frame
+//                   carrying the shard's counters, then one
+//                   shared-deadline reap pass over every runner process.
 //
 // Transports (ShardTransportOptions::transport):
 //   kInProcess  mutex/cv frame queues; runners on the shared pool.
@@ -31,19 +40,25 @@
 //   kProcess    one spawned shard_runner_main per shard, connected over
 //               localhost TCP; validation parallelism across processes.
 //
-// Failure contract: any transport, decode or process failure surfaces as
-// a typed non-OK Status from Create/ValidateBatch/Finish — never a hang
-// (receives are timeout-bounded) and never a partially-applied batch
-// (ValidateBatch appends outcomes only after every shard's reply decoded
-// cleanly).
+// Failure contract: with supervision off (supervision.max_retries == 0,
+// "strict mode") any transport, decode or process failure surfaces as a
+// typed non-OK Status from Create/ValidateBatch/Finish — never a hang
+// (receives are timeout-bounded) and never a partially-applied batch.
+// With supervision on, a failure surfaces only after the per-level
+// retry budget, the backoff ladder and the in-process fallback are all
+// exhausted; DiscoveryResult::shard_status is reserved for those truly
+// unrecoverable states.
 //
 // Determinism: the assignment rule is a pure hash of the context set, a
-// runner's outcomes are pure functions of its batch (canonical partition
-// values, deterministic fixed-rule derivation, seeded sampler), and the
-// driver's merge consumes outcome slots in sorted key order — so sharded
+// runner's outcomes are pure functions of its batch (canonical
+// partition values, deterministic fixed-rule derivation, seeded
+// sampler), replayed and speculated attempts receive byte-identical
+// inputs, and exactly one attempt's buffered reply per shard is folded
+// — in shard order, ascending slots within a shard — so sharded
 // discovery output is bit-identical to the unsharded run for any shard
-// count, any thread count and any transport (gated by
-// tests/parallel_determinism_test and tests/shard_process_e2e_test).
+// count, any thread count, any transport, and any fault schedule that
+// completes (gated by tests/parallel_determinism_test,
+// tests/shard_supervisor_test and tests/shard_process_e2e_test).
 #ifndef AOD_SHARD_COORDINATOR_H_
 #define AOD_SHARD_COORDINATOR_H_
 
@@ -58,6 +73,7 @@
 #include "data/encoder.h"
 #include "shard/channel.h"
 #include "shard/shard_runner.h"
+#include "shard/supervisor.h"
 #include "shard/wire.h"
 
 namespace aod {
@@ -78,23 +94,31 @@ struct ShardTransportOptions {
   /// falls back to the AOD_SHARD_RUNNER environment variable.
   std::string runner_path;
   /// Bound on connects, accepts and every frame receive. A shard that
-  /// dies silently surfaces as a typed timeout, never a hang.
+  /// dies silently surfaces as a typed timeout, never a hang. Clamped
+  /// per wait to the time remaining before supervision.run_deadline
+  /// when one is set.
   double io_timeout_seconds = 300.0;
   /// Receiver-side frame size cap (see ChannelOptions).
   int64_t max_frame_bytes = 1LL << 30;
+  /// Retry/speculation/fallback policy (src/shard/supervisor.h);
+  /// supervision.max_retries == 0 is strict fail-stop mode.
+  ShardSupervisionOptions supervision;
   /// Test seam: wraps every coordinator-side channel endpoint (e.g. in a
-  /// fault-injecting decorator). Identity when empty.
+  /// fault-injecting decorator). Identity when empty. Fallback attempts
+  /// are NOT decorated — the decorator models the configured transport's
+  /// failure domain, which the in-process fallback leaves.
   std::function<std::unique_ptr<ShardChannel>(std::unique_ptr<ShardChannel>)>
       channel_decorator;
 };
 
 class ShardCoordinator {
  public:
-  /// Creates `num_shards` runners over the selected transport and ships
-  /// the base partitions (plus config + table for process runners).
-  /// `pool` (nullable) runs in-process shard work; both `table` and
-  /// `pool` are borrowed and must outlive the coordinator. Fails with a
-  /// typed Status on any transport or spawn error.
+  /// Creates `num_shards` supervised runners over the selected transport
+  /// and ships the base partitions (plus config + table for process
+  /// runners). `pool` (nullable) runs in-process shard work; both
+  /// `table` and `pool` are borrowed and must outlive the coordinator.
+  /// Fails with a typed Status on any transport or spawn error that
+  /// survives the supervision ladder.
   static Result<std::unique_ptr<ShardCoordinator>> Create(
       const EncodedTable* table, int num_shards,
       const ShardRunnerOptions& runner_options,
@@ -111,43 +135,46 @@ class ShardCoordinator {
   static int ShardOf(uint64_t context_bits, int num_shards);
 
   /// Validates one level's candidates across the shards: splits
-  /// `candidates` by ShardOf, ships one batch frame per shard, pumps
-  /// in-process runners on the pool (`cancel` is polled between
-  /// validations; process runners validate to completion), and appends
-  /// each shard's completed outcomes to `completed` in shard order —
-  /// only once every reply decoded cleanly, so a failure never leaves a
-  /// partial batch behind. Candidates a shard did not finish before
-  /// cancellation are simply absent — the driver's merge treats their
-  /// slots as undone.
+  /// `candidates` by ShardOf, runs every shard's ship/validate/receive
+  /// round as one supervised task (concurrent across shards on the
+  /// pool), and appends each shard's completed outcomes to `completed`
+  /// in shard order — only once every shard's reply decoded cleanly, so
+  /// a failure never leaves a partial batch behind. Candidates a shard
+  /// did not finish before cancellation are simply absent — the
+  /// driver's merge treats their slots as undone.
   Status ValidateBatch(const std::vector<WireCandidate>& candidates,
                        const std::function<bool()>& cancel,
                        std::vector<WireOutcome>* completed);
 
-  /// The receive-overlapped form: runners stream each level's reply as
-  /// bounded kResultBatch chunks (final-flagged last), and `fold` is
-  /// invoked per outcome as each chunk decodes — so merge work proceeds
-  /// while later shards' bytes are still in flight. Delivery order is
-  /// deterministic (shard order, ascending slots within a shard). On a
-  /// non-OK return some outcomes may already have been folded; the
-  /// caller owns discarding partial state (the driver aborts the level
-  /// before its merge, so a partial merge is unreachable).
+  /// The fold form: `fold` is invoked per outcome — shard order
+  /// outside, ascending slots within a shard — after every shard's
+  /// level completed. Replies are buffered per shard while in flight
+  /// (chunk decode overlaps across shards on the pool); buffering is
+  /// what lets a speculated level fold exactly one winning attempt's
+  /// outcomes, keeping the merge bit-identical under any fault
+  /// schedule. Nothing is folded on a non-OK return.
   Status ValidateBatch(const std::vector<WireCandidate>& candidates,
                        const std::function<bool()>& cancel,
                        const std::function<void(WireOutcome)>& fold);
 
   /// The shutdown handshake: ships kShutdown to every shard, collects
-  /// the kStatsFooter terminal frames (validating each shard's served
-  /// frame count against what was sent), closes the links and reaps
-  /// runner processes. Idempotent; the footer-backed accessors below are
+  /// the kStatsFooter terminal frames (validating served-frame count
+  /// and attempt id), closes the links, and reaps every runner process
+  /// against ONE shared deadline — a fleet of wedged children costs one
+  /// I/O timeout total, not one per child — with a single SIGKILL
+  /// escalation pass. Idempotent; the footer-backed accessors below are
   /// meaningful once this returned. Called by the destructor if the
-  /// owner did not (best-effort, status swallowed).
+  /// owner did not (best-effort, status swallowed). In supervised mode
+  /// a lost footer or abnormal child exit is tolerated and counted
+  /// (footers_missing) — the merged results are already correct.
   Status Finish();
 
-  int num_shards() const { return static_cast<int>(links_.size()); }
+  int num_shards() const { return static_cast<int>(supervisors_.size()); }
 
   /// Frame bytes shipped to and from shard `s` so far (both directions,
-  /// as observed from the coordinator side of the link). This is the
-  /// post-compression ("wire") volume.
+  /// as observed from the coordinator side, summed over every attempt
+  /// ever made for the shard). This is the post-compression ("wire")
+  /// volume.
   int64_t bytes_shipped(int s) const;
   int64_t bytes_shipped_total() const;
 
@@ -175,59 +202,38 @@ class ShardCoordinator {
   /// ShardRunner::partition_seconds).
   double partition_seconds() const;
 
- private:
-  /// One runner plus its link. Channel storage precedes the runner so
-  /// the runner (which borrows channel pointers) dies first.
-  struct ShardLink {
-    /// Coordinator-side endpoints (owned; `to` and `from` may alias one
-    /// full-duplex stream object, in which case `from` is empty).
-    std::unique_ptr<ShardChannel> to;
-    std::unique_ptr<ShardChannel> from;
-    /// Shard-side endpoint for in-process runners over sockets.
-    std::unique_ptr<ShardChannel> runner_side;
-    ShardChannel* to_shard = nullptr;
-    ShardChannel* from_shard = nullptr;
-    /// Unwraps kBatch envelopes on the reply path (runners coalesce
-    /// small result chunks).
-    std::unique_ptr<LogicalFrameReceiver> receiver;
-    std::unique_ptr<ShardRunner> runner;  // null for process transport
-    pid_t pid = -1;                       // process transport
-    /// Frames this coordinator sent that the runner itself serves
-    /// (bases + batches + shutdown; config/table are consumed by
-    /// shard_runner_main before the runner exists).
-    int64_t frames_sent = 0;
-    ShardStatsFooter footer;
-    bool footer_valid = false;
-  };
+  // Supervision observability (DiscoveryStats feeds), summed over the
+  // shards. Meaningful any time; stable once Finish returned.
+  int64_t shard_retries() const;
+  int64_t shard_respawns() const;
+  int64_t speculative_wins() const;
+  int64_t speculative_losses() const;
+  /// Shards currently degraded to in-process execution.
+  int64_t fallback_shards() const;
+  /// Shards whose stats footer was lost to a tolerated shutdown fault.
+  int64_t footers_missing() const;
 
+ private:
   ShardCoordinator(const EncodedTable* table,
                    const ShardTransportOptions& transport_options,
                    exec::ThreadPool* pool);
 
   Status Init(int num_shards, const ShardRunnerOptions& runner_options);
-  /// `table_frame` is the pre-encoded kTableBlock (process transport;
-  /// empty otherwise) — encoded once in Init, shipped to every shard.
-  Status InitLink(ShardLink* link, int shard_id, int num_shards,
-                  const ShardRunnerOptions& runner_options,
-                  const std::vector<uint8_t>& table_frame);
-  std::unique_ptr<ShardChannel> Decorate(std::unique_ptr<ShardChannel> ch);
-  /// Sends one frame the runner will serve, bumping the cross-check
-  /// counter.
-  Status SendServed(ShardLink* link, std::vector<uint8_t> frame);
-  /// Runs one ServeOne on every in-process runner (no-op for process
-  /// transport) and returns the first failure.
-  Status PumpRunners(const std::function<bool()>& cancel);
+  bool strict() const {
+    return transport_.supervision.max_retries <= 0;
+  }
+  /// The shared-deadline reap pass (see Finish). Errors are recorded
+  /// through `record` in strict mode only.
+  void ReapAll(std::vector<ShardReapJob> jobs,
+               const std::function<void(Status)>& record);
 
   const EncodedTable* table_;
   const ShardTransportOptions transport_;
   exec::ThreadPool* pool_;
-  /// Mirrors ShardRunnerOptions::wire_compression for the frames the
-  /// coordinator itself encodes (partitions, candidates, table).
-  bool compress_ = true;
-  std::unique_ptr<SocketListener> listener_;
-  std::vector<std::unique_ptr<ShardLink>> links_;
-  /// Raw/wire byte counts per FrameType raw value (0..kBatch).
-  CodecByteCounts by_type_[static_cast<size_t>(FrameType::kBatch) + 1];
+  /// Encode-once frames + config template shared by every supervisor
+  /// (and every respawned attempt).
+  ShardBootstrap bootstrap_;
+  std::vector<std::unique_ptr<ShardSupervisor>> supervisors_;
   bool finished_ = false;
   Status finish_status_;
 };

@@ -1,5 +1,8 @@
 #include "shard/runner_main.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +45,26 @@ Result<BootstrapFrame> ReceiveExpected(ShardChannel* channel,
     return Status::ParseError("unexpected bootstrap frame type");
   }
   return out;
+}
+
+/// Test-only crash injection for the supervised-recovery e2e suite:
+/// AOD_TEST_RUNNER_CRASH_BEFORE_FRAME=N makes the runner die abruptly
+/// (no footer, no orderly close — what SIGKILL or an OOM kill looks
+/// like from the coordinator) just before serving its Nth logical
+/// frame. With AOD_TEST_RUNNER_CRASH_ONCE_FLAG=<path> additionally set,
+/// only the one runner process that wins the O_EXCL creation of <path>
+/// crashes — so a fleet of shards loses exactly one attempt and every
+/// respawn runs clean. Returns -1 (never crash) when the seam is off.
+int64_t CrashBeforeFrame() {
+  const char* env = std::getenv("AOD_TEST_RUNNER_CRASH_BEFORE_FRAME");
+  if (env == nullptr) return -1;
+  const int64_t frame = std::strtoll(env, nullptr, 10);
+  if (const char* flag = std::getenv("AOD_TEST_RUNNER_CRASH_ONCE_FLAG")) {
+    const int fd = ::open(flag, O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0) return -1;  // a sibling already claimed the one crash
+    ::close(fd);
+  }
+  return frame;
 }
 
 }  // namespace
@@ -113,6 +136,7 @@ int ShardRunnerMain(int argc, char** argv) {
   if (!table.ok()) return Fail(2, "table decode", table.status());
 
   ShardRunnerOptions options;
+  options.attempt_id = config->attempt_id;
   options.validator = static_cast<ValidatorKind>(config->validator);
   options.epsilon = config->epsilon;
   options.collect_removal_sets = config->collect_removal_sets;
@@ -136,7 +160,21 @@ int ShardRunnerMain(int argc, char** argv) {
   // bytes into the footer so the coordinator's ratio accounting sees
   // the biggest bootstrap frame too.
   runner.CreditDecodedBytes(table_counts);
-  Status served = runner.Serve();
+  Status served;
+  const int64_t crash_before = CrashBeforeFrame();
+  if (crash_before < 0) {
+    served = runner.Serve();
+  } else {
+    // Same serve loop, with the crash seam between frames: the
+    // coordinator has typically already queued the frame we die before
+    // serving, so from its side this is a mid-level loss.
+    for (;;) {
+      if (runner.frames_served() + 1 >= crash_before) ::_exit(57);
+      bool shutdown = false;
+      served = runner.ServeOne({}, &shutdown);
+      if (!served.ok() || shutdown) break;
+    }
+  }
   if (!served.ok()) return Fail(3, "serve loop", served);
   channel->Close();  // flush the footer before the fds die
   return 0;

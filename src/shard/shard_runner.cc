@@ -95,6 +95,7 @@ void ShardRunner::SampleResidency() {
 ShardStatsFooter ShardRunner::FooterStats() const {
   ShardStatsFooter footer;
   footer.shard_id = static_cast<uint32_t>(shard_id_);
+  footer.attempt_id = options_.attempt_id;
   footer.frames_served = frames_served_;
   footer.products_computed = cache_.products_computed();
   footer.partitions_evicted = cache_.partitions_evicted();

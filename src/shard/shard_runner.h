@@ -48,6 +48,11 @@ namespace shard {
 /// subset of DiscoveryOptions, fixed for the lifetime of the run.
 struct ShardRunnerOptions {
   ValidatorKind validator = ValidatorKind::kOptimal;
+  /// Which supervised (re)establishment this runner serves (see
+  /// WireRunnerConfig::attempt_id); echoed in the stats footer so the
+  /// coordinator can reject a superseded attempt's footer. Validation
+  /// outcomes never depend on it.
+  uint32_t attempt_id = 0;
   /// Raw threshold; the runner zeroes it for the exact validator, same
   /// as the discovery driver.
   double epsilon = 0.1;
@@ -95,6 +100,10 @@ class ShardRunner {
   Status Serve(const std::function<bool()>& cancel = {});
 
   int shard_id() const { return shard_id_; }
+  /// Logical frames served so far (the footer's cross-check counter);
+  /// exposed so shard_runner_main's crash-injection test seam can die at
+  /// a deterministic point in the conversation.
+  int64_t frames_served() const { return frames_served_; }
   /// Shard-local cache observability, aggregated by the coordinator into
   /// DiscoveryStats.
   const PartitionCache& cache() const { return cache_; }

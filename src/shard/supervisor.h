@@ -1,0 +1,297 @@
+// Per-shard supervision: retry, respawn, speculate, degrade.
+//
+// PR 5/6 made every transport fault fail-stop: one torn frame or dead
+// runner aborted the whole run with DiscoveryResult::shard_status,
+// throwing away all sibling shards' work. A ShardSupervisor turns shard
+// failure into a retried, bounded, observable event — the MapReduce
+// re-execution + backup-task model applied to the shard seam:
+//
+//   retry / respawn   a failed level (or failed establishment) tears the
+//                     attempt down and builds a fresh one — new process
+//                     or socket, re-seeded from the coordinator's
+//                     encode-once bootstrap frames — after an
+//                     exponential backoff with deterministic jitter,
+//                     up to max_retries re-attempts per level;
+//   speculation       when the coordinator decides a shard is a
+//                     straggler (>= factor x the median shard latency
+//                     for the level), it launches one backup attempt
+//                     beside the primary and takes whichever finishes
+//                     first. Outcomes are pure functions of the batch,
+//                     so either attempt's reply is bit-identical; the
+//                     coordinator folds exactly one winner per shard
+//                     (dedup by the level's result cell, keyed by the
+//                     existing deterministic slot keys), so the merge
+//                     never sees duplicates;
+//   degradation       once the retry budget is exhausted on the socket
+//                     or process transport, the shard's candidate slice
+//                     executes in-process on the coordinator's pool (an
+//                     undecorated InProcessChannel attempt seeded from
+//                     the same bootstrap frames) instead of aborting.
+//
+// Attempt identity crosses the wire: each (re)establishment carries a
+// fresh attempt_id in its config block, echoed by the runner's stats
+// footer, so a superseded attempt's footer is distinguishable from the
+// live one.
+//
+// Strict mode: max_retries == 0 disables all three mechanisms and
+// preserves the PR 5/6 failure contract exactly — any fault is a typed
+// non-OK status, never a hang, never a partially merged level
+// (tests/shard_channel_conformance_test pins this with retries pinned
+// to 0).
+//
+// Threading: a supervisor's primary-path methods (Start, ExecuteLevel,
+// Finish-phase calls) are driven by one task at a time. Speculation
+// adds exactly two cross-thread touch points, both internal: the backup
+// attempt lives in its own slot, and AbortOther() closes the losing
+// attempt's channels from the winning task (channel Close is
+// thread-safe and wakes blocked receivers). Attempt lifetime is guarded
+// by a mutex so a Close from the winner never races a teardown.
+#ifndef AOD_SHARD_SUPERVISOR_H_
+#define AOD_SHARD_SUPERVISOR_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "data/encoder.h"
+#include "shard/channel.h"
+#include "shard/shard_runner.h"
+#include "shard/wire.h"
+
+namespace aod {
+
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
+namespace shard {
+
+struct ShardTransportOptions;
+
+/// The supervision policy, fixed for a run (DiscoveryOptions carries the
+/// user-facing knobs).
+struct ShardSupervisionOptions {
+  /// Re-attempts allowed per level (and for the initial establishment)
+  /// before the shard degrades or the run aborts. 0 = strict mode: no
+  /// retry, no speculation, no fallback — the PR 5 fail-stop contract.
+  int max_retries = 2;
+  /// Base backoff before the first re-attempt; doubles per attempt with
+  /// deterministic (hash-of-(shard, attempt)) jitter, capped at 2s and
+  /// at the run deadline.
+  double retry_backoff_ms = 25.0;
+  /// Straggler hedging: >= this factor x the median shard latency of
+  /// the level launches one backup attempt (0 = off). Needs a pool.
+  double speculation_factor = 0.0;
+  /// After retry exhaustion on socket/process transports, execute the
+  /// shard's slice in-process instead of aborting.
+  bool fallback_inproc = true;
+  /// Absolute deadline of the discovery run (time_point::min() = none).
+  /// Every per-attempt receive timeout, accept timeout and backoff
+  /// sleep is clamped to the time remaining, so a dead runner cannot
+  /// overshoot a budgeted run by the full I/O timeout.
+  std::chrono::steady_clock::time_point run_deadline =
+      std::chrono::steady_clock::time_point::min();
+};
+
+/// The coordinator's encode-once bootstrap: everything a fresh attempt
+/// needs to be re-seeded, shared by all shards' supervisors. Frames are
+/// encoded (and checksummed) once per run, not once per attempt.
+struct ShardBootstrap {
+  const EncodedTable* table = nullptr;
+  /// kTableBlock for process runners (empty otherwise) + its codec
+  /// byte counts, credited per shipment.
+  std::vector<uint8_t> table_frame;
+  CodecByteCounts table_counts;
+  /// The base (level-1) partitions: one kBatch envelope of
+  /// `base_frames` kPartitionBlock frames (or the single frame when
+  /// base_frames == 1).
+  std::vector<uint8_t> base_shipment;
+  CodecByteCounts base_counts;
+  int base_frames = 0;
+  /// Per-runner options template; the supervisor stamps attempt_id.
+  ShardRunnerOptions runner_options;
+  int num_shards = 1;
+  /// Coordinator pool width, for the per-child thread slice.
+  int pool_workers = 1;
+};
+
+/// One process reaped by the coordinator's shared-deadline reap pass.
+struct ShardReapJob {
+  pid_t pid = -1;
+};
+
+class ShardSupervisor {
+ public:
+  /// All pointers are borrowed and must outlive the supervisor.
+  ShardSupervisor(int shard_id, const ShardBootstrap* bootstrap,
+                  const ShardTransportOptions* transport,
+                  const ShardSupervisionOptions& supervision,
+                  exec::ThreadPool* pool);
+  ~ShardSupervisor();
+  AOD_DISALLOW_COPY_AND_ASSIGN(ShardSupervisor);
+
+  /// Establishes and seeds the first attempt, with the full retry +
+  /// fallback ladder in supervised mode. In strict mode a failure is
+  /// returned as-is and the partially built attempt (possibly holding a
+  /// spawned pid) is kept for the Finish-phase reap.
+  Status Start();
+
+  /// Ships `batch`, pumps an in-process runner if the attempt has one,
+  /// and receives the chunked reply into `out` (ascending slot order).
+  /// On failure: teardown, backoff, respawn, re-execute — up to
+  /// max_retries re-attempts — then the in-process fallback; only when
+  /// all of that is exhausted does the error surface. `abandoned` is
+  /// polled between steps so a superseded primary (its backup already
+  /// won) stops promptly. Empty batches still make the round trip: the
+  /// request/reply cadence is one frame per shard per level.
+  Status ExecuteLevel(const std::vector<WireCandidate>& batch,
+                      const std::function<bool()>& cancel,
+                      const std::function<bool()>& abandoned,
+                      std::vector<WireOutcome>* out);
+
+  /// The speculative backup: one fresh attempt (no retries — a backup
+  /// that fails is simply a loss), executed beside the primary.
+  Status ExecuteLevelBackup(const std::vector<WireCandidate>& batch,
+                            const std::function<bool()>& cancel,
+                            const std::function<bool()>& abandoned,
+                            std::vector<WireOutcome>* out);
+
+  /// Called by the level's winning task: closes the losing attempt's
+  /// channels so a blocked receive wakes now instead of at its timeout.
+  void AbortOther(bool winner_is_backup);
+
+  /// Post-join reconciliation of a speculated level (single-threaded):
+  /// adopts the backup as the current attempt if it won (tearing the
+  /// superseded primary down), otherwise discards it; counts the
+  /// win/loss.
+  void ResolveLevel(bool backup_launched, bool backup_won);
+
+  // --- Finish phase (driven by ShardCoordinator::Finish, in order) ---
+  /// Ships the kShutdown frame on the current attempt.
+  Status SendShutdown();
+  /// One ServeOne for an attempt with an in-process runner (answers the
+  /// shutdown with the stats footer).
+  Status PumpShutdownServe();
+  /// Drains stale reply frames (bounded) and decodes the stats footer,
+  /// validating served-frame count and attempt id. Strict mode returns
+  /// the PR 5 typed errors; supervised mode tolerates a lost footer
+  /// (the level work is already merged) and counts it instead.
+  Status CollectFooter();
+  void CloseChannels();
+  /// Hands every still-live runner process over for the coordinator's
+  /// shared-deadline reap; the supervisor forgets the pids.
+  void ReleaseProcesses(std::vector<ShardReapJob>* jobs);
+
+  // --- Observability (read after tasks joined; atomics for the two
+  // counters speculation can touch cross-thread) ---
+  int shard_id() const { return shard_id_; }
+  bool strict() const { return supervision_.max_retries <= 0; }
+  int64_t retries() const { return retries_.load(); }
+  int64_t respawns() const { return respawns_.load(); }
+  int64_t speculative_wins() const { return speculative_wins_; }
+  int64_t speculative_losses() const { return speculative_losses_; }
+  bool fell_back() const { return fell_back_; }
+  bool footer_missing() const { return footer_missing_; }
+  bool footer_valid() const { return footer_valid_; }
+  const ShardStatsFooter& footer() const { return footer_; }
+  /// Wire bytes both directions, live attempt plus every torn-down one.
+  int64_t bytes_shipped() const;
+  CodecByteCounts type_byte_counts(FrameType type) const;
+
+ private:
+  /// One (re)establishment: channels, receiver, in-process runner or
+  /// spawned process. Channel storage precedes the runner so the runner
+  /// (which borrows channel pointers) dies first.
+  struct Attempt {
+    uint32_t id = 0;
+    /// True for the degraded in-process fallback (undecorated channels).
+    bool fallback = false;
+    std::unique_ptr<ShardChannel> to;
+    std::unique_ptr<ShardChannel> from;
+    std::unique_ptr<ShardChannel> runner_side;
+    ShardChannel* to_shard = nullptr;
+    ShardChannel* from_shard = nullptr;
+    std::unique_ptr<LogicalFrameReceiver> receiver;
+    std::unique_ptr<ShardRunner> runner;  // null for process attempts
+    pid_t pid = -1;
+    /// Frames this attempt was sent that its runner serves (bases +
+    /// batches + shutdown) — the footer cross-check is per attempt.
+    int64_t frames_sent = 0;
+  };
+
+  double DeadlineRemaining() const;  // +inf when no deadline
+  /// min(io timeout, time remaining to the run deadline), floored so a
+  /// receive still gets a beat to drain an already-arrived frame.
+  double BoundedIoTimeout() const;
+  bool DeadlineExpired() const;
+  std::unique_ptr<ShardChannel> Decorate(std::unique_ptr<ShardChannel> ch);
+  void AddTypeCounts(FrameType type, const CodecByteCounts& counts);
+
+  /// Builds one attempt (connect/spawn/bootstrap-send). On failure the
+  /// partially built attempt is still handed back through `out` so the
+  /// caller can keep it for reaping (strict) or tear it down (retry).
+  Status BuildAttempt(bool force_inproc, std::unique_ptr<Attempt>* out);
+  /// Ships the base partitions and, for attempts with an in-process
+  /// runner, pumps them into the runner's cache.
+  Status SeedAttempt(Attempt* attempt, const std::function<bool()>& cancel);
+  /// BuildAttempt + install as current_ + SeedAttempt.
+  Status EstablishCurrent(bool force_inproc,
+                          const std::function<bool()>& cancel);
+  /// One send/pump/receive round for a level on one attempt.
+  Status ExecuteLevelOnce(Attempt* attempt,
+                          const std::vector<WireCandidate>& batch,
+                          const std::function<bool()>& cancel,
+                          const std::function<bool()>& abandoned,
+                          std::vector<WireOutcome>* out);
+  /// Exponential backoff with deterministic jitter before re-attempt
+  /// `attempt_try`; returns early on cancel/abandon/deadline.
+  void Backoff(int attempt_try, const std::function<bool()>& cancel,
+               const std::function<bool()>& abandoned);
+  /// Swaps the slot empty under the attempt mutex, then closes channels,
+  /// SIGKILLs + reaps a live process, and folds the attempt's channel
+  /// byte counters into retired_bytes_.
+  void Teardown(std::unique_ptr<Attempt>* slot);
+  void DestroyAttempt(std::unique_ptr<Attempt> attempt);
+
+  const int shard_id_;
+  const ShardBootstrap* const bootstrap_;
+  const ShardTransportOptions* const transport_;
+  const ShardSupervisionOptions supervision_;
+  exec::ThreadPool* const pool_;
+
+  /// Guards current_/backup_ pointer identity against AbortOther from
+  /// the winning task; the owning task still uses the raw attempt
+  /// outside the lock (channel ops are thread-safe, destruction always
+  /// goes through Teardown's swap-then-destroy).
+  mutable std::mutex attempts_mutex_;
+  std::unique_ptr<Attempt> current_;
+  std::unique_ptr<Attempt> backup_;
+  std::atomic<uint32_t> attempt_seq_{0};
+
+  /// Guards the codec byte counters (primary and backup tasks both
+  /// encode/decode).
+  mutable std::mutex stats_mutex_;
+  CodecByteCounts by_type_[static_cast<size_t>(FrameType::kBatch) + 1];
+  int64_t retired_bytes_ = 0;
+
+  std::atomic<int64_t> retries_{0};
+  std::atomic<int64_t> respawns_{0};
+  int64_t speculative_wins_ = 0;
+  int64_t speculative_losses_ = 0;
+  bool fell_back_ = false;
+  bool footer_missing_ = false;
+  bool footer_valid_ = false;
+  ShardStatsFooter footer_;
+};
+
+}  // namespace shard
+}  // namespace aod
+
+#endif  // AOD_SHARD_SUPERVISOR_H_

@@ -927,6 +927,7 @@ Result<WireResultChunk> DecodeResultBatch(const DecodedFrame& frame,
 std::vector<uint8_t> EncodeConfigBlock(const WireRunnerConfig& config) {
   WireWriter writer;
   writer.PutU32(config.shard_id);
+  writer.PutU32(config.attempt_id);
   writer.PutU8(config.validator);
   writer.PutDouble(config.epsilon);
   writer.PutU8(config.collect_removal_sets ? 1 : 0);
@@ -950,6 +951,7 @@ Result<WireRunnerConfig> DecodeConfigBlock(const DecodedFrame& frame) {
   uint8_t sampling = 0;
   uint8_t compression = 0;
   AOD_RETURN_NOT_OK(reader.GetU32(&config.shard_id));
+  AOD_RETURN_NOT_OK(reader.GetU32(&config.attempt_id));
   AOD_RETURN_NOT_OK(reader.GetU8(&config.validator));
   AOD_RETURN_NOT_OK(reader.GetDouble(&config.epsilon));
   AOD_RETURN_NOT_OK(reader.GetU8(&removal));
@@ -1188,6 +1190,7 @@ Result<std::vector<std::vector<uint8_t>>> UnpackBatchEnvelope(
 std::vector<uint8_t> EncodeStatsFooter(const ShardStatsFooter& footer) {
   WireWriter writer;
   writer.PutU32(footer.shard_id);
+  writer.PutU32(footer.attempt_id);
   writer.PutI64(footer.frames_served);
   writer.PutI64(footer.products_computed);
   writer.PutI64(footer.partitions_evicted);
@@ -1207,6 +1210,7 @@ Result<ShardStatsFooter> DecodeStatsFooter(const DecodedFrame& frame) {
   WireReader reader(frame.payload, frame.size);
   ShardStatsFooter footer;
   AOD_RETURN_NOT_OK(reader.GetU32(&footer.shard_id));
+  AOD_RETURN_NOT_OK(reader.GetU32(&footer.attempt_id));
   AOD_RETURN_NOT_OK(reader.GetI64(&footer.frames_served));
   AOD_RETURN_NOT_OK(reader.GetI64(&footer.products_computed));
   AOD_RETURN_NOT_OK(reader.GetI64(&footer.partitions_evicted));

@@ -57,7 +57,10 @@ namespace shard {
 inline constexpr uint32_t kWireMagic = 0x414F4457;  // "AODW"
 /// Version 2: compressed payload codecs (flags byte) + kBatch envelopes
 /// + split raw/wire byte accounting in the stats footer.
-inline constexpr uint16_t kWireVersion = 2;
+/// Version 3: an attempt id in the config block and the stats footer, so
+/// a supervising coordinator that respawned a shard can tell a stale
+/// attempt's footer from the live one (src/shard/supervisor.h).
+inline constexpr uint16_t kWireVersion = 3;
 inline constexpr size_t kFrameHeaderBytes = 24;
 
 enum class FrameType : uint16_t {
@@ -290,6 +293,12 @@ Result<WireResultChunk> DecodeResultBatch(const DecodedFrame& frame,
 /// fills it from ShardRunnerOptions; shard_runner_main converts it back.
 struct WireRunnerConfig {
   uint32_t shard_id = 0;
+  /// Which supervised (re)establishment of this shard the config belongs
+  /// to: 0 for the first attempt, bumped by the coordinator on every
+  /// respawn/reconnect and on speculative backup attempts. The runner
+  /// echoes it in its stats footer so the coordinator can reject a
+  /// footer that belongs to an abandoned attempt.
+  uint32_t attempt_id = 0;
   /// ValidatorKind's underlying value; decoders reject anything > 2.
   uint8_t validator = 2;
   double epsilon = 0.1;
@@ -342,6 +351,11 @@ Result<std::vector<std::vector<uint8_t>>> UnpackBatchEnvelope(
 /// the shard served.
 struct ShardStatsFooter {
   uint32_t shard_id = 0;
+  /// Echo of WireRunnerConfig::attempt_id — which supervised attempt
+  /// produced these counters. The coordinator checks it against the
+  /// attempt it is finishing so duplicate footers (a superseded attempt
+  /// that still managed to answer its shutdown) are distinguishable.
+  uint32_t attempt_id = 0;
   /// Logical frames the runner served (bases + batches + shutdown; an
   /// envelope counts as its inner frames) — a cheap conversation-length
   /// cross-check for the coordinator.

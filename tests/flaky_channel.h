@@ -8,7 +8,10 @@
 //   kShortRead    Receive truncates the delivered frame;
 //   kCorruptByte  Receive flips one payload byte;
 //   kDropFrame    Send silently discards the frame (the peer sees
-//                 nothing — the *timeout* path, not the decode path).
+//                 nothing — the *timeout* path, not the decode path);
+//   kStallReceive Receive parks for `stall_ms` before forwarding the
+//                 frame intact — a straggling-but-healthy shard (the
+//                 *speculation* path: no error is ever surfaced).
 //
 // In pass-through mode (kNone, the default) the decorator is perfectly
 // transparent, which is itself a tested property: the full sharded
@@ -19,7 +22,9 @@
 #define AOD_TESTS_FLAKY_CHANNEL_H_
 
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -36,6 +41,7 @@ class FlakyChannel final : public shard::ShardChannel {
     kShortRead,
     kCorruptByte,
     kDropFrame,
+    kStallReceive,
   };
 
   struct Plan {
@@ -43,6 +49,8 @@ class FlakyChannel final : public shard::ShardChannel {
     /// Frames forwarded cleanly (in the faulted direction) before the
     /// fault fires; the fault fires once.
     int trigger_after = 0;
+    /// How long kStallReceive parks before forwarding.
+    int stall_ms = 0;
     /// Shared across decorated channels so a fleet of links injects one
     /// fault total, wherever it lands first. Optional.
     std::atomic<int>* shared_budget = nullptr;
@@ -63,6 +71,9 @@ class FlakyChannel final : public shard::ShardChannel {
   }
 
   Result<std::vector<uint8_t>> Receive() override {
+    if (Due(Fault::kStallReceive)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(plan_.stall_ms));
+    }
     Result<std::vector<uint8_t>> frame = inner_->Receive();
     if (!frame.ok()) return frame;
     if (Due(Fault::kShortRead)) {

@@ -459,6 +459,12 @@ DiscoveryResult RunWithFault(const EncodedTable& table,
   // Short timeout: a dropped frame must surface as a typed timeout in
   // test time, not in the production default.
   options.shard_io_timeout_seconds = 1.0;
+  // Strict mode: this suite pins the PRE-supervision failure contract —
+  // any injected fault is a typed fail-stop abort, byte for byte the
+  // behavior shard_max_retries == 0 promises. The supervised-recovery
+  // matrix (same faults, run completes) lives in
+  // tests/shard_supervisor_test.cc.
+  options.shard_max_retries = 0;
   options.shard_channel_decorator =
       [plan](std::unique_ptr<shard::ShardChannel> inner)
       -> std::unique_ptr<shard::ShardChannel> {

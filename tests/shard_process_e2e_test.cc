@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -152,6 +153,10 @@ TEST(ShardProcessE2eTest, MissingRunnerBinaryIsTypedNotACrash) {
   options.shard_transport = ShardTransport::kProcess;
   options.shard_runner_path = "/nonexistent/aod_shard_runner";
   options.shard_io_timeout_seconds = 1.0;
+  // Strict mode: with supervision on, a missing binary degrades to
+  // in-process execution and the run *completes* — that contract is
+  // pinned by MissingRunnerBinaryFallsBackInProcess below.
+  options.shard_max_retries = 0;
   DiscoveryResult result = DiscoverOds(enc, options);
   ASSERT_FALSE(result.shard_status.ok());
   EXPECT_TRUE(result.ocs.empty());
@@ -168,10 +173,141 @@ TEST(ShardProcessE2eTest, RunnerThatNeverConnectsTimesOutTyped) {
   // accept must time out with a typed error, not hang.
   options.shard_runner_path = "/bin/true";
   options.shard_io_timeout_seconds = 0.5;
+  options.shard_max_retries = 0;  // strict: pin the typed fail-stop
   DiscoveryResult result = DiscoverOds(enc, options);
   ASSERT_FALSE(result.shard_status.ok());
   EXPECT_EQ(result.shard_status.code(), StatusCode::kIoError)
       << result.shard_status.ToString();
+}
+
+// ---------------------------------------------------------------------
+// Supervised execution: the same faults that abort in strict mode are
+// absorbed by the retry / respawn / fallback ladder, and the completed
+// run is bit-identical to the unsharded one.
+// ---------------------------------------------------------------------
+
+TEST(ShardProcessE2eTest, MissingRunnerBinaryFallsBackInProcess) {
+  Table t = GenerateNcVoterTable(120, 4, 5);
+  EncodedTable enc = EncodeTable(t);
+
+  DiscoveryOptions options;
+  options.epsilon = 0.1;
+  options.num_threads = 2;
+  DiscoveryResult unsharded = DiscoverOds(enc, options);
+  ASSERT_TRUE(unsharded.shard_status.ok());
+
+  options.num_shards = 2;
+  options.shard_transport = ShardTransport::kProcess;
+  options.shard_runner_path = "/nonexistent/aod_shard_runner";
+  options.shard_io_timeout_seconds = 1.0;
+  options.shard_max_retries = 1;
+  options.shard_retry_backoff_ms = 1.0;
+  DiscoveryResult result = DiscoverOds(enc, options);
+  ASSERT_TRUE(result.shard_status.ok()) << result.shard_status.ToString();
+  EXPECT_EQ(OutputFingerprint(result), OutputFingerprint(unsharded));
+  // Every shard exhausted its retries and degraded in-process.
+  EXPECT_EQ(result.stats.shard_fallback_shards, 2);
+  EXPECT_GT(result.stats.shard_retries, 0);
+}
+
+TEST(ShardProcessE2eTest, RunnerKilledMidLevelIsRespawnedBitExactly) {
+  const std::string runner = RunnerBinaryPath();
+  if (runner.empty()) {
+    GTEST_SKIP() << "shard_runner_main not found next to the test binary";
+  }
+  Table t = GenerateNcVoterTable(200, 5, 9);
+  EncodedTable enc = EncodeTable(t);
+
+  DiscoveryOptions options;
+  options.epsilon = 0.1;
+  options.collect_removal_sets = true;
+  options.num_threads = 2;
+  DiscoveryResult unsharded = DiscoverOds(enc, options);
+  ASSERT_TRUE(unsharded.shard_status.ok());
+  const std::string expected = OutputFingerprint(unsharded);
+
+  options.num_shards = 2;
+  options.shard_transport = ShardTransport::kProcess;
+  options.shard_runner_path = runner;
+  options.shard_io_timeout_seconds = 5.0;
+  options.shard_retry_backoff_ms = 1.0;
+
+  // Exactly one runner in the fleet _exit(57)s mid-protocol (the flag
+  // file makes the crash once-per-fleet); its respawned successor must
+  // finish the level and the merged output must not change.
+  const std::string flag =
+      ::testing::TempDir() + "/aod_crash_once_" +
+      std::to_string(static_cast<long long>(::getpid()));
+  std::remove(flag.c_str());
+  ::setenv("AOD_TEST_RUNNER_CRASH_BEFORE_FRAME", "4", 1);
+  ::setenv("AOD_TEST_RUNNER_CRASH_ONCE_FLAG", flag.c_str(), 1);
+  DiscoveryResult result = DiscoverOds(enc, options);
+  ::unsetenv("AOD_TEST_RUNNER_CRASH_BEFORE_FRAME");
+  ::unsetenv("AOD_TEST_RUNNER_CRASH_ONCE_FLAG");
+  std::remove(flag.c_str());
+
+  ASSERT_TRUE(result.shard_status.ok()) << result.shard_status.ToString();
+  EXPECT_EQ(OutputFingerprint(result), expected);
+  EXPECT_GT(result.stats.shard_retries, 0);
+  EXPECT_GT(result.stats.shard_respawns, 0);
+  EXPECT_EQ(result.stats.shard_fallback_shards, 0);
+}
+
+TEST(ShardProcessE2eTest, PersistentlyCrashingRunnerFallsBackInProcess) {
+  const std::string runner = RunnerBinaryPath();
+  if (runner.empty()) {
+    GTEST_SKIP() << "shard_runner_main not found next to the test binary";
+  }
+  Table t = GenerateNcVoterTable(120, 4, 5);
+  EncodedTable enc = EncodeTable(t);
+
+  DiscoveryOptions options;
+  options.epsilon = 0.1;
+  options.num_threads = 2;
+  DiscoveryResult unsharded = DiscoverOds(enc, options);
+  ASSERT_TRUE(unsharded.shard_status.ok());
+
+  options.num_shards = 2;
+  options.shard_transport = ShardTransport::kProcess;
+  options.shard_runner_path = runner;
+  options.shard_io_timeout_seconds = 5.0;
+  options.shard_max_retries = 1;
+  options.shard_retry_backoff_ms = 1.0;
+
+  // No once-flag: every spawned runner crashes before its first served
+  // frame, so retries can never succeed and both shards must degrade.
+  ::setenv("AOD_TEST_RUNNER_CRASH_BEFORE_FRAME", "1", 1);
+  DiscoveryResult result = DiscoverOds(enc, options);
+  ::unsetenv("AOD_TEST_RUNNER_CRASH_BEFORE_FRAME");
+
+  ASSERT_TRUE(result.shard_status.ok()) << result.shard_status.ToString();
+  EXPECT_EQ(OutputFingerprint(result), OutputFingerprint(unsharded));
+  EXPECT_EQ(result.stats.shard_fallback_shards, 2);
+  EXPECT_GT(result.stats.shard_retries, 0);
+}
+
+TEST(ShardProcessE2eTest, IoTimeoutIsClampedToTheRunDeadline) {
+  Table t = GenerateNcVoterTable(60, 3, 5);
+  EncodedTable enc = EncodeTable(t);
+  DiscoveryOptions options;
+  options.num_shards = 1;
+  options.shard_transport = ShardTransport::kProcess;
+  options.shard_runner_path = "/bin/true";  // never speaks the protocol
+  // A generous I/O timeout clamped by a 1-second run budget: each
+  // accept/receive wait must shrink to the remaining budget instead of
+  // parking for 30 s per attempt.
+  options.shard_io_timeout_seconds = 30.0;
+  options.time_budget_seconds = 1.0;
+  options.shard_max_retries = 1;
+  options.shard_retry_backoff_ms = 1.0;
+  options.shard_fallback_inproc = false;
+  const auto start = std::chrono::steady_clock::now();
+  DiscoveryResult result = DiscoverOds(enc, options);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(result.shard_status.ok());
+  EXPECT_LT(elapsed, 10.0) << "I/O waits were not clamped to the budget";
 }
 
 }  // namespace

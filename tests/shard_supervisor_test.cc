@@ -1,0 +1,350 @@
+// Supervised shard execution under injected faults.
+//
+// The strict-mode contract — any fault is a typed fail-stop abort — is
+// pinned by tests/shard_channel_conformance_test.cc. This suite pins
+// the supervised contract on top of it: with shard_max_retries >= 1 the
+// same faults are absorbed by the retry / respawn / speculation /
+// fallback ladder and the run COMPLETES, bit-identical to the unsharded
+// run, with the recovery visible in the supervision counters.
+//
+//   - the fault sweep injects one fault fleet-wide (shared budget) per
+//     run, across every fault kind x frame position x {socket, process};
+//   - the attempt-1-vs-2 tests fault the first AND second attempt of
+//     one shard, forcing the ladder two rungs deep;
+//   - the persistent-fault test breaks every attempt so the shards must
+//     degrade to in-process execution;
+//   - the speculation test stalls (but never breaks) one shard so a
+//     backup attempt races it and wins.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flaky_channel.h"
+#include "gen/ncvoter_generator.h"
+#include "od/discovery.h"
+#include "shard/channel.h"
+#include "test_util.h"
+
+namespace aod {
+namespace {
+
+using shard::ShardChannel;
+using testing_util::FlakyChannel;
+
+std::string RunnerBinaryPath() {
+  if (const char* env = std::getenv("AOD_SHARD_RUNNER")) return env;
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  const std::string sibling =
+      (std::filesystem::path(buf).parent_path() / "shard_runner_main")
+          .string();
+  return std::filesystem::exists(sibling) ? sibling : "";
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a,", v);
+  *out += buf;
+}
+
+/// Byte-exact serialization of both dependency lists (the same
+/// fingerprint shard_process_e2e_test diffs).
+std::string OutputFingerprint(const DiscoveryResult& result) {
+  std::string out;
+  for (const DiscoveredOc& d : result.ocs) {
+    out += std::to_string(d.oc.context.bits()) + "," +
+           std::to_string(d.oc.a) + "," + std::to_string(d.oc.b) + "," +
+           (d.oc.opposite ? "1," : "0,");
+    AppendDouble(&out, d.approx_factor);
+    out += std::to_string(d.removal_size) + "," + std::to_string(d.level) +
+           ",";
+    AppendDouble(&out, d.interestingness);
+    out += ';';
+  }
+  out += '|';
+  for (const DiscoveredOfd& d : result.ofds) {
+    out += std::to_string(d.ofd.context.bits()) + "," +
+           std::to_string(d.ofd.a) + ",";
+    AppendDouble(&out, d.approx_factor);
+    out += std::to_string(d.removal_size) + "," + std::to_string(d.level) +
+           ",";
+    AppendDouble(&out, d.interestingness);
+    out += ';';
+  }
+  return out;
+}
+
+int64_t RecoveryTotal(const DiscoveryStats& stats) {
+  return stats.shard_retries + stats.shard_respawns +
+         stats.shard_speculative_wins + stats.shard_speculative_losses +
+         stats.shard_fallback_shards + stats.shard_footers_missing;
+}
+
+/// Base options for a supervised 2-shard run over `transport`: tight
+/// backoff so retries are cheap, a 1 s I/O bound so DropFrame surfaces
+/// fast, and the default retry budget.
+DiscoveryOptions SupervisedOptions(ShardTransport transport,
+                                   const std::string& runner) {
+  DiscoveryOptions options;
+  options.epsilon = 0.1;
+  options.num_shards = 2;
+  options.num_threads = 2;
+  options.shard_transport = transport;
+  options.shard_runner_path = runner;
+  options.shard_io_timeout_seconds = 1.0;
+  options.shard_retry_backoff_ms = 1.0;
+  return options;
+}
+
+class ShardSupervisorTest
+    : public ::testing::TestWithParam<ShardTransport> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == ShardTransport::kProcess) {
+      runner_ = RunnerBinaryPath();
+      if (runner_.empty()) {
+        GTEST_SKIP() << "shard_runner_main not found next to the test binary";
+      }
+    }
+  }
+  std::string runner_;
+};
+
+// One injected fault, anywhere in the fleet, for every fault kind and a
+// sweep of frame positions (position 0 hits bootstrap shipping — config
+// / table / base frames — later positions hit candidate batches, result
+// chunks and the shutdown handshake): the run must complete with output
+// bit-identical to the unsharded run, and whenever the fault actually
+// fired the supervisor must have visibly recovered.
+TEST_P(ShardSupervisorTest, EveryFaultAtEveryPositionRecoversBitExactly) {
+  Table t = GenerateNcVoterTable(120, 4, 7);
+  EncodedTable enc = EncodeTable(t);
+
+  DiscoveryOptions unsharded_options;
+  unsharded_options.epsilon = 0.1;
+  unsharded_options.num_threads = 2;
+  DiscoveryResult unsharded = DiscoverOds(enc, unsharded_options);
+  ASSERT_TRUE(unsharded.shard_status.ok());
+  const std::string expected = OutputFingerprint(unsharded);
+
+  const FlakyChannel::Fault kFaults[] = {
+      FlakyChannel::Fault::kTornWrite, FlakyChannel::Fault::kShortRead,
+      FlakyChannel::Fault::kCorruptByte, FlakyChannel::Fault::kDropFrame};
+  for (FlakyChannel::Fault fault : kFaults) {
+    for (int trigger : {0, 1, 2, 4}) {
+      SCOPED_TRACE("fault=" + std::to_string(static_cast<int>(fault)) +
+                   " trigger=" + std::to_string(trigger));
+      std::atomic<int> budget{1};  // one fault total, wherever it lands
+      DiscoveryOptions options = SupervisedOptions(GetParam(), runner_);
+      options.shard_channel_decorator =
+          [&](std::unique_ptr<ShardChannel> inner)
+          -> std::unique_ptr<ShardChannel> {
+        FlakyChannel::Plan plan;
+        plan.fault = fault;
+        plan.trigger_after = trigger;
+        plan.shared_budget = &budget;
+        return std::make_unique<FlakyChannel>(std::move(inner), plan);
+      };
+      DiscoveryResult result = DiscoverOds(enc, options);
+      ASSERT_TRUE(result.shard_status.ok())
+          << result.shard_status.ToString();
+      EXPECT_EQ(OutputFingerprint(result), expected);
+      if (budget.load() <= 0) {
+        // The fault fired — recovery must be observable. (A shutdown-path
+        // fault counts as a lost footer rather than a retry.)
+        EXPECT_GT(RecoveryTotal(result.stats), 0);
+      }
+    }
+  }
+}
+
+// Fault the FIRST and the SECOND attempt of one shard: the supervisor
+// must climb two rungs of the retry ladder — attempt 1 torn mid-level,
+// respawned attempt 2 re-seeded and torn again, attempt 3 finishes the
+// level — and the merged output must not change. Decorated channels are
+// created serially in shard order, then one per re-attempt, so creation
+// index identifies the attempt deterministically.
+TEST_P(ShardSupervisorTest, FaultsOnAttemptOneAndTwoBothRecover) {
+  Table t = GenerateNcVoterTable(120, 4, 7);
+  EncodedTable enc = EncodeTable(t);
+
+  DiscoveryOptions unsharded_options;
+  unsharded_options.epsilon = 0.1;
+  unsharded_options.num_threads = 2;
+  DiscoveryResult unsharded = DiscoverOds(enc, unsharded_options);
+  ASSERT_TRUE(unsharded.shard_status.ok());
+
+  // Sends before the first candidate batch: socket attempts ship only
+  // the base-partition envelope; process attempts ship config + table +
+  // bases. Tearing the next send faults the level's candidate batch.
+  const int clean_sends =
+      GetParam() == ShardTransport::kProcess ? 3 : 1;
+  std::atomic<int> created{0};
+  DiscoveryOptions options = SupervisedOptions(GetParam(), runner_);
+  options.shard_channel_decorator =
+      [&](std::unique_ptr<ShardChannel> inner)
+      -> std::unique_ptr<ShardChannel> {
+    const int idx = created.fetch_add(1);
+    // idx 0: shard 0 attempt 1 (clean). idx 1: shard 1 attempt 1.
+    // idx 2: shard 1 attempt 2 (the respawn). idx 3+: clean.
+    if (idx != 1 && idx != 2) return inner;
+    FlakyChannel::Plan plan;
+    plan.fault = FlakyChannel::Fault::kTornWrite;
+    plan.trigger_after = clean_sends;
+    return std::make_unique<FlakyChannel>(std::move(inner), plan);
+  };
+  DiscoveryResult result = DiscoverOds(enc, options);
+  ASSERT_TRUE(result.shard_status.ok()) << result.shard_status.ToString();
+  EXPECT_EQ(OutputFingerprint(result), OutputFingerprint(unsharded));
+  // At least the two injected faults were retried (teardown/respawn
+  // races can add a benign extra attempt on the process transport).
+  EXPECT_GE(result.stats.shard_retries, 2);
+  EXPECT_GE(result.stats.shard_respawns, 2);
+  EXPECT_EQ(result.stats.shard_fallback_shards, 0);
+}
+
+// Every attempt's first send is torn, so no transport attempt can ever
+// succeed: both shards must exhaust the retry budget and degrade to
+// in-process execution — which is NOT decorated (the fallback leaves
+// the transport's failure domain) — and complete bit-identically.
+TEST_P(ShardSupervisorTest, PersistentFaultDegradesEveryShardInProcess) {
+  Table t = GenerateNcVoterTable(120, 4, 7);
+  EncodedTable enc = EncodeTable(t);
+
+  DiscoveryOptions unsharded_options;
+  unsharded_options.epsilon = 0.1;
+  unsharded_options.num_threads = 2;
+  DiscoveryResult unsharded = DiscoverOds(enc, unsharded_options);
+  ASSERT_TRUE(unsharded.shard_status.ok());
+
+  DiscoveryOptions options = SupervisedOptions(GetParam(), runner_);
+  options.shard_max_retries = 1;
+  options.shard_channel_decorator =
+      [](std::unique_ptr<ShardChannel> inner)
+      -> std::unique_ptr<ShardChannel> {
+    FlakyChannel::Plan plan;
+    plan.fault = FlakyChannel::Fault::kTornWrite;
+    plan.trigger_after = 0;
+    return std::make_unique<FlakyChannel>(std::move(inner), plan);
+  };
+  DiscoveryResult result = DiscoverOds(enc, options);
+  ASSERT_TRUE(result.shard_status.ok()) << result.shard_status.ToString();
+  EXPECT_EQ(OutputFingerprint(result), OutputFingerprint(unsharded));
+  EXPECT_EQ(result.stats.shard_fallback_shards, 2);
+  EXPECT_GT(result.stats.shard_retries, 0);
+}
+
+// Strict mode must not recover: the same persistent fault with
+// shard_max_retries == 0 is the pre-supervision typed fail-stop.
+TEST_P(ShardSupervisorTest, StrictModeStillFailsStop) {
+  Table t = GenerateNcVoterTable(120, 4, 7);
+  EncodedTable enc = EncodeTable(t);
+  DiscoveryOptions options = SupervisedOptions(GetParam(), runner_);
+  options.shard_max_retries = 0;
+  options.shard_channel_decorator =
+      [](std::unique_ptr<ShardChannel> inner)
+      -> std::unique_ptr<ShardChannel> {
+    FlakyChannel::Plan plan;
+    plan.fault = FlakyChannel::Fault::kTornWrite;
+    plan.trigger_after = 0;
+    return std::make_unique<FlakyChannel>(std::move(inner), plan);
+  };
+  DiscoveryResult result = DiscoverOds(enc, options);
+  ASSERT_FALSE(result.shard_status.ok());
+  EXPECT_EQ(result.stats.shard_retries, 0);
+  EXPECT_EQ(result.stats.shard_fallback_shards, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transports, ShardSupervisorTest,
+    ::testing::Values(ShardTransport::kSocket, ShardTransport::kProcess),
+    [](const ::testing::TestParamInfo<ShardTransport>& info) {
+      return std::string(ShardTransportToString(info.param));
+    });
+
+// A transient fault on the in-process transport: no process or socket
+// to rebuild, and no fallback rung (the transport IS in-process) — the
+// ladder is pure retry, and it must still converge bit-identically.
+TEST(ShardSupervisorInprocTest, TransientFaultRetriesInPlace) {
+  Table t = GenerateNcVoterTable(120, 4, 7);
+  EncodedTable enc = EncodeTable(t);
+
+  DiscoveryOptions unsharded_options;
+  unsharded_options.epsilon = 0.1;
+  unsharded_options.num_threads = 2;
+  DiscoveryResult unsharded = DiscoverOds(enc, unsharded_options);
+  ASSERT_TRUE(unsharded.shard_status.ok());
+
+  std::atomic<int> budget{1};
+  DiscoveryOptions options =
+      SupervisedOptions(ShardTransport::kInProcess, "");
+  options.shard_channel_decorator =
+      [&](std::unique_ptr<ShardChannel> inner)
+      -> std::unique_ptr<ShardChannel> {
+    FlakyChannel::Plan plan;
+    plan.fault = FlakyChannel::Fault::kCorruptByte;
+    plan.trigger_after = 1;
+    plan.shared_budget = &budget;
+    return std::make_unique<FlakyChannel>(std::move(inner), plan);
+  };
+  DiscoveryResult result = DiscoverOds(enc, options);
+  ASSERT_TRUE(result.shard_status.ok()) << result.shard_status.ToString();
+  EXPECT_EQ(OutputFingerprint(result), OutputFingerprint(unsharded));
+  EXPECT_EQ(budget.load(), 0);
+  EXPECT_GT(result.stats.shard_retries, 0);
+  EXPECT_EQ(result.stats.shard_fallback_shards, 0);
+}
+
+// Straggler speculation: one shard's receive path stalls for ~2.5 s on
+// an otherwise healthy link. Once its sibling finished the level, the
+// supervisor launches a backup attempt past speculation_factor x the
+// median shard latency; the backup wins, exactly one attempt's reply is
+// merged, and the output must not change.
+TEST(ShardSupervisorSpeculationTest, StalledShardIsHedgedAndBeaten) {
+  Table t = GenerateNcVoterTable(150, 4, 9);
+  EncodedTable enc = EncodeTable(t);
+
+  DiscoveryOptions unsharded_options;
+  unsharded_options.epsilon = 0.1;
+  unsharded_options.num_threads = 2;
+  DiscoveryResult unsharded = DiscoverOds(enc, unsharded_options);
+  ASSERT_TRUE(unsharded.shard_status.ok());
+
+  std::atomic<int> budget{1};  // exactly one stall, fleet-wide
+  DiscoveryOptions options =
+      SupervisedOptions(ShardTransport::kSocket, "");
+  options.num_threads = 4;
+  options.shard_io_timeout_seconds = 30.0;  // the stall is not a timeout
+  options.shard_speculation_factor = 2.0;
+  options.shard_channel_decorator =
+      [&](std::unique_ptr<ShardChannel> inner)
+      -> std::unique_ptr<ShardChannel> {
+    FlakyChannel::Plan plan;
+    plan.fault = FlakyChannel::Fault::kStallReceive;
+    plan.trigger_after = 1;
+    plan.stall_ms = 2500;
+    plan.shared_budget = &budget;
+    return std::make_unique<FlakyChannel>(std::move(inner), plan);
+  };
+  DiscoveryResult result = DiscoverOds(enc, options);
+  ASSERT_TRUE(result.shard_status.ok()) << result.shard_status.ToString();
+  EXPECT_EQ(OutputFingerprint(result), OutputFingerprint(unsharded));
+  if (budget.load() <= 0) {
+    EXPECT_GE(result.stats.shard_speculative_wins, 1);
+  }
+  EXPECT_EQ(result.stats.shard_fallback_shards, 0);
+}
+
+}  // namespace
+}  // namespace aod
