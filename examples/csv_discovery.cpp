@@ -26,6 +26,12 @@
 //                           spawns shard_runner_main per shard)
 //     --shard-runner=PATH   shard_runner_main binary for the process
 //                           transport (default: $AOD_SHARD_RUNNER)
+//     --server=HOST:PORT    don't run locally: submit the job to a
+//                           running discovery_serve daemon and await
+//                           the result (identical output; deadline
+//                           rides --deadline)
+//     --deadline=S          server-side wall-clock budget for --server
+//                           jobs (0 = none)
 //     --ods                 compose and print ODs from the OC/OFD parts
 //     --json=out.json       write the result as JSON
 //     --csv=out.csv         write the result as flat CSV
@@ -39,6 +45,7 @@
 #include "od/od_assembly.h"
 #include "od/result_io.h"
 #include "partition/partition_cache.h"
+#include "serve/client.h"
 
 using namespace aod;
 
@@ -69,6 +76,9 @@ struct Args {
   int shards = 0;
   ShardTransport shard_transport = ShardTransport::kInProcess;
   std::string shard_runner;
+  std::string server_host;
+  uint16_t server_port = 0;
+  double deadline_seconds = 0.0;
   bool assemble_ods = false;
   std::string json_path;
   std::string csv_path;
@@ -114,6 +124,20 @@ Args ParseArgs(int argc, char** argv) {
       }
     } else if (const char* v = value_of("--shard-runner=")) {
       args.shard_runner = v;
+    } else if (const char* v = value_of("--server=")) {
+      std::string addr = v;
+      size_t colon = addr.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == addr.size()) {
+        std::fprintf(stderr, "--server wants HOST:PORT, got %s\n", v);
+        args.ok = false;
+      } else {
+        args.server_host = addr.substr(0, colon);
+        args.server_port =
+            static_cast<uint16_t>(std::atoi(addr.c_str() + colon + 1));
+      }
+    } else if (const char* v = value_of("--deadline=")) {
+      args.deadline_seconds = std::atof(v);
     } else if (arg == "--ods") {
       args.assemble_ods = true;
     } else if (const char* v = value_of("--json=")) {
@@ -164,7 +188,25 @@ int main(int argc, char** argv) {
   options.num_shards = args.shards;
   options.shard_transport = args.shard_transport;
   options.shard_runner_path = args.shard_runner;
-  DiscoveryResult result = DiscoverOds(enc, options);
+
+  DiscoveryResult result;
+  if (!args.server_host.empty()) {
+    // Remote mode: the daemon runs the job; we get back the same
+    // DiscoveryResult the local path would have produced.
+    Result<DiscoveryResult> remote = serve::RunRemoteDiscovery(
+        args.server_host, args.server_port, enc, options,
+        args.deadline_seconds);
+    if (!remote.ok()) {
+      std::fprintf(stderr, "error: server %s:%u: %s\n",
+                   args.server_host.c_str(),
+                   static_cast<unsigned>(args.server_port),
+                   remote.status().ToString().c_str());
+      return 1;
+    }
+    result = std::move(*remote);
+  } else {
+    result = DiscoverOds(enc, options);
+  }
   if (!result.shard_status.ok()) {
     // Reaching here means the fault survived the whole supervision
     // ladder (retries, backoff, in-process fallback) — or supervision

@@ -1,5 +1,7 @@
 #include "common/status.h"
 
+#include <ostream>
+
 namespace aod {
 
 const char* StatusCodeToString(StatusCode code) {
@@ -20,6 +22,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kClosed:
       return "Closed";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kShuttingDown:
+      return "ShuttingDown";
   }
   return "Unknown";
 }
@@ -32,6 +38,14 @@ std::string Status::ToString() const {
     out += message_;
   }
   return out;
+}
+
+std::ostream& operator<<(std::ostream& os, StatusCode code) {
+  return os << StatusCodeToString(code);
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
 }
 
 }  // namespace aod

@@ -4,6 +4,7 @@
 #ifndef AOD_COMMON_STATUS_H_
 #define AOD_COMMON_STATUS_H_
 
+#include <iosfwd>
 #include <string>
 #include <utility>
 #include <variant>
@@ -26,6 +27,14 @@ enum class StatusCode {
   /// a conversation, distinct from kIoError (the transport broke).
   /// Receivers blocked on a ShardChannel wake with this code on Close.
   kClosed,
+  /// A server refused work because admitting it would exceed a load
+  /// bound (queue depth, per-client in-flight cap). Retryable by the
+  /// client after a backoff; nothing about the request itself is wrong.
+  kOverloaded,
+  /// A server is draining toward exit and no longer admits new work;
+  /// in-flight work still completes. A client should fail over, not
+  /// retry the same endpoint.
+  kShuttingDown,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -64,6 +73,12 @@ class Status {
   static Status Closed(std::string msg) {
     return Status(StatusCode::kClosed, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status ShuttingDown(std::string msg) {
+    return Status(StatusCode::kShuttingDown, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -76,6 +91,12 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+/// Stream the stable code name / ToString() form — gtest failure
+/// messages and logging read as "Overloaded: queue full" instead of an
+/// opaque enum value.
+std::ostream& operator<<(std::ostream& os, StatusCode code);
+std::ostream& operator<<(std::ostream& os, const Status& status);
 
 /// Either a value of type T or an error Status. Accessing the value of an
 /// errored Result is a checked programmer error.

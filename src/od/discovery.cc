@@ -93,6 +93,7 @@ struct Driver {
   DiscoveryResult result;
   Stopwatch total_clock;
   std::atomic<bool> deadline_hit{false};
+  std::atomic<bool> cancel_hit{false};
 
   std::unique_ptr<AocSampler> sampler;
   /// Pool the run executes on: borrowed from options.pool, created for
@@ -132,10 +133,18 @@ struct Driver {
     // for unsharded validation, or by the coordinator (which ships them
     // to the shard caches) when sharding is on — the driver cache then
     // stays empty rather than holding a dead copy of the base footprint.
+    // A warm provider (resident service, same table fingerprint) swaps
+    // the per-column sort for a copy of an already-canonical value.
     if (options.num_shards < 1) {
+      const auto* warm = options.warm_base_partitions;
       for (int a = 0; a < table.num_columns(); ++a) {
+        const bool have_warm = warm != nullptr &&
+                               static_cast<size_t>(a) < warm->size() &&
+                               (*warm)[static_cast<size_t>(a)] != nullptr;
         cache.Preload(AttributeSet().With(a),
-                      StrippedPartition::FromColumn(table.column(a)));
+                      have_warm
+                          ? StrippedPartition(*(*warm)[static_cast<size_t>(a)])
+                          : StrippedPartition::FromColumn(table.column(a)));
       }
     }
     if (options.enable_sampling_filter &&
@@ -209,6 +218,16 @@ struct Driver {
   bool OverBudget() {
     if (options.time_budget_seconds > 0.0 &&
         total_clock.ElapsedSeconds() > options.time_budget_seconds) {
+      deadline_hit.store(true, std::memory_order_relaxed);
+    }
+    // External cancellation shares the deadline's seams and wind-down
+    // path exactly; cancel_hit only adds who-pulled-the-trigger
+    // attribution (DiscoveryResult::cancelled). The callback is polled
+    // from worker threads, so it must be thread-safe (documented on the
+    // option).
+    if (options.cancel && !cancel_hit.load(std::memory_order_relaxed) &&
+        options.cancel()) {
+      cancel_hit.store(true, std::memory_order_relaxed);
       deadline_hit.store(true, std::memory_order_relaxed);
     }
     return deadline_hit.load(std::memory_order_relaxed);
@@ -666,6 +685,14 @@ struct Driver {
         result.stats.levels_processed = level;
         result.stats.RecordNodesAtLevel(level, merged_nodes);
         result.stats.nodes_processed += merged_nodes;
+        if (options.progress) {
+          DiscoveryProgress progress;
+          progress.level = level;
+          progress.nodes_merged = merged_nodes;
+          progress.total_ocs = result.stats.TotalOcs();
+          progress.total_ofds = result.stats.TotalOfds();
+          options.progress(progress);
+        }
       }
       if (result.timed_out) break;
       if (!expect_next_level) break;
@@ -768,6 +795,7 @@ struct Driver {
           std::max(result.stats.partition_bytes_peak, cache.bytes_resident());
       result.stats.partition_bytes_final = cache.bytes_resident();
     }
+    result.cancelled = cancel_hit.load(std::memory_order_relaxed);
     result.stats.total_seconds = total_clock.ElapsedSeconds();
   }
 };

@@ -25,6 +25,8 @@
 
 namespace aod {
 
+class StrippedPartition;
+
 namespace exec {
 class ThreadPool;
 }  // namespace exec
@@ -32,6 +34,20 @@ class ThreadPool;
 namespace shard {
 class ShardChannel;
 }  // namespace shard
+
+/// A snapshot of traversal progress, delivered through
+/// DiscoveryOptions::progress at each completed lattice level (from the
+/// serial merge phase, so callbacks never race each other). The serving
+/// layer relays these as kJobStatus frames.
+struct DiscoveryProgress {
+  /// The lattice level that just finished merging.
+  int level = 0;
+  /// Nodes merged at that level.
+  int64_t nodes_merged = 0;
+  /// Dependency totals so far (across all completed levels).
+  int64_t total_ocs = 0;
+  int64_t total_ofds = 0;
+};
 
 /// Which validation algorithm drives the search.
 enum class ValidatorKind {
@@ -85,6 +101,27 @@ struct DiscoveryOptions {
   /// this many seconds (0 = unlimited). Mirrors the paper's 24h cap on
   /// the iterative runs.
   double time_budget_seconds = 0.0;
+  /// Cooperative external cancellation: polled at exactly the seams the
+  /// time budget is polled at (between candidates, between phases, in
+  /// every shard-seam wait), so a cancelled run winds down as promptly
+  /// as a deadline-hit run and sets DiscoveryResult::cancelled. Must be
+  /// thread-safe (workers poll it concurrently) and cheap — an atomic
+  /// load. The serving layer points this at the job's kill switch so a
+  /// client disconnect reclaims the job's CPU mid-level. Empty = never.
+  std::function<bool()> cancel;
+  /// Per-level progress notifications (see DiscoveryProgress). Invoked
+  /// from the driver's serial merge thread only. Empty = silent.
+  std::function<void(const DiscoveryProgress&)> progress;
+  /// Warm-start seam for resident services: when set (and the run is
+  /// unsharded), the single-attribute base partitions are copied from
+  /// this table-fingerprint-keyed cache entry instead of being re-sorted
+  /// out of the columns — the expensive first step of a cold run.
+  /// Indexed by attribute; must match the table (same row count and
+  /// column order) and hold canonical values, which is guaranteed when
+  /// it was built by StrippedPartition::FromColumn over the same
+  /// EncodedTable. Borrowed; must outlive the call.
+  const std::vector<std::shared_ptr<const StrippedPartition>>*
+      warm_base_partitions = nullptr;
   /// Materialize removal sets on discovered dependencies (costly; used by
   /// the data-cleaning example).
   bool collect_removal_sets = false;
@@ -219,6 +256,11 @@ struct DiscoveryResult {
   /// True when the time budget expired; results are a valid prefix of the
   /// traversal but incomplete.
   bool timed_out = false;
+  /// True when DiscoveryOptions::cancel fired: the run wound down early
+  /// on request. Results are the same kind of valid prefix a deadline
+  /// leaves (timed_out is typically also set — the two flags share the
+  /// wind-down path; `cancelled` says who pulled the trigger).
+  bool cancelled = false;
   /// OK unless a shard-transport failure (runner died, frame corrupted,
   /// receive timed out, spawn failed) aborted the run. On failure the
   /// dependency lists are the complete merge of every level finished

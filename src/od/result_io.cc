@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "shard/wire.h"
 
 namespace aod {
 namespace {
@@ -151,6 +152,269 @@ Status WriteStringToFile(const std::string& path,
   out << content;
   if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();
+}
+
+namespace {
+
+/// Bump on any layout change; the decoder rejects everything else. The
+/// blob is an internal interchange format (server <-> client of the same
+/// build lineage), so there is no cross-version decode path.
+constexpr uint16_t kResultBlobVersion = 1;
+
+void PutStats(shard::WireWriter& w, const DiscoveryStats& s) {
+  w.PutDouble(s.total_seconds);
+  w.PutDouble(s.oc_validation_seconds);
+  w.PutDouble(s.ofd_validation_seconds);
+  w.PutDouble(s.partition_seconds);
+  w.PutDouble(s.candidate_wall_seconds);
+  w.PutDouble(s.validation_wall_seconds);
+  w.PutDouble(s.partition_wall_seconds);
+  w.PutDouble(s.merge_wall_seconds);
+  w.PutVarintI64(s.threads_used);
+  w.PutVarintI64(s.shards_used);
+  w.PutVarintI64(s.shard_bytes_shipped);
+  w.PutVarint(s.shard_bytes_per_shard.size());
+  for (int64_t b : s.shard_bytes_per_shard) w.PutVarintI64(b);
+  w.PutVarintI64(s.shard_bytes_raw);
+  w.PutVarintI64(s.shard_bytes_wire);
+  w.PutVarint(s.shard_frame_bytes.size());
+  for (const auto& fb : s.shard_frame_bytes) {
+    w.PutString(fb.frame_type);
+    w.PutVarintI64(fb.bytes_raw);
+    w.PutVarintI64(fb.bytes_wire);
+  }
+  w.PutVarintI64(s.shard_retries);
+  w.PutVarintI64(s.shard_respawns);
+  w.PutVarintI64(s.shard_speculative_wins);
+  w.PutVarintI64(s.shard_speculative_losses);
+  w.PutVarintI64(s.shard_fallback_shards);
+  w.PutVarintI64(s.shard_footers_missing);
+  w.PutVarintI64(s.partition_bytes_peak);
+  w.PutVarintI64(s.partition_bytes_evicted);
+  w.PutVarintI64(s.partition_bytes_final);
+  w.PutVarintI64(s.planner_derivations);
+  w.PutVarintI64(s.planner_cost_estimated);
+  w.PutVarintI64(s.planner_cost_realized);
+  w.PutVarintI64(s.partitions_evicted);
+  w.PutVarintI64(s.oc_candidates_validated);
+  w.PutVarintI64(s.ofd_candidates_validated);
+  w.PutVarintI64(s.oc_candidates_pruned);
+  w.PutVarintI64(s.nodes_processed);
+  w.PutVarintI64(s.partitions_computed);
+  w.PutVarintI64(s.levels_processed);
+  w.PutVarint(s.ocs_per_level.size());
+  for (int64_t v : s.ocs_per_level) w.PutVarintI64(v);
+  w.PutVarint(s.ofds_per_level.size());
+  for (int64_t v : s.ofds_per_level) w.PutVarintI64(v);
+  w.PutVarint(s.nodes_per_level.size());
+  for (int64_t v : s.nodes_per_level) w.PutVarintI64(v);
+}
+
+Status GetI64Vector(shard::WireReader& r, std::vector<int64_t>* out) {
+  uint64_t count = 0;
+  AOD_RETURN_NOT_OK(r.GetVarint(&count));
+  // Each element costs at least one payload byte; a count beyond the
+  // remaining bytes is structurally impossible, so reject it before
+  // any allocation.
+  if (count > r.remaining()) {
+    return Status::ParseError("result blob: vector count exceeds payload");
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t v = 0;
+    AOD_RETURN_NOT_OK(r.GetVarintI64(&v));
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+Status GetStats(shard::WireReader& r, DiscoveryStats* s) {
+  AOD_RETURN_NOT_OK(r.GetDouble(&s->total_seconds));
+  AOD_RETURN_NOT_OK(r.GetDouble(&s->oc_validation_seconds));
+  AOD_RETURN_NOT_OK(r.GetDouble(&s->ofd_validation_seconds));
+  AOD_RETURN_NOT_OK(r.GetDouble(&s->partition_seconds));
+  AOD_RETURN_NOT_OK(r.GetDouble(&s->candidate_wall_seconds));
+  AOD_RETURN_NOT_OK(r.GetDouble(&s->validation_wall_seconds));
+  AOD_RETURN_NOT_OK(r.GetDouble(&s->partition_wall_seconds));
+  AOD_RETURN_NOT_OK(r.GetDouble(&s->merge_wall_seconds));
+  int64_t v = 0;
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&v));
+  s->threads_used = static_cast<int>(v);
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&v));
+  s->shards_used = static_cast<int>(v);
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->shard_bytes_shipped));
+  AOD_RETURN_NOT_OK(GetI64Vector(r, &s->shard_bytes_per_shard));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->shard_bytes_raw));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->shard_bytes_wire));
+  uint64_t frame_count = 0;
+  AOD_RETURN_NOT_OK(r.GetVarint(&frame_count));
+  if (frame_count > r.remaining()) {
+    return Status::ParseError("result blob: frame-bytes count exceeds payload");
+  }
+  s->shard_frame_bytes.clear();
+  s->shard_frame_bytes.reserve(frame_count);
+  for (uint64_t i = 0; i < frame_count; ++i) {
+    DiscoveryStats::FrameTypeBytes fb;
+    AOD_RETURN_NOT_OK(r.GetString(&fb.frame_type));
+    AOD_RETURN_NOT_OK(r.GetVarintI64(&fb.bytes_raw));
+    AOD_RETURN_NOT_OK(r.GetVarintI64(&fb.bytes_wire));
+    s->shard_frame_bytes.push_back(std::move(fb));
+  }
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->shard_retries));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->shard_respawns));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->shard_speculative_wins));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->shard_speculative_losses));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->shard_fallback_shards));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->shard_footers_missing));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->partition_bytes_peak));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->partition_bytes_evicted));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->partition_bytes_final));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->planner_derivations));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->planner_cost_estimated));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->planner_cost_realized));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->partitions_evicted));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->oc_candidates_validated));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->ofd_candidates_validated));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->oc_candidates_pruned));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->nodes_processed));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->partitions_computed));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&v));
+  s->levels_processed = static_cast<int>(v);
+  AOD_RETURN_NOT_OK(GetI64Vector(r, &s->ocs_per_level));
+  AOD_RETURN_NOT_OK(GetI64Vector(r, &s->ofds_per_level));
+  AOD_RETURN_NOT_OK(GetI64Vector(r, &s->nodes_per_level));
+  return Status::OK();
+}
+
+Status CheckAttribute(int a, const char* what) {
+  if (a < 0 || a >= AttributeSet::kMaxAttributes) {
+    return Status::ParseError(std::string("result blob: ") + what +
+                              " attribute out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeResult(const DiscoveryResult& result) {
+  shard::WireWriter w;
+  w.PutU16(kResultBlobVersion);
+  w.PutVarint(result.ocs.size());
+  for (const auto& d : result.ocs) {
+    w.PutVarint(d.oc.context.bits());
+    w.PutVarintI64(d.oc.a);
+    w.PutVarintI64(d.oc.b);
+    w.PutU8(d.oc.opposite ? 1 : 0);
+    w.PutDouble(d.approx_factor);
+    w.PutVarintI64(d.removal_size);
+    w.PutVarintI64(d.level);
+    w.PutDouble(d.interestingness);
+    w.PutI32Array(d.removal_rows);
+  }
+  w.PutVarint(result.ofds.size());
+  for (const auto& d : result.ofds) {
+    w.PutVarint(d.ofd.context.bits());
+    w.PutVarintI64(d.ofd.a);
+    w.PutDouble(d.approx_factor);
+    w.PutVarintI64(d.removal_size);
+    w.PutVarintI64(d.level);
+    w.PutDouble(d.interestingness);
+    w.PutI32Array(d.removal_rows);
+  }
+  PutStats(w, result.stats);
+  w.PutU8(result.timed_out ? 1 : 0);
+  w.PutU8(result.cancelled ? 1 : 0);
+  w.PutU8(static_cast<uint8_t>(result.shard_status.code()));
+  w.PutString(result.shard_status.message());
+  return w.payload();
+}
+
+Result<DiscoveryResult> DeserializeResult(const uint8_t* data, size_t size) {
+  shard::WireReader r(data, size);
+  uint16_t version = 0;
+  AOD_RETURN_NOT_OK(r.GetU16(&version));
+  if (version != kResultBlobVersion) {
+    return Status::ParseError("result blob: unsupported version " +
+                              std::to_string(version));
+  }
+  DiscoveryResult result;
+  uint64_t oc_count = 0;
+  AOD_RETURN_NOT_OK(r.GetVarint(&oc_count));
+  if (oc_count > r.remaining()) {
+    return Status::ParseError("result blob: OC count exceeds payload");
+  }
+  result.ocs.reserve(oc_count);
+  for (uint64_t i = 0; i < oc_count; ++i) {
+    DiscoveredOc d;
+    uint64_t bits = 0;
+    int64_t v = 0;
+    AOD_RETURN_NOT_OK(r.GetVarint(&bits));
+    d.oc.context = AttributeSet(bits);
+    AOD_RETURN_NOT_OK(r.GetVarintI64(&v));
+    d.oc.a = static_cast<int>(v);
+    AOD_RETURN_NOT_OK(r.GetVarintI64(&v));
+    d.oc.b = static_cast<int>(v);
+    AOD_RETURN_NOT_OK(CheckAttribute(d.oc.a, "OC lhs"));
+    AOD_RETURN_NOT_OK(CheckAttribute(d.oc.b, "OC rhs"));
+    uint8_t opposite = 0;
+    AOD_RETURN_NOT_OK(r.GetU8(&opposite));
+    if (opposite > 1) {
+      return Status::ParseError("result blob: bad OC polarity flag");
+    }
+    d.oc.opposite = opposite != 0;
+    AOD_RETURN_NOT_OK(r.GetDouble(&d.approx_factor));
+    AOD_RETURN_NOT_OK(r.GetVarintI64(&d.removal_size));
+    AOD_RETURN_NOT_OK(r.GetVarintI64(&v));
+    d.level = static_cast<int>(v);
+    AOD_RETURN_NOT_OK(r.GetDouble(&d.interestingness));
+    AOD_RETURN_NOT_OK(r.GetI32Array(&d.removal_rows));
+    result.ocs.push_back(std::move(d));
+  }
+  uint64_t ofd_count = 0;
+  AOD_RETURN_NOT_OK(r.GetVarint(&ofd_count));
+  if (ofd_count > r.remaining()) {
+    return Status::ParseError("result blob: OFD count exceeds payload");
+  }
+  result.ofds.reserve(ofd_count);
+  for (uint64_t i = 0; i < ofd_count; ++i) {
+    DiscoveredOfd d;
+    uint64_t bits = 0;
+    int64_t v = 0;
+    AOD_RETURN_NOT_OK(r.GetVarint(&bits));
+    d.ofd.context = AttributeSet(bits);
+    AOD_RETURN_NOT_OK(r.GetVarintI64(&v));
+    d.ofd.a = static_cast<int>(v);
+    AOD_RETURN_NOT_OK(CheckAttribute(d.ofd.a, "OFD rhs"));
+    AOD_RETURN_NOT_OK(r.GetDouble(&d.approx_factor));
+    AOD_RETURN_NOT_OK(r.GetVarintI64(&d.removal_size));
+    AOD_RETURN_NOT_OK(r.GetVarintI64(&v));
+    d.level = static_cast<int>(v);
+    AOD_RETURN_NOT_OK(r.GetDouble(&d.interestingness));
+    AOD_RETURN_NOT_OK(r.GetI32Array(&d.removal_rows));
+    result.ofds.push_back(std::move(d));
+  }
+  AOD_RETURN_NOT_OK(GetStats(r, &result.stats));
+  uint8_t flag = 0;
+  AOD_RETURN_NOT_OK(r.GetU8(&flag));
+  result.timed_out = flag != 0;
+  AOD_RETURN_NOT_OK(r.GetU8(&flag));
+  result.cancelled = flag != 0;
+  uint8_t code = 0;
+  AOD_RETURN_NOT_OK(r.GetU8(&code));
+  if (code > static_cast<uint8_t>(StatusCode::kShuttingDown)) {
+    return Status::ParseError("result blob: unknown status code");
+  }
+  std::string message;
+  AOD_RETURN_NOT_OK(r.GetString(&message));
+  result.shard_status = Status(static_cast<StatusCode>(code),
+                               std::move(message));
+  AOD_RETURN_NOT_OK(r.ExpectEnd());
+  return result;
+}
+
+Result<DiscoveryResult> DeserializeResult(const std::vector<uint8_t>& bytes) {
+  return DeserializeResult(bytes.data(), bytes.size());
 }
 
 }  // namespace aod

@@ -8,7 +8,9 @@
 #ifndef AOD_OD_RESULT_IO_H_
 #define AOD_OD_RESULT_IO_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "data/encoder.h"
@@ -28,6 +30,21 @@ std::string ResultToCsv(const DiscoveryResult& result,
 
 /// Writes `content` to `path`.
 Status WriteStringToFile(const std::string& path, const std::string& content);
+
+/// Binary serialization of a *complete* DiscoveryResult — both dependency
+/// lists (including removal rows), the full DiscoveryStats counter set,
+/// and the terminal flags (timed_out, cancelled, shard_status). Unlike
+/// the JSON/CSV emitters above this is lossless and needs no table:
+/// attributes stay as indices, doubles ship as IEEE-754 bit patterns, so
+/// a round trip is bit-exact. The blob is version-prefixed raw payload
+/// bytes (no frame header); the serve layer wraps slices of it in
+/// kJobResultBatch frames, which add the checksummed framing.
+std::vector<uint8_t> SerializeResult(const DiscoveryResult& result);
+
+/// Rejects version mismatches, truncation, trailing bytes, out-of-range
+/// attribute indices and unknown status codes with ParseError.
+Result<DiscoveryResult> DeserializeResult(const uint8_t* data, size_t size);
+Result<DiscoveryResult> DeserializeResult(const std::vector<uint8_t>& bytes);
 
 }  // namespace aod
 

@@ -1,0 +1,184 @@
+#include "serve/client.h"
+
+#include <utility>
+
+#include "od/result_io.h"
+#include "shard/wire.h"
+
+namespace aod {
+namespace serve {
+
+using shard::DecodedFrame;
+using shard::FrameType;
+
+DiscoveryClient::DiscoveryClient(
+    std::unique_ptr<shard::SocketShardChannel> channel)
+    : channel_(std::move(channel)), receiver_(channel_.get()) {}
+
+Result<std::unique_ptr<DiscoveryClient>> DiscoveryClient::Connect(
+    const std::string& host, uint16_t port, const Options& options) {
+  shard::ChannelOptions copts;
+  copts.max_frame_bytes = options.max_frame_bytes;
+  copts.receive_timeout_seconds = options.io_timeout_seconds;
+  AOD_ASSIGN_OR_RETURN(
+      std::unique_ptr<shard::SocketShardChannel> channel,
+      shard::SocketShardChannel::Connect(host, port,
+                                         options.connect_timeout_seconds,
+                                         copts));
+  return std::unique_ptr<DiscoveryClient>(
+      new DiscoveryClient(std::move(channel)));
+}
+
+Result<std::vector<uint8_t>> DiscoveryClient::NextFrame() {
+  return receiver_.Receive();
+}
+
+Result<uint64_t> DiscoveryClient::Submit(const EncodedTable& table,
+                                         const DiscoveryOptions& options,
+                                         double deadline_seconds) {
+  WireJobSubmit submit;
+  submit.request_id = next_request_id_++;
+  submit.options = WireJobOptionsFrom(options);
+  submit.options.deadline_seconds = deadline_seconds;
+  submit.table_frame = shard::EncodeTableBlock(table);
+  AOD_RETURN_NOT_OK(channel_->Send(EncodeJobSubmit(submit)));
+
+  // The ack (or rejection) for this request_id; frames belonging to
+  // jobs already in flight are folded into their own buffers.
+  for (;;) {
+    AOD_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, NextFrame());
+    AOD_ASSIGN_OR_RETURN(DecodedFrame frame, shard::DecodeFrame(raw));
+    switch (frame.type) {
+      case FrameType::kJobStatus: {
+        AOD_ASSIGN_OR_RETURN(WireJobStatus status, DecodeJobStatus(frame));
+        if (status.request_id == submit.request_id) return status.job_id;
+        break;  // progress of another job; droppable here
+      }
+      case FrameType::kJobError: {
+        AOD_ASSIGN_OR_RETURN(WireJobError error, DecodeJobError(frame));
+        if (error.request_id == submit.request_id || error.job_id == 0) {
+          return error.status;
+        }
+        break;
+      }
+      case FrameType::kJobResultBatch: {
+        AOD_ASSIGN_OR_RETURN(WireJobResultChunk chunk,
+                             DecodeJobResultChunk(frame));
+        auto& blob = partial_[chunk.job_id];
+        blob.insert(blob.end(), chunk.blob_bytes.begin(),
+                    chunk.blob_bytes.end());
+        if (chunk.final_chunk) {
+          AOD_ASSIGN_OR_RETURN(DiscoveryResult result,
+                               DeserializeResult(blob));
+          partial_.erase(chunk.job_id);
+          done_.emplace(chunk.job_id, std::move(result));
+        }
+        break;
+      }
+      default:
+        return Status::ParseError("unexpected frame type from server");
+    }
+  }
+}
+
+Result<DiscoveryResult> DiscoveryClient::Await(
+    uint64_t job_id, std::function<void(const WireJobStatus&)> progress) {
+  for (;;) {
+    auto it = done_.find(job_id);
+    if (it != done_.end()) {
+      DiscoveryResult result = std::move(it->second);
+      done_.erase(it);
+      return result;
+    }
+    AOD_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, NextFrame());
+    AOD_ASSIGN_OR_RETURN(DecodedFrame frame, shard::DecodeFrame(raw));
+    switch (frame.type) {
+      case FrameType::kJobStatus: {
+        AOD_ASSIGN_OR_RETURN(WireJobStatus status, DecodeJobStatus(frame));
+        if (status.job_id == job_id && progress) progress(status);
+        break;
+      }
+      case FrameType::kJobError: {
+        AOD_ASSIGN_OR_RETURN(WireJobError error, DecodeJobError(frame));
+        if (error.job_id == job_id || error.job_id == 0) {
+          return error.status;
+        }
+        break;
+      }
+      case FrameType::kJobResultBatch: {
+        AOD_ASSIGN_OR_RETURN(WireJobResultChunk chunk,
+                             DecodeJobResultChunk(frame));
+        auto& blob = partial_[chunk.job_id];
+        blob.insert(blob.end(), chunk.blob_bytes.begin(),
+                    chunk.blob_bytes.end());
+        if (chunk.final_chunk) {
+          AOD_ASSIGN_OR_RETURN(DiscoveryResult result,
+                               DeserializeResult(blob));
+          partial_.erase(chunk.job_id);
+          done_.emplace(chunk.job_id, std::move(result));
+        }
+        break;
+      }
+      default:
+        return Status::ParseError("unexpected frame type from server");
+    }
+  }
+}
+
+Status DiscoveryClient::Cancel(uint64_t job_id) {
+  return channel_->Send(EncodeCancel(job_id));
+}
+
+Result<WireJobStatus> DiscoveryClient::Query(uint64_t job_id) {
+  WireJobStatus query;
+  query.job_id = job_id;
+  AOD_RETURN_NOT_OK(channel_->Send(EncodeJobStatus(query)));
+  for (;;) {
+    AOD_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, NextFrame());
+    AOD_ASSIGN_OR_RETURN(DecodedFrame frame, shard::DecodeFrame(raw));
+    switch (frame.type) {
+      case FrameType::kJobStatus: {
+        AOD_ASSIGN_OR_RETURN(WireJobStatus status, DecodeJobStatus(frame));
+        if (status.job_id == job_id) return status;
+        break;
+      }
+      case FrameType::kJobError: {
+        AOD_ASSIGN_OR_RETURN(WireJobError error, DecodeJobError(frame));
+        if (error.job_id == job_id || error.job_id == 0) {
+          return error.status;
+        }
+        break;
+      }
+      case FrameType::kJobResultBatch: {
+        AOD_ASSIGN_OR_RETURN(WireJobResultChunk chunk,
+                             DecodeJobResultChunk(frame));
+        auto& blob = partial_[chunk.job_id];
+        blob.insert(blob.end(), chunk.blob_bytes.begin(),
+                    chunk.blob_bytes.end());
+        if (chunk.final_chunk) {
+          AOD_ASSIGN_OR_RETURN(DiscoveryResult result,
+                               DeserializeResult(blob));
+          partial_.erase(chunk.job_id);
+          done_.emplace(chunk.job_id, std::move(result));
+        }
+        break;
+      }
+      default:
+        return Status::ParseError("unexpected frame type from server");
+    }
+  }
+}
+
+Result<DiscoveryResult> RunRemoteDiscovery(
+    const std::string& host, uint16_t port, const EncodedTable& table,
+    const DiscoveryOptions& options, double deadline_seconds,
+    const DiscoveryClient::Options& client_options) {
+  AOD_ASSIGN_OR_RETURN(std::unique_ptr<DiscoveryClient> client,
+                       DiscoveryClient::Connect(host, port, client_options));
+  AOD_ASSIGN_OR_RETURN(uint64_t job_id,
+                       client->Submit(table, options, deadline_seconds));
+  return client->Await(job_id);
+}
+
+}  // namespace serve
+}  // namespace aod

@@ -1,0 +1,134 @@
+#include "serve/table_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+
+namespace aod {
+namespace serve {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x00000100000001b3ULL;
+
+void FoldBytes(uint64_t* h, const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void FoldU64(uint64_t* h, uint64_t v) { FoldBytes(h, &v, sizeof(v)); }
+
+}  // namespace
+
+uint64_t TableFingerprint(const EncodedTable& table) {
+  uint64_t h = kFnvOffset;
+  FoldU64(&h, static_cast<uint64_t>(table.num_rows()));
+  FoldU64(&h, static_cast<uint64_t>(table.num_columns()));
+  for (int i = 0; i < table.num_columns(); ++i) {
+    const EncodedColumn& col = table.column(i);
+    FoldU64(&h, col.name.size());
+    FoldBytes(&h, col.name.data(), col.name.size());
+    FoldU64(&h, static_cast<uint64_t>(col.cardinality));
+    FoldBytes(&h, col.ranks.data(), col.ranks.size() * sizeof(int32_t));
+  }
+  return h;
+}
+
+bool TableCache::SameContent(const EncodedTable& a, const EncodedTable& b) {
+  if (a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns()) {
+    return false;
+  }
+  for (int i = 0; i < a.num_columns(); ++i) {
+    const EncodedColumn& ca = a.column(i);
+    const EncodedColumn& cb = b.column(i);
+    if (ca.name != cb.name || ca.cardinality != cb.cardinality ||
+        ca.ranks != cb.ranks) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::shared_ptr<const TableCache::Entry> TableCache::Intern(
+    EncodedTable table) {
+  const uint64_t fp = TableFingerprint(table);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(fp);
+    if (it != entries_.end()) {
+      for (const auto& entry : it->second) {
+        if (SameContent(*entry->table, table)) {
+          ++hits_;
+          // Refresh LRU position.
+          for (auto lit = lru_.begin(); lit != lru_.end(); ++lit) {
+            if (lit->second == entry.get()) {
+              lru_.splice(lru_.begin(), lru_, lit);
+              break;
+            }
+          }
+          return entry;
+        }
+      }
+    }
+  }
+  // Build outside the lock — sorting every column is the expensive part,
+  // and concurrent submissions of *different* tables must not serialize
+  // on it. Two racing submissions of the same new table both build; the
+  // second Intern below finds the first's entry and drops its own work.
+  auto entry = std::make_shared<Entry>();
+  entry->table =
+      std::make_shared<const EncodedTable>(std::move(table));
+  entry->bases.reserve(entry->table->num_columns());
+  for (int a = 0; a < entry->table->num_columns(); ++a) {
+    entry->bases.push_back(std::make_shared<const StrippedPartition>(
+        StrippedPartition::FromColumn(entry->table->column(a))));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& bucket = entries_[fp];
+  for (const auto& existing : bucket) {
+    if (SameContent(*existing->table, *entry->table)) {
+      ++hits_;
+      return existing;
+    }
+  }
+  ++misses_;
+  bucket.push_back(entry);
+  lru_.emplace_front(fp, entry.get());
+  while (lru_.size() > capacity_) {
+    auto [old_fp, old_ptr] = lru_.back();
+    lru_.pop_back();
+    auto bit = entries_.find(old_fp);
+    if (bit != entries_.end()) {
+      auto& vec = bit->second;
+      vec.erase(std::remove_if(vec.begin(), vec.end(),
+                               [old_ptr](const auto& e) {
+                                 return e.get() == old_ptr;
+                               }),
+                vec.end());
+      if (vec.empty()) entries_.erase(bit);
+    }
+  }
+  return entry;
+}
+
+size_t TableCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+int64_t TableCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+int64_t TableCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace serve
+}  // namespace aod

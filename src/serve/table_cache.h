@@ -1,0 +1,85 @@
+// Cross-job warm state of the discovery server.
+//
+// Clients of a resident server tend to re-profile the same table (new
+// epsilon, new arity bound, a cleaning iteration), and the cold half of
+// a small-table run is dominated by work that depends only on the table:
+// decoding the submitted kTableBlock and sorting every column into its
+// single-attribute base partition. This cache interns tables by a
+// content fingerprint so that state is built once and shared — a job on
+// a known table skips the decode *and* starts with warm base partitions
+// through DiscoveryOptions::warm_base_partitions.
+//
+// Sharing is safe because everything cached is immutable after
+// construction: jobs read the EncodedTable concurrently (the driver
+// never mutates it) and receive *copies* of the base partitions (the
+// driver's cache mutates its own copy's bookkeeping). Warm starts
+// cannot change discovery output: FromColumn is deterministic, so the
+// cached bases are bit-identical to what the job would have built — the
+// determinism contract is preserved by construction (and pinned by
+// serve_fault_test's server-vs-direct equality).
+#ifndef AOD_SERVE_TABLE_CACHE_H_
+#define AOD_SERVE_TABLE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "data/encoder.h"
+#include "partition/stripped_partition.h"
+
+namespace aod {
+namespace serve {
+
+/// FNV-1a over the table's structural content: row count, column count,
+/// and every column's name, cardinality and rank array. Dictionaries are
+/// excluded on purpose — discovery is pure rank arithmetic, and tables
+/// submitted through kTableBlock arrive without dictionaries anyway.
+uint64_t TableFingerprint(const EncodedTable& table);
+
+class TableCache {
+ public:
+  struct Entry {
+    std::shared_ptr<const EncodedTable> table;
+    /// Base partition per attribute, canonical (FromColumn) form.
+    std::vector<std::shared_ptr<const StrippedPartition>> bases;
+  };
+
+  /// `capacity` bounds the number of resident tables; the least recently
+  /// interned/hit entry is evicted beyond it (jobs still running on an
+  /// evicted entry keep it alive through their shared_ptr).
+  explicit TableCache(size_t capacity = 8) : capacity_(capacity) {}
+  AOD_DISALLOW_COPY_AND_ASSIGN(TableCache);
+
+  /// Returns the resident entry for a table with identical content, or
+  /// builds (and caches) one from `table`. A fingerprint hit is verified
+  /// against the actual rank content before reuse — a 64-bit collision
+  /// must degrade to a duplicate entry, never to running a job against
+  /// the wrong table.
+  std::shared_ptr<const Entry> Intern(EncodedTable table);
+
+  size_t size() const;
+  int64_t hits() const;
+  int64_t misses() const;
+
+ private:
+  static bool SameContent(const EncodedTable& a, const EncodedTable& b);
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  /// Fingerprint -> entries (a bucket holds >1 only after a collision).
+  std::unordered_map<uint64_t, std::vector<std::shared_ptr<const Entry>>>
+      entries_;
+  /// LRU order of (fingerprint, entry) for eviction.
+  std::list<std::pair<uint64_t, const Entry*>> lru_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace serve
+}  // namespace aod
+
+#endif  // AOD_SERVE_TABLE_CACHE_H_

@@ -245,9 +245,14 @@ void SocketShardChannel::WriterLoop() {
         std::lock_guard<std::mutex> lock(mutex_);
         write_status_ = Status::IoError(ErrnoMessage("shard channel write"));
         outgoing_.clear();
+        backlog_bytes_ = 0;
         return;
       }
       sent += static_cast<size_t>(n);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      backlog_bytes_ -= static_cast<int64_t>(frame.size());
     }
   }
   // Orderly flush complete: signal EOF to the peer's receiver. A pipe
@@ -268,6 +273,7 @@ Status SocketShardChannel::Send(std::vector<uint8_t> frame) {
     if (!write_status_.ok()) return write_status_;
     if (closed_) return Status::Closed("send on closed shard channel");
     bytes_sent_ += static_cast<int64_t>(frame.size());
+    backlog_bytes_ += static_cast<int64_t>(frame.size());
     outgoing_.push_back(std::move(frame));
   }
   writer_cv_.notify_one();
@@ -375,9 +381,14 @@ int64_t SocketShardChannel::bytes_received() const {
   return bytes_received_;
 }
 
+int64_t SocketShardChannel::send_backlog_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return backlog_bytes_;
+}
+
 // --------------------------------------------------------------- listener --
 
-Result<std::unique_ptr<SocketListener>> SocketListener::Bind() {
+Result<std::unique_ptr<SocketListener>> SocketListener::Bind(uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return Status::IoError(ErrnoMessage("socket"));
   const int one = 1;
@@ -385,7 +396,7 @@ Result<std::unique_ptr<SocketListener>> SocketListener::Bind() {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // ephemeral
+  addr.sin_port = htons(port);  // 0 = ephemeral
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
     return Status::IoError(ErrnoMessage("bind"));

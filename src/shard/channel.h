@@ -208,6 +208,14 @@ class SocketShardChannel final : public ShardChannel {
   int64_t bytes_sent() const override;
   int64_t bytes_received() const override;
 
+  /// Bytes accepted by Send but not yet written to the fd — the depth of
+  /// the writer thread's queue. The queue itself is unbounded (so a
+  /// single-threaded coordinator/runner pair can never deadlock on
+  /// kernel buffers); a server streaming results to untrusted clients
+  /// polls this and drops the connection of a reader that stops reading,
+  /// which is where the slow-reader bound belongs (src/serve/server.cc).
+  int64_t send_backlog_bytes() const;
+
  private:
   SocketShardChannel(int read_fd, int write_fd, bool is_socket,
                      ChannelOptions options);
@@ -240,6 +248,9 @@ class SocketShardChannel final : public ShardChannel {
   bool write_fd_closed_ = false;
   int64_t bytes_sent_ = 0;
   int64_t bytes_received_ = 0;
+  /// Enqueued-but-unwritten bytes, including a frame mid-write; zeroed
+  /// when a write error abandons the queue.
+  int64_t backlog_bytes_ = 0;
   std::thread writer_;
 };
 
@@ -259,11 +270,12 @@ struct LoopbackChannelPair {
 Result<LoopbackChannelPair> ConnectLoopbackPair(double timeout_seconds,
                                                 ChannelOptions options = {});
 
-/// Accepts coordinator-side connections for socket/process transports.
-/// Binds 127.0.0.1 on an ephemeral port; never listens off-loopback.
+/// Accepts coordinator-side connections for socket/process transports
+/// and for the serving layer. Binds 127.0.0.1 on an ephemeral port (or
+/// a requested one); never listens off-loopback.
 class SocketListener {
  public:
-  static Result<std::unique_ptr<SocketListener>> Bind();
+  static Result<std::unique_ptr<SocketListener>> Bind(uint16_t port = 0);
   ~SocketListener();
   AOD_DISALLOW_COPY_AND_ASSIGN(SocketListener);
 

@@ -62,6 +62,11 @@ Status ShardRunner::ServeOne(const std::function<bool()>& cancel,
     case FrameType::kConfigBlock:
     case FrameType::kStatsFooter:
     case FrameType::kBatch:  // the receiver already unwrapped envelopes
+    case FrameType::kJobSubmit:  // serve-layer vocabulary; never shard-bound
+    case FrameType::kJobStatus:
+    case FrameType::kJobResultBatch:
+    case FrameType::kJobError:
+    case FrameType::kCancel:
       break;
   }
   return Status::InvalidArgument("unexpected frame type on shard inbox");

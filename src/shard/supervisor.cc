@@ -357,12 +357,18 @@ void ShardSupervisor::DestroyAttempt(std::unique_ptr<Attempt> attempt) {
 }
 
 Status ShardSupervisor::Start() {
+  Status st = Status::OK();
   for (int attempt_try = 0;; ++attempt_try) {
     if (attempt_try > 0) {
       ++retries_;
       Backoff(attempt_try, {}, {});
+      // Backoff is clamped to the remaining run deadline, so on a tight
+      // budget the park wakes *at* the deadline; another establish
+      // attempt would still cost its bounded I/O floor. Surface the
+      // fault that triggered the retry instead of overshooting.
+      if (DeadlineExpired()) return st;
     }
-    const Status st = EstablishCurrent(/*force_inproc=*/false, {});
+    st = EstablishCurrent(/*force_inproc=*/false, {});
     if (st.ok()) return st;
     if (strict()) return st;  // partial attempt stays for the Finish reap
     Teardown(&current_);
@@ -387,12 +393,17 @@ Status ShardSupervisor::ExecuteLevel(const std::vector<WireCandidate>& batch,
                                      const std::function<bool()>& cancel,
                                      const std::function<bool()>& abandoned,
                                      std::vector<WireOutcome>* out) {
+  Status st = Status::OK();
   for (int attempt_try = 0;; ++attempt_try) {
     if (attempt_try > 0) {
       ++retries_;
       Backoff(attempt_try, cancel, abandoned);
+      // Same rule as Start: a backoff that woke at the clamped deadline
+      // must not buy one more attempt (each attempt is bounded below by
+      // the I/O-timeout floor, so overshoot compounds per retry).
+      if (DeadlineExpired()) return st;
     }
-    Status st;
+    st = Status::OK();
     {
       std::lock_guard<std::mutex> lock(attempts_mutex_);
       if (current_ == nullptr) st = Status::Internal("no live shard attempt");

@@ -204,7 +204,7 @@ Result<DecodedFrame> DecodeFrame(const uint8_t* data, size_t size) {
   }
   const uint16_t raw_type = LoadU16(data + 6);
   if (raw_type < static_cast<uint16_t>(FrameType::kPartitionBlock) ||
-      raw_type > static_cast<uint16_t>(FrameType::kBatch)) {
+      raw_type > static_cast<uint16_t>(FrameType::kCancel)) {
     return Status::ParseError("unknown wire frame type " +
                               std::to_string(raw_type));
   }

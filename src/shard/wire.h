@@ -93,6 +93,34 @@ enum class FrameType : uint16_t {
   /// must not themselves be kBatch. One envelope counts as its inner
   /// frames for the frames_served conversation cross-check.
   kBatch = 8,
+
+  // --- The serving vocabulary (src/serve/) ---------------------------
+  // The discovery-as-a-service job protocol between a DiscoveryClient
+  // and a long-lived DiscoveryServer. It rides the same frame layer
+  // (magic/version/checksum, bounded decode) so a job submission gets
+  // the identical malformed-input protection as the shard seam; the
+  // encoders/decoders live in src/serve/serve_wire.{h,cc}.
+  /// Client -> server: one discovery job — a DiscoveryOptions subset
+  /// plus the table (inline kTableBlock bytes, or a server-side CSV
+  /// path reference).
+  kJobSubmit = 9,
+  /// Server -> client: acceptance + lifecycle/progress updates for one
+  /// job (queued/running/done, queue position, level progress). Also
+  /// client -> server as a bare job-id query.
+  kJobStatus = 10,
+  /// Server -> client: one chunk of a finished job's result, chunked
+  /// like kResultBatch (final-chunk flag; the final chunk carries the
+  /// stats and the terminal status), so large result sets stream
+  /// instead of materializing one giant frame.
+  kJobResultBatch = 11,
+  /// Server -> client: a typed job rejection or failure —
+  /// StatusCode::kOverloaded (admission control), kShuttingDown
+  /// (drain), kInvalidArgument (malformed submission), carried as a
+  /// code + message.
+  kJobError = 12,
+  /// Client -> server: abandon a submitted job; the server cancels it
+  /// cooperatively and reclaims its resources.
+  kCancel = 13,
 };
 
 // Payload codec identifiers — the per-frame flags byte. "Raw" is always

@@ -161,6 +161,107 @@ TEST(ResultIoTest, CsvHasOneRowPerDependency) {
   EXPECT_EQ(parsed.num_columns(), 9);
 }
 
+// ------------------------------------------------------- binary blob --
+
+TEST(ResultIoTest, BinaryBlobRoundTripIsLossless) {
+  // A real result with removal sets, then every field that does NOT
+  // come out of a local fault-free run forced to a non-default value:
+  // the PR 7 supervision counters, per-shard byte accounting, a non-OK
+  // shard_status and both terminal flags. The blob must carry all of it.
+  EncodedTable t = testing_util::PaperEncoded();
+  DiscoveryOptions options;
+  options.epsilon = 0.2;
+  options.collect_removal_sets = true;
+  DiscoveryResult result = DiscoverOds(t, options);
+  ASSERT_FALSE(result.ocs.empty());
+
+  result.stats.shards_used = 3;
+  result.stats.shard_bytes_shipped = 123456;
+  result.stats.shard_bytes_per_shard = {1000, 20000, 102456};
+  result.stats.shard_bytes_raw = 200000;
+  result.stats.shard_bytes_wire = 123456;
+  result.stats.shard_frame_bytes = {{"partition", 5000, 2500},
+                                    {"result", 800, 700}};
+  result.stats.shard_retries = 4;
+  result.stats.shard_respawns = 2;
+  result.stats.shard_speculative_wins = 1;
+  result.stats.shard_speculative_losses = 1;
+  result.stats.shard_fallback_shards = 1;
+  result.stats.shard_footers_missing = 2;
+  result.timed_out = true;
+  result.cancelled = true;
+  result.shard_status = Status::IoError("shard 2 never came back");
+
+  std::vector<uint8_t> blob = SerializeResult(result);
+  Result<DiscoveryResult> back = DeserializeResult(blob);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  ASSERT_EQ(back->ocs.size(), result.ocs.size());
+  for (size_t i = 0; i < result.ocs.size(); ++i) {
+    EXPECT_TRUE(back->ocs[i].oc == result.ocs[i].oc);
+    EXPECT_EQ(back->ocs[i].approx_factor, result.ocs[i].approx_factor);
+    EXPECT_EQ(back->ocs[i].removal_size, result.ocs[i].removal_size);
+    EXPECT_EQ(back->ocs[i].level, result.ocs[i].level);
+    EXPECT_EQ(back->ocs[i].interestingness, result.ocs[i].interestingness);
+    EXPECT_EQ(back->ocs[i].removal_rows, result.ocs[i].removal_rows);
+  }
+  ASSERT_EQ(back->ofds.size(), result.ofds.size());
+  for (size_t i = 0; i < result.ofds.size(); ++i) {
+    EXPECT_TRUE(back->ofds[i].ofd == result.ofds[i].ofd);
+    EXPECT_EQ(back->ofds[i].approx_factor, result.ofds[i].approx_factor);
+    EXPECT_EQ(back->ofds[i].removal_rows, result.ofds[i].removal_rows);
+  }
+  const DiscoveryStats& s = back->stats;
+  EXPECT_EQ(s.shards_used, 3);
+  EXPECT_EQ(s.shard_bytes_shipped, 123456);
+  EXPECT_EQ(s.shard_bytes_per_shard, result.stats.shard_bytes_per_shard);
+  EXPECT_EQ(s.shard_bytes_raw, 200000);
+  EXPECT_EQ(s.shard_bytes_wire, 123456);
+  ASSERT_EQ(s.shard_frame_bytes.size(), 2u);
+  EXPECT_EQ(s.shard_frame_bytes[0].frame_type, "partition");
+  EXPECT_EQ(s.shard_frame_bytes[0].bytes_raw, 5000);
+  EXPECT_EQ(s.shard_frame_bytes[1].bytes_wire, 700);
+  EXPECT_EQ(s.shard_retries, 4);
+  EXPECT_EQ(s.shard_respawns, 2);
+  EXPECT_EQ(s.shard_speculative_wins, 1);
+  EXPECT_EQ(s.shard_speculative_losses, 1);
+  EXPECT_EQ(s.shard_fallback_shards, 1);
+  EXPECT_EQ(s.shard_footers_missing, 2);
+  EXPECT_EQ(s.nodes_processed, result.stats.nodes_processed);
+  EXPECT_EQ(s.ocs_per_level, result.stats.ocs_per_level);
+  EXPECT_TRUE(back->timed_out);
+  EXPECT_TRUE(back->cancelled);
+  EXPECT_EQ(back->shard_status.code(), StatusCode::kIoError);
+  EXPECT_EQ(back->shard_status.message(), "shard 2 never came back");
+
+  // Serializing the deserialized result reproduces the exact bytes —
+  // the strongest form of losslessness.
+  EXPECT_EQ(SerializeResult(*back), blob);
+}
+
+TEST(ResultIoTest, BinaryBlobRejectsTruncationAndCorruption) {
+  EncodedTable t = testing_util::PaperEncoded();
+  DiscoveryOptions options;
+  options.collect_removal_sets = true;
+  DiscoveryResult result = DiscoverOds(t, options);
+  const std::vector<uint8_t> blob = SerializeResult(result);
+
+  // Every truncation is a clean ParseError, never a crash or a
+  // misparse into a different result.
+  for (size_t len = 0; len < blob.size(); ++len) {
+    Result<DiscoveryResult> r = DeserializeResult(blob.data(), len);
+    EXPECT_FALSE(r.ok()) << "truncation at " << len << " parsed";
+  }
+  // Trailing garbage is rejected too (ExpectEnd).
+  std::vector<uint8_t> padded = blob;
+  padded.push_back(0);
+  EXPECT_FALSE(DeserializeResult(padded).ok());
+  // A wrong version byte is rejected before anything else is read.
+  std::vector<uint8_t> wrong_version = blob;
+  wrong_version[0] ^= 0xFF;
+  EXPECT_FALSE(DeserializeResult(wrong_version).ok());
+}
+
 TEST(ResultIoTest, WriteStringToFileRoundTrip) {
   std::string path = ::testing::TempDir() + "/aod_result_io_test.json";
   ASSERT_TRUE(WriteStringToFile(path, "{\"x\": 1}\n").ok());

@@ -1,6 +1,8 @@
 // Tests for src/common: Status/Result, string utilities, stopwatch, logging.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "common/logging.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -30,11 +32,39 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Closed("x").code(), StatusCode::kClosed);
+  EXPECT_EQ(Status::Overloaded("x").code(), StatusCode::kOverloaded);
+  EXPECT_EQ(Status::ShuttingDown("x").code(), StatusCode::kShuttingDown);
 }
 
 TEST(StatusCodeTest, NamesAreStable) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kClosed), "Closed");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOverloaded), "Overloaded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kShuttingDown),
+               "ShuttingDown");
+}
+
+// The serve layer's typed rejections: kOverloaded means "retry later",
+// kShuttingDown means "fail over" — callers branch on the code, so the
+// codes (and their printed names) are load-bearing API.
+TEST(StatusTest, ServeRejectionsAreDistinctAndPrintable) {
+  const Status overloaded = Status::Overloaded("queue full");
+  const Status draining = Status::ShuttingDown("drain in progress");
+  EXPECT_NE(overloaded.code(), draining.code());
+  EXPECT_EQ(overloaded.ToString(), "Overloaded: queue full");
+  EXPECT_EQ(draining.ToString(), "ShuttingDown: drain in progress");
+}
+
+TEST(StatusTest, StreamInsertionMatchesToString) {
+  std::ostringstream code_os;
+  code_os << StatusCode::kOverloaded;
+  EXPECT_EQ(code_os.str(), "Overloaded");
+
+  std::ostringstream status_os;
+  status_os << Status::ShuttingDown("bye") << " / " << Status::OK();
+  EXPECT_EQ(status_os.str(), "ShuttingDown: bye / OK");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -306,6 +306,44 @@ TEST(ShardSupervisorInprocTest, TransientFaultRetriesInPlace) {
   EXPECT_EQ(result.stats.shard_fallback_shards, 0);
 }
 
+// A tight run budget must bound the whole retry ladder, backoff parks
+// included: with a persistent fault, a generous backoff base and a
+// ~0.4 s budget, the run must return promptly — the supervisor clamps
+// every park to the remaining deadline and exits the ladder the moment
+// the deadline expires, instead of sleeping out the configured backoff
+// schedule (which alone would cost many seconds across shards).
+TEST(ShardSupervisorInprocTest, TightBudgetBoundsBackoffParks) {
+  Table t = GenerateNcVoterTable(120, 4, 7);
+  EncodedTable enc = EncodeTable(t);
+
+  DiscoveryOptions options =
+      SupervisedOptions(ShardTransport::kInProcess, "");
+  options.shard_retry_backoff_ms = 30000.0;  // absurd on purpose
+  options.time_budget_seconds = 0.4;
+  options.shard_channel_decorator =
+      [](std::unique_ptr<ShardChannel> inner)
+      -> std::unique_ptr<ShardChannel> {
+    FlakyChannel::Plan plan;
+    plan.fault = FlakyChannel::Fault::kTornWrite;
+    plan.trigger_after = 0;  // no budget: every attempt faults
+    return std::make_unique<FlakyChannel>(std::move(inner), plan);
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  DiscoveryResult result = DiscoverOds(enc, options);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  // Well under a single un-clamped park (capped at 2 s each, several
+  // per shard); generous slack for loaded CI machines.
+  EXPECT_LT(elapsed, 6.0);
+  // The run ended in a coherent terminal state: either the deadline
+  // surfaced as a partial result, or the persistent fault as a typed
+  // error — never a hang (the bound above) or a crash.
+  EXPECT_TRUE(result.timed_out || !result.shard_status.ok());
+}
+
 // Straggler speculation: one shard's receive path stalls for ~2.5 s on
 // an otherwise healthy link. Once its sibling finished the level, the
 // supervisor launches a backup attempt past speculation_factor x the
