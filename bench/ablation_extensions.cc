@@ -48,7 +48,7 @@ void ParallelAblation() {
     double secs = sw.ElapsedSeconds();
     if (threads == 1) base = secs;
     std::printf("%8d  %10.3f  %7.2fx  %6zu\n", threads, secs,
-                base / (secs > 0 ? secs : 1e-9), result.ocs.size());
+                base / (secs > 0 ? secs : 1e-9), result.Ocs().size());
   }
 }
 
@@ -127,12 +127,15 @@ void BidirectionalAblation() {
     Stopwatch sw;
     DiscoveryResult result = DiscoverOds(enc, options);
     double secs = sw.ElapsedSeconds();
+    const auto ocs = result.Ocs();
     int64_t opposite = 0;
-    for (const auto& d : result.ocs) opposite += d.oc.opposite ? 1 : 0;
+    for (const DiscoveredDependency* d : ocs) {
+      opposite += d->opposite ? 1 : 0;
+    }
     std::printf("%-15s %8.3fs  %4zu OCs (%lld with desc polarity), "
                 "%lld OC validations\n",
                 bid ? "bidirectional:" : "unidirectional:", secs,
-                result.ocs.size(), static_cast<long long>(opposite),
+                ocs.size(), static_cast<long long>(opposite),
                 static_cast<long long>(
                     result.stats.oc_candidates_validated));
   }

@@ -48,6 +48,8 @@ struct RunResult {
   bool timed_out = false;
   int64_t ocs = 0;
   int64_t ofds = 0;
+  int64_t fds = 0;
+  int64_t afds = 0;
   double avg_oc_level = 0.0;
   double oc_validation_share = 0.0;
   DiscoveryResult full;
@@ -62,8 +64,10 @@ inline RunResult RunDiscoveryWithOptions(const EncodedTable& table,
   RunResult out;
   out.seconds = sw.ElapsedSeconds();
   out.timed_out = result.timed_out;
-  out.ocs = static_cast<int64_t>(result.ocs.size());
-  out.ofds = static_cast<int64_t>(result.ofds.size());
+  out.ocs = result.CountOfKind(DependencyKind::kOc);
+  out.ofds = result.CountOfKind(DependencyKind::kOfd);
+  out.fds = result.CountOfKind(DependencyKind::kFd);
+  out.afds = result.CountOfKind(DependencyKind::kAfd);
   out.avg_oc_level = result.stats.AverageOcLevel();
   out.oc_validation_share = result.stats.OcValidationShare();
   out.full = std::move(result);
@@ -104,6 +108,30 @@ inline const char* JsonPathArg(int argc, char** argv) {
     if (std::string(argv[i]) == "--json") return argv[i + 1];
   }
   return nullptr;
+}
+
+/// Returns the dependency-kind set from a `--kinds=oc,ofd,fd,afd` (or
+/// `--kinds <spec>`) flag, defaulting to the classic OC+OFD series.
+/// Aborts on an unparseable spec — a bench run over the wrong kinds is
+/// worse than no run.
+inline DependencyKindSet KindsArg(int argc, char** argv) {
+  std::string spec;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg.rfind("--kinds=", 0) == 0) {
+      spec = arg.substr(8);
+    } else if (arg == "--kinds" && i + 1 < argc) {
+      spec = argv[i + 1];
+    }
+  }
+  if (spec.empty()) return DependencyKindSet::OdDefault();
+  Result<DependencyKindSet> parsed = DependencyKindSet::Parse(spec);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bad --kinds '%s': %s\n", spec.c_str(),
+                 parsed.status().ToString().c_str());
+    std::exit(2);
+  }
+  return *parsed;
 }
 
 }  // namespace bench

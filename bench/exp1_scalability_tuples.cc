@@ -39,23 +39,35 @@ struct DatasetSeries {
 };
 
 DatasetSeries RunDataset(const char* name, bool flight,
-                         const std::vector<int64_t>& base_rows) {
+                         const std::vector<int64_t>& base_rows,
+                         DependencyKindSet kinds) {
+  const bool targets = kinds.Contains(DependencyKind::kFd) ||
+                       kinds.Contains(DependencyKind::kAfd);
   DatasetSeries series;
   series.name = name;
-  std::printf("\n--- %s (10 attributes, eps = 10%%) ---\n", name);
-  std::printf("%10s  %12s %6s | %12s %6s | %12s %6s\n", "rows", "OD(s)",
-              "#OC", "AODopt(s)", "#AOC", "AODiter(s)", "#AOC");
+  std::printf("\n--- %s (10 attributes, eps = 10%%, kinds = %s) ---\n",
+              name, kinds.ToString().c_str());
+  std::printf("%10s  %12s %6s | %12s %6s | %12s %6s%s\n", "rows", "OD(s)",
+              "#OC", "AODopt(s)", "#AOC", "AODiter(s)", "#AOC",
+              targets ? " | #FD #AFD (opt)" : "");
   for (int64_t base : base_rows) {
     Row row;
     row.rows = ScaledRows(base);
     Table t = flight ? GenerateFlightTable(row.rows, 10, 42)
                      : GenerateNcVoterTable(row.rows, 10, 1729);
     EncodedTable enc = EncodeTable(t);
-    row.exact = RunDiscovery(enc, ValidatorKind::kExact, 0.10);
-    row.optimal = RunDiscovery(enc, ValidatorKind::kOptimal, 0.10);
-    row.iterative = RunDiscovery(enc, ValidatorKind::kIterative, 0.10,
-                                 IterativeBudget());
-    std::printf("%10lld  %12s %6lld | %12s %6lld | %12s %6lld\n",
+    auto run = [&](ValidatorKind v, double budget) {
+      DiscoveryOptions options;
+      options.validator = v;
+      options.epsilon = 0.10;
+      options.time_budget_seconds = budget;
+      options.kinds = kinds;
+      return RunDiscoveryWithOptions(enc, options);
+    };
+    row.exact = run(ValidatorKind::kExact, 0.0);
+    row.optimal = run(ValidatorKind::kOptimal, 0.0);
+    row.iterative = run(ValidatorKind::kIterative, IterativeBudget());
+    std::printf("%10lld  %12s %6lld | %12s %6lld | %12s %6lld",
                 static_cast<long long>(row.rows),
                 TimeCell(row.exact).c_str(),
                 static_cast<long long>(row.exact.ocs),
@@ -63,6 +75,12 @@ DatasetSeries RunDataset(const char* name, bool flight,
                 static_cast<long long>(row.optimal.ocs),
                 TimeCell(row.iterative).c_str(),
                 static_cast<long long>(row.iterative.ocs));
+    if (targets) {
+      std::printf(" | %5lld %5lld",
+                  static_cast<long long>(row.optimal.fds),
+                  static_cast<long long>(row.optimal.afds));
+    }
+    std::printf("\n");
     series.rows.push_back(std::move(row));
   }
   return series;
@@ -72,19 +90,24 @@ void WriteRunJson(FILE* f, const char* key, const RunResult& r,
                   const char* trailer) {
   std::fprintf(f,
                "        \"%s\": {\"seconds\": %.6f, \"timed_out\": %s, "
-               "\"ocs\": %lld, \"ofds\": %lld}%s\n",
+               "\"ocs\": %lld, \"ofds\": %lld, \"fds\": %lld, "
+               "\"afds\": %lld}%s\n",
                key, r.seconds, r.timed_out ? "true" : "false",
                static_cast<long long>(r.ocs),
-               static_cast<long long>(r.ofds), trailer);
+               static_cast<long long>(r.ofds),
+               static_cast<long long>(r.fds),
+               static_cast<long long>(r.afds), trailer);
 }
 
-int WriteJson(const char* path, const std::vector<DatasetSeries>& all) {
+int WriteJson(const char* path, const std::vector<DatasetSeries>& all,
+              DependencyKindSet kinds) {
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path);
     return 1;
   }
   std::fprintf(f, "{\n  \"bench\": \"exp1_scalability_tuples\",\n");
+  std::fprintf(f, "  \"kinds\": \"%s\",\n", kinds.ToString().c_str());
   std::fprintf(f, "  \"scale\": %.4f,\n  \"datasets\": [\n", Scale());
   for (size_t d = 0; d < all.size(); ++d) {
     const DatasetSeries& series = all[d];
@@ -114,6 +137,7 @@ int WriteJson(const char* path, const std::vector<DatasetSeries>& all) {
 int main(int argc, char** argv) {
   using namespace aod::bench;
   const char* json_path = JsonPathArg(argc, argv);
+  const aod::DependencyKindSet kinds = KindsArg(argc, argv);
   PrintHeaderLine("Exp-1 / Figure 2: scalability in the number of tuples");
   std::printf("scale=%.2f (paper sizes ~ scale 40), iterative budget=%.0fs"
               " (paper cap: 24h)\n",
@@ -125,12 +149,13 @@ int main(int argc, char** argv) {
 
   std::vector<DatasetSeries> all;
   all.push_back(RunDataset("flight", /*flight=*/true,
-                           {5000, 10000, 15000, 20000, 25000}));
+                           {5000, 10000, 15000, 20000, 25000}, kinds));
   all.push_back(RunDataset("ncvoter", /*flight=*/false,
-                           {2500, 10000, 20000, 30000, 40000, 50000}));
+                           {2500, 10000, 20000, 30000, 40000, 50000},
+                           kinds));
 
   PrintNote("\n'*' marks runs that exceeded the time budget (reported time"
             " is the elapsed time at abort; results partial).");
-  if (json_path != nullptr) return WriteJson(json_path, all);
+  if (json_path != nullptr) return WriteJson(json_path, all, kinds);
   return 0;
 }

@@ -38,10 +38,10 @@ void RunDataset(const char* name, bool flight, double eps) {
   approx.full.SortByInterestingness();
   std::printf("top AOCs by interestingness:\n");
   size_t shown = 0;
-  for (const auto& d : approx.full.ocs) {
+  for (const DiscoveredDependency* d : approx.full.Ocs()) {
     if (shown++ >= 8) break;
-    std::printf("  score=%.4f e=%5.2f%%  %s\n", d.interestingness,
-                100.0 * d.approx_factor, d.oc.ToString(enc).c_str());
+    std::printf("  score=%.4f e=%5.2f%%  %s\n", d->interestingness,
+                100.0 * d->error, d->Oc().ToString(enc).c_str());
   }
 }
 

@@ -17,6 +17,7 @@
 #include "gen/random.h"
 #include "od/aoc_iterative_validator.h"
 #include "od/aoc_lis_validator.h"
+#include "od/fd_validator.h"
 #include "od/oc_validator.h"
 #include "od/ofd_validator.h"
 #include "partition/stripped_partition.h"
@@ -126,6 +127,44 @@ void BM_ValidateOfdApprox(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ValidateOfdApprox)->Range(1 << 10, 1 << 17);
+
+// The target is functionally determined by the context, so the holding
+// case is measured: the refinement test must walk every class to the
+// end instead of bailing at the first split.
+void BM_ValidateFdExact(benchmark::State& state) {
+  Table raw = GenerateTable(
+      {{.name = "ctx", .kind = ColumnKind::kUniformInt, .cardinality = 64},
+       {.name = "a", .kind = ColumnKind::kDerivedPermuted,
+        .cardinality = 64, .base_column = 0}},
+      state.range(0), 5);
+  EncodedTable t = EncodeTable(raw);
+  auto partition = StrippedPartition::FromColumn(t.column(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ValidateFdExact(t, partition, 1));
+  }
+}
+BENCHMARK(BM_ValidateFdExact)->Range(1 << 10, 1 << 17);
+
+// The g1 frequency pass over every context class: one histogram per
+// class, violations = |c|^2 - sum cnt^2. Same workload shape as the
+// OFD row so the two approximate target validators are comparable.
+void BM_ValidateAfdG1(benchmark::State& state) {
+  Table raw = GenerateTable(
+      {{.name = "ctx", .kind = ColumnKind::kUniformInt, .cardinality = 64},
+       {.name = "a", .kind = ColumnKind::kUniformInt, .cardinality = 16}},
+      state.range(0), 5);
+  EncodedTable t = EncodeTable(raw);
+  auto partition = StrippedPartition::FromColumn(t.column(0));
+  ValidatorOptions options;
+  options.early_exit = false;  // measure the full pass, not the bail-out
+  ValidatorScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ValidateAfdG1(t, partition, 1, 0.10, t.num_rows(), options,
+                      &scratch));
+  }
+}
+BENCHMARK(BM_ValidateAfdG1)->Range(1 << 10, 1 << 17);
 
 void BM_PartitionProduct(benchmark::State& state) {
   Table raw = GenerateTable(

@@ -205,13 +205,15 @@ std::vector<WireCandidate> MakeCandidates(int64_t n) {
     WireCandidate c;
     c.slot = static_cast<uint64_t>(i);
     c.context_bits = static_cast<uint64_t>(rng.UniformInt(0, 1 << 10));
-    c.is_ofd = (i % 3) == 0;
-    if (c.is_ofd) {
-      c.ofd_target = static_cast<int32_t>(i % 10);
-    } else {
+    // Every kind appears in the measured mix, target and pair shapes
+    // alike.
+    c.kind = static_cast<DependencyKind>(i % 4);
+    if (c.kind == DependencyKind::kOc) {
       c.pair_a = static_cast<int32_t>(i % 9);
       c.pair_b = static_cast<int32_t>(i % 9 + 1);
       c.opposite = (i % 2) == 0;
+    } else {
+      c.target = static_cast<int32_t>(i % 10);
     }
     out.push_back(c);
   }
@@ -224,6 +226,7 @@ std::vector<WireOutcome> MakeOutcomes(int64_t n, bool removal_rows) {
   for (int64_t i = 0; i < n; ++i) {
     WireOutcome o;
     o.slot = static_cast<uint64_t>(i);
+    o.kind = static_cast<DependencyKind>(i % 4);
     o.valid = (i % 2) == 0;
     o.early_exit = (i % 5) == 0;
     o.removal_size = rng.UniformInt(0, 200);

@@ -7,6 +7,14 @@
 //
 //   ./examples/csv_discovery [file.csv] [options]
 //     --epsilon=0.10        approximation threshold
+//     --kinds=oc,ofd        dependency kinds to discover — any comma
+//                           subset of oc, ofd, fd, afd; each kind's
+//                           results are identical whether discovered
+//                           alone or together
+//     --afd-error=0.05      maximum g1 error for the afd kind
+//     --top-k=N             keep only the N highest-ranked dependencies
+//                           across all kinds (0 = all; deterministic
+//                           for any thread/shard count)
 //     --max-rows=N          read only the first N data rows
 //     --validator=optimal   optimal | iterative | exact
 //     --bidirectional       also search A asc ~ B desc polarity
@@ -67,6 +75,12 @@ constexpr char kEmbeddedSample[] =
 struct Args {
   std::string file;
   double epsilon = 0.10;
+  DependencyKindSet kinds = DependencyKindSet::OdDefault();
+  /// Set when --kinds was passed; gates the per-kind count report so the
+  /// default output stays byte-identical to earlier releases.
+  bool kinds_explicit = false;
+  double afd_error = 0.05;
+  int64_t top_k = 0;
   int64_t max_rows = -1;
   ValidatorKind validator = ValidatorKind::kOptimal;
   bool bidirectional = false;
@@ -95,6 +109,29 @@ Args ParseArgs(int argc, char** argv) {
     };
     if (const char* v = value_of("--epsilon=")) {
       args.epsilon = std::atof(v);
+    } else if (const char* v = value_of("--kinds=")) {
+      Result<DependencyKindSet> kinds = DependencyKindSet::Parse(v);
+      if (!kinds.ok()) {
+        std::fprintf(stderr, "--kinds: %s\n",
+                     kinds.status().ToString().c_str());
+        args.ok = false;
+      } else {
+        args.kinds = *kinds;
+        args.kinds_explicit = true;
+      }
+    } else if (const char* v = value_of("--afd-error=")) {
+      args.afd_error = std::atof(v);
+      if (!(args.afd_error >= 0.0 && args.afd_error <= 1.0)) {
+        std::fprintf(stderr, "--afd-error: want a g1 fraction in [0, 1],"
+                             " got '%s'\n", v);
+        args.ok = false;
+      }
+    } else if (const char* v = value_of("--top-k=")) {
+      args.top_k = std::atoll(v);
+      if (args.top_k < 0) {
+        std::fprintf(stderr, "--top-k: want >= 0 (0 = all), got '%s'\n", v);
+        args.ok = false;
+      }
     } else if (const char* v = value_of("--max-rows=")) {
       args.max_rows = std::atoll(v);
     } else if (const char* v = value_of("--validator=")) {
@@ -180,6 +217,9 @@ int main(int argc, char** argv) {
   EncodedTable enc = EncodeTable(*table);
   DiscoveryOptions options;
   options.epsilon = args.epsilon;
+  options.kinds = args.kinds;
+  options.afd_error = args.afd_error;
+  options.top_k = args.top_k;
   options.validator = args.validator;
   options.bidirectional = args.bidirectional;
   options.num_threads = args.threads;
@@ -226,6 +266,20 @@ int main(int argc, char** argv) {
   std::printf("approximate order dependencies (%s, eps = %.0f%%):\n%s",
               ValidatorKindToString(options.validator),
               100.0 * options.epsilon, result.Summary(enc, 25).c_str());
+
+  if (args.kinds_explicit) {
+    std::printf("\nper kind:");
+    bool first = true;
+    for (int k = 0; k < kNumDependencyKinds; ++k) {
+      const DependencyKind kind = static_cast<DependencyKind>(k);
+      if (!options.kinds.Contains(kind)) continue;
+      std::printf("%s %lld %s", first ? "" : ",",
+                  static_cast<long long>(result.CountOfKind(kind)),
+                  DependencyKindToString(kind));
+      first = false;
+    }
+    std::printf("\n");
+  }
 
   if (args.assemble_ods) {
     PartitionCache cache(&enc);

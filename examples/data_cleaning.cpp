@@ -49,11 +49,12 @@ int main(int argc, char** argv) {
   options.epsilon = 0.10;
   DiscoveryResult result = DiscoverOds(enc, options);
   result.SortByInterestingness();
-  std::printf("\ndiscovered %zu AOCs; top ranked:\n", result.ocs.size());
-  for (size_t i = 0; i < result.ocs.size() && i < 5; ++i) {
-    const auto& d = result.ocs[i];
+  const auto ocs = result.Ocs();
+  std::printf("\ndiscovered %zu AOCs; top ranked:\n", ocs.size());
+  for (size_t i = 0; i < ocs.size() && i < 5; ++i) {
+    const DiscoveredDependency& d = *ocs[i];
     std::printf("  score=%.4f e=%5.2f%%  %s\n", d.interestingness,
-                100.0 * d.approx_factor, d.oc.ToString(enc).c_str());
+                100.0 * d.error, d.Oc().ToString(enc).c_str());
   }
 
   // Step 2: a domain expert confirms regNum ~ registrationDate is

@@ -38,19 +38,19 @@ int main(int argc, char** argv) {
   approx_result.SortByInterestingness();
 
   std::printf("exact discovery:        %4zu OCs, %4zu OFDs (%.2fs)\n",
-              exact_result.ocs.size(), exact_result.ofds.size(),
+              exact_result.Ocs().size(), exact_result.Ofds().size(),
               exact_result.stats.total_seconds);
   std::printf("approximate discovery:  %4zu AOCs, %4zu AOFDs (%.2fs)\n",
-              approx_result.ocs.size(), approx_result.ofds.size(),
+              approx_result.Ocs().size(), approx_result.Ofds().size(),
               approx_result.stats.total_seconds);
 
   std::printf("\ntop approximate OCs by interestingness:\n");
   size_t shown = 0;
-  for (const auto& d : approx_result.ocs) {
+  for (const DiscoveredDependency* d : approx_result.Ocs()) {
     if (shown++ >= 10) break;
     std::printf("  score=%.4f  e=%5.2f%%  level=%d  %s\n",
-                d.interestingness, 100.0 * d.approx_factor, d.level,
-                d.oc.ToString(enc).c_str());
+                d->interestingness, 100.0 * d->error, d->level,
+                d->Oc().ToString(enc).c_str());
   }
 
   // Zoom in on the headline dependency.

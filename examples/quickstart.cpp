@@ -102,9 +102,10 @@ int main() {
   DiscoveryResult parallel = DiscoverOds(enc, options);
   std::printf("\nparallel rerun on %d worker(s): %zu OCs, %zu OFDs —"
               " identical to the serial run: %s\n",
-              pool.num_workers(), parallel.ocs.size(), parallel.ofds.size(),
-              parallel.ocs.size() == result.ocs.size() &&
-                      parallel.ofds.size() == result.ofds.size()
+              pool.num_workers(), parallel.Ocs().size(),
+              parallel.Ofds().size(),
+              parallel.Ocs().size() == result.Ocs().size() &&
+                      parallel.Ofds().size() == result.Ofds().size()
                   ? "yes"
                   : "NO (bug!)");
   return 0;

@@ -1,0 +1,148 @@
+// Scenario: diff two serialized discovery results.
+//
+// Profiling runs on evolving data (or under different thresholds) leave
+// behind result blobs (od/result_io.h, SerializeResult — also what
+// discovery_serve streams to its clients). This tool compares two of
+// them by dependency identity and reports what changed:
+//
+//   ./examples/result_diff old.blob new.blob [--error-tol=0.0]
+//
+//   added          in the new result only
+//   removed        in the old result only
+//   error-shifted  in both, but the error measure moved by more than
+//                  --error-tol (default 0: any bit-level change counts,
+//                  which is meaningful because same-input runs are
+//                  bit-identical by the determinism contract)
+//
+// Identity is the (kind, context, lhs, rhs, polarity) tuple — the same
+// key the discovery driver's deterministic ranking deduplicates on.
+// Attributes print as column indices; blobs carry no schema.
+//
+// Exit status: 0 when the results match, 1 when they differ, 2 on usage
+// or decode errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "od/discovery.h"
+#include "od/result_io.h"
+
+using namespace aod;
+
+namespace {
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return bytes;
+}
+
+/// The identity key: one dependency per tuple, so a std::map over it
+/// gives a stable, deterministic report order (kind, context, a, b,
+/// polarity).
+using DependencyKey = std::tuple<int, uint64_t, int, int, int>;
+
+DependencyKey KeyOf(const DiscoveredDependency& d) {
+  return DependencyKey{static_cast<int>(d.kind), d.context.bits(), d.a, d.b,
+                       d.opposite ? 1 : 0};
+}
+
+std::map<DependencyKey, const DiscoveredDependency*> Index(
+    const DiscoveryResult& result) {
+  std::map<DependencyKey, const DiscoveredDependency*> index;
+  for (const DiscoveredDependency& d : result.dependencies) {
+    index.emplace(KeyOf(d), &d);
+  }
+  return index;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string old_path;
+  std::string new_path;
+  double error_tol = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--error-tol=", 0) == 0) {
+      error_tol = std::atof(arg.c_str() + std::strlen("--error-tol="));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else if (old_path.empty()) {
+      old_path = arg;
+    } else if (new_path.empty()) {
+      new_path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (old_path.empty() || new_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: result_diff old.blob new.blob [--error-tol=0.0]\n");
+    return 2;
+  }
+
+  DiscoveryResult results[2];
+  const std::string* paths[2] = {&old_path, &new_path};
+  for (int i = 0; i < 2; ++i) {
+    Result<std::vector<uint8_t>> bytes = ReadFileBytes(*paths[i]);
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "error: %s\n", bytes.status().ToString().c_str());
+      return 2;
+    }
+    Result<DiscoveryResult> decoded = DeserializeResult(*bytes);
+    if (!decoded.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", paths[i]->c_str(),
+                   decoded.status().ToString().c_str());
+      return 2;
+    }
+    results[i] = std::move(*decoded);
+  }
+
+  const auto old_index = Index(results[0]);
+  const auto new_index = Index(results[1]);
+
+  int64_t added = 0;
+  int64_t removed = 0;
+  int64_t shifted = 0;
+  for (const auto& [key, d] : new_index) {
+    if (old_index.count(key) == 0) {
+      ++added;
+      std::printf("added          %s  (e=%.6f)\n", d->ToString().c_str(),
+                  d->error);
+    }
+  }
+  for (const auto& [key, d] : old_index) {
+    auto it = new_index.find(key);
+    if (it == new_index.end()) {
+      ++removed;
+      std::printf("removed        %s  (e=%.6f)\n", d->ToString().c_str(),
+                  d->error);
+      continue;
+    }
+    const double delta = it->second->error - d->error;
+    if ((delta < 0 ? -delta : delta) > error_tol) {
+      ++shifted;
+      std::printf("error-shifted  %s  (e=%.6f -> %.6f)\n",
+                  d->ToString().c_str(), d->error, it->second->error);
+    }
+  }
+
+  std::printf("%lld added, %lld removed, %lld error-shifted (%zu -> %zu"
+              " dependencies)\n",
+              static_cast<long long>(added), static_cast<long long>(removed),
+              static_cast<long long>(shifted),
+              results[0].dependencies.size(),
+              results[1].dependencies.size());
+  return added + removed + shifted > 0 ? 1 : 0;
+}

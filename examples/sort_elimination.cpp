@@ -28,17 +28,16 @@ namespace {
 bool CanEliminateSort(const DiscoveryResult& result, int available,
                       int target, bool target_descending) {
   bool oc = false;
-  for (const auto& d : result.ocs) {
-    if (d.oc.context.empty() && d.oc.opposite == target_descending &&
-        ((d.oc.a == available && d.oc.b == target) ||
-         (d.oc.a == target && d.oc.b == available))) {
+  for (const DiscoveredDependency* d : result.Ocs()) {
+    if (d->context.empty() && d->opposite == target_descending &&
+        ((d->a == available && d->b == target) ||
+         (d->a == target && d->b == available))) {
       oc = true;
     }
   }
   if (!oc) return false;
-  for (const auto& d : result.ofds) {
-    if (d.ofd.context == AttributeSet::Of({available}) &&
-        d.ofd.a == target) {
+  for (const DiscoveredDependency* d : result.Ofds()) {
+    if (d->context == AttributeSet::Of({available}) && d->a == target) {
       return true;
     }
   }
@@ -59,7 +58,7 @@ int main(int argc, char** argv) {
   options.bidirectional = true;
   DiscoveryResult result = DiscoverOds(enc, options);
   std::printf("discovered %zu exact OCs and %zu OFDs on %lld rows\n\n",
-              result.ocs.size(), result.ofds.size(),
+              result.Ocs().size(), result.Ofds().size(),
               static_cast<long long>(rows));
 
   struct Query {

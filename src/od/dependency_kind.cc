@@ -1,0 +1,58 @@
+#include "od/dependency_kind.h"
+
+namespace aod {
+
+const char* DependencyKindToString(DependencyKind kind) {
+  switch (kind) {
+    case DependencyKind::kOc:
+      return "oc";
+    case DependencyKind::kOfd:
+      return "ofd";
+    case DependencyKind::kFd:
+      return "fd";
+    case DependencyKind::kAfd:
+      return "afd";
+  }
+  return "?";
+}
+
+std::string DependencyKindSet::ToString() const {
+  std::string out;
+  for (int i = 0; i < kNumDependencyKinds; ++i) {
+    const DependencyKind kind = static_cast<DependencyKind>(i);
+    if (!Contains(kind)) continue;
+    if (!out.empty()) out += ",";
+    out += DependencyKindToString(kind);
+  }
+  return out;
+}
+
+Result<DependencyKindSet> DependencyKindSet::Parse(const std::string& spec) {
+  DependencyKindSet set;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string name = spec.substr(begin, end - begin);
+    bool known = false;
+    for (int i = 0; i < kNumDependencyKinds; ++i) {
+      const DependencyKind kind = static_cast<DependencyKind>(i);
+      if (name == DependencyKindToString(kind)) {
+        set = set.With(kind);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown dependency kind '" + name +
+                                     "' (want oc, ofd, fd or afd)");
+    }
+    begin = end + 1;
+  }
+  if (set.empty()) {
+    return Status::InvalidArgument("empty dependency kind set");
+  }
+  return set;
+}
+
+}  // namespace aod

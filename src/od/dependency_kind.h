@@ -1,0 +1,93 @@
+// The dependency-kind vocabulary of the multi-dependency platform.
+//
+// The lattice driver, partition cache, shard wire and serving layer are
+// generic machinery; what varies per dependency *kind* is only the
+// validation predicate, its error measure and its pruning rule. This
+// module names the kinds and gives DiscoveryOptions (and both wire
+// formats) a compact, validated set representation.
+//
+// Kinds mined by the level-wise lattice driver:
+//   kOc   — order compatibility X: A ~ B (the paper's AOC core; error =
+//           removal fraction |s|/|r| against DiscoveryOptions::epsilon).
+//   kOfd  — order functional dependency X: [] -> A, the OD split's
+//           second half (same removal-fraction error as kOc).
+//   kFd   — exact functional dependency X -> A: a refinement test on the
+//           context partition (error is identically 0).
+//   kAfd  — approximate FD under the Kivinen–Mannila g1 pair error,
+//           thresholded by DiscoveryOptions::afd_error (the Desbordante
+//           guide's AFD semantics; see SNIPPETS.md).
+//
+// List-based ODs are *assembled* from OC + OFD parts (od/od_assembly.h),
+// not mined as lattice candidates, so they have no entry here: a
+// DiscoveredDependency is always one of the four lattice kinds.
+#ifndef AOD_OD_DEPENDENCY_KIND_H_
+#define AOD_OD_DEPENDENCY_KIND_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace aod {
+
+enum class DependencyKind : uint8_t {
+  kOc = 0,
+  kOfd = 1,
+  kFd = 2,
+  kAfd = 3,
+};
+
+/// Number of kinds (= one past the largest enum value); wire decoders
+/// reject anything >= this.
+inline constexpr int kNumDependencyKinds = 4;
+
+const char* DependencyKindToString(DependencyKind kind);
+
+/// A set of dependency kinds as a bitmask (bit i = kind with value i).
+/// The default-constructed set is empty; DiscoveryOptions defaults to
+/// DependencyKindSet::OdDefault() — {oc, ofd} — which reproduces the
+/// pre-platform behavior exactly.
+class DependencyKindSet {
+ public:
+  constexpr DependencyKindSet() = default;
+  constexpr explicit DependencyKindSet(uint32_t bits) : bits_(bits) {}
+
+  static constexpr DependencyKindSet OdDefault() {
+    return DependencyKindSet((1u << static_cast<int>(DependencyKind::kOc)) |
+                             (1u << static_cast<int>(DependencyKind::kOfd)));
+  }
+  static constexpr DependencyKindSet All() {
+    return DependencyKindSet((1u << kNumDependencyKinds) - 1);
+  }
+
+  constexpr uint32_t bits() const { return bits_; }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr bool Contains(DependencyKind kind) const {
+    return (bits_ & (1u << static_cast<int>(kind))) != 0;
+  }
+  constexpr DependencyKindSet With(DependencyKind kind) const {
+    return DependencyKindSet(bits_ | (1u << static_cast<int>(kind)));
+  }
+  constexpr bool operator==(const DependencyKindSet& o) const {
+    return bits_ == o.bits_;
+  }
+
+  /// True iff every set bit names a known kind — what wire decoders
+  /// check before trusting the mask.
+  constexpr bool IsValid() const {
+    return (bits_ & ~All().bits()) == 0;
+  }
+
+  /// "oc,ofd" style round-trip form, kinds in enum order.
+  std::string ToString() const;
+  /// Parses a comma-separated kind list ("oc,ofd,fd,afd"); rejects
+  /// unknown names, empty components and an empty result.
+  static Result<DependencyKindSet> Parse(const std::string& spec);
+
+ private:
+  uint32_t bits_ = 0;
+};
+
+}  // namespace aod
+
+#endif  // AOD_OD_DEPENDENCY_KIND_H_

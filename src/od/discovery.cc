@@ -12,12 +12,9 @@
 #include "exec/parallel_for.h"
 #include "exec/task_group.h"
 #include "exec/thread_pool.h"
-#include "od/aoc_iterative_validator.h"
-#include "od/aoc_lis_validator.h"
 #include "od/interestingness.h"
 #include "od/lattice.h"
-#include "od/oc_validator.h"
-#include "od/ofd_validator.h"
+#include "od/validator_registry.h"
 #include "od/validator_scratch.h"
 #include "partition/partition_cache.h"
 #include "shard/coordinator.h"
@@ -37,8 +34,23 @@ struct NodePlan {
   /// deterministic generation order (lexicographic, polarity inner).
   std::vector<AttributePair> oc_pairs;
   int64_t oc_pruned = 0;
+  /// The FD and AFD groups' TANE candidate sets and their targets
+  /// A ∈ X ∩ cc_{fd,afd}, ascending. Each group is planned only when
+  /// every subset node is alive for that group (see LatticeNode).
+  AttributeSet cc_fd;
+  AttributeSet cc_afd;
+  std::vector<int> fd_targets;
+  std::vector<int> afd_targets;
+  /// Per-group presence: whether every (L-1)-subset survived for the
+  /// group, i.e. whether this node is part of the group's standalone
+  /// lattice. Consumed by the merge's liveness rules.
+  bool od_present = false;
+  bool fd_present = false;
+  bool afd_present = false;
   /// First slot of this node's candidates in the level's flattened
-  /// candidate array; OFDs first, then OCs.
+  /// candidate array; OFDs first, then OCs, then FDs, then AFDs (the
+  /// OFD/OC prefix keeps default-kind slot layout identical to the
+  /// pre-multi-kind wire).
   size_t first_slot = 0;
   uint8_t planned = 0;
 };
@@ -48,9 +60,10 @@ struct NodePlan {
 /// the work-stealing loop balance them individually, so one huge node no
 /// longer stalls a whole chunk of nodes.
 struct Candidate {
-  bool is_ofd = false;
+  DependencyKind kind = DependencyKind::kOc;
   AttributeSet context;
-  int ofd_target = -1;
+  /// RHS attribute for the target kinds (kOfd/kFd/kAfd).
+  int target = -1;
   AttributePair oc_pair;
 };
 
@@ -88,6 +101,13 @@ struct CandidateOutcome {
 struct Driver {
   const EncodedTable& table;
   const DiscoveryOptions& options;
+  /// The enabled kind set; the OD group (the original cc/cs machinery)
+  /// covers kOc and kOfd jointly.
+  DependencyKindSet kinds;
+  bool oc_enabled;
+  bool ofd_enabled;
+  bool fd_enabled;
+  bool afd_enabled;
   double epsilon;
   PartitionCache cache;
   DiscoveryResult result;
@@ -127,6 +147,11 @@ struct Driver {
   Driver(const EncodedTable& t, const DiscoveryOptions& o)
       : table(t),
         options(o),
+        kinds(o.kinds),
+        oc_enabled(o.kinds.Contains(DependencyKind::kOc)),
+        ofd_enabled(o.kinds.Contains(DependencyKind::kOfd)),
+        fd_enabled(o.kinds.Contains(DependencyKind::kFd)),
+        afd_enabled(o.kinds.Contains(DependencyKind::kAfd)),
         epsilon(o.validator == ValidatorKind::kExact ? 0.0 : o.epsilon),
         cache(&t, PartitionCache::DeferBasePartitions{}) {
     // Base partitions are built exactly once per run: into this cache
@@ -171,6 +196,8 @@ struct Driver {
       shard::ShardRunnerOptions ropts;
       ropts.validator = options.validator;
       ropts.epsilon = options.epsilon;
+      ropts.kinds = options.kinds;
+      ropts.afd_error = options.afd_error;
       ropts.collect_removal_sets = options.collect_removal_sets;
       ropts.enable_sampling_filter = options.enable_sampling_filter;
       ropts.sampler_config = options.sampler_config;
@@ -272,30 +299,55 @@ struct Driver {
     plan.planned = 1;
     const int level = x.size();
 
-    // C_c+(X) = ∩_{A∈X} C_c+(X\{A}).
+    // Per-group candidate-set intersections (C+(X) = ∩_{A∈X} C+(X\{A}))
+    // and per-group presence against the completed level below. A group
+    // participates at X only when every (L-1)-subset is alive *for that
+    // group* — each enabled group thereby walks exactly its standalone
+    // lattice, so enabling one kind never perturbs another kind's
+    // results (a node kept alive by the FD group alone generates no
+    // extra OC/OFD candidates, and vice versa).
+    const bool od_enabled = oc_enabled || ofd_enabled;
+    bool od_present = od_enabled;
+    bool fd_present = fd_enabled;
+    bool afd_present = afd_enabled;
     AttributeSet cc = AttributeSet::FullSet(table.num_columns());
+    AttributeSet cc_fd = cc;
+    AttributeSet cc_afd = cc;
     x.ForEach([&](int a) {
       const LatticeNode* sub = previous.Find(x.Without(a));
       AOD_CHECK_MSG(sub != nullptr, "missing subset node at level %d",
                     level - 1);
+      od_present = od_present && sub->od_alive;
+      fd_present = fd_present && sub->fd_alive;
+      afd_present = afd_present && sub->afd_alive;
       cc = cc.Intersect(sub->cc);
+      cc_fd = cc_fd.Intersect(sub->cc_fd);
+      cc_afd = cc_afd.Intersect(sub->cc_afd);
     });
     plan.cc = cc;
+    plan.cc_fd = cc_fd;
+    plan.cc_afd = cc_afd;
+    plan.od_present = od_present;
+    plan.fd_present = fd_present;
+    plan.afd_present = afd_present;
 
-    // max_lhs_arity bounds the *context* size of emitted candidates: an
-    // OFD at this level has |context| = level-1, an OC has level-2.
-    // Everything below the cutoff is generated (and pruned, and merged)
-    // exactly as in the unbounded run, which is what makes the bounded
-    // result a prefix-consistent subset.
+    // max_lhs_arity bounds the *context* size of emitted candidates: a
+    // target-kind candidate (OFD/FD/AFD) at this level has |context| =
+    // level-1, an OC has level-2. Everything below the cutoff is
+    // generated (and pruned, and merged) exactly as in the unbounded
+    // run, which is what makes the bounded result a prefix-consistent
+    // subset. The bound is uniform across kinds.
     const int arity_bound = options.max_lhs_arity;
+    const bool target_arity_ok = arity_bound == 0 || level - 1 <= arity_bound;
 
     // OFD candidates: A ∈ X ∩ C_c+(X), validated in context X\{A}.
-    if (arity_bound == 0 || level - 1 <= arity_bound) {
+    if (od_present && ofd_enabled && target_arity_ok) {
       x.Intersect(cc).ForEach([&](int a) { plan.ofd_targets.push_back(a); });
     }
 
     // OC candidates, in both polarities when requested.
-    if (level >= 2 && (arity_bound == 0 || level - 2 <= arity_bound)) {
+    if (od_present && oc_enabled && level >= 2 &&
+        (arity_bound == 0 || level - 2 <= arity_bound)) {
       std::vector<int> attrs = x.ToVector();
       for (size_t i = 0; i < attrs.size(); ++i) {
         for (size_t j = i + 1; j < attrs.size(); ++j) {
@@ -336,51 +388,46 @@ struct Driver {
         }
       }
     }
+
+    // FD / AFD candidates: the same target shape as OFDs (A ∈ X against
+    // the group's own TANE candidate set, validated in context X\{A}).
+    if (fd_present && target_arity_ok) {
+      x.Intersect(cc_fd).ForEach([&](int a) { plan.fd_targets.push_back(a); });
+    }
+    if (afd_present && target_arity_ok) {
+      x.Intersect(cc_afd).ForEach(
+          [&](int a) { plan.afd_targets.push_back(a); });
+    }
     return plan;
   }
 
-  /// Phase 2 (parallel over candidates): one validation, writing only its
-  /// own outcome slot.
+  /// Phase 2 (parallel over candidates): one validation through the
+  /// kind-keyed registry, writing only its own outcome slot.
   void ValidateCandidate(const Candidate& c, CandidateOutcome* out) {
     auto partition = Lookup(c.context);
-    ValidatorOptions vopts;
-    vopts.collect_removal_set = options.collect_removal_sets;
     std::unique_ptr<ValidatorScratch> scratch = AcquireValidatorScratch();
 
+    ValidationRequest request;
+    request.table = &table;
+    request.context_partition = partition.get();
+    request.kind = c.kind;
+    request.target = c.target;
+    request.pair = c.oc_pair;
+    request.algorithm = options.validator;
+    request.epsilon = epsilon;
+    request.afd_error = options.afd_error;
+    request.table_rows = table.num_rows();
+    request.options.collect_removal_set = options.collect_removal_sets;
+    request.sampler = sampler.get();
+    request.scratch = scratch.get();
+
     Stopwatch sw;
-    if (c.is_ofd) {
-      if (options.validator == ValidatorKind::kExact) {
-        out->outcome.valid = ValidateOfdExact(table, *partition, c.ofd_target);
-      } else {
-        out->outcome =
-            ValidateOfdApprox(table, *partition, c.ofd_target, epsilon,
-                              table.num_rows(), vopts, scratch.get());
-      }
-    } else {
-      const AttributePair pair = c.oc_pair;
-      vopts.opposite_polarity = pair.opposite;
-      switch (options.validator) {
-        case ValidatorKind::kExact:
-          out->outcome.valid =
-              ValidateOcExact(table, *partition, pair.a, pair.b,
-                              pair.opposite, scratch.get());
-          break;
-        case ValidatorKind::kIterative:
-          out->outcome =
-              ValidateAocIterative(table, *partition, pair.a, pair.b, epsilon,
-                                   table.num_rows(), vopts, scratch.get());
-          break;
-        case ValidatorKind::kOptimal:
-          out->outcome =
-              sampler != nullptr
-                  ? sampler->Validate(*partition, pair.a, pair.b, epsilon,
-                                      vopts, scratch.get())
-                  : ValidateAocOptimal(table, *partition, pair.a, pair.b,
-                                       epsilon, table.num_rows(), vopts,
-                                       scratch.get());
-          break;
-      }
-    }
+    DependencyVerdict verdict = ValidateDependency(request);
+    out->outcome.valid = verdict.valid;
+    out->outcome.approx_factor = verdict.error;
+    out->outcome.removal_size = verdict.removal_size;
+    out->outcome.early_exit = verdict.early_exit;
+    out->outcome.removal_rows = std::move(verdict.removal_rows);
     out->seconds = sw.ElapsedSeconds();
     ReleaseValidatorScratch(std::move(scratch));
     out->interestingness =
@@ -399,7 +446,29 @@ struct Driver {
     LatticeNode* node = current->Find(x);
     node->cc = plan.cc;
     node->cs.clear();
+    node->cc_fd = plan.cc_fd;
+    node->cc_afd = plan.cc_afd;
     result.stats.oc_candidates_pruned += plan.oc_pruned;
+
+    auto record = [&](DependencyKind kind, const Candidate& c,
+                      CandidateOutcome& out) {
+      DiscoveredDependency found;
+      found.kind = kind;
+      found.context = c.context;
+      if (kind == DependencyKind::kOc) {
+        found.a = c.oc_pair.a;
+        found.b = c.oc_pair.b;
+        found.opposite = c.oc_pair.opposite;
+      } else {
+        found.a = c.target;
+      }
+      found.error = out.outcome.approx_factor;
+      found.removal_size = out.outcome.removal_size;
+      found.level = level;
+      found.interestingness = out.interestingness;
+      found.removal_rows = std::move(out.outcome.removal_rows);
+      result.dependencies.push_back(std::move(found));
+    };
 
     size_t slot = plan.first_slot;
     for (size_t t = 0; t < plan.ofd_targets.size(); ++t, ++slot) {
@@ -409,15 +478,8 @@ struct Driver {
       ++result.stats.ofd_candidates_validated;
       if (!out.outcome.valid) continue;
 
-      DiscoveredOfd found;
-      found.ofd = CanonicalOfd{candidates[slot].context, a};
-      found.approx_factor = out.outcome.approx_factor;
-      found.removal_size = out.outcome.removal_size;
-      found.level = level;
-      found.interestingness = out.interestingness;
-      found.removal_rows = std::move(out.outcome.removal_rows);
       result.stats.RecordOfdAtLevel(level);
-      result.ofds.push_back(std::move(found));
+      record(DependencyKind::kOfd, candidates[slot], out);
       // TANE minimality pruning: the found OFD makes X\{A} -> A minimal;
       // any superset restatement is redundant, as is any target outside
       // X (it would have X\{A} -> A as a sub-dependency).
@@ -431,16 +493,8 @@ struct Driver {
       result.stats.oc_validation_seconds += out.seconds;
       ++result.stats.oc_candidates_validated;
       if (out.outcome.valid) {
-        DiscoveredOc found;
-        found.oc = CanonicalOc{candidates[slot].context, pair.a, pair.b,
-                               pair.opposite};
-        found.approx_factor = out.outcome.approx_factor;
-        found.removal_size = out.outcome.removal_size;
-        found.level = level;
-        found.interestingness = out.interestingness;
-        found.removal_rows = std::move(out.outcome.removal_rows);
         result.stats.RecordOcAtLevel(level);
-        result.ocs.push_back(std::move(found));
+        record(DependencyKind::kOc, candidates[slot], out);
       } else {
         // Still open: candidates propagate upward only while invalid.
         node->cs.push_back(pair);
@@ -448,8 +502,55 @@ struct Driver {
     }
     std::sort(node->cs.begin(), node->cs.end());
 
-    // Node deletion: nothing left to find through X or any superset.
-    if (node->cc.empty() && node->cs.empty()) current->Erase(x);
+    for (size_t t = 0; t < plan.fd_targets.size(); ++t, ++slot) {
+      const int a = plan.fd_targets[t];
+      CandidateOutcome& out = outcomes[slot];
+      result.stats.fd_validation_seconds += out.seconds;
+      ++result.stats.fd_candidates_validated;
+      if (!out.outcome.valid) continue;
+      result.stats.RecordFdAtLevel(level);
+      record(DependencyKind::kFd, candidates[slot], out);
+      // The same TANE rule, against the FD group's own candidate set.
+      node->cc_fd = node->cc_fd.Without(a).Intersect(x);
+    }
+
+    for (size_t t = 0; t < plan.afd_targets.size(); ++t, ++slot) {
+      const int a = plan.afd_targets[t];
+      CandidateOutcome& out = outcomes[slot];
+      result.stats.afd_validation_seconds += out.seconds;
+      ++result.stats.afd_candidates_validated;
+      if (!out.outcome.valid) continue;
+      result.stats.RecordAfdAtLevel(level);
+      record(DependencyKind::kAfd, candidates[slot], out);
+      // Sound for AFDs because g1 is monotone non-increasing in the LHS:
+      // every superset restatement of a valid AFD is valid, hence
+      // redundant.
+      node->cc_afd = node->cc_afd.Without(a).Intersect(x);
+    }
+
+    // Per-group liveness. The OD group keeps the original rule when both
+    // OD kinds run; with one of them disabled the rule degenerates to
+    // what that kind alone can still discover upward (OC candidates
+    // propagate only while open; level-1 nodes must survive for the
+    // first OC pairs to exist at level 2).
+    if (oc_enabled && ofd_enabled) {
+      node->od_alive =
+          plan.od_present && !(node->cc.empty() && node->cs.empty());
+    } else if (ofd_enabled) {
+      node->od_alive = plan.od_present && !node->cc.empty();
+    } else if (oc_enabled) {
+      node->od_alive = plan.od_present && (level == 1 || !node->cs.empty());
+    } else {
+      node->od_alive = false;
+    }
+    node->fd_alive = plan.fd_present && !node->cc_fd.empty();
+    node->afd_alive = plan.afd_present && !node->cc_afd.empty();
+
+    // Node deletion: nothing left for any enabled group to find through
+    // X or any superset.
+    if (!node->od_alive && !node->fd_alive && !node->afd_alive) {
+      current->Erase(x);
+    }
   }
 
   void Run() {
@@ -463,11 +564,14 @@ struct Driver {
     }
     const int k = table.num_columns();
 
-    // Virtual level 0: the empty set with C_c+(∅) = R.
+    // Virtual level 0: the empty set with C+(∅) = R for every group
+    // (the LatticeNode defaults leave all groups alive).
     LatticeLevel previous(0);
     {
       LatticeNode root;
       root.cc = AttributeSet::FullSet(k);
+      root.cc_fd = root.cc;
+      root.cc_afd = root.cc;
       previous.Insert(std::move(root));
     }
 
@@ -511,17 +615,34 @@ struct Driver {
         }
         plan.first_slot = candidates.size();
         const AttributeSet x = keys[i];
+        // Slot order per node: OFDs, OCs, then FDs, AFDs — the OFD/OC
+        // prefix keeps the default-kind candidate layout (and thus the
+        // shard wire) identical to the pre-multi-kind driver.
         for (int a : plan.ofd_targets) {
           Candidate c;
-          c.is_ofd = true;
+          c.kind = DependencyKind::kOfd;
           c.context = x.Without(a);
-          c.ofd_target = a;
+          c.target = a;
           candidates.push_back(c);
         }
         for (AttributePair pair : plan.oc_pairs) {
           Candidate c;
           c.context = x.Without(pair.a).Without(pair.b);
           c.oc_pair = pair;
+          candidates.push_back(c);
+        }
+        for (int a : plan.fd_targets) {
+          Candidate c;
+          c.kind = DependencyKind::kFd;
+          c.context = x.Without(a);
+          c.target = a;
+          candidates.push_back(c);
+        }
+        for (int a : plan.afd_targets) {
+          Candidate c;
+          c.kind = DependencyKind::kAfd;
+          c.context = x.Without(a);
+          c.target = a;
           candidates.push_back(c);
         }
       }
@@ -546,8 +667,8 @@ struct Driver {
           shard::WireCandidate w;
           w.slot = s;
           w.context_bits = c.context.bits();
-          w.is_ofd = c.is_ofd;
-          w.ofd_target = c.ofd_target;
+          w.kind = c.kind;
+          w.target = c.target;
           w.pair_a = c.oc_pair.a;
           w.pair_b = c.oc_pair.b;
           w.opposite = c.oc_pair.opposite;
@@ -570,6 +691,21 @@ struct Driver {
                       "shard result slot " + std::to_string(o.slot) +
                       " outside the level's " +
                       std::to_string(outcomes.size()) + " candidates");
+                }
+                return;
+              }
+              // The outcome echoes its candidate's kind; a mismatch means
+              // the runner validated something else than what was asked —
+              // a typed abort, like any other wire corruption.
+              if (o.kind != candidates[static_cast<size_t>(o.slot)].kind) {
+                if (fold_status.ok()) {
+                  fold_status = Status::InvalidArgument(
+                      std::string("shard result slot ") +
+                      std::to_string(o.slot) + " echoes kind '" +
+                      DependencyKindToString(o.kind) + "' for a '" +
+                      DependencyKindToString(
+                          candidates[static_cast<size_t>(o.slot)].kind) +
+                      "' candidate");
                 }
                 return;
               }
@@ -641,7 +777,8 @@ struct Driver {
       int64_t merged_nodes = 0;
       for (size_t i = 0; i < keys.size(); ++i) {
         const NodePlan& plan = plans[i];
-        const size_t total = plan.ofd_targets.size() + plan.oc_pairs.size();
+        const size_t total = plan.ofd_targets.size() + plan.oc_pairs.size() +
+                             plan.fd_targets.size() + plan.afd_targets.size();
         bool complete = true;
         for (size_t s = 0; s < total; ++s) {
           if (!outcomes[plan.first_slot + s].done) {
@@ -691,6 +828,8 @@ struct Driver {
           progress.nodes_merged = merged_nodes;
           progress.total_ocs = result.stats.TotalOcs();
           progress.total_ofds = result.stats.TotalOfds();
+          progress.total_fds = result.stats.TotalFds();
+          progress.total_afds = result.stats.TotalAfds();
           options.progress(progress);
         }
       }
@@ -826,50 +965,109 @@ const char* ShardTransportToString(ShardTransport transport) {
   return "?";
 }
 
+CanonicalOc DiscoveredDependency::Oc() const {
+  AOD_CHECK_MSG(kind == DependencyKind::kOc,
+                "Oc() on a non-OC discovered dependency");
+  return CanonicalOc{context, a, b, opposite};
+}
+
+CanonicalOfd DiscoveredDependency::Ofd() const {
+  AOD_CHECK_MSG(kind == DependencyKind::kOfd,
+                "Ofd() on a non-OFD discovered dependency");
+  return CanonicalOfd{context, a};
+}
+
+namespace {
+
+std::string DependencyString(
+    const DiscoveredDependency& d,
+    const std::function<std::string(int)>& name_of) {
+  switch (d.kind) {
+    case DependencyKind::kOc: {
+      std::string rhs =
+          d.opposite ? "desc(" + name_of(d.b) + ")" : name_of(d.b);
+      return d.context.ToString(name_of) + ": " + name_of(d.a) + " ~ " + rhs;
+    }
+    case DependencyKind::kOfd:
+      return d.context.ToString(name_of) + ": [] -> " + name_of(d.a);
+    case DependencyKind::kFd:
+      return d.context.ToString(name_of) + " -> " + name_of(d.a);
+    case DependencyKind::kAfd:
+      return d.context.ToString(name_of) + " ~> " + name_of(d.a);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string DiscoveredDependency::ToString(const EncodedTable& table) const {
+  return DependencyString(*this,
+                          [&table](int i) { return table.name(i); });
+}
+
+std::string DiscoveredDependency::ToString() const {
+  return DependencyString(*this, [](int i) { return std::to_string(i); });
+}
+
+std::vector<const DiscoveredDependency*> DiscoveryResult::OfKind(
+    DependencyKind kind) const {
+  std::vector<const DiscoveredDependency*> out;
+  for (const DiscoveredDependency& d : dependencies) {
+    if (d.kind == kind) out.push_back(&d);
+  }
+  return out;
+}
+
+int64_t DiscoveryResult::CountOfKind(DependencyKind kind) const {
+  int64_t count = 0;
+  for (const DiscoveredDependency& d : dependencies) {
+    if (d.kind == kind) ++count;
+  }
+  return count;
+}
+
 void DiscoveryResult::SortByInterestingness() {
-  auto oc_key = [](const DiscoveredOc& d) {
-    return std::make_tuple(-d.interestingness, d.level, d.oc.context.bits(),
-                           d.oc.a, d.oc.b, d.oc.opposite);
+  // One ranking across all kinds. The key is unique per dependency — a
+  // (kind, context, a, b, opposite) tuple appears at most once in a run —
+  // so the sorted order is fully determined by the set of results, never
+  // by their arrival order. Within a kind the key restricts to the
+  // pre-multi-kind per-kind keys, which keeps the ranked OC/OFD
+  // sublists byte-identical to the old two-list sort.
+  auto key = [](const DiscoveredDependency& d) {
+    return std::make_tuple(-d.interestingness, d.level,
+                           static_cast<int>(d.kind), d.context.bits(), d.a,
+                           d.b, d.opposite);
   };
-  std::sort(ocs.begin(), ocs.end(),
-            [&](const DiscoveredOc& x, const DiscoveredOc& y) {
-              return oc_key(x) < oc_key(y);
-            });
-  auto ofd_key = [](const DiscoveredOfd& d) {
-    return std::make_tuple(-d.interestingness, d.level, d.ofd.context.bits(),
-                           d.ofd.a);
-  };
-  std::sort(ofds.begin(), ofds.end(),
-            [&](const DiscoveredOfd& x, const DiscoveredOfd& y) {
-              return ofd_key(x) < ofd_key(y);
+  std::sort(dependencies.begin(), dependencies.end(),
+            [&](const DiscoveredDependency& x, const DiscoveredDependency& y) {
+              return key(x) < key(y);
             });
 }
 
 std::string DiscoveryResult::Summary(const EncodedTable& table,
                                      size_t max_items) const {
+  // OC and OFD sections always print (the pre-multi-kind format); FD and
+  // AFD sections only when those kinds found anything.
   std::string out;
-  out += "OCs (" + std::to_string(ocs.size()) + "):\n";
-  for (size_t i = 0; i < ocs.size() && i < max_items; ++i) {
-    const auto& d = ocs[i];
-    char buf[96];
-    std::snprintf(buf, sizeof(buf), "  e=%.4f score=%.4f level=%d  ",
-                  d.approx_factor, d.interestingness, d.level);
-    out += buf + d.oc.ToString(table) + "\n";
-  }
-  if (ocs.size() > max_items) {
-    out += "  ... (" + std::to_string(ocs.size() - max_items) + " more)\n";
-  }
-  out += "OFDs (" + std::to_string(ofds.size()) + "):\n";
-  for (size_t i = 0; i < ofds.size() && i < max_items; ++i) {
-    const auto& d = ofds[i];
-    char buf[96];
-    std::snprintf(buf, sizeof(buf), "  e=%.4f score=%.4f level=%d  ",
-                  d.approx_factor, d.interestingness, d.level);
-    out += buf + d.ofd.ToString(table) + "\n";
-  }
-  if (ofds.size() > max_items) {
-    out += "  ... (" + std::to_string(ofds.size() - max_items) + " more)\n";
-  }
+  auto section = [&](const char* title, DependencyKind kind, bool always) {
+    const std::vector<const DiscoveredDependency*> deps = OfKind(kind);
+    if (deps.empty() && !always) return;
+    out += std::string(title) + " (" + std::to_string(deps.size()) + "):\n";
+    for (size_t i = 0; i < deps.size() && i < max_items; ++i) {
+      const DiscoveredDependency& d = *deps[i];
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "  e=%.4f score=%.4f level=%d  ",
+                    d.error, d.interestingness, d.level);
+      out += buf + d.ToString(table) + "\n";
+    }
+    if (deps.size() > max_items) {
+      out += "  ... (" + std::to_string(deps.size() - max_items) + " more)\n";
+    }
+  };
+  section("OCs", DependencyKind::kOc, /*always=*/true);
+  section("OFDs", DependencyKind::kOfd, /*always=*/true);
+  section("FDs", DependencyKind::kFd, /*always=*/false);
+  section("AFDs", DependencyKind::kAfd, /*always=*/false);
   return out;
 }
 
@@ -880,13 +1078,28 @@ DiscoveryResult DiscoverOds(const EncodedTable& table,
                 AttributeSet::kMaxAttributes);
   AOD_CHECK_MSG(options.epsilon >= 0.0 && options.epsilon <= 1.0,
                 "epsilon must be within [0, 1]");
+  AOD_CHECK_MSG(options.kinds.IsValid() && !options.kinds.empty(),
+                "kinds must name at least one known dependency kind");
+  AOD_CHECK_MSG(options.afd_error >= 0.0 && options.afd_error <= 1.0,
+                "afd_error must be within [0, 1]");
+  AOD_CHECK_MSG(options.top_k >= 0, "top_k must be >= 0 (0 = keep all)");
   AOD_CHECK_MSG(options.num_shards >= 0 && options.num_shards <= 1024,
                 "num_shards must be within [0, 1024]");
   AOD_CHECK_MSG(options.max_lhs_arity >= 0,
                 "max_lhs_arity must be >= 0 (0 = unbounded)");
   Driver driver(table, options);
   driver.Run();
-  return std::move(driver.result);
+  DiscoveryResult result = std::move(driver.result);
+  if (options.top_k > 0) {
+    // Deterministic top-k: rank everything (unique keys — see
+    // SortByInterestingness), then truncate. Stats keep counting every
+    // discovered dependency; only the materialized list shrinks.
+    result.SortByInterestingness();
+    if (static_cast<int64_t>(result.dependencies.size()) > options.top_k) {
+      result.dependencies.resize(static_cast<size_t>(options.top_k));
+    }
+  }
+  return result;
 }
 
 }  // namespace aod

@@ -20,6 +20,7 @@
 #include "common/status.h"
 #include "data/encoder.h"
 #include "od/canonical_od.h"
+#include "od/dependency_kind.h"
 #include "od/discovery_stats.h"
 #include "od/hybrid_sampler.h"
 
@@ -47,6 +48,8 @@ struct DiscoveryProgress {
   /// Dependency totals so far (across all completed levels).
   int64_t total_ocs = 0;
   int64_t total_ofds = 0;
+  int64_t total_fds = 0;
+  int64_t total_afds = 0;
 };
 
 /// Which validation algorithm drives the search.
@@ -83,8 +86,28 @@ enum class ShardTransport {
 const char* ShardTransportToString(ShardTransport transport);
 
 struct DiscoveryOptions {
+  /// Which dependency kinds the traversal searches for. The default is
+  /// the paper's OD decomposition (OC + OFD); FD/AFD ride the same
+  /// level-wise traversal as independent candidate groups, so any subset
+  /// of kinds yields exactly the results the single-kind runs would
+  /// (see ARCHITECTURE.md, "Dependency kinds").
+  DependencyKindSet kinds = DependencyKindSet::OdDefault();
   /// Approximation threshold in [0, 1] (the paper's default is 0.10).
+  /// Applies to the OC/OFD kinds under the approximate validators.
   double epsilon = 0.10;
+  /// g1-error threshold in [0, 1] for the AFD kind: X -> A is reported
+  /// when the fraction of ordered tuple pairs agreeing on X but not on A
+  /// is at most this. Independent of `epsilon` and of `validator` — AFDs
+  /// are inherently approximate, so the exact-validator setting does not
+  /// zero this threshold.
+  double afd_error = 0.05;
+  /// Keep only the top_k highest-ranked dependencies across all kinds
+  /// (0 = keep everything, in merge order). When set, the result list is
+  /// sorted by the deterministic interestingness ranking (score desc,
+  /// then level, kind, attributes) and truncated — identical for any
+  /// thread count, shard count, transport and compression setting. Stats
+  /// still count every discovered dependency.
+  int64_t top_k = 0;
   ValidatorKind validator = ValidatorKind::kOptimal;
   /// Stop after this lattice level (0 = traverse to the top).
   int max_level = 0;
@@ -226,32 +249,46 @@ struct DiscoveryOptions {
       shard_channel_decorator;
 };
 
-/// A discovered (approximately) valid canonical OC.
-struct DiscoveredOc {
-  CanonicalOc oc;
-  /// Approximation factor e(phi) = |s|/|r| (0 for exact discovery).
-  double approx_factor = 0.0;
+/// One discovered dependency of any kind — the unified result record of
+/// the multi-kind platform (it replaced the per-kind DiscoveredOc /
+/// DiscoveredOfd structs).
+///
+/// Field use by kind:
+///   kOc          context: a ~ b (polarity in `opposite`); level =
+///                |context| + 2.
+///   kOfd/kFd/kAfd  RHS attribute in `a`; b = -1, opposite = false;
+///                level = |context| + 1.
+/// `error` is the kind's own measure: removal fraction |s|/|r| for
+/// OC/OFD (0 for exact discovery), always 0 for exact FDs, and the g1
+/// violating-pair fraction for AFDs.
+struct DiscoveredDependency {
+  DependencyKind kind = DependencyKind::kOc;
+  AttributeSet context;
+  int a = -1;
+  int b = -1;
+  bool opposite = false;
+  double error = 0.0;
   int64_t removal_size = 0;
-  /// Lattice level where validated (= |context| + 2).
+  /// Lattice level where validated.
   int level = 0;
   double interestingness = 0.0;
   std::vector<int32_t> removal_rows;
-};
 
-/// A discovered (approximately) valid OFD.
-struct DiscoveredOfd {
-  CanonicalOfd ofd;
-  double approx_factor = 0.0;
-  int64_t removal_size = 0;
-  /// Lattice level where validated (= |context| + 1).
-  int level = 0;
-  double interestingness = 0.0;
-  std::vector<int32_t> removal_rows;
+  /// Typed views for the OD kinds (CHECK-fails on a kind mismatch).
+  CanonicalOc Oc() const;
+  CanonicalOfd Ofd() const;
+
+  /// "{pos}: sal ~ bonus" (OC), "{pos}: [] -> sal" (OFD),
+  /// "{pos} -> sal" (FD), "{pos} ~> sal" (AFD).
+  std::string ToString(const EncodedTable& table) const;
+  std::string ToString() const;
 };
 
 struct DiscoveryResult {
-  std::vector<DiscoveredOc> ocs;
-  std::vector<DiscoveredOfd> ofds;
+  /// Every discovered dependency, all kinds interleaved in deterministic
+  /// merge order (per level, per node key: OFDs, OCs, FDs, AFDs) — or in
+  /// ranked order when DiscoveryOptions::top_k is set.
+  std::vector<DiscoveredDependency> dependencies;
   DiscoveryStats stats;
   /// True when the time budget expired; results are a valid prefix of the
   /// traversal but incomplete.
@@ -263,16 +300,33 @@ struct DiscoveryResult {
   bool cancelled = false;
   /// OK unless a shard-transport failure (runner died, frame corrupted,
   /// receive timed out, spawn failed) aborted the run. On failure the
-  /// dependency lists are the complete merge of every level finished
+  /// dependency list is the complete merge of every level finished
   /// before the fault — never a partially merged level.
   Status shard_status;
 
-  /// Sorts both dependency lists by descending interestingness
-  /// (ties: lower level first, then set order) — the ranking step of the
-  /// framework (paper Fig. 1, step 5).
+  /// Borrowed pointers to the dependencies of one kind, in list order.
+  std::vector<const DiscoveredDependency*> OfKind(DependencyKind kind) const;
+  std::vector<const DiscoveredDependency*> Ocs() const {
+    return OfKind(DependencyKind::kOc);
+  }
+  std::vector<const DiscoveredDependency*> Ofds() const {
+    return OfKind(DependencyKind::kOfd);
+  }
+  std::vector<const DiscoveredDependency*> Fds() const {
+    return OfKind(DependencyKind::kFd);
+  }
+  std::vector<const DiscoveredDependency*> Afds() const {
+    return OfKind(DependencyKind::kAfd);
+  }
+  int64_t CountOfKind(DependencyKind kind) const;
+
+  /// Sorts the dependency list by descending interestingness (ties:
+  /// lower level first, then kind, then attribute order) — the ranking
+  /// step of the framework (paper Fig. 1, step 5). The key is unique per
+  /// dependency, so the order is the same for any thread or shard count.
   void SortByInterestingness();
 
-  /// Human-readable listing of the top dependencies.
+  /// Human-readable listing of the top dependencies, grouped by kind.
   std::string Summary(const EncodedTable& table, size_t max_items = 20) const;
 };
 

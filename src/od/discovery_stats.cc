@@ -42,6 +42,16 @@ int64_t DiscoveryStats::TotalOfds() const {
                          int64_t{0});
 }
 
+int64_t DiscoveryStats::TotalFds() const {
+  return std::accumulate(fds_per_level.begin(), fds_per_level.end(),
+                         int64_t{0});
+}
+
+int64_t DiscoveryStats::TotalAfds() const {
+  return std::accumulate(afds_per_level.begin(), afds_per_level.end(),
+                         int64_t{0});
+}
+
 void DiscoveryStats::RecordOcAtLevel(int level) {
   EnsureSize(&ocs_per_level, level);
   ++ocs_per_level[static_cast<size_t>(level)];
@@ -52,12 +62,27 @@ void DiscoveryStats::RecordOfdAtLevel(int level) {
   ++ofds_per_level[static_cast<size_t>(level)];
 }
 
+void DiscoveryStats::RecordFdAtLevel(int level) {
+  EnsureSize(&fds_per_level, level);
+  ++fds_per_level[static_cast<size_t>(level)];
+}
+
+void DiscoveryStats::RecordAfdAtLevel(int level) {
+  EnsureSize(&afds_per_level, level);
+  ++afds_per_level[static_cast<size_t>(level)];
+}
+
 void DiscoveryStats::RecordNodesAtLevel(int level, int64_t count) {
   EnsureSize(&nodes_per_level, level);
   nodes_per_level[static_cast<size_t>(level)] += count;
 }
 
 std::string DiscoveryStats::ToString() const {
+  // FD/AFD lines and columns appear only when those kinds actually ran,
+  // so the report for a default-kind (OC/OFD) run is byte-identical to
+  // the pre-multi-kind format.
+  const bool fd_kinds_ran =
+      fd_candidates_validated + afd_candidates_validated > 0;
   std::ostringstream out;
   out << "total time: " << FormatDouble(total_seconds, 3) << " s wall, "
       << threads_used << (threads_used == 1 ? " thread" : " threads") << "\n"
@@ -66,6 +91,11 @@ std::string DiscoveryStats::ToString() const {
       << "% of total; summed across workers)\n"
       << "  OFD validation: " << FormatDouble(ofd_validation_seconds, 3)
       << " s CPU\n"
+      << (fd_kinds_ran
+              ? "  FD validation:  " + FormatDouble(fd_validation_seconds, 3) +
+                    " s CPU\n" + "  AFD validation: " +
+                    FormatDouble(afd_validation_seconds, 3) + " s CPU\n"
+              : "")
       << "  partitions:     " << FormatDouble(partition_seconds, 3)
       << " s CPU (" << partitions_computed << " products)\n"
       << "  planner:        " << planner_derivations << " planned derivations"
@@ -123,22 +153,40 @@ std::string DiscoveryStats::ToString() const {
               : "")
       << "candidates: " << oc_candidates_validated << " OC validated, "
       << oc_candidates_pruned << " OC pruned, " << ofd_candidates_validated
-      << " OFD validated\n"
+      << " OFD validated"
+      << (fd_kinds_ran ? ", " + std::to_string(fd_candidates_validated) +
+                             " FD validated, " +
+                             std::to_string(afd_candidates_validated) +
+                             " AFD validated"
+                       : "")
+      << "\n"
       << "lattice: " << nodes_processed << " nodes over " << levels_processed
       << " levels\n"
       << "found: " << TotalOcs() << " OCs (avg level "
-      << FormatDouble(AverageOcLevel(), 2) << "), " << TotalOfds()
-      << " OFDs\n";
-  out << "per level (level: nodes / OCs / OFDs):\n";
+      << FormatDouble(AverageOcLevel(), 2) << "), " << TotalOfds() << " OFDs"
+      << (fd_kinds_ran ? ", " + std::to_string(TotalFds()) + " FDs, " +
+                             std::to_string(TotalAfds()) + " AFDs"
+                       : "")
+      << "\n";
+  out << (fd_kinds_ran ? "per level (level: nodes / OCs / OFDs / FDs / AFDs):\n"
+                       : "per level (level: nodes / OCs / OFDs):\n");
   size_t max_level = nodes_per_level.size();
   max_level = std::max(max_level, ocs_per_level.size());
   max_level = std::max(max_level, ofds_per_level.size());
+  if (fd_kinds_ran) {
+    max_level = std::max(max_level, fds_per_level.size());
+    max_level = std::max(max_level, afds_per_level.size());
+  }
   for (size_t level = 1; level < max_level; ++level) {
     auto at = [level](const std::vector<int64_t>& v) {
       return level < v.size() ? v[level] : 0;
     };
     out << "  " << level << ": " << at(nodes_per_level) << " / "
-        << at(ocs_per_level) << " / " << at(ofds_per_level) << "\n";
+        << at(ocs_per_level) << " / " << at(ofds_per_level);
+    if (fd_kinds_ran) {
+      out << " / " << at(fds_per_level) << " / " << at(afds_per_level);
+    }
+    out << "\n";
   }
   return out.str();
 }

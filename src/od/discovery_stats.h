@@ -20,6 +20,11 @@ struct DiscoveryStats {
   // The *_wall_seconds fields below are what a user actually waits.
   double oc_validation_seconds = 0.0;
   double ofd_validation_seconds = 0.0;
+  /// CPU time in the FD/AFD validators (0 unless those kinds are enabled;
+  /// their stats lines print only when the kinds actually ran, so the
+  /// default-kind report is unchanged).
+  double fd_validation_seconds = 0.0;
+  double afd_validation_seconds = 0.0;
   double partition_seconds = 0.0;
 
   // Wall-clock per driver phase, accumulated over levels: candidate
@@ -100,6 +105,8 @@ struct DiscoveryStats {
 
   int64_t oc_candidates_validated = 0;
   int64_t ofd_candidates_validated = 0;
+  int64_t fd_candidates_validated = 0;
+  int64_t afd_candidates_validated = 0;
   /// OC pairs discarded by the candidate-set rule (A not in Cc+(X\{B}) or
   /// B not in Cc+(X\{A})) without touching the data.
   int64_t oc_candidates_pruned = 0;
@@ -112,6 +119,8 @@ struct DiscoveryStats {
   /// |context| + 2 for OCs).
   std::vector<int64_t> ocs_per_level;
   std::vector<int64_t> ofds_per_level;
+  std::vector<int64_t> fds_per_level;
+  std::vector<int64_t> afds_per_level;
   std::vector<int64_t> nodes_per_level;
 
   /// Fraction of total runtime spent validating OC candidates. Computed
@@ -121,9 +130,13 @@ struct DiscoveryStats {
   double AverageOcLevel() const;
   int64_t TotalOcs() const;
   int64_t TotalOfds() const;
+  int64_t TotalFds() const;
+  int64_t TotalAfds() const;
 
   void RecordOcAtLevel(int level);
   void RecordOfdAtLevel(int level);
+  void RecordFdAtLevel(int level);
+  void RecordAfdAtLevel(int level);
   void RecordNodesAtLevel(int level, int64_t count);
 
   std::string ToString() const;

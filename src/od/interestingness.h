@@ -10,8 +10,10 @@
 //   2. dependencies whose context partition covers more tuples (fewer
 //      tuples hidden in singleton classes, where any OC holds vacuously)
 //      score higher.
-// Score = coverage / 2^|context|, in (0, 1]; an empty context with full
-// coverage scores 1. See DESIGN.md, "Substitutions".
+// Score = coverage / 2^|context|, in [0, 1]; an empty context with full
+// coverage scores 1, and a vacuous context (every tuple in a singleton
+// class, e.g. a key) scores 0 — ranked last, as nothing it says is
+// tested by any tuple pair. See DESIGN.md, "Substitutions".
 #ifndef AOD_OD_INTERESTINGNESS_H_
 #define AOD_OD_INTERESTINGNESS_H_
 

@@ -45,7 +45,20 @@ struct AttributePair {
   }
 };
 
-/// One lattice node: the attribute set plus its candidate sets.
+/// One lattice node: the attribute set plus the candidate state of every
+/// dependency-kind group that traverses it.
+///
+/// The multi-kind platform runs up to three independent prunings over the
+/// *same* level-wise traversal:
+///   - the OD group (OC + OFD candidates, the original cc/cs machinery),
+///   - the FD group (TANE C+ for plain FDs),
+///   - the AFD group (the same TANE rule under the g1 threshold).
+/// Each group keeps its own candidate sets and its own liveness flag; a
+/// node stays in the level while ANY enabled group is alive, and each
+/// group generates candidates at a node only when every subset node is
+/// alive *for that group*. That reproduces each kind's standalone lattice
+/// exactly — enabling FD/AFD discovery can never add or remove an OC/OFD
+/// result, and vice versa.
 struct LatticeNode {
   AttributeSet set;
   /// C_c+(X): OFD target candidates (attributes of R, not only of X).
@@ -55,6 +68,18 @@ struct LatticeNode {
   /// Attributes A in X for which the OFD X\{A}: [] -> A was validated at
   /// this node (consumed by the next level's trivial-OC pruning).
   AttributeSet constant_here;
+  /// TANE C+(X) of the exact-FD group: targets A still viable for a
+  /// minimal FD through X.
+  AttributeSet cc_fd;
+  /// TANE C+(X) of the AFD group (g1 is monotone in the LHS, so the same
+  /// minimality rule is sound).
+  AttributeSet cc_afd;
+  /// Per-group liveness, written by the driver's merge and read by the
+  /// next level's planning. Defaults keep single-kind runs trivially
+  /// correct for the virtual root node, which is never merged.
+  bool od_alive = true;
+  bool fd_alive = true;
+  bool afd_alive = true;
 };
 
 /// One level of the lattice: nodes of equal set size.

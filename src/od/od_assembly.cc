@@ -18,27 +18,28 @@ std::vector<DiscoveredOd> AssembleOds(const EncodedTable& table,
                                       double epsilon, PartitionCache* cache) {
   AOD_CHECK(cache != nullptr);
   std::vector<DiscoveredOd> out;
-  for (const auto& oc : result.ocs) {
-    if (oc.oc.opposite) continue;
+  const std::vector<const DiscoveredDependency*> ocs = result.Ocs();
+  const std::vector<const DiscoveredDependency*> ofds = result.Ofds();
+  for (const DiscoveredDependency* oc : ocs) {
+    if (oc->opposite) continue;
     // Try both orientations of the OC: A -> B needs OFD (X ∪ {A}): B,
     // B -> A needs OFD (X ∪ {B}): A.
-    const std::pair<int, int> orientations[2] = {{oc.oc.a, oc.oc.b},
-                                                 {oc.oc.b, oc.oc.a}};
+    const std::pair<int, int> orientations[2] = {{oc->a, oc->b},
+                                                 {oc->b, oc->a}};
     for (const auto& [lhs, rhs] : orientations) {
-      AttributeSet ofd_context = oc.oc.context.With(lhs);
+      AttributeSet ofd_context = oc->context.With(lhs);
       auto ofd_it = std::find_if(
-          result.ofds.begin(), result.ofds.end(),
-          [&](const DiscoveredOfd& f) {
-            return f.ofd.context == ofd_context && f.ofd.a == rhs;
+          ofds.begin(), ofds.end(), [&](const DiscoveredDependency* f) {
+            return f->context == ofd_context && f->a == rhs;
           });
-      if (ofd_it == result.ofds.end()) continue;
+      if (ofd_it == ofds.end()) continue;
 
       DiscoveredOd od;
-      od.context = oc.oc.context;
+      od.context = oc->context;
       od.a = lhs;
       od.b = rhs;
-      od.oc_factor = oc.approx_factor;
-      od.ofd_factor = ofd_it->approx_factor;
+      od.oc_factor = oc->error;
+      od.ofd_factor = (*ofd_it)->error;
       // The parts being valid does not bound the whole (Sec. 2.3):
       // compute the OD's own minimal removal set.
       auto partition = cache->Get(od.context);

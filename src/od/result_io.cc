@@ -75,40 +75,82 @@ std::string CsvEscapeField(const std::string& s) {
 std::string ResultToJson(const DiscoveryResult& result,
                          const EncodedTable& table) {
   std::ostringstream out;
-  out << "{\n  \"ocs\": [\n";
-  for (size_t i = 0; i < result.ocs.size(); ++i) {
-    const auto& d = result.ocs[i];
-    out << "    {\"context\": " << ContextArray(d.oc.context, table)
-        << ", \"lhs\": \"" << JsonEscape(table.name(d.oc.a))
-        << "\", \"rhs\": \"" << JsonEscape(table.name(d.oc.b))
-        << "\", \"polarity\": \"" << (d.oc.opposite ? "opposite" : "same")
-        << "\", \"factor\": " << FormatDouble(d.approx_factor, 6)
+  // One record for an OC pair; target kinds (OFD/FD/AFD) share the
+  // rhs-only shape below.
+  auto pair_record = [&](const DiscoveredDependency& d, bool last) {
+    out << "    {\"context\": " << ContextArray(d.context, table)
+        << ", \"lhs\": \"" << JsonEscape(table.name(d.a)) << "\", \"rhs\": \""
+        << JsonEscape(table.name(d.b)) << "\", \"polarity\": \""
+        << (d.opposite ? "opposite" : "same")
+        << "\", \"factor\": " << FormatDouble(d.error, 6)
         << ", \"removal\": " << d.removal_size << ", \"level\": " << d.level
         << ", \"score\": " << FormatDouble(d.interestingness, 6) << "}"
-        << (i + 1 < result.ocs.size() ? "," : "") << "\n";
+        << (last ? "" : ",") << "\n";
+  };
+  auto target_record = [&](const DiscoveredDependency& d, bool last) {
+    out << "    {\"context\": " << ContextArray(d.context, table)
+        << ", \"rhs\": \"" << JsonEscape(table.name(d.a))
+        << "\", \"factor\": " << FormatDouble(d.error, 6)
+        << ", \"removal\": " << d.removal_size << ", \"level\": " << d.level
+        << ", \"score\": " << FormatDouble(d.interestingness, 6) << "}"
+        << (last ? "" : ",") << "\n";
+  };
+  const auto ocs = result.Ocs();
+  const auto ofds = result.Ofds();
+  const auto fds = result.Fds();
+  const auto afds = result.Afds();
+  out << "{\n  \"ocs\": [\n";
+  for (size_t i = 0; i < ocs.size(); ++i) {
+    pair_record(*ocs[i], i + 1 == ocs.size());
   }
   out << "  ],\n  \"ofds\": [\n";
-  for (size_t i = 0; i < result.ofds.size(); ++i) {
-    const auto& d = result.ofds[i];
-    out << "    {\"context\": " << ContextArray(d.ofd.context, table)
-        << ", \"rhs\": \"" << JsonEscape(table.name(d.ofd.a))
-        << "\", \"factor\": " << FormatDouble(d.approx_factor, 6)
-        << ", \"removal\": " << d.removal_size << ", \"level\": " << d.level
-        << ", \"score\": " << FormatDouble(d.interestingness, 6) << "}"
-        << (i + 1 < result.ofds.size() ? "," : "") << "\n";
+  for (size_t i = 0; i < ofds.size(); ++i) {
+    target_record(*ofds[i], i + 1 == ofds.size());
   }
-  out << "  ],\n  \"stats\": {\n"
+  out << "  ],\n";
+  // FD/AFD sections appear only when those kinds produced results, so an
+  // oc+ofd run (the default) emits the document PR 8 clients parse.
+  if (!fds.empty()) {
+    out << "  \"fds\": [\n";
+    for (size_t i = 0; i < fds.size(); ++i) {
+      target_record(*fds[i], i + 1 == fds.size());
+    }
+    out << "  ],\n";
+  }
+  if (!afds.empty()) {
+    out << "  \"afds\": [\n";
+    for (size_t i = 0; i < afds.size(); ++i) {
+      target_record(*afds[i], i + 1 == afds.size());
+    }
+    out << "  ],\n";
+  }
+  const bool fd_kinds_ran = result.stats.fd_candidates_validated +
+                                result.stats.afd_candidates_validated >
+                            0;
+  out << "  \"stats\": {\n"
       << "    \"total_seconds\": "
       << FormatDouble(result.stats.total_seconds, 6) << ",\n"
       << "    \"oc_validation_seconds\": "
       << FormatDouble(result.stats.oc_validation_seconds, 6) << ",\n"
       << "    \"ofd_validation_seconds\": "
-      << FormatDouble(result.stats.ofd_validation_seconds, 6) << ",\n"
-      << "    \"oc_candidates_validated\": "
+      << FormatDouble(result.stats.ofd_validation_seconds, 6) << ",\n";
+  if (fd_kinds_ran) {
+    out << "    \"fd_validation_seconds\": "
+        << FormatDouble(result.stats.fd_validation_seconds, 6) << ",\n"
+        << "    \"afd_validation_seconds\": "
+        << FormatDouble(result.stats.afd_validation_seconds, 6) << ",\n";
+  }
+  out << "    \"oc_candidates_validated\": "
       << result.stats.oc_candidates_validated << ",\n"
       << "    \"ofd_candidates_validated\": "
-      << result.stats.ofd_candidates_validated << ",\n"
-      << "    \"oc_candidates_pruned\": "
+      << result.stats.ofd_candidates_validated << ",\n";
+  if (fd_kinds_ran) {
+    out << "    \"fd_candidates_validated\": "
+        << result.stats.fd_candidates_validated << ",\n"
+        << "    \"afd_candidates_validated\": "
+        << result.stats.afd_candidates_validated << ",\n";
+  }
+  out << "    \"oc_candidates_pruned\": "
       << result.stats.oc_candidates_pruned << ",\n"
       << "    \"nodes_processed\": " << result.stats.nodes_processed
       << ",\n"
@@ -128,20 +170,25 @@ std::string ResultToCsv(const DiscoveryResult& result,
     context.ForEach([&](int a) { names.push_back(table.name(a)); });
     return JoinStrings(names, "|");
   };
-  for (const auto& d : result.ocs) {
-    out << "oc," << CsvEscapeField(context_string(d.oc.context)) << ","
-        << CsvEscapeField(table.name(d.oc.a)) << ","
-        << CsvEscapeField(table.name(d.oc.b)) << ","
-        << (d.oc.opposite ? "opposite" : "same") << ","
-        << FormatDouble(d.approx_factor, 6) << "," << d.removal_size << ","
+  auto target_row = [&](const char* kind, const DiscoveredDependency& d) {
+    out << kind << "," << CsvEscapeField(context_string(d.context)) << ",,"
+        << CsvEscapeField(table.name(d.a)) << ",,"
+        << FormatDouble(d.error, 6) << "," << d.removal_size << ","
         << d.level << "," << FormatDouble(d.interestingness, 6) << "\n";
+  };
+  // Kind-grouped row order (all OCs, then OFDs, FDs, AFDs) — the PR 8
+  // layout, with the new kinds appended.
+  for (const DiscoveredDependency* d : result.Ocs()) {
+    out << "oc," << CsvEscapeField(context_string(d->context)) << ","
+        << CsvEscapeField(table.name(d->a)) << ","
+        << CsvEscapeField(table.name(d->b)) << ","
+        << (d->opposite ? "opposite" : "same") << ","
+        << FormatDouble(d->error, 6) << "," << d->removal_size << ","
+        << d->level << "," << FormatDouble(d->interestingness, 6) << "\n";
   }
-  for (const auto& d : result.ofds) {
-    out << "ofd," << CsvEscapeField(context_string(d.ofd.context)) << ",,"
-        << CsvEscapeField(table.name(d.ofd.a)) << ",,"
-        << FormatDouble(d.approx_factor, 6) << "," << d.removal_size << ","
-        << d.level << "," << FormatDouble(d.interestingness, 6) << "\n";
-  }
+  for (const DiscoveredDependency* d : result.Ofds()) target_row("ofd", *d);
+  for (const DiscoveredDependency* d : result.Fds()) target_row("fd", *d);
+  for (const DiscoveredDependency* d : result.Afds()) target_row("afd", *d);
   return out.str();
 }
 
@@ -159,12 +206,18 @@ namespace {
 /// Bump on any layout change; the decoder rejects everything else. The
 /// blob is an internal interchange format (server <-> client of the same
 /// build lineage), so there is no cross-version decode path.
-constexpr uint16_t kResultBlobVersion = 1;
+///
+/// Version 2: the per-kind OC/OFD record lists became one unified list of
+/// kind-tagged DiscoveredDependency records, and DiscoveryStats gained
+/// the FD/AFD counter block.
+constexpr uint16_t kResultBlobVersion = 2;
 
 void PutStats(shard::WireWriter& w, const DiscoveryStats& s) {
   w.PutDouble(s.total_seconds);
   w.PutDouble(s.oc_validation_seconds);
   w.PutDouble(s.ofd_validation_seconds);
+  w.PutDouble(s.fd_validation_seconds);
+  w.PutDouble(s.afd_validation_seconds);
   w.PutDouble(s.partition_seconds);
   w.PutDouble(s.candidate_wall_seconds);
   w.PutDouble(s.validation_wall_seconds);
@@ -198,6 +251,8 @@ void PutStats(shard::WireWriter& w, const DiscoveryStats& s) {
   w.PutVarintI64(s.partitions_evicted);
   w.PutVarintI64(s.oc_candidates_validated);
   w.PutVarintI64(s.ofd_candidates_validated);
+  w.PutVarintI64(s.fd_candidates_validated);
+  w.PutVarintI64(s.afd_candidates_validated);
   w.PutVarintI64(s.oc_candidates_pruned);
   w.PutVarintI64(s.nodes_processed);
   w.PutVarintI64(s.partitions_computed);
@@ -206,6 +261,10 @@ void PutStats(shard::WireWriter& w, const DiscoveryStats& s) {
   for (int64_t v : s.ocs_per_level) w.PutVarintI64(v);
   w.PutVarint(s.ofds_per_level.size());
   for (int64_t v : s.ofds_per_level) w.PutVarintI64(v);
+  w.PutVarint(s.fds_per_level.size());
+  for (int64_t v : s.fds_per_level) w.PutVarintI64(v);
+  w.PutVarint(s.afds_per_level.size());
+  for (int64_t v : s.afds_per_level) w.PutVarintI64(v);
   w.PutVarint(s.nodes_per_level.size());
   for (int64_t v : s.nodes_per_level) w.PutVarintI64(v);
 }
@@ -233,6 +292,8 @@ Status GetStats(shard::WireReader& r, DiscoveryStats* s) {
   AOD_RETURN_NOT_OK(r.GetDouble(&s->total_seconds));
   AOD_RETURN_NOT_OK(r.GetDouble(&s->oc_validation_seconds));
   AOD_RETURN_NOT_OK(r.GetDouble(&s->ofd_validation_seconds));
+  AOD_RETURN_NOT_OK(r.GetDouble(&s->fd_validation_seconds));
+  AOD_RETURN_NOT_OK(r.GetDouble(&s->afd_validation_seconds));
   AOD_RETURN_NOT_OK(r.GetDouble(&s->partition_seconds));
   AOD_RETURN_NOT_OK(r.GetDouble(&s->candidate_wall_seconds));
   AOD_RETURN_NOT_OK(r.GetDouble(&s->validation_wall_seconds));
@@ -276,6 +337,8 @@ Status GetStats(shard::WireReader& r, DiscoveryStats* s) {
   AOD_RETURN_NOT_OK(r.GetVarintI64(&s->partitions_evicted));
   AOD_RETURN_NOT_OK(r.GetVarintI64(&s->oc_candidates_validated));
   AOD_RETURN_NOT_OK(r.GetVarintI64(&s->ofd_candidates_validated));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->fd_candidates_validated));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&s->afd_candidates_validated));
   AOD_RETURN_NOT_OK(r.GetVarintI64(&s->oc_candidates_pruned));
   AOD_RETURN_NOT_OK(r.GetVarintI64(&s->nodes_processed));
   AOD_RETURN_NOT_OK(r.GetVarintI64(&s->partitions_computed));
@@ -283,6 +346,8 @@ Status GetStats(shard::WireReader& r, DiscoveryStats* s) {
   s->levels_processed = static_cast<int>(v);
   AOD_RETURN_NOT_OK(GetI64Vector(r, &s->ocs_per_level));
   AOD_RETURN_NOT_OK(GetI64Vector(r, &s->ofds_per_level));
+  AOD_RETURN_NOT_OK(GetI64Vector(r, &s->fds_per_level));
+  AOD_RETURN_NOT_OK(GetI64Vector(r, &s->afds_per_level));
   AOD_RETURN_NOT_OK(GetI64Vector(r, &s->nodes_per_level));
   return Status::OK();
 }
@@ -300,23 +365,14 @@ Status CheckAttribute(int a, const char* what) {
 std::vector<uint8_t> SerializeResult(const DiscoveryResult& result) {
   shard::WireWriter w;
   w.PutU16(kResultBlobVersion);
-  w.PutVarint(result.ocs.size());
-  for (const auto& d : result.ocs) {
-    w.PutVarint(d.oc.context.bits());
-    w.PutVarintI64(d.oc.a);
-    w.PutVarintI64(d.oc.b);
-    w.PutU8(d.oc.opposite ? 1 : 0);
-    w.PutDouble(d.approx_factor);
-    w.PutVarintI64(d.removal_size);
-    w.PutVarintI64(d.level);
-    w.PutDouble(d.interestingness);
-    w.PutI32Array(d.removal_rows);
-  }
-  w.PutVarint(result.ofds.size());
-  for (const auto& d : result.ofds) {
-    w.PutVarint(d.ofd.context.bits());
-    w.PutVarintI64(d.ofd.a);
-    w.PutDouble(d.approx_factor);
+  w.PutVarint(result.dependencies.size());
+  for (const auto& d : result.dependencies) {
+    w.PutU8(static_cast<uint8_t>(d.kind));
+    w.PutVarint(d.context.bits());
+    w.PutVarintI64(d.a);
+    w.PutVarintI64(d.b);
+    w.PutU8(d.opposite ? 1 : 0);
+    w.PutDouble(d.error);
     w.PutVarintI64(d.removal_size);
     w.PutVarintI64(d.level);
     w.PutDouble(d.interestingness);
@@ -339,60 +395,55 @@ Result<DiscoveryResult> DeserializeResult(const uint8_t* data, size_t size) {
                               std::to_string(version));
   }
   DiscoveryResult result;
-  uint64_t oc_count = 0;
-  AOD_RETURN_NOT_OK(r.GetVarint(&oc_count));
-  if (oc_count > r.remaining()) {
-    return Status::ParseError("result blob: OC count exceeds payload");
+  uint64_t count = 0;
+  AOD_RETURN_NOT_OK(r.GetVarint(&count));
+  if (count > r.remaining()) {
+    return Status::ParseError(
+        "result blob: dependency count exceeds payload");
   }
-  result.ocs.reserve(oc_count);
-  for (uint64_t i = 0; i < oc_count; ++i) {
-    DiscoveredOc d;
+  result.dependencies.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    DiscoveredDependency d;
+    uint8_t kind = 0;
     uint64_t bits = 0;
     int64_t v = 0;
+    AOD_RETURN_NOT_OK(r.GetU8(&kind));
+    if (kind >= kNumDependencyKinds) {
+      return Status::ParseError("result blob: unknown dependency kind id " +
+                                std::to_string(kind));
+    }
+    d.kind = static_cast<DependencyKind>(kind);
     AOD_RETURN_NOT_OK(r.GetVarint(&bits));
-    d.oc.context = AttributeSet(bits);
+    d.context = AttributeSet(bits);
     AOD_RETURN_NOT_OK(r.GetVarintI64(&v));
-    d.oc.a = static_cast<int>(v);
+    d.a = static_cast<int>(v);
     AOD_RETURN_NOT_OK(r.GetVarintI64(&v));
-    d.oc.b = static_cast<int>(v);
-    AOD_RETURN_NOT_OK(CheckAttribute(d.oc.a, "OC lhs"));
-    AOD_RETURN_NOT_OK(CheckAttribute(d.oc.b, "OC rhs"));
+    d.b = static_cast<int>(v);
     uint8_t opposite = 0;
     AOD_RETURN_NOT_OK(r.GetU8(&opposite));
     if (opposite > 1) {
-      return Status::ParseError("result blob: bad OC polarity flag");
+      return Status::ParseError("result blob: bad polarity flag");
     }
-    d.oc.opposite = opposite != 0;
-    AOD_RETURN_NOT_OK(r.GetDouble(&d.approx_factor));
+    d.opposite = opposite != 0;
+    // The pair fields are meaningful only for the OC kind; a target-kind
+    // record carrying them is a forgery, not a benign extra.
+    if (d.kind == DependencyKind::kOc) {
+      AOD_RETURN_NOT_OK(CheckAttribute(d.a, "OC lhs"));
+      AOD_RETURN_NOT_OK(CheckAttribute(d.b, "OC rhs"));
+    } else {
+      AOD_RETURN_NOT_OK(CheckAttribute(d.a, "target"));
+      if (d.b != -1 || d.opposite) {
+        return Status::ParseError(
+            "result blob: target-kind record carries OC pair fields");
+      }
+    }
+    AOD_RETURN_NOT_OK(r.GetDouble(&d.error));
     AOD_RETURN_NOT_OK(r.GetVarintI64(&d.removal_size));
     AOD_RETURN_NOT_OK(r.GetVarintI64(&v));
     d.level = static_cast<int>(v);
     AOD_RETURN_NOT_OK(r.GetDouble(&d.interestingness));
     AOD_RETURN_NOT_OK(r.GetI32Array(&d.removal_rows));
-    result.ocs.push_back(std::move(d));
-  }
-  uint64_t ofd_count = 0;
-  AOD_RETURN_NOT_OK(r.GetVarint(&ofd_count));
-  if (ofd_count > r.remaining()) {
-    return Status::ParseError("result blob: OFD count exceeds payload");
-  }
-  result.ofds.reserve(ofd_count);
-  for (uint64_t i = 0; i < ofd_count; ++i) {
-    DiscoveredOfd d;
-    uint64_t bits = 0;
-    int64_t v = 0;
-    AOD_RETURN_NOT_OK(r.GetVarint(&bits));
-    d.ofd.context = AttributeSet(bits);
-    AOD_RETURN_NOT_OK(r.GetVarintI64(&v));
-    d.ofd.a = static_cast<int>(v);
-    AOD_RETURN_NOT_OK(CheckAttribute(d.ofd.a, "OFD rhs"));
-    AOD_RETURN_NOT_OK(r.GetDouble(&d.approx_factor));
-    AOD_RETURN_NOT_OK(r.GetVarintI64(&d.removal_size));
-    AOD_RETURN_NOT_OK(r.GetVarintI64(&v));
-    d.level = static_cast<int>(v);
-    AOD_RETURN_NOT_OK(r.GetDouble(&d.interestingness));
-    AOD_RETURN_NOT_OK(r.GetI32Array(&d.removal_rows));
-    result.ofds.push_back(std::move(d));
+    result.dependencies.push_back(std::move(d));
   }
   AOD_RETURN_NOT_OK(GetStats(r, &result.stats));
   uint8_t flag = 0;

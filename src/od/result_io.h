@@ -18,13 +18,16 @@
 
 namespace aod {
 
-/// JSON document with "ocs", "ofds" and "stats" sections. Attribute
-/// references are emitted as names. Stable key order, 2-space indent.
+/// JSON document with "ocs", "ofds" and "stats" sections — plus "fds"
+/// and "afds" sections when those kinds produced results, so an oc+ofd
+/// run emits the pre-multi-kind document unchanged. Attribute references
+/// are emitted as names. Stable key order, 2-space indent.
 std::string ResultToJson(const DiscoveryResult& result,
                          const EncodedTable& table);
 
 /// Flat CSV: kind,context,lhs,rhs,polarity,factor,removal,level,score —
-/// one row per discovered dependency (OFDs leave lhs empty).
+/// one row per discovered dependency, grouped by kind (oc, ofd, fd,
+/// afd). Target kinds leave lhs and polarity empty.
 std::string ResultToCsv(const DiscoveryResult& result,
                         const EncodedTable& table);
 

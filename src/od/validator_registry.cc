@@ -1,0 +1,79 @@
+#include "od/validator_registry.h"
+
+#include "od/aoc_iterative_validator.h"
+#include "od/aoc_lis_validator.h"
+#include "od/fd_validator.h"
+#include "od/oc_validator.h"
+#include "od/ofd_validator.h"
+
+namespace aod {
+namespace {
+
+DependencyVerdict FromOutcome(ValidationOutcome outcome) {
+  DependencyVerdict verdict;
+  verdict.valid = outcome.valid;
+  verdict.error = outcome.approx_factor;
+  verdict.removal_size = outcome.removal_size;
+  verdict.early_exit = outcome.early_exit;
+  verdict.removal_rows = std::move(outcome.removal_rows);
+  return verdict;
+}
+
+}  // namespace
+
+DependencyVerdict ValidateDependency(const ValidationRequest& request) {
+  const EncodedTable& table = *request.table;
+  const StrippedPartition& partition = *request.context_partition;
+  ValidatorOptions vopts = request.options;
+  switch (request.kind) {
+    case DependencyKind::kOfd: {
+      if (request.algorithm == ValidatorKind::kExact) {
+        DependencyVerdict verdict;
+        verdict.valid = ValidateOfdExact(table, partition, request.target);
+        return verdict;
+      }
+      return FromOutcome(ValidateOfdApprox(table, partition, request.target,
+                                           request.epsilon,
+                                           request.table_rows, vopts,
+                                           request.scratch));
+    }
+    case DependencyKind::kOc: {
+      const AttributePair pair = request.pair;
+      vopts.opposite_polarity = pair.opposite;
+      switch (request.algorithm) {
+        case ValidatorKind::kExact: {
+          DependencyVerdict verdict;
+          verdict.valid = ValidateOcExact(table, partition, pair.a, pair.b,
+                                          pair.opposite, request.scratch);
+          return verdict;
+        }
+        case ValidatorKind::kIterative:
+          return FromOutcome(ValidateAocIterative(
+              table, partition, pair.a, pair.b, request.epsilon,
+              request.table_rows, vopts, request.scratch));
+        case ValidatorKind::kOptimal:
+          return FromOutcome(
+              request.sampler != nullptr
+                  ? request.sampler->Validate(partition, pair.a, pair.b,
+                                              request.epsilon, vopts,
+                                              request.scratch)
+                  : ValidateAocOptimal(table, partition, pair.a, pair.b,
+                                       request.epsilon, request.table_rows,
+                                       vopts, request.scratch));
+      }
+      break;
+    }
+    case DependencyKind::kFd: {
+      DependencyVerdict verdict;
+      verdict.valid = ValidateFdExact(table, partition, request.target);
+      return verdict;
+    }
+    case DependencyKind::kAfd:
+      return FromOutcome(ValidateAfdG1(table, partition, request.target,
+                                       request.afd_error, request.table_rows,
+                                       vopts, request.scratch));
+  }
+  return DependencyVerdict{};
+}
+
+}  // namespace aod

@@ -1,0 +1,82 @@
+// The validator registry: one dispatch point for every dependency kind.
+//
+// Before the multi-kind platform, the candidate-dispatch switch lived
+// twice — once in the discovery driver, once in the shard runner — and
+// the two had to mirror each other exactly for sharded output to stay
+// bit-identical. The registry collapses both call sites onto a single
+// pure function keyed by DependencyKind: a ValidationRequest names the
+// candidate (kind, context partition, target attribute or pair), the
+// per-kind threshold and the algorithm/scratch environment, and the
+// verdict comes back in one typed shape with a kind-appropriate error
+// measure:
+//
+//   kind   validator                        error measure
+//   ----   -------------------------------  -------------------------
+//   kOc    exact / iterative / optimal AOC  removal fraction |s|/|r|
+//   kOfd   exact / approx constancy         removal fraction |s|/|r|
+//   kFd    exact refinement test            0 (exact by definition)
+//   kAfd   g1 pair counting                 g1 violating-pair fraction
+//
+// The dispatch is a pure function of the request (the sampler, when
+// present, is seeded per run), which is what lets a shard runner and the
+// in-process driver produce bit-identical outcomes from the same
+// candidate.
+#ifndef AOD_OD_VALIDATOR_REGISTRY_H_
+#define AOD_OD_VALIDATOR_REGISTRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/encoder.h"
+#include "od/canonical_od.h"
+#include "od/dependency_kind.h"
+#include "od/discovery.h"
+#include "od/hybrid_sampler.h"
+#include "od/lattice.h"
+#include "od/validator_scratch.h"
+#include "partition/stripped_partition.h"
+
+namespace aod {
+
+/// Everything one validation needs. `target` is the RHS attribute for
+/// kOfd/kFd/kAfd; `pair` is the OC pair for kOc (its polarity rides in
+/// pair.opposite). `epsilon` must already be zeroed for the exact
+/// validator (the driver and runner both do this once per run).
+struct ValidationRequest {
+  const EncodedTable* table = nullptr;
+  const StrippedPartition* context_partition = nullptr;
+  DependencyKind kind = DependencyKind::kOc;
+  int target = -1;
+  AttributePair pair;
+  /// Algorithm for the OC/OFD kinds; kFd/kAfd ignore it (exact FD is a
+  /// single refinement test, AFD is always the g1 counter).
+  ValidatorKind algorithm = ValidatorKind::kOptimal;
+  double epsilon = 0.0;
+  double afd_error = 0.05;
+  int64_t table_rows = 0;
+  ValidatorOptions options;
+  /// Optional sampling fast-reject, consulted only for kOc under the
+  /// optimal validator (mirrors the pre-registry behavior).
+  AocSampler* sampler = nullptr;
+  ValidatorScratch* scratch = nullptr;
+};
+
+/// One typed verdict. `error` is the kind's own measure (see the table
+/// above); `removal_size` is the rows-to-delete count every kind can
+/// report (for kAfd it rides along while validity is decided by g1).
+struct DependencyVerdict {
+  bool valid = false;
+  double error = 0.0;
+  int64_t removal_size = 0;
+  bool early_exit = false;
+  std::vector<int32_t> removal_rows;
+};
+
+/// Validates one candidate. The caller owns partitions and scratch; the
+/// function never touches shared mutable state, so concurrent calls on
+/// distinct scratch instances are safe.
+DependencyVerdict ValidateDependency(const ValidationRequest& request);
+
+}  // namespace aod
+
+#endif  // AOD_OD_VALIDATOR_REGISTRY_H_

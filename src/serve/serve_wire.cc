@@ -40,6 +40,9 @@ WireJobOptions WireJobOptionsFrom(const DiscoveryOptions& options) {
   WireJobOptions wire;
   wire.epsilon = options.epsilon;
   wire.validator = static_cast<uint8_t>(options.validator);
+  wire.kinds = options.kinds.bits();
+  wire.afd_error = options.afd_error;
+  wire.top_k = options.top_k;
   wire.max_level = options.max_level;
   wire.max_lhs_arity = options.max_lhs_arity;
   wire.bidirectional = options.bidirectional;
@@ -58,6 +61,9 @@ DiscoveryOptions ToDiscoveryOptions(const WireJobOptions& wire) {
   DiscoveryOptions options;
   options.epsilon = wire.epsilon;
   options.validator = static_cast<ValidatorKind>(wire.validator);
+  options.kinds = DependencyKindSet(wire.kinds);
+  options.afd_error = wire.afd_error;
+  options.top_k = wire.top_k;
   options.max_level = wire.max_level;
   options.max_lhs_arity = wire.max_lhs_arity;
   options.bidirectional = wire.bidirectional;
@@ -78,6 +84,9 @@ std::vector<uint8_t> EncodeJobSubmit(const WireJobSubmit& submit) {
   const WireJobOptions& o = submit.options;
   w.PutDouble(o.epsilon);
   w.PutU8(o.validator);
+  w.PutU32(o.kinds);
+  w.PutDouble(o.afd_error);
+  w.PutVarintI64(o.top_k);
   w.PutI32(o.max_level);
   w.PutI32(o.max_lhs_arity);
   w.PutU8(o.bidirectional ? 1 : 0);
@@ -104,6 +113,20 @@ Result<WireJobSubmit> DecodeJobSubmit(const DecodedFrame& frame) {
   AOD_RETURN_NOT_OK(r.GetU8(&o.validator));
   if (o.validator > 2) {
     return Status::ParseError("job submit: unknown validator kind");
+  }
+  AOD_RETURN_NOT_OK(r.GetU32(&o.kinds));
+  if (o.kinds == 0 || !DependencyKindSet(o.kinds).IsValid()) {
+    return Status::ParseError(
+        "job submit: dependency-kind set invalid (bits " +
+        std::to_string(o.kinds) + ")");
+  }
+  AOD_RETURN_NOT_OK(r.GetDouble(&o.afd_error));
+  if (!(o.afd_error >= 0.0 && o.afd_error <= 1.0)) {
+    return Status::ParseError("job submit: afd_error outside [0, 1]");
+  }
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&o.top_k));
+  if (o.top_k < 0) {
+    return Status::ParseError("job submit: negative top_k");
   }
   AOD_RETURN_NOT_OK(r.GetI32(&o.max_level));
   AOD_RETURN_NOT_OK(r.GetI32(&o.max_lhs_arity));

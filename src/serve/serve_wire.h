@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "od/dependency_kind.h"
 #include "od/discovery.h"
 #include "shard/wire.h"
 
@@ -63,6 +64,14 @@ struct WireJobOptions {
   double epsilon = 0.10;
   /// ValidatorKind underlying value; decoders reject > 2.
   uint8_t validator = 2;
+  /// DependencyKindSet bits; decoders reject empty or out-of-range sets.
+  uint32_t kinds = DependencyKindSet::OdDefault().bits();
+  /// Maximum g1 error for AFD candidates; decoders reject values
+  /// outside [0, 1].
+  double afd_error = 0.05;
+  /// Keep only the k highest-ranked dependencies (0 = all); decoders
+  /// reject negative values.
+  int64_t top_k = 0;
   int32_t max_level = 0;
   int32_t max_lhs_arity = 0;
   bool bidirectional = false;

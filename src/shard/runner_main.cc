@@ -147,6 +147,8 @@ int ShardRunnerMain(int argc, char** argv) {
   options.partition_memory_budget_bytes =
       config->partition_memory_budget_bytes;
   options.wire_compression = config->wire_compression;
+  options.kinds = DependencyKindSet(config->kinds);
+  options.afd_error = config->afd_error;
 
   std::unique_ptr<exec::ThreadPool> pool;
   if (config->num_threads > 1) {

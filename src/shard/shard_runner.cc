@@ -6,11 +6,8 @@
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "exec/parallel_for.h"
-#include "od/aoc_iterative_validator.h"
-#include "od/aoc_lis_validator.h"
 #include "od/interestingness.h"
-#include "od/oc_validator.h"
-#include "od/ofd_validator.h"
+#include "od/validator_registry.h"
 
 namespace aod {
 namespace shard {
@@ -118,6 +115,18 @@ Status ShardRunner::HandleCandidateBatch(const DecodedFrame& frame,
   AOD_ASSIGN_OR_RETURN(std::vector<WireCandidate> batch,
                        DecodeCandidateBatch(frame, &decoded_counts_));
 
+  // A candidate whose kind this run never enabled is a coordinator bug
+  // (or a corrupted-but-checksum-valid stream), not work to skip: reject
+  // the whole batch before spending any validation time on it.
+  for (const WireCandidate& c : batch) {
+    if (!options_.kinds.Contains(c.kind)) {
+      return Status::InvalidArgument(
+          "candidate batch carries kind '" +
+          std::string(DependencyKindToString(c.kind)) +
+          "' outside the configured set " + options_.kinds.ToString());
+    }
+  }
+
   // Parallel over the batch on the shared pool (nested fork/join is safe;
   // the coordinator runs each shard as one pool task). Every outcome slot
   // is written by exactly one iteration; `done` marks the candidates that
@@ -190,57 +199,35 @@ void ShardRunner::ValidateOne(const WireCandidate& candidate,
     partition_nanos_.fetch_add(derive_sw.ElapsedNanos(),
                                std::memory_order_relaxed);
   }
-  ValidatorOptions vopts;
-  vopts.collect_removal_set = options_.collect_removal_sets;
   std::unique_ptr<ValidatorScratch> scratch = AcquireScratch();
 
-  ValidationOutcome outcome;
+  ValidationRequest request;
+  request.table = table_;
+  request.context_partition = partition.get();
+  request.kind = candidate.kind;
+  request.target = candidate.target;
+  request.pair =
+      AttributePair{candidate.pair_a, candidate.pair_b, candidate.opposite};
+  request.algorithm = options_.validator;
+  request.epsilon = epsilon_;
+  request.afd_error = options_.afd_error;
+  request.table_rows = table_->num_rows();
+  request.options.collect_removal_set = options_.collect_removal_sets;
+  request.sampler = sampler_.get();
+  request.scratch = scratch.get();
+
   Stopwatch sw;
-  if (candidate.is_ofd) {
-    if (options_.validator == ValidatorKind::kExact) {
-      outcome.valid =
-          ValidateOfdExact(*table_, *partition, candidate.ofd_target);
-    } else {
-      outcome = ValidateOfdApprox(*table_, *partition, candidate.ofd_target,
-                                  epsilon_, table_->num_rows(), vopts,
-                                  scratch.get());
-    }
-  } else {
-    vopts.opposite_polarity = candidate.opposite;
-    switch (options_.validator) {
-      case ValidatorKind::kExact:
-        outcome.valid =
-            ValidateOcExact(*table_, *partition, candidate.pair_a,
-                            candidate.pair_b, candidate.opposite,
-                            scratch.get());
-        break;
-      case ValidatorKind::kIterative:
-        outcome = ValidateAocIterative(*table_, *partition, candidate.pair_a,
-                                       candidate.pair_b, epsilon_,
-                                       table_->num_rows(), vopts,
-                                       scratch.get());
-        break;
-      case ValidatorKind::kOptimal:
-        outcome = sampler_ != nullptr
-                      ? sampler_->Validate(*partition, candidate.pair_a,
-                                           candidate.pair_b, epsilon_, vopts,
-                                           scratch.get())
-                      : ValidateAocOptimal(*table_, *partition,
-                                           candidate.pair_a, candidate.pair_b,
-                                           epsilon_, table_->num_rows(), vopts,
-                                           scratch.get());
-        break;
-    }
-  }
+  DependencyVerdict verdict = ValidateDependency(request);
   out->seconds = sw.ElapsedSeconds();
   ReleaseScratch(std::move(scratch));
 
   out->slot = candidate.slot;
-  out->valid = outcome.valid;
-  out->early_exit = outcome.early_exit;
-  out->removal_size = outcome.removal_size;
-  out->approx_factor = outcome.approx_factor;
-  out->removal_rows = std::move(outcome.removal_rows);
+  out->kind = candidate.kind;
+  out->valid = verdict.valid;
+  out->early_exit = verdict.early_exit;
+  out->removal_size = verdict.removal_size;
+  out->approx_factor = verdict.error;
+  out->removal_rows = std::move(verdict.removal_rows);
   out->interestingness =
       InterestingnessScore(*partition, context.size(), table_->num_rows());
 }

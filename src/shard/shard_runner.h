@@ -30,6 +30,7 @@
 
 #include "common/status.h"
 #include "data/encoder.h"
+#include "od/dependency_kind.h"
 #include "od/discovery.h"
 #include "od/validator_scratch.h"
 #include "partition/partition_cache.h"
@@ -56,6 +57,12 @@ struct ShardRunnerOptions {
   /// Raw threshold; the runner zeroes it for the exact validator, same
   /// as the discovery driver.
   double epsilon = 0.1;
+  /// Dependency kinds this run may ship to the shard. The runner rejects
+  /// whole batches carrying any candidate outside the set — a kind the
+  /// coordinator never enabled is a protocol violation, not a skip.
+  DependencyKindSet kinds = DependencyKindSet::OdDefault();
+  /// Maximum g1 error for kAfd candidates (DiscoveryOptions::afd_error).
+  double afd_error = 0.05;
   bool collect_removal_sets = false;
   bool enable_sampling_filter = false;
   SamplerConfig sampler_config;
@@ -136,8 +143,9 @@ class ShardRunner {
                               const std::function<bool()>& cancel);
   Status HandleShutdown();
   void SampleResidency();
-  /// One validation — mirrors the discovery driver's candidate dispatch
-  /// exactly so sharded and unsharded outcomes are bit-identical.
+  /// One validation through the shared kind-keyed registry — the same
+  /// dispatch the discovery driver uses, so sharded and unsharded
+  /// outcomes are bit-identical.
   void ValidateOne(const WireCandidate& candidate, WireOutcome* out);
 
   std::unique_ptr<ValidatorScratch> AcquireScratch();

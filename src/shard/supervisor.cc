@@ -200,6 +200,8 @@ Status ShardSupervisor::BuildAttempt(bool force_inproc,
       config.partition_memory_budget_bytes =
           ropts.partition_memory_budget_bytes;
       config.wire_compression = ropts.wire_compression;
+      config.kinds = ropts.kinds.bits();
+      config.afd_error = ropts.afd_error;
       // N children each as wide as the coordinator would oversubscribe
       // the machine N-fold; give each its slice of the pool instead.
       config.num_threads = static_cast<uint32_t>(

@@ -600,15 +600,17 @@ Result<std::pair<AttributeSet, StrippedPartition>> DecodePartitionBlock(
 
 namespace {
 
-/// Fixed-width (version-1) candidate body: u64 count + 30 bytes each.
+/// Fixed-width candidate body: u64 count + 30 bytes each (version 4
+/// replaced the version-1 is_ofd byte with the DependencyKind id at the
+/// same offset, keeping the record width).
 void AppendRawCandidates(const std::vector<WireCandidate>& candidates,
                          WireWriter* writer) {
   writer->PutU64(candidates.size());
   for (const WireCandidate& c : candidates) {
     writer->PutU64(c.slot);
     writer->PutU64(c.context_bits);
-    writer->PutU8(c.is_ofd ? 1 : 0);
-    writer->PutI32(c.ofd_target);
+    writer->PutU8(static_cast<uint8_t>(c.kind));
+    writer->PutI32(c.target);
     writer->PutI32(c.pair_a);
     writer->PutI32(c.pair_b);
     writer->PutU8(c.opposite ? 1 : 0);
@@ -623,9 +625,10 @@ bool TryCompressCandidates(const std::vector<WireCandidate>& candidates,
     body->PutVarintI64(static_cast<int64_t>(c.slot) - prev_slot);
     prev_slot = static_cast<int64_t>(c.slot);
     body->PutVarint(c.context_bits);
-    body->PutU8(static_cast<uint8_t>((c.is_ofd ? 1 : 0) |
-                                     (c.opposite ? 2 : 0)));
-    body->PutVarintI64(c.ofd_target);
+    // Two kind bits + the polarity bit; anything above bit 2 is unknown.
+    body->PutU8(static_cast<uint8_t>(static_cast<uint8_t>(c.kind) |
+                                     (c.opposite ? 4 : 0)));
+    body->PutVarintI64(c.target);
     body->PutVarintI64(c.pair_a);
     body->PutVarintI64(c.pair_b);
     if (body->payload().size() >= budget) return false;
@@ -639,6 +642,15 @@ Status CheckedI32(int64_t v, int32_t* out) {
     return Status::ParseError("wire value outside int32 range");
   }
   *out = static_cast<int32_t>(v);
+  return Status::OK();
+}
+
+Status CheckedKind(uint8_t v, DependencyKind* out) {
+  if (v >= kNumDependencyKinds) {
+    return Status::ParseError("unknown dependency kind id " +
+                              std::to_string(static_cast<int>(v)));
+  }
+  *out = static_cast<DependencyKind>(v);
   return Status::OK();
 }
 
@@ -703,14 +715,15 @@ Result<std::vector<WireCandidate>> DecodeCandidateBatch(
       AOD_RETURN_NOT_OK(reader.GetVarint(&c.context_bits));
       uint8_t packed = 0;
       AOD_RETURN_NOT_OK(reader.GetU8(&packed));
-      if ((packed & ~3u) != 0) {
+      if ((packed & ~7u) != 0) {
         return Status::ParseError("unknown candidate flag bits");
       }
-      c.is_ofd = (packed & 1) != 0;
-      c.opposite = (packed & 2) != 0;
+      AOD_RETURN_NOT_OK(
+          CheckedKind(static_cast<uint8_t>(packed & 3u), &c.kind));
+      c.opposite = (packed & 4) != 0;
       int64_t v = 0;
       AOD_RETURN_NOT_OK(reader.GetVarintI64(&v));
-      AOD_RETURN_NOT_OK(CheckedI32(v, &c.ofd_target));
+      AOD_RETURN_NOT_OK(CheckedI32(v, &c.target));
       AOD_RETURN_NOT_OK(reader.GetVarintI64(&v));
       AOD_RETURN_NOT_OK(CheckedI32(v, &c.pair_a));
       AOD_RETURN_NOT_OK(reader.GetVarintI64(&v));
@@ -727,16 +740,16 @@ Result<std::vector<WireCandidate>> DecodeCandidateBatch(
     out.reserve(static_cast<size_t>(count));
     for (uint64_t i = 0; i < count; ++i) {
       WireCandidate c;
-      uint8_t is_ofd = 0;
+      uint8_t kind = 0;
       uint8_t opposite = 0;
       AOD_RETURN_NOT_OK(reader.GetU64(&c.slot));
       AOD_RETURN_NOT_OK(reader.GetU64(&c.context_bits));
-      AOD_RETURN_NOT_OK(reader.GetU8(&is_ofd));
-      AOD_RETURN_NOT_OK(reader.GetI32(&c.ofd_target));
+      AOD_RETURN_NOT_OK(reader.GetU8(&kind));
+      AOD_RETURN_NOT_OK(reader.GetI32(&c.target));
       AOD_RETURN_NOT_OK(reader.GetI32(&c.pair_a));
       AOD_RETURN_NOT_OK(reader.GetI32(&c.pair_b));
       AOD_RETURN_NOT_OK(reader.GetU8(&opposite));
-      c.is_ofd = is_ofd != 0;
+      AOD_RETURN_NOT_OK(CheckedKind(kind, &c.kind));
       c.opposite = opposite != 0;
       out.push_back(c);
     }
@@ -757,6 +770,7 @@ void AppendRawOutcomes(const std::vector<WireOutcome>& outcomes,
   writer->PutU64(outcomes.size());
   for (const WireOutcome& o : outcomes) {
     writer->PutU64(o.slot);
+    writer->PutU8(static_cast<uint8_t>(o.kind));
     writer->PutU8(o.valid ? 1 : 0);
     writer->PutU8(o.early_exit ? 1 : 0);
     writer->PutI64(o.removal_size);
@@ -774,8 +788,10 @@ bool TryCompressOutcomes(const std::vector<WireOutcome>& outcomes,
   for (const WireOutcome& o : outcomes) {
     body->PutVarintI64(static_cast<int64_t>(o.slot) - prev_slot);
     prev_slot = static_cast<int64_t>(o.slot);
-    body->PutU8(static_cast<uint8_t>((o.valid ? 1 : 0) |
-                                     (o.early_exit ? 2 : 0)));
+    // valid | early_exit<<1 | kind<<2; bits above 3 are unknown.
+    body->PutU8(static_cast<uint8_t>(
+        (o.valid ? 1 : 0) | (o.early_exit ? 2 : 0) |
+        (static_cast<uint8_t>(o.kind) << 2)));
     body->PutVarintI64(o.removal_size);
     // Doubles stay as raw bit patterns: mantissa bits are incompressible
     // and the determinism contract requires the exact value.
@@ -796,7 +812,7 @@ bool TryCompressOutcomes(const std::vector<WireOutcome>& outcomes,
 int64_t RawResultBodyBytes(const std::vector<WireOutcome>& outcomes) {
   int64_t raw = 8;
   for (const WireOutcome& o : outcomes) {
-    raw += 50 + 4 * static_cast<int64_t>(o.removal_rows.size());
+    raw += 51 + 4 * static_cast<int64_t>(o.removal_rows.size());
   }
   return raw;
 }
@@ -863,11 +879,13 @@ Result<WireResultChunk> DecodeResultBatch(const DecodedFrame& frame,
       o.slot = static_cast<uint64_t>(slot);
       uint8_t packed = 0;
       AOD_RETURN_NOT_OK(reader.GetU8(&packed));
-      if ((packed & ~3u) != 0) {
+      if ((packed & ~0xFu) != 0) {
         return Status::ParseError("unknown outcome flag bits");
       }
       o.valid = (packed & 1) != 0;
       o.early_exit = (packed & 2) != 0;
+      AOD_RETURN_NOT_OK(
+          CheckedKind(static_cast<uint8_t>((packed >> 2) & 3u), &o.kind));
       AOD_RETURN_NOT_OK(reader.GetVarintI64(&o.removal_size));
       AOD_RETURN_NOT_OK(reader.GetDouble(&o.approx_factor));
       AOD_RETURN_NOT_OK(reader.GetDouble(&o.interestingness));
@@ -892,17 +910,20 @@ Result<WireResultChunk> DecodeResultBatch(const DecodedFrame& frame,
   } else {
     uint64_t count = 0;
     AOD_RETURN_NOT_OK(reader.GetU64(&count));
-    // 50 bytes per raw outcome before its (possibly empty) removal-row
+    // 51 bytes per raw outcome before its (possibly empty) removal-row
     // array.
-    if (count > reader.remaining() / 50) {
+    if (count > reader.remaining() / 51) {
       return Status::ParseError("result batch longer than its payload");
     }
     out.reserve(static_cast<size_t>(count));
     for (uint64_t i = 0; i < count; ++i) {
       WireOutcome o;
+      uint8_t kind = 0;
       uint8_t valid = 0;
       uint8_t early_exit = 0;
       AOD_RETURN_NOT_OK(reader.GetU64(&o.slot));
+      AOD_RETURN_NOT_OK(reader.GetU8(&kind));
+      AOD_RETURN_NOT_OK(CheckedKind(kind, &o.kind));
       AOD_RETURN_NOT_OK(reader.GetU8(&valid));
       AOD_RETURN_NOT_OK(reader.GetU8(&early_exit));
       AOD_RETURN_NOT_OK(reader.GetI64(&o.removal_size));
@@ -938,6 +959,8 @@ std::vector<uint8_t> EncodeConfigBlock(const WireRunnerConfig& config) {
   writer.PutI64(config.partition_memory_budget_bytes);
   writer.PutU32(config.num_threads);
   writer.PutU8(config.wire_compression ? 1 : 0);
+  writer.PutU32(config.kinds);
+  writer.PutDouble(config.afd_error);
   return writer.SealFrame(FrameType::kConfigBlock);
 }
 
@@ -962,6 +985,8 @@ Result<WireRunnerConfig> DecodeConfigBlock(const DecodedFrame& frame) {
   AOD_RETURN_NOT_OK(reader.GetI64(&config.partition_memory_budget_bytes));
   AOD_RETURN_NOT_OK(reader.GetU32(&config.num_threads));
   AOD_RETURN_NOT_OK(reader.GetU8(&compression));
+  AOD_RETURN_NOT_OK(reader.GetU32(&config.kinds));
+  AOD_RETURN_NOT_OK(reader.GetDouble(&config.afd_error));
   AOD_RETURN_NOT_OK(reader.ExpectEnd());
   config.collect_removal_sets = removal != 0;
   config.enable_sampling_filter = sampling != 0;
@@ -972,6 +997,13 @@ Result<WireRunnerConfig> DecodeConfigBlock(const DecodedFrame& frame) {
   }
   if (!(config.epsilon >= 0.0 && config.epsilon <= 1.0)) {
     return Status::ParseError("config epsilon outside [0, 1]");
+  }
+  if (config.kinds == 0 || !DependencyKindSet(config.kinds).IsValid()) {
+    return Status::ParseError("config dependency-kind set invalid (bits " +
+                              std::to_string(config.kinds) + ")");
+  }
+  if (!(config.afd_error >= 0.0 && config.afd_error <= 1.0)) {
+    return Status::ParseError("config afd_error outside [0, 1]");
   }
   return config;
 }

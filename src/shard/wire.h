@@ -48,6 +48,7 @@
 
 #include "common/status.h"
 #include "data/encoder.h"
+#include "od/dependency_kind.h"
 #include "partition/attribute_set.h"
 #include "partition/stripped_partition.h"
 
@@ -60,7 +61,12 @@ inline constexpr uint32_t kWireMagic = 0x414F4457;  // "AODW"
 /// Version 3: an attempt id in the config block and the stats footer, so
 /// a supervising coordinator that respawned a shard can tell a stale
 /// attempt's footer from the live one (src/shard/supervisor.h).
-inline constexpr uint16_t kWireVersion = 3;
+/// Version 4: multi-kind candidates — the candidate's is_ofd byte became
+/// a DependencyKind id, outcomes echo their candidate's kind, and the
+/// config block carries the enabled kind set and the AFD g1 threshold.
+/// Decoders reject unknown kind ids and out-of-range thresholds with
+/// typed parse errors.
+inline constexpr uint16_t kWireVersion = 4;
 inline constexpr size_t kFrameHeaderBytes = 24;
 
 enum class FrameType : uint16_t {
@@ -258,11 +264,13 @@ Result<DecodedFrame> DecodeFrame(const std::vector<uint8_t>& frame);
 /// One candidate assigned to a shard. `slot` is the candidate's index in
 /// the coordinator's flattened per-level array — results are keyed by it,
 /// so shards can reply in any order and with any subset (deadline).
+/// `target` is the RHS attribute for the target kinds (kOfd/kFd/kAfd);
+/// the pair fields carry the kOc pair.
 struct WireCandidate {
   uint64_t slot = 0;
   uint64_t context_bits = 0;
-  bool is_ofd = false;
-  int32_t ofd_target = -1;
+  DependencyKind kind = DependencyKind::kOc;
+  int32_t target = -1;
   int32_t pair_a = -1;
   int32_t pair_b = -1;
   bool opposite = false;
@@ -273,6 +281,9 @@ struct WireCandidate {
 /// collects removal sets.
 struct WireOutcome {
   uint64_t slot = 0;
+  /// Echo of the candidate's kind; the coordinator cross-checks it
+  /// against what it asked for at `slot` and aborts on a mismatch.
+  DependencyKind kind = DependencyKind::kOc;
   bool valid = false;
   bool early_exit = false;
   int64_t removal_size = 0;
@@ -341,6 +352,12 @@ struct WireRunnerConfig {
   uint32_t num_threads = 1;
   /// Whether the runner's own encoders (result chunks) may compress.
   bool wire_compression = true;
+  /// DependencyKindSet::bits() of the kinds this runner must validate;
+  /// decoders reject an empty or unknown-bit mask. The runner refuses
+  /// candidate batches naming kinds outside this set.
+  uint32_t kinds = DependencyKindSet::OdDefault().bits();
+  /// AFD g1 threshold; decoders reject values outside [0, 1].
+  double afd_error = 0.05;
 };
 
 std::vector<uint8_t> EncodeConfigBlock(const WireRunnerConfig& config);

@@ -152,12 +152,12 @@ TEST(ResultIoTest, CsvHasOneRowPerDependency) {
   DiscoveryResult result = DiscoverOds(t, options);
   std::string csv = ResultToCsv(result, t);
   int64_t lines = std::count(csv.begin(), csv.end(), '\n');
-  EXPECT_EQ(lines, 1 + static_cast<int64_t>(result.ocs.size()) +
-                       static_cast<int64_t>(result.ofds.size()));
+  EXPECT_EQ(lines,
+            1 + static_cast<int64_t>(result.dependencies.size()));
   // Round-trips through our own CSV parser.
   auto parsed = ParseCsv(csv).value();
   EXPECT_EQ(parsed.num_rows(),
-            static_cast<int64_t>(result.ocs.size() + result.ofds.size()));
+            static_cast<int64_t>(result.dependencies.size()));
   EXPECT_EQ(parsed.num_columns(), 9);
 }
 
@@ -173,7 +173,7 @@ TEST(ResultIoTest, BinaryBlobRoundTripIsLossless) {
   options.epsilon = 0.2;
   options.collect_removal_sets = true;
   DiscoveryResult result = DiscoverOds(t, options);
-  ASSERT_FALSE(result.ocs.empty());
+  ASSERT_GT(result.CountOfKind(DependencyKind::kOc), 0);
 
   result.stats.shards_used = 3;
   result.stats.shard_bytes_shipped = 123456;
@@ -196,20 +196,20 @@ TEST(ResultIoTest, BinaryBlobRoundTripIsLossless) {
   Result<DiscoveryResult> back = DeserializeResult(blob);
   ASSERT_TRUE(back.ok()) << back.status().ToString();
 
-  ASSERT_EQ(back->ocs.size(), result.ocs.size());
-  for (size_t i = 0; i < result.ocs.size(); ++i) {
-    EXPECT_TRUE(back->ocs[i].oc == result.ocs[i].oc);
-    EXPECT_EQ(back->ocs[i].approx_factor, result.ocs[i].approx_factor);
-    EXPECT_EQ(back->ocs[i].removal_size, result.ocs[i].removal_size);
-    EXPECT_EQ(back->ocs[i].level, result.ocs[i].level);
-    EXPECT_EQ(back->ocs[i].interestingness, result.ocs[i].interestingness);
-    EXPECT_EQ(back->ocs[i].removal_rows, result.ocs[i].removal_rows);
-  }
-  ASSERT_EQ(back->ofds.size(), result.ofds.size());
-  for (size_t i = 0; i < result.ofds.size(); ++i) {
-    EXPECT_TRUE(back->ofds[i].ofd == result.ofds[i].ofd);
-    EXPECT_EQ(back->ofds[i].approx_factor, result.ofds[i].approx_factor);
-    EXPECT_EQ(back->ofds[i].removal_rows, result.ofds[i].removal_rows);
+  ASSERT_EQ(back->dependencies.size(), result.dependencies.size());
+  for (size_t i = 0; i < result.dependencies.size(); ++i) {
+    const DiscoveredDependency& want = result.dependencies[i];
+    const DiscoveredDependency& got = back->dependencies[i];
+    EXPECT_EQ(got.kind, want.kind);
+    EXPECT_EQ(got.context, want.context);
+    EXPECT_EQ(got.a, want.a);
+    EXPECT_EQ(got.b, want.b);
+    EXPECT_EQ(got.opposite, want.opposite);
+    EXPECT_EQ(got.error, want.error);
+    EXPECT_EQ(got.removal_size, want.removal_size);
+    EXPECT_EQ(got.level, want.level);
+    EXPECT_EQ(got.interestingness, want.interestingness);
+    EXPECT_EQ(got.removal_rows, want.removal_rows);
   }
   const DiscoveryStats& s = back->stats;
   EXPECT_EQ(s.shards_used, 3);
@@ -260,6 +260,136 @@ TEST(ResultIoTest, BinaryBlobRejectsTruncationAndCorruption) {
   std::vector<uint8_t> wrong_version = blob;
   wrong_version[0] ^= 0xFF;
   EXPECT_FALSE(DeserializeResult(wrong_version).ok());
+}
+
+TEST(ResultIoTest, BinaryBlobRoundTripsMixedKindRecords) {
+  // A run with all four kinds enabled produces a blob holding OC, OFD,
+  // FD and AFD records side by side; the round trip must preserve the
+  // kind tags and every per-record field.
+  EncodedTable t = testing_util::PaperEncoded();
+  DiscoveryOptions options;
+  options.epsilon = 0.2;
+  options.kinds = DependencyKindSet::All();
+  options.afd_error = 0.1;
+  options.collect_removal_sets = true;
+  DiscoveryResult result = DiscoverOds(t, options);
+  ASSERT_GT(result.CountOfKind(DependencyKind::kFd), 0);
+  ASSERT_GT(result.CountOfKind(DependencyKind::kAfd), 0);
+  ASSERT_GT(result.CountOfKind(DependencyKind::kOc), 0);
+
+  std::vector<uint8_t> blob = SerializeResult(result);
+  Result<DiscoveryResult> back = DeserializeResult(blob);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->dependencies.size(), result.dependencies.size());
+  for (size_t i = 0; i < result.dependencies.size(); ++i) {
+    const DiscoveredDependency& want = result.dependencies[i];
+    const DiscoveredDependency& got = back->dependencies[i];
+    EXPECT_EQ(got.kind, want.kind);
+    EXPECT_EQ(got.context, want.context);
+    EXPECT_EQ(got.a, want.a);
+    EXPECT_EQ(got.b, want.b);
+    EXPECT_EQ(got.opposite, want.opposite);
+    EXPECT_EQ(got.error, want.error);
+    EXPECT_EQ(got.removal_size, want.removal_size);
+    EXPECT_EQ(got.level, want.level);
+    EXPECT_EQ(got.interestingness, want.interestingness);
+    EXPECT_EQ(got.removal_rows, want.removal_rows);
+  }
+  EXPECT_EQ(back->stats.fd_candidates_validated,
+            result.stats.fd_candidates_validated);
+  EXPECT_EQ(back->stats.afd_candidates_validated,
+            result.stats.afd_candidates_validated);
+  EXPECT_EQ(back->stats.fds_per_level, result.stats.fds_per_level);
+  EXPECT_EQ(back->stats.afds_per_level, result.stats.afds_per_level);
+  EXPECT_EQ(SerializeResult(*back), blob);
+}
+
+TEST(ResultIoTest, BinaryBlobRejectsBadKindsAndForgedFields) {
+  // One hand-built FD record; every scalar small enough that each varint
+  // is a single byte, so the record layout after the u16 version and the
+  // one-byte count varint is fixed:
+  //   [3] kind  [4] context  [5] a  [6] b  [7] polarity ...
+  auto make_result = [] {
+    DiscoveryResult r;
+    DiscoveredDependency d;
+    d.kind = DependencyKind::kFd;
+    d.context = AttributeSet::Of({0});
+    d.a = 1;
+    d.b = -1;
+    d.opposite = false;
+    d.error = 0.0;
+    d.removal_size = 0;
+    d.level = 2;
+    d.interestingness = 0.5;
+    r.dependencies.push_back(d);
+    return r;
+  };
+  const std::vector<uint8_t> blob = SerializeResult(make_result());
+  ASSERT_TRUE(DeserializeResult(blob).ok());
+
+  // An unknown kind id is a typed ParseError naming the id.
+  std::vector<uint8_t> bad_kind = blob;
+  bad_kind[3] = 9;
+  Result<DiscoveryResult> r = DeserializeResult(bad_kind);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unknown dependency kind id 9"),
+            std::string::npos)
+      << r.status().ToString();
+
+  // A polarity byte other than 0/1 is rejected, not coerced to bool.
+  std::vector<uint8_t> bad_polarity = blob;
+  bad_polarity[7] = 2;
+  r = DeserializeResult(bad_polarity);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("bad polarity flag"),
+            std::string::npos)
+      << r.status().ToString();
+
+  // A target-kind record smuggling OC pair fields is a forgery: either a
+  // real rhs attribute or a polarity bit must be refused.
+  {
+    DiscoveryResult forged = make_result();
+    forged.dependencies[0].b = 0;
+    r = DeserializeResult(SerializeResult(forged));
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(
+        r.status().message().find("target-kind record carries OC pair"),
+        std::string::npos)
+        << r.status().ToString();
+  }
+  {
+    DiscoveryResult forged = make_result();
+    forged.dependencies[0].opposite = true;
+    r = DeserializeResult(SerializeResult(forged));
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(
+        r.status().message().find("target-kind record carries OC pair"),
+        std::string::npos)
+        << r.status().ToString();
+  }
+
+  // Attribute indices outside the schema range are rejected for both the
+  // OC pair fields and a target-kind's target.
+  {
+    DiscoveryResult forged = make_result();
+    forged.dependencies[0].kind = DependencyKind::kOc;
+    forged.dependencies[0].a = AttributeSet::kMaxAttributes;
+    forged.dependencies[0].b = 0;
+    r = DeserializeResult(SerializeResult(forged));
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("OC lhs attribute out of range"),
+              std::string::npos)
+        << r.status().ToString();
+  }
+  {
+    DiscoveryResult forged = make_result();
+    forged.dependencies[0].a = -5;
+    r = DeserializeResult(SerializeResult(forged));
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("target attribute out of range"),
+              std::string::npos)
+        << r.status().ToString();
+  }
 }
 
 TEST(ResultIoTest, WriteStringToFileRoundTrip) {

@@ -64,14 +64,18 @@ class PaperDiscoveryTest : public ::testing::Test {
 bool ContainsOc(const DiscoveryResult& result, AttributeSet ctx, int a,
                 int b) {
   CanonicalOc want{ctx, a, b};
-  return std::any_of(result.ocs.begin(), result.ocs.end(),
-                     [&](const DiscoveredOc& d) { return d.oc == want; });
+  const auto ocs = result.Ocs();
+  return std::any_of(
+      ocs.begin(), ocs.end(),
+      [&](const DiscoveredDependency* d) { return d->Oc() == want; });
 }
 
 bool ContainsOfd(const DiscoveryResult& result, AttributeSet ctx, int a) {
   CanonicalOfd want{ctx, a};
-  return std::any_of(result.ofds.begin(), result.ofds.end(),
-                     [&](const DiscoveredOfd& d) { return d.ofd == want; });
+  const auto ofds = result.Ofds();
+  return std::any_of(
+      ofds.begin(), ofds.end(),
+      [&](const DiscoveredDependency* d) { return d->Ofd() == want; });
 }
 
 TEST_F(PaperDiscoveryTest, ExactDiscoveryFindsPaperDependencies) {
@@ -94,12 +98,13 @@ TEST_F(PaperDiscoveryTest, ApproximateDiscoveryRecoversDirtyOc) {
   DiscoveryResult result = DiscoverOds(table_, options);
   // With eps = 4/9, sal ~ tax becomes discoverable (Example 2.15).
   ASSERT_TRUE(ContainsOc(result, AttributeSet(), 2, 5));
-  auto it = std::find_if(result.ocs.begin(), result.ocs.end(),
-                         [&](const DiscoveredOc& d) {
-                           return d.oc == CanonicalOc{AttributeSet(), 2, 5};
+  const auto ocs = result.Ocs();
+  auto it = std::find_if(ocs.begin(), ocs.end(),
+                         [&](const DiscoveredDependency* d) {
+                           return d->Oc() == CanonicalOc{AttributeSet(), 2, 5};
                          });
-  EXPECT_NEAR(it->approx_factor, 4.0 / 9.0, 1e-9);
-  EXPECT_EQ(it->removal_size, 4);
+  EXPECT_NEAR((*it)->error, 4.0 / 9.0, 1e-9);
+  EXPECT_EQ((*it)->removal_size, 4);
 }
 
 TEST_F(PaperDiscoveryTest, IterativeMissesBoundaryOc) {
@@ -118,15 +123,15 @@ TEST_F(PaperDiscoveryTest, ContextMinimalityOfReportedOcs) {
   options.epsilon = 0.2;
   DiscoveryResult result = DiscoverOds(table_, options);
   // No reported OC may have a valid strictly-smaller context.
-  for (const auto& d : result.ocs) {
-    d.oc.context.ForEach([&](int c) {
-      AttributeSet sub = d.oc.context.Without(c);
+  for (const DiscoveredDependency* d : result.Ocs()) {
+    d->context.ForEach([&](int c) {
+      AttributeSet sub = d->context.Without(c);
       StrippedPartition partition = NaivePartition(table_, sub);
       ValidationOutcome out =
-          ValidateAocOptimal(table_, partition, d.oc.a, d.oc.b,
-                             options.epsilon, table_.num_rows());
+          ValidateAocOptimal(table_, partition, d->a, d->b, options.epsilon,
+                             table_.num_rows());
       EXPECT_FALSE(out.valid)
-          << d.oc.ToString(table_) << " is redundant via " << sub.ToString();
+          << d->ToString(table_) << " is redundant via " << sub.ToString();
     });
   }
 }
@@ -139,13 +144,15 @@ TEST_F(PaperDiscoveryTest, ZeroEpsilonOptimalEqualsExact) {
   approx0.epsilon = 0.0;
   DiscoveryResult re = DiscoverOds(table_, exact);
   DiscoveryResult ra = DiscoverOds(table_, approx0);
-  ASSERT_EQ(re.ocs.size(), ra.ocs.size());
-  ASSERT_EQ(re.ofds.size(), ra.ofds.size());
-  for (size_t i = 0; i < re.ocs.size(); ++i) {
-    EXPECT_TRUE(re.ocs[i].oc == ra.ocs[i].oc);
+  const auto re_ocs = re.Ocs(), ra_ocs = ra.Ocs();
+  const auto re_ofds = re.Ofds(), ra_ofds = ra.Ofds();
+  ASSERT_EQ(re_ocs.size(), ra_ocs.size());
+  ASSERT_EQ(re_ofds.size(), ra_ofds.size());
+  for (size_t i = 0; i < re_ocs.size(); ++i) {
+    EXPECT_TRUE(re_ocs[i]->Oc() == ra_ocs[i]->Oc());
   }
-  for (size_t i = 0; i < re.ofds.size(); ++i) {
-    EXPECT_TRUE(re.ofds[i].ofd == ra.ofds[i].ofd);
+  for (size_t i = 0; i < re_ofds.size(); ++i) {
+    EXPECT_TRUE(re_ofds[i]->Ofd() == ra_ofds[i]->Ofd());
   }
 }
 
@@ -154,8 +161,8 @@ TEST_F(PaperDiscoveryTest, StatsAreConsistent) {
   options.epsilon = 0.1;
   DiscoveryResult result = DiscoverOds(table_, options);
   const DiscoveryStats& s = result.stats;
-  EXPECT_EQ(s.TotalOcs(), static_cast<int64_t>(result.ocs.size()));
-  EXPECT_EQ(s.TotalOfds(), static_cast<int64_t>(result.ofds.size()));
+  EXPECT_EQ(s.TotalOcs(), result.CountOfKind(DependencyKind::kOc));
+  EXPECT_EQ(s.TotalOfds(), result.CountOfKind(DependencyKind::kOfd));
   EXPECT_GT(s.nodes_processed, 0);
   EXPECT_GT(s.levels_processed, 1);
   EXPECT_GT(s.oc_candidates_validated, 0);
@@ -163,7 +170,7 @@ TEST_F(PaperDiscoveryTest, StatsAreConsistent) {
   EXPECT_GE(s.OcValidationShare(), 0.0);
   EXPECT_LE(s.OcValidationShare(), 1.0);
   EXPECT_FALSE(s.ToString().empty());
-  if (!result.ocs.empty()) {
+  if (result.CountOfKind(DependencyKind::kOc) > 0) {
     EXPECT_GT(s.AverageOcLevel(), 0.0);
   }
 }
@@ -173,13 +180,9 @@ TEST_F(PaperDiscoveryTest, SortByInterestingnessIsDescending) {
   options.epsilon = 0.2;
   DiscoveryResult result = DiscoverOds(table_, options);
   result.SortByInterestingness();
-  for (size_t i = 1; i < result.ocs.size(); ++i) {
-    EXPECT_GE(result.ocs[i - 1].interestingness,
-              result.ocs[i].interestingness);
-  }
-  for (size_t i = 1; i < result.ofds.size(); ++i) {
-    EXPECT_GE(result.ofds[i - 1].interestingness,
-              result.ofds[i].interestingness);
+  for (size_t i = 1; i < result.dependencies.size(); ++i) {
+    EXPECT_GE(result.dependencies[i - 1].interestingness,
+              result.dependencies[i].interestingness);
   }
   EXPECT_FALSE(result.Summary(table_).empty());
 }
@@ -190,8 +193,7 @@ TEST_F(PaperDiscoveryTest, MaxLevelCapsTraversal) {
   options.epsilon = 0.1;
   DiscoveryResult result = DiscoverOds(table_, options);
   EXPECT_LE(result.stats.levels_processed, 2);
-  for (const auto& d : result.ocs) EXPECT_LE(d.level, 2);
-  for (const auto& d : result.ofds) EXPECT_LE(d.level, 2);
+  for (const auto& d : result.dependencies) EXPECT_LE(d.level, 2);
 }
 
 TEST(DiscoveryTest, MaxLhsArityIsPrefixConsistent) {
@@ -208,14 +210,12 @@ TEST(DiscoveryTest, MaxLhsArityIsPrefixConsistent) {
   options.collect_removal_sets = true;
   DiscoveryResult unbounded = DiscoverOds(enc, options);
 
-  auto oc_key = [](const DiscoveredOc& d) {
-    return std::to_string(d.oc.context.bits()) + ":" +
-           std::to_string(d.oc.a) + ":" + std::to_string(d.oc.b) + ":" +
-           (d.oc.opposite ? "1" : "0");
+  auto oc_key = [](const DiscoveredDependency& d) {
+    return std::to_string(d.context.bits()) + ":" + std::to_string(d.a) +
+           ":" + std::to_string(d.b) + ":" + (d.opposite ? "1" : "0");
   };
-  auto ofd_key = [](const DiscoveredOfd& d) {
-    return std::to_string(d.ofd.context.bits()) + ":" +
-           std::to_string(d.ofd.a);
+  auto ofd_key = [](const DiscoveredDependency& d) {
+    return std::to_string(d.context.bits()) + ":" + std::to_string(d.a);
   };
   auto arity = [](uint64_t context_bits) {
     return __builtin_popcountll(context_bits);
@@ -227,42 +227,42 @@ TEST(DiscoveryTest, MaxLhsArityIsPrefixConsistent) {
     DiscoveryResult bounded = DiscoverOds(enc, options);
 
     std::set<std::string> bounded_ocs;
-    for (const DiscoveredOc& d : bounded.ocs) {
-      EXPECT_LE(arity(d.oc.context.bits()), m) << oc_key(d);
-      bounded_ocs.insert(oc_key(d));
+    for (const DiscoveredDependency* d : bounded.Ocs()) {
+      EXPECT_LE(arity(d->context.bits()), m) << oc_key(*d);
+      bounded_ocs.insert(oc_key(*d));
     }
     std::set<std::string> bounded_ofds;
-    for (const DiscoveredOfd& d : bounded.ofds) {
-      EXPECT_LE(arity(d.ofd.context.bits()), m) << ofd_key(d);
-      bounded_ofds.insert(ofd_key(d));
+    for (const DiscoveredDependency* d : bounded.Ofds()) {
+      EXPECT_LE(arity(d->context.bits()), m) << ofd_key(*d);
+      bounded_ofds.insert(ofd_key(*d));
     }
 
     size_t expected_ocs = 0;
-    for (const DiscoveredOc& d : unbounded.ocs) {
-      if (arity(d.oc.context.bits()) > m) continue;
+    for (const DiscoveredDependency* d : unbounded.Ocs()) {
+      if (arity(d->context.bits()) > m) continue;
       ++expected_ocs;
-      EXPECT_TRUE(bounded_ocs.count(oc_key(d)))
-          << "missing below the cutoff: " << oc_key(d);
+      EXPECT_TRUE(bounded_ocs.count(oc_key(*d)))
+          << "missing below the cutoff: " << oc_key(*d);
     }
     size_t expected_ofds = 0;
-    for (const DiscoveredOfd& d : unbounded.ofds) {
-      if (arity(d.ofd.context.bits()) > m) continue;
+    for (const DiscoveredDependency* d : unbounded.Ofds()) {
+      if (arity(d->context.bits()) > m) continue;
       ++expected_ofds;
-      EXPECT_TRUE(bounded_ofds.count(ofd_key(d)))
-          << "missing below the cutoff: " << ofd_key(d);
+      EXPECT_TRUE(bounded_ofds.count(ofd_key(*d)))
+          << "missing below the cutoff: " << ofd_key(*d);
     }
-    EXPECT_EQ(bounded.ocs.size(), expected_ocs);
-    EXPECT_EQ(bounded.ofds.size(), expected_ofds);
+    EXPECT_EQ(bounded.Ocs().size(), expected_ocs);
+    EXPECT_EQ(bounded.Ofds().size(), expected_ofds);
 
     // Field-exact match for the surviving prefix, removal rows included.
-    for (const DiscoveredOc& b : bounded.ocs) {
-      for (const DiscoveredOc& u : unbounded.ocs) {
-        if (oc_key(u) != oc_key(b)) continue;
-        EXPECT_EQ(b.approx_factor, u.approx_factor);
-        EXPECT_EQ(b.removal_size, u.removal_size);
-        EXPECT_EQ(b.level, u.level);
-        EXPECT_EQ(b.interestingness, u.interestingness);
-        EXPECT_EQ(b.removal_rows, u.removal_rows);
+    for (const DiscoveredDependency* b : bounded.Ocs()) {
+      for (const DiscoveredDependency* u : unbounded.Ocs()) {
+        if (oc_key(*u) != oc_key(*b)) continue;
+        EXPECT_EQ(b->error, u->error);
+        EXPECT_EQ(b->removal_size, u->removal_size);
+        EXPECT_EQ(b->level, u->level);
+        EXPECT_EQ(b->interestingness, u->interestingness);
+        EXPECT_EQ(b->removal_rows, u->removal_rows);
       }
     }
   }
@@ -273,8 +273,10 @@ TEST(DiscoveryTest, MaxLhsArityIsPrefixConsistent) {
   options.num_shards = 2;
   DiscoveryResult sharded = DiscoverOds(enc, options);
   ASSERT_TRUE(sharded.shard_status.ok());
-  EXPECT_EQ(sharded.ocs.size(), bounded.ocs.size());
-  EXPECT_EQ(sharded.ofds.size(), bounded.ofds.size());
+  EXPECT_EQ(sharded.CountOfKind(DependencyKind::kOc),
+            bounded.CountOfKind(DependencyKind::kOc));
+  EXPECT_EQ(sharded.CountOfKind(DependencyKind::kOfd),
+            bounded.CountOfKind(DependencyKind::kOfd));
 }
 
 TEST_F(PaperDiscoveryTest, CollectRemovalSets) {
@@ -282,8 +284,8 @@ TEST_F(PaperDiscoveryTest, CollectRemovalSets) {
   options.epsilon = 0.2;
   options.collect_removal_sets = true;
   DiscoveryResult result = DiscoverOds(table_, options);
-  for (const auto& d : result.ocs) {
-    EXPECT_EQ(static_cast<int64_t>(d.removal_rows.size()), d.removal_size);
+  for (const DiscoveredDependency* d : result.Ocs()) {
+    EXPECT_EQ(static_cast<int64_t>(d->removal_rows.size()), d->removal_size);
   }
 }
 
@@ -329,16 +331,15 @@ TEST_P(DiscoveryPropertyTest, SoundMinimalAndComplete) {
   };
 
   // Soundness: every reported dependency is valid at the threshold.
-  for (const auto& d : result.ocs) {
-    EXPECT_LE(d.approx_factor, p.epsilon + 1e-9) << d.oc.ToString();
-    EXPECT_NEAR(oc_factor(d.oc.context, d.oc.a, d.oc.b), d.approx_factor,
-                1e-9)
-        << d.oc.ToString();
+  for (const DiscoveredDependency* d : result.Ocs()) {
+    EXPECT_LE(d->error, p.epsilon + 1e-9) << d->Oc().ToString();
+    EXPECT_NEAR(oc_factor(d->context, d->a, d->b), d->error, 1e-9)
+        << d->Oc().ToString();
   }
-  for (const auto& d : result.ofds) {
-    EXPECT_LE(d.approx_factor, p.epsilon + 1e-9) << d.ofd.ToString();
-    EXPECT_NEAR(ofd_factor(d.ofd.context, d.ofd.a), d.approx_factor, 1e-9)
-        << d.ofd.ToString();
+  for (const DiscoveredDependency* d : result.Ofds()) {
+    EXPECT_LE(d->error, p.epsilon + 1e-9) << d->Ofd().ToString();
+    EXPECT_NEAR(ofd_factor(d->context, d->a), d->error, 1e-9)
+        << d->Ofd().ToString();
   }
 
   // Context minimality: no reported dependency holds in a sub-context.
@@ -349,32 +350,35 @@ TEST_P(DiscoveryPropertyTest, SoundMinimalAndComplete) {
   auto ofd_valid = [&](AttributeSet ctx, int a) {
     return ofd_outcome(ctx, a).removal_size <= max_rm;
   };
-  for (const auto& d : result.ocs) {
-    d.oc.context.ForEach([&](int c) {
-      EXPECT_FALSE(oc_valid(d.oc.context.Without(c), d.oc.a, d.oc.b))
-          << "non-minimal " << d.oc.ToString();
+  for (const DiscoveredDependency* d : result.Ocs()) {
+    d->context.ForEach([&](int c) {
+      EXPECT_FALSE(oc_valid(d->context.Without(c), d->a, d->b))
+          << "non-minimal " << d->Oc().ToString();
     });
   }
-  for (const auto& d : result.ofds) {
-    d.ofd.context.ForEach([&](int c) {
-      EXPECT_FALSE(ofd_valid(d.ofd.context.Without(c), d.ofd.a))
-          << "non-minimal " << d.ofd.ToString();
+  for (const DiscoveredDependency* d : result.Ofds()) {
+    d->context.ForEach([&](int c) {
+      EXPECT_FALSE(ofd_valid(d->context.Without(c), d->a))
+          << "non-minimal " << d->Ofd().ToString();
     });
   }
 
   // Completeness modulo the framework's redundancy axioms: every valid
   // candidate is reported, context-minimal-redundant, or excused by a
   // constancy-based pruning rule.
+  const auto result_ocs = result.Ocs();
+  const auto result_ofds = result.Ofds();
   auto reported_oc = [&](AttributeSet ctx, int a, int b) {
     CanonicalOc want{ctx, a, b};
-    return std::any_of(result.ocs.begin(), result.ocs.end(),
-                       [&](const DiscoveredOc& d) { return d.oc == want; });
+    return std::any_of(
+        result_ocs.begin(), result_ocs.end(),
+        [&](const DiscoveredDependency* d) { return d->Oc() == want; });
   };
   auto reported_ofd = [&](AttributeSet ctx, int a) {
     CanonicalOfd want{ctx, a};
     return std::any_of(
-        result.ofds.begin(), result.ofds.end(),
-        [&](const DiscoveredOfd& d) { return d.ofd == want; });
+        result_ofds.begin(), result_ofds.end(),
+        [&](const DiscoveredDependency* d) { return d->Ofd() == want; });
   };
   // A constancy excuse for candidate with context `ctx` and sides
   // `sides`: some valid OFD whose context+target fit inside ctx ∪ sides.
@@ -456,13 +460,14 @@ TEST(DiscoveryTest, ConstantColumnFoundAtLevelOne) {
   DiscoveryOptions options;
   options.validator = ValidatorKind::kExact;
   DiscoveryResult result = DiscoverOds(t, options);
-  ASSERT_EQ(result.ofds.size(), 1u);
-  EXPECT_TRUE(result.ofds[0].ofd == (CanonicalOfd{AttributeSet(), 0}));
-  EXPECT_EQ(result.ofds[0].level, 1);
+  const auto ofds = result.Ofds();
+  ASSERT_EQ(ofds.size(), 1u);
+  EXPECT_TRUE(ofds[0]->Ofd() == (CanonicalOfd{AttributeSet(), 0}));
+  EXPECT_EQ(ofds[0]->level, 1);
   // No OC involving the constant column is reported (trivially true).
-  for (const auto& d : result.ocs) {
-    EXPECT_NE(d.oc.a, 0);
-    EXPECT_NE(d.oc.b, 0);
+  for (const DiscoveredDependency* d : result.Ocs()) {
+    EXPECT_NE(d->a, 0);
+    EXPECT_NE(d->b, 0);
   }
 }
 
@@ -476,8 +481,8 @@ TEST(DiscoveryTest, KeyColumnPrunesTrivialOcs) {
   options.epsilon = 0.0;
   options.validator = ValidatorKind::kOptimal;
   DiscoveryResult result = DiscoverOds(t, options);
-  for (const auto& d : result.ocs) {
-    EXPECT_FALSE(d.oc.context.Contains(0)) << d.oc.ToString(t);
+  for (const DiscoveredDependency* d : result.Ocs()) {
+    EXPECT_FALSE(d->context.Contains(0)) << d->ToString(t);
   }
   EXPECT_GT(result.stats.oc_candidates_pruned, 0);
 }
@@ -505,25 +510,25 @@ TEST(DiscoveryTest, EpsilonMonotonicity) {
   big.epsilon = 0.3;
   DiscoveryResult rs = DiscoverOds(t, small);
   DiscoveryResult rb = DiscoverOds(t, big);
-  for (const auto& d : rs.ocs) {
+  const auto rb_ocs = rb.Ocs();
+  for (const DiscoveredDependency* d : rs.Ocs()) {
     bool reported = std::any_of(
-        rb.ocs.begin(), rb.ocs.end(),
-        [&](const DiscoveredOc& x) { return x.oc == d.oc; });
+        rb_ocs.begin(), rb_ocs.end(),
+        [&](const DiscoveredDependency* x) { return x->Oc() == d->Oc(); });
     bool subsumed = false;
-    for (const auto& x : rb.ocs) {
-      if (x.oc.a == d.oc.a && x.oc.b == d.oc.b &&
-          d.oc.context.ContainsAll(x.oc.context) && !(x.oc == d.oc)) {
+    for (const DiscoveredDependency* x : rb_ocs) {
+      if (x->a == d->a && x->b == d->b &&
+          d->context.ContainsAll(x->context) && !(x->Oc() == d->Oc())) {
         subsumed = true;
       }
     }
     // Or excused by an approximate OFD that makes it trivial.
     bool constancy = false;
-    for (const auto& f : rb.ofds) {
-      AttributeSet scope =
-          d.oc.context.Union(AttributeSet::Of({d.oc.a, d.oc.b}));
-      if (scope.ContainsAll(f.ofd.context.With(f.ofd.a))) constancy = true;
+    for (const DiscoveredDependency* f : rb.Ofds()) {
+      AttributeSet scope = d->context.Union(AttributeSet::Of({d->a, d->b}));
+      if (scope.ContainsAll(f->context.With(f->a))) constancy = true;
     }
-    EXPECT_TRUE(reported || subsumed || constancy) << d.oc.ToString(t);
+    EXPECT_TRUE(reported || subsumed || constancy) << d->ToString(t);
   }
 }
 

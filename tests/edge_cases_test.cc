@@ -53,15 +53,14 @@ TEST(DegenerateTableTest, AllValuesIdentical) {
   EXPECT_TRUE(ValidateOfdExact(t, whole, 1));
   DiscoveryResult result = DiscoverOds(t, {});
   // Both columns are constants: two level-1 OFDs and nothing else.
-  EXPECT_EQ(result.ofds.size(), 2u);
-  EXPECT_TRUE(result.ocs.empty());
+  EXPECT_EQ(result.CountOfKind(DependencyKind::kOfd), 2);
+  EXPECT_EQ(result.CountOfKind(DependencyKind::kOc), 0);
 }
 
 TEST(DegenerateTableTest, SingleColumnTable) {
   EncodedTable t = EncodedTableFromInts({"only"}, {{3, 1, 2}});
   DiscoveryResult result = DiscoverOds(t, {});
-  EXPECT_TRUE(result.ocs.empty());
-  EXPECT_TRUE(result.ofds.empty());  // not constant
+  EXPECT_TRUE(result.dependencies.empty());  // not constant
 }
 
 TEST(DegenerateTableTest, MaximallyTiedPair) {
@@ -72,8 +71,8 @@ TEST(DegenerateTableTest, MaximallyTiedPair) {
   auto whole = StrippedPartition::WholeRelation(4);
   EXPECT_TRUE(ValidateOcExact(t, whole, 0, 1));
   DiscoveryResult result = DiscoverOds(t, {});
-  EXPECT_TRUE(result.ocs.empty());
-  ASSERT_EQ(result.ofds.size(), 1u);  // {}: [] -> konst
+  EXPECT_EQ(result.CountOfKind(DependencyKind::kOc), 0);
+  ASSERT_EQ(result.CountOfKind(DependencyKind::kOfd), 1);  // {}: [] -> konst
 }
 
 // -------------------------------------------------------------- nulls --
@@ -184,11 +183,11 @@ TEST(PruningTest, OfdMinimalityPruning) {
       {{0, 0, 1, 1, 2, 2}, {0, 1, 0, 1, 0, 1}, {7, 7, 8, 8, 9, 9}});
   DiscoveryResult result = DiscoverOds(t, {});
   bool minimal_found = false;
-  for (const auto& d : result.ofds) {
-    if (d.ofd.a == 2) {
-      EXPECT_EQ(d.ofd.context, AttributeSet::Of({0}))
-          << "non-minimal OFD " << d.ofd.ToString();
-      if (d.ofd.context == AttributeSet::Of({0})) minimal_found = true;
+  for (const DiscoveredDependency* d : result.Ofds()) {
+    if (d->a == 2) {
+      EXPECT_EQ(d->context, AttributeSet::Of({0}))
+          << "non-minimal OFD " << d->Ofd().ToString();
+      if (d->context == AttributeSet::Of({0})) minimal_found = true;
     }
   }
   EXPECT_TRUE(minimal_found);
@@ -208,8 +207,8 @@ TEST(PruningTest, TrivialOcViaConstancyIsPruned) {
   EXPECT_EQ(result.stats.oc_candidates_pruned, 2);
   // Nothing with a or c as a side in a nonempty context may be reported:
   // all such candidates are redundant here.
-  for (const auto& d : result.ocs) {
-    EXPECT_TRUE(d.oc.context.empty()) << d.oc.ToString();
+  for (const DiscoveredDependency* d : result.Ocs()) {
+    EXPECT_TRUE(d->context.empty()) << d->Oc().ToString();
   }
 }
 
@@ -288,11 +287,13 @@ TEST(GoldenRegressionTest, FlightDiscoveryCountsArePinned) {
   options.epsilon = 0.10;
   DiscoveryResult result = DiscoverOds(t, options);
   DiscoveryResult again = DiscoverOds(t, options);
-  EXPECT_EQ(result.ocs.size(), again.ocs.size());
-  EXPECT_EQ(result.ofds.size(), again.ofds.size());
-  for (size_t i = 0; i < result.ocs.size(); ++i) {
-    EXPECT_TRUE(result.ocs[i].oc == again.ocs[i].oc);
-    EXPECT_EQ(result.ocs[i].removal_size, again.ocs[i].removal_size);
+  const auto r_ocs = result.Ocs(), a_ocs = again.Ocs();
+  EXPECT_EQ(r_ocs.size(), a_ocs.size());
+  EXPECT_EQ(result.CountOfKind(DependencyKind::kOfd),
+            again.CountOfKind(DependencyKind::kOfd));
+  for (size_t i = 0; i < r_ocs.size(); ++i) {
+    EXPECT_TRUE(r_ocs[i]->Oc() == a_ocs[i]->Oc());
+    EXPECT_EQ(r_ocs[i]->removal_size, a_ocs[i]->removal_size);
   }
 }
 

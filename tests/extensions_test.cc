@@ -114,15 +114,16 @@ TEST(BidirectionalTest, DiscoveryFindsOppositePolarityOcs) {
   options.epsilon = 0.05;
   options.bidirectional = true;
   DiscoveryResult result = DiscoverOds(t, options);
+  const auto ocs = result.Ocs();
   bool found = std::any_of(
-      result.ocs.begin(), result.ocs.end(), [&](const DiscoveredOc& d) {
-        return d.oc == CanonicalOc{AttributeSet(), age, birth, true};
+      ocs.begin(), ocs.end(), [&](const DiscoveredDependency* d) {
+        return d->Oc() == CanonicalOc{AttributeSet(), age, birth, true};
       });
   EXPECT_TRUE(found) << result.Summary(t, 60);
   // Unidirectional discovery must not report it.
   options.bidirectional = false;
   DiscoveryResult uni = DiscoverOds(t, options);
-  for (const auto& d : uni.ocs) EXPECT_FALSE(d.oc.opposite);
+  for (const DiscoveredDependency* d : uni.Ocs()) EXPECT_FALSE(d->opposite);
 }
 
 TEST(BidirectionalTest, BidirectionalSupersetOfUnidirectional) {
@@ -135,13 +136,15 @@ TEST(BidirectionalTest, BidirectionalSupersetOfUnidirectional) {
   DiscoveryResult rb = DiscoverOds(t, bid);
   // Every straight-polarity OC appears unchanged in the bidirectional
   // run (candidate sets for the two polarities evolve independently).
-  for (const auto& d : ru.ocs) {
+  const auto rb_ocs = rb.Ocs();
+  for (const DiscoveredDependency* d : ru.Ocs()) {
     bool found = std::any_of(
-        rb.ocs.begin(), rb.ocs.end(),
-        [&](const DiscoveredOc& x) { return x.oc == d.oc; });
-    EXPECT_TRUE(found) << d.oc.ToString();
+        rb_ocs.begin(), rb_ocs.end(),
+        [&](const DiscoveredDependency* x) { return x->Oc() == d->Oc(); });
+    EXPECT_TRUE(found) << d->Oc().ToString();
   }
-  EXPECT_GE(rb.ocs.size(), ru.ocs.size());
+  EXPECT_GE(rb.CountOfKind(DependencyKind::kOc),
+            ru.CountOfKind(DependencyKind::kOc));
 }
 
 TEST(BidirectionalTest, ToStringMarksPolarity) {
@@ -165,15 +168,17 @@ TEST_P(ParallelDiscoveryTest, ResultIdenticalToSerial) {
   parallel.num_threads = GetParam();
   DiscoveryResult rs = DiscoverOds(t, serial);
   DiscoveryResult rp = DiscoverOds(t, parallel);
-  ASSERT_EQ(rs.ocs.size(), rp.ocs.size());
-  ASSERT_EQ(rs.ofds.size(), rp.ofds.size());
-  for (size_t i = 0; i < rs.ocs.size(); ++i) {
-    EXPECT_TRUE(rs.ocs[i].oc == rp.ocs[i].oc);
-    EXPECT_EQ(rs.ocs[i].removal_size, rp.ocs[i].removal_size);
-    EXPECT_EQ(rs.ocs[i].level, rp.ocs[i].level);
+  const auto rs_ocs = rs.Ocs(), rp_ocs = rp.Ocs();
+  const auto rs_ofds = rs.Ofds(), rp_ofds = rp.Ofds();
+  ASSERT_EQ(rs_ocs.size(), rp_ocs.size());
+  ASSERT_EQ(rs_ofds.size(), rp_ofds.size());
+  for (size_t i = 0; i < rs_ocs.size(); ++i) {
+    EXPECT_TRUE(rs_ocs[i]->Oc() == rp_ocs[i]->Oc());
+    EXPECT_EQ(rs_ocs[i]->removal_size, rp_ocs[i]->removal_size);
+    EXPECT_EQ(rs_ocs[i]->level, rp_ocs[i]->level);
   }
-  for (size_t i = 0; i < rs.ofds.size(); ++i) {
-    EXPECT_TRUE(rs.ofds[i].ofd == rp.ofds[i].ofd);
+  for (size_t i = 0; i < rs_ofds.size(); ++i) {
+    EXPECT_TRUE(rs_ofds[i]->Ofd() == rp_ofds[i]->Ofd());
   }
   EXPECT_EQ(rs.stats.oc_candidates_validated,
             rp.stats.oc_candidates_validated);
@@ -193,9 +198,10 @@ TEST(ParallelDiscoveryTest2, ExactAndBidirectionalModes) {
     parallel.num_threads = 4;
     DiscoveryResult rs = DiscoverOds(t, serial);
     DiscoveryResult rp = DiscoverOds(t, parallel);
-    ASSERT_EQ(rs.ocs.size(), rp.ocs.size());
-    for (size_t i = 0; i < rs.ocs.size(); ++i) {
-      EXPECT_TRUE(rs.ocs[i].oc == rp.ocs[i].oc);
+    const auto rs_ocs = rs.Ocs(), rp_ocs = rp.Ocs();
+    ASSERT_EQ(rs_ocs.size(), rp_ocs.size());
+    for (size_t i = 0; i < rs_ocs.size(); ++i) {
+      EXPECT_TRUE(rs_ocs[i]->Oc() == rp_ocs[i]->Oc());
     }
   }
 }
@@ -422,12 +428,14 @@ TEST(SamplingDiscoveryTest, FilterPreservesDiscoveredDependencies) {
   // the sampled run reports must appear in the full run with identical
   // factors; on this (deterministic) input nothing borderline exists and
   // the outputs coincide.
-  ASSERT_EQ(rp.ocs.size(), rs.ocs.size());
-  for (size_t i = 0; i < rp.ocs.size(); ++i) {
-    EXPECT_TRUE(rp.ocs[i].oc == rs.ocs[i].oc);
-    EXPECT_EQ(rp.ocs[i].removal_size, rs.ocs[i].removal_size);
+  const auto rp_ocs = rp.Ocs(), rs_ocs = rs.Ocs();
+  ASSERT_EQ(rp_ocs.size(), rs_ocs.size());
+  for (size_t i = 0; i < rp_ocs.size(); ++i) {
+    EXPECT_TRUE(rp_ocs[i]->Oc() == rs_ocs[i]->Oc());
+    EXPECT_EQ(rp_ocs[i]->removal_size, rs_ocs[i]->removal_size);
   }
-  ASSERT_EQ(rp.ofds.size(), rs.ofds.size());
+  ASSERT_EQ(rp.CountOfKind(DependencyKind::kOfd),
+            rs.CountOfKind(DependencyKind::kOfd));
 }
 
 TEST(SamplingDiscoveryTest, FilterIgnoredForOtherValidators) {
@@ -438,7 +446,8 @@ TEST(SamplingDiscoveryTest, FilterIgnoredForOtherValidators) {
   DiscoveryResult exact = DiscoverOds(t, options);
   options.enable_sampling_filter = false;
   DiscoveryResult plain = DiscoverOds(t, options);
-  ASSERT_EQ(exact.ocs.size(), plain.ocs.size());
+  ASSERT_EQ(exact.CountOfKind(DependencyKind::kOc),
+            plain.CountOfKind(DependencyKind::kOc));
 }
 
 TEST(SamplingDiscoveryTest, ParallelAndSampledTogether) {
@@ -452,9 +461,10 @@ TEST(SamplingDiscoveryTest, ParallelAndSampledTogether) {
   serial.num_threads = 1;
   DiscoveryResult rp = DiscoverOds(t, options);
   DiscoveryResult rs = DiscoverOds(t, serial);
-  ASSERT_EQ(rp.ocs.size(), rs.ocs.size());
-  for (size_t i = 0; i < rp.ocs.size(); ++i) {
-    EXPECT_TRUE(rp.ocs[i].oc == rs.ocs[i].oc);
+  const auto rp_ocs = rp.Ocs(), rs_ocs = rs.Ocs();
+  ASSERT_EQ(rp_ocs.size(), rs_ocs.size());
+  for (size_t i = 0; i < rp_ocs.size(); ++i) {
+    EXPECT_TRUE(rp_ocs[i]->Oc() == rs_ocs[i]->Oc());
   }
 }
 

@@ -42,10 +42,11 @@ TEST(IntegrationTest, CsvToDiscoveryPipeline) {
   DiscoveryResult result = DiscoverOds(enc, options);
   int sal = enc.ColumnIndex("sal");
   int tax = enc.ColumnIndex("tax");
-  bool found = std::any_of(result.ocs.begin(), result.ocs.end(),
-                           [&](const DiscoveredOc& d) {
-                             return d.oc == CanonicalOc{AttributeSet(), sal,
-                                                        tax};
+  const auto ocs = result.Ocs();
+  bool found = std::any_of(ocs.begin(), ocs.end(),
+                           [&](const DiscoveredDependency* d) {
+                             return d->Oc() == CanonicalOc{AttributeSet(),
+                                                           sal, tax};
                            });
   EXPECT_TRUE(found) << result.Summary(enc);
 }
@@ -60,9 +61,10 @@ TEST(IntegrationTest, FlightDiscoveryFindsSeededAocs) {
   EXPECT_FALSE(result.timed_out);
   int arr = enc.ColumnIndex("arrDelay");
   int late = enc.ColumnIndex("lateAircraftDelay");
+  const auto ocs = result.Ocs();
   bool found = std::any_of(
-      result.ocs.begin(), result.ocs.end(), [&](const DiscoveredOc& d) {
-        return d.oc == CanonicalOc{AttributeSet(), arr, late};
+      ocs.begin(), ocs.end(), [&](const DiscoveredDependency* d) {
+        return d->Oc() == CanonicalOc{AttributeSet(), arr, late};
       });
   EXPECT_TRUE(found) << "arrDelay ~ lateAircraftDelay missing:\n"
                      << result.Summary(enc, 40);
@@ -81,16 +83,18 @@ TEST(IntegrationTest, ExactDiscoveryMissesWhatApproximateFinds) {
   int arr = enc.ColumnIndex("arrDelay");
   int late = enc.ColumnIndex("lateAircraftDelay");
   auto has_root_oc = [&](const DiscoveryResult& r) {
-    return std::any_of(r.ocs.begin(), r.ocs.end(),
-                       [&](const DiscoveredOc& d) {
-                         return d.oc == CanonicalOc{AttributeSet(), arr,
-                                                    late};
+    const auto ocs = r.Ocs();
+    return std::any_of(ocs.begin(), ocs.end(),
+                       [&](const DiscoveredDependency* d) {
+                         return d->Oc() == CanonicalOc{AttributeSet(), arr,
+                                                       late};
                        });
   };
   EXPECT_FALSE(has_root_oc(re));
   EXPECT_TRUE(has_root_oc(ra));
   // Exp-5 shape: approximate dependencies sit at lower lattice levels.
-  if (!re.ocs.empty() && !ra.ocs.empty()) {
+  if (re.CountOfKind(DependencyKind::kOc) > 0 &&
+      ra.CountOfKind(DependencyKind::kOc) > 0) {
     EXPECT_LE(ra.stats.AverageOcLevel(), re.stats.AverageOcLevel() + 1e-9);
   }
 }
@@ -110,9 +114,10 @@ TEST(IntegrationTest, OptimalAndIterativeAgreeAwayFromBoundary) {
   it.epsilon = 0.0;
   DiscoveryResult ro = DiscoverOds(t, opt);
   DiscoveryResult ri = DiscoverOds(t, it);
-  ASSERT_EQ(ro.ocs.size(), ri.ocs.size());
-  for (size_t i = 0; i < ro.ocs.size(); ++i) {
-    EXPECT_TRUE(ro.ocs[i].oc == ri.ocs[i].oc);
+  const auto ro_ocs = ro.Ocs(), ri_ocs = ri.Ocs();
+  ASSERT_EQ(ro_ocs.size(), ri_ocs.size());
+  for (size_t i = 0; i < ro_ocs.size(); ++i) {
+    EXPECT_TRUE(ro_ocs[i]->Oc() == ri_ocs[i]->Oc());
   }
 }
 
@@ -175,14 +180,16 @@ TEST(IntegrationTest, NcVoterDiscoveryRunsCleanly) {
   // The seeded exact OD zip -> county appears as OC + OFD.
   int zip = enc.ColumnIndex("zip");
   int county = enc.ColumnIndex("county");
+  const auto ocs = result.Ocs();
   bool oc_found = std::any_of(
-      result.ocs.begin(), result.ocs.end(), [&](const DiscoveredOc& d) {
-        return d.oc == CanonicalOc{AttributeSet(), zip, county};
+      ocs.begin(), ocs.end(), [&](const DiscoveredDependency* d) {
+        return d->Oc() == CanonicalOc{AttributeSet(), zip, county};
       });
   EXPECT_TRUE(oc_found) << result.Summary(enc, 50);
+  const auto ofds = result.Ofds();
   bool ofd_found = std::any_of(
-      result.ofds.begin(), result.ofds.end(), [&](const DiscoveredOfd& d) {
-        return d.ofd == CanonicalOfd{AttributeSet::Of({zip}), county};
+      ofds.begin(), ofds.end(), [&](const DiscoveredDependency* d) {
+        return d->Ofd() == CanonicalOfd{AttributeSet::Of({zip}), county};
       });
   EXPECT_TRUE(ofd_found);
 }

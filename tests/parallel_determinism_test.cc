@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -32,29 +33,19 @@ void AppendInt(std::string* out, int64_t v) {
   *out += ',';
 }
 
-/// Byte-exact serialization of everything the contract covers: both
-/// dependency lists in reported order with all payload fields (removal
-/// rows included), plus every non-timing stats counter.
+/// Byte-exact serialization of everything the contract covers: the
+/// kind-tagged dependency list in reported order with all payload fields
+/// (removal rows included), plus every non-timing stats counter.
 std::string Fingerprint(const DiscoveryResult& result) {
   std::string out;
-  out += "ocs:";
-  for (const DiscoveredOc& d : result.ocs) {
-    AppendInt(&out, static_cast<int64_t>(d.oc.context.bits()));
-    AppendInt(&out, d.oc.a);
-    AppendInt(&out, d.oc.b);
-    AppendInt(&out, d.oc.opposite ? 1 : 0);
-    AppendDouble(&out, d.approx_factor);
-    AppendInt(&out, d.removal_size);
-    AppendInt(&out, d.level);
-    AppendDouble(&out, d.interestingness);
-    for (int32_t r : d.removal_rows) AppendInt(&out, r);
-    out += ';';
-  }
-  out += "ofds:";
-  for (const DiscoveredOfd& d : result.ofds) {
-    AppendInt(&out, static_cast<int64_t>(d.ofd.context.bits()));
-    AppendInt(&out, d.ofd.a);
-    AppendDouble(&out, d.approx_factor);
+  out += "deps:";
+  for (const DiscoveredDependency& d : result.dependencies) {
+    AppendInt(&out, static_cast<int64_t>(d.kind));
+    AppendInt(&out, static_cast<int64_t>(d.context.bits()));
+    AppendInt(&out, d.a);
+    AppendInt(&out, d.b);
+    AppendInt(&out, d.opposite ? 1 : 0);
+    AppendDouble(&out, d.error);
     AppendInt(&out, d.removal_size);
     AppendInt(&out, d.level);
     AppendDouble(&out, d.interestingness);
@@ -65,6 +56,8 @@ std::string Fingerprint(const DiscoveryResult& result) {
   out += "stats:";
   AppendInt(&out, s.oc_candidates_validated);
   AppendInt(&out, s.ofd_candidates_validated);
+  AppendInt(&out, s.fd_candidates_validated);
+  AppendInt(&out, s.afd_candidates_validated);
   AppendInt(&out, s.oc_candidates_pruned);
   AppendInt(&out, s.nodes_processed);
   AppendInt(&out, s.partitions_computed);
@@ -72,6 +65,10 @@ std::string Fingerprint(const DiscoveryResult& result) {
   for (int64_t v : s.ocs_per_level) AppendInt(&out, v);
   out += '|';
   for (int64_t v : s.ofds_per_level) AppendInt(&out, v);
+  out += '|';
+  for (int64_t v : s.fds_per_level) AppendInt(&out, v);
+  out += '|';
+  for (int64_t v : s.afds_per_level) AppendInt(&out, v);
   out += '|';
   for (int64_t v : s.nodes_per_level) AppendInt(&out, v);
   AppendInt(&out, result.timed_out ? 1 : 0);
@@ -336,6 +333,117 @@ TEST(ParallelDeterminismTest, ShardedSamplingFilterMatchesUnsharded) {
   EXPECT_EQ(OutputFingerprint(DiscoverOds(enc, options)), expected);
 }
 
+TEST(ParallelDeterminismTest, MixedKindRunsAreThreadAndShardInvariant) {
+  // The platform dimension of the determinism matrix: FD/AFD candidates
+  // ride the same plans, wire and merge as OC/OFD, so a mixed-kind run
+  // must satisfy the exact contract the OD-only runs pin — identical
+  // full fingerprint across threads {1,4,hw} × shards {0,2,4}, for the
+  // fd+afd pair and for all four kinds at once.
+  Table t = GenerateNcVoterTable(400, 6, 11);
+  EncodedTable enc = EncodeTable(t);
+  for (const char* spec : {"fd,afd", "oc,ofd,fd,afd"}) {
+    SCOPED_TRACE(spec);
+    DiscoveryOptions options;
+    options.kinds = DependencyKindSet::Parse(spec).value();
+    options.epsilon = 0.1;
+    options.afd_error = 0.05;
+    options.collect_removal_sets = true;
+    options.num_threads = 1;
+    DiscoveryResult serial = DiscoverOds(enc, options);
+    const std::string expected = Fingerprint(serial);
+    const std::string expected_output = OutputFingerprint(serial);
+
+    for (int shards : {0, 2, 4}) {
+      SCOPED_TRACE("num_shards=" + std::to_string(shards));
+      options.num_shards = shards;
+      for (int threads : {1, 4, 0}) {
+        options.num_threads = threads;
+        DiscoveryResult run = DiscoverOds(enc, options);
+        ASSERT_TRUE(run.shard_status.ok()) << run.shard_status.ToString();
+        EXPECT_EQ(OutputFingerprint(run), expected_output)
+            << "threads=" << threads;
+        if (shards == 0) {
+          EXPECT_EQ(Fingerprint(run), expected) << "threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, MixedKindSocketAndCompressionInvariance) {
+  // Transport × codec for non-OD kinds: the kind tag crosses the v4
+  // wire in candidate and outcome frames; socket framing and the
+  // delta/varint codecs must not perturb a single byte of the output.
+  Table t = GenerateNcVoterTable(300, 6, 7);
+  EncodedTable enc = EncodeTable(t);
+  DiscoveryOptions options;
+  options.kinds = DependencyKindSet::All();
+  options.epsilon = 0.1;
+  options.afd_error = 0.05;
+  options.num_threads = 2;
+  const std::string expected = OutputFingerprint(DiscoverOds(enc, options));
+  options.num_shards = 2;
+  for (ShardTransport transport :
+       {ShardTransport::kInProcess, ShardTransport::kSocket}) {
+    SCOPED_TRACE(ShardTransportToString(transport));
+    options.shard_transport = transport;
+    for (bool compress : {true, false}) {
+      options.shard_wire_compression = compress;
+      DiscoveryResult run = DiscoverOds(enc, options);
+      ASSERT_TRUE(run.shard_status.ok()) << run.shard_status.ToString();
+      EXPECT_EQ(OutputFingerprint(run), expected)
+          << "compression=" << compress;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, InterestingnessScoresRankEveryDependency) {
+  // The ranking layer's contract (and the end of interestingness.{h,cc}
+  // as dead code): every emitted dependency of every kind carries a
+  // score in [0, 1] (0 only for vacuous key-like contexts), the score is
+  // a pure function of the dependency's context — so equal-context
+  // dependencies tie exactly — and top-k selection over those scores is
+  // thread- and shard-count invariant.
+  Table t = GenerateNcVoterTable(400, 6, 13);
+  EncodedTable enc = EncodeTable(t);
+  DiscoveryOptions options;
+  options.kinds = DependencyKindSet::All();
+  options.epsilon = 0.1;
+  options.num_threads = 1;
+  DiscoveryResult full = DiscoverOds(enc, options);
+  ASSERT_GT(full.dependencies.size(), 8u);
+  std::map<uint64_t, double> score_by_context;
+  int64_t positive = 0;
+  for (const DiscoveredDependency& d : full.dependencies) {
+    EXPECT_GE(d.interestingness, 0.0) << d.ToString(enc);
+    EXPECT_LE(d.interestingness, 1.0) << d.ToString(enc);
+    if (d.interestingness > 0.0) ++positive;
+    auto [it, inserted] =
+        score_by_context.emplace(d.context.bits(), d.interestingness);
+    if (!inserted) {
+      EXPECT_EQ(it->second, d.interestingness)
+          << "same context, different score: " << d.ToString(enc);
+    }
+  }
+  EXPECT_GT(positive, 0);
+
+  options.top_k = 8;
+  options.num_threads = 1;
+  const std::string expected = Fingerprint(DiscoverOds(enc, options));
+  for (int threads : {4, 0}) {
+    options.num_threads = threads;
+    options.num_shards = 0;
+    EXPECT_EQ(Fingerprint(DiscoverOds(enc, options)), expected)
+        << "threads=" << threads;
+    options.num_shards = 4;
+    DiscoveryResult sharded = DiscoverOds(enc, options);
+    ASSERT_TRUE(sharded.shard_status.ok());
+    EXPECT_EQ(OutputFingerprint(sharded),
+              expected.substr(0, expected.find("stats:")))
+        << "threads=" << threads;
+  }
+}
+
 TEST(ParallelDeterminismTest, SocketTransportMatchesInProcessBitExactly) {
   // The off-box seam's determinism gate (transport dimension): the
   // localhost TCP transport — real length framing, partial reads,
@@ -492,22 +600,19 @@ void ExpectDeadlineCoherentStats(const DiscoveryResult& result) {
   int64_t nodes = 0;
   for (int64_t v : s.nodes_per_level) nodes += v;
   EXPECT_EQ(s.nodes_processed, nodes);
-  EXPECT_EQ(s.TotalOcs(), static_cast<int64_t>(result.ocs.size()));
-  EXPECT_EQ(s.TotalOfds(), static_cast<int64_t>(result.ofds.size()));
+  EXPECT_EQ(s.TotalOcs(), result.CountOfKind(DependencyKind::kOc));
+  EXPECT_EQ(s.TotalOfds(), result.CountOfKind(DependencyKind::kOfd));
   EXPECT_LE(static_cast<int>(s.nodes_per_level.size()),
             s.levels_processed + 1);
-  for (const DiscoveredOc& d : result.ocs) {
-    EXPECT_LE(d.level, s.levels_processed);
-  }
-  for (const DiscoveredOfd& d : result.ofds) {
+  for (const DiscoveredDependency& d : result.dependencies) {
     EXPECT_LE(d.level, s.levels_processed);
   }
   // Counted candidates all belong to merged nodes, so the dependency
   // lists can never outnumber them.
   EXPECT_GE(s.oc_candidates_validated,
-            static_cast<int64_t>(result.ocs.size()));
+            result.CountOfKind(DependencyKind::kOc));
   EXPECT_GE(s.ofd_candidates_validated,
-            static_cast<int64_t>(result.ofds.size()));
+            result.CountOfKind(DependencyKind::kOfd));
 }
 
 TEST(ParallelDeterminismTest, DeadlineStatsStayCoherentWithPartialResults) {
@@ -532,8 +637,7 @@ TEST(ParallelDeterminismTest, DeadlineStatsStayCoherentWithPartialResults) {
     EXPECT_EQ(result.stats.levels_processed, 0);
     EXPECT_EQ(result.stats.oc_candidates_validated, 0);
     EXPECT_EQ(result.stats.ofd_candidates_validated, 0);
-    EXPECT_TRUE(result.ocs.empty());
-    EXPECT_TRUE(result.ofds.empty());
+    EXPECT_TRUE(result.dependencies.empty());
     ExpectDeadlineCoherentStats(result);
   }
 

@@ -70,22 +70,11 @@ void AppendDouble(std::string* out, double v) {
 /// discipline as shard_process_e2e_test).
 std::string OutputFingerprint(const DiscoveryResult& result) {
   std::string out;
-  for (const DiscoveredOc& d : result.ocs) {
-    out += std::to_string(d.oc.context.bits()) + "," +
-           std::to_string(d.oc.a) + "," + std::to_string(d.oc.b) + "," +
-           (d.oc.opposite ? "1," : "0,");
-    AppendDouble(&out, d.approx_factor);
-    out += std::to_string(d.removal_size) + "," + std::to_string(d.level) +
-           ",";
-    AppendDouble(&out, d.interestingness);
-    for (int32_t r : d.removal_rows) out += std::to_string(r) + ",";
-    out += ';';
-  }
-  out += '|';
-  for (const DiscoveredOfd& d : result.ofds) {
-    out += std::to_string(d.ofd.context.bits()) + "," +
-           std::to_string(d.ofd.a) + ",";
-    AppendDouble(&out, d.approx_factor);
+  for (const DiscoveredDependency& d : result.dependencies) {
+    out += std::to_string(static_cast<int>(d.kind)) + "," +
+           std::to_string(d.context.bits()) + "," + std::to_string(d.a) +
+           "," + std::to_string(d.b) + "," + (d.opposite ? "1," : "0,");
+    AppendDouble(&out, d.error);
     out += std::to_string(d.removal_size) + "," + std::to_string(d.level) +
            ",";
     AppendDouble(&out, d.interestingness);
@@ -208,6 +197,9 @@ TEST(ServeWireTest, JobSubmitRoundTrip) {
   submit.options.collect_removal_sets = true;
   submit.options.max_level = 3;
   submit.options.deadline_seconds = 7.5;
+  submit.options.kinds = DependencyKindSet::All().bits();
+  submit.options.afd_error = 0.05;
+  submit.options.top_k = 12;
   submit.table_frame = shard::EncodeTableBlock(testing_util::PaperEncoded());
 
   std::vector<uint8_t> frame = EncodeJobSubmit(submit);
@@ -222,6 +214,9 @@ TEST(ServeWireTest, JobSubmitRoundTrip) {
   EXPECT_TRUE(back->options.collect_removal_sets);
   EXPECT_EQ(back->options.max_level, 3);
   EXPECT_EQ(back->options.deadline_seconds, 7.5);
+  EXPECT_EQ(back->options.kinds, DependencyKindSet::All().bits());
+  EXPECT_EQ(back->options.afd_error, 0.05);
+  EXPECT_EQ(back->options.top_k, 12);
   EXPECT_EQ(back->table_frame, submit.table_frame);
 
   // The nested table frame is itself decodable.
@@ -327,6 +322,44 @@ TEST(ServeWireTest, DecodersRejectStructuralViolations) {
     ASSERT_TRUE(f.ok());
     EXPECT_FALSE(serve::DecodeJobSubmit(*f).ok());
   }
+  // The wire-v4 job fields are range-checked at decode: an empty or
+  // unknown kind set, an out-of-range AFD threshold and a negative
+  // top_k are each typed submit rejections.
+  auto expect_submit_rejected = [](serve::WireJobOptions options,
+                                   const std::string& want) {
+    serve::WireJobSubmit submit;
+    submit.request_id = 1;
+    submit.options = options;
+    submit.table_frame =
+        shard::EncodeTableBlock(testing_util::PaperEncoded());
+    Result<shard::DecodedFrame> f =
+        shard::DecodeFrame(serve::EncodeJobSubmit(submit));
+    ASSERT_TRUE(f.ok());
+    Result<serve::WireJobSubmit> r = serve::DecodeJobSubmit(*f);
+    ASSERT_FALSE(r.ok()) << "decoded despite " << want;
+    EXPECT_NE(r.status().message().find(want), std::string::npos)
+        << r.status().ToString();
+  };
+  {
+    serve::WireJobOptions bad;
+    bad.kinds = 0;
+    expect_submit_rejected(bad, "dependency-kind set invalid (bits 0)");
+  }
+  {
+    serve::WireJobOptions bad;
+    bad.kinds = DependencyKindSet::All().bits() | 0x40;
+    expect_submit_rejected(bad, "dependency-kind set invalid");
+  }
+  {
+    serve::WireJobOptions bad;
+    bad.afd_error = 2.5;
+    expect_submit_rejected(bad, "afd_error outside [0, 1]");
+  }
+  {
+    serve::WireJobOptions bad;
+    bad.top_k = -3;
+    expect_submit_rejected(bad, "negative top_k");
+  }
 }
 
 TEST(ServeWireTest, TruncationAndCorruptionNeverMisparse) {
@@ -383,6 +416,28 @@ TEST(ServeFaultTest, RemoteMatchesDirectDiscoveryBitExactly) {
 
   EncodedTable random = testing_util::RandomEncodedTable(200, 5, 4, 17);
   ExpectHealthyRoundTrip(server.get(), random, SmallJobOptions());
+
+  // A mixed-kind, ranked job: all four kinds plus top-k travel through
+  // kJobSubmit and the result blob carries FD/AFD records back.
+  DiscoveryOptions mixed = SmallJobOptions();
+  mixed.kinds = DependencyKindSet::All();
+  mixed.afd_error = 0.05;
+  mixed.top_k = 10;
+  ExpectHealthyRoundTrip(server.get(), random, mixed);
+  {
+    DiscoveryOptions unranked = mixed;
+    unranked.top_k = 0;
+    Result<DiscoveryResult> full = serve::RunRemoteDiscovery(
+        "127.0.0.1", server->port(), random, unranked);
+    ASSERT_TRUE(full.ok()) << full.status().ToString();
+    EXPECT_GT(full->CountOfKind(DependencyKind::kFd) +
+                  full->CountOfKind(DependencyKind::kAfd),
+              0);
+    Result<DiscoveryResult> ranked = serve::RunRemoteDiscovery(
+        "127.0.0.1", server->port(), random, mixed);
+    ASSERT_TRUE(ranked.ok()) << ranked.status().ToString();
+    EXPECT_LE(ranked->dependencies.size(), 10u);
+  }
 
   server->Shutdown();
   EXPECT_EQ(server->active_jobs(), 0);
@@ -789,8 +844,8 @@ TEST(ServeFaultTest, SigtermMidJobDrainsDeliversAndExitsZero) {
 
   Result<DiscoveryResult> result = (*client)->Await(*job);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_TRUE(result->timed_out || result->cancelled || !result->ocs.empty() ||
-              !result->ofds.empty());
+  EXPECT_TRUE(result->timed_out || result->cancelled ||
+              !result->dependencies.empty());
 
   int status = 0;
   ASSERT_EQ(::waitpid(pid, &status, 0), pid);

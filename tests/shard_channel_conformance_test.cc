@@ -522,16 +522,15 @@ TEST_P(CoordinatorFaultInjectionTest, EveryFaultYieldsTypedErrorNoHang) {
 
     // No partial merge: whatever prefix was reported is coherent with
     // its own stats and is a subset of the clean run.
-    EXPECT_LE(faulted.ocs.size(), clean.ocs.size());
-    EXPECT_LE(faulted.ofds.size(), clean.ofds.size());
+    EXPECT_LE(faulted.CountOfKind(DependencyKind::kOc),
+              clean.CountOfKind(DependencyKind::kOc));
+    EXPECT_LE(faulted.CountOfKind(DependencyKind::kOfd),
+              clean.CountOfKind(DependencyKind::kOfd));
     EXPECT_EQ(faulted.stats.TotalOcs(),
-              static_cast<int64_t>(faulted.ocs.size()));
+              faulted.CountOfKind(DependencyKind::kOc));
     EXPECT_EQ(faulted.stats.TotalOfds(),
-              static_cast<int64_t>(faulted.ofds.size()));
-    for (const DiscoveredOc& d : faulted.ocs) {
-      EXPECT_LE(d.level, faulted.stats.levels_processed);
-    }
-    for (const DiscoveredOfd& d : faulted.ofds) {
+              faulted.CountOfKind(DependencyKind::kOfd));
+    for (const DiscoveredDependency& d : faulted.dependencies) {
       EXPECT_LE(d.level, faulted.stats.levels_processed);
     }
   }
@@ -545,8 +544,7 @@ TEST_P(CoordinatorFaultInjectionTest, FaultDuringBaseShippingIsTyped) {
   plan.trigger_after = 0;  // the base-partition envelope itself is torn
   DiscoveryResult faulted = RunWithFault(enc, GetParam(), plan);
   ASSERT_FALSE(faulted.shard_status.ok());
-  EXPECT_TRUE(faulted.ocs.empty());
-  EXPECT_TRUE(faulted.ofds.empty());
+  EXPECT_TRUE(faulted.dependencies.empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(Transports, CoordinatorFaultInjectionTest,

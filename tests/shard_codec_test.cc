@@ -13,11 +13,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "data/encoder.h"
 #include "flaky_channel.h"
 #include "gen/random.h"
+#include "od/dependency_kind.h"
 #include "partition/stripped_partition.h"
 #include "shard/channel.h"
 #include "shard/wire.h"
@@ -233,13 +236,13 @@ std::vector<WireCandidate> RandomCandidates(Rng* rng, size_t n) {
     slot += static_cast<uint64_t>(rng->UniformInt(0, 9));
     c.slot = slot;
     c.context_bits = static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
-    c.is_ofd = rng->UniformInt(0, 1) == 0;
-    if (c.is_ofd) {
-      c.ofd_target = static_cast<int32_t>(rng->UniformInt(0, 63));
-    } else {
+    c.kind = static_cast<DependencyKind>(rng->UniformInt(0, 3));
+    if (c.kind == DependencyKind::kOc) {
       c.pair_a = static_cast<int32_t>(rng->UniformInt(0, 62));
       c.pair_b = c.pair_a + 1;
       c.opposite = rng->UniformInt(0, 1) == 0;
+    } else {
+      c.target = static_cast<int32_t>(rng->UniformInt(0, 63));
     }
     out.push_back(c);
   }
@@ -263,8 +266,8 @@ TEST(ShardCodecTest, CandidateBatchCodecsAreEquivalent) {
     for (size_t i = 0; i < n; ++i) {
       EXPECT_EQ((*back_c)[i].slot, batch[i].slot);
       EXPECT_EQ((*back_c)[i].context_bits, batch[i].context_bits);
-      EXPECT_EQ((*back_c)[i].is_ofd, batch[i].is_ofd);
-      EXPECT_EQ((*back_c)[i].ofd_target, batch[i].ofd_target);
+      EXPECT_EQ((*back_c)[i].kind, batch[i].kind);
+      EXPECT_EQ((*back_c)[i].target, batch[i].target);
       EXPECT_EQ((*back_c)[i].pair_a, batch[i].pair_a);
       EXPECT_EQ((*back_c)[i].pair_b, batch[i].pair_b);
       EXPECT_EQ((*back_c)[i].opposite, batch[i].opposite);
@@ -280,6 +283,7 @@ std::vector<WireOutcome> RandomOutcomes(Rng* rng, size_t n, bool rows) {
     WireOutcome o;
     slot += static_cast<uint64_t>(rng->UniformInt(0, 5));
     o.slot = slot;
+    o.kind = static_cast<DependencyKind>(rng->UniformInt(0, 3));
     o.valid = rng->UniformInt(0, 1) == 0;
     o.early_exit = rng->UniformInt(0, 1) == 0;
     o.removal_size = rng->UniformInt(0, 1000);
@@ -321,8 +325,10 @@ TEST(ShardCodecTest, ResultBatchCodecsAreBitExactEquivalent) {
         const WireOutcome& c = back_c->outcomes[i];
         const WireOutcome& r = back_r->outcomes[i];
         EXPECT_EQ(c.slot, outcomes[i].slot);
+        EXPECT_EQ(c.kind, outcomes[i].kind);
         EXPECT_EQ(c.valid, outcomes[i].valid);
         EXPECT_EQ(c.early_exit, outcomes[i].early_exit);
+        EXPECT_EQ(r.kind, outcomes[i].kind);
         EXPECT_EQ(c.removal_size, outcomes[i].removal_size);
         // Doubles must survive bit-exactly through *both* codecs.
         EXPECT_EQ(c.approx_factor, outcomes[i].approx_factor);
@@ -356,6 +362,154 @@ TEST(ShardCodecTest, CorruptedCompressedBatchesAreTypedAtEveryByte) {
     HeldFrame bad(CorruptPayloadResealed(result_frame, i));
     ASSERT_TRUE(bad.ok());
     shard::DecodeResultBatch(*bad).status();
+  }
+}
+
+/// Sets payload byte `i` to an exact value and re-seals the checksum —
+/// the targeted sibling of CorruptPayloadResealed's random flip.
+std::vector<uint8_t> SetPayloadByteResealed(const std::vector<uint8_t>& frame,
+                                            size_t i, uint8_t value) {
+  std::vector<uint8_t> bad = frame;
+  bad[shard::kFrameHeaderBytes + i] = value;
+  const uint64_t checksum = shard::WireChecksum(
+      bad.data() + shard::kFrameHeaderBytes,
+      bad.size() - shard::kFrameHeaderBytes);
+  for (int b = 0; b < 8; ++b) {
+    bad[16 + static_cast<size_t>(b)] =
+        static_cast<uint8_t>((checksum >> (8 * b)) & 0xff);
+  }
+  return bad;
+}
+
+TEST(ShardCodecTest, UnknownKindIdsAreTypedInBothBatchCodecs) {
+  // Raw candidate body: u8 flags, u64 count, then 30-byte records with
+  // the kind byte 16 bytes in (after slot + context). Every id outside
+  // the four known kinds must be a typed rejection naming the id.
+  Rng rng(808);
+  const std::vector<uint8_t> raw_candidates = shard::EncodeCandidateBatch(
+      RandomCandidates(&rng, 3), /*compress=*/false);
+  const size_t candidate_kind_at = 1 + 8 + 16;
+  for (uint8_t id : {uint8_t{4}, uint8_t{17}, uint8_t{255}}) {
+    HeldFrame bad(SetPayloadByteResealed(raw_candidates, candidate_kind_at,
+                                         id));
+    ASSERT_TRUE(bad.ok());
+    auto r = shard::DecodeCandidateBatch(*bad);
+    ASSERT_FALSE(r.ok()) << "kind id " << static_cast<int>(id) << " parsed";
+    EXPECT_NE(r.status().message().find("unknown dependency kind id " +
+                                        std::to_string(id)),
+              std::string::npos)
+        << r.status().ToString();
+  }
+
+  // Raw outcome body: u8 flags, u64 count, then slot + the kind byte.
+  const std::vector<uint8_t> raw_outcomes = shard::EncodeResultBatch(
+      RandomOutcomes(&rng, 2, false), /*final_chunk=*/true,
+      /*compress=*/false);
+  const size_t outcome_kind_at = 1 + 8 + 8;
+  for (uint8_t id : {uint8_t{4}, uint8_t{9}}) {
+    HeldFrame bad(SetPayloadByteResealed(raw_outcomes, outcome_kind_at, id));
+    ASSERT_TRUE(bad.ok());
+    auto r = shard::DecodeResultBatch(*bad);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("unknown dependency kind id"),
+              std::string::npos)
+        << r.status().ToString();
+  }
+
+  // The compressed codecs pack the kind into two bits, so an unknown id
+  // is structurally unrepresentable there — what CAN go wrong is a set
+  // bit above the defined ones, and that too must be a typed error.
+  WireCandidate c;
+  c.slot = 0;
+  c.context_bits = 1;
+  c.kind = DependencyKind::kOc;
+  c.target = -1;
+  c.pair_a = 0;
+  c.pair_b = 2;
+  const std::vector<uint8_t> packed_candidates =
+      shard::EncodeCandidateBatch({c});
+  ASSERT_EQ(packed_candidates[shard::kFrameHeaderBytes],
+            shard::kCandidateFlagCompressed);
+  // Payload: flags, count varint, slot-delta varint, context varint,
+  // then the kind|polarity byte at offset 4.
+  {
+    HeldFrame bad(SetPayloadByteResealed(packed_candidates, 4, 0x08));
+    ASSERT_TRUE(bad.ok());
+    auto r = shard::DecodeCandidateBatch(*bad);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("unknown candidate flag bits"),
+              std::string::npos)
+        << r.status().ToString();
+  }
+
+  WireOutcome o;
+  o.slot = 0;
+  o.kind = DependencyKind::kAfd;
+  o.valid = true;
+  o.removal_size = 2;
+  o.approx_factor = 0.125;
+  o.interestingness = 0.5;
+  const std::vector<uint8_t> packed_outcomes =
+      shard::EncodeResultBatch({o}, /*final_chunk=*/false);
+  ASSERT_EQ(packed_outcomes[shard::kFrameHeaderBytes],
+            shard::kResultFlagCompressed);
+  // Payload: flags, count varint, slot-delta varint, then the packed
+  // valid|early_exit|kind byte at offset 3.
+  {
+    HeldFrame bad(SetPayloadByteResealed(packed_outcomes, 3, 0x10));
+    ASSERT_TRUE(bad.ok());
+    auto r = shard::DecodeResultBatch(*bad);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("unknown outcome flag bits"),
+              std::string::npos)
+        << r.status().ToString();
+  }
+}
+
+TEST(ShardCodecTest, ConfigBlockRejectsBadKindSetsAndThresholds) {
+  shard::WireRunnerConfig config;
+  config.kinds = DependencyKindSet::All().bits();
+  config.afd_error = 0.25;
+
+  // The well-formed block round-trips its wire-v4 fields.
+  {
+    HeldFrame good(shard::EncodeConfigBlock(config));
+    ASSERT_TRUE(good.ok());
+    auto back = shard::DecodeConfigBlock(*good);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->kinds, DependencyKindSet::All().bits());
+    EXPECT_EQ(back->afd_error, 0.25);
+  }
+
+  auto expect_rejected = [](const shard::WireRunnerConfig& bad_config,
+                            const std::string& want) {
+    HeldFrame frame(shard::EncodeConfigBlock(bad_config));
+    ASSERT_TRUE(frame.ok());
+    auto r = shard::DecodeConfigBlock(*frame);
+    ASSERT_FALSE(r.ok()) << "decoded despite " << want;
+    EXPECT_NE(r.status().message().find(want), std::string::npos)
+        << r.status().ToString();
+  };
+
+  // An empty kind set asks the runner to validate nothing — a protocol
+  // error, not a degenerate no-op.
+  {
+    shard::WireRunnerConfig bad = config;
+    bad.kinds = 0;
+    expect_rejected(bad, "config dependency-kind set invalid (bits 0)");
+  }
+  // Bits above the known kinds come from a newer (or corrupted) peer.
+  {
+    shard::WireRunnerConfig bad = config;
+    bad.kinds = DependencyKindSet::All().bits() | 0x10;
+    expect_rejected(bad, "config dependency-kind set invalid");
+  }
+  // The AFD threshold is a g1 fraction; anything outside [0, 1] — NaN
+  // included — is meaningless and must not reach a validator.
+  for (double e : {1.5, -0.25, std::numeric_limits<double>::quiet_NaN()}) {
+    shard::WireRunnerConfig bad = config;
+    bad.afd_error = e;
+    expect_rejected(bad, "config afd_error outside [0, 1]");
   }
 }
 

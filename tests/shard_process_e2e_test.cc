@@ -47,22 +47,11 @@ void AppendDouble(std::string* out, double v) {
 /// means (see parallel_determinism_test for the full-stats variant).
 std::string OutputFingerprint(const DiscoveryResult& result) {
   std::string out;
-  for (const DiscoveredOc& d : result.ocs) {
-    out += std::to_string(d.oc.context.bits()) + "," +
-           std::to_string(d.oc.a) + "," + std::to_string(d.oc.b) + "," +
-           (d.oc.opposite ? "1," : "0,");
-    AppendDouble(&out, d.approx_factor);
-    out += std::to_string(d.removal_size) + "," + std::to_string(d.level) +
-           ",";
-    AppendDouble(&out, d.interestingness);
-    for (int32_t r : d.removal_rows) out += std::to_string(r) + ",";
-    out += ';';
-  }
-  out += '|';
-  for (const DiscoveredOfd& d : result.ofds) {
-    out += std::to_string(d.ofd.context.bits()) + "," +
-           std::to_string(d.ofd.a) + ",";
-    AppendDouble(&out, d.approx_factor);
+  for (const DiscoveredDependency& d : result.dependencies) {
+    out += std::to_string(static_cast<int>(d.kind)) + "," +
+           std::to_string(d.context.bits()) + "," + std::to_string(d.a) +
+           "," + std::to_string(d.b) + "," + (d.opposite ? "1," : "0,");
+    AppendDouble(&out, d.error);
     out += std::to_string(d.removal_size) + "," + std::to_string(d.level) +
            ",";
     AppendDouble(&out, d.interestingness);
@@ -159,8 +148,7 @@ TEST(ShardProcessE2eTest, MissingRunnerBinaryIsTypedNotACrash) {
   options.shard_max_retries = 0;
   DiscoveryResult result = DiscoverOds(enc, options);
   ASSERT_FALSE(result.shard_status.ok());
-  EXPECT_TRUE(result.ocs.empty());
-  EXPECT_TRUE(result.ofds.empty());
+  EXPECT_TRUE(result.dependencies.empty());
 }
 
 TEST(ShardProcessE2eTest, RunnerThatNeverConnectsTimesOutTyped) {

@@ -58,25 +58,15 @@ void AppendDouble(std::string* out, double v) {
   *out += buf;
 }
 
-/// Byte-exact serialization of both dependency lists (the same
+/// Byte-exact serialization of the kind-tagged dependency list (the same
 /// fingerprint shard_process_e2e_test diffs).
 std::string OutputFingerprint(const DiscoveryResult& result) {
   std::string out;
-  for (const DiscoveredOc& d : result.ocs) {
-    out += std::to_string(d.oc.context.bits()) + "," +
-           std::to_string(d.oc.a) + "," + std::to_string(d.oc.b) + "," +
-           (d.oc.opposite ? "1," : "0,");
-    AppendDouble(&out, d.approx_factor);
-    out += std::to_string(d.removal_size) + "," + std::to_string(d.level) +
-           ",";
-    AppendDouble(&out, d.interestingness);
-    out += ';';
-  }
-  out += '|';
-  for (const DiscoveredOfd& d : result.ofds) {
-    out += std::to_string(d.ofd.context.bits()) + "," +
-           std::to_string(d.ofd.a) + ",";
-    AppendDouble(&out, d.approx_factor);
+  for (const DiscoveredDependency& d : result.dependencies) {
+    out += std::to_string(static_cast<int>(d.kind)) + "," +
+           std::to_string(d.context.bits()) + "," + std::to_string(d.a) +
+           "," + std::to_string(d.b) + "," + (d.opposite ? "1," : "0,");
+    AppendDouble(&out, d.error);
     out += std::to_string(d.removal_size) + "," + std::to_string(d.level) +
            ",";
     AppendDouble(&out, d.interestingness);
@@ -264,6 +254,46 @@ TEST_P(ShardSupervisorTest, StrictModeStillFailsStop) {
   ASSERT_FALSE(result.shard_status.ok());
   EXPECT_EQ(result.stats.shard_retries, 0);
   EXPECT_EQ(result.stats.shard_fallback_shards, 0);
+}
+
+// A job mining all four kinds at once (OC + OFD + FD + AFD) rides the
+// same ladder: a fault on each transport is retried away and the merged
+// mixed-kind output — kind tags, g1 errors and ranking included — is
+// bit-identical to the unsharded mixed-kind run.
+TEST_P(ShardSupervisorTest, MixedKindJobRecoversBitExactly) {
+  Table t = GenerateNcVoterTable(120, 4, 7);
+  EncodedTable enc = EncodeTable(t);
+
+  DiscoveryOptions unsharded_options;
+  unsharded_options.epsilon = 0.1;
+  unsharded_options.num_threads = 2;
+  unsharded_options.kinds = DependencyKindSet::All();
+  unsharded_options.afd_error = 0.05;
+  DiscoveryResult unsharded = DiscoverOds(enc, unsharded_options);
+  ASSERT_TRUE(unsharded.shard_status.ok());
+  ASSERT_GT(unsharded.CountOfKind(DependencyKind::kFd) +
+                unsharded.CountOfKind(DependencyKind::kAfd),
+            0);
+
+  std::atomic<int> budget{1};
+  DiscoveryOptions options = SupervisedOptions(GetParam(), runner_);
+  options.kinds = DependencyKindSet::All();
+  options.afd_error = 0.05;
+  options.shard_channel_decorator =
+      [&](std::unique_ptr<ShardChannel> inner)
+      -> std::unique_ptr<ShardChannel> {
+    FlakyChannel::Plan plan;
+    plan.fault = FlakyChannel::Fault::kCorruptByte;
+    plan.trigger_after = 2;
+    plan.shared_budget = &budget;
+    return std::make_unique<FlakyChannel>(std::move(inner), plan);
+  };
+  DiscoveryResult result = DiscoverOds(enc, options);
+  ASSERT_TRUE(result.shard_status.ok()) << result.shard_status.ToString();
+  EXPECT_EQ(OutputFingerprint(result), OutputFingerprint(unsharded));
+  if (budget.load() <= 0) {
+    EXPECT_GT(RecoveryTotal(result.stats), 0);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -243,8 +243,8 @@ TEST(ShardWireTest, CandidateBatchRoundTrip) {
   WireCandidate ofd;
   ofd.slot = 3;
   ofd.context_bits = 0b1011;
-  ofd.is_ofd = true;
-  ofd.ofd_target = 2;
+  ofd.kind = DependencyKind::kOfd;
+  ofd.target = 2;
   batch.push_back(ofd);
   WireCandidate oc;
   oc.slot = 7;
@@ -262,8 +262,8 @@ TEST(ShardWireTest, CandidateBatchRoundTrip) {
   ASSERT_EQ(back->size(), 2u);
   EXPECT_EQ((*back)[0].slot, 3u);
   EXPECT_EQ((*back)[0].context_bits, 0b1011u);
-  EXPECT_TRUE((*back)[0].is_ofd);
-  EXPECT_EQ((*back)[0].ofd_target, 2);
+  EXPECT_EQ((*back)[0].kind, DependencyKind::kOfd);
+  EXPECT_EQ((*back)[0].target, 2);
   EXPECT_EQ((*back)[1].slot, 7u);
   EXPECT_EQ((*back)[1].pair_a, 0);
   EXPECT_EQ((*back)[1].pair_b, 5);

@@ -177,14 +177,14 @@ TEST_P(DiscoveryStressTest, GeneratedTablesNeverCrashOrHang) {
     options.num_threads = static_cast<int>(rng.UniformInt(1, 4));
     DiscoveryResult result = DiscoverOds(t, options);
     // Sanity: no dependency may reference an attribute twice.
-    for (const auto& d : result.ocs) {
-      ASSERT_NE(d.oc.a, d.oc.b);
-      ASSERT_FALSE(d.oc.context.Contains(d.oc.a));
-      ASSERT_FALSE(d.oc.context.Contains(d.oc.b));
-      ASSERT_LE(d.approx_factor, options.epsilon + 1e-9);
+    for (const DiscoveredDependency* d : result.Ocs()) {
+      ASSERT_NE(d->a, d->b);
+      ASSERT_FALSE(d->context.Contains(d->a));
+      ASSERT_FALSE(d->context.Contains(d->b));
+      ASSERT_LE(d->error, options.epsilon + 1e-9);
     }
-    for (const auto& d : result.ofds) {
-      ASSERT_FALSE(d.ofd.context.Contains(d.ofd.a));
+    for (const DiscoveredDependency* d : result.Ofds()) {
+      ASSERT_FALSE(d->context.Contains(d->a));
     }
   }
 }
