@@ -1,0 +1,275 @@
+#include "partition/partition_stitch.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/endian.h"
+#include "common/macros.h"
+
+namespace aod {
+
+void PartitionFragment::SerializeTo(std::vector<uint8_t>* out) const {
+  using endian::AppendI32;
+  using endian::AppendU64;
+  AppendU64(out, static_cast<uint64_t>(class_ranks.size()));
+  AppendU64(out, static_cast<uint64_t>(row_ids.size()));
+  for (int32_t v : class_ranks) AppendI32(out, v);
+  for (int32_t v : class_offsets) AppendI32(out, v);
+  for (int32_t v : row_ids) AppendI32(out, v);
+}
+
+Result<PartitionFragment> PartitionFragment::Deserialize(
+    const uint8_t* data, size_t size, int32_t attribute, int64_t row_begin,
+    int64_t row_end, size_t* consumed) {
+  using endian::ReadI32;
+  using endian::ReadU64;
+  if (row_begin < 0 || row_end < row_begin) {
+    return Status::ParseError("fragment row range invalid");
+  }
+  const uint64_t range = static_cast<uint64_t>(row_end - row_begin);
+  size_t pos = 0;
+  uint64_t classes = 0;
+  uint64_t rows = 0;
+  if (!ReadU64(data, size, &pos, &classes) ||
+      !ReadU64(data, size, &pos, &rows)) {
+    return Status::ParseError("fragment header truncated");
+  }
+  // A fragment covers its range totally (every row has a rank, singletons
+  // are kept), so the row count is pinned — not merely bounded — by the
+  // range, and each class holds at least one row.
+  if (rows != range) {
+    return Status::ParseError("fragment does not cover its row range");
+  }
+  if (classes > rows) {
+    return Status::ParseError("fragment claims more classes than rows");
+  }
+  if ((classes == 0) != (rows == 0)) {
+    return Status::ParseError("fragment class/row counts inconsistent");
+  }
+
+  PartitionFragment out;
+  out.attribute = attribute;
+  out.row_begin = row_begin;
+  out.row_end = row_end;
+  out.class_ranks.reserve(static_cast<size_t>(classes));
+  int32_t prev_rank = -1;
+  for (uint64_t c = 0; c < classes; ++c) {
+    int32_t rank = 0;
+    if (!ReadI32(data, size, &pos, &rank)) {
+      return Status::ParseError("fragment ranks truncated");
+    }
+    if (rank <= prev_rank) {
+      // Ranks are the stitch key: strictly ascending and non-negative
+      // (prev starts at -1, so this also rejects a negative first rank).
+      return Status::ParseError("fragment ranks not strictly ascending");
+    }
+    out.class_ranks.push_back(rank);
+    prev_rank = rank;
+  }
+  out.class_offsets.reserve(static_cast<size_t>(classes) + 1);
+  int32_t prev = 0;
+  for (uint64_t c = 0; c <= classes; ++c) {
+    int32_t offset = 0;
+    if (!ReadI32(data, size, &pos, &offset)) {
+      return Status::ParseError("fragment offsets truncated");
+    }
+    if (c == 0 ? offset != 0 : offset < prev + 1) {
+      // Offsets start at 0 and ascend by the class size (>= 1 — unlike
+      // the stripped form, singleton classes survive here).
+      return Status::ParseError("fragment offsets not ascending by >= 1");
+    }
+    out.class_offsets.push_back(offset);
+    prev = offset;
+  }
+  if (static_cast<uint64_t>(prev) != rows) {
+    return Status::ParseError("fragment offsets do not cover its rows");
+  }
+  out.row_ids.reserve(static_cast<size_t>(rows));
+  std::vector<uint8_t> seen(static_cast<size_t>(range), 0);
+  size_t next_class = 1;
+  int32_t prev_row_in_class = -1;
+  for (uint64_t r = 0; r < rows; ++r) {
+    int32_t row = 0;
+    if (!ReadI32(data, size, &pos, &row)) {
+      return Status::ParseError("fragment row ids truncated");
+    }
+    if (row < row_begin || static_cast<int64_t>(row) >= row_end) {
+      return Status::ParseError("fragment row id outside its range");
+    }
+    if (next_class < out.class_offsets.size() &&
+        static_cast<int32_t>(r) ==
+            out.class_offsets[next_class]) {
+      ++next_class;
+      prev_row_in_class = -1;
+    }
+    if (prev_row_in_class >= 0 && row <= prev_row_in_class) {
+      return Status::ParseError("fragment rows not ascending within class");
+    }
+    prev_row_in_class = row;
+    const size_t local = static_cast<size_t>(row - row_begin);
+    if (seen[local]) {
+      return Status::ParseError("fragment row id appears in two classes");
+    }
+    seen[local] = 1;
+    out.row_ids.push_back(row);
+  }
+  // rows == range and no duplicates => every row of the range is present.
+  if (consumed != nullptr) *consumed = pos;
+  return out;
+}
+
+namespace {
+
+/// Shared counting-sort core: partitions ranks[local_begin, local_end)
+/// of a rank array whose local index i is global row `global_base + i`.
+PartitionFragment BuildFragment(const std::vector<int32_t>& ranks,
+                                int32_t cardinality, int64_t local_begin,
+                                int64_t local_end, int64_t global_base,
+                                int32_t attribute) {
+  PartitionFragment out;
+  out.attribute = attribute;
+  out.row_begin = global_base + local_begin;
+  out.row_end = global_base + local_end;
+  out.class_offsets.push_back(0);
+  if (local_begin == local_end) return out;
+
+  // Counting sort over the global rank space, scanning only the slice.
+  // Classes come out keyed and ordered by rank; singletons are kept —
+  // whether a row is alone in the full table is only known after the
+  // stitch.
+  std::vector<int32_t> counts(static_cast<size_t>(cardinality), 0);
+  for (int64_t t = local_begin; t < local_end; ++t) {
+    ++counts[static_cast<size_t>(ranks[static_cast<size_t>(t)])];
+  }
+  std::vector<int32_t> start(static_cast<size_t>(cardinality), 0);
+  int32_t cursor = 0;
+  for (int32_t v = 0; v < cardinality; ++v) {
+    if (counts[static_cast<size_t>(v)] == 0) continue;
+    out.class_ranks.push_back(v);
+    start[static_cast<size_t>(v)] = cursor;
+    cursor += counts[static_cast<size_t>(v)];
+    out.class_offsets.push_back(cursor);
+  }
+  out.row_ids.resize(static_cast<size_t>(local_end - local_begin));
+  for (int64_t t = local_begin; t < local_end; ++t) {
+    const int32_t r = ranks[static_cast<size_t>(t)];
+    out.row_ids[static_cast<size_t>(start[static_cast<size_t>(r)]++)] =
+        static_cast<int32_t>(global_base + t);
+  }
+  return out;
+}
+
+}  // namespace
+
+PartitionFragment FragmentFromColumn(const EncodedColumn& column,
+                                     int64_t row_begin, int64_t row_end,
+                                     int32_t attribute) {
+  const int64_t n = static_cast<int64_t>(column.ranks.size());
+  AOD_CHECK_MSG(row_begin >= 0 && row_begin <= row_end && row_end <= n,
+                "fragment range [%lld, %lld) outside column of %lld rows",
+                static_cast<long long>(row_begin),
+                static_cast<long long>(row_end), static_cast<long long>(n));
+  return BuildFragment(column.ranks, column.cardinality, row_begin, row_end,
+                       /*global_base=*/0, attribute);
+}
+
+PartitionFragment FragmentFromSlice(const EncodedColumn& column,
+                                    int64_t global_row_begin,
+                                    int32_t attribute) {
+  AOD_CHECK_MSG(global_row_begin >= 0, "negative slice offset");
+  return BuildFragment(column.ranks, column.cardinality, 0,
+                       static_cast<int64_t>(column.ranks.size()),
+                       global_row_begin, attribute);
+}
+
+Result<StrippedPartition> StitchPartitions(
+    const std::vector<PartitionFragment>& fragments, int64_t num_rows) {
+  if (num_rows < 0) {
+    return Status::InvalidArgument("stitch: negative row count");
+  }
+  // The fragments must tile [0, num_rows) contiguously in ascending
+  // order and agree on the attribute.
+  int64_t expect_begin = 0;
+  int32_t max_rank = -1;
+  for (const PartitionFragment& f : fragments) {
+    if (f.row_begin != expect_begin || f.row_end < f.row_begin) {
+      return Status::InvalidArgument("stitch: fragments do not tile the "
+                                     "row space contiguously");
+    }
+    if (f.attribute != fragments.front().attribute) {
+      return Status::InvalidArgument("stitch: fragments from different "
+                                     "attributes");
+    }
+    if (f.class_offsets.size() != f.class_ranks.size() + 1 ||
+        static_cast<int64_t>(f.row_ids.size()) != f.num_rows()) {
+      return Status::InvalidArgument("stitch: fragment arrays inconsistent");
+    }
+    if (!f.class_ranks.empty()) {
+      max_rank = std::max(max_rank, f.class_ranks.back());
+    }
+    expect_begin = f.row_end;
+  }
+  if (expect_begin != num_rows) {
+    return Status::InvalidArgument("stitch: fragments do not cover the "
+                                   "table");
+  }
+  if (max_rank < 0) return StrippedPartition();
+
+  // Pass 1: total class size and first (= globally smallest, because
+  // ranges ascend and rows ascend within a fragment class) row id per
+  // rank.
+  std::vector<int64_t> total(static_cast<size_t>(max_rank) + 1, 0);
+  std::vector<int32_t> first(static_cast<size_t>(max_rank) + 1, -1);
+  for (const PartitionFragment& f : fragments) {
+    for (size_t c = 0; c < f.class_ranks.size(); ++c) {
+      const size_t rank = static_cast<size_t>(f.class_ranks[c]);
+      const int32_t lo = f.class_offsets[c];
+      const int32_t hi = f.class_offsets[c + 1];
+      total[rank] += hi - lo;
+      if (first[rank] < 0) first[rank] = f.row_ids[static_cast<size_t>(lo)];
+    }
+  }
+
+  // The stitch rule: a rank survives iff its classes hold >= 2 rows in
+  // total; survivors are emitted in order of their smallest row id —
+  // exactly FromColumn's first-occurrence order on the full table.
+  std::vector<std::pair<int32_t, int32_t>> order;  // (first row, rank)
+  int64_t covered = 0;
+  for (int32_t v = 0; v <= max_rank; ++v) {
+    if (total[static_cast<size_t>(v)] >= 2) {
+      order.emplace_back(first[static_cast<size_t>(v)], v);
+      covered += total[static_cast<size_t>(v)];
+    }
+  }
+  if (order.empty()) return StrippedPartition();
+  std::sort(order.begin(), order.end());
+
+  std::vector<int32_t> offsets;
+  offsets.reserve(order.size() + 1);
+  offsets.push_back(0);
+  // Per-rank write cursor into the output arena.
+  std::vector<int64_t> cursor(static_cast<size_t>(max_rank) + 1, -1);
+  int64_t at = 0;
+  for (const auto& [first_row, rank] : order) {
+    (void)first_row;
+    cursor[static_cast<size_t>(rank)] = at;
+    at += total[static_cast<size_t>(rank)];
+    offsets.push_back(static_cast<int32_t>(at));
+  }
+  // Pass 2: concatenate each rank's per-range rows in range order.
+  std::vector<int32_t> rows(static_cast<size_t>(covered));
+  for (const PartitionFragment& f : fragments) {
+    for (size_t c = 0; c < f.class_ranks.size(); ++c) {
+      int64_t& w = cursor[static_cast<size_t>(f.class_ranks[c])];
+      if (w < 0) continue;  // singleton in the full table: stripped
+      const int32_t lo = f.class_offsets[c];
+      const int32_t hi = f.class_offsets[c + 1];
+      std::copy(f.row_ids.begin() + lo, f.row_ids.begin() + hi,
+                rows.begin() + w);
+      w += hi - lo;
+    }
+  }
+  return StrippedPartition::FromCsr(std::move(rows), std::move(offsets));
+}
+
+}  // namespace aod

@@ -1,0 +1,122 @@
+// Row-space sharding: per-range partition fragments and the
+// class-stitching reducer (ROADMAP: "Row-space sharding and out-of-core
+// tables").
+//
+// Candidate-space sharding (src/shard/) splits the *lattice* but every
+// shard still holds the whole table. The orthogonal axis splits *rows*:
+// the coordinator assigns each shard one contiguous row range, the shard
+// partitions only its own rows, and the fragments are merged back into
+// the canonical full-table partition. What makes the merge exact is that
+// `EncodedColumn::ranks` are table-global dense dictionary codes: two
+// rows are equal on an attribute iff their ranks are equal, regardless
+// of which range they live in. So a fragment keyed by rank can be
+// stitched with any other range's fragment for the same rank by plain
+// concatenation — no re-sorting, no value comparison.
+//
+// A PartitionFragment is deliberately NOT a stripped partition:
+//   - singleton classes are KEPT (a row alone in its range may join a
+//     class from another range),
+//   - every row of the range appears exactly once (total coverage),
+//   - classes are ordered by rank (the join key), not by first row id.
+// StitchPartitions restores the stripped, canonical normal form — rows
+// ascending within a class, classes ordered by smallest contained row
+// id, classes of size < 2 dropped — and is pinned bit-identical to
+// StrippedPartition::FromColumn on the full table
+// (tests/partition_stitch_test.cc), which is what carries the
+// determinism contract across the row-shard seam.
+#ifndef AOD_PARTITION_PARTITION_STITCH_H_
+#define AOD_PARTITION_PARTITION_STITCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/encoder.h"
+#include "partition/stripped_partition.h"
+
+namespace aod {
+
+/// One attribute's equivalence classes over a contiguous row range
+/// [row_begin, row_end), keyed by table-global rank.
+struct PartitionFragment {
+  /// The attribute this fragment partitions (column index).
+  int32_t attribute = 0;
+  /// The covered range; fragments handed to StitchPartitions must tile
+  /// [0, num_rows) contiguously in order.
+  int64_t row_begin = 0;
+  int64_t row_end = 0;
+  /// One rank per class, strictly ascending — the stitch key.
+  std::vector<int32_t> class_ranks;
+  /// CSR offsets into row_ids (leading 0, nondecreasing by >= 1 —
+  /// singleton classes are kept).
+  std::vector<int32_t> class_offsets;
+  /// GLOBAL row ids, ascending within each class; every row of
+  /// [row_begin, row_end) appears exactly once.
+  std::vector<int32_t> row_ids;
+
+  int64_t num_classes() const {
+    return static_cast<int64_t>(class_ranks.size());
+  }
+  int64_t num_rows() const { return row_end - row_begin; }
+
+  /// Appends the fragment body's wire encoding (little-endian, fixed
+  /// width): u64 class count, u64 row count, the per-class ranks, the
+  /// offsets array (class count + 1 entries, leading 0), then the row
+  /// ids. The header fields (attribute, range) travel in the enclosing
+  /// frame (shard::EncodePartitionFragment).
+  void SerializeTo(std::vector<uint8_t>* out) const;
+  std::vector<uint8_t> Serialize() const {
+    std::vector<uint8_t> out;
+    SerializeTo(&out);
+    return out;
+  }
+
+  /// Parses one fragment body as written by SerializeTo, with the same
+  /// philosophy as StrippedPartition::Deserialize: a decoded fragment
+  /// must uphold exactly the invariants a locally built one does.
+  /// Rejects truncation, non-ascending or negative ranks, offsets that
+  /// do not start at 0 or ascend by >= 1, row ids outside
+  /// [row_begin, row_end) or not ascending within a class, and any
+  /// fragment that does not cover its range exactly once per row.
+  /// On success `*consumed` (optional) receives the bytes read.
+  static Result<PartitionFragment> Deserialize(const uint8_t* data,
+                                               size_t size, int32_t attribute,
+                                               int64_t row_begin,
+                                               int64_t row_end,
+                                               size_t* consumed = nullptr);
+};
+
+/// Partitions one attribute's row slice: column.ranks holds the
+/// full-table rank array; only rows in [row_begin, row_end) are read.
+/// O(range + cardinality) counting sort; classes come out in ascending
+/// rank order with ascending rows inside.
+PartitionFragment FragmentFromColumn(const EncodedColumn& column,
+                                     int64_t row_begin, int64_t row_end,
+                                     int32_t attribute);
+
+/// Same partitioning for a column that holds ONLY the slice's ranks (a
+/// decoded shard::WireTableSlice): local index i is global row
+/// `global_row_begin + i`, and `column.cardinality` is the table-global
+/// cardinality. Produces exactly the fragment FragmentFromColumn would
+/// build from the full column over the same range — the runner-side and
+/// coordinator-side paths are interchangeable bit for bit.
+PartitionFragment FragmentFromSlice(const EncodedColumn& column,
+                                    int64_t global_row_begin,
+                                    int32_t attribute);
+
+/// The class-stitching reducer: merges per-range fragments of ONE
+/// attribute back into the full-table stripped partition. `fragments`
+/// must tile [0, num_rows) contiguously in ascending range order and
+/// agree on the attribute. Classes sharing a rank across range
+/// boundaries are joined by concatenation in range order (rows stay
+/// ascending because ranges are disjoint and ascending); classes of
+/// total size < 2 are stripped; surviving classes are ordered by their
+/// smallest row id. The result is bit-identical to
+/// StrippedPartition::FromColumn over the whole column — the row-shard
+/// determinism contract (ARCHITECTURE.md, "Row-space sharding").
+Result<StrippedPartition> StitchPartitions(
+    const std::vector<PartitionFragment>& fragments, int64_t num_rows);
+
+}  // namespace aod
+
+#endif  // AOD_PARTITION_PARTITION_STITCH_H_

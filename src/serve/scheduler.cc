@@ -32,7 +32,12 @@ Result<uint64_t> JobScheduler::Submit(std::shared_ptr<ServeJob> job) {
                               std::to_string(options_.max_queue_depth) +
                               " queued); retry after backoff");
   }
-  const int inflight = inflight_[job->client_id];
+  // find(), not operator[]: a rejected probe must not default-insert a
+  // zero entry — churning client ids (every connection gets a fresh one)
+  // would grow the map without bound on an overloaded server.
+  const auto inflight_it = inflight_.find(job->client_id);
+  const int inflight =
+      inflight_it == inflight_.end() ? 0 : inflight_it->second;
   if (inflight >= options_.max_inflight_per_client) {
     ++rejected_;
     return Status::Overloaded(
@@ -50,7 +55,10 @@ Result<uint64_t> JobScheduler::Submit(std::shared_ptr<ServeJob> job) {
     job->options.time_budget_seconds = budget;
   }
   job->options.pool = options_.pool;
-  job->options.num_shards = 0;  // serve jobs run unsharded on the pool
+  // Serve jobs run unsharded on the pool — neither candidate-space nor
+  // row-space sharding applies to a resident server's jobs.
+  job->options.num_shards = 0;
+  job->options.row_shards = 0;
   const uint64_t id = job->id;
   ++queued_;
   ++inflight_[job->client_id];
@@ -143,6 +151,11 @@ int64_t JobScheduler::jobs_rejected() const {
   return rejected_;
 }
 
+size_t JobScheduler::inflight_clients() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inflight_.size();
+}
+
 std::shared_ptr<ServeJob> JobScheduler::NextJob() {
   // Round-robin: the first non-empty lane strictly after last_client_,
   // wrapping. std::map iteration order makes the rotation deterministic.
@@ -210,6 +223,8 @@ void JobScheduler::RunJob(const std::shared_ptr<ServeJob>& job) {
     raw->level.store(p.level, std::memory_order_relaxed);
     raw->total_ocs.store(p.total_ocs, std::memory_order_relaxed);
     raw->total_ofds.store(p.total_ofds, std::memory_order_relaxed);
+    raw->total_fds.store(p.total_fds, std::memory_order_relaxed);
+    raw->total_afds.store(p.total_afds, std::memory_order_relaxed);
     if (raw->on_progress) raw->on_progress(*raw, p);
   };
   DiscoveryResult result = DiscoverOds(*job->table->table, options);

@@ -70,6 +70,8 @@ struct ServeJob {
   std::atomic<int32_t> level{0};
   std::atomic<int64_t> total_ocs{0};
   std::atomic<int64_t> total_ofds{0};
+  std::atomic<int64_t> total_fds{0};
+  std::atomic<int64_t> total_afds{0};
 
   /// Invoked from the executor on every completed level.
   std::function<void(const ServeJob&, const DiscoveryProgress&)> on_progress;
@@ -133,6 +135,11 @@ class JobScheduler {
   int active_jobs() const;
   int64_t jobs_admitted() const;
   int64_t jobs_rejected() const;
+  /// Clients with at least one job queued or running — the admission
+  /// map's size. A rejected probe must leave it unchanged (pinned in
+  /// serve_fault_test: churning client ids on an overloaded server must
+  /// not grow server state).
+  size_t inflight_clients() const;
 
  private:
   void ExecutorLoop();

@@ -166,6 +166,8 @@ std::vector<uint8_t> EncodeJobStatus(const WireJobStatus& status) {
   w.PutI32(status.level);
   w.PutVarintI64(status.total_ocs);
   w.PutVarintI64(status.total_ofds);
+  w.PutVarintI64(status.total_fds);
+  w.PutVarintI64(status.total_afds);
   return w.SealFrame(FrameType::kJobStatus);
 }
 
@@ -185,6 +187,12 @@ Result<WireJobStatus> DecodeJobStatus(const DecodedFrame& frame) {
   AOD_RETURN_NOT_OK(r.GetI32(&status.level));
   AOD_RETURN_NOT_OK(r.GetVarintI64(&status.total_ocs));
   AOD_RETURN_NOT_OK(r.GetVarintI64(&status.total_ofds));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&status.total_fds));
+  AOD_RETURN_NOT_OK(r.GetVarintI64(&status.total_afds));
+  if (status.total_ocs < 0 || status.total_ofds < 0 ||
+      status.total_fds < 0 || status.total_afds < 0) {
+    return Status::ParseError("job status: negative dependency count");
+  }
   AOD_RETURN_NOT_OK(r.ExpectEnd());
   return status;
 }

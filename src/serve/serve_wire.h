@@ -119,8 +119,13 @@ struct WireJobStatus {
   int32_t queue_position = -1;
   /// Last completed lattice level while running.
   int32_t level = 0;
+  /// Dependency totals so far, all four kinds — a mixed-kind job's
+  /// progress is mostly FD/AFD counts, so dropping them made status
+  /// frames claim an idle job. Decode rejects negative counts.
   int64_t total_ocs = 0;
   int64_t total_ofds = 0;
+  int64_t total_fds = 0;
+  int64_t total_afds = 0;
 };
 
 std::vector<uint8_t> EncodeJobStatus(const WireJobStatus& status);

@@ -273,6 +273,8 @@ Status DiscoveryServer::HandleSubmit(const std::shared_ptr<Connection>& conn,
     status.level = p.level;
     status.total_ocs = p.total_ocs;
     status.total_ofds = p.total_ofds;
+    status.total_fds = p.total_fds;
+    status.total_afds = p.total_afds;
     server->SendNow(c, EncodeJobStatus(status));
   };
   job->on_done = [server, conn, gate](const ServeJob& j,
@@ -321,6 +323,8 @@ Status DiscoveryServer::HandleStatusQuery(
   status.level = job->level.load(std::memory_order_relaxed);
   status.total_ocs = job->total_ocs.load(std::memory_order_relaxed);
   status.total_ofds = job->total_ofds.load(std::memory_order_relaxed);
+  status.total_fds = job->total_fds.load(std::memory_order_relaxed);
+  status.total_afds = job->total_afds.load(std::memory_order_relaxed);
   SendNow(conn, EncodeJobStatus(status));
   return Status::OK();
 }

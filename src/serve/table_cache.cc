@@ -87,11 +87,25 @@ std::shared_ptr<const TableCache::Entry> TableCache::Intern(
     entry->bases.push_back(std::make_shared<const StrippedPartition>(
         StrippedPartition::FromColumn(entry->table->column(a))));
   }
+  if (race_window_hook_ && !in_race_window_hook_) {
+    in_race_window_hook_ = true;
+    race_window_hook_();
+    in_race_window_hook_ = false;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   auto& bucket = entries_[fp];
   for (const auto& existing : bucket) {
     if (SameContent(*existing->table, *entry->table)) {
       ++hits_;
+      // A hit is a hit regardless of which path found it: without the
+      // refresh, a table that is only ever re-interned through this
+      // race-loss path looks idle to the LRU and gets evicted while hot.
+      for (auto lit = lru_.begin(); lit != lru_.end(); ++lit) {
+        if (lit->second == existing.get()) {
+          lru_.splice(lru_.begin(), lru_, lit);
+          break;
+        }
+      }
       return existing;
     }
   }
@@ -113,6 +127,10 @@ std::shared_ptr<const TableCache::Entry> TableCache::Intern(
     }
   }
   return entry;
+}
+
+void TableCache::set_race_window_hook_for_test(std::function<void()> hook) {
+  race_window_hook_ = std::move(hook);
 }
 
 size_t TableCache::size() const {

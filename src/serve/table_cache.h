@@ -21,6 +21,7 @@
 #define AOD_SERVE_TABLE_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -65,6 +66,14 @@ class TableCache {
   int64_t hits() const;
   int64_t misses() const;
 
+  /// Test seam: invoked (outside the lock) between the missed fast-path
+  /// lookup and the re-check under the second lock — the window a racing
+  /// Intern of the same table can win. Lets a single-threaded test drive
+  /// the race-loss hit path deterministically (the hook interns the same
+  /// table, so the re-check finds it). Set before any concurrent use;
+  /// never fires for the hook's own (nested) call.
+  void set_race_window_hook_for_test(std::function<void()> hook);
+
  private:
   static bool SameContent(const EncodedTable& a, const EncodedTable& b);
 
@@ -77,6 +86,8 @@ class TableCache {
   std::list<std::pair<uint64_t, const Entry*>> lru_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  std::function<void()> race_window_hook_;
+  bool in_race_window_hook_ = false;
 };
 
 }  // namespace serve

@@ -42,11 +42,14 @@
 #include <thread>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "gen/flight_generator.h"
 #include "od/discovery.h"
 #include "serve/client.h"
+#include "serve/scheduler.h"
 #include "serve/serve_wire.h"
 #include "serve/server.h"
+#include "serve/table_cache.h"
 #include "shard/wire.h"
 #include "test_util.h"
 
@@ -236,6 +239,8 @@ TEST(ServeWireTest, StatusErrorResultCancelRoundTrips) {
   status.level = 3;
   status.total_ocs = 11;
   status.total_ofds = 2;
+  status.total_fds = 6;
+  status.total_afds = 4;
   {
     Result<shard::DecodedFrame> f =
         shard::DecodeFrame(EncodeJobStatus(status));
@@ -246,6 +251,9 @@ TEST(ServeWireTest, StatusErrorResultCancelRoundTrips) {
     EXPECT_EQ(back->state, JobState::kRunning);
     EXPECT_EQ(back->level, 3);
     EXPECT_EQ(back->total_ocs, 11);
+    EXPECT_EQ(back->total_ofds, 2);
+    EXPECT_EQ(back->total_fds, 6);
+    EXPECT_EQ(back->total_afds, 4);
   }
   serve::WireJobError error;
   error.job_id = 0;
@@ -303,6 +311,28 @@ TEST(ServeWireTest, DecodersRejectStructuralViolations) {
     Result<shard::DecodedFrame> f = shard::DecodeFrame(bad);
     ASSERT_TRUE(f.ok());
     EXPECT_FALSE(serve::DecodeJobStatus(*f).ok());
+  }
+  // Negative dependency counts are range-checked at decode — one case
+  // per counter, since each travels as its own signed varint.
+  for (int which = 0; which < 4; ++which) {
+    shard::WireWriter writer;
+    writer.PutU64(1);
+    writer.PutU64(0);
+    writer.PutU8(static_cast<uint8_t>(JobState::kRunning));
+    writer.PutI32(-1);
+    writer.PutI32(2);
+    writer.PutVarintI64(which == 0 ? -1 : 3);  // total_ocs
+    writer.PutVarintI64(which == 1 ? -1 : 3);  // total_ofds
+    writer.PutVarintI64(which == 2 ? -1 : 3);  // total_fds
+    writer.PutVarintI64(which == 3 ? -1 : 3);  // total_afds
+    std::vector<uint8_t> bad = writer.SealFrame(shard::FrameType::kJobStatus);
+    Result<shard::DecodedFrame> f = shard::DecodeFrame(bad);
+    ASSERT_TRUE(f.ok());
+    Result<serve::WireJobStatus> r = serve::DecodeJobStatus(*f);
+    ASSERT_FALSE(r.ok()) << "negative counter " << which << " decoded";
+    EXPECT_NE(r.status().message().find("negative dependency count"),
+              std::string::npos)
+        << r.status().ToString();
   }
   // An error frame claiming StatusCode::kOk is not an error.
   {
@@ -465,6 +495,146 @@ TEST(ServeFaultTest, TableCacheWarmsAcrossJobsWithoutChangingOutput) {
   EXPECT_EQ(stats.table_cache_misses, 1);
   EXPECT_GE(stats.table_cache_hits, 1);
   server->Shutdown();
+}
+
+TEST(ServeFaultTest, MixedKindProgressCarriesFdAndAfdCounts) {
+  // Regression: progress frames used to carry only the OC/OFD totals, so
+  // a mixed-kind job (whose discoveries are mostly FDs and AFDs) looked
+  // idle to a watching client. The last per-level progress frame must
+  // agree with the terminal result for all four kinds.
+  std::unique_ptr<DiscoveryServer> server = StartServer(ServerOptions{});
+  ASSERT_NE(server, nullptr);
+
+  EncodedTable table = testing_util::RandomEncodedTable(200, 5, 4, 17);
+  DiscoveryOptions mixed = SmallJobOptions();
+  mixed.kinds = DependencyKindSet::All();
+  mixed.afd_error = 0.05;
+  DiscoveryResult direct = DiscoverOds(table, mixed);
+  ASSERT_GT(direct.CountOfKind(DependencyKind::kFd) +
+                direct.CountOfKind(DependencyKind::kAfd),
+            0);
+
+  Result<std::unique_ptr<DiscoveryClient>> client =
+      DiscoveryClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Result<uint64_t> job = (*client)->Submit(table, mixed);
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  serve::WireJobStatus last;
+  int progress_frames = 0;
+  Result<DiscoveryResult> remote =
+      (*client)->Await(*job, [&](const serve::WireJobStatus& s) {
+        last = s;
+        ++progress_frames;
+      });
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  ASSERT_GT(progress_frames, 0);
+  EXPECT_EQ(last.total_ocs, direct.CountOfKind(DependencyKind::kOc));
+  EXPECT_EQ(last.total_ofds, direct.CountOfKind(DependencyKind::kOfd));
+  EXPECT_EQ(last.total_fds, direct.CountOfKind(DependencyKind::kFd));
+  EXPECT_EQ(last.total_afds, direct.CountOfKind(DependencyKind::kAfd));
+  server->Shutdown();
+}
+
+// ----------------------------------------------- scheduler map growth --
+
+TEST(ServeFaultTest, OverloadProbesFromFreshClientsDoNotGrowSchedulerState) {
+  // Regression: Submit used operator[] on the per-client inflight map,
+  // so every rejected probe default-inserted a zero entry — churning
+  // client ids (each connection gets a fresh one) grew server state
+  // without bound on an overloaded server. find() must leave the map
+  // untouched for rejections.
+  exec::ThreadPool pool(2);
+  serve::TableCache cache;
+  serve::JobScheduler::Options options;
+  options.max_queue_depth = 1;
+  options.max_running_jobs = 1;
+  options.max_job_seconds = 30.0;
+  options.pool = &pool;
+  serve::JobScheduler scheduler(options);
+
+  std::shared_ptr<const serve::TableCache::Entry> slow =
+      cache.Intern(SlowTable());
+  auto make_job = [&](uint64_t client_id) {
+    auto job = std::make_shared<serve::ServeJob>();
+    job->client_id = client_id;
+    job->table = slow;
+    job->options = SlowJobOptions();
+    return job;
+  };
+
+  Result<uint64_t> first = scheduler.Submit(make_job(1));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // Wait until the first job leaves the queue for its executor, then
+  // park a second one in the (depth-1) queue to hold it full.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (scheduler.QueuePosition(*first) != -1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(scheduler.QueuePosition(*first), -1);
+  Result<uint64_t> second = scheduler.Submit(make_job(1));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_EQ(scheduler.inflight_clients(), 1u);
+
+  for (uint64_t probe = 100; probe < 150; ++probe) {
+    Result<uint64_t> rejected = scheduler.Submit(make_job(probe));
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), StatusCode::kOverloaded);
+  }
+  EXPECT_EQ(scheduler.inflight_clients(), 1u)
+      << "rejected probes grew the admission map";
+  EXPECT_EQ(scheduler.jobs_rejected(), 50);
+
+  scheduler.Cancel(*first);
+  scheduler.Cancel(*second);
+  scheduler.Shutdown();
+  EXPECT_EQ(scheduler.active_jobs(), 0);
+  EXPECT_EQ(scheduler.inflight_clients(), 0u);
+}
+
+// ------------------------------------------------- table-cache LRU --
+
+TEST(TableCacheTest, RaceLossHitRefreshesLruRecency) {
+  // Regression: the second-lock re-check (the path a thread takes after
+  // losing the build race for a new table) returned the winner's entry
+  // without touching the LRU list — a table only ever re-interned
+  // through that path looked idle and was evicted while hot. The test
+  // seam drives the race deterministically: the hook interns X (and two
+  // fillers) in the window between the outer Intern's missed fast-path
+  // lookup and its re-check, so the outer call takes the race-loss hit
+  // path exactly.
+  serve::TableCache cache(/*capacity=*/3);
+  EncodedTable x = testing_util::RandomEncodedTable(40, 3, 4, 1);
+  EncodedTable a = testing_util::RandomEncodedTable(40, 3, 4, 2);
+  EncodedTable b = testing_util::RandomEncodedTable(40, 3, 4, 3);
+  EncodedTable c = testing_util::RandomEncodedTable(40, 3, 4, 4);
+
+  bool hook_ran = false;
+  cache.set_race_window_hook_for_test([&] {
+    cache.Intern(x);  // the racing winner: inserts X first
+    cache.Intern(a);
+    cache.Intern(b);  // LRU now [B, A, X] — X is the eviction candidate
+    hook_ran = true;
+  });
+  std::shared_ptr<const serve::TableCache::Entry> entry = cache.Intern(x);
+  cache.set_race_window_hook_for_test(nullptr);
+  ASSERT_TRUE(hook_ran);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.hits(), 1);    // the race-loss hit
+  EXPECT_EQ(cache.misses(), 3);  // the hook's three inserts
+
+  // The race-loss hit refreshed X to the front, so the next insert must
+  // evict A — the true least-recently-used entry — not X.
+  cache.Intern(c);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.hits(), 1);
+  std::shared_ptr<const serve::TableCache::Entry> again = cache.Intern(x);
+  EXPECT_EQ(cache.hits(), 2) << "X was evicted despite its race-loss hit";
+  EXPECT_EQ(again.get(), entry.get());
+  cache.Intern(a);
+  EXPECT_EQ(cache.misses(), 5) << "A survived, so something else was evicted";
 }
 
 // ------------------------------------------------- hostile framing --
